@@ -1,0 +1,297 @@
+// Package npra_test holds the top-level benchmark harness: one testing.B
+// benchmark per table and figure of the paper's evaluation (run them with
+// `go test -bench=. -benchmem`), plus ablation benches for the design
+// choices DESIGN.md calls out and micro-benchmarks of the allocator
+// phases. The custom metrics attached via b.ReportMetric carry the
+// numbers the paper reports (register savings, speedups, move overhead).
+package npra_test
+
+import (
+	"testing"
+
+	"npra/internal/bench"
+	"npra/internal/chaitin"
+	"npra/internal/core"
+	"npra/internal/estimate"
+	"npra/internal/experiments"
+	"npra/internal/ig"
+	"npra/internal/intra"
+	"npra/internal/ir"
+	"npra/internal/liveness"
+	"npra/internal/sim"
+)
+
+const benchPackets = 48
+
+// BenchmarkTable1 regenerates the benchmark property table (static
+// analysis + 4-thread baseline simulation for every kernel).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table1(benchPackets)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			avgCTX := 0.0
+			for _, r := range rows {
+				avgCTX += r.CTXPct
+			}
+			b.ReportMetric(avgCTX/float64(len(rows)), "avg-ctx-%")
+		}
+	}
+}
+
+// BenchmarkFigure14 regenerates the SRA register-saving figure; the
+// reported metric is the suite-average saving (paper: 24%).
+func BenchmarkFigure14(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure14(benchPackets)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(experiments.AverageSaving(rows), "avg-saving-%")
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates the extreme-case move overhead table; the
+// metric is the worst overhead across the suite (paper: mostly <= 10%).
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2(benchPackets)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			worst := 0.0
+			for _, r := range rows {
+				if r.MovePct > worst {
+					worst = r.MovePct
+				}
+			}
+			b.ReportMetric(worst, "worst-move-%")
+		}
+	}
+}
+
+// BenchmarkTable3 regenerates the three ARA scenarios; the metric is the
+// mean critical-thread speedup (paper: 18-24%).
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		scs, err := experiments.Table3(benchPackets)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			sum, n := 0.0, 0
+			for _, sc := range scs {
+				for _, t := range sc.Threads {
+					if t.Critical {
+						sum += t.SpeedupPct
+						n++
+					}
+				}
+			}
+			b.ReportMetric(sum/float64(n), "critical-speedup-%")
+		}
+	}
+}
+
+// BenchmarkAblationEstimation compares PR-first vs joint bound estimation.
+func BenchmarkAblationEstimation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.AblationEstimation(benchPackets)
+		if i == 0 {
+			saved := 0
+			for _, r := range rows {
+				saved += r.PrivateSaved4Threads
+			}
+			b.ReportMetric(float64(saved), "private-regs-saved")
+		}
+	}
+}
+
+// BenchmarkAblationMoveElim measures the unnecessary-move elimination.
+func BenchmarkAblationMoveElim(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationMoveElim(benchPackets)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			with, without := 0, 0
+			for _, r := range rows {
+				with += r.MovesWith
+				without += r.MovesWithout
+			}
+			b.ReportMetric(float64(without-with), "moves-eliminated")
+		}
+	}
+}
+
+// BenchmarkAblationSRA compares the exact SRA sweep with the ARA greedy.
+func BenchmarkAblationSRA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationSRA(benchPackets); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationSpillVsMove sweeps register budgets on md5.
+func BenchmarkAblationSpillVsMove(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationSpillVsMove("md5", benchPackets)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && len(rows) > 0 {
+			b.ReportMetric(rows[0].SpillCycles, "tightest-spill-cyc/iter")
+		}
+	}
+}
+
+// BenchmarkAblationLatency sweeps memory latency on scenario S1.
+func BenchmarkAblationLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationLatency(benchPackets)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(rows[len(rows)-1].CriticalSpeedup, "speedup-at-40cyc-%")
+		}
+	}
+}
+
+// --- allocator phase micro-benchmarks (md5: the largest kernel) ---
+
+func md5Func(b *testing.B) *ir.Func {
+	bb, err := bench.Get("md5")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return bb.Gen(benchPackets)
+}
+
+func BenchmarkLiveness(b *testing.B) {
+	f := md5Func(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		liveness.Compute(f)
+	}
+}
+
+func BenchmarkAnalyze(b *testing.B) {
+	f := md5Func(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ig.Analyze(f)
+	}
+}
+
+func BenchmarkEstimate(b *testing.B) {
+	a := ig.Analyze(md5Func(b))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		estimate.Compute(a)
+	}
+}
+
+func BenchmarkIntraSolveMin(b *testing.B) {
+	f := md5Func(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		al := intra.New(f)
+		bd := al.Bounds()
+		if _, err := al.Solve(bd.MinPR, bd.MinR-bd.MinPR); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChaitin32(b *testing.B) {
+	f := md5Func(b)
+	phys := make([]ir.Reg, 32)
+	for i := range phys {
+		phys[i] = ir.Reg(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := chaitin.Allocate(f, chaitin.Options{
+			Phys: phys, SpillBase: bench.SpillBase, SpillStride: bench.SpillStride,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInterThreadARA(b *testing.B) {
+	mk := func() []*ir.Func {
+		var out []*ir.Func
+		for _, n := range []string{"md5", "md5", "fir2dim", "fir2dim"} {
+			bb, _ := bench.Get(n)
+			out = append(out, bb.Gen(benchPackets))
+		}
+		return out
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		alloc, err := core.AllocateARA(mk(), core.Config{NReg: 128})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := alloc.Verify(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulator(b *testing.B) {
+	bb, err := bench.Get("md5")
+	if err != nil {
+		b.Fatal(err)
+	}
+	alloc, err := core.AllocateSRA(bb.Gen(benchPackets), 4, core.Config{NReg: 128})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var threads []*sim.Thread
+	for _, t := range alloc.Threads {
+		threads = append(threads, &sim.Thread{F: t.F, ProtectLo: t.PrivBase, ProtectHi: t.PrivBase + t.PR})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(threads, sim.Config{NReg: 128, MemWords: bench.MemWords})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Cycles), "sim-cycles")
+		}
+	}
+}
+
+// BenchmarkAblationWeighting compares the static and loop-weighted move
+// objectives across the suite.
+func BenchmarkAblationWeighting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationWeighting(benchPackets); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClusterScaling runs the multi-PU shared-memory scaling study.
+func BenchmarkClusterScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.ClusterScaling(benchPackets, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(rows[len(rows)-1].Speedup, "8pu-contended-speedup")
+		}
+	}
+}

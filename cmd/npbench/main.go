@@ -1,0 +1,106 @@
+// Command npbench regenerates the paper's evaluation: every table and
+// figure of §9 plus the ablations DESIGN.md calls out.
+//
+// Usage:
+//
+//	npbench -all                 # everything
+//	npbench -table 1             # Table 1 (benchmark properties)
+//	npbench -table 2             # Table 2 (move overhead at minimal regs)
+//	npbench -table 3             # Table 3 (ARA scenarios, spill vs share)
+//	npbench -figure 14           # Figure 14 (SRA register savings)
+//	npbench -ablations           # ablation studies
+//	npbench -list                # list the built-in benchmarks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"npra/internal/bench"
+	"npra/internal/experiments"
+)
+
+func main() {
+	var (
+		table     = flag.Int("table", 0, "regenerate table 1, 2 or 3")
+		figure    = flag.Int("figure", 0, "regenerate figure 14")
+		ablations = flag.Bool("ablations", false, "run the ablation studies")
+		scaling   = flag.Bool("scaling", false, "run the chip-scaling study (multi-PU, shared memory)")
+		all       = flag.Bool("all", false, "run everything")
+		list      = flag.Bool("list", false, "list built-in benchmarks")
+		packets   = flag.Int("packets", experiments.DefaultPackets, "packets per thread")
+	)
+	flag.Parse()
+	if err := run(*table, *figure, *ablations, *scaling, *all, *list, *packets); err != nil {
+		fmt.Fprintln(os.Stderr, "npbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(table, figure int, ablations, scaling, all, list bool, packets int) error {
+	if list {
+		fmt.Println("built-in benchmarks:")
+		for _, b := range bench.All() {
+			fmt.Printf("  %-14s [%-9s] %s\n", b.Name, b.Suite, b.Description)
+		}
+		return nil
+	}
+	ran := false
+	if all || table == 1 {
+		rows, err := experiments.Table1(packets)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatTable1(rows))
+		ran = true
+	}
+	if all || figure == 14 {
+		rows, err := experiments.Figure14(packets)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatFigure14(rows))
+		ran = true
+	}
+	if all || table == 2 {
+		rows, err := experiments.Table2(packets)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatTable2(rows))
+		ran = true
+	}
+	if all || table == 3 {
+		scs, err := experiments.Table3(packets)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatTable3(scs))
+		ran = true
+	}
+	if all || ablations {
+		text, err := experiments.FormatAblations(packets)
+		if err != nil {
+			return err
+		}
+		fmt.Println(text)
+		ran = true
+	}
+	if all || scaling {
+		free, err := experiments.ClusterScaling(packets, 0)
+		if err != nil {
+			return err
+		}
+		contended, err := experiments.ClusterScaling(packets, 2)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatScaling(free, contended, 2))
+		ran = true
+	}
+	if !ran {
+		return fmt.Errorf("nothing to do: pass -all, -table N, -figure 14, -ablations, -scaling or -list")
+	}
+	return nil
+}

@@ -1,0 +1,193 @@
+// Command npra is the cross-thread register allocator driver: it reads
+// one assembly file per hardware thread (or picks built-in benchmarks),
+// runs the paper's inter-thread balancing allocation, and reports the
+// per-thread register grants, move costs and (optionally) the rewritten
+// physical-register assembly.
+//
+// Usage:
+//
+//	npra [-nreg 128] [-mode ara|sra] [-threads 4] [-dump] [-verify]
+//	     (-bench name[,name...] | file.asm [file2.asm ...])
+//
+// Examples:
+//
+//	npra -bench md5,md5,fir2dim,fir2dim        # paper Table 3 scenario 1
+//	npra -mode sra -threads 4 -bench md5       # symmetric allocation
+//	npra t1.asm t2.asm -dump                   # your own code, print result
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"npra/internal/bench"
+	"npra/internal/core"
+	"npra/internal/encoding"
+	"npra/internal/ir"
+	"npra/internal/masm"
+	"npra/internal/passes"
+	"npra/internal/schedcheck"
+)
+
+func main() {
+	var (
+		nreg     = flag.Int("nreg", 128, "register file size of the processing unit")
+		mode     = flag.String("mode", "ara", "allocation mode: ara (per-thread code) or sra (same code on all threads)")
+		threads  = flag.Int("threads", 4, "thread count for -mode sra")
+		benches  = flag.String("bench", "", "comma-separated built-in benchmark names (see npbench -list)")
+		packets  = flag.Int("packets", 64, "packets per thread for generated benchmarks")
+		dump     = flag.Bool("dump", false, "print the rewritten physical-register assembly")
+		verify   = flag.Bool("verify", true, "statically verify the allocation safety contract")
+		optimize = flag.Bool("O", false, "run the optimization pipeline before allocation")
+		objDir   = flag.String("o", "", "write per-thread object files (.npo) into this directory")
+		schedchk = flag.Bool("check-schedules", false, "model-check the allocation: explore every thread schedule (small programs only)")
+	)
+	flag.Parse()
+	if err := run(*nreg, *mode, *threads, *benches, *packets, *dump, *verify, *optimize, *schedchk, *objDir, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "npra:", err)
+		os.Exit(1)
+	}
+}
+
+func run(nreg int, mode string, threads int, benches string, packets int, dump, verify, optimize, schedchk bool, objDir string, files []string) error {
+	funcs, err := loadFuncs(benches, packets, files)
+	if err != nil {
+		return err
+	}
+	if optimize {
+		for i, f := range funcs {
+			opt, st, err := passes.Optimize(f)
+			if err != nil {
+				return fmt.Errorf("optimizing %s: %w", f.Name, err)
+			}
+			if st.Total() > 0 {
+				fmt.Printf("optimized %s: %d changes (%d dead, %d copies, %d folds)\n",
+					f.Name, st.Total(), st.DeadRemoved, st.CopiesReplaced, st.Folded)
+			}
+			funcs[i] = opt
+		}
+	}
+	var alloc *core.Allocation
+	switch mode {
+	case "ara":
+		alloc, err = core.AllocateARA(funcs, core.Config{NReg: nreg})
+	case "sra":
+		if len(funcs) != 1 {
+			return fmt.Errorf("-mode sra takes exactly one program, got %d", len(funcs))
+		}
+		alloc, err = core.AllocateSRA(funcs[0], threads, core.Config{NReg: nreg})
+	default:
+		return fmt.Errorf("unknown -mode %q", mode)
+	}
+	if err != nil {
+		return err
+	}
+	if verify {
+		if err := alloc.Verify(); err != nil {
+			return fmt.Errorf("verification FAILED: %w", err)
+		}
+	}
+
+	fmt.Printf("allocation for %d threads on %d registers (SGR=%d, total=%d)\n",
+		len(alloc.Threads), nreg, alloc.SGR, alloc.TotalRegisters())
+	fmt.Printf("%-3s %-14s %4s %4s %7s %6s %8s %10s %12s\n",
+		"thd", "program", "PR", "SR", "private", "moves", "#pieces", "bounds", "min-bounds")
+	for i, t := range alloc.Threads {
+		fmt.Printf("%-3d %-14s %4d %4d %3d..%-3d %6d %8d %5d/%-4d %6d/%-4d\n",
+			i, t.Name, t.PR, t.SR, t.PrivBase, t.PrivBase+t.PR-1, t.Stats.Added(),
+			t.LiveRanges, t.Bounds.MaxPR, t.Bounds.MaxR, t.Bounds.MinPR, t.Bounds.MinR)
+	}
+	if verify {
+		fmt.Println("safety: verified (no value live across a context switch leaves its private range)")
+	}
+	if schedchk {
+		var fs []*ir.Func
+		for _, t := range alloc.Threads {
+			fs = append(fs, t.F)
+		}
+		res, err := schedcheck.Check(fs, schedcheck.Options{MaxPaths: 500_000, MaxSteps: 500_000})
+		if err != nil {
+			return fmt.Errorf("schedule check FAILED: %w", err)
+		}
+		suffix := ""
+		if res.Bounded {
+			suffix = " (path budget hit; result partial)"
+		}
+		fmt.Printf("schedules: %d interleavings explored, single outcome%s\n", res.Paths, suffix)
+	}
+	if dump {
+		for i, t := range alloc.Threads {
+			fmt.Printf("\n--- thread %d (%s) ---\n%s", i, t.Name, t.F.Format())
+		}
+	}
+	if objDir != "" {
+		if err := os.MkdirAll(objDir, 0o755); err != nil {
+			return err
+		}
+		for i, t := range alloc.Threads {
+			data, err := encoding.Encode(t.F)
+			if err != nil {
+				return fmt.Errorf("encoding thread %d: %w", i, err)
+			}
+			path := filepath.Join(objDir, fmt.Sprintf("thread%d_%s.npo", i, t.Name))
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s (%d bytes)\n", path, len(data))
+		}
+	}
+	return nil
+}
+
+func loadFuncs(benches string, packets int, files []string) ([]*ir.Func, error) {
+	if benches != "" && len(files) > 0 {
+		return nil, fmt.Errorf("give either -bench or files, not both")
+	}
+	var funcs []*ir.Func
+	if benches != "" {
+		for _, name := range strings.Split(benches, ",") {
+			b, err := bench.Get(strings.TrimSpace(name))
+			if err != nil {
+				return nil, err
+			}
+			funcs = append(funcs, b.Gen(packets))
+		}
+		return funcs, nil
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no input: give -bench names or assembly files (one per thread)")
+	}
+	for _, path := range files {
+		f, err := loadProgram(path)
+		if err != nil {
+			return nil, err
+		}
+		funcs = append(funcs, f)
+	}
+	return funcs, nil
+}
+
+// loadProgram reads an assembly (.asm/.s) or object (.npo) file.
+func loadProgram(path string) (*ir.Func, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasSuffix(path, ".npo") {
+		f, err := encoding.Decode(src)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return f, nil
+	}
+	// Assembly goes through the macro assembler (plain assembly passes
+	// through unchanged); .include resolves relative to the file's dir.
+	f, err := masm.AssembleFS(string(src), os.DirFS(filepath.Dir(path)))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}

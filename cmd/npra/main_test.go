@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testAsm = `
+func t1
+entry:
+	set v0, 1
+	ctx
+	addi v0, v0, 2
+	store [64], v0
+	halt
+`
+
+func TestRunWithBenchmarks(t *testing.T) {
+	if err := run(128, "ara", 4, "frag,crc32", 8, false, true, false, false, "", nil); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunSRA(t *testing.T) {
+	if err := run(128, "sra", 4, "md5", 8, false, true, false, false, "", nil); err != nil {
+		t.Fatalf("run sra: %v", err)
+	}
+	if err := run(128, "sra", 4, "md5,frag", 8, false, true, false, false, "", nil); err == nil {
+		t.Errorf("sra with two programs succeeded")
+	}
+}
+
+func TestRunWithFilesAndObjects(t *testing.T) {
+	dir := t.TempDir()
+	asm := filepath.Join(dir, "t1.asm")
+	if err := os.WriteFile(asm, []byte(testAsm), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	objDir := filepath.Join(dir, "objs")
+	if err := run(16, "ara", 4, "", 0, true, true, true, true, objDir, []string{asm, asm}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	ents, err := os.ReadDir(objDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 2 {
+		t.Fatalf("object files = %d, want 2", len(ents))
+	}
+	// The emitted objects load back as inputs.
+	var objs []string
+	for _, e := range ents {
+		if !strings.HasSuffix(e.Name(), ".npo") {
+			t.Errorf("unexpected file %s", e.Name())
+		}
+		objs = append(objs, filepath.Join(objDir, e.Name()))
+	}
+	f, err := loadProgram(objs[0])
+	if err != nil {
+		t.Fatalf("loadProgram(npo): %v", err)
+	}
+	if !f.Physical {
+		t.Errorf("allocated object decoded as virtual")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(128, "ara", 4, "", 8, false, true, false, false, "", nil); err == nil {
+		t.Errorf("no input accepted")
+	}
+	if err := run(128, "nope", 4, "frag", 8, false, true, false, false, "", nil); err == nil {
+		t.Errorf("bad mode accepted")
+	}
+	if err := run(128, "ara", 4, "frag", 8, false, true, false, false, "", []string{"x.asm"}); err == nil {
+		t.Errorf("bench and files together accepted")
+	}
+	if err := run(128, "ara", 4, "nosuch", 8, false, true, false, false, "", nil); err == nil {
+		t.Errorf("unknown benchmark accepted")
+	}
+	if err := run(1, "ara", 4, "md5,md5", 8, false, true, false, false, "", nil); err == nil {
+		t.Errorf("impossible budget accepted")
+	}
+}

@@ -1,0 +1,158 @@
+// Command npsim runs programs on the IXP-style micro-engine simulator and
+// reports cycle-level statistics. It can run raw assembly files, built-in
+// benchmarks under the baseline (32-register partition, Chaitin with
+// spilling) discipline, or under the paper's cross-thread sharing
+// allocation — making the spill-vs-share difference directly observable.
+//
+// Usage:
+//
+//	npsim [-alloc baseline|sharing|none] [-latency 20] [-packets 64]
+//	      (-bench name[,name...] | file.asm [...])
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"npra/internal/bench"
+	"npra/internal/chaitin"
+	"npra/internal/core"
+	"npra/internal/encoding"
+	"npra/internal/ir"
+	"npra/internal/sim"
+)
+
+func main() {
+	var (
+		allocMode = flag.String("alloc", "sharing", "allocation: baseline (Chaitin@32/thread), sharing (the paper's allocator), none (run as-is)")
+		latency   = flag.Int64("latency", 20, "memory latency in cycles")
+		swlat     = flag.Int64("switch-latency", 0, "extra cycles per context switch")
+		packets   = flag.Int("packets", 64, "packets per thread for generated benchmarks")
+		benches   = flag.String("bench", "", "comma-separated built-in benchmark names")
+		nreg      = flag.Int("nreg", 128, "register file size")
+		maxCycles = flag.Int64("max-cycles", 50_000_000, "cycle budget")
+		trace     = flag.Int("trace", 0, "print the first N trace lines (instruction-level)")
+	)
+	flag.Parse()
+	if err := run(*allocMode, *latency, *swlat, *packets, *benches, *nreg, *maxCycles, *trace, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "npsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(allocMode string, latency, swlat int64, packets int, benches string, nreg int, maxCycles int64, traceLines int, files []string) error {
+	funcs, names, err := loadFuncs(benches, packets, files)
+	if err != nil {
+		return err
+	}
+
+	var threads []*sim.Thread
+	switch allocMode {
+	case "none":
+		for _, f := range funcs {
+			threads = append(threads, &sim.Thread{F: f})
+		}
+	case "baseline":
+		per := nreg / len(funcs)
+		for i, f := range funcs {
+			phys := make([]ir.Reg, per)
+			for k := range phys {
+				phys[k] = ir.Reg(i*per + k)
+			}
+			res, err := chaitin.Allocate(f, chaitin.Options{
+				Phys: phys, SpillBase: bench.SpillBase, SpillStride: bench.SpillStride,
+			})
+			if err != nil {
+				return fmt.Errorf("baseline thread %d: %w", i, err)
+			}
+			fmt.Printf("thread %d (%s): baseline used %d regs, spilled %d live ranges (%d spill instrs)\n",
+				i, names[i], res.RegsUsed, res.Spilled, res.SpillCode)
+			threads = append(threads, &sim.Thread{F: res.F, ProtectLo: i * per, ProtectHi: (i + 1) * per})
+		}
+	case "sharing":
+		alloc, err := core.AllocateARA(funcs, core.Config{NReg: nreg})
+		if err != nil {
+			return err
+		}
+		if err := alloc.Verify(); err != nil {
+			return fmt.Errorf("verification failed: %w", err)
+		}
+		fmt.Printf("sharing allocation: SGR=%d, total registers %d/%d\n",
+			alloc.SGR, alloc.TotalRegisters(), nreg)
+		for i, t := range alloc.Threads {
+			fmt.Printf("thread %d (%s): PR=%d SR=%d moves=%d\n", i, names[i], t.PR, t.SR, t.Stats.Added())
+			threads = append(threads, &sim.Thread{F: t.F, ProtectLo: t.PrivBase, ProtectHi: t.PrivBase + t.PR})
+		}
+	default:
+		return fmt.Errorf("unknown -alloc %q", allocMode)
+	}
+
+	cfg := sim.Config{
+		NReg: nreg, MemWords: bench.MemWords,
+		MemLatency: latency, SwitchLatency: swlat, MaxCycles: maxCycles,
+	}
+	var tracer *sim.WriterTracer
+	if traceLines > 0 {
+		tracer = &sim.WriterTracer{W: os.Stdout, MaxLines: traceLines, Physical: allocMode != "none"}
+		cfg.Trace = tracer
+	}
+	res, err := sim.Run(threads, cfg)
+	if err != nil {
+		return err
+	}
+	if tracer != nil && tracer.Truncated() {
+		fmt.Printf("... trace truncated at %d lines\n", traceLines)
+	}
+
+	fmt.Printf("\ntotal cycles %d, idle %d, utilization %.1f%%\n",
+		res.Cycles, res.Idle, 100*res.Utilization())
+	fmt.Printf("%-3s %-14s %10s %10s %8s %8s %10s %7s\n",
+		"thd", "program", "instrs", "busy", "#ctx", "iters", "cyc/iter", "halted")
+	for i, ts := range res.Threads {
+		fmt.Printf("%-3d %-14s %10d %10d %8d %8d %10.1f %7v\n",
+			i, names[i], ts.Instrs, ts.BusyCycles, ts.CTX, ts.Iters, ts.CyclesPerIter(), ts.Halted)
+	}
+	return nil
+}
+
+func loadFuncs(benches string, packets int, files []string) ([]*ir.Func, []string, error) {
+	if benches != "" && len(files) > 0 {
+		return nil, nil, fmt.Errorf("give either -bench or files, not both")
+	}
+	var funcs []*ir.Func
+	var names []string
+	if benches != "" {
+		for _, name := range strings.Split(benches, ",") {
+			b, err := bench.Get(strings.TrimSpace(name))
+			if err != nil {
+				return nil, nil, err
+			}
+			funcs = append(funcs, b.Gen(packets))
+			names = append(names, b.Name)
+		}
+		return funcs, names, nil
+	}
+	if len(files) == 0 {
+		return nil, nil, fmt.Errorf("no input: give -bench names or assembly files")
+	}
+	for _, path := range files {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		var f *ir.Func
+		if strings.HasSuffix(path, ".npo") {
+			f, err = encoding.Decode(src)
+		} else {
+			f, err = ir.Parse(string(src))
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", path, err)
+		}
+		funcs = append(funcs, f)
+		names = append(names, f.Name)
+	}
+	return funcs, names, nil
+}

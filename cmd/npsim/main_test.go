@@ -1,0 +1,42 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunModes(t *testing.T) {
+	for _, mode := range []string{"none", "baseline", "sharing"} {
+		if err := run(mode, 20, 0, 8, "frag,crc32", 128, 10_000_000, 0, nil); err != nil {
+			t.Errorf("mode %s: %v", mode, err)
+		}
+	}
+}
+
+func TestRunFromFile(t *testing.T) {
+	dir := t.TempDir()
+	asm := filepath.Join(dir, "p.asm")
+	src := "func p\na:\n set v0, 3\n store [0], v0\n iter\n halt\n"
+	if err := os.WriteFile(asm, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("none", 20, 0, 0, "", 128, 100000, 5, []string{asm}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("bogus", 20, 0, 8, "frag", 128, 1000, 0, nil); err == nil {
+		t.Errorf("bad alloc mode accepted")
+	}
+	if err := run("none", 20, 0, 8, "", 128, 1000, 0, nil); err == nil {
+		t.Errorf("no input accepted")
+	}
+	if err := run("none", 20, 0, 8, "frag", 128, 1000, 0, []string{"f.asm"}); err == nil {
+		t.Errorf("bench+files accepted")
+	}
+	if err := run("none", 20, 0, 8, "", 128, 1000, 0, []string{"/nonexistent.asm"}); err == nil {
+		t.Errorf("missing file accepted")
+	}
+}

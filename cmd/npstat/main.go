@@ -1,0 +1,87 @@
+// Command npstat reports the static structure the allocator reasons
+// about: instruction mix, context-switch boundaries, non-switch regions,
+// live ranges, pressure bounds and loop nesting — and exports Graphviz
+// views of the CFG, the interference graphs and the NSR partition.
+//
+// Usage:
+//
+//	npstat -bench md5                        # statistics
+//	npstat -bench frag -dot nsr | dot -Tsvg  # NSR structure as SVG
+//	npstat program.asm -dot cfg              # your own code
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"npra/internal/bench"
+	"npra/internal/encoding"
+	"npra/internal/ir"
+	"npra/internal/report"
+)
+
+func main() {
+	var (
+		benches = flag.String("bench", "", "comma-separated built-in benchmark names")
+		packets = flag.Int("packets", 64, "packets per thread for generated benchmarks")
+		dot     = flag.String("dot", "", "emit a Graphviz graph instead of text: cfg, gig or nsr")
+	)
+	flag.Parse()
+	if err := run(*benches, *packets, *dot, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "npstat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(benches string, packets int, dot string, files []string) error {
+	var funcs []*ir.Func
+	switch {
+	case benches != "" && len(files) > 0:
+		return fmt.Errorf("give either -bench or files, not both")
+	case benches != "":
+		for _, name := range strings.Split(benches, ",") {
+			b, err := bench.Get(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			funcs = append(funcs, b.Gen(packets))
+		}
+	case len(files) > 0:
+		for _, path := range files {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			var f *ir.Func
+			if strings.HasSuffix(path, ".npo") {
+				f, err = encoding.Decode(src)
+			} else {
+				f, err = ir.Parse(string(src))
+			}
+			if err != nil {
+				return fmt.Errorf("%s: %w", path, err)
+			}
+			funcs = append(funcs, f)
+		}
+	default:
+		return fmt.Errorf("no input: give -bench names or assembly files")
+	}
+
+	for _, f := range funcs {
+		switch dot {
+		case "":
+			fmt.Print(report.Text(f))
+		case "cfg":
+			fmt.Print(report.DotCFG(f))
+		case "gig":
+			fmt.Print(report.DotInterference(f))
+		case "nsr":
+			fmt.Print(report.DotNSR(f))
+		default:
+			return fmt.Errorf("unknown -dot kind %q (cfg, gig, nsr)", dot)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestRunText(t *testing.T) {
+	if err := run("frag,md5", 8, "", nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDot(t *testing.T) {
+	for _, kind := range []string{"cfg", "gig", "nsr"} {
+		if err := run("frag", 8, kind, nil); err != nil {
+			t.Errorf("%s: %v", kind, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", 8, "", nil); err == nil {
+		t.Error("no input accepted")
+	}
+	if err := run("frag", 8, "zzz", nil); err == nil {
+		t.Error("bad dot kind accepted")
+	}
+	if err := run("frag", 8, "", []string{"x.asm"}); err == nil {
+		t.Error("bench+files accepted")
+	}
+}

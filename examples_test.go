@@ -1,0 +1,33 @@
+package npra_test
+
+import (
+	"os/exec"
+	"testing"
+)
+
+// TestExamplesRun smoke-tests every runnable example end to end via
+// `go run` (skipped with -short: each spawns a compile).
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples skipped in -short mode")
+	}
+	for _, dir := range []string{
+		"./examples/quickstart",
+		"./examples/pipeline",
+		"./examples/critical",
+		"./examples/sra",
+		"./examples/chip",
+		"./examples/toolchain",
+	} {
+		dir := dir
+		t.Run(dir, func(t *testing.T) {
+			out, err := exec.Command("go", "run", dir).CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run %s: %v\n%s", dir, err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("%s produced no output", dir)
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module npra
+
+go 1.22

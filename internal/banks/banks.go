@@ -1,0 +1,276 @@
+// Package banks models a hardware restriction of the real IXP register
+// file that the paper abstracts away (and its reference [19], "Taming the
+// IXP", treats at length): the general-purpose registers are split into
+// two banks, A and B, with one read port each, so a three-register ALU
+// instruction must draw its two sources from *different* banks — and can
+// never read the same register twice.
+//
+// Assign post-processes allocated (physical-register) code: it 2-colors
+// the "must be in opposite banks" constraint graph over the physical
+// registers of all threads together (the assignment must be global —
+// shared registers are, by definition, the same hardware register in
+// every thread), rewrites the instructions whose constraints cannot be
+// satisfied (odd cycles, or same-register pairs) to stage one operand
+// through a reserved scratch register of the opposite bank, and renumbers
+// every register into the banked layout: bank A occupies [0, BankSize),
+// bank B [BankSize, 2*BankSize).
+//
+// The scratch staging is sound on this machine class precisely because
+// execution is non-preemptive: the inserted "mov scratch, src" and the
+// patched instruction are adjacent non-switching instructions, so no
+// other thread can run between them, and the scratch value is never live
+// across a context switch — the same argument that makes the paper's
+// shared registers safe.
+package banks
+
+import (
+	"fmt"
+	"sort"
+
+	"npra/internal/ir"
+	"npra/internal/liveness"
+)
+
+// Config parameterizes the banked register file.
+type Config struct {
+	// BankSize is the capacity of each bank (64 on the IXP1200).
+	BankSize int
+}
+
+// Result is a completed bank assignment.
+type Result struct {
+	// Funcs are the rewritten threads, renumbered into the banked layout.
+	Funcs []*ir.Func
+
+	// BankOf maps each *original* physical register to its bank (0 or 1).
+	BankOf map[ir.Reg]int
+
+	// Remap maps original physical registers to banked register numbers.
+	Remap map[ir.Reg]ir.Reg
+
+	// ScratchA, ScratchB are the banked numbers of the two reserved
+	// staging registers.
+	ScratchA, ScratchB ir.Reg
+
+	// Moves counts the staging mov instructions inserted.
+	Moves int
+}
+
+// twoSource reports whether the instruction reads two register sources
+// simultaneously (and is therefore bank-constrained).
+func twoSource(in *ir.Instr) bool {
+	if in.A == ir.NoReg || in.B == ir.NoReg {
+		return false
+	}
+	switch in.Op {
+	case ir.OpAdd, ir.OpSub, ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr, ir.OpMul,
+		ir.OpStore, ir.OpBEQ, ir.OpBNE, ir.OpBLT, ir.OpBGE:
+		return true
+	}
+	return false
+}
+
+// Assign banks the physical registers of the given threads. All inputs
+// must be physical-register functions (one per thread, allocated against
+// the same register file). The rewrite preserves observable semantics.
+func Assign(funcs []*ir.Func, cfg Config) (*Result, error) {
+	if cfg.BankSize <= 0 {
+		cfg.BankSize = 64
+	}
+	for i, f := range funcs {
+		if f == nil || !f.Built() || !f.Physical {
+			return nil, fmt.Errorf("banks: thread %d is not built physical code", i)
+		}
+	}
+
+	res := &Result{BankOf: make(map[ir.Reg]int), Remap: make(map[ir.Reg]ir.Reg)}
+
+	// Pass 1: greedy bank assignment over all constrained pairs, in
+	// deterministic program order across threads. Registers seen in
+	// unsatisfiable pairs are resolved by marking the instruction for
+	// scratch staging instead of failing.
+	type patchKey struct{ fi, bi, k int }
+	patch := make(map[patchKey]bool)
+	counts := [2]int{}
+	assign := func(r ir.Reg, bank int) {
+		res.BankOf[r] = bank
+		counts[bank]++
+	}
+	emptier := func() int {
+		if counts[1] < counts[0] {
+			return 1
+		}
+		return 0
+	}
+	for fi, f := range funcs {
+		for bi, b := range f.Blocks {
+			for k := range b.Instrs {
+				in := &b.Instrs[k]
+				// Note every used register so it gets a slot.
+				for _, r := range []ir.Reg{in.Def, in.A, in.B} {
+					if r != ir.NoReg {
+						if _, seen := res.BankOf[r]; !seen {
+							res.BankOf[r] = -1 // placeholder: unconstrained so far
+						}
+					}
+				}
+				if !twoSource(in) {
+					continue
+				}
+				if in.A == in.B {
+					patch[patchKey{fi, bi, k}] = true
+					continue
+				}
+				ba, okA := res.BankOf[in.A]
+				bb, okB := res.BankOf[in.B]
+				if ba < 0 {
+					okA = false
+				}
+				if bb < 0 {
+					okB = false
+				}
+				switch {
+				case !okA && !okB:
+					e := emptier()
+					assign(in.A, e)
+					assign(in.B, 1-e)
+				case okA && !okB:
+					assign(in.B, 1-ba)
+				case !okA && okB:
+					assign(in.A, 1-bb)
+				default:
+					if ba == bb {
+						patch[patchKey{fi, bi, k}] = true
+					}
+				}
+			}
+		}
+	}
+	// Unconstrained registers fill the emptier bank, in numeric order for
+	// determinism.
+	var loose []ir.Reg
+	for r, b := range res.BankOf {
+		if b < 0 {
+			loose = append(loose, r)
+		}
+	}
+	sort.Slice(loose, func(i, j int) bool { return loose[i] < loose[j] })
+	for _, r := range loose {
+		assign(r, emptier())
+	}
+
+	// Capacity: each bank holds its registers plus one scratch.
+	if counts[0]+1 > cfg.BankSize || counts[1]+1 > cfg.BankSize {
+		return nil, fmt.Errorf("banks: assignment needs %d/%d registers per bank, capacity %d",
+			counts[0]+1, counts[1]+1, cfg.BankSize)
+	}
+
+	// Renumber: bank A from 0 up, bank B from BankSize up; scratches take
+	// the next free slot of each bank.
+	var regs []ir.Reg
+	for r := range res.BankOf {
+		regs = append(regs, r)
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i] < regs[j] })
+	next := [2]int{0, cfg.BankSize}
+	for _, r := range regs {
+		b := res.BankOf[r]
+		res.Remap[r] = ir.Reg(next[b])
+		next[b]++
+	}
+	res.ScratchA = ir.Reg(next[0])
+	res.ScratchB = ir.Reg(next[1])
+
+	// Pass 2: rewrite every thread — rename registers, stage patched
+	// instructions through the opposite bank's scratch.
+	for fi, f := range funcs {
+		nf := &ir.Func{Name: f.Name, Physical: true}
+		for bi, b := range f.Blocks {
+			nb := &ir.Block{Label: b.Label}
+			for k := range b.Instrs {
+				in := b.Instrs[k]
+				if in.Def != ir.NoReg {
+					in.Def = res.Remap[in.Def]
+				}
+				if in.A != ir.NoReg {
+					in.A = res.Remap[in.A]
+				}
+				if in.B != ir.NoReg {
+					in.B = res.Remap[in.B]
+				}
+				if patch[patchKey{fi, bi, k}] {
+					// Stage B through the scratch of the bank opposite A.
+					scratch := res.ScratchB
+					if int(in.A) >= cfg.BankSize {
+						scratch = res.ScratchA
+					}
+					nb.Instrs = append(nb.Instrs, ir.Instr{
+						Op: ir.OpMov, Def: scratch, A: in.B, B: ir.NoReg,
+					})
+					in.B = scratch
+					res.Moves++
+				}
+				nb.Instrs = append(nb.Instrs, in)
+			}
+			nf.Blocks = append(nf.Blocks, nb)
+		}
+		nf.NumRegs = 2 * cfg.BankSize
+		if err := nf.Build(); err != nil {
+			return nil, fmt.Errorf("banks: rewritten thread %d invalid: %w", fi, err)
+		}
+		res.Funcs = append(res.Funcs, nf)
+	}
+	return res, nil
+}
+
+// Check verifies banked code: every two-source instruction reads from
+// opposite banks and never the same register twice, and no register is
+// both read-staged and live across a context switch in the same breath —
+// concretely, the scratch staging property: a value written by the
+// immediately preceding mov is consumed before any context switch.
+func Check(f *ir.Func, bankSize int) error {
+	if bankSize <= 0 {
+		bankSize = 64
+	}
+	bank := func(r ir.Reg) int {
+		if int(r) < bankSize {
+			return 0
+		}
+		return 1
+	}
+	for _, b := range f.Blocks {
+		for k := range b.Instrs {
+			in := &b.Instrs[k]
+			if !twoSource(in) {
+				continue
+			}
+			if in.A == in.B {
+				return fmt.Errorf("banks: %s %q instr %d: reads r%d on both ports", f.Name, b.Label, k, in.A)
+			}
+			if bank(in.A) == bank(in.B) {
+				return fmt.Errorf("banks: %s %q instr %d: both sources in bank %d (r%d, r%d)",
+					f.Name, b.Label, k, bank(in.A), in.A, in.B)
+			}
+		}
+	}
+	return nil
+}
+
+// ScratchesDeadAcrossSwitches confirms that the two scratch registers are
+// never live across a context-switch boundary — the condition that makes
+// sharing them across threads safe on a non-preemptive machine.
+func ScratchesDeadAcrossSwitches(f *ir.Func, scratchA, scratchB ir.Reg) error {
+	li := liveness.Compute(f)
+	for p := 0; p < f.NumPoints(); p++ {
+		if !f.Instr(p).IsCSB() {
+			continue
+		}
+		across := li.LiveAcross(p)
+		for _, s := range []ir.Reg{scratchA, scratchB} {
+			if int(s) < f.NumRegs && across.Has(int(s)) {
+				return fmt.Errorf("banks: scratch r%d live across the switch at point %d", s, p)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"testing"
+
+	"npra/internal/estimate"
+	"npra/internal/ig"
+	"npra/internal/interp"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	names := Names()
+	if len(names) != 11 {
+		t.Fatalf("benchmarks = %d, want 11 (the paper evaluates 11): %v", len(names), names)
+	}
+	for _, n := range names {
+		b, err := Get(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Description == "" || b.Suite == "" {
+			t.Errorf("%s: missing metadata", n)
+		}
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Error("Get(nope) succeeded")
+	}
+}
+
+func TestAllBenchmarksRunAndHalt(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			f := b.Gen(5)
+			mem := make([]uint32, MemWords)
+			res, err := interp.Run(f, mem, interp.Options{TID: 0, MaxSteps: 1 << 20})
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if !res.Halted {
+				t.Fatalf("did not halt")
+			}
+			if res.Iters != 5 {
+				t.Errorf("iters = %d, want 5", res.Iters)
+			}
+		})
+	}
+}
+
+func TestThreadSegmentIsolation(t *testing.T) {
+	// Running the same benchmark as tid 0 and tid 1 must touch disjoint
+	// memory segments.
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			f := b.Gen(3)
+			m0 := make([]uint32, MemWords)
+			m1 := make([]uint32, MemWords)
+			if _, err := interp.Run(f, m0, interp.Options{TID: 0, MaxSteps: 1 << 20}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := interp.Run(f.Clone(), m1, interp.Options{TID: 1, MaxSteps: 1 << 20}); err != nil {
+				t.Fatal(err)
+			}
+			segWords := (1 << SegShift) / 4
+			for i := 0; i < segWords; i++ {
+				if m1[i] != 0 {
+					t.Fatalf("tid 1 wrote into segment 0 at word %d", i)
+				}
+				if m0[segWords+i] != 0 {
+					t.Fatalf("tid 0 wrote into segment 1 at word %d", segWords+i)
+				}
+			}
+		})
+	}
+}
+
+// TestPressureBands pins each benchmark into its designed pressure class,
+// the property that drives every experiment: the "heavy" kernels must
+// exceed the 32-register baseline partition (so the baseline spills) yet
+// keep their boundary pressure low (so sharing fixes them), while light
+// kernels fit comfortably.
+func TestPressureBands(t *testing.T) {
+	heavy := map[string]bool{"md5": true, "wraps_recv": true, "wraps_send": true}
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			a := ig.Analyze(b.Gen(4))
+			est := estimate.Compute(a)
+			t.Logf("%s: MinPR=%d MinR=%d MaxPR=%d MaxR=%d liveRanges=%d",
+				b.Name, est.MinPR, est.MinR, est.MaxPR, est.MaxR, a.LiveRanges())
+			if heavy[b.Name] {
+				if est.MinR <= 32 {
+					t.Errorf("heavy kernel fits the 32-register partition: MinR=%d", est.MinR)
+				}
+				if est.MinPR > 16 {
+					t.Errorf("heavy kernel boundary pressure too high for sharing to fix: MinPR=%d", est.MinPR)
+				}
+			} else {
+				if est.MaxR > 32 {
+					t.Errorf("light kernel overflows the baseline partition: MaxR=%d", est.MaxR)
+				}
+			}
+			if est.MinPR > 20 {
+				t.Errorf("MinPR=%d; four threads would not fit 128 registers", est.MinPR)
+			}
+		})
+	}
+}
+
+// TestCTXFraction: the paper reports context-switch instructions are
+// roughly 10% of the instruction stream; keep every kernel in a sane
+// 4%-30% band.
+func TestCTXFraction(t *testing.T) {
+	for _, b := range All() {
+		st := b.Gen(4).Stats()
+		frac := float64(st.CSBs) / float64(st.Instructions)
+		if frac < 0.04 || frac > 0.30 {
+			t.Errorf("%s: CTX fraction %.2f (CSBs %d / instrs %d) outside [0.04, 0.30]",
+				b.Name, frac, st.CSBs, st.Instructions)
+		}
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	for _, b := range All() {
+		f1 := b.Gen(7).Format()
+		f2 := b.Gen(7).Format()
+		if f1 != f2 {
+			t.Errorf("%s: generator not deterministic", b.Name)
+		}
+	}
+}
+
+func TestIterationCountScales(t *testing.T) {
+	b, err := Get("frag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 8, 33} {
+		mem := make([]uint32, MemWords)
+		res, err := interp.Run(b.Gen(n), mem, interp.Options{MaxSteps: 1 << 22})
+		if err != nil || !res.Halted {
+			t.Fatalf("n=%d: %v halted=%v", n, err, res != nil && res.Halted)
+		}
+		if res.Iters != n {
+			t.Errorf("n=%d: iters = %d", n, res.Iters)
+		}
+	}
+}

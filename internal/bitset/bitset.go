@@ -1,0 +1,130 @@
+// Package bitset provides the dense bit sets used by the dataflow and
+// interference-graph machinery. Sets are fixed-width: all operands of a
+// binary operation must have been created with the same capacity.
+package bitset
+
+import "math/bits"
+
+// Set is a fixed-capacity bit set.
+type Set []uint64
+
+// New returns a set with capacity for n elements.
+func New(n int) Set { return make(Set, (n+63)/64) }
+
+// Add inserts i.
+func (s Set) Add(i int) { s[i>>6] |= 1 << (uint(i) & 63) }
+
+// Remove deletes i.
+func (s Set) Remove(i int) { s[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Has reports whether i is present.
+func (s Set) Has(i int) bool { return s[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Clear empties the set.
+func (s Set) Clear() {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// Copy overwrites s with t.
+func (s Set) Copy(t Set) { copy(s, t) }
+
+// Clone returns an independent copy of s.
+func (s Set) Clone() Set {
+	c := make(Set, len(s))
+	copy(c, s)
+	return c
+}
+
+// Or sets s |= t and reports whether s changed.
+func (s Set) Or(t Set) bool {
+	changed := false
+	for i, w := range t {
+		n := s[i] | w
+		if n != s[i] {
+			s[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+// And sets s &= t.
+func (s Set) And(t Set) {
+	for i := range s {
+		s[i] &= t[i]
+	}
+}
+
+// AndNot sets s &^= t.
+func (s Set) AndNot(t Set) {
+	for i := range s {
+		s[i] &^= t[i]
+	}
+}
+
+// Count returns the number of elements.
+func (s Set) Count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether the set has no elements.
+func (s Set) Empty() bool {
+	for _, w := range s {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether s and t share an element.
+func (s Set) Intersects(t Set) bool {
+	for i, w := range s {
+		if w&t[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// IntersectCount returns |s ∩ t|.
+func (s Set) IntersectCount(t Set) int {
+	n := 0
+	for i, w := range s {
+		n += bits.OnesCount64(w & t[i])
+	}
+	return n
+}
+
+// Equal reports whether s and t hold the same elements.
+func (s Set) Equal(t Set) bool {
+	for i, w := range s {
+		if w != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach calls fn for each element in ascending order.
+func (s Set) ForEach(fn func(i int)) {
+	for wi, w := range s {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi*64 + b)
+			w &= w - 1
+		}
+	}
+}
+
+// Elems appends the elements in ascending order to buf and returns it.
+func (s Set) Elems(buf []int) []int {
+	s.ForEach(func(i int) { buf = append(buf, i) })
+	return buf
+}

@@ -1,0 +1,138 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasics(t *testing.T) {
+	s := New(130)
+	for _, i := range []int{0, 63, 64, 65, 129} {
+		if s.Has(i) {
+			t.Errorf("fresh set has %d", i)
+		}
+		s.Add(i)
+		if !s.Has(i) {
+			t.Errorf("Add(%d) lost", i)
+		}
+	}
+	if got := s.Count(); got != 5 {
+		t.Errorf("Count = %d, want 5", got)
+	}
+	s.Remove(64)
+	if s.Has(64) || s.Count() != 4 {
+		t.Errorf("Remove failed: count=%d", s.Count())
+	}
+	var got []int
+	got = s.Elems(got)
+	want := []int{0, 63, 65, 129}
+	if len(got) != len(want) {
+		t.Fatalf("Elems = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Elems = %v, want %v", got, want)
+		}
+	}
+	s.Clear()
+	if !s.Empty() {
+		t.Errorf("Clear left elements")
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := New(200)
+	b := New(200)
+	a.Add(1)
+	a.Add(100)
+	b.Add(100)
+	b.Add(150)
+
+	if !a.Intersects(b) {
+		t.Errorf("Intersects = false")
+	}
+	if got := a.IntersectCount(b); got != 1 {
+		t.Errorf("IntersectCount = %d, want 1", got)
+	}
+
+	u := a.Clone()
+	if changed := u.Or(b); !changed {
+		t.Errorf("Or reported unchanged")
+	}
+	if u.Count() != 3 {
+		t.Errorf("union count = %d, want 3", u.Count())
+	}
+	if changed := u.Or(b); changed {
+		t.Errorf("idempotent Or reported change")
+	}
+
+	d := u.Clone()
+	d.AndNot(b)
+	if d.Count() != 1 || !d.Has(1) {
+		t.Errorf("AndNot wrong: %v", d.Elems(nil))
+	}
+
+	i := u.Clone()
+	i.And(a)
+	if !i.Equal(a) {
+		t.Errorf("And wrong")
+	}
+}
+
+// Property: Set behaves like a map[int]bool under random operations.
+func TestQuickAgainstMap(t *testing.T) {
+	const n = 300
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New(n)
+		m := make(map[int]bool)
+		for op := 0; op < 500; op++ {
+			i := rng.Intn(n)
+			switch rng.Intn(3) {
+			case 0:
+				s.Add(i)
+				m[i] = true
+			case 1:
+				s.Remove(i)
+				delete(m, i)
+			case 2:
+				if s.Has(i) != m[i] {
+					return false
+				}
+			}
+		}
+		if s.Count() != len(m) {
+			return false
+		}
+		ok := true
+		s.ForEach(func(i int) {
+			if !m[i] {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: De Morgan-ish identity |a ∪ b| = |a| + |b| - |a ∩ b|.
+func TestQuickCounts(t *testing.T) {
+	const n = 256
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := New(n), New(n)
+		for i := 0; i < 100; i++ {
+			a.Add(rng.Intn(n))
+			b.Add(rng.Intn(n))
+		}
+		u := a.Clone()
+		u.Or(b)
+		return u.Count() == a.Count()+b.Count()-a.IntersectCount(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

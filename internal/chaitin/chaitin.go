@@ -1,0 +1,298 @@
+// Package chaitin is the baseline register allocator the paper compares
+// against: a classic Chaitin/Briggs graph-coloring allocator confined to a
+// fixed per-thread register partition (32 registers on the IXP1200), with
+// spill code when the partition is too small. On a network processor every
+// spill load/store is a memory operation — it costs ~20 cycles *and*
+// forces a context switch — which is exactly the pathology the paper's
+// cross-thread allocator avoids.
+package chaitin
+
+import (
+	"fmt"
+	"sort"
+
+	"npra/internal/ig"
+	"npra/internal/ir"
+	"npra/internal/spill"
+)
+
+// Options configures an allocation.
+type Options struct {
+	// Phys is the physical register partition this thread may use. The
+	// allocator colors with len(Phys) registers; if spilling is needed,
+	// the last register is reserved as the spill base pointer.
+	Phys []ir.Reg
+
+	// SpillBase is the byte address of the spill area; each thread's
+	// slots start at SpillBase + tid*SpillStride.
+	SpillBase int64
+
+	// SpillStride is the per-thread spill area size in bytes.
+	SpillStride int64
+
+	// MaxRounds bounds the spill-and-retry iteration (default 16).
+	MaxRounds int
+}
+
+// Result is a completed baseline allocation.
+type Result struct {
+	F          *ir.Func // rewritten over physical registers
+	RegsUsed   int      // distinct physical registers referenced
+	Spilled    int      // live ranges spilled to memory
+	SpillCode  int      // load/store/address instructions added
+	Rounds     int      // build-color-spill iterations
+	SpillSlots int      // memory words used for spills
+}
+
+// Allocate colors f's live ranges with opts.Phys, spilling as needed.
+// The input function is not modified.
+func Allocate(f *ir.Func, opts Options) (*Result, error) {
+	if len(opts.Phys) < 4 {
+		return nil, fmt.Errorf("chaitin: need at least 4 registers, got %d", len(opts.Phys))
+	}
+	if opts.MaxRounds == 0 {
+		opts.MaxRounds = 16
+	}
+	if opts.SpillStride == 0 {
+		opts.SpillStride = 256
+	}
+	seen := make(map[ir.Reg]bool)
+	for _, r := range opts.Phys {
+		if r < 0 || seen[r] {
+			return nil, fmt.Errorf("chaitin: bad physical register set")
+		}
+		seen[r] = true
+	}
+
+	cur := f.Clone()
+	res := &Result{}
+	nextSlot := 0
+	noSpill := make(map[ir.Reg]bool) // spill temps: never spill again
+
+	for round := 1; round <= opts.MaxRounds; round++ {
+		res.Rounds = round
+		a := ig.Analyze(cur)
+		k := len(opts.Phys)
+		spillingEverHappened := nextSlot > 0
+		if spillingEverHappened {
+			k-- // last register is the spill base pointer
+		}
+		colors, spilled := color(a, k, noSpill, spill.BaseReg(cur))
+		if len(spilled) == 0 {
+			out, used, err := rewrite(cur, a, colors, opts.Phys, spillingEverHappened, opts)
+			if err != nil {
+				return nil, err
+			}
+			res.F = out
+			res.RegsUsed = used
+			res.SpillSlots = nextSlot
+			return res, nil
+		}
+		// First spill round: re-color with the base register reserved, so
+		// the spill decision accounts for the smaller palette.
+		if !spillingEverHappened {
+			colors, spilled = color(a, k-1, noSpill, spill.BaseReg(cur))
+			if len(spilled) == 0 {
+				// Fits without the reserved register after all; no spills.
+				out, used, err := rewrite(cur, a, colors, opts.Phys, false, opts)
+				if err != nil {
+					return nil, err
+				}
+				res.F = out
+				res.RegsUsed = used
+				return res, nil
+			}
+		}
+		var err error
+		var added int
+		cur, added, err = spill.Insert(cur, spilled, &nextSlot, noSpill)
+		if err != nil {
+			return nil, err
+		}
+		res.Spilled += len(spilled)
+		res.SpillCode += added
+	}
+	return nil, fmt.Errorf("chaitin: did not converge in %d rounds", opts.MaxRounds)
+}
+
+// color runs simplify/select with optimistic (Briggs) spilling and returns
+// the coloring plus the set of actual spills. The spill base register (if
+// any) is precolored outside the palette and excluded from the graph.
+func color(a *ig.Analysis, k int, noSpill map[ir.Reg]bool, exclude ir.Reg) ([]int, []int) {
+	nv := a.NumVars
+	inGraph := make([]bool, nv)
+	deg := make([]int, nv)
+	occ := occurrences(a.F, nv)
+	var nodes []int
+	for v := 0; v < nv; v++ {
+		if a.Alive[v] && ir.Reg(v) != exclude {
+			inGraph[v] = true
+			nodes = append(nodes, v)
+		}
+	}
+	for _, v := range nodes {
+		d := 0
+		a.GIG.Neighbors(v).ForEach(func(w int) {
+			if inGraph[w] {
+				d++
+			}
+		})
+		deg[v] = d
+	}
+
+	stack := make([]int, 0, len(nodes))
+	remaining := len(nodes)
+	for remaining > 0 {
+		// Simplify: remove any trivially colorable node.
+		picked := -1
+		for _, v := range nodes {
+			if inGraph[v] && deg[v] < k {
+				picked = v
+				break
+			}
+		}
+		if picked < 0 {
+			// Spill candidate: cheapest occurrences/degree ratio among
+			// spillable nodes; optimistic push.
+			best, bestScore := -1, 0.0
+			for _, v := range nodes {
+				if !inGraph[v] || noSpill[ir.Reg(v)] {
+					continue
+				}
+				score := float64(occ[v]) / float64(deg[v]+1)
+				if best < 0 || score < bestScore {
+					best, bestScore = v, score
+				}
+			}
+			if best < 0 {
+				// Only unspillable temps left: push the max-degree one
+				// optimistically and hope.
+				for _, v := range nodes {
+					if inGraph[v] && (best < 0 || deg[v] > deg[best]) {
+						best = v
+					}
+				}
+			}
+			picked = best
+		}
+		inGraph[picked] = false
+		remaining--
+		stack = append(stack, picked)
+		a.GIG.Neighbors(picked).ForEach(func(w int) {
+			if inGraph[w] {
+				deg[w]--
+			}
+		})
+	}
+
+	colors := make([]int, nv)
+	for i := range colors {
+		colors[i] = -1
+	}
+	var spilled []int
+	used := make([]bool, k+1)
+	for i := len(stack) - 1; i >= 0; i-- {
+		v := stack[i]
+		for c := 0; c < k; c++ {
+			used[c] = false
+		}
+		a.GIG.Neighbors(v).ForEach(func(w int) {
+			if c := colors[w]; c >= 0 && c < k {
+				used[c] = true
+			}
+		})
+		c := 0
+		for c < k && used[c] {
+			c++
+		}
+		if c == k {
+			spilled = append(spilled, v)
+			continue
+		}
+		colors[v] = c
+	}
+	sort.Ints(spilled)
+	return colors, spilled
+}
+
+func occurrences(f *ir.Func, nv int) []int {
+	occ := make([]int, nv)
+	var buf []ir.Reg
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Def != ir.NoReg {
+				occ[in.Def]++
+			}
+			buf = in.Uses(buf[:0])
+			for _, u := range buf {
+				occ[u]++
+			}
+		}
+	}
+	return occ
+}
+
+// rewrite renames every virtual register to its physical register and
+// patches the spill prologue constants.
+func rewrite(cur *ir.Func, a *ig.Analysis, colors []int, phys []ir.Reg, usedBase bool, opts Options) (*ir.Func, int, error) {
+	nf := &ir.Func{Name: cur.Name, Physical: true}
+	baseVirt := spill.BaseReg(cur)
+	usedSet := make(map[ir.Reg]bool)
+	mapReg := func(v ir.Reg) (ir.Reg, error) {
+		if v == baseVirt && usedBase {
+			r := phys[len(phys)-1]
+			usedSet[r] = true
+			return r, nil
+		}
+		c := colors[v]
+		if c < 0 {
+			if !a.Alive[int(v)] {
+				// Dead def: any register will do; use the first.
+				usedSet[phys[0]] = true
+				return phys[0], nil
+			}
+			return 0, fmt.Errorf("chaitin: live v%d uncolored", v)
+		}
+		usedSet[phys[c]] = true
+		return phys[c], nil
+	}
+	maxPhys := ir.Reg(0)
+	for _, b := range cur.Blocks {
+		nb := &ir.Block{Label: b.Label}
+		for i := range b.Instrs {
+			in := b.Instrs[i]
+			if v, ok := spill.PatchImm(in.Imm, opts.SpillBase, opts.SpillStride); ok {
+				in.Imm = v
+			}
+			var err error
+			if in.Def != ir.NoReg {
+				if in.Def, err = mapReg(in.Def); err != nil {
+					return nil, 0, err
+				}
+			}
+			if in.A != ir.NoReg {
+				if in.A, err = mapReg(in.A); err != nil {
+					return nil, 0, err
+				}
+			}
+			if in.B != ir.NoReg {
+				if in.B, err = mapReg(in.B); err != nil {
+					return nil, 0, err
+				}
+			}
+			for _, r := range []ir.Reg{in.Def, in.A, in.B} {
+				if r != ir.NoReg && r > maxPhys {
+					maxPhys = r
+				}
+			}
+			nb.Instrs = append(nb.Instrs, in)
+		}
+		nf.Blocks = append(nf.Blocks, nb)
+	}
+	nf.NumRegs = int(maxPhys) + 1
+	if err := nf.Build(); err != nil {
+		return nil, 0, fmt.Errorf("chaitin: rewritten function invalid: %w", err)
+	}
+	return nf, len(usedSet), nil
+}

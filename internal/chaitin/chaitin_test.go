@@ -1,0 +1,175 @@
+package chaitin
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"npra/internal/interp"
+	"npra/internal/ir"
+	"npra/internal/progen"
+)
+
+func physRange(base, n int) []ir.Reg {
+	out := make([]ir.Reg, n)
+	for i := range out {
+		out[i] = ir.Reg(base + i)
+	}
+	return out
+}
+
+// highPressure builds a program with many simultaneously-live values: the
+// sums of 10 constants accumulated after all are defined.
+func highPressure() *ir.Func {
+	bu := ir.NewBuilder("pressure")
+	bu.Label("entry")
+	var regs []ir.Reg
+	for i := 0; i < 10; i++ {
+		regs = append(regs, bu.Set(int64(i*7+1)))
+	}
+	bu.Ctx()
+	acc := bu.Op3(ir.OpAdd, regs[0], regs[1])
+	for _, r := range regs[2:] {
+		bu.Op3To(ir.OpAdd, acc, acc, r)
+	}
+	addr := bu.Set(0)
+	bu.Store(addr, 0, acc)
+	bu.Halt()
+	return bu.MustFinish()
+}
+
+func TestNoSpillWhenRoomy(t *testing.T) {
+	f := highPressure()
+	res, err := Allocate(f, Options{Phys: physRange(0, 16)})
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if res.Spilled != 0 {
+		t.Errorf("spilled %d with 16 regs", res.Spilled)
+	}
+	if res.RegsUsed > 12 {
+		t.Errorf("RegsUsed = %d, want <= 12", res.RegsUsed)
+	}
+	assertEquivalent(t, f, res.F, 0)
+}
+
+func TestSpillsUnderPressure(t *testing.T) {
+	f := highPressure()
+	res, err := Allocate(f, Options{Phys: physRange(0, 6), SpillBase: 64, SpillStride: 64})
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if res.Spilled == 0 {
+		t.Fatalf("no spills with 6 regs and pressure 11")
+	}
+	if res.SpillCode == 0 || res.SpillSlots == 0 {
+		t.Errorf("spill stats empty: %+v", res)
+	}
+	// Spill loads/stores are CSBs: the rewritten code must context-switch
+	// more than the original.
+	if res.F.Stats().CSBs <= f.Stats().CSBs {
+		t.Errorf("CSBs did not grow: %d vs %d", res.F.Stats().CSBs, f.Stats().CSBs)
+	}
+	assertEquivalent(t, f, res.F, 0)
+	assertEquivalent(t, f, res.F, 2) // spill area must be tid-relative
+}
+
+func TestPartitionRespected(t *testing.T) {
+	f := highPressure()
+	// Thread 2's partition: registers 64..95.
+	res, err := Allocate(f, Options{Phys: physRange(64, 32), SpillBase: 64})
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	for _, r := range res.F.RegsUsed() {
+		if r < 64 || r >= 96 {
+			t.Errorf("register r%d outside partition [64,96)", r)
+		}
+	}
+}
+
+func assertEquivalent(t *testing.T, orig, alloc *ir.Func, tid uint32) {
+	t.Helper()
+	const memWords = 256
+	m1 := make([]uint32, memWords)
+	m2 := make([]uint32, memWords)
+	r1, err := interp.Run(orig, m1, interp.Options{TID: tid, MaxSteps: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Halted {
+		t.Skip("original did not halt")
+	}
+	// Spill traffic dirties the spill area; compare only the program's own
+	// window [0, 64) words.
+	r2, err := interp.Run(alloc, m2, interp.Options{TID: tid, MaxSteps: 1000000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Halted != r2.Halted || r1.Iters != r2.Iters {
+		t.Fatalf("behavior diverged: halted %v/%v iters %d/%d", r1.Halted, r2.Halted, r1.Iters, r2.Iters)
+	}
+	for i := 0; i < 16; i++ {
+		if m1[i] != m2[i] {
+			t.Errorf("mem[%d] = %#x vs %#x\n%s", i*4, m1[i], m2[i], alloc.Format())
+			break
+		}
+	}
+}
+
+func TestTooFewRegisters(t *testing.T) {
+	f := highPressure()
+	if _, err := Allocate(f, Options{Phys: physRange(0, 3)}); err == nil {
+		t.Errorf("Allocate with 3 regs succeeded, want error")
+	}
+}
+
+// Property: random programs allocate correctly at random partition sizes,
+// stay inside the partition, and preserve semantics.
+func TestQuickAllocateEquivalence(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f := progen.Generate(rng, progen.Default)
+		k := 5 + rng.Intn(8)
+		base := rng.Intn(64)
+		res, err := Allocate(f, Options{
+			Phys:      physRange(base, k),
+			SpillBase: 512, SpillStride: 128,
+		})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		for _, r := range res.F.RegsUsed() {
+			if int(r) < base || int(r) >= base+k {
+				t.Logf("seed %d: register %d outside partition", seed, r)
+				return false
+			}
+		}
+		const memWords = 512
+		m1 := make([]uint32, memWords)
+		m2 := make([]uint32, memWords)
+		r1, err := interp.Run(f, m1, interp.Options{MaxSteps: 20000})
+		if err != nil || !r1.Halted {
+			return true // skip diverging programs
+		}
+		r2, err := interp.Run(res.F, m2, interp.Options{MaxSteps: 400000})
+		if err != nil {
+			return false
+		}
+		if r1.Halted != r2.Halted || r1.Iters != r2.Iters {
+			t.Logf("seed %d: diverged", seed)
+			return false
+		}
+		for i := 0; i < 16; i++ { // program's own memory window
+			if m1[i] != m2[i] {
+				t.Logf("seed %d: mem[%d] differs", seed, i*4)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

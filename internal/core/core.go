@@ -1,0 +1,376 @@
+// Package core implements the paper's primary contribution: balancing
+// register allocation across the threads of a multithreaded network
+// processor (PLDI 2004, Zhuang & Pande).
+//
+// Each processing unit runs Nthd threads over one shared file of Nreg
+// general-purpose registers. Context switches save only the PC, so any
+// value live across a switch must sit in a register no other thread
+// touches (a private register); values confined between switches may use
+// registers shared by all threads. The allocator decides, per thread, how
+// many private registers (PR) and shared registers (SR) it gets —
+// satisfying
+//
+//	sum_i PR_i + max_i SR_i <= Nreg
+//
+// — starting from each thread's move-free demand (MaxPR, MaxSR) and
+// greedily reducing whichever register costs the fewest inserted move
+// instructions (Figure 8 of the paper), with the intra-thread allocator
+// (package intra) pricing and realizing each reduction by live-range
+// splitting.
+package core
+
+import (
+	"fmt"
+
+	"npra/internal/estimate"
+	"npra/internal/intra"
+	"npra/internal/ir"
+)
+
+// Config parameterizes a processing unit.
+type Config struct {
+	// NReg is the size of the shared register file (128 on the IXP1200).
+	NReg int
+
+	// Critical optionally weights each thread's move cost; a weight > 1
+	// makes the inter-thread allocator more reluctant to take registers
+	// from that thread. Nil means uniform weights. Length must match the
+	// thread count when non-nil.
+	Critical []float64
+}
+
+// ThreadAlloc is the allocation decided for one thread.
+type ThreadAlloc struct {
+	Name   string
+	PR, SR int // private registers granted, shared registers usable
+	Cost   int // move instructions the split schedule implies
+
+	Bounds     estimate.Bounds
+	LiveRanges int // pieces after splitting
+
+	PrivBase int // first private register index in the file
+
+	F     *ir.Func // rewritten code over physical registers
+	Stats intra.RewriteStats
+
+	sol *intra.Solution
+}
+
+// Allocation is the result for a whole processing unit.
+type Allocation struct {
+	NReg    int
+	SGR     int // globally shared registers (max_i SR used)
+	Threads []*ThreadAlloc
+}
+
+// TotalRegisters returns sum(PR) + SGR, the register-file footprint.
+func (al *Allocation) TotalRegisters() int {
+	total := al.SGR
+	for _, t := range al.Threads {
+		total += t.PR
+	}
+	return total
+}
+
+// SharedBase returns the first register index of the shared bank.
+func (al *Allocation) SharedBase() int { return al.NReg - al.SGR }
+
+// AllocateARA runs the asymmetric inter-thread allocation (different code
+// on each thread) for the given thread functions.
+func AllocateARA(funcs []*ir.Func, cfg Config) (*Allocation, error) {
+	if len(funcs) == 0 {
+		return nil, fmt.Errorf("core: no threads")
+	}
+	if cfg.NReg <= 0 {
+		return nil, fmt.Errorf("core: NReg = %d", cfg.NReg)
+	}
+	if cfg.Critical != nil && len(cfg.Critical) != len(funcs) {
+		return nil, fmt.Errorf("core: %d critical weights for %d threads", len(cfg.Critical), len(funcs))
+	}
+	weight := func(i int) float64 {
+		if cfg.Critical == nil {
+			return 1
+		}
+		return cfg.Critical[i]
+	}
+
+	n := len(funcs)
+	als := make([]*intra.Allocator, n)
+	pr := make([]int, n)
+	sr := make([]int, n)
+	sols := make([]*intra.Solution, n)
+	for i, f := range funcs {
+		als[i] = intra.New(f)
+		b := als[i].Bounds()
+		// Start PR at the move-free demand and SR with enough slack that
+		// the monotone reduction loop can reach every frontier point: a
+		// thread at (MaxPR, MaxSR) could never drop PR below
+		// MaxR - SR without first *raising* SR, which the paper's loop
+		// has no move for. SR slack beyond what the thread uses is free
+		// (zero-cost SR reductions trim it immediately when it matters).
+		pr[i], sr[i] = b.MaxPR, b.MaxR-b.MinPR
+		sol, err := als[i].Solve(pr[i], sr[i])
+		if err != nil {
+			return nil, fmt.Errorf("core: thread %d (%s): %w", i, f.Name, err)
+		}
+		sols[i] = sol
+	}
+
+	demand := func() int {
+		total, maxSR := 0, 0
+		for i := 0; i < n; i++ {
+			total += pr[i]
+			if sr[i] > maxSR {
+				maxSR = sr[i]
+			}
+		}
+		return total + maxSR
+	}
+
+	// Greedy reduction (paper Figure 8): while over budget, price every
+	// single-register reduction and take the cheapest.
+	for demand() > cfg.NReg {
+		type option struct {
+			deltaCost float64
+			apply     func()
+		}
+		var best *option
+
+		// Option A: reduce one thread's PR by 1.
+		for i := 0; i < n; i++ {
+			b := als[i].Bounds()
+			if pr[i]-1 < b.MinPR || pr[i]-1+sr[i] < b.MinR {
+				continue
+			}
+			sol, err := als[i].Solve(pr[i]-1, sr[i])
+			if err != nil {
+				continue
+			}
+			d := weight(i) * float64(sol.Cost-sols[i].Cost)
+			if best == nil || d < best.deltaCost {
+				ci, csol := i, sol
+				best = &option{deltaCost: d, apply: func() {
+					pr[ci]--
+					sols[ci] = csol
+				}}
+			}
+		}
+
+		// Option B: reduce every maximal SR by 1 (only that lowers the
+		// max term).
+		maxSR := 0
+		for i := 0; i < n; i++ {
+			if sr[i] > maxSR {
+				maxSR = sr[i]
+			}
+		}
+		if maxSR > 0 {
+			feasible := true
+			var newSols []*intra.Solution
+			var members []int
+			total := 0.0
+			for i := 0; i < n; i++ {
+				if sr[i] != maxSR {
+					continue
+				}
+				b := als[i].Bounds()
+				if pr[i]+sr[i]-1 < b.MinR {
+					feasible = false
+					break
+				}
+				sol, err := als[i].Solve(pr[i], sr[i]-1)
+				if err != nil {
+					feasible = false
+					break
+				}
+				total += weight(i) * float64(sol.Cost-sols[i].Cost)
+				newSols = append(newSols, sol)
+				members = append(members, i)
+			}
+			if feasible && (best == nil || total < best.deltaCost) {
+				best = &option{deltaCost: total, apply: func() {
+					for k, i := range members {
+						sr[i]--
+						sols[i] = newSols[k]
+					}
+				}}
+			}
+		}
+
+		// Option C (beyond the paper's Figure 8): a trade. A thread can
+		// wedge at its R = MinR floor with PR still above MinPR — then
+		// neither a plain PR nor SR reduction is legal, but converting a
+		// private register into a shared one (PR-1, SR+1) shrinks the
+		// global demand when that thread's SR is below the maximum, and
+		// even a demand-neutral trade is useful as a stepping stone (it
+		// raises the shared pool another thread's trade can then hide
+		// under). Termination: every step either shrinks the demand or
+		// shrinks some PR, and neither ever grows.
+		curDemand := demand()
+		for i := 0; i < n; i++ {
+			b := als[i].Bounds()
+			if pr[i]-1 < b.MinPR || pr[i]-1+sr[i] >= b.MinR {
+				continue // plain reduction handles this thread
+			}
+			newTotal := -1
+			{
+				tot, maxSR := 0, 0
+				for j := 0; j < n; j++ {
+					p, s := pr[j], sr[j]
+					if j == i {
+						p, s = p-1, s+1
+					}
+					tot += p
+					if s > maxSR {
+						maxSR = s
+					}
+				}
+				newTotal = tot + maxSR
+			}
+			if newTotal > curDemand {
+				continue
+			}
+			sol, err := als[i].Solve(pr[i]-1, sr[i]+1)
+			if err != nil {
+				continue
+			}
+			d := weight(i) * float64(sol.Cost-sols[i].Cost)
+			if best == nil || d < best.deltaCost {
+				ci, csol := i, sol
+				best = &option{deltaCost: d, apply: func() {
+					pr[ci]--
+					sr[ci]++
+					sols[ci] = csol
+				}}
+			}
+		}
+
+		if best == nil {
+			detail := ""
+			for i := 0; i < n; i++ {
+				b := als[i].Bounds()
+				detail += fmt.Sprintf(" [%d: PR=%d SR=%d minPR=%d minR=%d]", i, pr[i], sr[i], b.MinPR, b.MinR)
+			}
+			return nil, fmt.Errorf(
+				"core: cannot fit %d threads into %d registers (demand %d at the splitting lower bounds;%s)",
+				n, cfg.NReg, demand(), detail)
+		}
+		best.apply()
+	}
+
+	return finalize(funcs, als, pr, sr, sols, cfg.NReg)
+}
+
+// finalize maps palette colors onto the physical register file and
+// rewrites every thread.
+func finalize(funcs []*ir.Func, als []*intra.Allocator, pr, sr []int, sols []*intra.Solution, nreg int) (*Allocation, error) {
+	n := len(funcs)
+	alloc := &Allocation{NReg: nreg}
+
+	// SGR: shared registers actually needed is the max over threads of
+	// (palette size - private grant), never negative.
+	sgr := 0
+	for i := 0; i < n; i++ {
+		if need := sols[i].Ctx.Size - pr[i]; need > sgr {
+			sgr = need
+		}
+	}
+	alloc.SGR = sgr
+	sharedBase := nreg - sgr
+
+	base := 0
+	for i := 0; i < n; i++ {
+		ctx := sols[i].Ctx
+		if base+pr[i] > sharedBase {
+			return nil, fmt.Errorf("core: private registers overflow into shared bank")
+		}
+		phys := make([]ir.Reg, ctx.Size)
+		for c := 0; c < ctx.Size; c++ {
+			switch {
+			case c < pr[i]:
+				phys[c] = ir.Reg(base + c)
+			default:
+				phys[c] = ir.Reg(sharedBase + (c - pr[i]))
+			}
+		}
+		nf, stats, err := intra.Rewrite(ctx, phys)
+		if err != nil {
+			return nil, fmt.Errorf("core: thread %d (%s): rewrite: %w", i, funcs[i].Name, err)
+		}
+		alloc.Threads = append(alloc.Threads, &ThreadAlloc{
+			Name:       funcs[i].Name,
+			PR:         pr[i],
+			SR:         sr[i],
+			Cost:       sols[i].Cost,
+			Bounds:     als[i].Bounds(),
+			LiveRanges: len(ctx.Pieces),
+			PrivBase:   base,
+			F:          nf,
+			Stats:      stats,
+			sol:        sols[i],
+		})
+		base += pr[i]
+	}
+	return alloc, nil
+}
+
+// AllocateSRA solves the symmetric problem (the same code on all nthd
+// threads) exactly, as §8 of the paper suggests: traverse the 1-D space
+// nthd*PR + SR <= NReg and keep the cheapest (fewest moves) solution,
+// breaking ties toward the smallest register footprint.
+func AllocateSRA(f *ir.Func, nthd int, cfg Config) (*Allocation, error) {
+	if nthd <= 0 {
+		return nil, fmt.Errorf("core: nthd = %d", nthd)
+	}
+	al := intra.New(f)
+	b := al.Bounds()
+
+	bestCost, bestFoot := -1, 0
+	var bestSol *intra.Solution
+	bestPR, bestSR := 0, 0
+	for p := b.MinPR; p <= cfg.NReg/nthd; p++ {
+		srMax := cfg.NReg - nthd*p
+		if srMax < 0 {
+			break
+		}
+		s := srMax
+		if cap := b.MaxR - p; s > cap {
+			if cap < 0 {
+				cap = 0
+			}
+			s = cap // more shared than MaxR-p is never used
+		}
+		sol, err := al.Solve(p, s)
+		if err != nil {
+			continue
+		}
+		foot := nthd*p + (sol.Ctx.Size - min(p, sol.Ctx.Size))
+		if bestCost < 0 || sol.Cost < bestCost || (sol.Cost == bestCost && foot < bestFoot) {
+			bestCost, bestFoot = sol.Cost, foot
+			bestSol, bestPR, bestSR = sol, p, s
+			if bestCost == 0 && p == b.MinPR {
+				break // cannot do better than zero moves at minimal PR
+			}
+		}
+	}
+	if bestSol == nil {
+		return nil, fmt.Errorf("core: SRA: no feasible (PR, SR) for %d threads in %d registers", nthd, cfg.NReg)
+	}
+
+	funcs := make([]*ir.Func, nthd)
+	als := make([]*intra.Allocator, nthd)
+	prs := make([]int, nthd)
+	srs := make([]int, nthd)
+	sols := make([]*intra.Solution, nthd)
+	for i := 0; i < nthd; i++ {
+		funcs[i], als[i], prs[i], srs[i], sols[i] = f, al, bestPR, bestSR, bestSol
+	}
+	return finalize(funcs, als, prs, srs, sols, cfg.NReg)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,305 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"npra/internal/interp"
+	"npra/internal/ir"
+	"npra/internal/progen"
+	"npra/internal/schedcheck"
+)
+
+// paperPair mirrors the paper's Figure 3: thread 1 needs one private
+// register (a) plus two shareable ones; thread 2 needs zero private and
+// one shareable. Sharing brings the total from four to three (or two with
+// splitting).
+const fig3t1 = `
+func t1
+entry:
+	set v0, 1
+	ctx
+	bz v0, L1
+	set v1, 2
+	add v1, v0, v1
+	set v2, 3
+	br L2
+L1:
+	set v2, 4
+	add v2, v0, v2
+	set v1, 5
+L2:
+	add v1, v1, v2
+	load v3, [v1+0]
+	store [64], v3
+	halt
+`
+
+const fig3t2 = `
+func t2
+entry:
+	ctx
+	set v0, 6
+	addi v0, v0, 1
+	store [68], v0
+	halt
+`
+
+func TestFigure3SharingSavesRegisters(t *testing.T) {
+	t1 := ir.MustParse(fig3t1)
+	t2 := ir.MustParse(fig3t2)
+	alloc, err := AllocateARA([]*ir.Func{t1, t2}, Config{NReg: 16})
+	if err != nil {
+		t.Fatalf("AllocateARA: %v", err)
+	}
+	if err := alloc.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	// Move-free demand: thread1 PR=1 SR=2, thread2 PR=0 SR=1 -> total 3,
+	// versus 3+1=4 without sharing (paper's example).
+	if got := alloc.TotalRegisters(); got != 3 {
+		t.Errorf("TotalRegisters = %d, want 3", got)
+	}
+	if alloc.Threads[0].PR != 1 || alloc.Threads[1].PR != 0 {
+		t.Errorf("PRs = %d,%d; want 1,0", alloc.Threads[0].PR, alloc.Threads[1].PR)
+	}
+	if alloc.SGR != 2 {
+		t.Errorf("SGR = %d, want 2", alloc.SGR)
+	}
+	if alloc.Threads[0].Cost != 0 || alloc.Threads[1].Cost != 0 {
+		t.Errorf("non-zero move cost at move-free demand")
+	}
+}
+
+func TestFigure3TightBudgetForcesSplit(t *testing.T) {
+	t1 := ir.MustParse(fig3t1)
+	t2 := ir.MustParse(fig3t2)
+	// Two registers total: the paper's Figure 3.c shows thread 1 fits in
+	// 2 with one move; thread 2 needs 1 shared.
+	alloc, err := AllocateARA([]*ir.Func{t1, t2}, Config{NReg: 2})
+	if err != nil {
+		t.Fatalf("AllocateARA: %v", err)
+	}
+	if err := alloc.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if got := alloc.TotalRegisters(); got > 2 {
+		t.Errorf("TotalRegisters = %d, want <= 2", got)
+	}
+	total := alloc.Threads[0].Cost + alloc.Threads[1].Cost
+	if total == 0 {
+		t.Errorf("expected splitting moves under a 2-register budget")
+	}
+	// Equivalence of both rewritten threads.
+	for i, orig := range []*ir.Func{t1, t2} {
+		assertEquiv(t, orig, alloc.Threads[i].F)
+	}
+}
+
+func TestInfeasibleBudget(t *testing.T) {
+	t1 := ir.MustParse(fig3t1)
+	t2 := ir.MustParse(fig3t2)
+	if _, err := AllocateARA([]*ir.Func{t1, t2}, Config{NReg: 1}); err == nil {
+		t.Errorf("1 register for two threads succeeded")
+	}
+}
+
+func TestSRAExactSweep(t *testing.T) {
+	f := ir.MustParse(fig3t1)
+	alloc, err := AllocateSRA(f, 4, Config{NReg: 16})
+	if err != nil {
+		t.Fatalf("AllocateSRA: %v", err)
+	}
+	if err := alloc.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if len(alloc.Threads) != 4 {
+		t.Fatalf("threads = %d", len(alloc.Threads))
+	}
+	for i, th := range alloc.Threads {
+		if th.PR != alloc.Threads[0].PR || th.SR != alloc.Threads[0].SR {
+			t.Errorf("thread %d asymmetric: %+v", i, th)
+		}
+		assertEquiv(t, f, th.F)
+	}
+	// With 16 registers, zero moves must be achievable (demand 4*1+2=6).
+	if alloc.Threads[0].Cost != 0 {
+		t.Errorf("SRA cost = %d, want 0", alloc.Threads[0].Cost)
+	}
+	if alloc.TotalRegisters() > 16 {
+		t.Errorf("over budget: %d", alloc.TotalRegisters())
+	}
+}
+
+func TestSRATight(t *testing.T) {
+	f := ir.MustParse(fig3t1)
+	// 4 threads, 6 registers: PR=1 each + SGR=2 fits move-free.
+	alloc, err := AllocateSRA(f, 4, Config{NReg: 6})
+	if err != nil {
+		t.Fatalf("AllocateSRA: %v", err)
+	}
+	if err := alloc.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	// 4 threads, 5 registers: needs splitting (PR=1, SR=1).
+	alloc, err = AllocateSRA(f, 4, Config{NReg: 5})
+	if err != nil {
+		t.Fatalf("AllocateSRA(5): %v", err)
+	}
+	if err := alloc.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if alloc.Threads[0].Cost == 0 {
+		t.Errorf("expected moves in 5-register SRA")
+	}
+	for _, th := range alloc.Threads {
+		assertEquiv(t, f, th.F)
+	}
+}
+
+func TestCriticalWeighting(t *testing.T) {
+	// Two identical threads under pressure; making thread 0 critical
+	// should shift the register loss toward thread 1.
+	mk := func() *ir.Func { return ir.MustParse(fig3t1) }
+	base, err := AllocateARA([]*ir.Func{mk(), mk()}, Config{NReg: 4})
+	if err != nil {
+		t.Fatalf("base: %v", err)
+	}
+	crit, err := AllocateARA([]*ir.Func{mk(), mk()}, Config{NReg: 4, Critical: []float64{100, 1}})
+	if err != nil {
+		t.Fatalf("critical: %v", err)
+	}
+	if err := crit.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if crit.Threads[0].Cost > base.Threads[0].Cost {
+		t.Errorf("critical thread got worse: %d vs %d moves", crit.Threads[0].Cost, base.Threads[0].Cost)
+	}
+}
+
+func assertEquiv(t *testing.T, orig, alloc *ir.Func) {
+	t.Helper()
+	m1 := make([]uint32, 64)
+	m2 := make([]uint32, 64)
+	r1, err := interp.Run(orig, m1, interp.Options{MaxSteps: 50000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Halted {
+		t.Skip("original did not halt")
+	}
+	r2, err := interp.Run(alloc, m2, interp.Options{MaxSteps: 500000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := interp.Equivalent(r1, r2); err != nil {
+		t.Errorf("thread not equivalent: %v\n%s", err, alloc.Format())
+	}
+}
+
+// Property: random multi-thread workloads allocate within budget, verify
+// safely, and every thread's code stays equivalent.
+func TestQuickARA(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(3)
+		funcs := make([]*ir.Func, n)
+		for i := range funcs {
+			funcs[i] = progen.Generate(rng, progen.Default)
+		}
+		// Budget between scarce and roomy.
+		nreg := 8 + rng.Intn(40)
+		alloc, err := AllocateARA(funcs, Config{NReg: nreg})
+		if err != nil {
+			return true // genuinely infeasible small budgets are fine
+		}
+		if alloc.TotalRegisters() > nreg {
+			t.Logf("seed %d: over budget", seed)
+			return false
+		}
+		if err := alloc.Verify(); err != nil {
+			t.Logf("seed %d: verify: %v", seed, err)
+			return false
+		}
+		for i, th := range alloc.Threads {
+			m1 := make([]uint32, 64)
+			m2 := make([]uint32, 64)
+			r1, err := interp.Run(funcs[i], m1, interp.Options{MaxSteps: 20000})
+			if err != nil || !r1.Halted {
+				continue
+			}
+			r2, err := interp.Run(th.F, m2, interp.Options{MaxSteps: 400000})
+			if err != nil {
+				return false
+			}
+			if interp.Equivalent(r1, r2) != nil {
+				t.Logf("seed %d thread %d: not equivalent", seed, i)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SRA on random programs stays within budget and verifies.
+func TestQuickSRA(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f := progen.Generate(rng, progen.Default)
+		nthd := 2 + rng.Intn(3)
+		nreg := 6 + rng.Intn(30)
+		alloc, err := AllocateSRA(f, nthd, Config{NReg: nreg})
+		if err != nil {
+			return true
+		}
+		if alloc.TotalRegisters() > nreg {
+			return false
+		}
+		return alloc.Verify() == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for random small thread pairs with disjoint memory windows,
+// the allocation is schedule-independent under EVERY scheduler and memory
+// completion order — verified by exhaustive (bounded) model checking.
+func TestQuickScheduleIndependence(t *testing.T) {
+	small := progen.Config{MaxBlocks: 3, MaxInstrs: 4, MaxVars: 6, CSBDensity: 0.3, StoreWindow: 64}
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfgA, cfgB := small, small
+		cfgB.StoreBase = 128 // disjoint memory: only register sharing can race
+		fa := progen.Generate(rng, cfgA)
+		fb := progen.Generate(rng, cfgB)
+		alloc, err := AllocateARA([]*ir.Func{fa, fb}, Config{NReg: 24})
+		if err != nil {
+			return true
+		}
+		if err := alloc.Verify(); err != nil {
+			t.Logf("seed %d: verify: %v", seed, err)
+			return false
+		}
+		res, err := schedcheck.Check(
+			[]*ir.Func{alloc.Threads[0].F, alloc.Threads[1].F},
+			schedcheck.Options{MaxPaths: 20000, MaxSteps: 20000},
+		)
+		if err != nil {
+			if strings.Contains(err.Error(), "exceeded") {
+				return true // diverging random program; not our concern
+			}
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return res.Outcomes <= 1
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

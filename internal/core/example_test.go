@@ -1,0 +1,70 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"npra/internal/core"
+	"npra/internal/ir"
+)
+
+// ExampleAllocateARA allocates the paper's Figure 3 thread pair: thread
+// 1's value a survives a context switch and needs a private register;
+// everything else shares.
+func ExampleAllocateARA() {
+	t1 := ir.MustParse(`
+func producer
+entry:
+	set v0, 1
+	ctx
+	addi v1, v0, 10
+	store [64], v1
+	halt`)
+	t2 := ir.MustParse(`
+func consumer
+entry:
+	ctx
+	set v0, 6
+	store [68], v0
+	halt`)
+
+	alloc, err := core.AllocateARA([]*ir.Func{t1, t2}, core.Config{NReg: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := alloc.Verify(); err != nil {
+		log.Fatal(err)
+	}
+	for i, th := range alloc.Threads {
+		fmt.Printf("thread %d (%s): PR=%d SR=%d\n", i, th.Name, th.PR, th.SR)
+	}
+	fmt.Printf("registers used: %d of %d (SGR=%d)\n",
+		alloc.TotalRegisters(), alloc.NReg, alloc.SGR)
+	// Output:
+	// thread 0 (producer): PR=1 SR=1
+	// thread 1 (consumer): PR=0 SR=1
+	// registers used: 2 of 16 (SGR=1)
+}
+
+// ExampleAllocateSRA solves the symmetric case — the same program on all
+// four hardware threads — by exact sweep.
+func ExampleAllocateSRA() {
+	prog := ir.MustParse(`
+func worker
+entry:
+	set v0, 3
+	ctx
+	muli v1, v0, 7
+	store [0], v1
+	halt`)
+
+	alloc, err := core.AllocateSRA(prog, 4, core.Config{NReg: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := alloc.Threads[0]
+	fmt.Printf("4 threads x (PR=%d) + SGR=%d = %d registers\n",
+		t.PR, alloc.SGR, alloc.TotalRegisters())
+	// Output:
+	// 4 threads x (PR=1) + SGR=1 = 5 registers
+}

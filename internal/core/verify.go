@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+
+	"npra/internal/liveness"
+)
+
+// Verify statically checks the safety contract of a finished allocation,
+// independently of the allocator's internal bookkeeping: it recomputes
+// liveness on each thread's *rewritten* code and confirms that
+//
+//  1. every thread's private register range is disjoint from every other
+//     thread's and from the shared bank;
+//  2. every register a thread uses lies in its private range or in the
+//     shared bank;
+//  3. every register live across any context-switch boundary of a thread
+//     lies in that thread's private range — the property that makes
+//     light-weight (PC-only) context switches safe.
+func (al *Allocation) Verify() error {
+	if al.SGR < 0 || al.SGR > al.NReg {
+		return fmt.Errorf("core: SGR %d out of range", al.SGR)
+	}
+	sharedBase := al.SharedBase()
+
+	// 1. Disjoint partitions.
+	owner := make([]int, al.NReg)
+	for i := range owner {
+		owner[i] = -1
+	}
+	for ti, t := range al.Threads {
+		if t.PrivBase < 0 || t.PrivBase+t.PR > al.NReg {
+			return fmt.Errorf("core: thread %d private range [%d,%d) outside file", ti, t.PrivBase, t.PrivBase+t.PR)
+		}
+		for r := t.PrivBase; r < t.PrivBase+t.PR; r++ {
+			if r >= sharedBase {
+				return fmt.Errorf("core: thread %d private register r%d inside shared bank", ti, r)
+			}
+			if owner[r] >= 0 {
+				return fmt.Errorf("core: register r%d owned by threads %d and %d", r, owner[r], ti)
+			}
+			owner[r] = ti
+		}
+	}
+
+	for ti, t := range al.Threads {
+		if t.F == nil {
+			return fmt.Errorf("core: thread %d has no rewritten code", ti)
+		}
+		inPriv := func(r int) bool { return r >= t.PrivBase && r < t.PrivBase+t.PR }
+		// 2. Register usage confined to private + shared.
+		for _, r := range t.F.RegsUsed() {
+			if !inPriv(int(r)) && int(r) < sharedBase {
+				return fmt.Errorf("core: thread %d (%s) uses r%d outside its partition", ti, t.Name, r)
+			}
+			if int(r) >= al.NReg {
+				return fmt.Errorf("core: thread %d uses r%d beyond the register file", ti, r)
+			}
+		}
+		// 3. Values live across CSBs stay private; so do values live-in at
+		// entry (they observe the zero-initialized file, which only a
+		// private register guarantees once other threads have run).
+		li := liveness.Compute(t.F)
+		badEntry := -1
+		li.EntryLive().ForEach(func(r int) {
+			if badEntry < 0 && !inPriv(r) {
+				badEntry = r
+			}
+		})
+		if badEntry >= 0 {
+			return fmt.Errorf(
+				"core: thread %d (%s): r%d read at entry before definition but not private",
+				ti, t.Name, badEntry)
+		}
+		for p := 0; p < t.F.NumPoints(); p++ {
+			if !t.F.Instr(p).IsCSB() {
+				continue
+			}
+			bad := -1
+			li.LiveAcross(p).ForEach(func(r int) {
+				if bad < 0 && !inPriv(r) {
+					bad = r
+				}
+			})
+			if bad >= 0 {
+				return fmt.Errorf(
+					"core: thread %d (%s): r%d live across the context switch at point %d but not private",
+					ti, t.Name, bad, p)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,278 @@
+// Package encoding serializes npra programs to a compact binary object
+// format — the equivalent of the micro-engine's loadable control store
+// image — and back. The format is self-describing and versioned:
+//
+//	header:  magic "NPRA", u32 version, u16 name, u32 flags, u32 numRegs,
+//	         u32 numBlocks
+//	block:   u16 label, u32 numInstrs, then 16-byte instruction records
+//	record:  u8 opcode, u8 reserved, u16 def, u16 a, u16 b, u64 immOrTarget
+//
+// Register fields use 0xFFFF for "absent". Branch instructions store the
+// target *block index* in the immediate slot; everything else stores the
+// two's-complement 64-bit immediate, losslessly. Strings are u16 length +
+// UTF-8 bytes. All integers are little-endian.
+package encoding
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"npra/internal/ir"
+)
+
+// Version is the current object format version.
+const Version = 1
+
+var magic = [4]byte{'N', 'P', 'R', 'A'}
+
+const (
+	noReg16   = 0xFFFF
+	flagPhys  = 1 << 0
+	recordLen = 16
+)
+
+// Encode serializes a built function.
+func Encode(f *ir.Func) ([]byte, error) {
+	if !f.Built() {
+		return nil, fmt.Errorf("encoding: function %s not built", f.Name)
+	}
+	if f.NumRegs > noReg16 {
+		return nil, fmt.Errorf("encoding: %d registers exceed the 16-bit field", f.NumRegs)
+	}
+	var out []byte
+	out = append(out, magic[:]...)
+	out = appendU32(out, Version)
+	out, err := appendString(out, f.Name)
+	if err != nil {
+		return nil, err
+	}
+	flags := uint32(0)
+	if f.Physical {
+		flags |= flagPhys
+	}
+	out = appendU32(out, flags)
+	out = appendU32(out, uint32(f.NumRegs))
+	out = appendU32(out, uint32(len(f.Blocks)))
+
+	for _, b := range f.Blocks {
+		out, err = appendString(out, b.Label)
+		if err != nil {
+			return nil, err
+		}
+		out = appendU32(out, uint32(len(b.Instrs)))
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			rec, err := encodeInstr(f, in)
+			if err != nil {
+				return nil, fmt.Errorf("encoding: %s %q instruction %d: %w", f.Name, b.Label, i, err)
+			}
+			out = append(out, rec[:]...)
+		}
+	}
+	return out, nil
+}
+
+func encodeInstr(f *ir.Func, in *ir.Instr) ([recordLen]byte, error) {
+	var rec [recordLen]byte
+	rec[0] = byte(in.Op)
+	putReg := func(off int, r ir.Reg) error {
+		if r == ir.NoReg {
+			binary.LittleEndian.PutUint16(rec[off:], noReg16)
+			return nil
+		}
+		if r < 0 || int(r) >= noReg16 {
+			return fmt.Errorf("register %d out of encodable range", r)
+		}
+		binary.LittleEndian.PutUint16(rec[off:], uint16(r))
+		return nil
+	}
+	if err := putReg(2, in.Def); err != nil {
+		return rec, err
+	}
+	if err := putReg(4, in.A); err != nil {
+		return rec, err
+	}
+	if err := putReg(6, in.B); err != nil {
+		return rec, err
+	}
+	if in.IsBranch() {
+		ti := f.BlockByLabel(in.Target)
+		if ti < 0 {
+			return rec, fmt.Errorf("unresolved branch target %q", in.Target)
+		}
+		binary.LittleEndian.PutUint64(rec[8:], uint64(ti))
+		return rec, nil
+	}
+	binary.LittleEndian.PutUint64(rec[8:], uint64(in.Imm))
+	return rec, nil
+}
+
+// Decode parses an object image back into a built function.
+func Decode(data []byte) (*ir.Func, error) {
+	r := &reader{data: data}
+	var m [4]byte
+	if err := r.bytes(m[:]); err != nil {
+		return nil, err
+	}
+	if m != magic {
+		return nil, fmt.Errorf("encoding: bad magic %q", m[:])
+	}
+	ver, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if ver != Version {
+		return nil, fmt.Errorf("encoding: unsupported version %d (have %d)", ver, Version)
+	}
+	name, err := r.str()
+	if err != nil {
+		return nil, err
+	}
+	flags, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	numRegs, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	nBlocks, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if nBlocks > 1<<20 || numRegs > noReg16 {
+		return nil, fmt.Errorf("encoding: implausible header (blocks=%d regs=%d)", nBlocks, numRegs)
+	}
+
+	f := &ir.Func{Name: name, NumRegs: int(numRegs), Physical: flags&flagPhys != 0}
+	type patch struct {
+		block, instr int
+		target       uint32
+	}
+	var patches []patch
+	var labels []string
+	for bi := 0; bi < int(nBlocks); bi++ {
+		label, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		labels = append(labels, label)
+		n, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		if n > 1<<22 {
+			return nil, fmt.Errorf("encoding: implausible instruction count %d", n)
+		}
+		b := &ir.Block{Label: label}
+		for k := 0; k < int(n); k++ {
+			var rec [recordLen]byte
+			if err := r.bytes(rec[:]); err != nil {
+				return nil, err
+			}
+			in, tgt, isBr, err := decodeInstr(rec)
+			if err != nil {
+				return nil, fmt.Errorf("encoding: block %q instruction %d: %w", label, k, err)
+			}
+			if isBr {
+				patches = append(patches, patch{block: bi, instr: k, target: tgt})
+			}
+			b.Instrs = append(b.Instrs, in)
+		}
+		f.Blocks = append(f.Blocks, b)
+	}
+	if r.rem() != 0 {
+		return nil, fmt.Errorf("encoding: %d trailing bytes", r.rem())
+	}
+	for _, p := range patches {
+		if int(p.target) >= len(labels) {
+			return nil, fmt.Errorf("encoding: branch to block %d of %d", p.target, len(labels))
+		}
+		f.Blocks[p.block].Instrs[p.instr].Target = labels[p.target]
+	}
+	if err := f.Build(); err != nil {
+		return nil, fmt.Errorf("encoding: decoded function invalid: %w", err)
+	}
+	return f, nil
+}
+
+func decodeInstr(rec [recordLen]byte) (ir.Instr, uint32, bool, error) {
+	in := ir.Instr{Op: ir.Op(rec[0])}
+	getReg := func(off int) ir.Reg {
+		v := binary.LittleEndian.Uint16(rec[off:])
+		if v == noReg16 {
+			return ir.NoReg
+		}
+		return ir.Reg(v)
+	}
+	in.Def = getReg(2)
+	in.A = getReg(4)
+	in.B = getReg(6)
+	raw := binary.LittleEndian.Uint64(rec[8:])
+	if in.IsBranch() {
+		if raw > 1<<20 {
+			return in, 0, true, fmt.Errorf("implausible branch target %d", raw)
+		}
+		return in, uint32(raw), true, nil
+	}
+	in.Imm = int64(raw)
+	return in, 0, false, nil
+}
+
+// --- low-level helpers ---
+
+func appendU32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+func appendString(b []byte, s string) ([]byte, error) {
+	if len(s) > 0xFFFF {
+		return nil, fmt.Errorf("encoding: string too long (%d bytes)", len(s))
+	}
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...), nil
+}
+
+type reader struct {
+	data []byte
+	off  int
+}
+
+func (r *reader) rem() int { return len(r.data) - r.off }
+
+func (r *reader) bytes(dst []byte) error {
+	if r.rem() < len(dst) {
+		return fmt.Errorf("encoding: truncated input at offset %d", r.off)
+	}
+	copy(dst, r.data[r.off:])
+	r.off += len(dst)
+	return nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	var b [4]byte
+	if err := r.bytes(b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+func (r *reader) u16() (uint16, error) {
+	var b [2]byte
+	if err := r.bytes(b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(b[:]), nil
+}
+
+func (r *reader) str() (string, error) {
+	n, err := r.u16()
+	if err != nil {
+		return "", err
+	}
+	b := make([]byte, n)
+	if err := r.bytes(b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}

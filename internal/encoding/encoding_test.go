@@ -1,0 +1,176 @@
+package encoding
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"npra/internal/bench"
+	"npra/internal/interp"
+	"npra/internal/ir"
+	"npra/internal/progen"
+)
+
+func TestRoundTripSimple(t *testing.T) {
+	f := ir.MustParse(`
+func demo
+entry:
+	set v0, -123
+	load v1, [v0+8]
+	add v2, v0, v1
+	bnz v2, entry
+	store [4096], v2
+	halt`)
+	data, err := Encode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Format() != f.Format() {
+		t.Errorf("round trip mismatch:\n%s\nvs\n%s", f.Format(), g.Format())
+	}
+	if g.Name != "demo" || g.NumRegs != f.NumRegs || g.Physical != f.Physical {
+		t.Errorf("metadata lost: %q %d %v", g.Name, g.NumRegs, g.Physical)
+	}
+}
+
+func TestRoundTripAllBenchmarks(t *testing.T) {
+	for _, b := range bench.All() {
+		f := b.Gen(8)
+		data, err := Encode(f)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", b.Name, err)
+		}
+		g, err := Decode(data)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", b.Name, err)
+		}
+		if g.Format() != f.Format() {
+			t.Errorf("%s: round trip mismatch", b.Name)
+		}
+		// And the decoded program still runs identically.
+		m1 := make([]uint32, bench.MemWords)
+		m2 := make([]uint32, bench.MemWords)
+		r1, err := interp.Run(f, m1, interp.Options{MaxSteps: 1 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := interp.Run(g, m2, interp.Options{MaxSteps: 1 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := interp.Equivalent(r1, r2); err != nil {
+			t.Errorf("%s: decoded run differs: %v", b.Name, err)
+		}
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	unbuilt := &ir.Func{Name: "x"}
+	if _, err := Encode(unbuilt); err == nil {
+		t.Error("encoded unbuilt function")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	f := ir.MustParse("a:\n set v0, 1\n store [0], v0\n halt")
+	good, err := Encode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"empty", nil, "truncated"},
+		{"bad magic", append([]byte("JUNK"), good[4:]...), "bad magic"},
+		{"bad version", append(append([]byte{}, good[:4]...), append([]byte{9, 0, 0, 0}, good[8:]...)...), "unsupported version"},
+		{"truncated", good[:len(good)-5], "truncated"},
+		{"trailing", append(append([]byte{}, good...), 1, 2, 3), "trailing"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Decode(tc.data)
+			if err == nil {
+				t.Fatalf("decode succeeded")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// Property: encode/decode is the identity on random programs.
+func TestQuickRoundTrip(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f := progen.Generate(rng, progen.Default)
+		data, err := Encode(f)
+		if err != nil {
+			return false
+		}
+		g, err := Decode(data)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return g.Format() == f.Format()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: random byte soup never panics the decoder; it errors or, by
+// extreme luck, produces a valid function.
+func TestQuickDecodeRobust(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(200)
+		data := make([]byte, n)
+		rng.Read(data)
+		if rng.Intn(2) == 0 {
+			copy(data, magic[:]) // give it a valid prefix half the time
+		}
+		_, err := Decode(data) // must not panic
+		_ = err
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: corrupting one byte of a valid image either errors or decodes
+// to *something* — never panics, never hangs.
+func TestQuickBitFlipRobust(t *testing.T) {
+	f := ir.MustParse(`
+a:
+	set v0, 10
+loop:
+	subi v0, v0, 1
+	bnz v0, loop
+	store [0], v0
+	halt`)
+	good, err := Encode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		data := append([]byte{}, good...)
+		data[rng.Intn(len(data))] ^= byte(1 + rng.Intn(255))
+		_, err := Decode(data)
+		_ = err
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,33 @@
+package encoding
+
+import (
+	"testing"
+
+	"npra/internal/ir"
+)
+
+// FuzzDecode feeds arbitrary bytes to the object decoder: it must never
+// panic, and whatever it accepts must encode back to a decodable image.
+func FuzzDecode(f *testing.F) {
+	good, err := Encode(ir.MustParse("func t\na:\n set v0, 5\n store [0], v0\n halt"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte("NPRA"))
+	f.Add(append(append([]byte{}, good...), 0))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fn, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re, err := Encode(fn)
+		if err != nil {
+			t.Fatalf("decoded function does not re-encode: %v", err)
+		}
+		if _, err := Decode(re); err != nil {
+			t.Fatalf("re-encoded image does not decode: %v", err)
+		}
+	})
+}

@@ -1,0 +1,314 @@
+// Package estimate computes the per-thread register requirement bounds of
+// the paper's §5:
+//
+//	MinPR = RegPCSBmax  — max #values live across one context switch;
+//	                      reachable by splitting at every CSB (Lemma 1).
+//	MinR  = RegPmax     — max #co-live values at any point.
+//	MaxPR, MaxR         — registers needed with no move insertion at all,
+//	                      found by coloring the BIG and the IIGs
+//	                      independently and merging with conflict-edge
+//	                      repair (Figure 7), minimizing MaxPR first.
+//
+// The estimation coloring is also the starting context for the
+// intra-thread allocator: reducing from (MaxPR, MaxR) costs zero moves.
+package estimate
+
+import (
+	"fmt"
+
+	"npra/internal/bitset"
+	"npra/internal/ig"
+)
+
+// Bounds are the register-count bounds for one thread.
+type Bounds struct {
+	MinPR int // lower bound on private registers (RegPCSBmax)
+	MinR  int // lower bound on total registers (RegPmax)
+	MaxPR int // private registers for a move-free allocation
+	MaxR  int // total registers for a move-free allocation
+}
+
+// MaxSR returns the shared-register demand of the move-free allocation.
+func (b Bounds) MaxSR() int { return b.MaxR - b.MaxPR }
+
+// Estimate is the result of bound estimation: the bounds plus the witness
+// coloring (color per variable; -1 for dead variables). Boundary nodes use
+// colors [0, MaxPR); all nodes use colors [0, MaxR).
+type Estimate struct {
+	Bounds
+	Colors []int
+}
+
+// Compute runs the paper's Figure 7 algorithm: color the BIG minimally,
+// color each IIG independently, merge, and repair conflict edges —
+// preferring to keep MaxPR minimal because private registers contribute
+// directly to the global register budget while shared registers only
+// matter through the per-PU maximum.
+func Compute(a *ig.Analysis) *Estimate {
+	nv := a.NumVars
+	colors := make([]int, nv)
+	for i := range colors {
+		colors[i] = -1
+	}
+
+	// Step 1: color the BIG (boundary-interference edges only).
+	bnodes := a.BoundaryNodes()
+	bOrder := a.BIG.SmallestLastOrder(bnodes)
+	colors, _ = a.BIG.GreedyColorMasked(bOrder, colors, bnodes)
+
+	// Step 2: color each IIG independently (internal nodes per NSR,
+	// ignoring boundary colors for now).
+	for _, members := range a.IIGMembers() {
+		if members.Empty() {
+			continue
+		}
+		order := a.GIG.SmallestLastOrder(members)
+		colors, _ = a.GIG.GreedyColorMasked(order, colors, members)
+	}
+
+	// Step 3: merge — repair every GIG edge whose endpoints collide.
+	// Repairs pick colors free among *all* currently-colored GIG
+	// neighbors, so they never create new conflicts and the loop
+	// terminates.
+	repairConflicts(a, colors)
+
+	maxPR, maxR := normalize(a, colors)
+	est := &Estimate{
+		Bounds: Bounds{
+			MinPR: a.Live.CSBPressureMax(),
+			MinR:  a.Live.PressureMax(),
+			MaxPR: maxPR,
+			MaxR:  maxR,
+		},
+		Colors: colors,
+	}
+	est.reconcile()
+	return est
+}
+
+// ComputeJoint is the ablation variant the paper contrasts with: color the
+// whole GIG at once minimizing MaxR, letting MaxPR land where it may.
+func ComputeJoint(a *ig.Analysis) *Estimate {
+	nv := a.NumVars
+	colors := make([]int, nv)
+	for i := range colors {
+		colors[i] = -1
+	}
+	live := bitset.New(nv)
+	for v := 0; v < nv; v++ {
+		if a.Alive[v] {
+			live.Add(v)
+		}
+	}
+	order := a.GIG.SmallestLastOrder(live)
+	colors, _ = a.GIG.GreedyColor(order, colors)
+	maxPR, maxR := normalize(a, colors)
+	est := &Estimate{
+		Bounds: Bounds{
+			MinPR: a.Live.CSBPressureMax(),
+			MinR:  a.Live.PressureMax(),
+			MaxPR: maxPR,
+			MaxR:  maxR,
+		},
+		Colors: colors,
+	}
+	est.reconcile()
+	return est
+}
+
+// reconcile enforces the arithmetic relations between the bounds that
+// hold by construction but can be perturbed by degenerate inputs (e.g. a
+// function with no CSBs has MinPR = 0 yet MaxPR = 0 already).
+func (e *Estimate) reconcile() {
+	if e.MaxR < e.MaxPR {
+		e.MaxR = e.MaxPR
+	}
+	if e.MinR < e.MinPR {
+		e.MinR = e.MinPR
+	}
+	if e.MaxPR < e.MinPR {
+		// The move-free coloring can never beat the CSB pressure bound;
+		// if greedy numbers say otherwise something is wrong upstream.
+		panic(fmt.Sprintf("estimate: MaxPR %d < MinPR %d", e.MaxPR, e.MinPR))
+	}
+	if e.MaxR < e.MinR {
+		panic(fmt.Sprintf("estimate: MaxR %d < MinR %d", e.MaxR, e.MinR))
+	}
+}
+
+// repairConflicts fixes same-color GIG edges after the independent BIG and
+// IIG colorings are merged. Preference order per conflict edge (paper
+// Fig. 7.b): recolor the boundary endpoint within the boundary palette,
+// recolor the internal endpoint anywhere, try to displace one blocking
+// neighbor, and as a last resort give the internal endpoint a fresh color
+// (growing MaxR) or — for boundary/boundary conflicts — the boundary
+// endpoint a fresh color (growing MaxPR).
+func repairConflicts(a *ig.Analysis, colors []int) {
+	boundaryPalette := func() int {
+		// Current number of colors in use by boundary nodes, as palette
+		// ceiling for boundary recoloring.
+		max := -1
+		for v := 0; v < a.NumVars; v++ {
+			if a.Boundary[v] && colors[v] > max {
+				max = colors[v]
+			}
+		}
+		return max + 1
+	}
+	for {
+		u, v := a.GIG.VerifyColoring(colors)
+		if u < 0 {
+			return
+		}
+		// Make u the preferred node to recolor: internal beats boundary.
+		s, t := u, v // s boundary-ish, t internal-ish
+		if a.Boundary[u] && !a.Boundary[v] {
+			s, t = u, v
+		} else if a.Boundary[v] && !a.Boundary[u] {
+			s, t = v, u
+		}
+		switch {
+		case a.Boundary[s] && !a.Boundary[t]:
+			bp := boundaryPalette()
+			if tryRecolor(a, colors, s, bp) {
+				continue
+			}
+			if tryRecolor(a, colors, t, maxColor(colors)+1) {
+				continue
+			}
+			if tryNeighborRecolor(a, colors, t) {
+				continue
+			}
+			colors[t] = maxColor(colors) + 1 // fresh color: MaxR grows
+		case !a.Boundary[s] && !a.Boundary[t]:
+			if tryRecolor(a, colors, t, maxColor(colors)+1) {
+				continue
+			}
+			if tryNeighborRecolor(a, colors, t) {
+				continue
+			}
+			colors[t] = maxColor(colors) + 1
+		default: // both boundary
+			bp := boundaryPalette()
+			if tryRecolor(a, colors, s, bp) {
+				continue
+			}
+			if tryRecolor(a, colors, t, bp) {
+				continue
+			}
+			colors[t] = bp // fresh boundary color: MaxPR grows
+		}
+	}
+}
+
+func maxColor(colors []int) int {
+	max := -1
+	for _, c := range colors {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// tryRecolor gives node n a color in [0, limit) unused by any colored GIG
+// neighbor, reporting success.
+func tryRecolor(a *ig.Analysis, colors []int, n, limit int) bool {
+	used := neighborColors(a, colors, n)
+	for c := 0; c < limit; c++ {
+		if c != colors[n] && !used[c] {
+			colors[n] = c
+			return true
+		}
+	}
+	return false
+}
+
+// tryNeighborRecolor attempts the paper's heuristic: find a color c' such
+// that exactly one neighbor w of n blocks c', and w itself can move to a
+// different color; then shift w and take c'.
+func tryNeighborRecolor(a *ig.Analysis, colors []int, n int) bool {
+	limit := maxColor(colors) + 1
+	blockers := make(map[int][]int) // color -> blocking neighbors
+	a.GIG.Neighbors(n).ForEach(func(w int) {
+		if colors[w] >= 0 {
+			blockers[colors[w]] = append(blockers[colors[w]], w)
+		}
+	})
+	for c := 0; c < limit; c++ {
+		if c == colors[n] {
+			continue
+		}
+		bl := blockers[c]
+		if len(bl) != 1 {
+			continue
+		}
+		w := bl[0]
+		wLimit := limit
+		if a.Boundary[w] {
+			// Boundary neighbors may only move within the boundary
+			// palette; approximate it with colors currently used by
+			// boundary nodes.
+			wLimit = 0
+			for v := 0; v < a.NumVars; v++ {
+				if a.Boundary[v] && colors[v]+1 > wLimit {
+					wLimit = colors[v] + 1
+				}
+			}
+		}
+		wUsed := neighborColors(a, colors, w)
+		for cw := 0; cw < wLimit; cw++ {
+			if cw != c && cw != colors[w] && !wUsed[cw] {
+				colors[w] = cw
+				colors[n] = c
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func neighborColors(a *ig.Analysis, colors []int, n int) map[int]bool {
+	used := make(map[int]bool)
+	a.GIG.Neighbors(n).ForEach(func(w int) {
+		if colors[w] >= 0 {
+			used[colors[w]] = true
+		}
+	})
+	return used
+}
+
+// normalize relabels colors so that the colors used by boundary nodes form
+// the prefix [0, MaxPR) and all colors form [0, MaxR). This is the palette
+// layout the allocators rely on: private registers first, shared after.
+func normalize(a *ig.Analysis, colors []int) (maxPR, maxR int) {
+	remap := make(map[int]int)
+	next := 0
+	// Boundary colors first, in order of appearance.
+	for v := 0; v < a.NumVars; v++ {
+		if !a.Boundary[v] || colors[v] < 0 {
+			continue
+		}
+		if _, ok := remap[colors[v]]; !ok {
+			remap[colors[v]] = next
+			next++
+		}
+	}
+	maxPR = next
+	for v := 0; v < a.NumVars; v++ {
+		if colors[v] < 0 || a.Boundary[v] {
+			continue
+		}
+		if _, ok := remap[colors[v]]; !ok {
+			remap[colors[v]] = next
+			next++
+		}
+	}
+	maxR = next
+	for v := 0; v < a.NumVars; v++ {
+		if colors[v] >= 0 {
+			colors[v] = remap[colors[v]]
+		}
+	}
+	return maxPR, maxR
+}

@@ -1,0 +1,219 @@
+package estimate
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"npra/internal/ig"
+	"npra/internal/ir"
+	"npra/internal/progen"
+)
+
+// figure3Thread1 is the paper's Figure 3.a thread 1: a (v0) is live across
+// the ctx; b (v1) and c (v2) are internal; any pair interferes. The paper
+// derives PR=1, and shows 3 registers without splitting (MaxR) but only 2
+// co-live at any point (MinR).
+const figure3Thread1 = `
+func fig3t1
+entry:
+	set v0, 1        ; a =
+	ctx
+	bz v0, L1
+	set v1, 2        ; b =
+	add v1, v0, v1   ; = a+b
+	set v2, 3        ; c =
+	br L2
+L1:
+	set v2, 4        ; c =
+	add v2, v0, v2   ; = a+c
+	set v1, 5        ; b =
+L2:
+	add v1, v1, v2   ; = b+c
+	load v3, [v1+0]
+	store [64], v3
+	halt
+`
+
+func TestFigure3Bounds(t *testing.T) {
+	a := ig.Analyze(ir.MustParse(figure3Thread1))
+	est := Compute(a)
+	if est.MinPR != 1 {
+		t.Errorf("MinPR = %d, want 1 (only a crosses the ctx)", est.MinPR)
+	}
+	if est.MinR != 2 {
+		t.Errorf("MinR = %d, want 2 (at most two co-live)", est.MinR)
+	}
+	if est.MaxPR != 1 {
+		t.Errorf("MaxPR = %d, want 1", est.MaxPR)
+	}
+	if est.MaxR != 3 {
+		t.Errorf("MaxR = %d, want 3 (a,b,c form a clique)", est.MaxR)
+	}
+	if est.MaxSR() != 2 {
+		t.Errorf("MaxSR = %d, want 2", est.MaxSR())
+	}
+	assertValidEstimate(t, a, est)
+}
+
+func TestFigure3Joint(t *testing.T) {
+	a := ig.Analyze(ir.MustParse(figure3Thread1))
+	est := ComputeJoint(a)
+	if est.MaxR != 3 {
+		t.Errorf("joint MaxR = %d, want 3", est.MaxR)
+	}
+	assertValidEstimate(t, a, est)
+}
+
+// assertValidEstimate checks the structural invariants every estimation
+// must satisfy: proper GIG coloring, boundary colors < MaxPR, all colors
+// < MaxR, bounds ordered, clique lower bounds respected.
+func assertValidEstimate(t *testing.T, a *ig.Analysis, est *Estimate) {
+	t.Helper()
+	if u, v := a.GIG.VerifyColoring(est.Colors); u >= 0 {
+		t.Fatalf("improper coloring: v%d and v%d share color %d", u, v, est.Colors[u])
+	}
+	for v := 0; v < a.NumVars; v++ {
+		c := est.Colors[v]
+		if !a.Alive[v] {
+			if c >= 0 {
+				t.Errorf("dead v%d colored %d", v, c)
+			}
+			continue
+		}
+		if c < 0 {
+			t.Errorf("live v%d uncolored", v)
+			continue
+		}
+		if c >= est.MaxR {
+			t.Errorf("v%d color %d >= MaxR %d", v, c, est.MaxR)
+		}
+		if a.Boundary[v] && c >= est.MaxPR {
+			t.Errorf("boundary v%d color %d >= MaxPR %d", v, c, est.MaxPR)
+		}
+	}
+	if est.MinPR > est.MaxPR || est.MinR > est.MaxR || est.MaxPR > est.MaxR || est.MinPR > est.MinR {
+		t.Errorf("bounds out of order: %+v", est.Bounds)
+	}
+}
+
+func TestNoCSBFunction(t *testing.T) {
+	f := ir.MustParse(`
+a:
+	set v0, 1
+	set v1, 2
+	add v2, v0, v1
+	xor v0, v2, v1
+	halt`)
+	a := ig.Analyze(f)
+	est := Compute(a)
+	if est.MinPR != 0 || est.MaxPR != 0 {
+		t.Errorf("PR bounds = %d/%d, want 0/0 for CSB-free code", est.MinPR, est.MaxPR)
+	}
+	if est.MaxR < 2 {
+		t.Errorf("MaxR = %d, want >= 2", est.MaxR)
+	}
+	assertValidEstimate(t, a, est)
+}
+
+func TestDegenerateTinyFunction(t *testing.T) {
+	f := ir.MustParse("a:\n halt")
+	a := ig.Analyze(f)
+	est := Compute(a)
+	if est.MaxR != 0 || est.MinR != 0 {
+		t.Errorf("empty function bounds: %+v", est.Bounds)
+	}
+}
+
+// Property: on random programs, both estimators produce valid estimates,
+// and the PR-first estimator never exceeds the joint estimator's MaxPR.
+func TestQuickEstimationInvariants(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f := progen.Generate(rng, progen.Default)
+		a := ig.Analyze(f)
+		for _, est := range []*Estimate{Compute(a), ComputeJoint(a)} {
+			if u, _ := a.GIG.VerifyColoring(est.Colors); u >= 0 {
+				return false
+			}
+			if est.MinPR > est.MaxPR || est.MinR > est.MaxR || est.MaxPR > est.MaxR {
+				return false
+			}
+			for v := 0; v < a.NumVars; v++ {
+				c := est.Colors[v]
+				if a.Alive[v] && (c < 0 || c >= est.MaxR) {
+					return false
+				}
+				if a.Boundary[v] && c >= est.MaxPR {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MinPR-first estimation keeps MaxPR at the BIG's chromatic
+// need, which can never exceed the number of boundary nodes.
+func TestQuickMaxPRBounded(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f := progen.Generate(rng, progen.Default)
+		a := ig.Analyze(f)
+		est := Compute(a)
+		nb := a.BoundaryNodes().Count()
+		return est.MaxPR <= nb && est.MinPR <= nb
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the paper's bounds sandwich the true chromatic number of the
+// GIG on small random programs: MinR (max point pressure, a clique bound)
+// <= chromatic <= MaxR (the witness coloring). Same for the BIG and PR.
+func TestQuickBoundsSandwichChromatic(t *testing.T) {
+	small := progen.Config{MaxBlocks: 4, MaxInstrs: 5, MaxVars: 7, CSBDensity: 0.25, StoreWindow: 64}
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f := progen.Generate(rng, small)
+		a := ig.Analyze(f)
+		est := Compute(a)
+
+		live := a.BoundaryNodes()
+		for v := 0; v < a.NumVars; v++ {
+			if a.Alive[v] {
+				live.Add(v)
+			}
+		}
+		chi := a.GIG.ExactChromatic(live, 16)
+		if chi >= 0 {
+			if est.MinR > chi {
+				t.Logf("seed %d: MinR %d > chromatic %d", seed, est.MinR, chi)
+				return false
+			}
+			if chi > est.MaxR {
+				t.Logf("seed %d: chromatic %d > MaxR %d", seed, chi, est.MaxR)
+				return false
+			}
+		}
+		chiB := a.BIG.ExactChromatic(a.BoundaryNodes(), 16)
+		if chiB >= 0 {
+			if est.MinPR > chiB {
+				t.Logf("seed %d: MinPR %d > boundary chromatic %d", seed, est.MinPR, chiB)
+				return false
+			}
+			if chiB > est.MaxPR {
+				t.Logf("seed %d: boundary chromatic %d > MaxPR %d", seed, chiB, est.MaxPR)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,587 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"npra/internal/bench"
+	"npra/internal/chaitin"
+	"npra/internal/core"
+	"npra/internal/estimate"
+	"npra/internal/ig"
+	"npra/internal/intra"
+	"npra/internal/ir"
+	"npra/internal/linscan"
+	"npra/internal/loops"
+	"npra/internal/sim"
+)
+
+// AblationEstimationRow compares the paper's minimize-MaxPR-first bound
+// estimation (Figure 7) against plain whole-GIG coloring: the PR-first
+// strategy should never use more private-capable colors, because private
+// registers multiply by the thread count in the global budget.
+type AblationEstimationRow struct {
+	Name                 string
+	PRFirstPR, PRFirstR  int
+	JointPR, JointR      int
+	PrivateSaved4Threads int // 4*(JointPR - PRFirstPR)
+}
+
+// AblationEstimation runs both estimators on every benchmark.
+func AblationEstimation(npkts int) []AblationEstimationRow {
+	var rows []AblationEstimationRow
+	for _, b := range bench.All() {
+		a := ig.Analyze(b.Gen(npkts))
+		pf := estimate.Compute(a)
+		jt := estimate.ComputeJoint(a)
+		rows = append(rows, AblationEstimationRow{
+			Name:      b.Name,
+			PRFirstPR: pf.MaxPR, PRFirstR: pf.MaxR,
+			JointPR: jt.MaxPR, JointR: jt.MaxR,
+			PrivateSaved4Threads: NThreads * (jt.MaxPR - pf.MaxPR),
+		})
+	}
+	return rows
+}
+
+// AblationMoveElimRow compares move counts at the minimal register budget
+// with and without the unnecessary-move elimination (coalescing) pass.
+type AblationMoveElimRow struct {
+	Name              string
+	MovesWith         int
+	MovesWithout      int
+	EliminatedPercent float64
+}
+
+// AblationMoveElim measures the coalescing pass.
+func AblationMoveElim(npkts int) ([]AblationMoveElimRow, error) {
+	var rows []AblationMoveElimRow
+	for _, b := range bench.All() {
+		f := b.Gen(npkts)
+		moves := func(disable bool) (int, error) {
+			al := intra.New(f)
+			al.DisableCoalesce = disable
+			bd := al.Bounds()
+			sol, err := al.Solve(bd.MinPR, bd.MinR-bd.MinPR)
+			if err != nil {
+				return 0, err
+			}
+			return sol.Cost, nil
+		}
+		with, err := moves(false)
+		if err != nil {
+			return nil, fmt.Errorf("ablation move-elim %s: %w", b.Name, err)
+		}
+		without, err := moves(true)
+		if err != nil {
+			return nil, fmt.Errorf("ablation move-elim %s (disabled): %w", b.Name, err)
+		}
+		pct := 0.0
+		if without > 0 {
+			pct = 100 * float64(without-with) / float64(without)
+		}
+		rows = append(rows, AblationMoveElimRow{
+			Name: b.Name, MovesWith: with, MovesWithout: without, EliminatedPercent: pct,
+		})
+	}
+	return rows, nil
+}
+
+// AblationSRARow compares the exact symmetric sweep (§8) against running
+// the generic ARA greedy loop on four identical copies.
+type AblationSRARow struct {
+	Name             string
+	SRARegs, SRACost int
+	ARARegs, ARACost int
+}
+
+// AblationSRA runs both solvers on every benchmark replicated 4x.
+func AblationSRA(npkts int) ([]AblationSRARow, error) {
+	var rows []AblationSRARow
+	for _, b := range bench.All() {
+		f := b.Gen(npkts)
+		sra, err := core.AllocateSRA(f, NThreads, core.Config{NReg: NReg})
+		if err != nil {
+			return nil, fmt.Errorf("ablation SRA %s: %w", b.Name, err)
+		}
+		ara, err := core.AllocateARA(genCopies(b, NThreads, npkts), core.Config{NReg: NReg})
+		if err != nil {
+			return nil, fmt.Errorf("ablation SRA %s (ARA): %w", b.Name, err)
+		}
+		sraCost, araCost := 0, 0
+		for _, t := range sra.Threads {
+			sraCost += t.Cost
+		}
+		for _, t := range ara.Threads {
+			araCost += t.Cost
+		}
+		rows = append(rows, AblationSRARow{
+			Name:    b.Name,
+			SRARegs: sra.TotalRegisters(), SRACost: sraCost,
+			ARARegs: ara.TotalRegisters(), ARACost: araCost,
+		})
+	}
+	return rows, nil
+}
+
+// AblationSpillVsMoveRow: single-thread md5 at a shrinking register
+// budget K — the baseline allocator spills to memory while the splitting
+// allocator inserts moves. Moves are 1-cycle ALU instructions; spills are
+// ~20-cycle memory round trips that also force context switches, so the
+// splitting side should degrade far more gracefully.
+type AblationSpillVsMoveRow struct {
+	K            int
+	SpillOps     int     // spill instructions the baseline inserted
+	SpillCycles  float64 // cycles/iter, baseline
+	Moves        int     // moves the splitting allocator inserted
+	MoveCycles   float64 // cycles/iter, splitting allocator
+	MoveWinsByPc float64 // (spill-move)/spill * 100
+}
+
+// AblationSpillVsMove sweeps the register budget K for one benchmark
+// (default md5), from well below the pressure bound up to the move-free
+// demand. Below RegPmax only spilling can allocate at all (Moves = -1
+// marks the splitting allocator as infeasible); in the window between
+// RegPmax and the move-free demand both work and splitting should win.
+func AblationSpillVsMove(benchName string, npkts int) ([]AblationSpillVsMoveRow, error) {
+	b, err := bench.Get(benchName)
+	if err != nil {
+		return nil, err
+	}
+	f := b.Gen(npkts)
+	al := intra.New(f)
+	bd := al.Bounds()
+
+	var ks []int
+	for k := 12; k < bd.MinR; k += 6 {
+		ks = append(ks, k)
+	}
+	for k := bd.MinR; k <= bd.MaxR+2; k += 2 {
+		ks = append(ks, k)
+	}
+
+	var rows []AblationSpillVsMoveRow
+	for _, k := range ks {
+		// Baseline: Chaitin at K registers.
+		phys := make([]ir.Reg, k)
+		for i := range phys {
+			phys[i] = ir.Reg(i)
+		}
+		ch, err := chaitin.Allocate(f, chaitin.Options{
+			Phys: phys, SpillBase: bench.SpillBase, SpillStride: bench.SpillStride,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ablation spill %s K=%d: %w", benchName, k, err)
+		}
+		chRes, err := sim.Run([]*sim.Thread{{F: ch.F}}, sim.Config{NReg: NReg, MemWords: bench.MemWords})
+		if err != nil {
+			return nil, err
+		}
+
+		// Splitting allocator: all K registers private (single thread).
+		// Below RegPmax this is infeasible — only spilling can shrink
+		// further, which is exactly the trade the ablation shows.
+		row := AblationSpillVsMoveRow{
+			K: k, SpillOps: ch.SpillCode,
+			SpillCycles: chRes.Threads[0].CyclesPerIter(),
+			Moves:       -1,
+		}
+		if sol, err := al.Solve(k, 0); err == nil {
+			mf, stats, err := intra.Rewrite(sol.Ctx, phys[:sol.Ctx.Size])
+			if err != nil {
+				return nil, err
+			}
+			mvRes, err := sim.Run([]*sim.Thread{{F: mf}}, sim.Config{NReg: NReg, MemWords: bench.MemWords})
+			if err != nil {
+				return nil, err
+			}
+			row.Moves = stats.Added()
+			row.MoveCycles = mvRes.Threads[0].CyclesPerIter()
+			if row.SpillCycles > 0 {
+				row.MoveWinsByPc = 100 * (row.SpillCycles - row.MoveCycles) / row.SpillCycles
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// AblationLatencyRow: the critical-thread speedup of scenario S1 as a
+// function of memory latency — the paper's premise is that spills hurt
+// because memory is slow, so the win should grow with the latency.
+type AblationLatencyRow struct {
+	MemLatency      int64
+	CriticalSpeedup float64 // md5 threads, averaged
+	OtherChange     float64 // fir2dim threads, averaged
+}
+
+// AblationLatency sweeps the memory latency on scenario S1.
+func AblationLatency(npkts int) ([]AblationLatencyRow, error) {
+	var rows []AblationLatencyRow
+	for _, lat := range []int64{5, 10, 20, 40} {
+		mk := func() []*ir.Func {
+			md, _ := bench.Get("md5")
+			fir, _ := bench.Get("fir2dim")
+			return []*ir.Func{md.Gen(npkts), md.Gen(npkts), fir.Gen(npkts), fir.Gen(npkts)}
+		}
+		cfg := sim.Config{NReg: NReg, MemWords: bench.MemWords, MemLatency: lat}
+
+		baseThreads, _, err := baselineThreads(mk())
+		if err != nil {
+			return nil, err
+		}
+		baseRes, err := sim.Run(baseThreads, cfg)
+		if err != nil {
+			return nil, err
+		}
+		shareThreads, _, err := sharingThreads(mk())
+		if err != nil {
+			return nil, err
+		}
+		shareRes, err := sim.Run(shareThreads, cfg)
+		if err != nil {
+			return nil, err
+		}
+		speed := func(i int) float64 {
+			s := baseRes.Threads[i].CyclesPerIter()
+			h := shareRes.Threads[i].CyclesPerIter()
+			if s == 0 {
+				return 0
+			}
+			return 100 * (s - h) / s
+		}
+		rows = append(rows, AblationLatencyRow{
+			MemLatency:      lat,
+			CriticalSpeedup: (speed(0) + speed(1)) / 2,
+			OtherChange:     (speed(2) + speed(3)) / 2,
+		})
+	}
+	return rows, nil
+}
+
+// FormatAblations renders all four ablations.
+func FormatAblations(npkts int) (string, error) {
+	var sb strings.Builder
+
+	sb.WriteString("Ablation A: bound estimation — minimize MaxPR first (paper Fig.7) vs plain GIG coloring\n")
+	fmt.Fprintf(&sb, "%-14s %12s %12s %14s\n", "benchmark", "PR-first", "joint", "priv saved x4")
+	for _, r := range AblationEstimation(npkts) {
+		fmt.Fprintf(&sb, "%-14s %5d/%-5d %6d/%-5d %10d\n",
+			r.Name, r.PRFirstPR, r.PRFirstR, r.JointPR, r.JointR, r.PrivateSaved4Threads)
+	}
+
+	me, err := AblationMoveElim(npkts)
+	if err != nil {
+		return "", err
+	}
+	sb.WriteString("\nAblation B: unnecessary-move elimination at the minimal budget\n")
+	fmt.Fprintf(&sb, "%-14s %10s %12s %10s\n", "benchmark", "with elim", "without", "eliminated")
+	for _, r := range me {
+		fmt.Fprintf(&sb, "%-14s %10d %12d %9.1f%%\n", r.Name, r.MovesWith, r.MovesWithout, r.EliminatedPercent)
+	}
+
+	sr, err := AblationSRA(npkts)
+	if err != nil {
+		return "", err
+	}
+	sb.WriteString("\nAblation C: exact SRA sweep (paper §8) vs generic ARA greedy on 4 identical threads\n")
+	fmt.Fprintf(&sb, "%-14s %14s %14s\n", "benchmark", "SRA regs/cost", "ARA regs/cost")
+	for _, r := range sr {
+		fmt.Fprintf(&sb, "%-14s %8d/%-5d %8d/%-5d\n", r.Name, r.SRARegs, r.SRACost, r.ARARegs, r.ARACost)
+	}
+
+	sm, err := AblationSpillVsMove("md5", npkts)
+	if err != nil {
+		return "", err
+	}
+	sb.WriteString("\nAblation D: spilling vs live-range splitting, single-thread md5, budget sweep\n")
+	fmt.Fprintf(&sb, "%4s %9s %10s %7s %10s %9s\n", "K", "spillops", "cyc(spill)", "moves", "cyc(move)", "move win")
+	for _, r := range sm {
+		if r.Moves < 0 {
+			fmt.Fprintf(&sb, "%4d %9d %10.1f %7s %10s %9s\n",
+				r.K, r.SpillOps, r.SpillCycles, "-", "infeasible", "-")
+			continue
+		}
+		fmt.Fprintf(&sb, "%4d %9d %10.1f %7d %10.1f %8.1f%%\n",
+			r.K, r.SpillOps, r.SpillCycles, r.Moves, r.MoveCycles, r.MoveWinsByPc)
+	}
+
+	lt, err := AblationLatency(npkts)
+	if err != nil {
+		return "", err
+	}
+	sb.WriteString("\nAblation E: memory latency sensitivity (scenario S1: md5 x2 + fir2dim x2)\n")
+	fmt.Fprintf(&sb, "%8s %17s %13s\n", "latency", "critical speedup", "other change")
+	for _, r := range lt {
+		fmt.Fprintf(&sb, "%8d %16.1f%% %12.1f%%\n", r.MemLatency, r.CriticalSpeedup, r.OtherChange)
+	}
+
+	bl, err := AblationBaseline(npkts)
+	if err != nil {
+		return "", err
+	}
+	sb.WriteString("\nAblation F: baseline allocator robustness (scenario S1, md5 speedup vs each baseline)\n")
+	fmt.Fprintf(&sb, "%-10s %10s %17s\n", "baseline", "spillcode", "critical speedup")
+	for _, r := range bl {
+		fmt.Fprintf(&sb, "%-10s %10d %16.1f%%\n", r.Baseline, r.SpillCode, r.CriticalSpeedup)
+	}
+
+	sc, err := AblationScheduling(npkts)
+	if err != nil {
+		return "", err
+	}
+	sb.WriteString("\nAblation H: scheduler policy on top of sharing (S1; critical = md5)\n")
+	fmt.Fprintf(&sb, "%-12s %14s %12s %18s\n", "policy", "critical c/i", "other c/i", "critical gain")
+	for _, r := range sc {
+		fmt.Fprintf(&sb, "%-12s %14.1f %12.1f %17.1f%%\n", r.Policy, r.CriticalCyc, r.OtherCyc, r.CriticalSpeed)
+	}
+
+	wt, err := AblationWeighting(npkts)
+	if err != nil {
+		return "", err
+	}
+	sb.WriteString("\nAblation G: move objective — static count (paper) vs loop-depth weighted, at minimal registers\n")
+	fmt.Fprintf(&sb, "%-14s %19s %19s\n", "benchmark", "static: n / dyn", "weighted: n / dyn")
+	for _, r := range wt {
+		fmt.Fprintf(&sb, "%-14s %9d/%-9d %9d/%-9d\n", r.Name, r.StaticMoves, r.StaticDyn, r.WeightedMoves, r.WeightedDyn)
+	}
+
+	th, err := AblationThreads(npkts)
+	if err != nil {
+		return "", err
+	}
+	sb.WriteString("\nAblation I: threads per PU (symmetric md5; the shared bank amortizes)\n")
+	fmt.Fprintf(&sb, "%8s %4s %4s %10s %11s %12s\n", "threads", "PR", "SR", "total", "regs/thread", "iters/kcyc")
+	for _, r := range th {
+		fmt.Fprintf(&sb, "%8d %4d %4d %10d %11.1f %12.1f\n", r.Threads, r.PR, r.SR, r.TotalRegs, r.PerThread, r.Throughput)
+	}
+	return sb.String(), nil
+}
+
+// AblationBaselineRow compares the Table 3 story under different baseline
+// allocators: the paper's conclusion should not depend on whether the
+// per-thread 32-register baseline uses Chaitin coloring or linear scan.
+type AblationBaselineRow struct {
+	Baseline        string
+	SpillCode       int     // spill instructions inserted into md5
+	CriticalSpeedup float64 // md5 speedup of sharing vs this baseline
+}
+
+// AblationBaseline runs scenario S1 against both baseline allocators.
+func AblationBaseline(npkts int) ([]AblationBaselineRow, error) {
+	mk := func() []*ir.Func {
+		md, _ := bench.Get("md5")
+		fir, _ := bench.Get("fir2dim")
+		return []*ir.Func{md.Gen(npkts), md.Gen(npkts), fir.Gen(npkts), fir.Gen(npkts)}
+	}
+
+	// Sharing side once.
+	shareThreads, _, err := sharingThreads(mk())
+	if err != nil {
+		return nil, err
+	}
+	shareRes, err := runSim(shareThreads)
+	if err != nil {
+		return nil, err
+	}
+	shareCyc := (shareRes.Threads[0].CyclesPerIter() + shareRes.Threads[1].CyclesPerIter()) / 2
+
+	var rows []AblationBaselineRow
+	for _, kind := range []string{"chaitin", "linscan"} {
+		var threads []*sim.Thread
+		spillCode := 0
+		for i, f := range mk() {
+			phys := make([]ir.Reg, BaselineRegs)
+			for k := range phys {
+				phys[k] = ir.Reg(i*BaselineRegs + k)
+			}
+			var out *ir.Func
+			switch kind {
+			case "chaitin":
+				r, err := chaitin.Allocate(f, chaitin.Options{
+					Phys: phys, SpillBase: bench.SpillBase, SpillStride: bench.SpillStride,
+				})
+				if err != nil {
+					return nil, err
+				}
+				out = r.F
+				if i < 2 {
+					spillCode += r.SpillCode
+				}
+			case "linscan":
+				r, err := linscan.Allocate(f, linscan.Options{
+					Phys: phys, SpillBase: bench.SpillBase, SpillStride: bench.SpillStride,
+				})
+				if err != nil {
+					return nil, err
+				}
+				out = r.F
+				if i < 2 {
+					spillCode += r.SpillCode
+				}
+			}
+			threads = append(threads, &sim.Thread{
+				F: out, ProtectLo: i * BaselineRegs, ProtectHi: (i + 1) * BaselineRegs,
+			})
+		}
+		baseRes, err := runSim(threads)
+		if err != nil {
+			return nil, err
+		}
+		baseCyc := (baseRes.Threads[0].CyclesPerIter() + baseRes.Threads[1].CyclesPerIter()) / 2
+		rows = append(rows, AblationBaselineRow{
+			Baseline:        kind,
+			SpillCode:       spillCode,
+			CriticalSpeedup: 100 * (baseCyc - shareCyc) / baseCyc,
+		})
+	}
+	return rows, nil
+}
+
+// AblationWeightingRow compares the paper's static move-count objective
+// against a loop-depth-weighted (dynamic-count) objective at the minimal
+// register budget: the weighted allocator may insert more moves, but it
+// places them outside loops.
+type AblationWeightingRow struct {
+	Name          string
+	StaticMoves   int   // static objective: number of moves
+	StaticDyn     int64 // static objective: loop-weighted cost
+	WeightedMoves int   // weighted objective: number of moves
+	WeightedDyn   int64 // weighted objective: loop-weighted cost
+}
+
+// AblationWeighting runs both objectives on every benchmark.
+func AblationWeighting(npkts int) ([]AblationWeightingRow, error) {
+	var rows []AblationWeightingRow
+	for _, b := range bench.All() {
+		f := b.Gen(npkts)
+		li := loops.Compute(f)
+		w := make([]int64, f.NumPoints())
+		for p := range w {
+			w[p] = li.PointWeight(p)
+		}
+		solve := func(weighted bool) (*intra.Solution, error) {
+			al := intra.New(f)
+			if weighted {
+				al.UseLoopWeights()
+			}
+			bd := al.Bounds()
+			return al.Solve(bd.MinPR, bd.MinR-bd.MinPR)
+		}
+		s, err := solve(false)
+		if err != nil {
+			return nil, fmt.Errorf("ablation weighting %s: %w", b.Name, err)
+		}
+		wsol, err := solve(true)
+		if err != nil {
+			return nil, fmt.Errorf("ablation weighting %s (weighted): %w", b.Name, err)
+		}
+		rows = append(rows, AblationWeightingRow{
+			Name:          b.Name,
+			StaticMoves:   s.Ctx.MoveCount(),
+			StaticDyn:     s.Ctx.WeightedMoveCost(w),
+			WeightedMoves: wsol.Ctx.MoveCount(),
+			WeightedDyn:   wsol.Ctx.WeightedMoveCost(w),
+		})
+	}
+	return rows, nil
+}
+
+// AblationSchedulingRow compares scheduler policies on scenario S1 with
+// the sharing allocation: hardware round-robin vs. strict priority for
+// the critical threads (md5 on threads 0-1). Register balancing and
+// scheduling priority compose.
+type AblationSchedulingRow struct {
+	Policy        string
+	CriticalCyc   float64
+	OtherCyc      float64
+	CriticalSpeed float64 // vs round-robin critical
+}
+
+// AblationScheduling runs scenario S1 under both scheduling policies.
+func AblationScheduling(npkts int) ([]AblationSchedulingRow, error) {
+	mk := func() []*ir.Func {
+		md, _ := bench.Get("md5")
+		fir, _ := bench.Get("fir2dim")
+		return []*ir.Func{md.Gen(npkts), md.Gen(npkts), fir.Gen(npkts), fir.Gen(npkts)}
+	}
+	var rows []AblationSchedulingRow
+	var rrCritical float64
+	for _, pol := range []struct {
+		name string
+		p    sim.SchedPolicy
+	}{{"round-robin", sim.SchedRoundRobin}, {"priority", sim.SchedPriority}} {
+		threads, _, err := sharingThreads(mk())
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.Run(threads, sim.Config{
+			NReg: NReg, MemWords: bench.MemWords, Sched: pol.p,
+		})
+		if err != nil {
+			return nil, err
+		}
+		crit := (res.Threads[0].CyclesPerIter() + res.Threads[1].CyclesPerIter()) / 2
+		other := (res.Threads[2].CyclesPerIter() + res.Threads[3].CyclesPerIter()) / 2
+		row := AblationSchedulingRow{Policy: pol.name, CriticalCyc: crit, OtherCyc: other}
+		if pol.p == sim.SchedRoundRobin {
+			rrCritical = crit
+		} else if rrCritical > 0 {
+			row.CriticalSpeed = 100 * (rrCritical - crit) / rrCritical
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// AblationThreadsRow: the machine model is parameterized by Nthd — more
+// threads per PU amortize the shared bank across more private partitions
+// but shrink each thread's fair share of the file and of the CPU.
+type AblationThreadsRow struct {
+	Threads    int
+	PR, SR     int
+	TotalRegs  int     // Nthd*PR + SGR
+	PerThread  float64 // registers per thread under sharing
+	Throughput float64 // aggregate iters per kilocycle on the simulator
+}
+
+// AblationThreads sweeps the thread count for symmetric md5.
+func AblationThreads(npkts int) ([]AblationThreadsRow, error) {
+	md, err := bench.Get("md5")
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationThreadsRow
+	for _, nthd := range []int{2, 4, 8} {
+		alloc, err := core.AllocateSRA(md.Gen(npkts), nthd, core.Config{NReg: NReg})
+		if err != nil {
+			return nil, fmt.Errorf("ablation threads %d: %w", nthd, err)
+		}
+		if err := alloc.Verify(); err != nil {
+			return nil, err
+		}
+		var threads []*sim.Thread
+		for _, t := range alloc.Threads {
+			threads = append(threads, &sim.Thread{
+				F: t.F, ProtectLo: t.PrivBase, ProtectHi: t.PrivBase + t.PR,
+			})
+		}
+		res, err := sim.Run(threads, sim.Config{NReg: NReg, MemWords: bench.MemWords})
+		if err != nil {
+			return nil, err
+		}
+		var iters int64
+		for _, ts := range res.Threads {
+			iters += ts.Iters
+		}
+		rows = append(rows, AblationThreadsRow{
+			Threads:    nthd,
+			PR:         alloc.Threads[0].PR,
+			SR:         alloc.Threads[0].SR,
+			TotalRegs:  alloc.TotalRegisters(),
+			PerThread:  float64(alloc.TotalRegisters()) / float64(nthd),
+			Throughput: 1000 * float64(iters) / float64(res.Cycles),
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,218 @@
+package experiments
+
+import "testing"
+
+func TestAblationEstimation(t *testing.T) {
+	rows := AblationEstimation(testPackets)
+	if len(rows) != 11 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// The whole point of PR-first: never more private-capable colors.
+		if r.PRFirstPR > r.JointPR {
+			t.Errorf("%s: PR-first used more private colors (%d vs %d)",
+				r.Name, r.PRFirstPR, r.JointPR)
+		}
+	}
+}
+
+func TestAblationMoveElim(t *testing.T) {
+	rows, err := AblationMoveElim(testPackets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	helped := false
+	for _, r := range rows {
+		if r.MovesWith > r.MovesWithout {
+			t.Errorf("%s: elimination increased moves (%d vs %d)",
+				r.Name, r.MovesWith, r.MovesWithout)
+		}
+		if r.MovesWith < r.MovesWithout {
+			helped = true
+		}
+	}
+	if !helped {
+		t.Log("note: coalescing never fired on this suite at these budgets")
+	}
+}
+
+func TestAblationSRA(t *testing.T) {
+	rows, err := AblationSRA(testPackets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.SRARegs > NReg || r.ARARegs > NReg {
+			t.Errorf("%s: over budget: %+v", r.Name, r)
+		}
+		// The exact sweep minimizes cost first; it must never need more
+		// moves than the greedy heuristic.
+		if r.SRACost > r.ARACost {
+			t.Errorf("%s: exact SRA cost %d > greedy ARA cost %d", r.Name, r.SRACost, r.ARACost)
+		}
+	}
+}
+
+func TestAblationSpillVsMove(t *testing.T) {
+	rows, err := AblationSpillVsMove("md5", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 4 {
+		t.Fatalf("too few sweep points: %d", len(rows))
+	}
+	// The tightest budgets sit below RegPmax: only spilling can allocate
+	// there, and it pays heavily.
+	tight := rows[0]
+	if tight.SpillOps == 0 {
+		t.Errorf("baseline did not spill at K=%d", tight.K)
+	}
+	if tight.Moves != -1 {
+		t.Errorf("splitting should be infeasible at K=%d below RegPmax", tight.K)
+	}
+	// At the loosest budget both are clean: roughly equal cycles, no
+	// spills, no moves.
+	loose := rows[len(rows)-1]
+	if loose.SpillOps != 0 {
+		t.Errorf("baseline still spills at K=%d", loose.K)
+	}
+	if loose.Moves != 0 {
+		t.Errorf("moves at the move-free demand: %d", loose.Moves)
+	}
+	if loose.MoveWinsByPc > 10 || loose.MoveWinsByPc < -10 {
+		t.Errorf("crossover missing: at K=%d the gap is %.1f%%", loose.K, loose.MoveWinsByPc)
+	}
+	// Spill traffic must shrink monotonically-ish as K grows.
+	if rows[0].SpillOps <= rows[len(rows)-2].SpillOps {
+		t.Errorf("spill ops did not shrink with budget: %d -> %d",
+			rows[0].SpillOps, rows[len(rows)-2].SpillOps)
+	}
+}
+
+func TestAblationLatency(t *testing.T) {
+	rows, err := AblationLatency(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// The critical-thread win must grow with memory latency (the paper's
+	// premise: spills hurt because memory is slow).
+	if rows[len(rows)-1].CriticalSpeedup <= rows[0].CriticalSpeedup {
+		t.Errorf("speedup did not grow with latency: %.1f%% @%d vs %.1f%% @%d",
+			rows[0].CriticalSpeedup, rows[0].MemLatency,
+			rows[len(rows)-1].CriticalSpeedup, rows[len(rows)-1].MemLatency)
+	}
+}
+
+func TestFormatAblations(t *testing.T) {
+	text, err := FormatAblations(testPackets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", text)
+}
+
+func TestAblationBaseline(t *testing.T) {
+	rows, err := AblationBaseline(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// The story must hold under either baseline: md5 spills there and
+		// sharing wins clearly.
+		if r.SpillCode == 0 {
+			t.Errorf("%s: baseline did not spill md5", r.Baseline)
+		}
+		if r.CriticalSpeedup < 10 {
+			t.Errorf("%s: critical speedup only %.1f%%", r.Baseline, r.CriticalSpeedup)
+		}
+	}
+}
+
+func TestAblationWeighting(t *testing.T) {
+	rows, err := AblationWeighting(testPackets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 11 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// The weighted objective can never be beaten at its own game by
+		// more than noise: it directly optimizes WeightedDyn.
+		if r.WeightedDyn > r.StaticDyn {
+			t.Errorf("%s: weighted objective lost on dynamic cost (%d vs %d)",
+				r.Name, r.WeightedDyn, r.StaticDyn)
+		}
+	}
+}
+
+func TestClusterScaling(t *testing.T) {
+	free, err := ClusterScaling(24, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	contended, err := ClusterScaling(24, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(free) != 4 || len(contended) != 4 {
+		t.Fatalf("rows = %d/%d", len(free), len(contended))
+	}
+	// With infinite bandwidth, adding PUs scales well.
+	if free[3].Speedup < 4 {
+		t.Errorf("8 PUs free-bandwidth speedup only %.2fx", free[3].Speedup)
+	}
+	// With a contended channel, 8 PUs saturate visibly below the
+	// free-bandwidth scaling.
+	if contended[3].Speedup >= free[3].Speedup {
+		t.Errorf("contention did not bite: %.2fx vs %.2fx", contended[3].Speedup, free[3].Speedup)
+	}
+	// Throughput never decreases when adding PUs (work is independent).
+	for i := 1; i < 4; i++ {
+		if contended[i].Throughput < contended[i-1].Throughput*0.95 {
+			t.Errorf("throughput regressed at %d PUs: %.1f -> %.1f",
+				contended[i].PUs, contended[i-1].Throughput, contended[i].Throughput)
+		}
+	}
+	t.Logf("\n%s", FormatScaling(free, contended, 2))
+}
+
+func TestAblationScheduling(t *testing.T) {
+	rows, err := AblationScheduling(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Priority must not hurt the critical threads.
+	if rows[1].CriticalCyc > rows[0].CriticalCyc {
+		t.Errorf("priority slowed the critical threads: %.1f vs %.1f",
+			rows[1].CriticalCyc, rows[0].CriticalCyc)
+	}
+}
+
+func TestAblationThreads(t *testing.T) {
+	rows, err := AblationThreads(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Per-thread register cost falls as the shared bank amortizes.
+	if rows[2].PerThread >= rows[0].PerThread {
+		t.Errorf("no amortization: %.1f regs/thread at 8 vs %.1f at 2",
+			rows[2].PerThread, rows[0].PerThread)
+	}
+	// Aggregate throughput grows with threads (latency hiding).
+	if rows[2].Throughput <= rows[0].Throughput {
+		t.Errorf("throughput did not grow: %.1f vs %.1f", rows[2].Throughput, rows[0].Throughput)
+	}
+}

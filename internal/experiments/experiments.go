@@ -1,0 +1,101 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§9) on the npra substrate:
+//
+//	Table 1   — benchmark properties (static + simulated);
+//	Figure 14 — SRA: registers used with sharing vs. standalone allocation;
+//	Table 2   — move-insertion overhead at the minimal register bounds;
+//	Table 3   — ARA scenarios: cycles and context switches, baseline
+//	            spilling vs. cross-thread sharing.
+//
+// plus the ablations DESIGN.md calls out. Each experiment returns
+// structured rows (so tests can assert the result *shape* the paper
+// reports) and renders to text for cmd/npbench.
+package experiments
+
+import (
+	"fmt"
+
+	"npra/internal/bench"
+	"npra/internal/chaitin"
+	"npra/internal/core"
+	"npra/internal/ir"
+	"npra/internal/sim"
+)
+
+// Machine-wide constants mirroring the IXP1200: 4 threads per PU, 128
+// GPRs, so the baseline toolchain hands each thread 32 registers.
+const (
+	NThreads     = 4
+	NReg         = 128
+	BaselineRegs = NReg / NThreads
+)
+
+// DefaultPackets is the number of packets simulated per thread.
+const DefaultPackets = 64
+
+// baselineThreads allocates one function per hardware thread with the
+// baseline Chaitin allocator in its fixed 32-register partition and
+// returns simulator threads (no register protection needed — partitions
+// are disjoint by construction) plus the per-thread allocation results.
+func baselineThreads(funcs []*ir.Func) ([]*sim.Thread, []*chaitin.Result, error) {
+	var threads []*sim.Thread
+	var results []*chaitin.Result
+	for i, f := range funcs {
+		phys := make([]ir.Reg, BaselineRegs)
+		for k := range phys {
+			phys[k] = ir.Reg(i*BaselineRegs + k)
+		}
+		res, err := chaitin.Allocate(f, chaitin.Options{
+			Phys:        phys,
+			SpillBase:   bench.SpillBase + int64(0), // tid-relative via stride
+			SpillStride: bench.SpillStride,
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("baseline thread %d (%s): %w", i, f.Name, err)
+		}
+		threads = append(threads, &sim.Thread{
+			F:         res.F,
+			ProtectLo: i * BaselineRegs,
+			ProtectHi: (i + 1) * BaselineRegs,
+		})
+		results = append(results, res)
+	}
+	return threads, results, nil
+}
+
+// sharingThreads allocates the functions with the paper's inter-thread
+// allocator and returns simulator threads with private-range protection
+// armed, plus the allocation.
+func sharingThreads(funcs []*ir.Func) ([]*sim.Thread, *core.Allocation, error) {
+	alloc, err := core.AllocateARA(funcs, core.Config{NReg: NReg})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := alloc.Verify(); err != nil {
+		return nil, nil, fmt.Errorf("allocation failed verification: %w", err)
+	}
+	var threads []*sim.Thread
+	for _, t := range alloc.Threads {
+		threads = append(threads, &sim.Thread{
+			F:         t.F,
+			ProtectLo: t.PrivBase,
+			ProtectHi: t.PrivBase + t.PR,
+		})
+	}
+	return threads, alloc, nil
+}
+
+func runSim(threads []*sim.Thread) (*sim.Result, error) {
+	return sim.Run(threads, sim.Config{
+		NReg:     NReg,
+		MemWords: bench.MemWords,
+	})
+}
+
+func genCopies(b *bench.Benchmark, n, npkts int) []*ir.Func {
+	out := make([]*ir.Func, n)
+	for i := range out {
+		out[i] = b.Gen(npkts)
+	}
+	return out
+}

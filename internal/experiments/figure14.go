@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"npra/internal/bench"
+	"npra/internal/chaitin"
+	"npra/internal/intra"
+	"npra/internal/ir"
+)
+
+// Figure14Row reproduces one group of bars in the paper's Figure 14
+// (SRA evaluation): the registers a standalone single-thread allocator
+// needs, versus the (PR, SR) the inter-thread allocator settles on for
+// four threads of the same program when reducing only while moves stay
+// free (the paper runs "until the cost returned is non-zero").
+type Figure14Row struct {
+	Name       string
+	SingleRegs int // standalone Chaitin register count
+	PR, SR     int // per-thread private / globally shared, zero-move
+	Total      int // 4*PR + SR
+	SavingPct  float64
+}
+
+// Figure14 computes the SRA register-saving figure.
+func Figure14(npkts int) ([]Figure14Row, error) {
+	var rows []Figure14Row
+	for _, b := range bench.All() {
+		f := b.Gen(npkts)
+
+		// Standalone: Chaitin with an ample partition; RegsUsed is the
+		// "number of registers allocated assuming only a single thread".
+		phys := make([]ir.Reg, NReg)
+		for i := range phys {
+			phys[i] = ir.Reg(i)
+		}
+		single, err := chaitin.Allocate(f, chaitin.Options{Phys: phys})
+		if err != nil {
+			return nil, fmt.Errorf("figure14 %s: single: %w", b.Name, err)
+		}
+
+		pr, sr, err := zeroMoveSRA(f)
+		if err != nil {
+			return nil, fmt.Errorf("figure14 %s: %w", b.Name, err)
+		}
+		total := NThreads*pr + sr
+		rows = append(rows, Figure14Row{
+			Name:       b.Name,
+			SingleRegs: single.RegsUsed,
+			PR:         pr,
+			SR:         sr,
+			Total:      total,
+			SavingPct:  100 * (1 - float64(total)/float64(NThreads*single.RegsUsed)),
+		})
+	}
+	return rows, nil
+}
+
+// zeroMoveSRA finds the smallest register footprint 4*PR+SR reachable
+// without inserting any move instruction.
+func zeroMoveSRA(f *ir.Func) (pr, sr int, err error) {
+	al := intra.New(f)
+	b := al.Bounds()
+	bestTotal := -1
+	for p := b.MinPR; p <= b.MaxPR; p++ {
+		// Smallest SR with zero cost at this PR: costs are monotone
+		// non-increasing in SR, so scan down from the move-free demand.
+		maxSR := b.MaxR - p
+		if maxSR < 0 {
+			maxSR = 0
+		}
+		lo := -1
+		for s := maxSR; s >= 0; s-- {
+			sol, err := al.Solve(p, s)
+			if err != nil || sol.Cost > 0 {
+				break
+			}
+			lo = s
+		}
+		if lo < 0 {
+			continue
+		}
+		total := NThreads*p + lo
+		if bestTotal < 0 || total < bestTotal {
+			bestTotal, pr, sr = total, p, lo
+		}
+	}
+	if bestTotal < 0 {
+		return 0, 0, fmt.Errorf("no zero-move SRA point found")
+	}
+	return pr, sr, nil
+}
+
+// AverageSaving returns the mean register saving across rows (the paper
+// reports 24% on its suite).
+func AverageSaving(rows []Figure14Row) float64 {
+	if len(rows) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, r := range rows {
+		s += r.SavingPct
+	}
+	return s / float64(len(rows))
+}
+
+// FormatFigure14 renders the figure as a table plus the headline average.
+func FormatFigure14(rows []Figure14Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 14: SRA register allocation, %d threads, zero move insertion\n", NThreads)
+	fmt.Fprintf(&sb, "%-14s %12s %4s %4s %14s %9s\n",
+		"benchmark", "single-thd R", "PR", "SR", "4*PR+SR", "saving")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-14s %12d %4d %4d %8d/%5d %8.1f%%\n",
+			r.Name, r.SingleRegs, r.PR, r.SR, r.Total, NThreads*r.SingleRegs, r.SavingPct)
+	}
+	fmt.Fprintf(&sb, "average total register saving: %.1f%% (paper: 24%%)\n", AverageSaving(rows))
+	return sb.String()
+}

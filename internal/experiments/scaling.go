@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"npra/internal/core"
+	"npra/internal/ir"
+	"npra/internal/sim"
+)
+
+// ScalingRow is one point of the chip-scaling study: aggregate throughput
+// as processing units are added to a chip whose PUs share one memory
+// channel (the paper's Figure 2.a organization; on the real IXP the
+// shared SRAM was the scaling bottleneck).
+type ScalingRow struct {
+	PUs        int
+	Cycles     int64
+	Iters      int64
+	Throughput float64 // iterations per kilocycle, whole chip
+	Speedup    float64 // vs. the 1-PU row
+}
+
+// scalingKernel is a memory-heavy packet loop; each hardware thread works
+// a private 1 KiB segment derived from its chip-wide thread id.
+const scalingKernel = `
+func pkt
+entry:
+	tid v0
+	shli v0, v0, 10    ; 1 KiB segment per thread
+	set v1, NPKTS
+loop:
+	load v2, [v0+0]
+	addi v2, v2, 7
+	xor v3, v2, v1
+	store [v0+4], v3
+	load v4, [v0+8]
+	add v4, v4, v2
+	store [v0+12], v4
+	iter
+	subi v1, v1, 1
+	bnz v1, loop
+	halt
+`
+
+// ClusterScaling measures chip throughput at 1, 2, 4 and 8 processing
+// units (4 threads each, allocated symmetrically by the paper's
+// allocator), with the given memory-channel occupancy in cycles per
+// operation (0 = infinite bandwidth).
+func ClusterScaling(npkts int, occupancy int64) ([]ScalingRow, error) {
+	src := strings.ReplaceAll(scalingKernel, "NPKTS", fmt.Sprint(npkts))
+	prog, err := ir.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	alloc, err := core.AllocateSRA(prog, NThreads, core.Config{NReg: NReg})
+	if err != nil {
+		return nil, err
+	}
+	if err := alloc.Verify(); err != nil {
+		return nil, err
+	}
+
+	var rows []ScalingRow
+	for _, nPU := range []int{1, 2, 4, 8} {
+		var pus []sim.PU
+		for p := 0; p < nPU; p++ {
+			var threads []*sim.Thread
+			for _, t := range alloc.Threads {
+				threads = append(threads, &sim.Thread{
+					F: t.F, ProtectLo: t.PrivBase, ProtectHi: t.PrivBase + t.PR,
+				})
+			}
+			pus = append(pus, sim.PU{Threads: threads, TIDBase: p * NThreads})
+		}
+		res, err := sim.RunCluster(pus, sim.Config{
+			NReg: NReg, MemWords: 16384, MemOccupancy: occupancy,
+			MaxCycles: 50_000_000,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("scaling %d PUs: %w", nPU, err)
+		}
+		var iters int64
+		for _, pu := range res.PUs {
+			for _, ts := range pu.Threads {
+				iters += ts.Iters
+			}
+		}
+		row := ScalingRow{
+			PUs: nPU, Cycles: res.Cycles, Iters: iters,
+			Throughput: 1000 * float64(iters) / float64(res.Cycles),
+		}
+		if len(rows) > 0 {
+			row.Speedup = row.Throughput / rows[0].Throughput
+		} else {
+			row.Speedup = 1
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatScaling renders the chip-scaling study.
+func FormatScaling(free, contended []ScalingRow, occupancy int64) string {
+	var sb strings.Builder
+	sb.WriteString("Chip scaling: processing units sharing one memory (4 threads/PU, SRA-allocated)\n")
+	fmt.Fprintf(&sb, "%4s %22s %30s\n", "PUs", "infinite bandwidth", fmt.Sprintf("channel occupancy %d cyc/op", occupancy))
+	fmt.Fprintf(&sb, "%4s %12s %9s %19s %10s\n", "", "iters/kcyc", "speedup", "iters/kcyc", "speedup")
+	for i := range free {
+		fmt.Fprintf(&sb, "%4d %12.1f %8.2fx %19.1f %9.2fx\n",
+			free[i].PUs, free[i].Throughput, free[i].Speedup,
+			contended[i].Throughput, contended[i].Speedup)
+	}
+	return sb.String()
+}

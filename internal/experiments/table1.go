@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"npra/internal/bench"
+	"npra/internal/estimate"
+	"npra/internal/ig"
+)
+
+// Table1Row reproduces one row of the paper's Table 1: static program
+// properties, the register-pressure bounds, and the simulated cycles per
+// main-loop iteration (4 threads of the same benchmark, baseline
+// allocation, as the benchmarks ship).
+type Table1Row struct {
+	Name       string
+	Instrs     int
+	CyclesIter float64
+	CTX        int
+	CTXPct     float64
+	LiveRanges int
+	RegPmax    int // MinR
+	RegPCSBmax int // MinPR
+	MaxR       int
+	MaxPR      int
+	NSRs       int
+	AvgNSRSize float64
+}
+
+// Table1 computes the benchmark property table.
+func Table1(npkts int) ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, b := range bench.All() {
+		f := b.Gen(npkts)
+		st := f.Stats()
+		a := ig.Analyze(f)
+		est := estimate.Compute(a)
+
+		threads, _, err := baselineThreads(genCopies(b, NThreads, npkts))
+		if err != nil {
+			return nil, fmt.Errorf("table1 %s: %w", b.Name, err)
+		}
+		res, err := runSim(threads)
+		if err != nil {
+			return nil, fmt.Errorf("table1 %s: sim: %w", b.Name, err)
+		}
+		cyc := 0.0
+		for _, ts := range res.Threads {
+			cyc += ts.CyclesPerIter()
+		}
+		cyc /= float64(len(res.Threads))
+
+		rows = append(rows, Table1Row{
+			Name:       b.Name,
+			Instrs:     st.Instructions,
+			CyclesIter: cyc,
+			CTX:        st.CSBs,
+			CTXPct:     100 * float64(st.CSBs) / float64(st.Instructions),
+			LiveRanges: a.LiveRanges(),
+			RegPmax:    est.MinR,
+			RegPCSBmax: est.MinPR,
+			MaxR:       est.MaxR,
+			MaxPR:      est.MaxPR,
+			NSRs:       a.NSR.NumRegions,
+			AvgNSRSize: a.NSR.AvgSize(),
+		})
+	}
+	return rows, nil
+}
+
+// FormatTable1 renders the rows like the paper's Table 1.
+func FormatTable1(rows []Table1Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table 1: Benchmark applications (4 threads, %d registers, baseline allocation)\n", NReg)
+	fmt.Fprintf(&sb, "%-14s %7s %10s %5s %6s %7s %8s %11s %6s %7s %6s %8s\n",
+		"benchmark", "instrs", "cyc/iter", "#CTX", "CTX%", "#live", "RegPmax", "RegPCSBmax", "MaxR", "MaxPR", "#NSR", "avgNSR")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-14s %7d %10.1f %5d %5.1f%% %7d %8d %11d %6d %7d %6d %8.1f\n",
+			r.Name, r.Instrs, r.CyclesIter, r.CTX, r.CTXPct, r.LiveRanges,
+			r.RegPmax, r.RegPCSBmax, r.MaxR, r.MaxPR, r.NSRs, r.AvgNSRSize)
+	}
+	return sb.String()
+}

@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"npra/internal/bench"
+	"npra/internal/ir"
+)
+
+// Table3Thread is one thread row of a Table 3 scenario: the per-thread
+// allocation decision plus baseline-vs-sharing context switches and
+// cycles per iteration.
+type Table3Thread struct {
+	Bench      string
+	Critical   bool
+	PR, SR     int
+	LiveRanges int
+	Moves      int
+
+	CTXSpill   int // static context-switch instructions, baseline (spill code included)
+	CTXSharing int
+
+	CyclesSpill   float64 // simulated cycles per iteration
+	CyclesSharing float64
+	SpeedupPct    float64 // positive = sharing is faster
+}
+
+// Table3Scenario is one of the paper's three ARA workload mixes.
+type Table3Scenario struct {
+	Name        string
+	Description string
+	Benchmarks  []string // one per thread
+	Critical    []bool
+	Threads     []Table3Thread
+	SGR         int
+	TotalRegs   int
+}
+
+// scenarios are the paper's three Table 3 workloads.
+var scenarios = []struct {
+	name, desc string
+	benches    []string
+	critical   []bool
+}{
+	{
+		name: "S1", desc: "processing module: md5 x2 + fir2dim x2 (critical: md5)",
+		benches:  []string{"md5", "md5", "fir2dim", "fir2dim"},
+		critical: []bool{true, true, false, false},
+	},
+	{
+		name: "S2", desc: "full port pair: l2l3fwd recv/send + md5 x2 (critical: md5)",
+		benches:  []string{"l2l3fwd_recv", "l2l3fwd_send", "md5", "md5"},
+		critical: []bool{false, false, true, true},
+	},
+	{
+		name: "S3", desc: "scheduler: wraps recv/send + fir2dim + frag (critical: wraps)",
+		benches:  []string{"wraps_recv", "wraps_send", "fir2dim", "frag"},
+		critical: []bool{true, true, false, false},
+	},
+}
+
+// Table3 runs the three ARA scenarios: baseline per-thread Chaitin with
+// spilling versus the cross-thread balancing allocator, both simulated.
+func Table3(npkts int) ([]Table3Scenario, error) {
+	var out []Table3Scenario
+	for _, sc := range scenarios {
+		row, err := runScenario(sc.name, sc.desc, sc.benches, sc.critical, npkts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, *row)
+	}
+	return out, nil
+}
+
+func runScenario(name, desc string, benches []string, critical []bool, npkts int) (*Table3Scenario, error) {
+	funcs := make([]*ir.Func, len(benches))
+	for i, bn := range benches {
+		b, err := bench.Get(bn)
+		if err != nil {
+			return nil, err
+		}
+		funcs[i] = b.Gen(npkts)
+	}
+
+	// Baseline: fixed partitions, spill as needed.
+	baseThreads, baseAllocs, err := baselineThreads(funcs)
+	if err != nil {
+		return nil, fmt.Errorf("%s: baseline: %w", name, err)
+	}
+	baseRes, err := runSim(baseThreads)
+	if err != nil {
+		return nil, fmt.Errorf("%s: baseline sim: %w", name, err)
+	}
+
+	// Sharing: the paper's allocator. Fresh clones (allocation mutates
+	// nothing, but keep inputs clearly separate).
+	shareFuncs := make([]*ir.Func, len(benches))
+	for i, bn := range benches {
+		b, _ := bench.Get(bn)
+		shareFuncs[i] = b.Gen(npkts)
+	}
+	shareThreads, alloc, err := sharingThreads(shareFuncs)
+	if err != nil {
+		return nil, fmt.Errorf("%s: sharing: %w", name, err)
+	}
+	shareRes, err := runSim(shareThreads)
+	if err != nil {
+		return nil, fmt.Errorf("%s: sharing sim: %w", name, err)
+	}
+
+	scn := &Table3Scenario{
+		Name: name, Description: desc,
+		Benchmarks: benches, Critical: critical,
+		SGR: alloc.SGR, TotalRegs: alloc.TotalRegisters(),
+	}
+	for i := range benches {
+		spillCyc := baseRes.Threads[i].CyclesPerIter()
+		shareCyc := shareRes.Threads[i].CyclesPerIter()
+		speed := 0.0
+		if spillCyc > 0 {
+			speed = 100 * (spillCyc - shareCyc) / spillCyc
+		}
+		scn.Threads = append(scn.Threads, Table3Thread{
+			Bench:         benches[i],
+			Critical:      critical[i],
+			PR:            alloc.Threads[i].PR,
+			SR:            alloc.Threads[i].SR,
+			LiveRanges:    alloc.Threads[i].LiveRanges,
+			Moves:         alloc.Threads[i].Stats.Added(),
+			CTXSpill:      baseAllocs[i].F.Stats().CSBs,
+			CTXSharing:    alloc.Threads[i].F.Stats().CSBs,
+			CyclesSpill:   spillCyc,
+			CyclesSharing: shareCyc,
+			SpeedupPct:    speed,
+		})
+	}
+	return scn, nil
+}
+
+// FormatTable3 renders the scenarios like the paper's Table 3.
+func FormatTable3(scs []Table3Scenario) string {
+	var sb strings.Builder
+	sb.WriteString("Table 3: ARA scenarios — baseline 32-reg/thread spilling vs. cross-thread sharing\n")
+	for _, sc := range scs {
+		fmt.Fprintf(&sb, "\n%s: %s  (SGR=%d, total regs=%d/%d)\n", sc.Name, sc.Description, sc.SGR, sc.TotalRegs, NReg)
+		fmt.Fprintf(&sb, "  %-14s %4s %4s %6s %6s %9s %9s %10s %10s %8s\n",
+			"thread", "PR", "SR", "#live", "moves", "CTX:spill", "CTX:share", "cyc:spill", "cyc:share", "speedup")
+		for _, t := range sc.Threads {
+			crit := " "
+			if t.Critical {
+				crit = "*"
+			}
+			fmt.Fprintf(&sb, "%s %-14s %4d %4d %6d %6d %9d %9d %10.1f %10.1f %7.1f%%\n",
+				crit, t.Bench, t.PR, t.SR, t.LiveRanges, t.Moves,
+				t.CTXSpill, t.CTXSharing, t.CyclesSpill, t.CyclesSharing, t.SpeedupPct)
+		}
+	}
+	sb.WriteString("\n(* = performance-critical thread; paper: critical +18..24%, others -1..-4%)\n")
+	return sb.String()
+}

@@ -1,0 +1,156 @@
+package ig
+
+import (
+	"npra/internal/bitset"
+	"npra/internal/ir"
+	"npra/internal/liveness"
+	"npra/internal/nsr"
+)
+
+// Analysis bundles everything the allocators need to know about one
+// thread's function: liveness, the NSR partition, node classification and
+// the interference graphs.
+type Analysis struct {
+	F    *ir.Func
+	Live *liveness.Info
+	NSR  *nsr.Info
+
+	// NumVars is the node count (one node per virtual register).
+	NumVars int
+
+	// Alive[v] reports whether v is live anywhere (dead variables are
+	// excluded from the graphs and need no register).
+	Alive []bool
+
+	// Boundary[v] reports whether v is live across at least one CSB.
+	Boundary []bool
+
+	// Crossings[v] is the set of CSB points v is live across (nil for
+	// internal nodes). Indexed by program point.
+	Crossings []bitset.Set
+
+	// Regions[v] is the set of NSR ids containing a point of v.
+	Regions []bitset.Set
+
+	// Points[v] is v's live point set (liveness.Points).
+	Points []bitset.Set
+
+	// GIG has an edge {u,v} iff u and v are co-live at some program point.
+	GIG *Graph
+
+	// BIG has an edge {u,v} iff u and v are both live across the same CSB.
+	BIG *Graph
+}
+
+// Analyze runs liveness, NSR construction and interference-graph building
+// for a built function.
+func Analyze(f *ir.Func) *Analysis {
+	live := liveness.Compute(f)
+	regions := nsr.Compute(f)
+	return analyzeWith(f, live, regions)
+}
+
+func analyzeWith(f *ir.Func, live *liveness.Info, regions *nsr.Info) *Analysis {
+	nv := f.NumRegs
+	np := f.NumPoints()
+	a := &Analysis{
+		F: f, Live: live, NSR: regions, NumVars: nv,
+		Alive:     make([]bool, nv),
+		Boundary:  make([]bool, nv),
+		Crossings: make([]bitset.Set, nv),
+		Regions:   make([]bitset.Set, nv),
+		Points:    live.Points(),
+		GIG:       NewGraph(nv),
+		BIG:       NewGraph(nv),
+	}
+	for v := 0; v < nv; v++ {
+		a.Regions[v] = bitset.New(regions.NumRegions)
+		if !a.Points[v].Empty() {
+			a.Alive[v] = true
+		}
+	}
+	for p := 0; p < np; p++ {
+		at := live.At[p]
+		a.GIG.AddClique(at)
+		r := regions.Region[p]
+		at.ForEach(func(v int) { a.Regions[v].Add(r) })
+	}
+	for _, p := range regions.CSBs {
+		across := live.LiveAcross(p)
+		a.BIG.AddClique(across)
+		across.ForEach(func(v int) {
+			a.Boundary[v] = true
+			if a.Crossings[v] == nil {
+				a.Crossings[v] = bitset.New(np)
+			}
+			a.Crossings[v].Add(p)
+		})
+	}
+	// The entry point is a boundary too: a value live-in at entry reads
+	// the zero-initialized register file, and that zero must survive the
+	// other threads running before this one starts — so it needs a
+	// private register (point 0 is recorded as its crossing).
+	if np > 0 {
+		entry := live.EntryLive()
+		a.BIG.AddClique(entry)
+		entry.ForEach(func(v int) {
+			a.Boundary[v] = true
+			if a.Crossings[v] == nil {
+				a.Crossings[v] = bitset.New(np)
+			}
+			a.Crossings[v].Add(0)
+		})
+	}
+	return a
+}
+
+// InternalNodes returns the set of live internal (non-boundary) nodes.
+func (a *Analysis) InternalNodes() bitset.Set {
+	s := bitset.New(a.NumVars)
+	for v := 0; v < a.NumVars; v++ {
+		if a.Alive[v] && !a.Boundary[v] {
+			s.Add(v)
+		}
+	}
+	return s
+}
+
+// BoundaryNodes returns the set of boundary nodes.
+func (a *Analysis) BoundaryNodes() bitset.Set {
+	s := bitset.New(a.NumVars)
+	for v := 0; v < a.NumVars; v++ {
+		if a.Boundary[v] {
+			s.Add(v)
+		}
+	}
+	return s
+}
+
+// LiveRanges returns the number of live nodes (the paper's "#live ranges"
+// column).
+func (a *Analysis) LiveRanges() int {
+	n := 0
+	for v := 0; v < a.NumVars; v++ {
+		if a.Alive[v] {
+			n++
+		}
+	}
+	return n
+}
+
+// IIGMembers returns, for each NSR, the set of internal nodes live in it
+// (the node sets of the paper's IIGs). Interference edges among them are
+// read from the GIG: by Claim 2 of the paper, internal nodes of different
+// NSRs never interfere, so the GIG restricted to an IIG's members is
+// exactly that IIG.
+func (a *Analysis) IIGMembers() []bitset.Set {
+	out := make([]bitset.Set, a.NSR.NumRegions)
+	for r := range out {
+		out[r] = bitset.New(a.NumVars)
+	}
+	internal := a.InternalNodes()
+	internal.ForEach(func(v int) {
+		a.Regions[v].ForEach(func(r int) { out[r].Add(v) })
+	})
+	return out
+}

@@ -1,0 +1,153 @@
+package ig
+
+import "npra/internal/bitset"
+
+// ExactChromatic computes the exact chromatic number of the induced
+// subgraph on members by branch-and-bound (nil members = whole graph).
+// Exponential in the worst case: intended for verification oracles and
+// small graphs; maxNodes bounds the effort (0 means 24). Returns -1 if
+// the subgraph is larger than maxNodes.
+func (g *Graph) ExactChromatic(members bitset.Set, maxNodes int) int {
+	if maxNodes == 0 {
+		maxNodes = 24
+	}
+	var nodes []int
+	if members == nil {
+		for i := 0; i < g.N; i++ {
+			nodes = append(nodes, i)
+		}
+	} else {
+		nodes = members.Elems(nodes)
+	}
+	if len(nodes) == 0 {
+		return 0
+	}
+	if len(nodes) > maxNodes {
+		return -1
+	}
+
+	// Index compaction + adjacency matrix for speed.
+	idx := make(map[int]int, len(nodes))
+	for i, v := range nodes {
+		idx[v] = i
+	}
+	n := len(nodes)
+	adj := make([][]bool, n)
+	for i, v := range nodes {
+		adj[i] = make([]bool, n)
+		g.adj[v].ForEach(func(w int) {
+			if j, ok := idx[w]; ok {
+				adj[i][j] = true
+			}
+		})
+	}
+
+	// Order nodes by degree descending: fail fast.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	deg := make([]int, n)
+	for i := range adj {
+		for j := range adj[i] {
+			if adj[i][j] {
+				deg[i]++
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if deg[order[j]] > deg[order[i]] {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+	}
+
+	// Upper bound from greedy; lower bound from a clique.
+	var memberSet bitset.Set
+	if members != nil {
+		memberSet = members
+	} else {
+		memberSet = bitset.New(g.N)
+		for i := 0; i < g.N; i++ {
+			memberSet.Add(i)
+		}
+	}
+	_, best := g.GreedyColorMasked(g.SmallestLastOrder(memberSet), nil, memberSet)
+	lower := g.cliqueWithin(nodes)
+
+	colors := make([]int, n)
+	for i := range colors {
+		colors[i] = -1
+	}
+	var solve func(pos, used, limit int) bool
+	solve = func(pos, used, limit int) bool {
+		if pos == n {
+			return true
+		}
+		v := order[pos]
+		// Try existing colors, then at most one new color, never past limit.
+		tryTo := used + 1
+		if tryTo > limit {
+			tryTo = limit
+		}
+		for c := 0; c < tryTo; c++ {
+			ok := true
+			for w := 0; w < n && ok; w++ {
+				if adj[v][w] && colors[w] == c {
+					ok = false
+				}
+			}
+			if !ok {
+				continue
+			}
+			colors[v] = c
+			nu := used
+			if c == used {
+				nu++
+			}
+			if solve(pos+1, nu, limit) {
+				return true
+			}
+			colors[v] = -1
+		}
+		return false
+	}
+	for k := lower; k < best; k++ {
+		for i := range colors {
+			colors[i] = -1
+		}
+		if solve(0, 0, k) {
+			return k
+		}
+	}
+	return best
+}
+
+// cliqueWithin returns the size of a greedily grown clique among nodes
+// (a chromatic lower bound).
+func (g *Graph) cliqueWithin(nodes []int) int {
+	best := 1
+	for _, seed := range nodes {
+		clique := []int{seed}
+		for _, v := range nodes {
+			if v == seed {
+				continue
+			}
+			ok := true
+			for _, u := range clique {
+				if !g.HasEdge(u, v) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				clique = append(clique, v)
+			}
+		}
+		if len(clique) > best {
+			best = len(clique)
+		}
+	}
+	return best
+}

@@ -1,0 +1,101 @@
+package ig
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"npra/internal/bitset"
+)
+
+func TestExactChromaticKnown(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *Graph
+		want  int
+	}{
+		{"empty", func() *Graph { return NewGraph(4) }, 1},
+		{"C5", func() *Graph { return buildCycle(5) }, 3},
+		{"C6", func() *Graph { return buildCycle(6) }, 2},
+		{"K5", func() *Graph {
+			g := NewGraph(5)
+			for i := 0; i < 5; i++ {
+				for j := i + 1; j < 5; j++ {
+					g.AddEdge(i, j)
+				}
+			}
+			return g
+		}, 5},
+		{"petersen", func() *Graph {
+			g := NewGraph(10)
+			for i := 0; i < 5; i++ {
+				g.AddEdge(i, (i+1)%5)     // outer cycle
+				g.AddEdge(i, i+5)         // spokes
+				g.AddEdge(i+5, (i+2)%5+5) // inner pentagram
+			}
+			return g
+		}, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.build().ExactChromatic(nil, 0)
+			if got != tc.want {
+				t.Errorf("chromatic = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestExactChromaticTooBig(t *testing.T) {
+	g := NewGraph(40)
+	if got := g.ExactChromatic(nil, 10); got != -1 {
+		t.Errorf("oversized graph = %d, want -1", got)
+	}
+}
+
+func TestExactChromaticSubset(t *testing.T) {
+	g := buildCycle(5)
+	// A 3-node path within C5 is 2-colorable.
+	m := bitset.New(5)
+	m.Add(0)
+	m.Add(1)
+	m.Add(2)
+	if got := g.ExactChromatic(m, 0); got != 2 {
+		t.Errorf("path chromatic = %d, want 2", got)
+	}
+}
+
+// Property: on small random graphs, the exact chromatic number is
+// sandwiched between the greedy clique bound and the greedy coloring, and
+// greedy smallest-last is within 2 colors of optimal at these sizes.
+func TestQuickExactVsGreedy(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(10)
+		g := NewGraph(n)
+		for i := 0; i < n*2; i++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		exact := g.ExactChromatic(nil, 16)
+		if exact < 0 {
+			return true
+		}
+		_, greedy := g.GreedyColor(g.SmallestLastOrder(nil), nil)
+		if exact > greedy {
+			t.Logf("seed %d: exact %d > greedy %d", seed, exact, greedy)
+			return false
+		}
+		if lb := g.MaxCliqueLower(); lb > exact {
+			t.Logf("seed %d: clique %d > exact %d", seed, lb, exact)
+			return false
+		}
+		if greedy > exact+2 {
+			t.Logf("seed %d: greedy %d far above exact %d", seed, greedy, exact)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

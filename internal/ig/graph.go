@@ -1,0 +1,247 @@
+// Package ig builds and colors the three interference graphs of the
+// paper (§3.2): the Global Interference Graph (GIG) over all live ranges,
+// the Boundary Interference Graph (BIG) over live ranges that cross
+// context-switch boundaries, and per-NSR Internal Interference Graphs
+// (IIGs).
+package ig
+
+import (
+	"sort"
+
+	"npra/internal/bitset"
+)
+
+// Graph is an undirected interference graph over nodes [0, N).
+type Graph struct {
+	N   int
+	adj []bitset.Set
+}
+
+// NewGraph returns an empty graph on n nodes.
+func NewGraph(n int) *Graph {
+	g := &Graph{N: n, adj: make([]bitset.Set, n)}
+	for i := range g.adj {
+		g.adj[i] = bitset.New(n)
+	}
+	return g
+}
+
+// AddEdge inserts the undirected edge {u, v}. Self-loops are ignored.
+func (g *Graph) AddEdge(u, v int) {
+	if u == v {
+		return
+	}
+	g.adj[u].Add(v)
+	g.adj[v].Add(u)
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool { return u != v && g.adj[u].Has(v) }
+
+// Neighbors returns u's adjacency set. Callers must not modify it.
+func (g *Graph) Neighbors(u int) bitset.Set { return g.adj[u] }
+
+// Degree returns the number of neighbors of u.
+func (g *Graph) Degree(u int) int { return g.adj[u].Count() }
+
+// AddClique inserts all pairwise edges among the members of s.
+func (g *Graph) AddClique(s bitset.Set) {
+	var members []int
+	members = s.Elems(members)
+	for i, u := range members {
+		for _, v := range members[i+1:] {
+			g.AddEdge(u, v)
+		}
+	}
+}
+
+// Edges returns the number of edges.
+func (g *Graph) Edges() int {
+	total := 0
+	for _, a := range g.adj {
+		total += a.Count()
+	}
+	return total / 2
+}
+
+// SmallestLastOrder returns the nodes of the induced subgraph on `members`
+// in smallest-last order: repeatedly remove a minimum-degree node; the
+// reverse removal order is a good greedy coloring order (optimal on
+// interval and chordal graphs, and ≤ degeneracy+1 colors in general).
+// If members is nil, all nodes participate.
+func (g *Graph) SmallestLastOrder(members bitset.Set) []int {
+	in := make([]bool, g.N)
+	var nodes []int
+	if members == nil {
+		for i := 0; i < g.N; i++ {
+			in[i] = true
+			nodes = append(nodes, i)
+		}
+	} else {
+		members.ForEach(func(i int) {
+			in[i] = true
+			nodes = append(nodes, i)
+		})
+	}
+	deg := make([]int, g.N)
+	for _, u := range nodes {
+		d := 0
+		g.adj[u].ForEach(func(v int) {
+			if in[v] {
+				d++
+			}
+		})
+		deg[u] = d
+	}
+	removed := make([]bool, g.N)
+	order := make([]int, 0, len(nodes))
+	for range nodes {
+		best, bestDeg := -1, 1<<30
+		for _, u := range nodes {
+			if !removed[u] && deg[u] < bestDeg {
+				best, bestDeg = u, deg[u]
+			}
+		}
+		removed[best] = true
+		order = append(order, best)
+		g.adj[best].ForEach(func(v int) {
+			if in[v] && !removed[v] {
+				deg[v]--
+			}
+		})
+	}
+	// Reverse: color highest-degeneracy nodes first.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+// GreedyColor colors the nodes in the given order with the lowest color
+// not used by an already-colored neighbor, honoring pre-assigned colors in
+// `colors` (entries ≥ 0 are fixed; pass -1 for free nodes). It returns the
+// updated colors and the total number of colors in use.
+func (g *Graph) GreedyColor(order []int, colors []int) ([]int, int) {
+	if colors == nil {
+		colors = make([]int, g.N)
+		for i := range colors {
+			colors[i] = -1
+		}
+	}
+	maxColor := -1
+	for _, c := range colors {
+		if c > maxColor {
+			maxColor = c
+		}
+	}
+	used := make([]bool, g.N+1)
+	for _, u := range order {
+		if colors[u] >= 0 {
+			continue
+		}
+		for i := range used {
+			used[i] = false
+		}
+		g.adj[u].ForEach(func(v int) {
+			if c := colors[v]; c >= 0 && c < len(used) {
+				used[c] = true
+			}
+		})
+		c := 0
+		for used[c] {
+			c++
+		}
+		colors[u] = c
+		if c > maxColor {
+			maxColor = c
+		}
+	}
+	return colors, maxColor + 1
+}
+
+// GreedyColorMasked is GreedyColor restricted to the induced subgraph on
+// mask: when coloring a node, only neighbors inside mask are considered.
+// Used to color each IIG independently of the already-colored BIG, as the
+// paper's Figure 7 does before its merge step.
+func (g *Graph) GreedyColorMasked(order []int, colors []int, mask bitset.Set) ([]int, int) {
+	if colors == nil {
+		colors = make([]int, g.N)
+		for i := range colors {
+			colors[i] = -1
+		}
+	}
+	maxColor := -1
+	used := make([]bool, g.N+1)
+	for _, u := range order {
+		if colors[u] >= 0 {
+			continue
+		}
+		for i := range used {
+			used[i] = false
+		}
+		g.adj[u].ForEach(func(v int) {
+			if !mask.Has(v) {
+				return
+			}
+			if c := colors[v]; c >= 0 && c < len(used) {
+				used[c] = true
+			}
+		})
+		c := 0
+		for used[c] {
+			c++
+		}
+		colors[u] = c
+		if c > maxColor {
+			maxColor = c
+		}
+	}
+	return colors, maxColor + 1
+}
+
+// VerifyColoring returns the first conflicting edge (u, v) whose endpoints
+// share a color, or (-1, -1) if the coloring is proper. Nodes colored -1
+// are ignored.
+func (g *Graph) VerifyColoring(colors []int) (int, int) {
+	for u := 0; u < g.N; u++ {
+		if colors[u] < 0 {
+			continue
+		}
+		conflict := -1
+		g.adj[u].ForEach(func(v int) {
+			if conflict < 0 && v > u && colors[v] == colors[u] {
+				conflict = v
+			}
+		})
+		if conflict >= 0 {
+			return u, conflict
+		}
+	}
+	return -1, -1
+}
+
+// MaxCliqueLower returns a fast lower bound on the chromatic number: the
+// largest clique found greedily around high-degree vertices.
+func (g *Graph) MaxCliqueLower() int {
+	order := make([]int, g.N)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return g.Degree(order[a]) > g.Degree(order[b]) })
+	best := 0
+	for _, seed := range order {
+		clique := []int{seed}
+		g.adj[seed].ForEach(func(v int) {
+			for _, u := range clique {
+				if !g.HasEdge(u, v) {
+					return
+				}
+			}
+			clique = append(clique, v)
+		})
+		if len(clique) > best {
+			best = len(clique)
+		}
+	}
+	return best
+}

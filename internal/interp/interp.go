@@ -1,0 +1,172 @@
+// Package interp is the reference interpreter for npra IR: single-thread,
+// big-step, no timing model. It defines the observable semantics that
+// register allocation must preserve — final memory contents, iteration
+// markers and halting — and is used by tests to prove rewritten
+// (allocated) code equivalent to the virtual-register original.
+//
+// Machine model: registers hold 32-bit words and are zero at entry;
+// memory is an array of 32-bit words addressed in bytes (word index =
+// addr/4, out-of-range accesses wrap modulo the memory size).
+package interp
+
+import (
+	"fmt"
+
+	"npra/internal/ir"
+)
+
+// Result reports an execution.
+type Result struct {
+	Mem    []uint32 // final memory (the input slice, mutated)
+	Regs   []uint32 // final register file
+	Iters  int      // number of iter markers executed
+	Steps  int      // instructions executed
+	Halted bool     // reached halt before the step budget expired
+}
+
+// Options configures a run.
+type Options struct {
+	TID      uint32 // value returned by the tid instruction
+	MaxSteps int    // execution budget; 0 means a generous default
+}
+
+// Run executes f on mem (word-indexed) and returns the result. The
+// function must be built. Runtime errors (division-free ISA, so only
+// invalid opcodes) are returned as errors.
+func Run(f *ir.Func, mem []uint32, opt Options) (*Result, error) {
+	if !f.Built() {
+		return nil, fmt.Errorf("interp: function %s not built", f.Name)
+	}
+	maxSteps := opt.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 1 << 20
+	}
+	res := &Result{Mem: mem, Regs: make([]uint32, f.NumRegs)}
+	regs := res.Regs
+	rd := func(r ir.Reg) uint32 { return regs[r] }
+	word := func(addr uint32) *uint32 {
+		if len(mem) == 0 {
+			panic("interp: empty memory")
+		}
+		return &mem[(addr/4)%uint32(len(mem))]
+	}
+
+	pc := 0 // global point
+	n := f.NumPoints()
+	for res.Steps < maxSteps {
+		if pc < 0 || pc >= n {
+			return res, fmt.Errorf("interp: pc %d out of range", pc)
+		}
+		in := f.Instr(pc)
+		res.Steps++
+		next := pc + 1
+		switch in.Op {
+		case ir.OpSet:
+			regs[in.Def] = uint32(in.Imm)
+		case ir.OpMov:
+			regs[in.Def] = rd(in.A)
+		case ir.OpTID:
+			regs[in.Def] = opt.TID
+		case ir.OpAdd:
+			regs[in.Def] = rd(in.A) + rd(in.B)
+		case ir.OpSub:
+			regs[in.Def] = rd(in.A) - rd(in.B)
+		case ir.OpAnd:
+			regs[in.Def] = rd(in.A) & rd(in.B)
+		case ir.OpOr:
+			regs[in.Def] = rd(in.A) | rd(in.B)
+		case ir.OpXor:
+			regs[in.Def] = rd(in.A) ^ rd(in.B)
+		case ir.OpShl:
+			regs[in.Def] = rd(in.A) << (rd(in.B) & 31)
+		case ir.OpShr:
+			regs[in.Def] = rd(in.A) >> (rd(in.B) & 31)
+		case ir.OpMul:
+			regs[in.Def] = rd(in.A) * rd(in.B)
+		case ir.OpAddI:
+			regs[in.Def] = rd(in.A) + uint32(in.Imm)
+		case ir.OpSubI:
+			regs[in.Def] = rd(in.A) - uint32(in.Imm)
+		case ir.OpAndI:
+			regs[in.Def] = rd(in.A) & uint32(in.Imm)
+		case ir.OpOrI:
+			regs[in.Def] = rd(in.A) | uint32(in.Imm)
+		case ir.OpXorI:
+			regs[in.Def] = rd(in.A) ^ uint32(in.Imm)
+		case ir.OpShlI:
+			regs[in.Def] = rd(in.A) << (uint32(in.Imm) & 31)
+		case ir.OpShrI:
+			regs[in.Def] = rd(in.A) >> (uint32(in.Imm) & 31)
+		case ir.OpMulI:
+			regs[in.Def] = rd(in.A) * uint32(in.Imm)
+		case ir.OpNot:
+			regs[in.Def] = ^rd(in.A)
+		case ir.OpLoad:
+			regs[in.Def] = *word(rd(in.A) + uint32(in.Imm))
+		case ir.OpLoadA:
+			regs[in.Def] = *word(uint32(in.Imm))
+		case ir.OpStore:
+			*word(rd(in.A) + uint32(in.Imm)) = rd(in.B)
+		case ir.OpStoreA:
+			*word(uint32(in.Imm)) = rd(in.B)
+		case ir.OpCtx, ir.OpNop:
+			// No observable effect single-threaded.
+		case ir.OpIter:
+			res.Iters++
+		case ir.OpBr:
+			next = f.Blocks[f.BlockByLabel(in.Target)].Start()
+		case ir.OpBZ:
+			if rd(in.A) == 0 {
+				next = f.Blocks[f.BlockByLabel(in.Target)].Start()
+			}
+		case ir.OpBNZ:
+			if rd(in.A) != 0 {
+				next = f.Blocks[f.BlockByLabel(in.Target)].Start()
+			}
+		case ir.OpBEQ:
+			if rd(in.A) == rd(in.B) {
+				next = f.Blocks[f.BlockByLabel(in.Target)].Start()
+			}
+		case ir.OpBNE:
+			if rd(in.A) != rd(in.B) {
+				next = f.Blocks[f.BlockByLabel(in.Target)].Start()
+			}
+		case ir.OpBLT:
+			if int32(rd(in.A)) < int32(rd(in.B)) {
+				next = f.Blocks[f.BlockByLabel(in.Target)].Start()
+			}
+		case ir.OpBGE:
+			if int32(rd(in.A)) >= int32(rd(in.B)) {
+				next = f.Blocks[f.BlockByLabel(in.Target)].Start()
+			}
+		case ir.OpHalt:
+			res.Halted = true
+			return res, nil
+		default:
+			return res, fmt.Errorf("interp: invalid opcode %v at point %d", in.Op, pc)
+		}
+		pc = next
+	}
+	return res, nil
+}
+
+// Equivalent compares two results for observational equality: both halted
+// (or neither), same iteration count, same memory image. Register files
+// are not compared — allocation renames them by design.
+func Equivalent(a, b *Result) error {
+	if a.Halted != b.Halted {
+		return fmt.Errorf("halted: %v vs %v", a.Halted, b.Halted)
+	}
+	if a.Iters != b.Iters {
+		return fmt.Errorf("iters: %d vs %d", a.Iters, b.Iters)
+	}
+	if len(a.Mem) != len(b.Mem) {
+		return fmt.Errorf("memory sizes differ: %d vs %d", len(a.Mem), len(b.Mem))
+	}
+	for i := range a.Mem {
+		if a.Mem[i] != b.Mem[i] {
+			return fmt.Errorf("mem[%d]: %#x vs %#x", i*4, a.Mem[i], b.Mem[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package interp
+
+import (
+	"testing"
+
+	"npra/internal/ir"
+)
+
+func run(t *testing.T, src string, memWords int) *Result {
+	t.Helper()
+	f := ir.MustParse(src)
+	res, err := Run(f, make([]uint32, memWords), Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func TestArithmetic(t *testing.T) {
+	res := run(t, `
+a:
+	set v0, 6
+	set v1, 7
+	mul v2, v0, v1     ; 42
+	addi v2, v2, 100   ; 142
+	subi v2, v2, 2     ; 140
+	shli v3, v2, 2     ; 560
+	shri v3, v3, 1     ; 280
+	xor v4, v2, v3     ; 140^280
+	and v5, v2, v3
+	or  v6, v2, v3
+	not v7, v0         ; ^6
+	store [0], v2
+	store [4], v3
+	store [8], v4
+	store [12], v5
+	store [16], v6
+	store [20], v7
+	halt`, 8)
+	want := []uint32{140, 280, 140 ^ 280, 140 & 280, 140 | 280, ^uint32(6)}
+	for i, w := range want {
+		if res.Mem[i] != w {
+			t.Errorf("mem[%d] = %d, want %d", i*4, res.Mem[i], w)
+		}
+	}
+	if !res.Halted {
+		t.Errorf("not halted")
+	}
+}
+
+func TestLoopAndIter(t *testing.T) {
+	res := run(t, `
+a:
+	set v0, 0
+	set v1, 5
+loop:
+	add v0, v0, v1
+	iter
+	subi v1, v1, 1
+	bnz v1, loop
+	store [0], v0
+	halt`, 4)
+	if res.Mem[0] != 15 {
+		t.Errorf("sum = %d, want 15", res.Mem[0])
+	}
+	if res.Iters != 5 {
+		t.Errorf("iters = %d, want 5", res.Iters)
+	}
+}
+
+func TestLoadStoreAddressing(t *testing.T) {
+	f := ir.MustParse(`
+a:
+	set v0, 8
+	set v1, 77
+	store [v0+4], v1   ; mem word 3
+	load v2, [v0-4]    ; mem word 1
+	addi v2, v2, 1
+	store [0], v2
+	halt`)
+	mem := make([]uint32, 8)
+	mem[1] = 41
+	res, err := Run(f, mem, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem[3] != 77 {
+		t.Errorf("mem[3] = %d, want 77", mem[3])
+	}
+	if mem[0] != 42 {
+		t.Errorf("mem[0] = %d, want 42", mem[0])
+	}
+	_ = res
+}
+
+func TestSignedBranches(t *testing.T) {
+	res := run(t, `
+a:
+	set v0, -1       ; 0xFFFFFFFF
+	set v1, 1
+	blt v0, v1, neg
+	store [0], v1
+	halt
+neg:
+	set v2, 123
+	store [0], v2
+	halt`, 2)
+	if res.Mem[0] != 123 {
+		t.Errorf("signed blt failed: mem[0] = %d", res.Mem[0])
+	}
+}
+
+func TestTIDAndBudget(t *testing.T) {
+	f := ir.MustParse(`
+a:
+	tid v0
+	store [0], v0
+spin:
+	br spin`)
+	mem := make([]uint32, 2)
+	res, err := Run(f, mem, Options{TID: 3, MaxSteps: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Halted {
+		t.Errorf("halted on infinite loop")
+	}
+	if res.Steps != 100 {
+		t.Errorf("steps = %d, want 100", res.Steps)
+	}
+	if mem[0] != 3 {
+		t.Errorf("tid = %d, want 3", mem[0])
+	}
+}
+
+func TestEquivalent(t *testing.T) {
+	a := &Result{Mem: []uint32{1, 2}, Iters: 3, Halted: true}
+	b := &Result{Mem: []uint32{1, 2}, Iters: 3, Halted: true}
+	if err := Equivalent(a, b); err != nil {
+		t.Errorf("equal results: %v", err)
+	}
+	b.Mem[1] = 9
+	if err := Equivalent(a, b); err == nil {
+		t.Errorf("memory diff not detected")
+	}
+	b.Mem[1] = 2
+	b.Iters = 4
+	if err := Equivalent(a, b); err == nil {
+		t.Errorf("iteration diff not detected")
+	}
+}
+
+func TestMemoryWraps(t *testing.T) {
+	// Address beyond the memory wraps modulo size rather than faulting.
+	res := run(t, `
+a:
+	set v0, 1000
+	set v1, 9
+	store [v0+0], v1
+	halt`, 4)
+	if res.Mem[(1000/4)%4] != 9 {
+		t.Errorf("wrapped store missing")
+	}
+}

@@ -1,0 +1,177 @@
+package intra
+
+import (
+	"fmt"
+
+	"npra/internal/estimate"
+	"npra/internal/ig"
+	"npra/internal/ir"
+	"npra/internal/loops"
+)
+
+// Allocator solves intra-thread allocations for one function at any
+// requested (PR, SR) budget, memoizing the chain of color-elimination
+// contexts so the inter-thread allocator's repeated cost probes are cheap
+// (the paper's "incremental" intra allocator that records its contexts).
+//
+// Contexts placed in the memo are never mutated again; derivations always
+// clone. The allocator is not safe for concurrent use.
+type Allocator struct {
+	F   *ir.Func
+	A   *ig.Analysis
+	Est *estimate.Estimate
+
+	// DisableCoalesce turns off the unnecessary-move elimination pass
+	// after each color elimination (for ablation studies). Set before the
+	// first Solve call.
+	DisableCoalesce bool
+
+	weights []int64 // nil = static move counting
+
+	memo    map[[2]int]*Context // (cap, size) -> context
+	memoErr map[[2]int]error
+}
+
+// Solution is a successful intra-thread allocation for a (PR, SR) budget.
+type Solution struct {
+	Ctx    *Context
+	PR, SR int // the requested budget
+	Cost   int // moves the rewriter will insert
+}
+
+// New analyzes f and returns an allocator for it.
+func New(f *ir.Func) *Allocator {
+	return NewFromAnalysis(ig.Analyze(f))
+}
+
+// NewFromAnalysis returns an allocator over an existing analysis.
+func NewFromAnalysis(a *ig.Analysis) *Allocator {
+	return &Allocator{
+		F: a.F, A: a, Est: estimate.Compute(a),
+		memo:    make(map[[2]int]*Context),
+		memoErr: make(map[[2]int]error),
+	}
+}
+
+// Bounds returns the thread's register requirement bounds.
+func (al *Allocator) Bounds() estimate.Bounds { return al.Est.Bounds }
+
+// UseLoopWeights switches the move-minimization objective from the
+// paper's static count to a loop-depth-weighted estimate of the dynamic
+// count (10x per nesting level). Must be called before the first Solve.
+func (al *Allocator) UseLoopWeights() {
+	if len(al.memo) > 0 {
+		panic("intra: UseLoopWeights after solving")
+	}
+	li := loops.Compute(al.F)
+	w := make([]int64, al.F.NumPoints())
+	for p := range w {
+		w[p] = li.PointWeight(p)
+	}
+	al.weights = w
+}
+
+// Solve returns an allocation in which values crossing context switches
+// use at most pr colors and all values use at most pr+sr colors. It fails
+// with an infeasible error when the budget is below the achievable
+// minimum (MinPR/MinR in the common case).
+func (al *Allocator) Solve(pr, sr int) (*Solution, error) {
+	if pr < 0 || sr < 0 {
+		return nil, errInfeasible{fmt.Sprintf("negative budget PR=%d SR=%d", pr, sr)}
+	}
+	capTarget := pr
+	if capTarget > al.Est.MaxPR {
+		capTarget = al.Est.MaxPR
+	}
+	sizeTarget := pr + sr
+	if sizeTarget > al.Est.MaxR {
+		sizeTarget = al.Est.MaxR
+	}
+	if sizeTarget < capTarget {
+		sizeTarget = capTarget
+	}
+	ctx, err := al.context(capTarget, sizeTarget)
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{Ctx: ctx, PR: pr, SR: sr, Cost: ctx.MoveCost()}, nil
+}
+
+// context returns the memoized context for the requested palette. The
+// canonical derivation path demotes the private-capable cap from MaxPR
+// down to the target first (at full palette size), then shrinks the
+// palette size one color at a time.
+func (al *Allocator) context(cap, size int) (*Context, error) {
+	key := [2]int{cap, size}
+	if ctx, ok := al.memo[key]; ok {
+		return ctx, nil
+	}
+	if err, ok := al.memoErr[key]; ok {
+		return nil, err
+	}
+	ctx, err := al.buildContext(cap, size)
+	if err != nil {
+		al.memoErr[key] = err
+		return nil, err
+	}
+	al.memo[key] = ctx
+	return ctx, nil
+}
+
+func (al *Allocator) buildContext(cap, size int) (*Context, error) {
+	maxPR, maxR := al.Est.MaxPR, al.Est.MaxR
+	switch {
+	case cap == maxPR && size == maxR:
+		return newContext(al.A, al.Est.Colors, cap, size, al.weights), nil
+	case cap < 0 || size < cap || size > maxR || cap > maxPR:
+		return nil, errInfeasible{fmt.Sprintf("palette cap=%d size=%d outside [%d,%d]", cap, size, maxPR, maxR)}
+	case size == maxR: // cap < maxPR: demote one private-capable color
+		prev, err := al.context(cap+1, size)
+		if err != nil {
+			return nil, err
+		}
+		return al.bestStep(prev, 0, prev.Cap, (*Context).demoteColor)
+	default: // size < maxR: eliminate one color
+		prev, err := al.context(cap, size+1)
+		if err != nil {
+			return nil, err
+		}
+		// Candidates start at the requested cap: eliminating a color from
+		// the private prefix might be cheap now but can make deeper
+		// targets falsely infeasible (the prefix is this palette's
+		// contract with the crossing pieces).
+		return al.bestStep(prev, cap, prev.Size, (*Context).vacateColor)
+	}
+}
+
+// bestStep tries the given elimination on every candidate color in
+// [lo, hi) of a clone of prev and keeps the cheapest successful result,
+// mirroring the paper's greedy "try each color, keep the minimum cost"
+// loops in Reduce_PR/Reduce_SR.
+func (al *Allocator) bestStep(prev *Context, lo, hi int, step func(*Context, int) error) (*Context, error) {
+	var best *Context
+	bestCost := int(^uint(0) >> 1)
+	var firstErr error
+	for c := lo; c < hi; c++ {
+		trial := prev.Clone()
+		if err := step(trial, c); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if !al.DisableCoalesce {
+			trial.coalesce()
+		}
+		if cost := trial.MoveCost(); cost < bestCost {
+			best, bestCost = trial, cost
+		}
+	}
+	if best == nil {
+		if firstErr == nil {
+			firstErr = errInfeasible{"no candidate colors"}
+		}
+		return nil, firstErr
+	}
+	return best, nil
+}

@@ -1,0 +1,289 @@
+// Package intra implements the paper's intra-thread register allocator
+// (§7): given a private-register budget PR and a shared budget SR, color
+// every live range so that values live across context switches use only
+// the first PR "private-capable" colors, splitting live ranges with move
+// instructions when the budgets are below the move-free requirement
+// (Reduce-PR and Reduce-SR invocations, Figure 10).
+//
+// Live ranges are represented as *pieces*: disjoint sets of program
+// points, one color per piece. Splitting a live range partitions its
+// points across several pieces; the rewriter later materializes a move on
+// every CFG edge where a variable changes piece color. This makes
+// correctness structural — any proper piece coloring yields correct code —
+// while the allocator's job is purely to minimize the number of such
+// color changes (the paper's move-minimization objective).
+package intra
+
+import (
+	"fmt"
+
+	"npra/internal/bitset"
+	"npra/internal/ig"
+)
+
+// Piece is one fragment of a live range: a subset of the variable's live
+// points, held in a single color (register) throughout.
+type Piece struct {
+	Var    int
+	Color  int
+	Points bitset.Set
+}
+
+// Context is one allocation state: a full piece partition of every live
+// range plus the palette it is colored with. Colors [0, Cap) may be used
+// by pieces that cross context-switch boundaries ("private-capable");
+// colors [0, Size) by anything.
+type Context struct {
+	A    *ig.Analysis
+	Cap  int // boundary palette size (≥ colors used by crossing pieces)
+	Size int // total palette size
+
+	Pieces []*Piece
+
+	np      int
+	pieceOf []int32 // [var*np+point] -> piece index, -1 when not live
+	cost    int     // cached MoveCost; -1 when dirty
+	weights []int64 // optional per-point loop weights (nil = static count)
+}
+
+// newContext builds the unsplit context from an estimation coloring:
+// one piece per live variable. weights, when non-nil, makes MoveCost a
+// loop-depth-weighted estimate of the *dynamic* move count.
+func newContext(a *ig.Analysis, colors []int, cap, size int, weights []int64) *Context {
+	np := a.F.NumPoints()
+	ctx := &Context{A: a, Cap: cap, Size: size, np: np, cost: -1, weights: weights}
+	ctx.pieceOf = make([]int32, a.NumVars*np)
+	for i := range ctx.pieceOf {
+		ctx.pieceOf[i] = -1
+	}
+	for v := 0; v < a.NumVars; v++ {
+		if !a.Alive[v] {
+			continue
+		}
+		ctx.addPiece(&Piece{Var: v, Color: colors[v], Points: a.Points[v].Clone()})
+	}
+	return ctx
+}
+
+func (ctx *Context) addPiece(p *Piece) int {
+	idx := len(ctx.Pieces)
+	ctx.Pieces = append(ctx.Pieces, p)
+	base := p.Var * ctx.np
+	p.Points.ForEach(func(pt int) { ctx.pieceOf[base+pt] = int32(idx) })
+	ctx.cost = -1
+	return idx
+}
+
+// PieceAt returns the index of v's piece covering point p, or -1.
+func (ctx *Context) PieceAt(v, p int) int { return int(ctx.pieceOf[v*ctx.np+p]) }
+
+// ColorAt returns the palette color holding v at point p, or -1.
+func (ctx *Context) ColorAt(v, p int) int {
+	i := ctx.PieceAt(v, p)
+	if i < 0 {
+		return -1
+	}
+	return ctx.Pieces[i].Color
+}
+
+// Clone deep-copies the context (weights are shared; they are immutable).
+func (ctx *Context) Clone() *Context {
+	c := &Context{A: ctx.A, Cap: ctx.Cap, Size: ctx.Size, np: ctx.np, cost: ctx.cost, weights: ctx.weights}
+	c.Pieces = make([]*Piece, len(ctx.Pieces))
+	for i, p := range ctx.Pieces {
+		c.Pieces[i] = &Piece{Var: p.Var, Color: p.Color, Points: p.Points.Clone()}
+	}
+	c.pieceOf = make([]int32, len(ctx.pieceOf))
+	copy(c.pieceOf, ctx.pieceOf)
+	return c
+}
+
+// crossingPoints returns the CSB points piece x is live across.
+func (ctx *Context) crossingPoints(x *Piece) bitset.Set {
+	cr := ctx.A.Crossings[x.Var]
+	if cr == nil {
+		return nil
+	}
+	s := cr.Clone()
+	s.And(x.Points)
+	return s
+}
+
+// crosses reports whether piece x is live across any CSB.
+func (ctx *Context) crosses(x *Piece) bool {
+	s := ctx.crossingPoints(x)
+	return s != nil && !s.Empty()
+}
+
+// MoveCost counts the moves the rewriter will emit: CFG edges (p -> q)
+// along which some variable is live in differently-colored pieces at the
+// two ends. This is the paper's objective function. With weights set, each
+// edge contributes min(w(p), w(q)) instead of 1, approximating the
+// dynamic execution count by loop depth.
+func (ctx *Context) MoveCost() int {
+	if ctx.cost >= 0 {
+		return ctx.cost
+	}
+	a := ctx.A
+	total := 0
+	var succs []int
+	for p := 0; p < ctx.np; p++ {
+		succs = a.F.PointSuccs(p, succs[:0])
+		for _, q := range succs {
+			a.Live.Out[p].ForEach(func(v int) {
+				if !a.Live.In[q].Has(v) {
+					return
+				}
+				xs, xd := ctx.PieceAt(v, p), ctx.PieceAt(v, q)
+				if xs != xd && ctx.Pieces[xs].Color != ctx.Pieces[xd].Color {
+					total += ctx.edgeWeight(p, q)
+				}
+			})
+		}
+	}
+	ctx.cost = total
+	return total
+}
+
+func (ctx *Context) edgeWeight(p, q int) int {
+	if ctx.weights == nil {
+		return 1
+	}
+	w := ctx.weights[p]
+	if wq := ctx.weights[q]; wq < w {
+		w = wq
+	}
+	return int(w)
+}
+
+// MoveCount always returns the static number of moves, regardless of the
+// weighting mode.
+func (ctx *Context) MoveCount() int {
+	a := ctx.A
+	total := 0
+	var succs []int
+	for p := 0; p < ctx.np; p++ {
+		succs = a.F.PointSuccs(p, succs[:0])
+		for _, q := range succs {
+			a.Live.Out[p].ForEach(func(v int) {
+				if !a.Live.In[q].Has(v) {
+					return
+				}
+				xs, xd := ctx.PieceAt(v, p), ctx.PieceAt(v, q)
+				if xs != xd && ctx.Pieces[xs].Color != ctx.Pieces[xd].Color {
+					total++
+				}
+			})
+		}
+	}
+	return total
+}
+
+// WeightedMoveCost evaluates the split schedule under explicit per-point
+// weights (for comparing allocators built with different objectives).
+func (ctx *Context) WeightedMoveCost(weights []int64) int64 {
+	a := ctx.A
+	var total int64
+	var succs []int
+	for p := 0; p < ctx.np; p++ {
+		succs = a.F.PointSuccs(p, succs[:0])
+		for _, q := range succs {
+			a.Live.Out[p].ForEach(func(v int) {
+				if !a.Live.In[q].Has(v) {
+					return
+				}
+				xs, xd := ctx.PieceAt(v, p), ctx.PieceAt(v, q)
+				if xs != xd && ctx.Pieces[xs].Color != ctx.Pieces[xd].Color {
+					w := weights[p]
+					if wq := weights[q]; wq < w {
+						w = wq
+					}
+					total += w
+				}
+			})
+		}
+	}
+	return total
+}
+
+// Validate checks every structural invariant of the context; tests and
+// the inter-thread allocator use it as a safety net.
+func (ctx *Context) Validate() error {
+	a := ctx.A
+	// Partition: each live point of each var covered by exactly one piece.
+	covered := make([]bitset.Set, a.NumVars)
+	for i, x := range ctx.Pieces {
+		if x.Color < 0 || x.Color >= ctx.Size {
+			return fmt.Errorf("intra: piece %d (v%d) color %d outside palette [0,%d)", i, x.Var, x.Color, ctx.Size)
+		}
+		if ctx.crosses(x) && x.Color >= ctx.Cap {
+			return fmt.Errorf("intra: crossing piece %d (v%d) colored %d >= cap %d", i, x.Var, x.Color, ctx.Cap)
+		}
+		if covered[x.Var] == nil {
+			covered[x.Var] = bitset.New(ctx.np)
+		}
+		if covered[x.Var].Intersects(x.Points) {
+			return fmt.Errorf("intra: pieces of v%d overlap", x.Var)
+		}
+		covered[x.Var].Or(x.Points)
+	}
+	for v := 0; v < a.NumVars; v++ {
+		if !a.Alive[v] {
+			if covered[v] != nil && !covered[v].Empty() {
+				return fmt.Errorf("intra: dead v%d has pieces", v)
+			}
+			continue
+		}
+		if covered[v] == nil || !covered[v].Equal(a.Points[v]) {
+			return fmt.Errorf("intra: pieces of v%d do not cover its live range", v)
+		}
+	}
+	// Proper coloring at every point.
+	seen := make([]int, ctx.Size)
+	for i := range seen {
+		seen[i] = -1
+	}
+	for p := 0; p < ctx.np; p++ {
+		conflict := -1
+		a.Live.At[p].ForEach(func(v int) {
+			c := ctx.ColorAt(v, p)
+			if seen[c] == p {
+				conflict = v
+			}
+			seen[c] = p
+		})
+		if conflict >= 0 {
+			return fmt.Errorf("intra: color collision at point %d involving v%d", p, conflict)
+		}
+		// reset marker trick: seen[c]==p marks use at this point
+	}
+	return nil
+}
+
+// colorsFreeAt fills free with true for palette colors not used by any
+// co-live piece at point p, excluding variable self.
+func (ctx *Context) colorsFreeAt(p int, self int, free []bool) {
+	for i := 0; i < ctx.Size; i++ {
+		free[i] = true
+	}
+	ctx.A.Live.At[p].ForEach(func(v int) {
+		if v == self {
+			return
+		}
+		if c := ctx.ColorAt(v, p); c >= 0 {
+			free[c] = false
+		}
+	})
+}
+
+// rebuildPieceIndex regenerates pieceOf after pieces were removed/merged.
+func (ctx *Context) rebuildPieceIndex() {
+	for i := range ctx.pieceOf {
+		ctx.pieceOf[i] = -1
+	}
+	for i, x := range ctx.Pieces {
+		base := x.Var * ctx.np
+		x.Points.ForEach(func(pt int) { ctx.pieceOf[base+pt] = int32(i) })
+	}
+	ctx.cost = -1
+}

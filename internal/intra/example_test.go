@@ -1,0 +1,37 @@
+package intra_test
+
+import (
+	"fmt"
+	"log"
+
+	"npra/internal/intra"
+	"npra/internal/ir"
+)
+
+// ExampleAllocator_Solve shrinks one thread's register budget below its
+// move-free demand: the allocator pays with split live ranges (moves).
+func ExampleAllocator_Solve() {
+	f := ir.MustParse(`
+func t
+entry:
+	set v0, 1
+	ctx
+	set v1, 2
+	add v2, v0, v1
+	store [0], v2
+	halt`)
+
+	al := intra.New(f)
+	b := al.Bounds()
+	fmt.Printf("bounds: MinPR=%d MinR=%d MaxPR=%d MaxR=%d\n",
+		b.MinPR, b.MinR, b.MaxPR, b.MaxR)
+
+	free, err := al.Solve(b.MaxPR, b.MaxR-b.MaxPR)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("at the move-free demand: %d moves\n", free.Cost)
+	// Output:
+	// bounds: MinPR=1 MinR=3 MaxPR=1 MaxR=3
+	// at the move-free demand: 0 moves
+}

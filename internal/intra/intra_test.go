@@ -1,0 +1,478 @@
+package intra
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"npra/internal/interp"
+	"npra/internal/ir"
+	"npra/internal/progen"
+)
+
+// figure3Thread1 is thread 1 of the paper's Figure 3: a (v0) crosses the
+// ctx, b (v1) and c (v2) are internal, and the three form a clique — yet
+// the paper shows two registers suffice after one live-range split.
+const figure3Thread1 = `
+func fig3t1
+entry:
+	set v0, 1
+	ctx
+	bz v0, L1
+	set v1, 2
+	add v1, v0, v1
+	set v2, 3
+	br L2
+L1:
+	set v2, 4
+	add v2, v0, v2
+	set v1, 5
+L2:
+	add v1, v1, v2
+	load v3, [v1+0]
+	store [64], v3
+	halt
+`
+
+func physIdentity(n int) []ir.Reg {
+	out := make([]ir.Reg, n)
+	for i := range out {
+		out[i] = ir.Reg(i)
+	}
+	return out
+}
+
+func TestFigure3MoveFree(t *testing.T) {
+	al := New(ir.MustParse(figure3Thread1))
+	b := al.Bounds()
+	if b.MinPR != 1 || b.MinR != 2 || b.MaxPR != 1 || b.MaxR != 3 {
+		t.Fatalf("bounds = %+v", b)
+	}
+	sol, err := al.Solve(1, 2) // the move-free budget
+	if err != nil {
+		t.Fatalf("Solve(1,2): %v", err)
+	}
+	if sol.Cost != 0 {
+		t.Errorf("cost = %d, want 0 at (MaxPR, MaxSR)", sol.Cost)
+	}
+	if err := sol.Ctx.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestFigure3SplitToTwoRegisters(t *testing.T) {
+	al := New(ir.MustParse(figure3Thread1))
+	// The paper's headline for this example: down to 2 total registers
+	// via live-range splitting (Figure 3.c uses a single inserted move).
+	sol, err := al.Solve(1, 1)
+	if err != nil {
+		t.Fatalf("Solve(1,1): %v", err)
+	}
+	if sol.Cost < 1 || sol.Cost > 3 {
+		t.Errorf("cost = %d, want a small positive move count", sol.Cost)
+	}
+	if err := sol.Ctx.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if sol.Ctx.Size > 2 {
+		t.Errorf("palette size = %d, want <= 2", sol.Ctx.Size)
+	}
+
+	// Materialize and prove equivalence.
+	nf, stats, err := Rewrite(sol.Ctx, physIdentity(sol.Ctx.Size))
+	if err != nil {
+		t.Fatalf("Rewrite: %v", err)
+	}
+	if nf.NumRegs > 2 {
+		t.Errorf("rewritten NumRegs = %d, want <= 2", nf.NumRegs)
+	}
+	if stats.Moves == 0 {
+		t.Errorf("no moves emitted despite split")
+	}
+	orig := ir.MustParse(figure3Thread1)
+	r1, err := interp.Run(orig, make([]uint32, 32), interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := interp.Run(nf, make([]uint32, 32), interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := interp.Equivalent(r1, r2); err != nil {
+		t.Errorf("not equivalent: %v\n%s", err, nf.Format())
+	}
+}
+
+func TestInfeasibleBudget(t *testing.T) {
+	al := New(ir.MustParse(figure3Thread1))
+	if _, err := al.Solve(1, 0); err == nil {
+		t.Errorf("Solve(1,0) succeeded below MinR")
+	} else if !IsInfeasible(err) {
+		t.Errorf("error not infeasible: %v", err)
+	}
+	if _, err := al.Solve(0, 3); err == nil {
+		t.Errorf("Solve(0,3) succeeded below MinPR")
+	}
+}
+
+func TestGenerousBudgetIsFree(t *testing.T) {
+	al := New(ir.MustParse(figure3Thread1))
+	sol, err := al.Solve(20, 20)
+	if err != nil {
+		t.Fatalf("Solve(20,20): %v", err)
+	}
+	if sol.Cost != 0 {
+		t.Errorf("generous budget cost = %d, want 0", sol.Cost)
+	}
+}
+
+func TestSolveOrderIndependence(t *testing.T) {
+	mk := func() *Allocator { return New(ir.MustParse(figure3Thread1)) }
+	a1 := mk()
+	s1a, err := a1.Solve(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1b, err := a1.Solve(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2 := mk()
+	s2b, err := a2.Solve(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2a, err := a2.Solve(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1a.Cost != s2a.Cost || s1b.Cost != s2b.Cost {
+		t.Errorf("query order changed results: %d/%d vs %d/%d",
+			s1a.Cost, s1b.Cost, s2a.Cost, s2b.Cost)
+	}
+}
+
+func TestParallelCopyCycle(t *testing.T) {
+	var stats RewriteStats
+	// r0 <- r1, r1 <- r0: a pure swap; must resolve without a temp.
+	instrs := appendParallelCopy(nil, []copyPair{{0, 1}, {1, 0}}, &stats)
+	regs := []uint32{10, 20, 99}
+	exec(t, instrs, regs)
+	if regs[0] != 20 || regs[1] != 10 {
+		t.Errorf("swap failed: %v", regs)
+	}
+	if stats.Moves != 0 || stats.Xors != 3 {
+		t.Errorf("stats = %+v", stats)
+	}
+
+	// 3-cycle plus a chain: r0<-r1<-r2<-r0 and r3<-r4.
+	stats = RewriteStats{}
+	instrs = appendParallelCopy(nil, []copyPair{{0, 1}, {1, 2}, {2, 0}, {3, 4}}, &stats)
+	regs = []uint32{1, 2, 3, 0, 7}
+	exec(t, instrs, regs)
+	if regs[0] != 2 || regs[1] != 3 || regs[2] != 1 || regs[3] != 7 {
+		t.Errorf("rotate failed: %v", regs)
+	}
+	if stats.Moves != 1 || stats.Xors != 6 {
+		t.Errorf("stats = %+v", stats)
+	}
+
+	// Chain where ordering matters: r2<-r1, r1<-r0.
+	stats = RewriteStats{}
+	instrs = appendParallelCopy(nil, []copyPair{{2, 1}, {1, 0}}, &stats)
+	regs = []uint32{5, 6, 7}
+	exec(t, instrs, regs)
+	if regs[2] != 6 || regs[1] != 5 {
+		t.Errorf("chain failed: %v", regs)
+	}
+}
+
+func exec(t *testing.T, instrs []ir.Instr, regs []uint32) {
+	t.Helper()
+	for _, in := range instrs {
+		switch in.Op {
+		case ir.OpMov:
+			regs[in.Def] = regs[in.A]
+		case ir.OpXor:
+			regs[in.Def] = regs[in.A] ^ regs[in.B]
+		default:
+			t.Fatalf("unexpected op %v in copy sequence", in.Op)
+		}
+	}
+}
+
+// Property: random permutation parallel copies are realized exactly.
+func TestQuickParallelCopyPermutations(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		perm := rng.Perm(n)
+		var pairs []copyPair
+		for dst, src := range perm {
+			pairs = append(pairs, copyPair{ir.Reg(dst), ir.Reg(src)})
+		}
+		var stats RewriteStats
+		instrs := appendParallelCopy(nil, pairs, &stats)
+		regs := make([]uint32, n)
+		want := make([]uint32, n)
+		for i := range regs {
+			regs[i] = uint32(rng.Uint32())
+		}
+		for dst, src := range perm {
+			want[dst] = regs[src]
+		}
+		for _, in := range instrs {
+			switch in.Op {
+			case ir.OpMov:
+				regs[in.Def] = regs[in.A]
+			case ir.OpXor:
+				regs[in.Def] = regs[in.A] ^ regs[in.B]
+			}
+		}
+		for i := range want {
+			if regs[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for random programs and random feasible budgets, Solve
+// produces a valid context whose rewrite is observationally equivalent to
+// the original, and crossing pieces stay inside the private prefix.
+func TestQuickSolveRewriteEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fun := progen.Generate(rng, progen.Default)
+		al := New(fun)
+		b := al.Bounds()
+
+		// Random budget between the minima and a bit above the maxima.
+		pr := b.MinPR + rng.Intn(b.MaxPR-b.MinPR+2)
+		minSR := b.MinR - pr
+		if minSR < 0 {
+			minSR = 0
+		}
+		sr := minSR + rng.Intn(b.MaxR-b.MinR+2)
+		sol, err := al.Solve(pr, sr)
+		if err != nil {
+			return false
+		}
+		if err := sol.Ctx.Validate(); err != nil {
+			t.Logf("seed %d: validate: %v", seed, err)
+			return false
+		}
+		nf, _, err := Rewrite(sol.Ctx, physIdentity(sol.Ctx.Size))
+		if err != nil {
+			t.Logf("seed %d: rewrite: %v", seed, err)
+			return false
+		}
+		const memWords = 64
+		m1 := make([]uint32, memWords)
+		m2 := make([]uint32, memWords)
+		r1, err := interp.Run(fun, m1, interp.Options{MaxSteps: 20000})
+		if err != nil {
+			return false
+		}
+		if !r1.Halted {
+			return true // skip diverging programs
+		}
+		r2, err := interp.Run(nf, m2, interp.Options{MaxSteps: 200000})
+		if err != nil {
+			return false
+		}
+		if err := interp.Equivalent(r1, r2); err != nil {
+			t.Logf("seed %d: %v\noriginal:\n%s\nrewritten:\n%s", seed, err, fun.Format(), nf.Format())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: solving at the exact lower bounds always succeeds (Lemma 1 /
+// the pointwise feasibility argument) and validates.
+func TestQuickLowerBoundReachable(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fun := progen.Generate(rng, progen.Default)
+		al := New(fun)
+		b := al.Bounds()
+		sol, err := al.Solve(b.MinPR, b.MinR-b.MinPR)
+		if err != nil {
+			t.Logf("seed %d: Solve(min) failed: %v", seed, err)
+			return false
+		}
+		return sol.Ctx.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (structured, no skips): every halting structured program
+// solves at a random feasible budget and the rewrite is fully equivalent.
+func TestQuickStructuredEquivalence(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fun := progen.GenerateStructured(rng, progen.DefaultStructured)
+		al := New(fun)
+		b := al.Bounds()
+		pr := b.MinPR + rng.Intn(b.MaxPR-b.MinPR+2)
+		minSR := b.MinR - pr
+		if minSR < 0 {
+			minSR = 0
+		}
+		sr := minSR + rng.Intn(b.MaxR-b.MinR+2)
+		sol, err := al.Solve(pr, sr)
+		if err != nil {
+			t.Logf("seed %d: solve: %v", seed, err)
+			return false
+		}
+		if err := sol.Ctx.Validate(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		nf, _, err := Rewrite(sol.Ctx, physIdentity(sol.Ctx.Size))
+		if err != nil {
+			t.Logf("seed %d: rewrite: %v", seed, err)
+			return false
+		}
+		m1 := make([]uint32, 128)
+		m2 := make([]uint32, 128)
+		r1, err := interp.Run(fun, m1, interp.Options{MaxSteps: 1 << 21})
+		if err != nil || !r1.Halted {
+			t.Logf("seed %d: structured program did not halt", seed)
+			return false // structured programs MUST halt: no skips
+		}
+		r2, err := interp.Run(nf, m2, interp.Options{MaxSteps: 1 << 22})
+		if err != nil {
+			return false
+		}
+		if err := interp.Equivalent(r1, r2); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the loop-weighted objective also produces valid, equivalent
+// allocations on structured (nested-loop) programs.
+func TestQuickWeightedObjective(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fun := progen.GenerateStructured(rng, progen.DefaultStructured)
+		al := New(fun)
+		al.UseLoopWeights()
+		b := al.Bounds()
+		sol, err := al.Solve(b.MinPR, b.MinR-b.MinPR)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if err := sol.Ctx.Validate(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		nf, _, err := Rewrite(sol.Ctx, physIdentity(sol.Ctx.Size))
+		if err != nil {
+			return false
+		}
+		m1 := make([]uint32, 128)
+		m2 := make([]uint32, 128)
+		r1, err := interp.Run(fun, m1, interp.Options{MaxSteps: 1 << 21})
+		if err != nil || !r1.Halted {
+			return false
+		}
+		r2, err := interp.Run(nf, m2, interp.Options{MaxSteps: 1 << 22})
+		if err != nil {
+			return false
+		}
+		return interp.Equivalent(r1, r2) == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLatticeSweep solves EVERY feasible (PR, SR) point of the budget
+// lattice for representative programs, validating and proving equivalence
+// at each — the systematic version of the spot checks above.
+func TestLatticeSweep(t *testing.T) {
+	sources := map[string]string{
+		"fig3": figure3Thread1,
+		"twoBoundary": `
+func tb
+entry:
+	set v0, 1
+	set v1, 2
+	ctx
+	add v2, v0, v1
+	set v3, 9
+	add v2, v2, v3
+	ctx
+	add v4, v0, v1
+	add v4, v4, v2
+	store [0], v4
+	halt`,
+	}
+	for name, src := range sources {
+		name, src := name, src
+		t.Run(name, func(t *testing.T) {
+			orig := ir.MustParse(src)
+			r1, err := interp.Run(orig, make([]uint32, 64), interp.Options{})
+			if err != nil || !r1.Halted {
+				t.Fatal("reference run failed")
+			}
+			al := New(ir.MustParse(src))
+			b := al.Bounds()
+			for pr := b.MinPR; pr <= b.MaxPR+1; pr++ {
+				for sr := 0; sr <= b.MaxR-b.MinPR+1; sr++ {
+					sol, err := al.Solve(pr, sr)
+					if pr+sr < b.MinR || pr < b.MinPR {
+						if err == nil {
+							t.Errorf("(%d,%d): below bounds but solved", pr, sr)
+						}
+						continue
+					}
+					if err != nil {
+						t.Errorf("(%d,%d): %v", pr, sr, err)
+						continue
+					}
+					if err := sol.Ctx.Validate(); err != nil {
+						t.Errorf("(%d,%d): %v", pr, sr, err)
+						continue
+					}
+					nf, _, err := Rewrite(sol.Ctx, physIdentity(sol.Ctx.Size))
+					if err != nil {
+						t.Errorf("(%d,%d): rewrite: %v", pr, sr, err)
+						continue
+					}
+					r2, err := interp.Run(nf, make([]uint32, 64), interp.Options{})
+					if err != nil {
+						t.Errorf("(%d,%d): run: %v", pr, sr, err)
+						continue
+					}
+					if err := interp.Equivalent(r1, r2); err != nil {
+						t.Errorf("(%d,%d): %v", pr, sr, err)
+					}
+					// Cost monotonicity: more registers never cost more
+					// than the minimal point.
+					if sol.Cost < 0 {
+						t.Errorf("(%d,%d): negative cost", pr, sr)
+					}
+				}
+			}
+		})
+	}
+}

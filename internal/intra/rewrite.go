@@ -1,0 +1,247 @@
+package intra
+
+import (
+	"fmt"
+
+	"npra/internal/ir"
+)
+
+// RewriteStats reports what the rewriter emitted.
+type RewriteStats struct {
+	Moves       int // mov instructions inserted
+	Xors        int // xor instructions inserted for copy cycles
+	Trampolines int // blocks added to split critical edges
+}
+
+// Added returns the total instructions added (excluding trampoline br).
+func (s RewriteStats) Added() int { return s.Moves + s.Xors }
+
+// Rewrite materializes a context onto physical registers: every operand
+// is renamed to phys[color of the piece live at that point], and a move
+// (or xor-swap sequence, for cyclic shuffles) is inserted on every CFG
+// edge along which some variable changes piece color. phys must provide
+// at least ctx.Size distinct registers.
+//
+// The result is a new, built function over physical registers that is
+// observationally equivalent to the original.
+func Rewrite(ctx *Context, phys []ir.Reg) (*ir.Func, RewriteStats, error) {
+	var stats RewriteStats
+	if len(phys) < ctx.Size {
+		return nil, stats, fmt.Errorf("intra: need %d physical registers, got %d", ctx.Size, len(phys))
+	}
+	seen := make(map[ir.Reg]bool, len(phys))
+	maxPhys := ir.Reg(-1)
+	for _, r := range phys[:ctx.Size] {
+		if r < 0 {
+			return nil, stats, fmt.Errorf("intra: negative physical register %d", r)
+		}
+		if seen[r] {
+			return nil, stats, fmt.Errorf("intra: duplicate physical register %d", r)
+		}
+		seen[r] = true
+		if r > maxPhys {
+			maxPhys = r
+		}
+	}
+
+	f := ctx.A.F
+	mapReg := func(v ir.Reg, p int) (ir.Reg, error) {
+		c := ctx.ColorAt(int(v), p)
+		if c < 0 {
+			return 0, fmt.Errorf("intra: v%d has no piece at point %d", v, p)
+		}
+		return phys[c], nil
+	}
+
+	nf := &ir.Func{Name: f.Name, Physical: true}
+	trampolines := 0
+	var tail []*ir.Block // taken-edge trampolines, appended at the end
+	var rerr error
+	fail := func(err error) {
+		if rerr == nil {
+			rerr = err
+		}
+	}
+
+	for bi, b := range f.Blocks {
+		nb := &ir.Block{Label: b.Label}
+		for k := range b.Instrs {
+			p := b.Start() + k
+			in := b.Instrs[k] // copy
+			if in.Def != ir.NoReg {
+				r, err := mapReg(in.Def, p)
+				if err != nil {
+					fail(err)
+				}
+				in.Def = r
+			}
+			if in.A != ir.NoReg {
+				r, err := mapReg(in.A, p)
+				if err != nil {
+					fail(err)
+				}
+				in.A = r
+			}
+			if in.B != ir.NoReg {
+				r, err := mapReg(in.B, p)
+				if err != nil {
+					fail(err)
+				}
+				in.B = r
+			}
+
+			last := k == len(b.Instrs)-1
+			if !last {
+				// Straight-line edge p -> p+1: moves go right after p.
+				nb.Instrs = append(nb.Instrs, in)
+				pairs := ctx.edgeCopies(p, p+1, phys)
+				nb.Instrs = appendParallelCopy(nb.Instrs, pairs, &stats)
+				continue
+			}
+
+			// Block end: the taken edge (branches) gets a trampoline at
+			// the function tail; the fallthrough edge gets an inline
+			// trampoline placed directly after this block.
+			if in.IsBranch() {
+				target := f.Blocks[f.BlockByLabel(in.Target)]
+				pairs := ctx.edgeCopies(p, target.Start(), phys)
+				if len(pairs) > 0 {
+					trampolines++
+					lbl := fmt.Sprintf(".mvt%d", trampolines)
+					tb := &ir.Block{Label: lbl}
+					tb.Instrs = appendParallelCopy(tb.Instrs, pairs, &stats)
+					tb.Instrs = append(tb.Instrs, ir.Instr{
+						Op: ir.OpBr, Def: ir.NoReg, A: ir.NoReg, B: ir.NoReg, Target: in.Target,
+					})
+					tail = append(tail, tb)
+					in.Target = lbl
+					stats.Trampolines++
+				}
+			}
+			nb.Instrs = append(nb.Instrs, in)
+			nf.Blocks = append(nf.Blocks, nb)
+
+			if !in.IsUncond() && bi+1 < len(f.Blocks) {
+				next := f.Blocks[bi+1]
+				pairs := ctx.edgeCopies(p, next.Start(), phys)
+				if len(pairs) > 0 {
+					trampolines++
+					fb := &ir.Block{Label: fmt.Sprintf(".mvf%d", trampolines)}
+					fb.Instrs = appendParallelCopy(fb.Instrs, pairs, &stats)
+					nf.Blocks = append(nf.Blocks, fb)
+					stats.Trampolines++
+				}
+			}
+		}
+	}
+	if rerr != nil {
+		return nil, stats, rerr
+	}
+	nf.Blocks = append(nf.Blocks, tail...)
+	nf.NumRegs = int(maxPhys) + 1
+	if err := nf.Build(); err != nil {
+		return nil, stats, fmt.Errorf("intra: rewritten function invalid: %w", err)
+	}
+	return nf, stats, nil
+}
+
+// copyPair is one register transfer on an edge: dst receives src's value.
+type copyPair struct{ dst, src ir.Reg }
+
+// edgeCopies returns the register transfers needed on the CFG edge
+// p -> q: variables live along the edge whose pieces at the two ends have
+// different colors.
+func (ctx *Context) edgeCopies(p, q int, phys []ir.Reg) []copyPair {
+	var pairs []copyPair
+	live := ctx.A.Live
+	live.Out[p].ForEach(func(v int) {
+		if !live.In[q].Has(v) {
+			return
+		}
+		cs, cd := ctx.ColorAt(v, p), ctx.ColorAt(v, q)
+		if cs < 0 || cd < 0 || cs == cd {
+			return
+		}
+		pairs = append(pairs, copyPair{dst: phys[cd], src: phys[cs]})
+	})
+	return pairs
+}
+
+// appendParallelCopy sequentializes a parallel copy. All dsts are distinct
+// and all srcs are distinct (they are colors of co-live pieces). Transfers
+// whose destination is not another pending source are emitted as movs;
+// remaining transfers form disjoint cycles, which are rotated in place
+// with xor-swaps so no scratch register is needed (the register file may
+// be fully occupied at a switch boundary).
+func appendParallelCopy(out []ir.Instr, pairs []copyPair, stats *RewriteStats) []ir.Instr {
+	pending := make([]copyPair, 0, len(pairs))
+	for _, pr := range pairs {
+		if pr.dst != pr.src {
+			pending = append(pending, pr)
+		}
+	}
+	for len(pending) > 0 {
+		progress := false
+		for i := 0; i < len(pending); {
+			blocked := false
+			for j := range pending {
+				if j != i && pending[j].src == pending[i].dst {
+					blocked = true
+					break
+				}
+			}
+			if blocked {
+				i++
+				continue
+			}
+			out = append(out, ir.Instr{Op: ir.OpMov, Def: pending[i].dst, A: pending[i].src, B: ir.NoReg})
+			stats.Moves++
+			pending[i] = pending[len(pending)-1]
+			pending = pending[:len(pending)-1]
+			progress = true
+		}
+		if progress {
+			continue
+		}
+		// Only cycles remain. Extract one starting at pending[0]:
+		// d0 <- d1 <- d2 <- ... <- dk-1 <- d0. Rotate with k-1 swaps.
+		cycle := []ir.Reg{pending[0].dst}
+		cur := pending[0].src
+		for cur != cycle[0] {
+			cycle = append(cycle, cur)
+			found := false
+			for _, pr := range pending {
+				if pr.dst == cur {
+					cur = pr.src
+					found = true
+					break
+				}
+			}
+			if !found {
+				panic("intra: broken copy cycle")
+			}
+		}
+		for i := 0; i+1 < len(cycle); i++ {
+			a, b := cycle[i], cycle[i+1]
+			out = append(out,
+				ir.Instr{Op: ir.OpXor, Def: a, A: a, B: b},
+				ir.Instr{Op: ir.OpXor, Def: b, A: a, B: b},
+				ir.Instr{Op: ir.OpXor, Def: a, A: a, B: b},
+			)
+			stats.Xors += 3
+		}
+		// Remove the cycle's pairs from pending.
+		inCycle := make(map[ir.Reg]bool, len(cycle))
+		for _, r := range cycle {
+			inCycle[r] = true
+		}
+		var rest []copyPair
+		for _, pr := range pending {
+			if !inCycle[pr.dst] {
+				rest = append(rest, pr)
+			}
+		}
+		pending = rest
+	}
+	return out
+}

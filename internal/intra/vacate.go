@@ -1,0 +1,434 @@
+package intra
+
+import (
+	"fmt"
+	"sort"
+
+	"npra/internal/bitset"
+)
+
+// errInfeasible reports that a color could not be vacated within the
+// current palette (the budget is below the achievable lower bound).
+type errInfeasible struct{ msg string }
+
+func (e errInfeasible) Error() string { return "intra: infeasible: " + e.msg }
+
+// IsInfeasible reports whether err marks an unreachable register budget.
+func IsInfeasible(err error) bool {
+	_, ok := err.(errInfeasible)
+	return ok
+}
+
+// vacateColor removes color c from the palette entirely: every piece
+// colored c is recolored — wholesale when possible, by live-range
+// splitting otherwise — then colors above c shift down and the palette
+// shrinks by one. This is the engine behind the paper's Reduce-SR
+// invocation (and behind Reduce-PR when the whole register disappears).
+func (ctx *Context) vacateColor(c int) error {
+	var victims []int
+	for i, x := range ctx.Pieces {
+		if x.Color == c {
+			victims = append(victims, i)
+		}
+	}
+	// Recolor small pieces first: they are most likely to slot into an
+	// existing color without splitting.
+	sort.Slice(victims, func(i, j int) bool {
+		return ctx.Pieces[victims[i]].Points.Count() < ctx.Pieces[victims[j]].Points.Count()
+	})
+	for _, i := range victims {
+		if err := ctx.recolorPiece(i, c, false); err != nil {
+			return err
+		}
+	}
+	for _, x := range ctx.Pieces {
+		if x.Color > c {
+			x.Color--
+		} else if x.Color == c {
+			panic("intra: vacated color still in use")
+		}
+	}
+	if c < ctx.Cap {
+		ctx.Cap--
+	}
+	ctx.Size--
+	ctx.cost = -1
+	return nil
+}
+
+// demoteColor makes private-capable color c shared-only without shrinking
+// the palette: pieces that cross a CSB while holding c are moved off it
+// (at least at their crossing points — splitting may leave internal
+// fragments on c), then c swaps labels with color Cap-1 and the
+// private-capable prefix shrinks by one. This is the paper's Reduce-PR
+// when the register stays available as a shared one.
+func (ctx *Context) demoteColor(c int) error {
+	if c < 0 || c >= ctx.Cap {
+		return fmt.Errorf("intra: demote color %d outside cap %d", c, ctx.Cap)
+	}
+	var victims []int
+	for i, x := range ctx.Pieces {
+		if x.Color == c && ctx.crosses(x) {
+			victims = append(victims, i)
+		}
+	}
+	sort.Slice(victims, func(i, j int) bool {
+		return ctx.Pieces[victims[i]].Points.Count() < ctx.Pieces[victims[j]].Points.Count()
+	})
+	for _, i := range victims {
+		if err := ctx.recolorPiece(i, c, true); err != nil {
+			return err
+		}
+	}
+	// Swap labels c <-> Cap-1 so the private-capable colors stay a prefix.
+	last := ctx.Cap - 1
+	if c != last {
+		for _, x := range ctx.Pieces {
+			switch x.Color {
+			case c:
+				x.Color = last
+			case last:
+				x.Color = c
+			}
+		}
+	}
+	ctx.Cap--
+	ctx.cost = -1
+	return nil
+}
+
+// recolorPiece moves piece i off color c. In vacate mode (crossingOnly
+// false) c is banned at every point; in demote mode (crossingOnly true)
+// c is banned only at the piece's CSB-crossing points, so splitting can
+// keep internal fragments on c. It first tries a wholesale recolor (zero
+// extra moves); failing that it splits the piece point-by-point, greedily
+// extending single-color runs to keep the number of color changes — i.e.
+// inserted moves — small. Points live across a CSB are restricted to the
+// private-capable prefix [0, Cap).
+func (ctx *Context) recolorPiece(i, c int, crossingOnly bool) error {
+	x := ctx.Pieces[i]
+	var pts []int
+	pts = x.Points.Elems(pts)
+	crossing := ctx.crossingPoints(x)
+
+	// freeAt[k][col]: col is usable at pts[k].
+	freeAt := make([][]bool, len(pts))
+	freq := make([]int, ctx.Size) // how many points each color is free at
+	for k, p := range pts {
+		free := make([]bool, ctx.Size)
+		ctx.colorsFreeAt(p, x.Var, free)
+		isCross := crossing != nil && crossing.Has(p)
+		if isCross {
+			for col := ctx.Cap; col < ctx.Size; col++ {
+				free[col] = false
+			}
+		}
+		if !crossingOnly || isCross {
+			free[c] = false
+		}
+		freeAt[k] = free
+		for col, ok := range free {
+			if ok {
+				freq[col]++
+			}
+		}
+	}
+
+	// Wholesale recolor: a color (other than c) free everywhere.
+	for col := 0; col < ctx.Size; col++ {
+		if col != c && freq[col] == len(pts) {
+			x.Color = col
+			ctx.cost = -1
+			return nil
+		}
+	}
+
+	// Neighbor-recolor heuristic (paper Fig. 7.b): if some candidate
+	// color is blocked by exactly one piece, and that blocker can itself
+	// move to a different color for free, displace it and take the color —
+	// still zero inserted moves.
+	if ctx.tryDisplace(x, c, crossing) {
+		return nil
+	}
+
+	// Split: assign a color per point, extending the current run while
+	// possible and preferring globally-often-free colors at run starts.
+	assign := make([]int, len(pts))
+	cur := -1
+	for k := range pts {
+		if cur >= 0 && freeAt[k][cur] {
+			assign[k] = cur
+			continue
+		}
+		best, bestFreq := -1, -1
+		for col := 0; col < ctx.Size; col++ {
+			if freeAt[k][col] && freq[col] > bestFreq {
+				best, bestFreq = col, freq[col]
+			}
+		}
+		if best < 0 {
+			// Dead end. At a CSB-crossing point this can happen even
+			// within the paper's bounds when an *internal* piece squats
+			// on a private-capable color; evict it to a spare color. In
+			// demote mode (crossingOnly) the banned color stays in the
+			// palette as a shared color, so the squatter may take it.
+			spareBan := c
+			if crossingOnly {
+				spareBan = -1
+			}
+			best = ctx.evictSquatter(x, pts[k], spareBan)
+			if best < 0 {
+				return errInfeasible{fmt.Sprintf(
+					"no color for v%d at point %d (cap=%d size=%d banned=%d)",
+					x.Var, pts[k], ctx.Cap, ctx.Size, c)}
+			}
+		}
+		cur = best
+		assign[k] = cur
+	}
+
+	// Rebuild: one piece per color used.
+	byColor := make(map[int]bitset.Set)
+	for k, p := range pts {
+		s, ok := byColor[assign[k]]
+		if !ok {
+			s = bitset.New(ctx.np)
+			byColor[assign[k]] = s
+		}
+		s.Add(p)
+	}
+	var cols []int
+	for col := range byColor {
+		cols = append(cols, col)
+	}
+	sort.Ints(cols)
+	first := true
+	for _, col := range cols {
+		if first {
+			x.Color = col
+			x.Points = byColor[col]
+			base := x.Var * ctx.np
+			x.Points.ForEach(func(pt int) { ctx.pieceOf[base+pt] = int32(i) })
+			first = false
+			continue
+		}
+		ctx.addPiece(&Piece{Var: x.Var, Color: col, Points: byColor[col]})
+	}
+	ctx.cost = -1
+	return nil
+}
+
+// evictSquatter frees a private-capable color for crossing piece x at its
+// crossing point p: it finds a co-live piece y that does not itself cross
+// p but occupies a color g < Cap, and a spare color h free at p, then
+// splits y's point p off into a fresh piece colored h. Returns the freed
+// color g, or -1 if no eviction is possible. The extra moves this costs
+// are picked up by MoveCost (and usually removed again by coalesce when a
+// cheaper candidate color wins).
+func (ctx *Context) evictSquatter(x *Piece, p, banned int) int {
+	crossing := ctx.crossingPoints(x)
+	if crossing == nil || !crossing.Has(p) {
+		return -1
+	}
+	// Spare color h: unused at p by anyone (x has no assignment at p yet).
+	rawFree := make([]bool, ctx.Size)
+	ctx.colorsFreeAt(p, x.Var, rawFree)
+	h := -1
+	for col := 0; col < ctx.Size; col++ {
+		if col != banned && rawFree[col] {
+			h = col
+			break
+		}
+	}
+	if h < 0 {
+		return -1
+	}
+	// Squatter y: co-live at p, not crossing p, on a private color != banned.
+	g := -1
+	var victim *Piece
+	var victimIdx int
+	ctx.A.Live.At[p].ForEach(func(v int) {
+		if g >= 0 || v == x.Var {
+			return
+		}
+		i := ctx.PieceAt(v, p)
+		if i < 0 {
+			return
+		}
+		y := ctx.Pieces[i]
+		if y.Color >= ctx.Cap || y.Color == banned {
+			return
+		}
+		if cr := ctx.A.Crossings[v]; cr != nil && cr.Has(p) {
+			return // y legitimately needs a private color here
+		}
+		g, victim, victimIdx = y.Color, y, i
+	})
+	if g < 0 {
+		return -1
+	}
+	// Split point p off victim onto color h.
+	victim.Points.Remove(p)
+	if victim.Points.Empty() {
+		// Single-point piece: just recolor it in place.
+		victim.Points.Add(p)
+		victim.Color = h
+		ctx.cost = -1
+		return g
+	}
+	np := &Piece{Var: victim.Var, Color: h, Points: bitsetWith(ctx.np, p)}
+	_ = victimIdx
+	ctx.addPiece(np)
+	ctx.cost = -1
+	return g
+}
+
+// tryDisplace attempts the paper's neighbor-recolor heuristic for piece x
+// (leaving banned color c): find a candidate color c' whose only blocker
+// among x's co-live pieces is a single piece q, where q can wholesale-move
+// to yet another color; displace q, give x color c'. Both recolorings are
+// whole-piece, so the move cost stays zero. Returns success.
+func (ctx *Context) tryDisplace(x *Piece, c int, crossing bitset.Set) bool {
+	isCrossing := crossing != nil && !crossing.Empty()
+	limit := ctx.Size
+	if isCrossing {
+		limit = ctx.Cap
+	}
+	for cand := 0; cand < limit; cand++ {
+		if cand == c || cand == x.Color {
+			continue
+		}
+		// Find the blockers of cand over x's points.
+		blockers := make(map[int]bool)
+		tooMany := false
+		x.Points.ForEach(func(p int) {
+			if tooMany {
+				return
+			}
+			ctx.A.Live.At[p].ForEach(func(v int) {
+				if v == x.Var {
+					return
+				}
+				if i := ctx.PieceAt(v, p); i >= 0 && ctx.Pieces[i].Color == cand {
+					blockers[i] = true
+					if len(blockers) > 1 {
+						tooMany = true
+					}
+				}
+			})
+		})
+		if tooMany || len(blockers) != 1 {
+			continue
+		}
+		var qi int
+		for i := range blockers {
+			qi = i
+		}
+		q := ctx.Pieces[qi]
+		if q.Color == c {
+			continue // q is itself being vacated; let its own turn handle it
+		}
+		// Find a free wholesale color for q (not c, not cand, and x's
+		// current color does not count as free either: x still holds it
+		// until we reassign below — but x is moving to cand, so x's old
+		// color IS usable by q as long as no other piece blocks it...
+		// keep it conservative and exclude it).
+		qLimit := ctx.Size
+		if ctx.crosses(q) {
+			qLimit = ctx.Cap
+		}
+		for qc := 0; qc < qLimit; qc++ {
+			if qc == c || qc == cand || qc == q.Color || qc == x.Color {
+				continue
+			}
+			if ctx.canTake(q, qc) {
+				q.Color = qc
+				x.Color = cand
+				ctx.cost = -1
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func bitsetWith(n, p int) bitset.Set {
+	s := bitset.New(n)
+	s.Add(p)
+	return s
+}
+
+// coalesce is the paper's "eliminate unnecessary moves" pass: repeatedly
+// merge a split piece into a sibling piece of the same variable whenever
+// the sibling's color is legal across the whole piece. Merging never
+// increases the move count and strictly reduces the piece count, so the
+// loop terminates.
+func (ctx *Context) coalesce() {
+	byVar := make(map[int][]int)
+	for i, x := range ctx.Pieces {
+		byVar[x.Var] = append(byVar[x.Var], i)
+	}
+	changedAny := false
+	for _, idxs := range byVar {
+		if len(idxs) < 2 {
+			continue
+		}
+		for again := true; again; {
+			again = false
+			for _, i := range idxs {
+				x := ctx.Pieces[i]
+				if x == nil {
+					continue
+				}
+				for _, j := range idxs {
+					y := ctx.Pieces[j]
+					if y == nil || i == j {
+						continue
+					}
+					if x.Color != y.Color && !ctx.canTake(x, y.Color) {
+						continue
+					}
+					// Merge x into y.
+					y.Points.Or(x.Points)
+					base := x.Var * ctx.np
+					x.Points.ForEach(func(pt int) { ctx.pieceOf[base+pt] = int32(j) })
+					ctx.Pieces[i] = nil
+					changedAny, again = true, true
+					break
+				}
+			}
+		}
+	}
+	if changedAny {
+		var kept []*Piece
+		for _, x := range ctx.Pieces {
+			if x != nil {
+				kept = append(kept, x)
+			}
+		}
+		ctx.Pieces = kept
+		ctx.rebuildPieceIndex()
+	}
+}
+
+// canTake reports whether piece x could legally adopt color col.
+func (ctx *Context) canTake(x *Piece, col int) bool {
+	if col < 0 || col >= ctx.Size {
+		return false
+	}
+	if col >= ctx.Cap && ctx.crosses(x) {
+		return false
+	}
+	ok := true
+	x.Points.ForEach(func(p int) {
+		if !ok {
+			return
+		}
+		ctx.A.Live.At[p].ForEach(func(v int) {
+			if v != x.Var && ctx.ColorAt(v, p) == col {
+				ok = false
+			}
+		})
+	})
+	return ok
+}

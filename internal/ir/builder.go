@@ -1,0 +1,174 @@
+package ir
+
+import "fmt"
+
+// Builder constructs functions programmatically. It hands out fresh virtual
+// registers and accumulates blocks in order; Finish builds and returns the
+// function. Benchmark generators use it to emit large unrolled kernels.
+type Builder struct {
+	f    *Func
+	cur  *Block
+	next Reg
+	err  error
+}
+
+// NewBuilder returns a Builder for a function with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{f: &Func{Name: name}}
+}
+
+// Reg allocates a fresh virtual register.
+func (bu *Builder) Reg() Reg {
+	r := bu.next
+	bu.next++
+	return r
+}
+
+// Label starts a new block with the given label.
+func (bu *Builder) Label(label string) {
+	bu.cur = &Block{Label: label}
+	bu.f.Blocks = append(bu.f.Blocks, bu.cur)
+}
+
+// Emit appends a raw instruction to the current block.
+func (bu *Builder) Emit(in Instr) {
+	if bu.cur == nil {
+		bu.Label("entry")
+	}
+	bu.cur.Instrs = append(bu.cur.Instrs, in)
+}
+
+// Set emits rd = imm into a fresh register and returns it.
+func (bu *Builder) Set(imm int64) Reg {
+	d := bu.Reg()
+	bu.Emit(Instr{Op: OpSet, Def: d, A: NoReg, B: NoReg, Imm: imm})
+	return d
+}
+
+// SetTo emits rd = imm into an existing register.
+func (bu *Builder) SetTo(d Reg, imm int64) {
+	bu.Emit(Instr{Op: OpSet, Def: d, A: NoReg, B: NoReg, Imm: imm})
+}
+
+// Mov emits d = a into a fresh register.
+func (bu *Builder) Mov(a Reg) Reg {
+	d := bu.Reg()
+	bu.Emit(Instr{Op: OpMov, Def: d, A: a, B: NoReg})
+	return d
+}
+
+// MovTo emits d = a.
+func (bu *Builder) MovTo(d, a Reg) {
+	bu.Emit(Instr{Op: OpMov, Def: d, A: a, B: NoReg})
+}
+
+// TID emits d = thread-id into a fresh register and returns it.
+func (bu *Builder) TID() Reg {
+	d := bu.Reg()
+	bu.Emit(Instr{Op: OpTID, Def: d, A: NoReg, B: NoReg})
+	return d
+}
+
+// Op3 emits a three-register ALU op into a fresh register.
+func (bu *Builder) Op3(op Op, a, b Reg) Reg {
+	d := bu.Reg()
+	bu.Emit(Instr{Op: op, Def: d, A: a, B: b})
+	return d
+}
+
+// Op3To emits a three-register ALU op into d.
+func (bu *Builder) Op3To(op Op, d, a, b Reg) {
+	bu.Emit(Instr{Op: op, Def: d, A: a, B: b})
+}
+
+// OpI emits a register-immediate ALU op into a fresh register.
+func (bu *Builder) OpI(op Op, a Reg, imm int64) Reg {
+	d := bu.Reg()
+	bu.Emit(Instr{Op: op, Def: d, A: a, B: NoReg, Imm: imm})
+	return d
+}
+
+// OpITo emits a register-immediate ALU op into d.
+func (bu *Builder) OpITo(op Op, d, a Reg, imm int64) {
+	bu.Emit(Instr{Op: op, Def: d, A: a, B: NoReg, Imm: imm})
+}
+
+// Load emits d = mem[a+off] into a fresh register.
+func (bu *Builder) Load(a Reg, off int64) Reg {
+	d := bu.Reg()
+	bu.Emit(Instr{Op: OpLoad, Def: d, A: a, B: NoReg, Imm: off})
+	return d
+}
+
+// LoadTo emits d = mem[a+off].
+func (bu *Builder) LoadTo(d, a Reg, off int64) {
+	bu.Emit(Instr{Op: OpLoad, Def: d, A: a, B: NoReg, Imm: off})
+}
+
+// Store emits mem[a+off] = s.
+func (bu *Builder) Store(a Reg, off int64, s Reg) {
+	bu.Emit(Instr{Op: OpStore, Def: NoReg, A: a, B: s, Imm: off})
+}
+
+// Ctx emits a voluntary context switch.
+func (bu *Builder) Ctx() { bu.Emit(Instr{Op: OpCtx, Def: NoReg, A: NoReg, B: NoReg}) }
+
+// Iter emits an iteration marker.
+func (bu *Builder) Iter() { bu.Emit(Instr{Op: OpIter, Def: NoReg, A: NoReg, B: NoReg}) }
+
+// Halt emits halt.
+func (bu *Builder) Halt() { bu.Emit(Instr{Op: OpHalt, Def: NoReg, A: NoReg, B: NoReg}) }
+
+// Br emits an unconditional branch.
+func (bu *Builder) Br(target string) {
+	bu.Emit(Instr{Op: OpBr, Def: NoReg, A: NoReg, B: NoReg, Target: target})
+}
+
+// BZ emits branch-if-zero.
+func (bu *Builder) BZ(a Reg, target string) {
+	bu.Emit(Instr{Op: OpBZ, Def: NoReg, A: a, B: NoReg, Target: target})
+}
+
+// BNZ emits branch-if-nonzero.
+func (bu *Builder) BNZ(a Reg, target string) {
+	bu.Emit(Instr{Op: OpBNZ, Def: NoReg, A: a, B: NoReg, Target: target})
+}
+
+// BLT emits branch-if-less-than (signed).
+func (bu *Builder) BLT(a, b Reg, target string) {
+	bu.Emit(Instr{Op: OpBLT, Def: NoReg, A: a, B: b, Target: target})
+}
+
+// BGE emits branch-if-greater-or-equal (signed).
+func (bu *Builder) BGE(a, b Reg, target string) {
+	bu.Emit(Instr{Op: OpBGE, Def: NoReg, A: a, B: b, Target: target})
+}
+
+// BNE emits branch-if-not-equal.
+func (bu *Builder) BNE(a, b Reg, target string) {
+	bu.Emit(Instr{Op: OpBNE, Def: NoReg, A: a, B: b, Target: target})
+}
+
+// Finish builds and returns the function.
+func (bu *Builder) Finish() (*Func, error) {
+	if bu.err != nil {
+		return nil, bu.err
+	}
+	if len(bu.f.Blocks) == 0 {
+		return nil, fmt.Errorf("ir: builder: no blocks")
+	}
+	bu.f.NumRegs = int(bu.next)
+	if err := bu.f.Build(); err != nil {
+		return nil, err
+	}
+	return bu.f, nil
+}
+
+// MustFinish is Finish that panics on error.
+func (bu *Builder) MustFinish() *Func {
+	f, err := bu.Finish()
+	if err != nil {
+		panic(err)
+	}
+	return f
+}

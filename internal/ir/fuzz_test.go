@@ -1,0 +1,30 @@
+package ir
+
+import "testing"
+
+// FuzzParse feeds arbitrary text to the parser: it must never panic, and
+// anything it accepts must format and re-parse to the same text
+// (canonical round trip).
+func FuzzParse(f *testing.F) {
+	f.Add("func t\na:\n set v0, 1\n store [0], v0\n halt\n")
+	f.Add("a:\n load v1, [v0+4]\n bnz v1, a\n halt")
+	f.Add("x:\n\tadd v1, v2, v3\n\tbr x")
+	f.Add("; comment only\nfunc f\ne:\n ctx\n halt")
+	f.Add("a:\n store [v0-8], v1\n halt")
+	f.Add("")
+	f.Add("func \x00\nx:\n halt")
+	f.Fuzz(func(t *testing.T, src string) {
+		fn, err := Parse(src)
+		if err != nil {
+			return
+		}
+		text := fn.Format()
+		again, err := Parse(text)
+		if err != nil {
+			t.Fatalf("accepted program does not re-parse: %v\n%s", err, text)
+		}
+		if again.Format() != text {
+			t.Fatalf("format not canonical:\n%s\nvs\n%s", text, again.Format())
+		}
+	})
+}

@@ -1,0 +1,274 @@
+// Package ir defines the intermediate representation used throughout npra:
+// a small RISC instruction set modeled on the Intel IXP micro-engine
+// microcode (~40 RISC instructions in the real hardware), with explicit
+// context-switch semantics. Programs are functions made of labeled basic
+// blocks over an unbounded set of virtual registers; register allocation
+// rewrites them onto physical registers.
+package ir
+
+import "fmt"
+
+// Reg names a register operand. Before allocation registers are virtual
+// (v0, v1, ...); after allocation they index the physical register file
+// (r0, r1, ...). NoReg marks an absent operand.
+type Reg int32
+
+// NoReg is the absent-operand sentinel.
+const NoReg Reg = -1
+
+// Op enumerates the instruction opcodes.
+type Op uint8
+
+// Instruction opcodes. Loads and stores access the shared memory and,
+// like OpCtx, give up the CPU (they are context-switch points). All ALU
+// operations complete in one cycle, as on the IXP1200.
+const (
+	OpInvalid Op = iota
+
+	// Data movement and constants.
+	OpSet // set rd, imm        rd = imm
+	OpMov // mov rd, ra         rd = ra
+	OpTID // tid rd             rd = hardware thread index
+
+	// Three-register ALU.
+	OpAdd // add rd, ra, rb
+	OpSub // sub rd, ra, rb
+	OpAnd // and rd, ra, rb
+	OpOr  // or  rd, ra, rb
+	OpXor // xor rd, ra, rb
+	OpShl // shl rd, ra, rb
+	OpShr // shr rd, ra, rb     (logical, on low 32 bits)
+	OpMul // mul rd, ra, rb
+
+	// Register-immediate ALU.
+	OpAddI // addi rd, ra, imm
+	OpSubI // subi rd, ra, imm
+	OpAndI // andi rd, ra, imm
+	OpOrI  // ori  rd, ra, imm
+	OpXorI // xori rd, ra, imm
+	OpShlI // shli rd, ra, imm
+	OpShrI // shri rd, ra, imm
+	OpMulI // muli rd, ra, imm
+	OpNot  // not  rd, ra
+
+	// Memory (context-switch points; ~20 cycle latency in the simulator).
+	OpLoad   // load rd, [ra+imm]
+	OpLoadA  // load rd, [imm]
+	OpStore  // store [ra+imm], rb
+	OpStoreA // store [imm], rb
+
+	// Explicit context switch (voluntary yield; 1 cycle).
+	OpCtx // ctx
+
+	// Control flow.
+	OpBr  // br label
+	OpBZ  // bz  ra, label      branch if ra == 0
+	OpBNZ // bnz ra, label      branch if ra != 0
+	OpBEQ // beq ra, rb, label
+	OpBNE // bne ra, rb, label
+	OpBLT // blt ra, rb, label  (signed)
+	OpBGE // bge ra, rb, label  (signed)
+
+	// Markers.
+	OpIter // iter               end of one main-loop iteration (statistics)
+	OpHalt // halt
+	OpNop  // nop
+
+	opMax
+)
+
+var opNames = [opMax]string{
+	OpInvalid: "invalid",
+	OpSet:     "set",
+	OpMov:     "mov",
+	OpTID:     "tid",
+	OpAdd:     "add",
+	OpSub:     "sub",
+	OpAnd:     "and",
+	OpOr:      "or",
+	OpXor:     "xor",
+	OpShl:     "shl",
+	OpShr:     "shr",
+	OpMul:     "mul",
+	OpAddI:    "addi",
+	OpSubI:    "subi",
+	OpAndI:    "andi",
+	OpOrI:     "ori",
+	OpXorI:    "xori",
+	OpShlI:    "shli",
+	OpShrI:    "shri",
+	OpMulI:    "muli",
+	OpNot:     "not",
+	OpLoad:    "load",
+	OpLoadA:   "load",
+	OpStore:   "store",
+	OpStoreA:  "store",
+	OpCtx:     "ctx",
+	OpBr:      "br",
+	OpBZ:      "bz",
+	OpBNZ:     "bnz",
+	OpBEQ:     "beq",
+	OpBNE:     "bne",
+	OpBLT:     "blt",
+	OpBGE:     "bge",
+	OpIter:    "iter",
+	OpHalt:    "halt",
+	OpNop:     "nop",
+}
+
+// String returns the assembly mnemonic for the opcode.
+func (op Op) String() string {
+	if op >= opMax {
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+	return opNames[op]
+}
+
+// Instr is a single instruction. Def is the written register (NoReg if
+// none); A and B are the read registers (NoReg if unused); Imm is the
+// immediate/offset; Target names the branch destination label.
+type Instr struct {
+	Op     Op
+	Def    Reg
+	A, B   Reg
+	Imm    int64
+	Target string
+}
+
+// IsCSB reports whether the instruction is a context-switch boundary:
+// an explicit ctx or a memory operation (which blocks on the memory
+// subsystem and yields the CPU, per the paper's machine model).
+func (in *Instr) IsCSB() bool {
+	switch in.Op {
+	case OpCtx, OpLoad, OpLoadA, OpStore, OpStoreA:
+		return true
+	}
+	return false
+}
+
+// IsBranch reports whether the instruction may transfer control to Target.
+func (in *Instr) IsBranch() bool {
+	switch in.Op {
+	case OpBr, OpBZ, OpBNZ, OpBEQ, OpBNE, OpBLT, OpBGE:
+		return true
+	}
+	return false
+}
+
+// IsUncond reports whether control never falls through to the next
+// instruction (unconditional branch or halt).
+func (in *Instr) IsUncond() bool {
+	return in.Op == OpBr || in.Op == OpHalt
+}
+
+// Uses appends the registers read by the instruction to buf and returns it.
+func (in *Instr) Uses(buf []Reg) []Reg {
+	if in.A != NoReg {
+		buf = append(buf, in.A)
+	}
+	if in.B != NoReg {
+		buf = append(buf, in.B)
+	}
+	return buf
+}
+
+// HasDef reports whether the instruction writes a register.
+func (in *Instr) HasDef() bool { return in.Def != NoReg }
+
+// nOperands describes the operand shape of each opcode for validation
+// and parsing: d = has def, a/b = register reads, i = immediate,
+// t = branch target.
+type opShape struct {
+	d, a, b, i, t bool
+}
+
+var opShapes = [opMax]opShape{
+	OpSet:    {d: true, i: true},
+	OpMov:    {d: true, a: true},
+	OpTID:    {d: true},
+	OpAdd:    {d: true, a: true, b: true},
+	OpSub:    {d: true, a: true, b: true},
+	OpAnd:    {d: true, a: true, b: true},
+	OpOr:     {d: true, a: true, b: true},
+	OpXor:    {d: true, a: true, b: true},
+	OpShl:    {d: true, a: true, b: true},
+	OpShr:    {d: true, a: true, b: true},
+	OpMul:    {d: true, a: true, b: true},
+	OpAddI:   {d: true, a: true, i: true},
+	OpSubI:   {d: true, a: true, i: true},
+	OpAndI:   {d: true, a: true, i: true},
+	OpOrI:    {d: true, a: true, i: true},
+	OpXorI:   {d: true, a: true, i: true},
+	OpShlI:   {d: true, a: true, i: true},
+	OpShrI:   {d: true, a: true, i: true},
+	OpMulI:   {d: true, a: true, i: true},
+	OpNot:    {d: true, a: true},
+	OpLoad:   {d: true, a: true, i: true},
+	OpLoadA:  {d: true, i: true},
+	OpStore:  {a: true, b: true, i: true},
+	OpStoreA: {b: true, i: true},
+	OpCtx:    {},
+	OpBr:     {t: true},
+	OpBZ:     {a: true, t: true},
+	OpBNZ:    {a: true, t: true},
+	OpBEQ:    {a: true, b: true, t: true},
+	OpBNE:    {a: true, b: true, t: true},
+	OpBLT:    {a: true, b: true, t: true},
+	OpBGE:    {a: true, b: true, t: true},
+	OpIter:   {},
+	OpHalt:   {},
+	OpNop:    {},
+}
+
+// String renders the instruction in assembly syntax, with virtual register
+// spelling (vN). Use Func.Format for physical spelling.
+func (in *Instr) String() string { return in.format(false) }
+
+// StringPhysical renders the instruction with physical register spelling
+// (rN); for tracers and debuggers working on allocated code.
+func (in *Instr) StringPhysical() string { return in.format(true) }
+
+func regName(r Reg, physical bool) string {
+	if r == NoReg {
+		return "?"
+	}
+	if physical {
+		return fmt.Sprintf("r%d", r)
+	}
+	return fmt.Sprintf("v%d", r)
+}
+
+func (in *Instr) format(physical bool) string {
+	d := func() string { return regName(in.Def, physical) }
+	a := func() string { return regName(in.A, physical) }
+	b := func() string { return regName(in.B, physical) }
+	switch in.Op {
+	case OpSet:
+		return fmt.Sprintf("set %s, %d", d(), in.Imm)
+	case OpMov, OpNot:
+		return fmt.Sprintf("%s %s, %s", in.Op, d(), a())
+	case OpTID:
+		return fmt.Sprintf("tid %s", d())
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpShl, OpShr, OpMul:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, d(), a(), b())
+	case OpAddI, OpSubI, OpAndI, OpOrI, OpXorI, OpShlI, OpShrI, OpMulI:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, d(), a(), in.Imm)
+	case OpLoad:
+		return fmt.Sprintf("load %s, [%s+%d]", d(), a(), in.Imm)
+	case OpLoadA:
+		return fmt.Sprintf("load %s, [%d]", d(), in.Imm)
+	case OpStore:
+		return fmt.Sprintf("store [%s+%d], %s", a(), in.Imm, b())
+	case OpStoreA:
+		return fmt.Sprintf("store [%d], %s", in.Imm, b())
+	case OpCtx, OpIter, OpHalt, OpNop:
+		return in.Op.String()
+	case OpBr:
+		return fmt.Sprintf("br %s", in.Target)
+	case OpBZ, OpBNZ:
+		return fmt.Sprintf("%s %s, %s", in.Op, a(), in.Target)
+	case OpBEQ, OpBNE, OpBLT, OpBGE:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, a(), b(), in.Target)
+	}
+	return fmt.Sprintf("invalid(%d)", uint8(in.Op))
+}

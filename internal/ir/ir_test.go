@@ -1,0 +1,285 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleSrc = `
+; IP checksum fragment from the paper's Figure 4 example
+func frag
+entry:
+	set v0, 4096      ; buf
+	set v1, 16        ; len
+	set v2, 0         ; sum
+loop:
+	bz v1, tail
+	load v3, [v0+0]   ; read -> CSB
+	add v2, v2, v3
+	addi v0, v0, 4
+	subi v1, v1, 1
+	ctx
+	br loop
+tail:
+	shri v4, v2, 16
+	andi v2, v2, 0xFFFF
+	add v2, v2, v4
+	not v5, v2
+	store [4092], v5
+	halt
+`
+
+func mustSample(t *testing.T) *Func {
+	t.Helper()
+	f, err := Parse(sampleSrc)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return f
+}
+
+func TestParseBasics(t *testing.T) {
+	f := mustSample(t)
+	if f.Name != "frag" {
+		t.Errorf("name = %q, want frag", f.Name)
+	}
+	// "loop" is split after the interior bz: entry, loop, .loop.1, tail.
+	if len(f.Blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4", len(f.Blocks))
+	}
+	if f.NumRegs != 6 {
+		t.Errorf("NumRegs = %d, want 6", f.NumRegs)
+	}
+	if f.Physical {
+		t.Errorf("Physical = true, want false")
+	}
+	st := f.Stats()
+	if st.Instructions != 16 {
+		t.Errorf("instructions = %d, want 16", st.Instructions)
+	}
+	if st.CSBs != 3 { // load, ctx, store
+		t.Errorf("CSBs = %d, want 3", st.CSBs)
+	}
+}
+
+func TestCFGEdges(t *testing.T) {
+	f := mustSample(t)
+	entry := f.Blocks[0]
+	loop := f.Blocks[1] // just the bz
+	body := f.Blocks[2] // .loop.1: load ... br loop
+	tail := f.Blocks[3]
+	if body.Label != ".loop.1" || tail.Label != "tail" {
+		t.Fatalf("unexpected block layout: %v %v", body.Label, tail.Label)
+	}
+	if len(entry.Succs) != 1 || entry.Succs[0] != loop.Index {
+		t.Errorf("entry succs = %v", entry.Succs)
+	}
+	// loop (bz) branches to tail or falls through to body.
+	if len(loop.Succs) != 2 {
+		t.Errorf("loop succs = %v, want 2", loop.Succs)
+	}
+	// body ends in "br loop".
+	if len(body.Succs) != 1 || body.Succs[0] != loop.Index {
+		t.Errorf("body succs = %v", body.Succs)
+	}
+	found := false
+	for _, p := range tail.Preds {
+		if p == loop.Index {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("tail preds = %v, want to contain loop", tail.Preds)
+	}
+}
+
+func TestPointSuccs(t *testing.T) {
+	f := mustSample(t)
+	var buf []int
+	// The bz at start of loop: succs are tail's start and the next point.
+	bzPoint := f.Blocks[1].Start()
+	buf = f.PointSuccs(bzPoint, buf[:0])
+	if len(buf) != 2 {
+		t.Fatalf("bz succs = %v, want 2", buf)
+	}
+	// halt has no successors.
+	halt := f.NumPoints() - 1
+	buf = f.PointSuccs(halt, buf[:0])
+	if len(buf) != 0 {
+		t.Errorf("halt succs = %v, want none", buf)
+	}
+	// br at end of the loop body goes back to loop start.
+	br := f.Blocks[2].End() - 1
+	buf = f.PointSuccs(br, buf[:0])
+	if len(buf) != 1 || buf[0] != f.Blocks[1].Start() {
+		t.Errorf("br succs = %v, want [%d]", buf, f.Blocks[1].Start())
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	f := mustSample(t)
+	text := f.Format()
+	g, err := Parse(text)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text)
+	}
+	if g.Format() != text {
+		t.Errorf("round trip mismatch:\n%s\nvs\n%s", text, g.Format())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"unknown mnemonic", "frob v1", "unknown mnemonic"},
+		{"bad operand count", "add v1, v2", "want 3 operands"},
+		{"bad register", "mov v1, x2", "bad register"},
+		{"mixed reg kinds", "mov v1, r2", "mixed"},
+		{"bad target", "entry:\n br nowhere", "unknown branch target"},
+		{"fall off end", "set v0, 1", "falls off the end"},
+		{"dup label", "a:\n halt\na:\n halt", "duplicate label"},
+		{"empty block", "a:\nb:\n halt", "is empty"},
+		{"bad imm", "set v0, zork", "bad immediate"},
+		{"empty mem", "load v0, []", "empty memory operand"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatalf("Parse(%q) succeeded, want error containing %q", tc.src, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseMemoryForms(t *testing.T) {
+	f := MustParse(`
+a:
+	set v0, 100
+	load v1, [v0+8]
+	load v2, [v0-4]
+	load v3, [v0]
+	load v4, [64]
+	store [v0+8], v1
+	store [32], v2
+	halt`)
+	ins := f.Blocks[0].Instrs
+	if ins[1].Op != OpLoad || ins[1].Imm != 8 {
+		t.Errorf("load+off: %+v", ins[1])
+	}
+	if ins[2].Imm != -4 {
+		t.Errorf("load-neg: %+v", ins[2])
+	}
+	if ins[3].Imm != 0 {
+		t.Errorf("load no off: %+v", ins[3])
+	}
+	if ins[4].Op != OpLoadA || ins[4].Imm != 64 {
+		t.Errorf("load abs: %+v", ins[4])
+	}
+	if ins[5].Op != OpStore || ins[5].B != 1 {
+		t.Errorf("store: %+v", ins[5])
+	}
+	if ins[6].Op != OpStoreA || ins[6].Imm != 32 {
+		t.Errorf("store abs: %+v", ins[6])
+	}
+}
+
+func TestPhysicalParse(t *testing.T) {
+	f := MustParse("a:\n mov r1, r0\n halt")
+	if !f.Physical {
+		t.Errorf("Physical = false, want true")
+	}
+	if !strings.Contains(f.Format(), "mov r1, r0") {
+		t.Errorf("physical formatting lost: %s", f.Format())
+	}
+}
+
+func TestClone(t *testing.T) {
+	f := mustSample(t)
+	g := f.Clone()
+	g.Blocks[0].Instrs[0].Imm = 999
+	if f.Blocks[0].Instrs[0].Imm == 999 {
+		t.Errorf("Clone aliases instruction storage")
+	}
+	if !g.Built() {
+		t.Errorf("clone of built func is unbuilt")
+	}
+	if g.Format() == f.Format() {
+		t.Errorf("mutation did not show up in clone")
+	}
+}
+
+func TestRenumberRegs(t *testing.T) {
+	f := MustParse(`
+a:
+	set v10, 1
+	set v20, 2
+	add v30, v10, v20
+	store [0], v30
+	halt`)
+	n := f.RenumberRegs()
+	if n != 3 {
+		t.Fatalf("RenumberRegs = %d, want 3", n)
+	}
+	if err := f.Build(); err != nil {
+		t.Fatalf("rebuild: %v", err)
+	}
+	in := f.Blocks[0].Instrs[2]
+	if in.Def != 2 || in.A != 0 || in.B != 1 {
+		t.Errorf("renumbered add = %+v", in)
+	}
+}
+
+func TestBuilder(t *testing.T) {
+	bu := NewBuilder("gen")
+	bu.Label("top")
+	a := bu.Set(5)
+	b := bu.Set(7)
+	c := bu.Op3(OpAdd, a, b)
+	bu.Store(a, 0, c)
+	bu.Iter()
+	bu.BNZ(c, "top")
+	bu.Label("done")
+	bu.Halt()
+	f, err := bu.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	if f.NumRegs != 3 {
+		t.Errorf("NumRegs = %d, want 3", f.NumRegs)
+	}
+	if len(f.Blocks) != 2 {
+		t.Errorf("blocks = %d, want 2", len(f.Blocks))
+	}
+	if _, err := Parse(f.Format()); err != nil {
+		t.Errorf("builder output does not reparse: %v", err)
+	}
+}
+
+func TestInstrPredicates(t *testing.T) {
+	csb := Instr{Op: OpLoad, Def: 0, A: 1}
+	if !csb.IsCSB() {
+		t.Errorf("load not CSB")
+	}
+	if (&Instr{Op: OpAdd}).IsCSB() {
+		t.Errorf("add is CSB")
+	}
+	br := Instr{Op: OpBr, Target: "x"}
+	if !br.IsBranch() || !br.IsUncond() {
+		t.Errorf("br predicates wrong")
+	}
+	bz := Instr{Op: OpBZ, A: 0, Target: "x"}
+	if !bz.IsBranch() || bz.IsUncond() {
+		t.Errorf("bz predicates wrong")
+	}
+	var buf []Reg
+	st := Instr{Op: OpStore, Def: NoReg, A: 3, B: 4}
+	buf = st.Uses(buf)
+	if len(buf) != 2 || buf[0] != 3 || buf[1] != 4 {
+		t.Errorf("store uses = %v", buf)
+	}
+}

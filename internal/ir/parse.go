@@ -1,0 +1,335 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a function from npra assembly text. The format is:
+//
+//	; comment (also "#")
+//	func NAME
+//	LABEL:
+//	    set v1, 10
+//	    add v2, v1, v1
+//	    load v3, [v1+4]
+//	    store [v1+0], v2
+//	    bnz v2, LABEL
+//	    halt
+//
+// Registers are written vN (virtual) or rN (physical); a function must use
+// one spelling throughout. Instructions before the first label go into an
+// implicit block labeled "entry". The returned function is built.
+func Parse(src string) (*Func, error) {
+	p := &parser{}
+	f, err := p.parse(src)
+	if err != nil {
+		return nil, err
+	}
+	maxReg := Reg(-1)
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			for _, r := range []Reg{in.Def, in.A, in.B} {
+				if r > maxReg {
+					maxReg = r
+				}
+			}
+		}
+	}
+	f.NumRegs = int(maxReg) + 1
+	if err := f.Build(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// MustParse is Parse that panics on error; for tests and embedded sources.
+func MustParse(src string) *Func {
+	f, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+type parser struct {
+	physical  bool
+	regSeen   bool
+	line      int
+	funcName  string
+	cur       *Block
+	blocks    []*Block
+	pendLabel string
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("parse: line %d: %s", p.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) parse(src string) (*Func, error) {
+	for _, raw := range strings.Split(src, "\n") {
+		p.line++
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "func ") {
+			if p.funcName != "" {
+				return nil, p.errf("duplicate func directive")
+			}
+			p.funcName = strings.TrimSpace(strings.TrimPrefix(line, "func "))
+			if p.funcName == "" {
+				return nil, p.errf("func directive without a name")
+			}
+			continue
+		}
+		if strings.HasSuffix(line, ":") {
+			label := strings.TrimSpace(strings.TrimSuffix(line, ":"))
+			if label == "" {
+				return nil, p.errf("empty label")
+			}
+			p.startBlock(label)
+			continue
+		}
+		in, err := p.parseInstr(line)
+		if err != nil {
+			return nil, err
+		}
+		if p.cur == nil {
+			p.startBlock("entry")
+		}
+		p.cur.Instrs = append(p.cur.Instrs, in)
+	}
+	if p.funcName == "" {
+		p.funcName = "main"
+	}
+	if p.cur == nil {
+		return nil, fmt.Errorf("parse: no instructions")
+	}
+	return &Func{Name: p.funcName, Blocks: p.blocks, Physical: p.physical}, nil
+}
+
+func (p *parser) startBlock(label string) {
+	b := &Block{Label: label}
+	p.blocks = append(p.blocks, b)
+	p.cur = b
+}
+
+var mnemonics = map[string]Op{
+	"set": OpSet, "mov": OpMov, "tid": OpTID,
+	"add": OpAdd, "sub": OpSub, "and": OpAnd, "or": OpOr, "xor": OpXor,
+	"shl": OpShl, "shr": OpShr, "mul": OpMul,
+	"addi": OpAddI, "subi": OpSubI, "andi": OpAndI, "ori": OpOrI,
+	"xori": OpXorI, "shli": OpShlI, "shri": OpShrI, "muli": OpMulI,
+	"not": OpNot, "ctx": OpCtx,
+	"br": OpBr, "bz": OpBZ, "bnz": OpBNZ, "beq": OpBEQ, "bne": OpBNE,
+	"blt": OpBLT, "bge": OpBGE,
+	"iter": OpIter, "halt": OpHalt, "nop": OpNop,
+	// load/store handled specially (two addressing modes share a mnemonic)
+}
+
+func (p *parser) parseInstr(line string) (Instr, error) {
+	mn := line
+	rest := ""
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		mn, rest = line[:i], strings.TrimSpace(line[i+1:])
+	}
+	args := splitArgs(rest)
+	switch mn {
+	case "load":
+		return p.parseLoad(args)
+	case "store":
+		return p.parseStore(args)
+	}
+	op, ok := mnemonics[mn]
+	if !ok {
+		return Instr{}, p.errf("unknown mnemonic %q", mn)
+	}
+	in := Instr{Op: op, Def: NoReg, A: NoReg, B: NoReg}
+	sh := opShapes[op]
+	want := 0
+	if sh.d {
+		want++
+	}
+	if sh.a {
+		want++
+	}
+	if sh.b {
+		want++
+	}
+	if sh.i {
+		want++
+	}
+	if sh.t {
+		want++
+	}
+	if len(args) != want {
+		return Instr{}, p.errf("%s: want %d operands, got %d", mn, want, len(args))
+	}
+	k := 0
+	var err error
+	if sh.d {
+		if in.Def, err = p.reg(args[k]); err != nil {
+			return Instr{}, err
+		}
+		k++
+	}
+	if sh.a {
+		if in.A, err = p.reg(args[k]); err != nil {
+			return Instr{}, err
+		}
+		k++
+	}
+	if sh.b {
+		if in.B, err = p.reg(args[k]); err != nil {
+			return Instr{}, err
+		}
+		k++
+	}
+	if sh.i {
+		if in.Imm, err = p.imm(args[k]); err != nil {
+			return Instr{}, err
+		}
+		k++
+	}
+	if sh.t {
+		in.Target = args[k]
+		if in.Target == "" {
+			return Instr{}, p.errf("%s: empty branch target", mn)
+		}
+	}
+	return in, nil
+}
+
+// parseLoad handles "load rd, [ra+off]" and "load rd, [imm]".
+func (p *parser) parseLoad(args []string) (Instr, error) {
+	if len(args) != 2 {
+		return Instr{}, p.errf("load: want 2 operands, got %d", len(args))
+	}
+	d, err := p.reg(args[0])
+	if err != nil {
+		return Instr{}, err
+	}
+	base, off, abs, err := p.mem(args[1])
+	if err != nil {
+		return Instr{}, err
+	}
+	if abs {
+		return Instr{Op: OpLoadA, Def: d, A: NoReg, B: NoReg, Imm: off}, nil
+	}
+	return Instr{Op: OpLoad, Def: d, A: base, B: NoReg, Imm: off}, nil
+}
+
+// parseStore handles "store [ra+off], rs" and "store [imm], rs".
+func (p *parser) parseStore(args []string) (Instr, error) {
+	if len(args) != 2 {
+		return Instr{}, p.errf("store: want 2 operands, got %d", len(args))
+	}
+	base, off, abs, err := p.mem(args[0])
+	if err != nil {
+		return Instr{}, err
+	}
+	s, err := p.reg(args[1])
+	if err != nil {
+		return Instr{}, err
+	}
+	if abs {
+		return Instr{Op: OpStoreA, Def: NoReg, A: NoReg, B: s, Imm: off}, nil
+	}
+	return Instr{Op: OpStore, Def: NoReg, A: base, B: s, Imm: off}, nil
+}
+
+// mem parses "[ra+off]", "[ra-off]", "[ra]" or "[imm]".
+func (p *parser) mem(s string) (base Reg, off int64, abs bool, err error) {
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return NoReg, 0, false, p.errf("bad memory operand %q", s)
+	}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	if inner == "" {
+		return NoReg, 0, false, p.errf("empty memory operand")
+	}
+	if inner[0] == 'v' || inner[0] == 'r' {
+		regPart := inner
+		immPart := ""
+		neg := false
+		if i := strings.IndexAny(inner, "+-"); i > 0 {
+			regPart = strings.TrimSpace(inner[:i])
+			immPart = strings.TrimSpace(inner[i+1:])
+			neg = inner[i] == '-'
+		}
+		base, err = p.reg(regPart)
+		if err != nil {
+			return NoReg, 0, false, err
+		}
+		if immPart != "" {
+			off, err = p.imm(immPart)
+			if err != nil {
+				return NoReg, 0, false, err
+			}
+			if neg {
+				off = -off
+			}
+		}
+		return base, off, false, nil
+	}
+	off, err = p.imm(inner)
+	if err != nil {
+		return NoReg, 0, false, err
+	}
+	return NoReg, off, true, nil
+}
+
+func (p *parser) reg(s string) (Reg, error) {
+	if len(s) < 2 || (s[0] != 'v' && s[0] != 'r') {
+		return NoReg, p.errf("bad register %q", s)
+	}
+	phys := s[0] == 'r'
+	if p.regSeen && phys != p.physical {
+		return NoReg, p.errf("mixed virtual and physical registers (%q)", s)
+	}
+	p.physical, p.regSeen = phys, true
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 {
+		return NoReg, p.errf("bad register %q", s)
+	}
+	return Reg(n), nil
+}
+
+func (p *parser) imm(s string) (int64, error) {
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, p.errf("bad immediate %q", s)
+	}
+	return v, nil
+}
+
+// splitArgs splits an operand list on commas that are outside brackets.
+func splitArgs(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	var out []string
+	depth := 0
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out
+}

@@ -1,0 +1,22 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders the function as parseable npra assembly.
+func (f *Func) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s\n", f.Name)
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "%s:\n", b.Label)
+		for i := range b.Instrs {
+			fmt.Fprintf(&sb, "\t%s\n", b.Instrs[i].format(f.Physical))
+		}
+	}
+	return sb.String()
+}
+
+// String is Format.
+func (f *Func) String() string { return f.Format() }

@@ -1,0 +1,289 @@
+// Package linscan is a second baseline register allocator: linear scan
+// (Poletto & Sarkar), the allocator family used where compile time
+// matters more than code quality. Live ranges are approximated by
+// intervals over the linearized instruction order; when more intervals
+// are live than registers, the interval ending furthest away spills to
+// memory (via the shared spill-code machinery of package spill).
+//
+// Its role here is robustness: the paper's comparison should not hinge on
+// which baseline allocator generates the spill code, so the experiments
+// can swap Chaitin coloring for linear scan and check the story holds.
+package linscan
+
+import (
+	"fmt"
+	"sort"
+
+	"npra/internal/ir"
+	"npra/internal/liveness"
+	"npra/internal/spill"
+)
+
+// Options configures an allocation (mirrors chaitin.Options).
+type Options struct {
+	// Phys is the physical register partition; the last register is
+	// reserved as the spill base pointer once spilling starts.
+	Phys []ir.Reg
+
+	// SpillBase/SpillStride locate the per-thread spill areas.
+	SpillBase   int64
+	SpillStride int64
+
+	// MaxRounds bounds the spill-and-retry iteration (default 16).
+	MaxRounds int
+}
+
+// Result is a completed allocation.
+type Result struct {
+	F          *ir.Func
+	RegsUsed   int
+	Spilled    int
+	SpillCode  int
+	Rounds     int
+	SpillSlots int
+}
+
+// interval is a live range approximated as [start, end] over points.
+type interval struct {
+	v          int
+	start, end int
+}
+
+// Allocate runs linear scan with iterative spilling.
+func Allocate(f *ir.Func, opts Options) (*Result, error) {
+	if len(opts.Phys) < 4 {
+		return nil, fmt.Errorf("linscan: need at least 4 registers, got %d", len(opts.Phys))
+	}
+	if opts.MaxRounds == 0 {
+		opts.MaxRounds = 16
+	}
+	if opts.SpillStride == 0 {
+		opts.SpillStride = 256
+	}
+
+	cur := f.Clone()
+	res := &Result{}
+	nextSlot := 0
+	noSpill := make(map[ir.Reg]bool)
+
+	for round := 1; round <= opts.MaxRounds; round++ {
+		res.Rounds = round
+		k := len(opts.Phys)
+		if nextSlot > 0 {
+			k-- // base register reserved
+		}
+		colors, spilled := scan(cur, k, noSpill)
+		if len(spilled) == 0 {
+			out, used, err := rename(cur, colors, opts)
+			if err != nil {
+				return nil, err
+			}
+			res.F = out
+			res.RegsUsed = used
+			res.SpillSlots = nextSlot
+			return res, nil
+		}
+		if nextSlot == 0 {
+			// First spills: redo the scan with the base register held
+			// back so the spill choice sees the true palette.
+			colors, spilled = scan(cur, k-1, noSpill)
+			if len(spilled) == 0 {
+				out, used, err := rename(cur, colors, opts)
+				if err != nil {
+					return nil, err
+				}
+				res.F = out
+				res.RegsUsed = used
+				return res, nil
+			}
+		}
+		var err error
+		var added int
+		cur, added, err = spill.Insert(cur, spilled, &nextSlot, noSpill)
+		if err != nil {
+			return nil, err
+		}
+		res.Spilled += len(spilled)
+		res.SpillCode += added
+	}
+	return nil, fmt.Errorf("linscan: did not converge in %d rounds", opts.MaxRounds)
+}
+
+// scan builds intervals and allocates k colors, returning the coloring
+// (palette indices, -1 for dead or spilled) and the spilled variables.
+func scan(f *ir.Func, k int, noSpill map[ir.Reg]bool) ([]int, []int) {
+	li := liveness.Compute(f)
+	base := spill.BaseReg(f)
+
+	ivs := buildIntervals(li, int(base))
+	sort.Slice(ivs, func(i, j int) bool {
+		if ivs[i].start != ivs[j].start {
+			return ivs[i].start < ivs[j].start
+		}
+		return ivs[i].v < ivs[j].v
+	})
+
+	colors := make([]int, f.NumRegs)
+	for i := range colors {
+		colors[i] = -1
+	}
+	var spilled []int
+
+	free := make([]int, 0, k)
+	for c := k - 1; c >= 0; c-- {
+		free = append(free, c) // pop from the back: lowest color first
+	}
+	type activeIv struct {
+		iv    interval
+		color int
+	}
+	var active []activeIv // sorted by end ascending
+
+	expire := func(now int) {
+		keep := active[:0]
+		for _, a := range active {
+			if a.iv.end < now {
+				free = append(free, a.color)
+				continue
+			}
+			keep = append(keep, a)
+		}
+		active = keep
+	}
+
+	for _, iv := range ivs {
+		expire(iv.start)
+		if len(free) > 0 {
+			c := free[len(free)-1]
+			free = free[:len(free)-1]
+			colors[iv.v] = c
+			active = append(active, activeIv{iv, c})
+			sort.Slice(active, func(i, j int) bool { return active[i].iv.end < active[j].iv.end })
+			continue
+		}
+		// Spill the interval that ends last — unless it is unspillable,
+		// in which case walk toward nearer ends.
+		victim := -1
+		for i := len(active) - 1; i >= 0; i-- {
+			if !noSpill[ir.Reg(active[i].iv.v)] {
+				victim = i
+				break
+			}
+		}
+		if victim >= 0 && active[victim].iv.end > iv.end && !noSpill[ir.Reg(iv.v)] {
+			// Steal the victim's register; the victim spills.
+			spilled = append(spilled, active[victim].iv.v)
+			c := active[victim].color
+			colors[active[victim].iv.v] = -1
+			colors[iv.v] = c
+			active[victim] = activeIv{iv, c}
+			sort.Slice(active, func(i, j int) bool { return active[i].iv.end < active[j].iv.end })
+		} else if !noSpill[ir.Reg(iv.v)] {
+			spilled = append(spilled, iv.v)
+		} else if victim >= 0 {
+			// The new interval is unspillable: evict the victim even if
+			// it ends sooner.
+			spilled = append(spilled, active[victim].iv.v)
+			c := active[victim].color
+			colors[active[victim].iv.v] = -1
+			colors[iv.v] = c
+			active[victim] = activeIv{iv, c}
+			sort.Slice(active, func(i, j int) bool { return active[i].iv.end < active[j].iv.end })
+		} else {
+			// Everything active is unspillable and so is iv; give up on
+			// this variable (caller will fail to converge and report).
+			spilled = append(spilled, iv.v)
+		}
+	}
+	sort.Ints(spilled)
+	return colors, spilled
+}
+
+// buildIntervals approximates each variable's live range by its first and
+// last live point in linear order (the classic linear-scan coarsening).
+func buildIntervals(li *liveness.Info, exclude int) []interval {
+	n := li.F.NumPoints()
+	first := make([]int, li.NumVars)
+	last := make([]int, li.NumVars)
+	for v := range first {
+		first[v] = -1
+	}
+	for p := 0; p < n; p++ {
+		li.At[p].ForEach(func(v int) {
+			if first[v] < 0 {
+				first[v] = p
+			}
+			last[v] = p
+		})
+	}
+	var out []interval
+	for v := range first {
+		if first[v] < 0 || v == exclude {
+			continue
+		}
+		out = append(out, interval{v: v, start: first[v], end: last[v]})
+	}
+	return out
+}
+
+// rename maps palette indices to physical registers and patches the spill
+// prologue constants.
+func rename(cur *ir.Func, colors []int, opts Options) (*ir.Func, int, error) {
+	baseVirt := spill.BaseReg(cur)
+	nf := &ir.Func{Name: cur.Name, Physical: true}
+	used := make(map[ir.Reg]bool)
+	mapReg := func(v ir.Reg) (ir.Reg, error) {
+		if v == baseVirt {
+			r := opts.Phys[len(opts.Phys)-1]
+			used[r] = true
+			return r, nil
+		}
+		c := colors[v]
+		if c < 0 {
+			// Dead definitions can land anywhere.
+			used[opts.Phys[0]] = true
+			return opts.Phys[0], nil
+		}
+		r := opts.Phys[c]
+		used[r] = true
+		return r, nil
+	}
+	maxPhys := ir.Reg(0)
+	for _, b := range cur.Blocks {
+		nb := &ir.Block{Label: b.Label}
+		for i := range b.Instrs {
+			in := b.Instrs[i]
+			if v, ok := spill.PatchImm(in.Imm, opts.SpillBase, opts.SpillStride); ok {
+				in.Imm = v
+			}
+			var err error
+			if in.Def != ir.NoReg {
+				if in.Def, err = mapReg(in.Def); err != nil {
+					return nil, 0, err
+				}
+			}
+			if in.A != ir.NoReg {
+				if in.A, err = mapReg(in.A); err != nil {
+					return nil, 0, err
+				}
+			}
+			if in.B != ir.NoReg {
+				if in.B, err = mapReg(in.B); err != nil {
+					return nil, 0, err
+				}
+			}
+			for _, r := range []ir.Reg{in.Def, in.A, in.B} {
+				if r != ir.NoReg && r > maxPhys {
+					maxPhys = r
+				}
+			}
+			nb.Instrs = append(nb.Instrs, in)
+		}
+		nf.Blocks = append(nf.Blocks, nb)
+	}
+	nf.NumRegs = int(maxPhys) + 1
+	if err := nf.Build(); err != nil {
+		return nil, 0, fmt.Errorf("linscan: rewritten function invalid: %w", err)
+	}
+	return nf, len(used), nil
+}

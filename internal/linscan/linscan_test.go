@@ -1,0 +1,175 @@
+package linscan
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"npra/internal/chaitin"
+	"npra/internal/interp"
+	"npra/internal/ir"
+	"npra/internal/progen"
+)
+
+func physRange(base, n int) []ir.Reg {
+	out := make([]ir.Reg, n)
+	for i := range out {
+		out[i] = ir.Reg(base + i)
+	}
+	return out
+}
+
+func highPressure() *ir.Func {
+	bu := ir.NewBuilder("pressure")
+	bu.Label("entry")
+	var regs []ir.Reg
+	for i := 0; i < 10; i++ {
+		regs = append(regs, bu.Set(int64(i*7+1)))
+	}
+	bu.Ctx()
+	acc := bu.Op3(ir.OpAdd, regs[0], regs[1])
+	for _, r := range regs[2:] {
+		bu.Op3To(ir.OpAdd, acc, acc, r)
+	}
+	addr := bu.Set(0)
+	bu.Store(addr, 0, acc)
+	bu.Halt()
+	return bu.MustFinish()
+}
+
+func TestNoSpillWhenRoomy(t *testing.T) {
+	f := highPressure()
+	res, err := Allocate(f, Options{Phys: physRange(0, 16)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Spilled != 0 {
+		t.Errorf("spilled %d with 16 regs", res.Spilled)
+	}
+	assertEquivalent(t, f, res.F, 0)
+}
+
+func TestSpillsUnderPressure(t *testing.T) {
+	f := highPressure()
+	res, err := Allocate(f, Options{Phys: physRange(0, 6), SpillBase: 256, SpillStride: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Spilled == 0 {
+		t.Fatal("no spills with 6 regs and pressure 11")
+	}
+	if res.F.Stats().CSBs <= f.Stats().CSBs {
+		t.Errorf("spill code added no context switches")
+	}
+	assertEquivalent(t, f, res.F, 0)
+	assertEquivalent(t, f, res.F, 2)
+}
+
+func TestPartitionRespected(t *testing.T) {
+	f := highPressure()
+	res, err := Allocate(f, Options{Phys: physRange(32, 8), SpillBase: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.F.RegsUsed() {
+		if r < 32 || r >= 40 {
+			t.Errorf("register r%d outside partition [32,40)", r)
+		}
+	}
+}
+
+// Linear scan's coarse intervals can only ever use MORE registers (or
+// spill more) than graph coloring, never produce wrong code. Compare the
+// two baselines head-to-head.
+func TestAgainstChaitin(t *testing.T) {
+	f := highPressure()
+	ls, err := Allocate(f, Options{Phys: physRange(0, 16)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := chaitin.Allocate(f, chaitin.Options{Phys: physRange(0, 16)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.RegsUsed < ch.RegsUsed {
+		t.Errorf("linear scan used fewer registers (%d) than coloring (%d)?", ls.RegsUsed, ch.RegsUsed)
+	}
+	m1 := make([]uint32, 128)
+	m2 := make([]uint32, 128)
+	r1, _ := interp.Run(ls.F, m1, interp.Options{})
+	r2, _ := interp.Run(ch.F, m2, interp.Options{})
+	if err := interp.Equivalent(r1, r2); err != nil {
+		t.Errorf("the two baselines diverge: %v", err)
+	}
+}
+
+func assertEquivalent(t *testing.T, orig, alloc *ir.Func, tid uint32) {
+	t.Helper()
+	m1 := make([]uint32, 512)
+	m2 := make([]uint32, 512)
+	r1, err := interp.Run(orig, m1, interp.Options{TID: tid, MaxSteps: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Halted {
+		t.Skip("original does not halt")
+	}
+	r2, err := interp.Run(alloc, m2, interp.Options{TID: tid, MaxSteps: 1000000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Halted != r2.Halted || r1.Iters != r2.Iters {
+		t.Fatalf("diverged: halted %v/%v", r1.Halted, r2.Halted)
+	}
+	for i := 0; i < 16; i++ {
+		if m1[i] != m2[i] {
+			t.Errorf("mem[%d] = %#x vs %#x\n%s", i*4, m1[i], m2[i], alloc.Format())
+			break
+		}
+	}
+}
+
+// Property: random programs allocate correctly at random partition sizes.
+func TestQuickLinearScanEquivalence(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f := progen.Generate(rng, progen.Default)
+		k := 5 + rng.Intn(8)
+		base := rng.Intn(32)
+		res, err := Allocate(f, Options{
+			Phys: physRange(base, k), SpillBase: 512, SpillStride: 128,
+		})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		for _, r := range res.F.RegsUsed() {
+			if int(r) < base || int(r) >= base+k {
+				return false
+			}
+		}
+		m1 := make([]uint32, 512)
+		m2 := make([]uint32, 512)
+		r1, err := interp.Run(f, m1, interp.Options{MaxSteps: 20000})
+		if err != nil || !r1.Halted {
+			return true
+		}
+		r2, err := interp.Run(res.F, m2, interp.Options{MaxSteps: 400000})
+		if err != nil {
+			return false
+		}
+		if r1.Halted != r2.Halted || r1.Iters != r2.Iters {
+			return false
+		}
+		for i := 0; i < 16; i++ {
+			if m1[i] != m2[i] {
+				t.Logf("seed %d: mem[%d] differs", seed, i*4)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

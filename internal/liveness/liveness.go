@@ -1,0 +1,193 @@
+// Package liveness computes per-instruction live-variable information for
+// npra functions, the substrate for all interference analysis: live-in and
+// live-out sets, the conservative co-live set LiveAt, the values live
+// across each context-switch boundary, and the two register-pressure
+// figures the paper uses as lower bounds (RegPmax and RegPCSBmax).
+package liveness
+
+import (
+	"npra/internal/bitset"
+	"npra/internal/ir"
+)
+
+// Info holds liveness facts for one function. Sets are indexed by global
+// program point (instruction index); set elements are register numbers.
+type Info struct {
+	F       *ir.Func
+	NumVars int
+
+	// In[p]: variables live immediately before instruction p.
+	In []bitset.Set
+	// Out[p]: variables live immediately after instruction p.
+	Out []bitset.Set
+	// At[p]: In[p] plus the register defined at p. Two variables interfere
+	// iff they are both in At[p] for some p (the paper's "co-live at a
+	// program point", made safe for dead definitions).
+	At []bitset.Set
+}
+
+// Compute runs the backward dataflow and returns liveness for f, which
+// must be built. Registers are zero-initialized by the machine, so a use
+// with no dominating definition is simply live-in at function entry.
+func Compute(f *ir.Func) *Info {
+	if !f.Built() {
+		panic("liveness: function not built")
+	}
+	n := f.NumPoints()
+	nv := f.NumRegs
+	li := &Info{F: f, NumVars: nv}
+	li.In = make([]bitset.Set, n)
+	li.Out = make([]bitset.Set, n)
+	li.At = make([]bitset.Set, n)
+	for p := 0; p < n; p++ {
+		li.In[p] = bitset.New(nv)
+		li.Out[p] = bitset.New(nv)
+	}
+
+	// Worklist over blocks, backward. Within a block, propagate
+	// instruction by instruction.
+	inWork := make([]bool, len(f.Blocks))
+	var work []int
+	for i := len(f.Blocks) - 1; i >= 0; i-- {
+		work = append(work, i)
+		inWork[i] = true
+	}
+	var uses []ir.Reg
+	for len(work) > 0 {
+		bi := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[bi] = false
+		b := f.Blocks[bi]
+
+		last := b.End() - 1
+		out := li.Out[last]
+		out.Clear()
+		for _, s := range b.Succs {
+			out.Or(li.In[f.Blocks[s].Start()])
+		}
+		changed := false
+		for p := last; p >= b.Start(); p-- {
+			if p != last {
+				li.Out[p].Copy(li.In[p+1])
+			}
+			in := li.In[p]
+			newIn := li.Out[p].Clone()
+			inst := f.Instr(p)
+			if inst.Def != ir.NoReg {
+				newIn.Remove(int(inst.Def))
+			}
+			uses = inst.Uses(uses[:0])
+			for _, u := range uses {
+				newIn.Add(int(u))
+			}
+			if !newIn.Equal(in) {
+				li.In[p].Copy(newIn)
+				changed = true
+			}
+		}
+		if changed {
+			for _, pi := range b.Preds {
+				if !inWork[pi] {
+					inWork[pi] = true
+					work = append(work, pi)
+				}
+			}
+		}
+	}
+
+	for p := 0; p < n; p++ {
+		at := li.In[p].Clone()
+		if d := f.Instr(p).Def; d != ir.NoReg {
+			at.Add(int(d))
+		}
+		li.At[p] = at
+	}
+	return li
+}
+
+// LiveAcross returns the variables whose values must survive the context
+// switch at CSB point p: everything live-out of p except the register
+// defined by p itself. (A load's destination is delivered through the
+// transfer registers and written at resume time, so it is not live across
+// the switch — paper §3.2.) The result aliases internal storage; callers
+// must not modify it.
+func (li *Info) LiveAcross(p int) bitset.Set {
+	inst := li.F.Instr(p)
+	if !inst.IsCSB() {
+		panic("liveness: LiveAcross at non-CSB point")
+	}
+	if inst.Def == ir.NoReg || !li.Out[p].Has(int(inst.Def)) {
+		return li.Out[p]
+	}
+	s := li.Out[p].Clone()
+	s.Remove(int(inst.Def))
+	return s
+}
+
+// PressureMax returns RegPmax: the maximum number of co-live variables at
+// any program point. This is the paper's lower bound MinR.
+func (li *Info) PressureMax() int {
+	max := 0
+	for _, s := range li.At {
+		if c := s.Count(); c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// CSBPressureMax returns RegPCSBmax: the maximum number of variables live
+// across any single context-switch boundary. This is the paper's lower
+// bound MinPR. The program entry point counts as a boundary (the paper's
+// NSRs are bounded by "context switch instructions or program entry/exit
+// points"): a value live-in at entry holds machine state (zero) that must
+// survive the other threads running before this thread first does, so it
+// needs a private register exactly like a value live across a switch.
+func (li *Info) CSBPressureMax() int {
+	max := li.EntryLive().Count()
+	for p := 0; p < li.F.NumPoints(); p++ {
+		if !li.F.Instr(p).IsCSB() {
+			continue
+		}
+		if c := li.LiveAcross(p).Count(); c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// EntryLive returns the variables live-in at the program entry — values
+// read before any definition, observing the zero-initialized register
+// file. The result aliases internal storage; callers must not modify it.
+func (li *Info) EntryLive() bitset.Set {
+	if li.F.NumPoints() == 0 {
+		return bitset.New(li.NumVars)
+	}
+	return li.In[0]
+}
+
+// LiveVars returns the set of variables that are live at some point (or
+// defined anywhere); variables outside it are dead code and need no
+// register.
+func (li *Info) LiveVars() bitset.Set {
+	s := bitset.New(li.NumVars)
+	for _, at := range li.At {
+		s.Or(at)
+	}
+	return s
+}
+
+// Points returns, for each variable v, the set of program points p with
+// v ∈ At[p]. This is the live-range point set that the splitting allocator
+// partitions into pieces.
+func (li *Info) Points() []bitset.Set {
+	n := li.F.NumPoints()
+	pts := make([]bitset.Set, li.NumVars)
+	for v := range pts {
+		pts[v] = bitset.New(n)
+	}
+	for p := 0; p < n; p++ {
+		li.At[p].ForEach(func(v int) { pts[v].Add(p) })
+	}
+	return pts
+}

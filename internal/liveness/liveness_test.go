@@ -1,0 +1,168 @@
+package liveness
+
+import (
+	"testing"
+
+	"npra/internal/ir"
+)
+
+// paperExample is the two-thread example from Figure 3.a of the paper
+// (thread 1): a is live across the ctx, b and c are internal.
+const paperThread1 = `
+func t1
+entry:
+	set v0, 1        ; a =
+	ctx
+	bz v0, L1
+	set v1, 2        ; b =
+	add v3, v0, v1   ; = a+b
+	set v2, 3        ; c =
+	br L2
+L1:
+	set v2, 4        ; c =
+	add v3, v0, v2   ; = a+c
+	set v1, 5        ; b =
+L2:
+	add v3, v1, v2   ; = b+c
+	load v4, [v3+0]  ; load (CSB)
+	store [16], v4
+	halt
+`
+
+func TestPaperExample(t *testing.T) {
+	f := ir.MustParse(paperThread1)
+	li := Compute(f)
+
+	// Find the ctx point.
+	ctxP := -1
+	for p := 0; p < f.NumPoints(); p++ {
+		if f.Instr(p).Op == ir.OpCtx {
+			ctxP = p
+			break
+		}
+	}
+	if ctxP < 0 {
+		t.Fatal("no ctx instruction")
+	}
+	across := li.LiveAcross(ctxP)
+	if !across.Has(0) {
+		t.Errorf("a (v0) not live across ctx")
+	}
+	for _, v := range []int{1, 2, 3} {
+		if across.Has(v) {
+			t.Errorf("v%d live across ctx, want internal", v)
+		}
+	}
+	// As in the paper: only one variable (a) is live across the ctx;
+	// at the load, v3 dies feeding the address and v4 is the def.
+	if got := li.CSBPressureMax(); got != 1 {
+		t.Errorf("RegPCSBmax = %d, want 1", got)
+	}
+	// At most two variables are co-live at any point apart from the
+	// a/b/c overlap: pressure should be 3 (a,b,c co-live around "c=").
+	if got := li.PressureMax(); got != 3 {
+		t.Errorf("RegPmax = %d, want 3", got)
+	}
+}
+
+func TestLoadDefNotLiveAcross(t *testing.T) {
+	f := ir.MustParse(`
+a:
+	set v0, 64
+	load v1, [v0+0]
+	addi v2, v1, 1
+	store [v0+4], v2
+	halt`)
+	li := Compute(f)
+	loadP := 1
+	if f.Instr(loadP).Op != ir.OpLoad {
+		t.Fatal("layout changed")
+	}
+	across := li.LiveAcross(loadP)
+	if across.Has(1) {
+		t.Errorf("load destination v1 counted as live across its own CSB")
+	}
+	if !across.Has(0) {
+		t.Errorf("v0 (reused for the later store) should be live across the load")
+	}
+}
+
+func TestLoopLiveness(t *testing.T) {
+	f := ir.MustParse(`
+top:
+	set v0, 0
+	set v1, 10
+loop:
+	add v0, v0, v1
+	subi v1, v1, 1
+	bnz v1, loop
+	store [0], v0
+	halt`)
+	li := Compute(f)
+	// v0 and v1 must be live around the back edge: live-in of loop head.
+	head := f.Blocks[1].Start()
+	if !li.In[head].Has(0) || !li.In[head].Has(1) {
+		t.Errorf("loop head live-in = %v, want v0,v1", li.In[head].Elems(nil))
+	}
+	// After the store, nothing is live.
+	last := f.NumPoints() - 1
+	if !li.Out[last].Empty() {
+		t.Errorf("halt live-out nonempty: %v", li.Out[last].Elems(nil))
+	}
+}
+
+func TestDeadDefInterferes(t *testing.T) {
+	// v1's definition is dead, but at that point v0 is live-through;
+	// At must contain both so they get different registers.
+	f := ir.MustParse(`
+a:
+	set v0, 1
+	set v1, 99
+	store [8], v0
+	halt`)
+	li := Compute(f)
+	p := 1 // set v1
+	if !li.At[p].Has(0) || !li.At[p].Has(1) {
+		t.Errorf("At[set v1] = %v, want {v0,v1}", li.At[p].Elems(nil))
+	}
+	if li.Out[p].Has(1) {
+		t.Errorf("dead def v1 in live-out")
+	}
+}
+
+func TestUseWithoutDefLiveAtEntry(t *testing.T) {
+	f := ir.MustParse(`
+a:
+	add v1, v0, v0
+	store [0], v1
+	halt`)
+	li := Compute(f)
+	if !li.In[0].Has(0) {
+		t.Errorf("v0 not live-in at entry")
+	}
+}
+
+func TestPointsPartition(t *testing.T) {
+	f := ir.MustParse(paperThread1)
+	li := Compute(f)
+	pts := li.Points()
+	// Each live var's point set must be nonempty and agree with At.
+	for p := 0; p < f.NumPoints(); p++ {
+		li.At[p].ForEach(func(v int) {
+			if !pts[v].Has(p) {
+				t.Fatalf("Points(v%d) missing point %d", v, p)
+			}
+		})
+	}
+	total := 0
+	for _, s := range pts {
+		total += s.Count()
+	}
+	sum := 0
+	for _, s := range li.At {
+		sum += s.Count()
+	}
+	if total != sum {
+		t.Errorf("points total %d != At total %d", total, sum)
+	}
+}

@@ -1,0 +1,185 @@
+// Package loops computes dominators and natural-loop nesting for npra
+// functions. The paper's allocator minimizes the *static* count of
+// inserted move instructions; weighting program points by loop depth lets
+// the intra-thread allocator minimize the *dynamic* count instead (an
+// extension evaluated by ablation G), and gives the baseline allocators a
+// better spill heuristic for free.
+package loops
+
+import (
+	"npra/internal/ir"
+)
+
+// Info holds dominance and loop-nesting facts for one function.
+type Info struct {
+	F *ir.Func
+
+	// IDom[b] is the immediate dominator of block b (-1 for entry).
+	IDom []int
+
+	// Depth[b] is the loop-nesting depth of block b (0 = not in a loop).
+	Depth []int
+
+	// Headers lists the loop header blocks in discovery order.
+	Headers []int
+}
+
+// Compute runs the Cooper/Harvey/Kennedy iterative dominator algorithm
+// and marks natural loops found via back edges (an edge b -> h where h
+// dominates b).
+func Compute(f *ir.Func) *Info {
+	if !f.Built() {
+		panic("loops: function not built")
+	}
+	n := len(f.Blocks)
+	info := &Info{F: f, IDom: make([]int, n), Depth: make([]int, n)}
+
+	// Reverse postorder.
+	rpo := reversePostorder(f)
+	order := make([]int, n) // block -> rpo index
+	for i := range order {
+		order[i] = -1
+	}
+	for i, b := range rpo {
+		order[b] = i
+	}
+
+	for i := range info.IDom {
+		info.IDom[i] = -1
+	}
+	info.IDom[0] = 0
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			if b == 0 {
+				continue
+			}
+			newIdom := -1
+			for _, p := range f.Blocks[b].Preds {
+				if order[p] < 0 || info.IDom[p] < 0 && p != 0 {
+					continue // unreachable or unprocessed predecessor
+				}
+				if newIdom < 0 {
+					newIdom = p
+					continue
+				}
+				newIdom = intersect(info.IDom, order, p, newIdom)
+			}
+			if newIdom >= 0 && info.IDom[b] != newIdom {
+				info.IDom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	info.IDom[0] = -1
+
+	// Natural loops from back edges; loop body found by backward walk.
+	for _, b := range rpo {
+		for _, s := range f.Blocks[b].Succs {
+			if !info.dominates(s, b) {
+				continue
+			}
+			// s is a loop header; collect the body of the loop (nodes
+			// that reach b without passing through s) and bump depths.
+			info.Headers = append(info.Headers, s)
+			inLoop := make([]bool, n)
+			inLoop[s] = true // never walk past the header
+			var stack []int
+			if b != s {
+				inLoop[b] = true
+				stack = append(stack, b)
+			}
+			for len(stack) > 0 {
+				x := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, p := range f.Blocks[x].Preds {
+					if !inLoop[p] {
+						inLoop[p] = true
+						stack = append(stack, p)
+					}
+				}
+			}
+			for i := range inLoop {
+				if inLoop[i] {
+					info.Depth[i]++
+				}
+			}
+		}
+	}
+	return info
+}
+
+// dominates reports whether block a dominates block b.
+func (info *Info) dominates(a, b int) bool {
+	for b >= 0 {
+		if b == a {
+			return true
+		}
+		if b == 0 {
+			return false
+		}
+		b = info.IDom[b]
+	}
+	return false
+}
+
+// Dominates reports whether block a dominates block b (both reachable).
+func (info *Info) Dominates(a, b int) bool { return info.dominates(a, b) }
+
+// PointDepth returns the loop depth of the block containing point p.
+func (info *Info) PointDepth(p int) int {
+	return info.Depth[info.F.PointBlock(p).Index]
+}
+
+// PointWeight returns 10^min(depth,4) — the classic loop-depth weight used
+// by spill-cost and move-cost heuristics.
+func (info *Info) PointWeight(p int) int64 {
+	d := info.PointDepth(p)
+	if d > 4 {
+		d = 4
+	}
+	w := int64(1)
+	for i := 0; i < d; i++ {
+		w *= 10
+	}
+	return w
+}
+
+func intersect(idom, order []int, a, b int) int {
+	for a != b {
+		for order[a] > order[b] {
+			a = idom[a]
+			if a < 0 {
+				return b
+			}
+		}
+		for order[b] > order[a] {
+			b = idom[b]
+			if b < 0 {
+				return a
+			}
+		}
+	}
+	return a
+}
+
+func reversePostorder(f *ir.Func) []int {
+	n := len(f.Blocks)
+	seen := make([]bool, n)
+	var post []int
+	var dfs func(int)
+	dfs = func(b int) {
+		seen[b] = true
+		for _, s := range f.Blocks[b].Succs {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(0)
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}

@@ -1,0 +1,141 @@
+package loops
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"npra/internal/ir"
+	"npra/internal/progen"
+)
+
+func TestStraightLine(t *testing.T) {
+	f := ir.MustParse(`
+a:
+	set v0, 1
+	addi v0, v0, 1
+	store [0], v0
+	halt`)
+	info := Compute(f)
+	for i, d := range info.Depth {
+		if d != 0 {
+			t.Errorf("block %d depth = %d, want 0", i, d)
+		}
+	}
+	if len(info.Headers) != 0 {
+		t.Errorf("headers = %v, want none", info.Headers)
+	}
+}
+
+func TestSimpleLoop(t *testing.T) {
+	f := ir.MustParse(`
+entry:
+	set v0, 10
+loop:
+	subi v0, v0, 1
+	bnz v0, loop
+	store [0], v0
+	halt`)
+	info := Compute(f)
+	loopB := f.BlockByLabel("loop")
+	if info.Depth[loopB] != 1 {
+		t.Errorf("loop depth = %d, want 1", info.Depth[loopB])
+	}
+	if info.Depth[0] != 0 {
+		t.Errorf("entry depth = %d, want 0", info.Depth[0])
+	}
+	if len(info.Headers) != 1 || info.Headers[0] != loopB {
+		t.Errorf("headers = %v, want [%d]", info.Headers, loopB)
+	}
+	// Weight at a loop point is 10x an entry point.
+	p := f.Blocks[loopB].Start()
+	if info.PointWeight(p) != 10 {
+		t.Errorf("loop weight = %d, want 10", info.PointWeight(p))
+	}
+	if info.PointWeight(0) != 1 {
+		t.Errorf("entry weight = %d, want 1", info.PointWeight(0))
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	f := ir.MustParse(`
+entry:
+	set v0, 3
+outer:
+	set v1, 4
+inner:
+	subi v1, v1, 1
+	bnz v1, inner
+	subi v0, v0, 1
+	bnz v0, outer
+	store [0], v0
+	halt`)
+	info := Compute(f)
+	inner := f.BlockByLabel("inner")
+	outer := f.BlockByLabel("outer")
+	if info.Depth[inner] != 2 {
+		t.Errorf("inner depth = %d, want 2", info.Depth[inner])
+	}
+	if info.Depth[outer] != 1 {
+		t.Errorf("outer depth = %d, want 1", info.Depth[outer])
+	}
+	if got := info.PointWeight(f.Blocks[inner].Start()); got != 100 {
+		t.Errorf("inner weight = %d, want 100", got)
+	}
+	// Dominance: entry dominates everything; outer dominates inner.
+	if !info.Dominates(0, inner) || !info.Dominates(outer, inner) {
+		t.Errorf("dominance wrong: idom=%v", info.IDom)
+	}
+	if info.Dominates(inner, outer) {
+		t.Errorf("inner should not dominate outer")
+	}
+}
+
+func TestIfDiamond(t *testing.T) {
+	f := ir.MustParse(`
+entry:
+	set v0, 1
+	bz v0, right
+	set v1, 2
+	br join
+right:
+	set v1, 3
+join:
+	store [0], v1
+	halt`)
+	info := Compute(f)
+	join := f.BlockByLabel("join")
+	// The join's immediate dominator is the branch block, not a branch arm.
+	idom := info.IDom[join]
+	lbl := f.Blocks[idom].Label
+	if lbl != "entry" {
+		t.Errorf("join idom = %q, want entry", lbl)
+	}
+}
+
+// Property: dominator facts are sound on random CFGs — the entry
+// dominates every reachable block, immediate dominators are proper
+// dominators, and loop depth is non-negative and bounded.
+func TestQuickDominatorSoundness(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f := progen.Generate(rng, progen.Default)
+		info := Compute(f)
+		for b := 1; b < len(f.Blocks); b++ {
+			if len(f.Blocks[b].Preds) == 0 {
+				continue // unreachable
+			}
+			if info.IDom[b] >= 0 && !info.Dominates(0, b) {
+				t.Logf("seed %d: entry does not dominate block %d", seed, b)
+				return false
+			}
+			if d := info.Depth[b]; d < 0 || d > len(f.Blocks) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,41 @@
+package masm_test
+
+import (
+	"fmt"
+	"log"
+
+	"npra/internal/interp"
+	"npra/internal/masm"
+)
+
+// ExampleAssemble builds a program from a macro and runs it on the
+// reference interpreter.
+func ExampleAssemble() {
+	f, err := masm.Assemble(`
+.equ N 5
+
+.macro triangle acc, n
+@loop:
+	add acc, acc, n
+	subi n, n, 1
+	bnz n, @loop
+.endm
+
+func tri
+entry:
+	set v0, 0
+	set v1, N
+	triangle v0, v1
+	store [0], v0
+	halt`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mem := make([]uint32, 4)
+	if _, err := interp.Run(f, mem, interp.Options{}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("1+2+3+4+5 =", mem[0])
+	// Output:
+	// 1+2+3+4+5 = 15
+}

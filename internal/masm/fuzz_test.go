@@ -1,0 +1,25 @@
+package masm
+
+import "testing"
+
+// FuzzExpand feeds arbitrary text to the macro expander: it must never
+// panic or loop, and plain assembly must pass through untouched.
+func FuzzExpand(f *testing.F) {
+	f.Add(".macro m a\n add a, a, a\n.endm\nfunc f\ne:\n m v0\n halt")
+	f.Add(".equ X 4\ne:\n set v0, X\n halt")
+	f.Add(".macro m\n m\n.endm\ne:\n m\n halt")
+	f.Add(".endm")
+	f.Add(".macro")
+	f.Add("@@@@")
+	f.Fuzz(func(t *testing.T, src string) {
+		out, err := Expand(src)
+		if err != nil {
+			return
+		}
+		// Idempotence on macro-free output: expanding again is stable.
+		again, err := Expand(out)
+		if err == nil && again != out {
+			t.Fatalf("expansion not idempotent:\n%q\nvs\n%q", out, again)
+		}
+	})
+}

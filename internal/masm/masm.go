@@ -1,0 +1,335 @@
+// Package masm is a macro assembler for npra assembly. Network-processor
+// microcode has no call stack — the IXP tool chain composed programs from
+// assembler macros — so masm provides the same workflow:
+//
+//	.equ SEGSHIFT 13             ; named constants
+//
+//	.macro checksum sum, ptr, n  ; macro with named parameters
+//	@loop:                       ; @-labels are unique per expansion
+//	    load @w, [ptr+0]         ; @-registers too: fresh temp names
+//	    add sum, sum, @w
+//	    addi ptr, ptr, 4
+//	    subi n, n, 1
+//	    bnz n, @loop
+//	.endm
+//
+//	func main
+//	entry:
+//	    set v0, 0
+//	    set v1, 4096
+//	    set v2, SEGSHIFT
+//	    checksum v0, v1, v2      ; expands in place
+//	    store [64], v0
+//	    halt
+//
+// Expand turns such source into plain assembly for ir.Parse; Assemble
+// does both. Macros may invoke other macros (bounded nesting).
+package masm
+
+import (
+	"fmt"
+	"io/fs"
+	"strconv"
+	"strings"
+
+	"npra/internal/ir"
+)
+
+// maxDepth bounds macro-in-macro expansion to catch recursion.
+const maxDepth = 32
+
+type macro struct {
+	name   string
+	params []string
+	body   []string
+}
+
+// Assemble expands macros and parses the result into a built function.
+func Assemble(src string) (*ir.Func, error) {
+	return AssembleFS(src, nil)
+}
+
+// AssembleFS is Assemble with ".include" resolution against fsys (nil
+// forbids includes).
+func AssembleFS(src string, fsys fs.FS) (*ir.Func, error) {
+	expanded, err := ExpandFS(src, fsys)
+	if err != nil {
+		return nil, err
+	}
+	f, err := ir.Parse(expanded)
+	if err != nil {
+		return nil, fmt.Errorf("masm: after expansion: %w\n%s", err, numberLines(expanded))
+	}
+	return f, nil
+}
+
+// Expand performs macro expansion and constant substitution, returning
+// plain npra assembly.
+func Expand(src string) (string, error) {
+	return ExpandFS(src, nil)
+}
+
+// ExpandFS is Expand with ".include \"path\"" support: included files are
+// read from fsys and spliced in before macro collection, so they may
+// contribute macros, constants and code. Includes nest (bounded) and
+// cycles are rejected. A nil fsys makes any .include an error.
+func ExpandFS(src string, fsys fs.FS) (string, error) {
+	resolved, err := resolveIncludes(src, fsys, nil, 0)
+	if err != nil {
+		return "", err
+	}
+	st := &state{
+		macros: make(map[string]*macro),
+		equs:   make(map[string]string),
+	}
+	lines, err := st.collect(strings.Split(resolved, "\n"))
+	if err != nil {
+		return "", err
+	}
+	var out []string
+	for _, line := range lines {
+		exp, err := st.expandLine(line, 0)
+		if err != nil {
+			return "", err
+		}
+		out = append(out, exp...)
+	}
+	return strings.Join(out, "\n"), nil
+}
+
+// resolveIncludes splices ".include" directives depth-first.
+func resolveIncludes(src string, fsys fs.FS, seen []string, depth int) (string, error) {
+	if depth > maxDepth {
+		return "", fmt.Errorf("masm: includes nested deeper than %d", maxDepth)
+	}
+	var out []string
+	for ln, raw := range strings.Split(src, "\n") {
+		trimmed := strings.TrimSpace(stripComment(raw))
+		if !strings.HasPrefix(trimmed, ".include") {
+			out = append(out, raw)
+			continue
+		}
+		arg := strings.TrimSpace(strings.TrimPrefix(trimmed, ".include"))
+		arg = strings.Trim(arg, `"`)
+		if arg == "" {
+			return "", fmt.Errorf("masm: line %d: .include needs a path", ln+1)
+		}
+		if fsys == nil {
+			return "", fmt.Errorf("masm: line %d: .include %q: no filesystem provided", ln+1, arg)
+		}
+		for _, s := range seen {
+			if s == arg {
+				return "", fmt.Errorf("masm: include cycle through %q", arg)
+			}
+		}
+		data, err := fs.ReadFile(fsys, arg)
+		if err != nil {
+			return "", fmt.Errorf("masm: line %d: .include %q: %w", ln+1, arg, err)
+		}
+		sub, err := resolveIncludes(string(data), fsys, append(seen, arg), depth+1)
+		if err != nil {
+			return "", err
+		}
+		out = append(out, fmt.Sprintf("; <include %s>", arg))
+		out = append(out, sub)
+	}
+	return strings.Join(out, "\n"), nil
+}
+
+type state struct {
+	macros map[string]*macro
+	equs   map[string]string
+	nexp   int // expansion counter for unique @-names
+}
+
+// collect gathers .equ and .macro definitions, returning the remaining
+// top-level lines.
+func (st *state) collect(lines []string) ([]string, error) {
+	var rest []string
+	var cur *macro
+	for ln, raw := range lines {
+		line := stripComment(raw)
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(trimmed, ".macro"):
+			if cur != nil {
+				return nil, fmt.Errorf("masm: line %d: nested .macro definition", ln+1)
+			}
+			head := strings.TrimSpace(strings.TrimPrefix(trimmed, ".macro"))
+			name := head
+			params := ""
+			if i := strings.IndexAny(head, " \t"); i >= 0 {
+				name, params = head[:i], head[i+1:]
+			}
+			if name == "" {
+				return nil, fmt.Errorf("masm: line %d: .macro needs a name", ln+1)
+			}
+			if _, dup := st.macros[name]; dup {
+				return nil, fmt.Errorf("masm: line %d: duplicate macro %q", ln+1, name)
+			}
+			cur = &macro{name: name, params: splitFields(params)}
+		case trimmed == ".endm":
+			if cur == nil {
+				return nil, fmt.Errorf("masm: line %d: .endm without .macro", ln+1)
+			}
+			st.macros[cur.name] = cur
+			cur = nil
+		case strings.HasPrefix(trimmed, ".equ"):
+			if cur != nil {
+				return nil, fmt.Errorf("masm: line %d: .equ inside a macro", ln+1)
+			}
+			fields := splitFields(strings.TrimPrefix(trimmed, ".equ"))
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("masm: line %d: .equ NAME VALUE", ln+1)
+			}
+			if _, err := strconv.ParseInt(fields[1], 0, 64); err != nil {
+				return nil, fmt.Errorf("masm: line %d: .equ %s: value %q is not a number", ln+1, fields[0], fields[1])
+			}
+			st.equs[fields[0]] = fields[1]
+		default:
+			if cur != nil {
+				cur.body = append(cur.body, line)
+			} else {
+				rest = append(rest, raw)
+			}
+		}
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("masm: unterminated .macro %q", cur.name)
+	}
+	return rest, nil
+}
+
+// expandLine substitutes constants and, if the line invokes a macro,
+// expands it recursively.
+func (st *state) expandLine(raw string, depth int) ([]string, error) {
+	if depth > maxDepth {
+		return nil, fmt.Errorf("masm: macro nesting deeper than %d (recursive macro?)", maxDepth)
+	}
+	line := raw
+	for name, val := range st.equs {
+		line = substituteWord(line, name, val)
+	}
+	code := stripComment(line)
+	trimmed := strings.TrimSpace(code)
+	if trimmed == "" || strings.HasSuffix(trimmed, ":") || strings.HasPrefix(trimmed, "func ") {
+		return []string{line}, nil
+	}
+	mn := trimmed
+	rest := ""
+	if i := strings.IndexAny(trimmed, " \t"); i >= 0 {
+		mn, rest = trimmed[:i], strings.TrimSpace(trimmed[i+1:])
+	}
+	mac, ok := st.macros[mn]
+	if !ok {
+		return []string{line}, nil
+	}
+	args := splitFields(rest)
+	if len(args) != len(mac.params) {
+		return nil, fmt.Errorf("masm: macro %s wants %d arguments, got %d (%q)",
+			mac.name, len(mac.params), len(args), raw)
+	}
+	st.nexp++
+	id := st.nexp
+	var out []string
+	out = append(out, fmt.Sprintf("; <%s expansion %d>", mac.name, id))
+	for _, bl := range mac.body {
+		s := bl
+		for pi, p := range mac.params {
+			s = substituteWord(s, p, args[pi])
+		}
+		s = uniquifyLocals(s, id)
+		sub, err := st.expandLine(s, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sub...)
+	}
+	return out, nil
+}
+
+// uniquifyLocals rewrites every @name token to name_<id> so each
+// expansion gets fresh labels and temp register names. A temp like "@w"
+// becomes "w_3", which the assembler then rejects unless it is used as a
+// label — so register temps should be written "@v9"-style: "v9_3" is not
+// a valid register either. Macro authors therefore declare temps as
+// parameters or fixed registers; @-names are for labels. (Kept simple on
+// purpose: labels are the error-prone part of textual macros.)
+func uniquifyLocals(s string, id int) string {
+	var sb strings.Builder
+	for i := 0; i < len(s); {
+		if s[i] == '@' {
+			j := i + 1
+			for j < len(s) && isWordByte(s[j]) {
+				j++
+			}
+			if j > i+1 {
+				sb.WriteString(s[i+1 : j])
+				sb.WriteString("_")
+				sb.WriteString(strconv.Itoa(id))
+				i = j
+				continue
+			}
+		}
+		sb.WriteByte(s[i])
+		i++
+	}
+	return sb.String()
+}
+
+// substituteWord replaces whole-word occurrences of from with to.
+func substituteWord(s, from, to string) string {
+	if from == "" {
+		return s
+	}
+	var sb strings.Builder
+	for i := 0; i < len(s); {
+		if strings.HasPrefix(s[i:], from) {
+			before := i == 0 || !isWordByte(s[i-1])
+			afterIdx := i + len(from)
+			after := afterIdx >= len(s) || !isWordByte(s[afterIdx])
+			if before && after {
+				sb.WriteString(to)
+				i = afterIdx
+				continue
+			}
+		}
+		sb.WriteByte(s[i])
+		i++
+	}
+	return sb.String()
+}
+
+func isWordByte(b byte) bool {
+	return b == '_' || b >= '0' && b <= '9' || b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z'
+}
+
+func stripComment(s string) string {
+	if i := strings.IndexAny(s, ";#"); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+func splitFields(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part != "" {
+			out = append(out, part)
+		}
+	}
+	// Also allow space separation for the first field (macro names).
+	if len(out) == 1 && strings.ContainsAny(out[0], " \t") {
+		out = strings.Fields(out[0])
+	}
+	return out
+}
+
+func numberLines(s string) string {
+	var sb strings.Builder
+	for i, l := range strings.Split(s, "\n") {
+		fmt.Fprintf(&sb, "%4d| %s\n", i+1, l)
+	}
+	return sb.String()
+}

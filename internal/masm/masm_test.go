@@ -1,0 +1,221 @@
+package masm
+
+import (
+	"strings"
+	"testing"
+	"testing/fstest"
+
+	"npra/internal/interp"
+)
+
+const checksumMacroSrc = `
+.equ BASE 4096
+.equ WORDS 4
+
+.macro addword sum, ptr
+	load v9, [ptr+0]
+	add sum, sum, v9
+	addi ptr, ptr, 4
+.endm
+
+.macro checksum sum, ptr, n
+@loop:
+	addword sum, ptr
+	subi n, n, 1
+	bnz n, @loop
+.endm
+
+func cksum
+entry:
+	set v0, 0
+	set v1, BASE
+	set v2, WORDS
+	checksum v0, v1, v2
+	store [64], v0
+	halt
+`
+
+func TestAssembleChecksumMacro(t *testing.T) {
+	f, err := Assemble(checksumMacroSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := make([]uint32, 2048)
+	for i := 0; i < 4; i++ {
+		mem[4096/4+i] = uint32(10 * (i + 1))
+	}
+	res, err := interp.Run(f, mem, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted {
+		t.Fatal("did not halt")
+	}
+	if got := mem[16]; got != 100 {
+		t.Errorf("checksum = %d, want 100", got)
+	}
+}
+
+func TestLocalLabelsUniquePerExpansion(t *testing.T) {
+	src := `
+.macro twice r
+	addi r, r, 1
+	bnz r, @skip
+	addi r, r, 100
+@skip:
+.endm
+
+func f
+entry:
+	set v0, 5
+	twice v0
+	twice v0
+	store [0], v0
+	halt
+`
+	expanded, err := Expand(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(expanded, "skip_1:") || !strings.Contains(expanded, "skip_2:") {
+		t.Errorf("local labels not uniquified:\n%s", expanded)
+	}
+	f, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v\n%s", err, expanded)
+	}
+	res, err := interp.Run(f, make([]uint32, 16), interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mem[0] != 7 {
+		t.Errorf("result = %d, want 7", res.Mem[0])
+	}
+}
+
+func TestEquSubstitution(t *testing.T) {
+	src := `
+.equ LIMIT 3
+func f
+entry:
+	set v0, LIMIT
+	store [0], v0
+	halt`
+	f, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := interp.Run(f, make([]uint32, 4), interp.Options{})
+	if res.Mem[0] != 3 {
+		t.Errorf("equ value = %d, want 3", res.Mem[0])
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"unterminated", ".macro m\n addi v0, v0, 1", "unterminated"},
+		{"nested def", ".macro a\n.macro b\n.endm\n.endm", "nested .macro"},
+		{"stray endm", ".endm", ".endm without"},
+		{"bad equ", ".equ X notanumber", "not a number"},
+		{"equ arity", ".equ X", ".equ NAME VALUE"},
+		{"dup macro", ".macro m\n.endm\n.macro m\n.endm", "duplicate macro"},
+		{"macro arity", ".macro m a, b\n add a, a, b\n.endm\nfunc f\ne:\n m v0\n halt", "wants 2 arguments"},
+		{"recursive", ".macro m\n m\n.endm\nfunc f\ne:\n m\n halt", "nesting deeper"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Assemble(tc.src)
+			if err == nil {
+				t.Fatalf("assembled bad source")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestPlainSourcePassesThrough(t *testing.T) {
+	src := "func f\nentry:\n set v0, 1\n store [0], v0\n halt\n"
+	expanded, err := Expand(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(expanded) != strings.TrimSpace(src) {
+		t.Errorf("plain source modified:\n%s", expanded)
+	}
+}
+
+func TestWordBoundarySubstitution(t *testing.T) {
+	// The parameter "n" must not replace the "n" inside "bnz" or "done".
+	src := `
+.macro dec n
+	subi n, n, 1
+	bnz n, done
+.endm
+func f
+entry:
+	set v3, 2
+	dec v3
+done:
+	store [0], v3
+	halt`
+	f, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f.Format(), "bnz v3, done") {
+		t.Errorf("substitution damaged mnemonics:\n%s", f.Format())
+	}
+}
+
+func TestInclude(t *testing.T) {
+	fsys := fstest.MapFS{
+		"lib/checksum.inc": &fstest.MapFile{Data: []byte(`
+.equ MAGIC 77
+.macro bump r
+	addi r, r, MAGIC
+.endm`)},
+		"lib/deep.inc": &fstest.MapFile{Data: []byte(`.include "lib/checksum.inc"`)},
+	}
+	src := `
+.include "lib/deep.inc"
+func f
+entry:
+	set v0, 1
+	bump v0
+	store [0], v0
+	halt`
+	f, err := AssembleFS(src, fsys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := interp.Run(f, make([]uint32, 4), interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mem[0] != 78 {
+		t.Errorf("result = %d, want 78", res.Mem[0])
+	}
+}
+
+func TestIncludeErrors(t *testing.T) {
+	fsys := fstest.MapFS{
+		"a.inc": &fstest.MapFile{Data: []byte(`.include "b.inc"`)},
+		"b.inc": &fstest.MapFile{Data: []byte(`.include "a.inc"`)},
+	}
+	if _, err := ExpandFS(`.include "a.inc"`, fsys); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("cycle not detected: %v", err)
+	}
+	if _, err := ExpandFS(`.include "missing.inc"`, fsys); err == nil {
+		t.Errorf("missing include accepted")
+	}
+	if _, err := Expand(`.include "x"`); err == nil || !strings.Contains(err.Error(), "no filesystem") {
+		t.Errorf("nil fs include accepted: %v", err)
+	}
+	if _, err := ExpandFS(".include", fsys); err == nil {
+		t.Errorf("empty include path accepted")
+	}
+}

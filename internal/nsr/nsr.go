@@ -1,0 +1,163 @@
+// Package nsr partitions a function into Non-Switch Regions (NSRs):
+// maximal connected sub-graphs of the CFG containing no internal
+// context-switch instruction (paper §3.1). Region boundaries are the
+// Context Switch Boundaries (CSBs) — ctx, load and store instructions —
+// and the program entry/exit points.
+//
+// Values live only within one NSR (never across a CSB) may safely use
+// registers shared with other threads, because the thread provably holds
+// no live value in them whenever it yields the CPU.
+package nsr
+
+import (
+	"npra/internal/ir"
+)
+
+// Info is the region partition of one function.
+type Info struct {
+	F *ir.Func
+
+	// CSBs lists the program points of context-switch instructions in
+	// ascending order.
+	CSBs []int
+
+	// Region maps each program point to its NSR id in [0, NumRegions).
+	// A CSB point is attributed to the region control resumes in (its
+	// continuation), so every point has a region; IsCSB distinguishes
+	// true region members from boundaries.
+	Region []int
+
+	// NumRegions is the number of NSRs.
+	NumRegions int
+
+	// Sizes[r] is the number of non-CSB instructions in region r.
+	Sizes []int
+}
+
+// Compute builds the NSR partition for a built function.
+func Compute(f *ir.Func) *Info {
+	if !f.Built() {
+		panic("nsr: function not built")
+	}
+	n := f.NumPoints()
+	x := &Info{F: f, Region: make([]int, n)}
+	isCSB := make([]bool, n)
+	for p := 0; p < n; p++ {
+		if f.Instr(p).IsCSB() {
+			isCSB[p] = true
+			x.CSBs = append(x.CSBs, p)
+		}
+		x.Region[p] = -1
+	}
+
+	// Union non-CSB points connected by CFG edges that do not cross a CSB.
+	uf := newUnionFind(n)
+	var succs []int
+	for p := 0; p < n; p++ {
+		if isCSB[p] {
+			continue
+		}
+		succs = f.PointSuccs(p, succs[:0])
+		for _, q := range succs {
+			if !isCSB[q] {
+				uf.union(p, q)
+			}
+		}
+	}
+
+	// Number regions densely.
+	rid := make(map[int]int)
+	for p := 0; p < n; p++ {
+		if isCSB[p] {
+			continue
+		}
+		root := uf.find(p)
+		id, ok := rid[root]
+		if !ok {
+			id = len(rid)
+			rid[root] = id
+		}
+		x.Region[p] = id
+	}
+	x.NumRegions = len(rid)
+	if x.NumRegions == 0 {
+		// Degenerate: every instruction is a CSB. One empty region.
+		x.NumRegions = 1
+	}
+	x.Sizes = make([]int, x.NumRegions)
+	for p := 0; p < n; p++ {
+		if x.Region[p] >= 0 {
+			x.Sizes[x.Region[p]]++
+		}
+	}
+
+	// Attribute each CSB to its continuation region: follow the unique
+	// successor chain until a non-CSB point is found.
+	for _, p := range x.CSBs {
+		q := p
+		for isCSB[q] {
+			succs = f.PointSuccs(q, succs[:0])
+			if len(succs) == 0 {
+				break // unreachable by construction; be safe
+			}
+			q = succs[0]
+		}
+		if x.Region[q] >= 0 {
+			x.Region[p] = x.Region[q]
+		} else {
+			x.Region[p] = 0
+		}
+	}
+	return x
+}
+
+// IsCSB reports whether point p is a context-switch boundary.
+func (x *Info) IsCSB(p int) bool { return x.F.Instr(p).IsCSB() }
+
+// AvgSize returns the mean number of instructions per NSR (the paper's
+// "average NSR size" column in Table 1).
+func (x *Info) AvgSize() float64 {
+	if x.NumRegions == 0 {
+		return 0
+	}
+	total := 0
+	for _, s := range x.Sizes {
+		total += s
+	}
+	return float64(total) / float64(x.NumRegions)
+}
+
+// unionFind is a standard disjoint-set with path halving and union by size.
+type unionFind struct {
+	parent []int32
+	size   []int32
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int32, n), size: make([]int32, n)}
+	for i := range uf.parent {
+		uf.parent[i] = int32(i)
+		uf.size[i] = 1
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != int32(x) {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = int(uf.parent[x])
+	}
+	return x
+}
+
+func (uf *unionFind) union(a, b int) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return
+	}
+	if uf.size[ra] < uf.size[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = int32(ra)
+	uf.size[ra] += uf.size[rb]
+}

@@ -1,0 +1,457 @@
+// Package passes provides the scalar optimization passes a production
+// toolchain runs around the register allocator: dead-code elimination,
+// local copy propagation and constant folding (before allocation, to
+// hand the allocator canonical code), and CFG simplification plus
+// peephole cleanup (safe both before and after allocation).
+//
+// Passes preserve the observable semantics defined by package interp:
+// final memory, iteration markers and halting. Copy propagation and
+// constant folding refuse to run on physical-register code — extending a
+// live range across a context switch could move a value into a register
+// another thread clobbers, so anything that lengthens live ranges is
+// restricted to virtual code where the allocator still has control.
+package passes
+
+import (
+	"fmt"
+
+	"npra/internal/ir"
+	"npra/internal/liveness"
+)
+
+// Stats counts what a pass (or pipeline) changed.
+type Stats struct {
+	DeadRemoved    int // dead instructions deleted
+	CopiesReplaced int // operand uses rewritten to copy sources
+	Folded         int // instructions strength-reduced or folded to set
+	BlocksMerged   int // straight-line block pairs merged
+	BranchesWoven  int // branches retargeted through empty forwarders
+	Peeped         int // peephole deletions/simplifications
+}
+
+// Total returns the total number of changes.
+func (s Stats) Total() int {
+	return s.DeadRemoved + s.CopiesReplaced + s.Folded + s.BlocksMerged + s.BranchesWoven + s.Peeped
+}
+
+func (s *Stats) add(t Stats) {
+	s.DeadRemoved += t.DeadRemoved
+	s.CopiesReplaced += t.CopiesReplaced
+	s.Folded += t.Folded
+	s.BlocksMerged += t.BlocksMerged
+	s.BranchesWoven += t.BranchesWoven
+	s.Peeped += t.Peeped
+}
+
+// Optimize runs the standard pre-allocation pipeline to a fixpoint:
+// copy propagation, constant folding, peephole, dead code, CFG cleanup.
+// The input must be built and is not modified; the returned function is
+// built. For physical-register inputs only the live-range-safe passes
+// run (see the package comment).
+func Optimize(f *ir.Func) (*ir.Func, Stats, error) {
+	cur := f.Clone()
+	var total Stats
+	for round := 0; round < 10; round++ {
+		var st Stats
+		if !cur.Physical {
+			st.add(CopyProp(cur))
+			st.add(ConstFold(cur))
+		}
+		st.add(Peephole(cur))
+		if err := cur.Build(); err != nil {
+			return nil, total, fmt.Errorf("passes: peephole broke the function: %w", err)
+		}
+		ds, err := DeadCode(cur)
+		if err != nil {
+			return nil, total, err
+		}
+		st.add(ds)
+		st.add(SimplifyCFG(cur))
+		if err := cur.Build(); err != nil {
+			return nil, total, fmt.Errorf("passes: round %d broke the function: %w", round, err)
+		}
+		total.add(st)
+		if st.Total() == 0 {
+			break
+		}
+	}
+	return cur, total, nil
+}
+
+// DeadCode removes instructions whose definition is never used and that
+// have no side effect (memory, control flow, iteration marking and
+// context switches are side effects). The function must be built; it is
+// rebuilt internally after mutation.
+func DeadCode(f *ir.Func) (Stats, error) {
+	var st Stats
+	if err := f.Build(); err != nil {
+		return st, fmt.Errorf("passes: DeadCode input invalid: %w", err)
+	}
+	for {
+		li := liveness.Compute(f)
+		removedAny := false
+		for _, b := range f.Blocks {
+			var kept []ir.Instr
+			for i := range b.Instrs {
+				in := b.Instrs[i]
+				p := b.Start() + i
+				if isPureDef(&in) && !li.Out[p].Has(int(in.Def)) {
+					st.DeadRemoved++
+					removedAny = true
+					continue
+				}
+				kept = append(kept, in)
+			}
+			b.Instrs = kept
+		}
+		if !removedAny {
+			return st, nil
+		}
+		// Removing instructions may empty a block; give it a nop so the
+		// invariants hold, then rebuild and iterate (a dead chain can
+		// take several rounds).
+		for _, b := range f.Blocks {
+			if len(b.Instrs) == 0 {
+				b.Instrs = append(b.Instrs, ir.Instr{Op: ir.OpNop, Def: ir.NoReg, A: ir.NoReg, B: ir.NoReg})
+			}
+		}
+		if err := f.Build(); err != nil {
+			return st, fmt.Errorf("passes: DeadCode broke the function: %w", err)
+		}
+	}
+}
+
+// isPureDef reports whether the instruction only writes a register (no
+// memory, control or scheduling effect), so it is removable when dead.
+func isPureDef(in *ir.Instr) bool {
+	if in.Def == ir.NoReg {
+		return false
+	}
+	switch in.Op {
+	case ir.OpLoad, ir.OpLoadA: // memory side channel + context switch
+		return false
+	}
+	return true
+}
+
+// CopyProp performs block-local copy propagation on virtual code: after
+// "mov b, a", uses of b read a instead, until either a or b is redefined.
+// Physical code is left untouched (see the package comment).
+func CopyProp(f *ir.Func) Stats {
+	var st Stats
+	if f.Physical {
+		return st
+	}
+	copyOf := make(map[ir.Reg]ir.Reg)
+	for _, b := range f.Blocks {
+		clearRegMap(copyOf)
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			// Rewrite uses through the copy map.
+			if in.A != ir.NoReg {
+				if src, ok := copyOf[in.A]; ok {
+					in.A = src
+					st.CopiesReplaced++
+				}
+			}
+			if in.B != ir.NoReg {
+				if src, ok := copyOf[in.B]; ok {
+					in.B = src
+					st.CopiesReplaced++
+				}
+			}
+			if in.Def == ir.NoReg {
+				continue
+			}
+			// The def kills every copy relation involving it.
+			delete(copyOf, in.Def)
+			for dst, src := range copyOf {
+				if src == in.Def {
+					delete(copyOf, dst)
+				}
+			}
+			if in.Op == ir.OpMov && in.A != in.Def {
+				copyOf[in.Def] = in.A
+			}
+		}
+	}
+	return st
+}
+
+// ConstFold performs block-local constant propagation and folding on
+// virtual code: "set" values are tracked and ALU results over known
+// constants collapse back into "set"; register-immediate forms whose
+// register operand is known also collapse.
+func ConstFold(f *ir.Func) Stats {
+	var st Stats
+	if f.Physical {
+		return st
+	}
+	known := make(map[ir.Reg]uint32)
+	for _, b := range f.Blocks {
+		clearConstMap(known)
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if v, folded := foldInstr(in, known); folded {
+				*in = ir.Instr{Op: ir.OpSet, Def: in.Def, A: ir.NoReg, B: ir.NoReg, Imm: int64(v)}
+				st.Folded++
+			}
+			if in.Def != ir.NoReg {
+				if in.Op == ir.OpSet {
+					known[in.Def] = uint32(in.Imm)
+				} else {
+					delete(known, in.Def)
+				}
+			}
+		}
+	}
+	return st
+}
+
+// foldInstr evaluates in if all register operands are known constants.
+func foldInstr(in *ir.Instr, known map[ir.Reg]uint32) (uint32, bool) {
+	get := func(r ir.Reg) (uint32, bool) {
+		v, ok := known[r]
+		return v, ok
+	}
+	switch in.Op {
+	case ir.OpMov:
+		if a, ok := get(in.A); ok {
+			return a, true
+		}
+	case ir.OpNot:
+		if a, ok := get(in.A); ok {
+			return ^a, true
+		}
+	case ir.OpAdd, ir.OpSub, ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr, ir.OpMul:
+		a, okA := get(in.A)
+		bv, okB := get(in.B)
+		if okA && okB {
+			return evalALU(in.Op, a, bv), true
+		}
+	case ir.OpAddI, ir.OpSubI, ir.OpAndI, ir.OpOrI, ir.OpXorI, ir.OpShlI, ir.OpShrI, ir.OpMulI:
+		if a, ok := get(in.A); ok {
+			return evalALUI(in.Op, a, uint32(in.Imm)), true
+		}
+	}
+	return 0, false
+}
+
+func evalALU(op ir.Op, a, b uint32) uint32 {
+	switch op {
+	case ir.OpAdd:
+		return a + b
+	case ir.OpSub:
+		return a - b
+	case ir.OpAnd:
+		return a & b
+	case ir.OpOr:
+		return a | b
+	case ir.OpXor:
+		return a ^ b
+	case ir.OpShl:
+		return a << (b & 31)
+	case ir.OpShr:
+		return a >> (b & 31)
+	case ir.OpMul:
+		return a * b
+	}
+	panic("passes: not an ALU op")
+}
+
+func evalALUI(op ir.Op, a, imm uint32) uint32 {
+	switch op {
+	case ir.OpAddI:
+		return a + imm
+	case ir.OpSubI:
+		return a - imm
+	case ir.OpAndI:
+		return a & imm
+	case ir.OpOrI:
+		return a | imm
+	case ir.OpXorI:
+		return a ^ imm
+	case ir.OpShlI:
+		return a << (imm & 31)
+	case ir.OpShrI:
+		return a >> (imm & 31)
+	case ir.OpMulI:
+		return a * imm
+	}
+	panic("passes: not an ALU-immediate op")
+}
+
+// Peephole applies single-instruction simplifications that are safe on
+// both virtual and physical code because they never extend a live range:
+// self-moves, arithmetic identities and nops disappear or simplify.
+func Peephole(f *ir.Func) Stats {
+	var st Stats
+	for _, b := range f.Blocks {
+		var kept []ir.Instr
+		for i := range b.Instrs {
+			in := b.Instrs[i]
+			switch {
+			case in.Op == ir.OpNop && len(b.Instrs) > 1:
+				st.Peeped++
+				continue
+			case in.Op == ir.OpMov && in.Def == in.A:
+				st.Peeped++
+				continue
+			case isIdentityALUI(&in):
+				// x = a op identity  ->  mov x, a (never longer ranges).
+				kept = append(kept, ir.Instr{Op: ir.OpMov, Def: in.Def, A: in.A, B: ir.NoReg})
+				st.Peeped++
+				continue
+			case in.Op == ir.OpXor && in.A == in.B:
+				// x = a ^ a  ->  set x, 0
+				kept = append(kept, ir.Instr{Op: ir.OpSet, Def: in.Def, A: ir.NoReg, B: ir.NoReg, Imm: 0})
+				st.Peeped++
+				continue
+			case in.Op == ir.OpSub && in.A == in.B:
+				kept = append(kept, ir.Instr{Op: ir.OpSet, Def: in.Def, A: ir.NoReg, B: ir.NoReg, Imm: 0})
+				st.Peeped++
+				continue
+			}
+			kept = append(kept, in)
+		}
+		if len(kept) == 0 {
+			kept = append(kept, ir.Instr{Op: ir.OpNop, Def: ir.NoReg, A: ir.NoReg, B: ir.NoReg})
+		}
+		b.Instrs = kept
+	}
+	return st
+}
+
+func isIdentityALUI(in *ir.Instr) bool {
+	switch in.Op {
+	case ir.OpAddI, ir.OpSubI, ir.OpOrI, ir.OpXorI, ir.OpShlI, ir.OpShrI:
+		return in.Imm == 0
+	case ir.OpMulI:
+		return in.Imm == 1
+	case ir.OpAndI:
+		return uint32(in.Imm) == ^uint32(0)
+	}
+	return false
+}
+
+// SimplifyCFG merges a block into its unique predecessor when that
+// predecessor falls through to it exclusively, threads unconditional
+// branches through blocks that only branch onward, and drops unreachable
+// blocks. Safe on physical code (no live range changes). The function is
+// rebuilt internally.
+func SimplifyCFG(f *ir.Func) Stats {
+	var st Stats
+	for {
+		changed := 0
+
+		// Thread br -> (block with single "br X") to br X.
+		trampoline := make(map[string]string)
+		for _, b := range f.Blocks {
+			if len(b.Instrs) == 1 && b.Instrs[0].Op == ir.OpBr {
+				trampoline[b.Label] = b.Instrs[0].Target
+			}
+		}
+		resolve := func(t string) string {
+			seen := map[string]bool{}
+			for trampoline[t] != "" && !seen[t] {
+				seen[t] = true
+				t = trampoline[t]
+			}
+			return t
+		}
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if in.IsBranch() {
+					if nt := resolve(in.Target); nt != in.Target {
+						in.Target = nt
+						st.BranchesWoven++
+						changed++
+					}
+				}
+			}
+		}
+
+		// Remove unreachable blocks (entry is always reachable).
+		if err := f.Build(); err != nil {
+			return st // conservative: stop simplifying rather than break
+		}
+		reach := make([]bool, len(f.Blocks))
+		var stack []int
+		reach[0] = true
+		stack = append(stack, 0)
+		for len(stack) > 0 {
+			bi := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, s := range f.Blocks[bi].Succs {
+				if !reach[s] {
+					reach[s] = true
+					stack = append(stack, s)
+				}
+			}
+		}
+		var keep []*ir.Block
+		for i, b := range f.Blocks {
+			if reach[i] {
+				keep = append(keep, b)
+			} else {
+				changed++
+			}
+		}
+		f.Blocks = keep
+
+		// Merge b2 into b1 when b1 falls through to b2 and b2 has no other
+		// predecessor and no branches target it.
+		if err := f.Build(); err != nil {
+			return st
+		}
+		for i := 0; i+1 < len(f.Blocks); i++ {
+			b1, b2 := f.Blocks[i], f.Blocks[i+1]
+			last := &b1.Instrs[len(b1.Instrs)-1]
+			if last.IsBranch() || last.Op == ir.OpHalt {
+				continue
+			}
+			if len(b2.Preds) != 1 || b2.Preds[0] != b1.Index {
+				continue
+			}
+			if targeted(f, b2.Label) {
+				continue
+			}
+			b1.Instrs = append(b1.Instrs, b2.Instrs...)
+			f.Blocks = append(f.Blocks[:i+1], f.Blocks[i+2:]...)
+			st.BlocksMerged++
+			changed++
+			if err := f.Build(); err != nil {
+				return st
+			}
+		}
+
+		if changed == 0 {
+			return st
+		}
+	}
+}
+
+// targeted reports whether any branch in f names the label.
+func targeted(f *ir.Func, label string) bool {
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			if b.Instrs[i].IsBranch() && b.Instrs[i].Target == label {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func clearRegMap(m map[ir.Reg]ir.Reg) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+func clearConstMap(m map[ir.Reg]uint32) {
+	for k := range m {
+		delete(m, k)
+	}
+}

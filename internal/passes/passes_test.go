@@ -1,0 +1,283 @@
+package passes
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"npra/internal/interp"
+	"npra/internal/ir"
+	"npra/internal/progen"
+)
+
+func TestDeadCodeRemovesChains(t *testing.T) {
+	f := ir.MustParse(`
+a:
+	set v0, 1
+	set v1, 2        ; dead
+	add v2, v1, v1   ; dead (only feeds v3)
+	add v3, v2, v2   ; dead
+	store [0], v0
+	halt`)
+	st, err := DeadCode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v1's set feeds v2 which feeds v3 which is dead: all three go, but
+	// only after the chain unravels over multiple rounds.
+	if st.DeadRemoved != 3 {
+		t.Errorf("DeadRemoved = %d, want 3\n%s", st.DeadRemoved, f.Format())
+	}
+	if f.Stats().Instructions != 3 {
+		t.Errorf("instructions = %d, want 3", f.Stats().Instructions)
+	}
+}
+
+func TestDeadCodeKeepsSideEffects(t *testing.T) {
+	f := ir.MustParse(`
+a:
+	load v0, [0]     ; dead def, but a load context-switches: kept
+	ctx
+	iter
+	set v1, 5        ; dead pure def: removed
+	halt`)
+	st, err := DeadCode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DeadRemoved != 1 {
+		t.Errorf("DeadRemoved = %d, want 1\n%s", st.DeadRemoved, f.Format())
+	}
+	text := f.Format()
+	for _, want := range []string{"load", "ctx", "iter"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("side-effecting %q removed:\n%s", want, text)
+		}
+	}
+}
+
+func TestCopyProp(t *testing.T) {
+	f := ir.MustParse(`
+a:
+	set v0, 7
+	mov v1, v0
+	add v2, v1, v1   ; -> add v2, v0, v0
+	set v0, 9        ; kills the copy
+	add v3, v1, v0   ; v1 must NOT be rewritten now
+	store [0], v2
+	store [4], v3
+	halt`)
+	st := CopyProp(f)
+	if st.CopiesReplaced != 2 {
+		t.Errorf("CopiesReplaced = %d, want 2\n%s", st.CopiesReplaced, f.Format())
+	}
+	add := f.Blocks[0].Instrs[2]
+	if add.A != 0 || add.B != 0 {
+		t.Errorf("uses not propagated: %v", add.String())
+	}
+	late := f.Blocks[0].Instrs[4]
+	if late.A != 1 {
+		t.Errorf("copy used after kill: %v", late.String())
+	}
+}
+
+func TestCopyPropSkipsPhysical(t *testing.T) {
+	f := ir.MustParse("a:\n mov r1, r0\n add r2, r1, r1\n store [0], r2\n halt")
+	if st := CopyProp(f); st.CopiesReplaced != 0 {
+		t.Errorf("copy propagation ran on physical code")
+	}
+	if st := ConstFold(f); st.Folded != 0 {
+		t.Errorf("constant folding ran on physical code")
+	}
+}
+
+func TestConstFold(t *testing.T) {
+	f := ir.MustParse(`
+a:
+	set v0, 6
+	set v1, 7
+	mul v2, v0, v1   ; -> set v2, 42
+	addi v3, v2, 8   ; -> set v3, 50
+	shli v4, v3, 2   ; -> set v4, 200
+	store [0], v4
+	halt`)
+	st := ConstFold(f)
+	if st.Folded != 3 {
+		t.Errorf("Folded = %d, want 3\n%s", st.Folded, f.Format())
+	}
+	in := f.Blocks[0].Instrs[4]
+	if in.Op != ir.OpSet || in.Imm != 200 {
+		t.Errorf("final fold wrong: %v", in.String())
+	}
+}
+
+func TestPeephole(t *testing.T) {
+	f := ir.MustParse(`
+a:
+	set v0, 3
+	mov v0, v0       ; removed
+	addi v1, v0, 0   ; -> mov v1, v0
+	xor v2, v0, v0   ; -> set v2, 0
+	muli v3, v1, 1   ; -> mov v3, v1
+	nop              ; removed
+	store [0], v2
+	store [4], v3
+	halt`)
+	st := Peephole(f)
+	if st.Peeped != 5 {
+		t.Errorf("Peeped = %d, want 5\n%s", st.Peeped, f.Format())
+	}
+	if strings.Contains(f.Format(), "mov v0, v0") {
+		t.Errorf("self-move survived")
+	}
+}
+
+func TestSimplifyCFG(t *testing.T) {
+	f := ir.MustParse(`
+a:
+	set v0, 1
+	br hop
+hop:
+	br target
+dead:
+	set v9, 9
+	br dead
+target:
+	store [0], v0
+	halt`)
+	st := SimplifyCFG(f)
+	if st.BranchesWoven == 0 {
+		t.Errorf("branch through hop not threaded")
+	}
+	text := f.Format()
+	if strings.Contains(text, "dead:") {
+		t.Errorf("unreachable block kept:\n%s", text)
+	}
+	if !strings.Contains(text, "br target") {
+		t.Errorf("threading lost the final target:\n%s", text)
+	}
+}
+
+func TestOptimizePipelineEndToEnd(t *testing.T) {
+	f := ir.MustParse(`
+a:
+	set v0, 5
+	mov v1, v0
+	addi v2, v1, 0
+	mul v3, v2, v0     ; 25, foldable after copy prop
+	set v4, 99         ; dead
+	br out
+out:
+	store [0], v3
+	halt`)
+	opt, st, err := Optimize(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Total() == 0 {
+		t.Fatalf("pipeline changed nothing")
+	}
+	// Semantics preserved.
+	m1 := make([]uint32, 8)
+	m2 := make([]uint32, 8)
+	r1, _ := interp.Run(f, m1, interp.Options{})
+	r2, _ := interp.Run(opt, m2, interp.Options{})
+	if err := interp.Equivalent(r1, r2); err != nil {
+		t.Fatalf("not equivalent: %v\n%s", err, opt.Format())
+	}
+	if m2[0] != 25 {
+		t.Errorf("result = %d, want 25", m2[0])
+	}
+	// The store's operand should now be a constant-set register.
+	if opt.Stats().Instructions > 4 {
+		t.Errorf("expected tight output, got\n%s", opt.Format())
+	}
+}
+
+// Property: the full pipeline preserves observable behavior on random
+// programs, never grows the instruction count, and the result re-builds.
+func TestQuickOptimizeEquivalence(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f := progen.Generate(rng, progen.Default)
+		opt, _, err := Optimize(f)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if opt.Stats().Instructions > f.Stats().Instructions {
+			t.Logf("seed %d: grew from %d to %d instructions",
+				seed, f.Stats().Instructions, opt.Stats().Instructions)
+			return false
+		}
+		m1 := make([]uint32, 64)
+		m2 := make([]uint32, 64)
+		r1, err := interp.Run(f, m1, interp.Options{MaxSteps: 20000})
+		if err != nil {
+			return false
+		}
+		if !r1.Halted {
+			return true // skip divergent programs
+		}
+		r2, err := interp.Run(opt, m2, interp.Options{MaxSteps: 20000})
+		if err != nil {
+			return false
+		}
+		if err := interp.Equivalent(r1, r2); err != nil {
+			t.Logf("seed %d: %v\nbefore:\n%s\nafter:\n%s", seed, err, f.Format(), opt.Format())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every individual pass alone preserves semantics.
+func TestQuickIndividualPasses(t *testing.T) {
+	type pass struct {
+		name string
+		run  func(*ir.Func) error
+	}
+	passes := []pass{
+		{"DeadCode", func(f *ir.Func) error { _, err := DeadCode(f); return err }},
+		{"CopyProp", func(f *ir.Func) error { CopyProp(f); return f.Build() }},
+		{"ConstFold", func(f *ir.Func) error { ConstFold(f); return f.Build() }},
+		{"Peephole", func(f *ir.Func) error { Peephole(f); return f.Build() }},
+		{"SimplifyCFG", func(f *ir.Func) error { SimplifyCFG(f); return f.Build() }},
+	}
+	for _, p := range passes {
+		p := p
+		t.Run(p.name, func(t *testing.T) {
+			check := func(seed int64) bool {
+				rng := rand.New(rand.NewSource(seed))
+				orig := progen.Generate(rng, progen.Default)
+				f := orig.Clone()
+				if err := p.run(f); err != nil {
+					t.Logf("seed %d: %v", seed, err)
+					return false
+				}
+				m1 := make([]uint32, 64)
+				m2 := make([]uint32, 64)
+				r1, err := interp.Run(orig, m1, interp.Options{MaxSteps: 20000})
+				if err != nil || !r1.Halted {
+					return true
+				}
+				r2, err := interp.Run(f, m2, interp.Options{MaxSteps: 20000})
+				if err != nil {
+					return false
+				}
+				if err := interp.Equivalent(r1, r2); err != nil {
+					t.Logf("seed %d: %v\nbefore:\n%s\nafter:\n%s", seed, err, orig.Format(), f.Format())
+					return false
+				}
+				return true
+			}
+			if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,70 @@
+package progen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"npra/internal/interp"
+)
+
+// Property: every random program builds and validates.
+func TestQuickGenerateValid(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f := Generate(rng, Default)
+		return f.Built() && f.NumPoints() > 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every structured program HALTS within a generous budget —
+// the whole point of the structured generator.
+func TestQuickStructuredHalts(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f := GenerateStructured(rng, DefaultStructured)
+		res, err := interp.Run(f, make([]uint32, 128), interp.Options{MaxSteps: 1 << 20})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if !res.Halted {
+			t.Logf("seed %d: did not halt:\n%s", seed, f.Format())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStructuredDeterministic(t *testing.T) {
+	a := GenerateStructured(rand.New(rand.NewSource(7)), DefaultStructured)
+	b := GenerateStructured(rand.New(rand.NewSource(7)), DefaultStructured)
+	if a.Format() != b.Format() {
+		t.Error("structured generator not deterministic")
+	}
+}
+
+func TestStructuredRespectsStoreWindow(t *testing.T) {
+	cfg := DefaultStructured
+	cfg.StoreBase = 256
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 20; i++ {
+		f := GenerateStructured(rng, cfg)
+		for _, b := range f.Blocks {
+			for k := range b.Instrs {
+				in := b.Instrs[k]
+				if in.Op.String() == "load" || in.Op.String() == "store" {
+					if in.Imm < 256 || in.Imm >= 256+cfg.StoreWindow {
+						t.Fatalf("memory op outside window: %v", in.String())
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,143 @@
+// Package report renders human-readable and Graphviz views of the
+// analyses: per-function statistics tables, and DOT exports of the CFG,
+// the interference graphs (GIG/BIG) and the non-switch-region structure.
+// cmd/npstat is the CLI front end.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"npra/internal/estimate"
+	"npra/internal/ig"
+	"npra/internal/ir"
+	"npra/internal/loops"
+)
+
+// Text renders the statistics block for one function.
+func Text(f *ir.Func) string {
+	a := ig.Analyze(f)
+	est := estimate.Compute(a)
+	li := loops.Compute(f)
+	st := f.Stats()
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "function %s\n", f.Name)
+	fmt.Fprintf(&sb, "  instructions     %d (%d blocks, %d branches)\n", st.Instructions, st.Blocks, st.Branches)
+	fmt.Fprintf(&sb, "  context switches %d (%.1f%% of instructions)\n",
+		st.CSBs, 100*float64(st.CSBs)/float64(st.Instructions))
+	fmt.Fprintf(&sb, "  live ranges      %d (%d boundary, %d internal)\n",
+		a.LiveRanges(), a.BoundaryNodes().Count(), a.InternalNodes().Count())
+	fmt.Fprintf(&sb, "  NSRs             %d (avg %.1f instructions)\n", a.NSR.NumRegions, a.NSR.AvgSize())
+	fmt.Fprintf(&sb, "  pressure         RegPmax=%d RegPCSBmax=%d\n", est.MinR, est.MinPR)
+	fmt.Fprintf(&sb, "  move-free demand MaxR=%d MaxPR=%d (SR=%d)\n", est.MaxR, est.MaxPR, est.MaxSR())
+	maxDepth := 0
+	for _, d := range li.Depth {
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	fmt.Fprintf(&sb, "  loops            %d headers, max nesting %d\n", len(li.Headers), maxDepth)
+	return sb.String()
+}
+
+// DotCFG renders the block-level control-flow graph, annotated with loop
+// depth and the context-switch instructions each block contains.
+func DotCFG(f *ir.Func) string {
+	li := loops.Compute(f)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n  node [shape=box, fontname=monospace];\n", f.Name+"_cfg")
+	for i, b := range f.Blocks {
+		csb := 0
+		for k := range b.Instrs {
+			if b.Instrs[k].IsCSB() {
+				csb++
+			}
+		}
+		label := fmt.Sprintf("%s\\n%d instrs, %d csb", b.Label, len(b.Instrs), csb)
+		attrs := ""
+		if li.Depth[i] > 0 {
+			label += fmt.Sprintf("\\nloop depth %d", li.Depth[i])
+			attrs = ", style=filled, fillcolor=lightyellow"
+		}
+		fmt.Fprintf(&sb, "  b%d [label=\"%s\"%s];\n", i, label, attrs)
+	}
+	for i, b := range f.Blocks {
+		for _, s := range b.Succs {
+			fmt.Fprintf(&sb, "  b%d -> b%d;\n", i, s)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// DotInterference renders the GIG; boundary nodes are drawn filled, and
+// edges that are also boundary interference (BIG edges) are drawn bold.
+func DotInterference(f *ir.Func) string {
+	a := ig.Analyze(f)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n  graph [overlap=false];\n  edge [dir=none];\n  node [fontname=monospace];\n", f.Name+"_gig")
+	for v := 0; v < a.NumVars; v++ {
+		if !a.Alive[v] {
+			continue
+		}
+		if a.Boundary[v] {
+			fmt.Fprintf(&sb, "  v%d [style=filled, fillcolor=lightblue, label=\"v%d (boundary)\"];\n", v, v)
+		} else {
+			fmt.Fprintf(&sb, "  v%d;\n", v)
+		}
+	}
+	for u := 0; u < a.NumVars; u++ {
+		uu := u
+		a.GIG.Neighbors(u).ForEach(func(w int) {
+			if w <= uu {
+				return
+			}
+			attr := ""
+			if a.BIG.HasEdge(uu, w) {
+				attr = " [penwidth=2]"
+			}
+			fmt.Fprintf(&sb, "  v%d -> v%d%s;\n", uu, w, attr)
+		})
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// DotNSR renders the non-switch-region structure: one cluster per region
+// with its instructions, and the context-switch boundaries as diamond
+// nodes between them.
+func DotNSR(f *ir.Func) string {
+	a := ig.Analyze(f)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n  node [shape=box, fontname=monospace];\n", f.Name+"_nsr")
+	// Group points per region.
+	members := make([][]int, a.NSR.NumRegions)
+	for p := 0; p < f.NumPoints(); p++ {
+		if f.Instr(p).IsCSB() {
+			continue
+		}
+		r := a.NSR.Region[p]
+		members[r] = append(members[r], p)
+	}
+	for r, pts := range members {
+		fmt.Fprintf(&sb, "  subgraph cluster_%d {\n    label=\"NSR %d (%d instrs)\";\n", r, r, len(pts))
+		for _, p := range pts {
+			fmt.Fprintf(&sb, "    p%d [label=%q];\n", p, f.Instr(p).String())
+		}
+		sb.WriteString("  }\n")
+	}
+	for _, p := range a.NSR.CSBs {
+		fmt.Fprintf(&sb, "  p%d [shape=diamond, label=%q, style=filled, fillcolor=salmon];\n", p, f.Instr(p).String())
+	}
+	// Instruction-level edges.
+	var succs []int
+	for p := 0; p < f.NumPoints(); p++ {
+		succs = f.PointSuccs(p, succs[:0])
+		for _, q := range succs {
+			fmt.Fprintf(&sb, "  p%d -> p%d;\n", p, q)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

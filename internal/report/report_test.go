@@ -1,0 +1,90 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"npra/internal/bench"
+	"npra/internal/ir"
+)
+
+const src = `
+func demo
+entry:
+	set v0, 8
+loop:
+	load v1, [v0+0]
+	add v2, v0, v1
+	store [v0+4], v2
+	subi v0, v0, 1
+	bnz v0, loop
+	halt`
+
+func TestText(t *testing.T) {
+	out := Text(ir.MustParse(src))
+	for _, want := range []string{
+		"function demo", "instructions", "context switches",
+		"live ranges", "NSRs", "RegPmax", "loops",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "1 headers, max nesting 1") {
+		t.Errorf("loop line wrong:\n%s", out)
+	}
+}
+
+func TestDotWellFormed(t *testing.T) {
+	f := ir.MustParse(src)
+	for name, gen := range map[string]func(*ir.Func) string{
+		"cfg": DotCFG, "gig": DotInterference, "nsr": DotNSR,
+	} {
+		out := gen(f)
+		if !strings.HasPrefix(out, "digraph") || !strings.HasSuffix(out, "}\n") {
+			t.Errorf("%s: not a digraph:\n%s", name, out)
+		}
+		if strings.Count(out, "{") != strings.Count(out, "}") {
+			t.Errorf("%s: unbalanced braces", name)
+		}
+	}
+}
+
+func TestDotCFGLoopsMarked(t *testing.T) {
+	out := DotCFG(ir.MustParse(src))
+	if !strings.Contains(out, "loop depth 1") {
+		t.Errorf("loop depth missing:\n%s", out)
+	}
+}
+
+func TestDotInterferenceBoundaryMarked(t *testing.T) {
+	out := DotInterference(ir.MustParse(src))
+	if !strings.Contains(out, "boundary") {
+		t.Errorf("boundary nodes not marked:\n%s", out)
+	}
+	// Two values live across the same ctx form a BIG edge (bold).
+	two := ir.MustParse(`
+a:
+	set v0, 1
+	set v1, 2
+	ctx
+	add v2, v0, v1
+	store [0], v2
+	halt`)
+	out2 := DotInterference(two)
+	if !strings.Contains(out2, "penwidth=2") {
+		t.Errorf("BIG edges not bolded:\n%s", out2)
+	}
+}
+
+func TestAllBenchmarksRender(t *testing.T) {
+	for _, b := range bench.All() {
+		f := b.Gen(4)
+		if out := Text(f); !strings.Contains(out, b.Name) {
+			t.Errorf("%s: text report broken", b.Name)
+		}
+		_ = DotCFG(f)
+		_ = DotInterference(f)
+		_ = DotNSR(f)
+	}
+}

@@ -1,0 +1,327 @@
+// Package schedcheck is a bounded model checker for the multithreaded
+// machine: it enumerates *every* behavior a non-preemptive scheduler and
+// the memory subsystem could produce — which thread runs after each
+// context switch, and *when* each in-flight memory operation completes
+// relative to the other threads' execution — and checks that the
+// observable outcome (final memory and per-thread iteration counts) is
+// schedule-independent. Loads follow the transfer-register discipline:
+// the memory read happens at completion, the destination register is
+// written when the owning thread next runs.
+//
+// For code produced by the cross-thread register allocator this is the
+// strongest safety statement in the repository: the simulator exercises
+// one concrete round-robin schedule, the static verifier checks the
+// private/shared contract, and schedcheck closes the gap by exhausting
+// the scheduling nondeterminism for bounded programs.
+package schedcheck
+
+import (
+	"fmt"
+
+	"npra/internal/ir"
+)
+
+// Options bounds the exploration.
+type Options struct {
+	MemWords int // memory size (default 256)
+	MaxSteps int // per-path instruction budget (default 100k)
+	MaxPaths int // schedule budget (default 200k)
+}
+
+// Result reports an exploration.
+type Result struct {
+	Paths    int  // schedules explored
+	Bounded  bool // true if the path budget was hit (result then partial)
+	Outcomes int  // distinct observable outcomes found
+}
+
+// outcome is the observable result of one complete schedule.
+type outcome struct {
+	memHash uint64
+	iters   string
+}
+
+type state struct {
+	pcs    []int
+	halted []bool
+	// blocked[t]: thread t's memory operation is in flight (effect not
+	// yet delivered); the thread may not run until it is delivered.
+	blocked []bool
+	pending []pendingOp
+	// latched[t]: a delivered load value awaiting the register write at
+	// the thread's resume (transfer-register discipline).
+	latched []bool
+	regs    []uint32
+	mem     []uint32
+	iters   []int
+	steps   int
+}
+
+type pendingOp struct {
+	isLoad bool
+	def    ir.Reg
+	addr   uint32
+	val    uint32 // store value; for loads, the value once delivered
+}
+
+func (s *state) clone() *state {
+	c := &state{
+		pcs:     append([]int(nil), s.pcs...),
+		halted:  append([]bool(nil), s.halted...),
+		blocked: append([]bool(nil), s.blocked...),
+		pending: append([]pendingOp(nil), s.pending...),
+		latched: append([]bool(nil), s.latched...),
+		regs:    append([]uint32(nil), s.regs...),
+		mem:     append([]uint32(nil), s.mem...),
+		iters:   append([]int(nil), s.iters...),
+		steps:   s.steps,
+	}
+	return c
+}
+
+// Check explores all schedules of the given threads (physical or virtual
+// register code over one shared register file, as on the machine). It
+// returns an error describing the divergence if two schedules disagree.
+func Check(funcs []*ir.Func, opt Options) (*Result, error) {
+	if opt.MemWords == 0 {
+		opt.MemWords = 256
+	}
+	if opt.MaxSteps == 0 {
+		opt.MaxSteps = 100_000
+	}
+	if opt.MaxPaths == 0 {
+		opt.MaxPaths = 200_000
+	}
+	nregs := 0
+	for i, f := range funcs {
+		if f == nil || !f.Built() {
+			return nil, fmt.Errorf("schedcheck: thread %d not built", i)
+		}
+		if f.NumRegs > nregs {
+			nregs = f.NumRegs
+		}
+	}
+	init := &state{
+		pcs:     make([]int, len(funcs)),
+		halted:  make([]bool, len(funcs)),
+		blocked: make([]bool, len(funcs)),
+		pending: make([]pendingOp, len(funcs)),
+		latched: make([]bool, len(funcs)),
+		regs:    make([]uint32, nregs),
+		mem:     make([]uint32, opt.MemWords),
+		iters:   make([]int, len(funcs)),
+	}
+
+	res := &Result{}
+	seen := make(map[outcome]bool)
+	var firstOutcome *outcome
+
+	var explore func(s *state) error
+	explore = func(s *state) error {
+		if res.Paths >= opt.MaxPaths {
+			res.Bounded = true
+			return nil
+		}
+		// Two kinds of schedulable events: deliver an in-flight memory
+		// effect (the memory subsystem completes it), or run a thread
+		// whose effect (if any) has been delivered.
+		type choice struct {
+			t       int
+			deliver bool
+		}
+		var choices []choice
+		for t := range funcs {
+			if s.halted[t] {
+				continue
+			}
+			if s.blocked[t] {
+				choices = append(choices, choice{t, true})
+			} else {
+				choices = append(choices, choice{t, false})
+			}
+		}
+		if len(choices) == 0 {
+			// Complete schedule: record the outcome.
+			o := outcome{memHash: hashMem(s.mem), iters: fmt.Sprint(s.iters)}
+			res.Paths++
+			if !seen[o] {
+				seen[o] = true
+				res.Outcomes = len(seen)
+				if firstOutcome == nil {
+					firstOutcome = &o
+				} else {
+					return fmt.Errorf(
+						"schedcheck: schedule-dependent result: iters %v vs %v (mem hashes %#x vs %#x)",
+						firstOutcome.iters, o.iters, firstOutcome.memHash, o.memHash)
+				}
+			}
+			return nil
+		}
+		for _, ch := range choices {
+			c := s.clone()
+			if ch.deliver {
+				c.deliver(ch.t)
+			} else {
+				if err := runUntilYield(funcs[ch.t], c, ch.t, opt.MaxSteps); err != nil {
+					return err
+				}
+			}
+			if err := explore(c); err != nil {
+				return err
+			}
+			if res.Paths >= opt.MaxPaths {
+				res.Bounded = true
+				return nil
+			}
+		}
+		return nil
+	}
+	if err := explore(init); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// deliver completes thread t's in-flight memory operation: stores land in
+// memory; loads read memory now and latch the value for the register
+// write at resume.
+func (s *state) deliver(t int) {
+	p := s.pending[t]
+	if p.isLoad {
+		s.pending[t].val = s.mem[(p.addr/4)%uint32(len(s.mem))]
+		s.latched[t] = true
+	} else {
+		s.mem[(p.addr/4)%uint32(len(s.mem))] = p.val
+		s.pending[t] = pendingOp{}
+	}
+	s.blocked[t] = false
+}
+
+// runUntilYield executes thread t until it context-switches or halts.
+func runUntilYield(f *ir.Func, s *state, t, maxSteps int) error {
+	regs := s.regs
+	if s.latched[t] {
+		// Transfer-register delivery at resume.
+		regs[s.pending[t].def] = s.pending[t].val
+		s.latched[t] = false
+		s.pending[t] = pendingOp{}
+	}
+	for {
+		if s.steps >= maxSteps {
+			return fmt.Errorf("schedcheck: path exceeded %d steps (diverging program?)", maxSteps)
+		}
+		s.steps++
+		in := f.Instr(s.pcs[t])
+		next := s.pcs[t] + 1
+		switch in.Op {
+		case ir.OpSet:
+			regs[in.Def] = uint32(in.Imm)
+		case ir.OpMov:
+			regs[in.Def] = regs[in.A]
+		case ir.OpTID:
+			regs[in.Def] = uint32(t)
+		case ir.OpAdd:
+			regs[in.Def] = regs[in.A] + regs[in.B]
+		case ir.OpSub:
+			regs[in.Def] = regs[in.A] - regs[in.B]
+		case ir.OpAnd:
+			regs[in.Def] = regs[in.A] & regs[in.B]
+		case ir.OpOr:
+			regs[in.Def] = regs[in.A] | regs[in.B]
+		case ir.OpXor:
+			regs[in.Def] = regs[in.A] ^ regs[in.B]
+		case ir.OpShl:
+			regs[in.Def] = regs[in.A] << (regs[in.B] & 31)
+		case ir.OpShr:
+			regs[in.Def] = regs[in.A] >> (regs[in.B] & 31)
+		case ir.OpMul:
+			regs[in.Def] = regs[in.A] * regs[in.B]
+		case ir.OpAddI:
+			regs[in.Def] = regs[in.A] + uint32(in.Imm)
+		case ir.OpSubI:
+			regs[in.Def] = regs[in.A] - uint32(in.Imm)
+		case ir.OpAndI:
+			regs[in.Def] = regs[in.A] & uint32(in.Imm)
+		case ir.OpOrI:
+			regs[in.Def] = regs[in.A] | uint32(in.Imm)
+		case ir.OpXorI:
+			regs[in.Def] = regs[in.A] ^ uint32(in.Imm)
+		case ir.OpShlI:
+			regs[in.Def] = regs[in.A] << (uint32(in.Imm) & 31)
+		case ir.OpShrI:
+			regs[in.Def] = regs[in.A] >> (uint32(in.Imm) & 31)
+		case ir.OpMulI:
+			regs[in.Def] = regs[in.A] * uint32(in.Imm)
+		case ir.OpNot:
+			regs[in.Def] = ^regs[in.A]
+		case ir.OpLoad, ir.OpLoadA:
+			addr := uint32(in.Imm)
+			if in.Op == ir.OpLoad {
+				addr += regs[in.A]
+			}
+			s.pending[t] = pendingOp{isLoad: true, def: in.Def, addr: addr}
+			s.blocked[t] = true
+			s.pcs[t] = next
+			return nil
+		case ir.OpStore, ir.OpStoreA:
+			addr := uint32(in.Imm)
+			if in.Op == ir.OpStore {
+				addr += regs[in.A]
+			}
+			s.pending[t] = pendingOp{isLoad: false, addr: addr, val: regs[in.B]}
+			s.blocked[t] = true
+			s.pcs[t] = next
+			return nil
+		case ir.OpCtx:
+			s.pcs[t] = next
+			return nil
+		case ir.OpIter:
+			s.iters[t]++
+		case ir.OpNop:
+		case ir.OpBr:
+			next = f.Blocks[f.BlockByLabel(in.Target)].Start()
+		case ir.OpBZ:
+			if regs[in.A] == 0 {
+				next = f.Blocks[f.BlockByLabel(in.Target)].Start()
+			}
+		case ir.OpBNZ:
+			if regs[in.A] != 0 {
+				next = f.Blocks[f.BlockByLabel(in.Target)].Start()
+			}
+		case ir.OpBEQ:
+			if regs[in.A] == regs[in.B] {
+				next = f.Blocks[f.BlockByLabel(in.Target)].Start()
+			}
+		case ir.OpBNE:
+			if regs[in.A] != regs[in.B] {
+				next = f.Blocks[f.BlockByLabel(in.Target)].Start()
+			}
+		case ir.OpBLT:
+			if int32(regs[in.A]) < int32(regs[in.B]) {
+				next = f.Blocks[f.BlockByLabel(in.Target)].Start()
+			}
+		case ir.OpBGE:
+			if int32(regs[in.A]) >= int32(regs[in.B]) {
+				next = f.Blocks[f.BlockByLabel(in.Target)].Start()
+			}
+		case ir.OpHalt:
+			s.halted[t] = true
+			return nil
+		default:
+			return fmt.Errorf("schedcheck: invalid opcode %v", in.Op)
+		}
+		s.pcs[t] = next
+	}
+}
+
+// hashMem is FNV-1a over the memory image.
+func hashMem(mem []uint32) uint64 {
+	h := uint64(14695981039346656037)
+	for _, w := range mem {
+		for sh := 0; sh < 32; sh += 8 {
+			h ^= uint64((w >> sh) & 0xFF)
+			h *= 1099511628211
+		}
+	}
+	return h
+}

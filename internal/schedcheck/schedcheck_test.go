@@ -1,0 +1,169 @@
+package schedcheck
+
+import (
+	"strings"
+	"testing"
+
+	"npra/internal/core"
+	"npra/internal/ir"
+)
+
+func TestSingleThreadDeterministic(t *testing.T) {
+	f := ir.MustParse(`
+a:
+	set v0, 5
+loop:
+	load v1, [v0+0]
+	add v1, v1, v0
+	store [v0+0], v1
+	iter
+	subi v0, v0, 1
+	bnz v0, loop
+	halt`)
+	res, err := Check([]*ir.Func{f}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcomes != 1 {
+		t.Errorf("outcomes = %d, want 1", res.Outcomes)
+	}
+	if res.Bounded {
+		t.Errorf("unexpectedly bounded")
+	}
+}
+
+// TestAllocatedSharingIsScheduleIndependent: two threads allocated by the
+// paper's algorithm, sharing registers, must produce the same result
+// under every scheduler and memory-completion interleaving.
+func TestAllocatedSharingIsScheduleIndependent(t *testing.T) {
+	t1 := ir.MustParse(`
+func t1
+entry:
+	set v0, 3
+	ctx
+	set v1, 10
+	add v2, v0, v1
+	store [64], v2
+	ctx
+	addi v0, v0, 1
+	store [68], v0
+	halt`)
+	t2 := ir.MustParse(`
+func t2
+entry:
+	ctx
+	set v0, 7
+	muli v1, v0, 6
+	store [72], v1
+	ctx
+	store [76], v0
+	halt`)
+	alloc, err := core.AllocateARA([]*ir.Func{t1, t2}, core.Config{NReg: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alloc.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if alloc.SGR == 0 {
+		t.Fatal("want shared registers for this test to mean anything")
+	}
+	res, err := Check([]*ir.Func{alloc.Threads[0].F, alloc.Threads[1].F}, Options{})
+	if err != nil {
+		t.Fatalf("allocated code is schedule-dependent: %v", err)
+	}
+	if res.Outcomes != 1 {
+		t.Errorf("outcomes = %d, want 1 (%d paths)", res.Outcomes, res.Paths)
+	}
+	if res.Paths < 10 {
+		t.Errorf("only %d schedules explored; nondeterminism not exercised", res.Paths)
+	}
+}
+
+// TestDetectsRegisterClobber: naive sharing — both threads keep a value
+// in r0 across a switch — must be flagged.
+func TestDetectsRegisterClobber(t *testing.T) {
+	a := ir.MustParse(`
+func a
+entry:
+	set r0, 1
+	ctx
+	store [64], r0
+	halt`)
+	b := ir.MustParse(`
+func b
+entry:
+	set r0, 99
+	ctx
+	store [68], r0
+	halt`)
+	_, err := Check([]*ir.Func{a, b}, Options{})
+	if err == nil {
+		t.Fatal("clobbering schedule not found")
+	}
+	if !strings.Contains(err.Error(), "schedule-dependent") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+// TestDetectsMemoryRace: two threads storing different values to the same
+// address have a genuinely schedule-dependent final memory.
+func TestDetectsMemoryRace(t *testing.T) {
+	a := ir.MustParse("func a\ne:\n set v0, 1\n store [64], v0\n halt")
+	b := ir.MustParse("func b\ne:\n set v1, 2\n store [64], v1\n halt")
+	_, err := Check([]*ir.Func{a, b}, Options{})
+	if err == nil {
+		t.Fatal("memory race not found")
+	}
+}
+
+// TestLoadCompletionWindow: a load whose value depends on when the memory
+// read happens relative to another thread's store is schedule-dependent —
+// the checker must explore both completions.
+func TestLoadCompletionWindow(t *testing.T) {
+	reader := ir.MustParse(`
+func reader
+e:
+	load v0, [64]
+	store [68], v0
+	halt`)
+	writer := ir.MustParse(`
+func writer
+e:
+	set v1, 42
+	store [64], v1
+	halt`)
+	_, err := Check([]*ir.Func{reader, writer}, Options{})
+	if err == nil {
+		t.Fatal("load/store completion race not found")
+	}
+}
+
+func TestPathBudget(t *testing.T) {
+	// A thread pair with many switches explodes combinatorially; the
+	// budget must kick in without error.
+	src := `
+func f
+e:
+	set v0, 8
+loop:
+	ctx
+	subi v0, v0, 1
+	bnz v0, loop
+	halt`
+	res, err := Check([]*ir.Func{ir.MustParse(src), ir.MustParse(strings.ReplaceAll(src, "v0", "v1"))},
+		Options{MaxPaths: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Bounded {
+		t.Errorf("budget not reported")
+	}
+}
+
+func TestDivergentProgramReported(t *testing.T) {
+	f := ir.MustParse("e:\n br e")
+	if _, err := Check([]*ir.Func{f}, Options{MaxSteps: 100}); err == nil {
+		t.Fatal("diverging program not reported")
+	}
+}

@@ -1,0 +1,158 @@
+package sim
+
+import "fmt"
+
+// PU is one processing unit (micro-engine) of a multi-PU cluster: its
+// hardware threads plus the base value its threads report from the tid
+// instruction (so each thread in the chip can carve out a distinct memory
+// segment, as each micro-engine's threads do on the IXP).
+type PU struct {
+	Threads []*Thread
+	TIDBase int
+}
+
+// ClusterResult reports a whole-chip simulation.
+type ClusterResult struct {
+	Cycles int64
+	Mem    []uint32
+	PUs    []PUStats
+}
+
+// PUStats reports one processing unit of the cluster.
+type PUStats struct {
+	Idle    int64
+	Threads []ThreadStats
+}
+
+// Utilization returns the busy fraction of one PU over the run.
+func (p PUStats) Utilization(total int64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(total-p.Idle) / float64(total)
+}
+
+// RunCluster simulates several processing units in cycle lockstep over
+// one shared memory — the paper's Figure 2.a organization, where PUs form
+// a packet pipeline connected by queues (which live in the shared
+// memory). Register files are per-PU; memory effects land on the shared
+// array at their scheduled cycle, so cross-PU communication through
+// memory is causally consistent at cycle granularity.
+//
+// The run ends when every thread of every PU halted, when cfg.MaxCycles
+// elapse, or when all threads reached cfg.StopIters iteration markers.
+func RunCluster(pus []PU, cfg Config) (*ClusterResult, error) {
+	cfg.setDefaults()
+	if len(pus) == 0 {
+		return nil, fmt.Errorf("sim: no processing units")
+	}
+	mem := make([]uint32, cfg.MemWords)
+	memFree := new(int64) // one memory channel shared by the whole chip
+	var machines []*machine
+	var scheds []*puSched
+	for pi, pu := range pus {
+		if len(pu.Threads) == 0 {
+			return nil, fmt.Errorf("sim: PU %d has no threads", pi)
+		}
+		m := &machine{
+			cfg:     cfg,
+			regs:    make([]uint32, cfg.NReg),
+			mem:     mem,
+			tidBase: pu.TIDBase,
+			memFree: memFree,
+		}
+		for ti, th := range pu.Threads {
+			if th.F == nil || !th.F.Built() {
+				return nil, fmt.Errorf("sim: PU %d thread %d has no built function", pi, ti)
+			}
+			if th.F.NumRegs > cfg.NReg {
+				return nil, fmt.Errorf("sim: PU %d thread %d uses %d registers, file has %d", pi, ti, th.F.NumRegs, cfg.NReg)
+			}
+			if th.ProtectLo < 0 || th.ProtectHi > cfg.NReg || th.ProtectLo > th.ProtectHi {
+				return nil, fmt.Errorf("sim: PU %d thread %d bad protected range", pi, ti)
+			}
+			m.threads = append(m.threads, &hwThread{prog: th, pc: 0, state: tReady})
+		}
+		machines = append(machines, m)
+		scheds = append(scheds, &puSched{})
+	}
+
+	for cycle := int64(0); cycle < cfg.MaxCycles; cycle++ {
+		allDone := true
+		allIters := cfg.StopIters > 0
+		for i, m := range machines {
+			if !m.done() {
+				allDone = false
+			}
+			if allIters && !m.allReachedIters(cfg.StopIters) {
+				allIters = false
+			}
+			if m.cycle > cycle {
+				continue // this PU is mid switch-latency stall
+			}
+			if err := stepPU(m, scheds[i]); err != nil {
+				return nil, err
+			}
+			if m.err != nil {
+				return nil, m.err
+			}
+		}
+		if allDone || allIters {
+			break
+		}
+	}
+
+	res := &ClusterResult{Mem: mem}
+	for _, m := range machines {
+		if m.cycle > res.Cycles {
+			res.Cycles = m.cycle
+		}
+		ps := PUStats{Idle: m.idle}
+		for _, t := range m.threads {
+			ps.Threads = append(ps.Threads, t.stats)
+		}
+		res.PUs = append(res.PUs, ps)
+	}
+	return res, nil
+}
+
+// puSched carries the per-PU scheduling state between lockstep steps: the
+// thread currently occupying the CPU, or none.
+type puSched struct {
+	cur     int
+	running bool
+}
+
+// stepPU advances one PU by exactly one cycle: execute one instruction of
+// the occupying thread, start a new thread, or idle.
+func stepPU(m *machine, s *puSched) error {
+	m.applyCompletions()
+	if m.err != nil {
+		return m.err
+	}
+	if m.done() {
+		m.cycle++ // keep the local clock in lockstep
+		m.idle++
+		return nil
+	}
+	if !s.running {
+		next := m.pickReady(s.cur)
+		if next < 0 {
+			m.cycle++
+			m.idle++
+			return nil
+		}
+		s.cur = next
+		s.running = true
+	}
+	keep, err := m.execOne(s.cur)
+	if err != nil {
+		return err
+	}
+	if !keep {
+		s.running = false
+		s.cur = (s.cur + 1) % len(m.threads)
+		m.cycle += m.cfg.SwitchLatency
+	}
+	return nil
+}

@@ -1,0 +1,511 @@
+// Package sim is the evaluation substrate: a cycle-level simulator of an
+// IXP1200-style micro-engine (processing unit). It models exactly the
+// machine properties the paper's results depend on:
+//
+//   - Nthd hardware thread contexts sharing one register file and one CPU;
+//   - non-preemptive execution — a thread runs until it context-switches;
+//   - 1-cycle ALU/move/branch instructions;
+//   - explicit 1-cycle context switch (ctx) that saves only the PC;
+//   - ~20-cycle memory operations (load/store) that block the issuing
+//     thread and yield the CPU, hiding latency behind the other threads;
+//   - round-robin selection among ready threads.
+//
+// The simulator also acts as a dynamic safety monitor: each thread may
+// declare a protected (private) register range, and any write to another
+// thread's protected range aborts the run — the hazard that makes naive
+// register sharing unsound on this class of hardware.
+package sim
+
+import (
+	"fmt"
+
+	"npra/internal/ir"
+)
+
+// Config parameterizes the processing unit.
+type Config struct {
+	NReg          int   // register file size (default 128)
+	MemWords      int   // memory size in 32-bit words (default 16384)
+	MemLatency    int64 // cycles for a load/store to complete (default 20)
+	SwitchLatency int64 // extra cycles per context switch (default 0; the
+	// switching instruction's own cycle models the IXP's 1-cycle switch)
+	MaxCycles int64 // hard stop (default 10M)
+	StopIters int64 // stop once every thread hit this many iter markers (0 = off)
+
+	// MemOccupancy models contention on the shared memory channel: each
+	// load/store occupies the channel for this many cycles, so concurrent
+	// operations (from any thread or processing unit sharing the memory)
+	// serialize. 0 disables contention (infinite bandwidth).
+	MemOccupancy int64
+
+	// Sched selects the thread scheduling policy (default round-robin).
+	Sched SchedPolicy
+
+	// Trace, when non-nil, receives per-instruction execution events.
+	Trace Tracer
+}
+
+func (c *Config) setDefaults() {
+	if c.NReg == 0 {
+		c.NReg = 128
+	}
+	if c.MemWords == 0 {
+		c.MemWords = 16384
+	}
+	if c.MemLatency == 0 {
+		c.MemLatency = 20
+	}
+	if c.MaxCycles == 0 {
+		c.MaxCycles = 10_000_000
+	}
+}
+
+// Thread is one hardware context's program.
+type Thread struct {
+	F *ir.Func // must be built; physical or virtual registers both run,
+	// but sharing hazards only make sense for physical code.
+
+	// ProtectLo/ProtectHi declare the thread's private register range
+	// [lo, hi): writes by other threads into it abort the simulation.
+	// lo == hi disables protection.
+	ProtectLo, ProtectHi int
+}
+
+// ThreadStats reports one thread's execution.
+type ThreadStats struct {
+	Instrs     int64 // instructions retired
+	BusyCycles int64 // cycles occupying the CPU
+	CTX        int64 // context-switch instructions executed (ctx/load/store)
+	Iters      int64 // iter markers executed
+	LastIterAt int64 // machine cycle of the last iter marker
+	Halted     bool
+}
+
+// CyclesPerIter returns the wall-clock machine cycles per loop iteration,
+// the paper's per-thread performance metric.
+func (s ThreadStats) CyclesPerIter() float64 {
+	if s.Iters == 0 {
+		return 0
+	}
+	return float64(s.LastIterAt) / float64(s.Iters)
+}
+
+// Result reports a completed simulation.
+type Result struct {
+	Cycles  int64 // total machine cycles elapsed
+	Idle    int64 // cycles with no ready thread (all blocked on memory)
+	Mem     []uint32
+	Threads []ThreadStats
+}
+
+// Utilization returns the fraction of cycles the CPU was busy.
+func (r *Result) Utilization() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Cycles-r.Idle) / float64(r.Cycles)
+}
+
+// SchedPolicy selects how the next ready thread is chosen after a
+// context switch.
+type SchedPolicy uint8
+
+const (
+	// SchedRoundRobin resumes the next ready thread after the one that
+	// yielded — the IXP hardware's fair policy and the default.
+	SchedRoundRobin SchedPolicy = iota
+
+	// SchedPriority always resumes the lowest-numbered ready thread, so
+	// thread 0 is the most favored. Pairs with core.Config.Critical for
+	// experiments where one thread's latency matters most.
+	SchedPriority
+)
+
+type tstate uint8
+
+const (
+	tReady tstate = iota
+	tBlocked
+	tDone
+)
+
+type hwThread struct {
+	prog    *Thread
+	pc      int
+	state   tstate
+	readyAt int64
+	// effect is the memory-side effect of an in-flight operation,
+	// applied when the operation completes (stores land in memory then).
+	effect func(m *machine)
+	// resumeWrite delivers a load's destination register when the thread
+	// next occupies the CPU — the IXP keeps the data in transfer
+	// registers until then, which is exactly why a load's destination is
+	// not live across its own context switch and may use a *shared*
+	// register: the write must never land while another thread runs.
+	resumeWrite func(m *machine)
+	stats       ThreadStats
+}
+
+type machine struct {
+	cfg     Config
+	regs    []uint32
+	mem     []uint32
+	threads []*hwThread
+	cycle   int64
+	idle    int64
+	tidBase int   // added to the PU-local index by the tid instruction
+	err     error // first safety violation (cross-thread clobber)
+
+	// memFree points at the cycle the shared memory channel is next
+	// available (shared across PUs in a cluster when they share memory).
+	memFree *int64
+}
+
+// Run simulates the threads to completion (all halted), to cfg.MaxCycles,
+// or until every thread reached cfg.StopIters iteration markers.
+func Run(threads []*Thread, cfg Config) (*Result, error) {
+	cfg.setDefaults()
+	if len(threads) == 0 {
+		return nil, fmt.Errorf("sim: no threads")
+	}
+	m := &machine{
+		cfg:     cfg,
+		regs:    make([]uint32, cfg.NReg),
+		mem:     make([]uint32, cfg.MemWords),
+		memFree: new(int64),
+	}
+	for ti, th := range threads {
+		if th.F == nil || !th.F.Built() {
+			return nil, fmt.Errorf("sim: thread %d has no built function", ti)
+		}
+		if th.F.NumRegs > cfg.NReg {
+			return nil, fmt.Errorf("sim: thread %d uses %d registers, file has %d", ti, th.F.NumRegs, cfg.NReg)
+		}
+		if th.ProtectLo < 0 || th.ProtectHi > cfg.NReg || th.ProtectLo > th.ProtectHi {
+			return nil, fmt.Errorf("sim: thread %d bad protected range [%d,%d)", ti, th.ProtectLo, th.ProtectHi)
+		}
+		m.threads = append(m.threads, &hwThread{prog: th, pc: 0, state: tReady})
+	}
+
+	cur := 0 // current thread index
+	for m.cycle < cfg.MaxCycles {
+		m.applyCompletions()
+		if m.done() {
+			break
+		}
+		if cfg.StopIters > 0 && m.allReachedIters(cfg.StopIters) {
+			break
+		}
+		run := m.pickReady(cur)
+		if run < 0 {
+			// Everyone blocked on memory: idle to the next completion.
+			next := m.nextReadyAt()
+			if next < 0 {
+				return nil, fmt.Errorf("sim: deadlock: no thread will ever be ready")
+			}
+			m.idle += next - m.cycle
+			m.cycle = next
+			continue
+		}
+		cur = run
+		if err := m.runThread(cur); err != nil {
+			return nil, err
+		}
+		if m.err != nil {
+			return nil, m.err
+		}
+		cur = (cur + 1) % len(m.threads)
+		m.cycle += cfg.SwitchLatency
+	}
+
+	res := &Result{Cycles: m.cycle, Idle: m.idle, Mem: m.mem}
+	for _, t := range m.threads {
+		res.Threads = append(res.Threads, t.stats)
+	}
+	return res, nil
+}
+
+func (m *machine) done() bool {
+	for _, t := range m.threads {
+		if t.state != tDone {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *machine) allReachedIters(n int64) bool {
+	for _, t := range m.threads {
+		if t.state != tDone && t.stats.Iters < n {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *machine) applyCompletions() {
+	for ti, t := range m.threads {
+		if t.state == tBlocked && t.readyAt <= m.cycle {
+			if t.effect != nil {
+				t.effect(m)
+				t.effect = nil
+				if m.cfg.Trace != nil {
+					m.cfg.Trace.MemDone(m.cycle, m.tidBase+ti)
+				}
+			}
+			t.state = tReady
+		}
+	}
+}
+
+func (m *machine) pickReady(from int) int {
+	n := len(m.threads)
+	if m.cfg.Sched == SchedPriority {
+		from = 0
+	}
+	for k := 0; k < n; k++ {
+		i := (from + k) % n
+		if m.threads[i].state == tReady {
+			return i
+		}
+	}
+	return -1
+}
+
+func (m *machine) nextReadyAt() int64 {
+	next := int64(-1)
+	for _, t := range m.threads {
+		if t.state == tBlocked && (next < 0 || t.readyAt < next) {
+			next = t.readyAt
+		}
+	}
+	return next
+}
+
+// runThread executes the chosen thread until it context-switches, halts
+// or the cycle budget expires (non-preemptive execution).
+func (m *machine) runThread(ti int) error {
+	for m.cycle < m.cfg.MaxCycles {
+		// Memory completions for other threads land on schedule even
+		// while this thread occupies the CPU.
+		m.applyCompletions()
+		if m.err != nil {
+			return m.err
+		}
+		keep, err := m.execOne(ti)
+		if err != nil {
+			return err
+		}
+		if !keep {
+			return nil
+		}
+	}
+	return nil
+}
+
+// execOne executes exactly one instruction of thread ti, advancing the
+// machine one cycle. It returns keep=false when the thread gave up the
+// CPU (context switch, memory block or halt). It is the cycle-lockstep
+// primitive the multi-PU cluster engine is built on.
+func (m *machine) execOne(ti int) (keep bool, err error) {
+	pc0 := m.threads[ti].pc
+	keep, err = m.execOneInner(ti)
+	if tr := m.cfg.Trace; tr != nil && err == nil {
+		in := m.threads[ti].prog.F.Instr(pc0)
+		tr.Exec(m.cycle, m.tidBase+ti, pc0, in)
+		if !keep {
+			reason := "ctx"
+			switch in.Op {
+			case ir.OpHalt:
+				reason = "halt"
+			case ir.OpLoad, ir.OpLoadA, ir.OpStore, ir.OpStoreA:
+				reason = "mem"
+			case ir.OpIter:
+				reason = "iter-stop"
+			}
+			tr.Switch(m.cycle, m.tidBase+ti, reason)
+		}
+	}
+	return keep, err
+}
+
+func (m *machine) execOneInner(ti int) (keep bool, err error) {
+	t := m.threads[ti]
+	if t.resumeWrite != nil {
+		// Transfer-register delivery: the pending load result lands now
+		// that the thread occupies the CPU again (costs no extra cycle;
+		// the hardware overlaps it with resumption).
+		t.resumeWrite(m)
+		t.resumeWrite = nil
+	}
+	f := t.prog.F
+	{
+		in := f.Instr(t.pc)
+		next := t.pc + 1
+		m.cycle++
+		t.stats.Instrs++
+		t.stats.BusyCycles++
+
+		switch in.Op {
+		case ir.OpSet:
+			m.write(ti, in.Def, uint32(in.Imm))
+		case ir.OpMov:
+			m.write(ti, in.Def, m.regs[in.A])
+		case ir.OpTID:
+			m.write(ti, in.Def, uint32(m.tidBase+ti))
+		case ir.OpAdd:
+			m.write(ti, in.Def, m.regs[in.A]+m.regs[in.B])
+		case ir.OpSub:
+			m.write(ti, in.Def, m.regs[in.A]-m.regs[in.B])
+		case ir.OpAnd:
+			m.write(ti, in.Def, m.regs[in.A]&m.regs[in.B])
+		case ir.OpOr:
+			m.write(ti, in.Def, m.regs[in.A]|m.regs[in.B])
+		case ir.OpXor:
+			m.write(ti, in.Def, m.regs[in.A]^m.regs[in.B])
+		case ir.OpShl:
+			m.write(ti, in.Def, m.regs[in.A]<<(m.regs[in.B]&31))
+		case ir.OpShr:
+			m.write(ti, in.Def, m.regs[in.A]>>(m.regs[in.B]&31))
+		case ir.OpMul:
+			m.write(ti, in.Def, m.regs[in.A]*m.regs[in.B])
+		case ir.OpAddI:
+			m.write(ti, in.Def, m.regs[in.A]+uint32(in.Imm))
+		case ir.OpSubI:
+			m.write(ti, in.Def, m.regs[in.A]-uint32(in.Imm))
+		case ir.OpAndI:
+			m.write(ti, in.Def, m.regs[in.A]&uint32(in.Imm))
+		case ir.OpOrI:
+			m.write(ti, in.Def, m.regs[in.A]|uint32(in.Imm))
+		case ir.OpXorI:
+			m.write(ti, in.Def, m.regs[in.A]^uint32(in.Imm))
+		case ir.OpShlI:
+			m.write(ti, in.Def, m.regs[in.A]<<(uint32(in.Imm)&31))
+		case ir.OpShrI:
+			m.write(ti, in.Def, m.regs[in.A]>>(uint32(in.Imm)&31))
+		case ir.OpMulI:
+			m.write(ti, in.Def, m.regs[in.A]*uint32(in.Imm))
+		case ir.OpNot:
+			m.write(ti, in.Def, ^m.regs[in.A])
+
+		case ir.OpLoad, ir.OpLoadA:
+			addr := uint32(in.Imm)
+			if in.Op == ir.OpLoad {
+				addr += m.regs[in.A]
+			}
+			def := in.Def
+			t.stats.CTX++
+			t.pc = next
+			t.state = tBlocked
+			t.readyAt = m.memComplete()
+			t.effect = func(mm *machine) {
+				// Memory read happens at completion; the value waits in
+				// the transfer register until the thread resumes.
+				v := mm.mem[(addr/4)%uint32(len(mm.mem))]
+				t.resumeWrite = func(mm2 *machine) { mm2.write(ti, def, v) }
+			}
+			return false, nil
+		case ir.OpStore, ir.OpStoreA:
+			addr := uint32(in.Imm)
+			if in.Op == ir.OpStore {
+				addr += m.regs[in.A]
+			}
+			val := m.regs[in.B]
+			t.stats.CTX++
+			t.pc = next
+			t.state = tBlocked
+			t.readyAt = m.memComplete()
+			t.effect = func(mm *machine) {
+				mm.mem[(addr/4)%uint32(len(mm.mem))] = val
+			}
+			return false, nil
+		case ir.OpCtx:
+			t.stats.CTX++
+			t.pc = next
+			return false, nil // yield, still ready
+
+		case ir.OpBr:
+			next = f.Blocks[f.BlockByLabel(in.Target)].Start()
+		case ir.OpBZ:
+			if m.regs[in.A] == 0 {
+				next = f.Blocks[f.BlockByLabel(in.Target)].Start()
+			}
+		case ir.OpBNZ:
+			if m.regs[in.A] != 0 {
+				next = f.Blocks[f.BlockByLabel(in.Target)].Start()
+			}
+		case ir.OpBEQ:
+			if m.regs[in.A] == m.regs[in.B] {
+				next = f.Blocks[f.BlockByLabel(in.Target)].Start()
+			}
+		case ir.OpBNE:
+			if m.regs[in.A] != m.regs[in.B] {
+				next = f.Blocks[f.BlockByLabel(in.Target)].Start()
+			}
+		case ir.OpBLT:
+			if int32(m.regs[in.A]) < int32(m.regs[in.B]) {
+				next = f.Blocks[f.BlockByLabel(in.Target)].Start()
+			}
+		case ir.OpBGE:
+			if int32(m.regs[in.A]) >= int32(m.regs[in.B]) {
+				next = f.Blocks[f.BlockByLabel(in.Target)].Start()
+			}
+
+		case ir.OpIter:
+			t.stats.Iters++
+			t.stats.LastIterAt = m.cycle
+			if m.cfg.StopIters > 0 && t.stats.Iters >= m.cfg.StopIters {
+				// Simulation stop marker reached: yield so Run can check
+				// whether every thread is done measuring.
+				t.pc = next
+				return false, nil
+			}
+		case ir.OpNop:
+		case ir.OpHalt:
+			t.state = tDone
+			t.stats.Halted = true
+			return false, nil
+		default:
+			return false, fmt.Errorf("sim: thread %d: invalid opcode %v at point %d", ti, in.Op, t.pc)
+		}
+		t.pc = next
+	}
+	return true, nil
+}
+
+// memComplete returns the completion cycle of a memory operation issued
+// now, honoring the shared channel's occupancy when contention modeling
+// is on, and reserves the channel slot.
+func (m *machine) memComplete() int64 {
+	if m.cfg.MemOccupancy <= 0 {
+		return m.cycle + m.cfg.MemLatency
+	}
+	start := m.cycle
+	if *m.memFree > start {
+		start = *m.memFree
+	}
+	*m.memFree = start + m.cfg.MemOccupancy
+	return start + m.cfg.MemLatency
+}
+
+// write performs a register write for thread ti, enforcing every other
+// thread's protected range. The check is the dynamic counterpart of
+// core.Allocation.Verify: compiler bugs surface here as hard errors
+// instead of silent data corruption.
+func (m *machine) write(ti int, r ir.Reg, v uint32) {
+	ri := int(r)
+	for oi, other := range m.threads {
+		if oi == ti {
+			continue
+		}
+		if ri >= other.prog.ProtectLo && ri < other.prog.ProtectHi {
+			if m.err == nil {
+				m.err = fmt.Errorf(
+					"sim: thread %d wrote r%d inside thread %d's private range [%d,%d)",
+					ti, ri, oi, other.prog.ProtectLo, other.prog.ProtectHi)
+			}
+			return
+		}
+	}
+	m.regs[ri] = v
+}

@@ -1,0 +1,381 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"npra/internal/core"
+	"npra/internal/ir"
+)
+
+func TestExactCycleAccounting(t *testing.T) {
+	f := ir.MustParse(`
+a:
+	set v0, 0
+	load v1, [64]
+	addi v2, v1, 1
+	store [68], v2
+	halt`)
+	res, err := Run([]*Thread{{F: f}}, Config{MemLatency: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// set(1) + load(1) + 20 idle-wait + addi(1) + store(1) + 20 + halt(1).
+	if res.Cycles != 45 {
+		t.Errorf("Cycles = %d, want 45", res.Cycles)
+	}
+	if res.Idle != 40 {
+		t.Errorf("Idle = %d, want 40", res.Idle)
+	}
+	ts := res.Threads[0]
+	if ts.Instrs != 5 || ts.BusyCycles != 5 {
+		t.Errorf("stats = %+v", ts)
+	}
+	if ts.CTX != 2 {
+		t.Errorf("CTX = %d, want 2", ts.CTX)
+	}
+	if !ts.Halted {
+		t.Errorf("not halted")
+	}
+	if res.Mem[68/4] != 1 {
+		t.Errorf("store effect missing: %d", res.Mem[68/4])
+	}
+}
+
+func TestLatencyHiding(t *testing.T) {
+	// One thread doing loads in a loop wastes the CPU; four threads doing
+	// the same hide most of the memory latency (the architecture's whole
+	// point). Utilization must rise substantially.
+	src := `
+a:
+	set v0, 0
+	set v2, 50
+loop:
+	load v1, [v0+0]
+	add v0, v0, v1
+	andi v0, v0, 1023
+	iter
+	subi v2, v2, 1
+	bnz v2, loop
+	halt`
+	one, err := Run([]*Thread{{F: ir.MustParse(src)}}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var four []*Thread
+	for i := 0; i < 4; i++ {
+		four = append(four, &Thread{F: ir.MustParse(src)})
+	}
+	multi, err := Run(four, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u1, u4 := one.Utilization(), multi.Utilization()
+	if u1 > 0.5 {
+		t.Errorf("single-thread utilization %.2f unexpectedly high", u1)
+	}
+	if u4 < 2.5*u1 {
+		t.Errorf("multithreading hid too little latency: %.2f vs %.2f", u4, u1)
+	}
+}
+
+func TestRoundRobinFairness(t *testing.T) {
+	// The register file is shared hardware state: unallocated threads must
+	// use disjoint registers or they clobber each other (exactly the
+	// hazard the allocator exists to manage).
+	srcA := `
+a:
+	set v0, 20
+loop:
+	ctx
+	iter
+	subi v0, v0, 1
+	bnz v0, loop
+	halt`
+	srcB := strings.ReplaceAll(srcA, "v0", "v5")
+	threads := []*Thread{{F: ir.MustParse(srcA)}, {F: ir.MustParse(srcB)}}
+	res, err := Run(threads, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := res.Threads[0], res.Threads[1]
+	if a.Iters != 20 || b.Iters != 20 {
+		t.Fatalf("iters = %d, %d", a.Iters, b.Iters)
+	}
+	diff := a.BusyCycles - b.BusyCycles
+	if diff < -4 || diff > 4 {
+		t.Errorf("unfair sharing: busy %d vs %d", a.BusyCycles, b.BusyCycles)
+	}
+}
+
+func TestProtectionViolationDetected(t *testing.T) {
+	victim := ir.MustParse(`
+a:
+	set r0, 7
+loop:
+	ctx
+	br loop`)
+	intruder := ir.MustParse(`
+a:
+	ctx
+	set r0, 99   ; writes r0, inside the victim's private range
+	halt`)
+	_, err := Run(
+		[]*Thread{
+			{F: victim, ProtectLo: 0, ProtectHi: 4},
+			{F: intruder},
+		},
+		Config{MaxCycles: 10000},
+	)
+	if err == nil {
+		t.Fatal("clobber not detected")
+	}
+	if !strings.Contains(err.Error(), "private range") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestSharedRegisterIsSafeWhenDead(t *testing.T) {
+	// Both threads use r2 but never across their own context switches —
+	// the paper's legal sharing pattern. Protected ranges cover r0/r1.
+	t0 := ir.MustParse(`
+a:
+	set v9, 10
+loop:
+	set v2, 1
+	addi v2, v2, 1
+	store [v2+0], v9   ; CSB: v2 dead after, v9 (private) survives
+	subi v9, v9, 1
+	iter
+	bnz v9, loop
+	halt`)
+	t1 := ir.MustParse(`
+a:
+	set v9, 10
+loop:
+	set v2, 5
+	muli v2, v2, 3
+	store [v2+16], v9
+	subi v9, v9, 1
+	iter
+	bnz v9, loop
+	halt`)
+	alloc, err := core.AllocateARA([]*ir.Func{t0, t1}, core.Config{NReg: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alloc.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if alloc.SGR == 0 {
+		t.Fatalf("expected shared registers in this workload")
+	}
+	var threads []*Thread
+	for _, th := range alloc.Threads {
+		threads = append(threads, &Thread{
+			F: th.F, ProtectLo: th.PrivBase, ProtectHi: th.PrivBase + th.PR,
+		})
+	}
+	res, err := Run(threads, Config{NReg: 8})
+	if err != nil {
+		t.Fatalf("sharing flagged as unsafe: %v", err)
+	}
+	for i, ts := range res.Threads {
+		if !ts.Halted || ts.Iters != 10 {
+			t.Errorf("thread %d: %+v", i, ts)
+		}
+	}
+}
+
+func TestStopIters(t *testing.T) {
+	src := `
+a:
+	set v0, 0
+loop:
+	addi v0, v0, 1
+	iter
+	br loop`
+	res, err := Run([]*Thread{{F: ir.MustParse(src)}}, Config{StopIters: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := res.Threads[0]
+	if ts.Iters < 100 || ts.Iters > 110 {
+		t.Errorf("Iters = %d, want ~100", ts.Iters)
+	}
+	if ts.CyclesPerIter() < 2 || ts.CyclesPerIter() > 4 {
+		t.Errorf("CyclesPerIter = %.2f, want ~3", ts.CyclesPerIter())
+	}
+}
+
+func TestMaxCyclesBound(t *testing.T) {
+	res, err := Run([]*Thread{{F: ir.MustParse("a:\n br a")}}, Config{MaxCycles: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles < 500 || res.Cycles > 501 {
+		t.Errorf("Cycles = %d, want ~500", res.Cycles)
+	}
+	if res.Threads[0].Halted {
+		t.Errorf("spin loop reported halted")
+	}
+}
+
+func TestSwitchLatencyConfig(t *testing.T) {
+	src := `
+a:
+	set v0, 50
+loop:
+	ctx
+	subi v0, v0, 1
+	bnz v0, loop
+	halt`
+	fast, err := Run([]*Thread{{F: ir.MustParse(src)}}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Run([]*Thread{{F: ir.MustParse(src)}}, Config{SwitchLatency: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Cycles <= fast.Cycles {
+		t.Errorf("switch latency had no effect: %d vs %d", slow.Cycles, fast.Cycles)
+	}
+}
+
+// TestLoadDeliversAtResume pins the transfer-register semantics: a load's
+// destination register may be *shared* with other threads (it is not live
+// across its own context switch), so the value must land when the loading
+// thread resumes — never asynchronously at memory-completion time, which
+// would clobber the register while another thread legitimately owns it.
+func TestLoadDeliversAtResume(t *testing.T) {
+	// Thread A loads mem[16] into shared r2.
+	a := ir.MustParse(`
+func a
+entry:
+	set r0, 7
+	store [16], r0
+	load r2, [16]     ; r2 is shared; A blocks ~20 cycles
+	add r1, r2, r0
+	store [20], r1
+	halt`)
+	// Thread B owns r2 during A's wait, in one long non-switch region so
+	// A's memory completion fires mid-region.
+	bsrc := "func b\nentry:\n\tctx\n\tctx\n\tset r2, 100\n"
+	for i := 0; i < 30; i++ { // outlast the 20-cycle memory latency
+		bsrc += "\taddi r5, r5, 1\n"
+	}
+	bsrc += "\taddi r2, r2, 1\n\tstore [24], r2\n\thalt\n"
+	b := ir.MustParse(bsrc)
+
+	res, err := Run([]*Thread{{F: a}, {F: b}}, Config{MemLatency: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Mem[24/4]; got != 101 {
+		t.Errorf("thread B's shared register was clobbered mid-region: got %d, want 101", got)
+	}
+	if got := res.Mem[20/4]; got != 14 {
+		t.Errorf("thread A's load result wrong: got %d, want 14", got)
+	}
+}
+
+// TestMemoryContention: with channel occupancy on, concurrent memory
+// operations serialize — four threads' latency hiding degrades and the
+// run takes longer than with infinite bandwidth.
+func TestMemoryContention(t *testing.T) {
+	// Threads use disjoint registers (the file is shared hardware state).
+	src := `
+a:
+	set vA, 40
+loop:
+	load vB, [vA+0]
+	add vB, vB, vA
+	store [vA+0], vB
+	iter
+	subi vA, vA, 1
+	bnz vA, loop
+	halt`
+	mk := func() []*Thread {
+		var out []*Thread
+		for i := 0; i < 4; i++ {
+			body := strings.ReplaceAll(src, "vA", fmt.Sprintf("v%d", i*2))
+			body = strings.ReplaceAll(body, "vB", fmt.Sprintf("v%d", i*2+1))
+			out = append(out, &Thread{F: ir.MustParse(body)})
+		}
+		return out
+	}
+	free, err := Run(mk(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	contended, err := Run(mk(), Config{MemOccupancy: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contended.Cycles <= free.Cycles {
+		t.Errorf("contention had no effect: %d vs %d cycles", contended.Cycles, free.Cycles)
+	}
+	// Results must not change, only timing.
+	for i := 0; i < 64; i++ {
+		if free.Mem[i] != contended.Mem[i] {
+			t.Fatalf("contention changed results at word %d", i)
+		}
+	}
+	// Single thread with occupancy < latency is unaffected (no overlap).
+	single := strings.ReplaceAll(strings.ReplaceAll(src, "vA", "v0"), "vB", "v1")
+	one, err := Run([]*Thread{{F: ir.MustParse(single)}}, Config{MemOccupancy: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneFree, err := Run([]*Thread{{F: ir.MustParse(single)}}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Cycles != oneFree.Cycles {
+		t.Errorf("single-thread cycles changed under contention: %d vs %d", one.Cycles, oneFree.Cycles)
+	}
+}
+
+// TestPriorityScheduling: under the priority policy thread 0 gets the CPU
+// whenever ready, so its per-iteration latency beats the round-robin run,
+// at the other threads' expense.
+func TestPriorityScheduling(t *testing.T) {
+	// Enough compute per iteration that the CPU, not memory, is the
+	// bottleneck — otherwise every policy looks the same.
+	burst := strings.Repeat("\tadd vB, vB, vA\n", 20)
+	src := "a:\n\tset vA, 40\nloop:\n\tload vB, [vA+0]\n" + burst +
+		"\tstore [vA+64], vB\n\titer\n\tsubi vA, vA, 1\n\tbnz vA, loop\n\thalt"
+	mk := func() []*Thread {
+		var out []*Thread
+		for i := 0; i < 4; i++ {
+			body := strings.ReplaceAll(src, "vA", fmt.Sprintf("v%d", i*2))
+			body = strings.ReplaceAll(body, "vB", fmt.Sprintf("v%d", i*2+1))
+			out = append(out, &Thread{F: ir.MustParse(body)})
+		}
+		return out
+	}
+	rr, err := Run(mk(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pri, err := Run(mk(), Config{Sched: SchedPriority})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pri.Threads[0].CyclesPerIter() >= rr.Threads[0].CyclesPerIter() {
+		t.Errorf("priority did not help thread 0: %.1f vs %.1f",
+			pri.Threads[0].CyclesPerIter(), rr.Threads[0].CyclesPerIter())
+	}
+	if pri.Threads[3].CyclesPerIter() <= rr.Threads[3].CyclesPerIter() {
+		t.Errorf("priority did not cost thread 3: %.1f vs %.1f",
+			pri.Threads[3].CyclesPerIter(), rr.Threads[3].CyclesPerIter())
+	}
+	// Results identical either way.
+	for i := 0; i < 64; i++ {
+		if rr.Mem[i] != pri.Mem[i] {
+			t.Fatalf("scheduling changed results at word %d", i)
+		}
+	}
+}

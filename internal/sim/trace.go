@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"npra/internal/ir"
+)
+
+// Tracer receives simulation events. Implementations must be fast; the
+// simulator calls them on the hot path when tracing is enabled.
+type Tracer interface {
+	// Exec is called after each retired instruction.
+	Exec(cycle int64, thread int, pc int, in *ir.Instr)
+	// Switch is called when a thread gives up the CPU; reason is one of
+	// "ctx", "mem", "halt", "iter-stop".
+	Switch(cycle int64, thread int, reason string)
+	// MemDone is called when a memory operation completes.
+	MemDone(cycle int64, thread int)
+}
+
+// WriterTracer formats events as text lines, one per event.
+type WriterTracer struct {
+	W io.Writer
+	// MaxLines stops emitting after this many lines (0 = unlimited);
+	// traces grow fast on long runs.
+	MaxLines int
+	// Physical selects rN register spelling (for allocated code).
+	Physical bool
+
+	lines int
+}
+
+func (t *WriterTracer) emit(format string, args ...interface{}) {
+	if t.MaxLines > 0 && t.lines >= t.MaxLines {
+		return
+	}
+	t.lines++
+	fmt.Fprintf(t.W, format, args...)
+}
+
+// Exec implements Tracer.
+func (t *WriterTracer) Exec(cycle int64, thread int, pc int, in *ir.Instr) {
+	text := in.String()
+	if t.Physical {
+		text = in.StringPhysical()
+	}
+	t.emit("%8d t%d pc=%-4d %s\n", cycle, thread, pc, text)
+}
+
+// Switch implements Tracer.
+func (t *WriterTracer) Switch(cycle int64, thread int, reason string) {
+	t.emit("%8d t%d -- switch (%s)\n", cycle, thread, reason)
+}
+
+// MemDone implements Tracer.
+func (t *WriterTracer) MemDone(cycle int64, thread int) {
+	t.emit("%8d t%d -- memory complete\n", cycle, thread)
+}
+
+// Truncated reports whether the tracer dropped events.
+func (t *WriterTracer) Truncated() bool {
+	return t.MaxLines > 0 && t.lines >= t.MaxLines
+}

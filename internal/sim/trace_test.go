@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"npra/internal/ir"
+)
+
+func TestWriterTracer(t *testing.T) {
+	var sb strings.Builder
+	tr := &WriterTracer{W: &sb}
+	f := ir.MustParse(`
+a:
+	set v0, 1
+	load v1, [0]
+	add v2, v0, v1
+	ctx
+	store [4], v2
+	halt`)
+	res, err := Run([]*Thread{{F: f}}, Config{Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Threads[0].Halted {
+		t.Fatal("did not halt")
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"set v0, 1",
+		"switch (mem)",
+		"memory complete",
+		"switch (ctx)",
+		"switch (halt)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q:\n%s", want, out)
+		}
+	}
+	if tr.Truncated() {
+		t.Errorf("unexpected truncation")
+	}
+}
+
+func TestWriterTracerTruncation(t *testing.T) {
+	var sb strings.Builder
+	tr := &WriterTracer{W: &sb, MaxLines: 3}
+	f := ir.MustParse(`
+a:
+	set v0, 100
+loop:
+	subi v0, v0, 1
+	bnz v0, loop
+	halt`)
+	if _, err := Run([]*Thread{{F: f}}, Config{Trace: tr}); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(sb.String(), "\n"); got != 3 {
+		t.Errorf("lines = %d, want 3", got)
+	}
+	if !tr.Truncated() {
+		t.Errorf("Truncated() = false")
+	}
+}
+
+// Tracing must not change the simulation itself.
+func TestTraceDoesNotPerturb(t *testing.T) {
+	src := `
+a:
+	set v0, 20
+loop:
+	load v1, [v0+0]
+	add v1, v1, v0
+	store [v0+0], v1
+	iter
+	subi v0, v0, 1
+	bnz v0, loop
+	halt`
+	plain, err := Run([]*Thread{{F: ir.MustParse(src)}}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	traced, err := Run([]*Thread{{F: ir.MustParse(src)}}, Config{Trace: &WriterTracer{W: &sb}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Cycles != traced.Cycles || plain.Threads[0].Instrs != traced.Threads[0].Instrs {
+		t.Errorf("tracing perturbed the run: %d/%d vs %d/%d",
+			plain.Cycles, plain.Threads[0].Instrs, traced.Cycles, traced.Threads[0].Instrs)
+	}
+}

@@ -1,0 +1,132 @@
+// Package spill implements spill-code insertion shared by the baseline
+// register allocators (Chaitin-style coloring and linear scan): each
+// spilled virtual register lives in a memory slot addressed off a
+// reserved per-thread base register; every use loads it into a fresh
+// temporary just before, every definition stores it just after.
+//
+// On a network processor this is exactly why spilling is so costly: every
+// inserted load/store is a ~20-cycle memory operation that also forces a
+// context switch — the pathology the paper's cross-thread allocator
+// exists to avoid.
+//
+// The base register is materialized by a prologue whose address constants
+// are initially the marker immediates below; the allocator's final rename
+// patches them via PatchImm once it knows the spill area layout.
+package spill
+
+import (
+	"fmt"
+
+	"npra/internal/ir"
+)
+
+// Marker immediates patched with real values during the final rewrite.
+const (
+	strideMarker = -7777001
+	baseMarker   = -7777002
+)
+
+// prologueLabel names the block that computes the spill base register.
+const prologueLabel = ".spillpro"
+
+// BaseReg returns the virtual register reserved as the spill base if the
+// prologue already exists, else -1.
+func BaseReg(f *ir.Func) ir.Reg {
+	if len(f.Blocks) > 0 && f.Blocks[0].Label == prologueLabel {
+		return f.Blocks[0].Instrs[0].Def
+	}
+	return -1
+}
+
+// PatchImm resolves a marker immediate to its real value; ok reports
+// whether imm was a marker.
+func PatchImm(imm, base, stride int64) (int64, bool) {
+	switch imm {
+	case strideMarker:
+		return stride, true
+	case baseMarker:
+		return base, true
+	}
+	return imm, false
+}
+
+// Insert rewrites f so each register in spilled lives in memory. Slots
+// are allocated from *nextSlot (in words); temporaries created here are
+// recorded in noSpill so later rounds never spill them again. Returns the
+// rewritten function and the number of instructions added.
+func Insert(f *ir.Func, spilled []int, nextSlot *int, noSpill map[ir.Reg]bool) (*ir.Func, int, error) {
+	slot := make(map[ir.Reg]int64)
+	for _, v := range spilled {
+		slot[ir.Reg(v)] = int64(*nextSlot) * 4
+		*nextSlot++
+	}
+	nf := &ir.Func{Name: f.Name, NumRegs: f.NumRegs}
+	next := ir.Reg(f.NumRegs)
+	base := BaseReg(f)
+	needProloque := base < 0
+	if needProloque {
+		base = next
+		next++
+	}
+	added := 0
+	var buf []ir.Reg
+	for _, b := range f.Blocks {
+		nb := &ir.Block{Label: b.Label}
+		for i := range b.Instrs {
+			in := b.Instrs[i]
+			// Loads for spilled uses.
+			buf = in.Uses(buf[:0])
+			replaced := make(map[ir.Reg]ir.Reg, 2)
+			for _, u := range buf {
+				off, ok := slot[u]
+				if !ok {
+					continue
+				}
+				tmp, dup := replaced[u]
+				if !dup {
+					tmp = next
+					next++
+					noSpill[tmp] = true
+					nb.Instrs = append(nb.Instrs, ir.Instr{Op: ir.OpLoad, Def: tmp, A: base, B: ir.NoReg, Imm: off})
+					added++
+					replaced[u] = tmp
+				}
+				if in.A == u {
+					in.A = tmp
+				}
+				if in.B == u {
+					in.B = tmp
+				}
+			}
+			// Store for a spilled def.
+			if in.Def != ir.NoReg {
+				if off, ok := slot[in.Def]; ok {
+					tmp := next
+					next++
+					noSpill[tmp] = true
+					in.Def = tmp
+					nb.Instrs = append(nb.Instrs, in)
+					nb.Instrs = append(nb.Instrs, ir.Instr{Op: ir.OpStore, Def: ir.NoReg, A: base, B: tmp, Imm: off})
+					added++
+					continue
+				}
+			}
+			nb.Instrs = append(nb.Instrs, in)
+		}
+		nf.Blocks = append(nf.Blocks, nb)
+	}
+	if needProloque {
+		entry := &ir.Block{Label: prologueLabel, Instrs: []ir.Instr{
+			{Op: ir.OpTID, Def: base, A: ir.NoReg, B: ir.NoReg},
+			{Op: ir.OpMulI, Def: base, A: base, B: ir.NoReg, Imm: strideMarker},
+			{Op: ir.OpAddI, Def: base, A: base, B: ir.NoReg, Imm: baseMarker},
+		}}
+		nf.Blocks = append([]*ir.Block{entry}, nf.Blocks...)
+		added += 3
+	}
+	nf.NumRegs = int(next)
+	if err := nf.Build(); err != nil {
+		return nil, 0, fmt.Errorf("spill: rewrite invalid: %w", err)
+	}
+	return nf, added, nil
+}

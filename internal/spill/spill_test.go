@@ -1,0 +1,83 @@
+package spill
+
+import (
+	"strings"
+	"testing"
+
+	"npra/internal/interp"
+	"npra/internal/ir"
+)
+
+func TestInsertAndPatch(t *testing.T) {
+	f := ir.MustParse(`
+func s
+a:
+	set v0, 5
+	set v1, 7
+	add v2, v0, v1
+	store [0], v2
+	halt`)
+	noSpill := make(map[ir.Reg]bool)
+	slot := 0
+	nf, added, err := Insert(f, []int{0}, &slot, noSpill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slot != 1 {
+		t.Errorf("slots = %d, want 1", slot)
+	}
+	// v0: one def (store after) + one use (load before) + 3 prologue.
+	if added != 5 {
+		t.Errorf("added = %d, want 5\n%s", added, nf.Format())
+	}
+	if BaseReg(nf) < 0 {
+		t.Errorf("no spill prologue")
+	}
+	if len(noSpill) != 2 {
+		t.Errorf("temps registered = %d, want 2", len(noSpill))
+	}
+	// Second round must reuse the prologue.
+	nf2, added2, err := Insert(nf, []int{1}, &slot, noSpill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added2 != 2 {
+		t.Errorf("second round added = %d, want 2 (no new prologue)", added2)
+	}
+	if strings.Count(nf2.Format(), ".spillpro") != 1 {
+		t.Errorf("prologue duplicated:\n%s", nf2.Format())
+	}
+
+	// Patch markers and run: semantics preserved (registers renamed to a
+	// virtual function that still runs under the interpreter).
+	patched := nf2.Clone()
+	for _, b := range patched.Blocks {
+		for i := range b.Instrs {
+			if v, ok := PatchImm(b.Instrs[i].Imm, 256, 64); ok {
+				b.Instrs[i].Imm = v
+			}
+		}
+	}
+	if err := patched.Build(); err != nil {
+		t.Fatal(err)
+	}
+	m1 := make([]uint32, 256)
+	m2 := make([]uint32, 256)
+	r1, _ := interp.Run(f, m1, interp.Options{})
+	r2, _ := interp.Run(patched, m2, interp.Options{})
+	if r1.Halted != r2.Halted || m1[0] != m2[0] {
+		t.Errorf("spill rewrite changed the result: %d vs %d", m1[0], m2[0])
+	}
+}
+
+func TestPatchImm(t *testing.T) {
+	if v, ok := PatchImm(baseMarker, 1000, 64); !ok || v != 1000 {
+		t.Errorf("base marker -> %d,%v", v, ok)
+	}
+	if v, ok := PatchImm(strideMarker, 1000, 64); !ok || v != 64 {
+		t.Errorf("stride marker -> %d,%v", v, ok)
+	}
+	if _, ok := PatchImm(42, 1000, 64); ok {
+		t.Errorf("ordinary immediate patched")
+	}
+}

@@ -1,0 +1,127 @@
+package npra_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"npra/internal/banks"
+	"npra/internal/core"
+	"npra/internal/interp"
+	"npra/internal/intra"
+	"npra/internal/ir"
+	"npra/internal/passes"
+	"npra/internal/progen"
+	"npra/internal/sim"
+)
+
+// TestSoakFullPipeline drives the complete toolchain — optimizer,
+// cross-thread allocator, bank legalization, simulator — over larger
+// randomly generated (always-halting) workloads and checks every safety
+// and equivalence property on each. Skipped with -short.
+func TestSoakFullPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	big := progen.StructuredConfig{
+		MaxDepth: 3, MaxBodyLen: 14, MaxTripCnt: 4, MaxVars: 16,
+		CSBDensity: 0.25, StoreWindow: 128,
+	}
+	for seed := int64(0); seed < 120; seed++ {
+		seed := seed
+		rng := rand.New(rand.NewSource(seed))
+
+		// Four threads with disjoint memory windows.
+		var funcs []*ir.Func
+		for i := 0; i < 4; i++ {
+			cfg := big
+			cfg.StoreBase = int64(i * 256)
+			f := progen.GenerateStructured(rng, cfg)
+
+			opt, _, err := passes.Optimize(f)
+			if err != nil {
+				t.Fatalf("seed %d: optimize: %v", seed, err)
+			}
+			funcs = append(funcs, opt)
+		}
+		refs := make([]*ir.Func, len(funcs))
+		for i, f := range funcs {
+			refs[i] = f.Clone()
+		}
+
+		// Tight budget: just above the splitting lower bounds, so the
+		// reduction loop and live-range splitting genuinely fire.
+		sumMinPR, maxMinSR := 0, 0
+		for _, f := range funcs {
+			bd := intra.New(f).Bounds()
+			sumMinPR += bd.MinPR
+			if sr := bd.MinR - bd.MinPR; sr > maxMinSR {
+				maxMinSR = sr
+			}
+		}
+		tight := sumMinPR + maxMinSR + 2
+		tightAlloc, err := core.AllocateARA(funcs, core.Config{NReg: tight})
+		if err != nil {
+			t.Fatalf("seed %d: tight allocate (%d regs): %v", seed, tight, err)
+		}
+		if err := tightAlloc.Verify(); err != nil {
+			t.Fatalf("seed %d: tight verify: %v", seed, err)
+		}
+		if tightAlloc.TotalRegisters() > tight {
+			t.Fatalf("seed %d: tight allocation over budget", seed)
+		}
+
+		alloc, err := core.AllocateARA(funcs, core.Config{NReg: 128})
+		if err != nil {
+			t.Fatalf("seed %d: allocate: %v", seed, err)
+		}
+		if err := alloc.Verify(); err != nil {
+			t.Fatalf("seed %d: verify: %v", seed, err)
+		}
+
+		var allocated []*ir.Func
+		var threads []*sim.Thread
+		for _, th := range alloc.Threads {
+			allocated = append(allocated, th.F)
+			threads = append(threads, &sim.Thread{
+				F: th.F, ProtectLo: th.PrivBase, ProtectHi: th.PrivBase + th.PR,
+			})
+		}
+
+		// Bank legalization on top.
+		banked, err := banks.Assign(allocated, banks.Config{BankSize: 64})
+		if err != nil {
+			t.Fatalf("seed %d: banks: %v", seed, err)
+		}
+		for i, bf := range banked.Funcs {
+			if err := banks.Check(bf, 64); err != nil {
+				t.Fatalf("seed %d thread %d: %v", seed, i, err)
+			}
+		}
+
+		// Simulate the allocated threads together with protection armed.
+		simRes, err := sim.Run(threads, sim.Config{NReg: 128, MemWords: 4096, MaxCycles: 5_000_000})
+		if err != nil {
+			t.Fatalf("seed %d: sim: %v", seed, err)
+		}
+
+		// Each thread's output region must match its single-thread
+		// reference run (disjoint windows make this exact).
+		for i, rf := range refs {
+			mem := make([]uint32, 4096)
+			r, err := interp.Run(rf, mem, interp.Options{TID: uint32(i), MaxSteps: 1 << 22})
+			if err != nil || !r.Halted {
+				t.Fatalf("seed %d thread %d: reference diverged", seed, i)
+			}
+			base := i * 256 / 4
+			for w := 0; w < 128/4; w++ {
+				if simRes.Mem[base+w] != mem[base+w] {
+					t.Fatalf("seed %d thread %d: mem[%d] sim %#x != ref %#x",
+						seed, i, (base+w)*4, simRes.Mem[base+w], mem[base+w])
+				}
+			}
+			if !simRes.Threads[i].Halted {
+				t.Fatalf("seed %d thread %d: did not halt in sim", seed, i)
+			}
+		}
+	}
+}
