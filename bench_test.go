@@ -248,6 +248,57 @@ func BenchmarkInterThreadARA(b *testing.B) {
 	}
 }
 
+// BenchmarkAllocateARA measures the full ARA allocation (scenario S1 at a
+// pressure budget, so the greedy loop actually iterates) serial vs
+// parallel. The hit-rate metric records the Solve-point cache activity —
+// identical for every worker count by construction.
+func BenchmarkAllocateARA(b *testing.B) {
+	mk := func() []*ir.Func {
+		var out []*ir.Func
+		for _, n := range []string{"md5", "md5", "fir2dim", "fir2dim"} {
+			bb, _ := bench.Get(n)
+			out = append(out, bb.Gen(benchPackets))
+		}
+		return out
+	}
+	const pressureNReg = 56 // forces greedy reduction rounds at benchPackets
+	for _, cfg := range []struct {
+		name    string
+		workers int
+	}{{"j1", 1}, {"jmax", 0}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			var cache intra.CacheStats
+			for i := 0; i < b.N; i++ {
+				alloc, err := core.AllocateARA(mk(), core.Config{NReg: pressureNReg, Workers: cfg.workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					cache = alloc.SolveCache
+				}
+			}
+			b.ReportMetric(100*cache.HitRate(), "cache-hit-%")
+		})
+	}
+}
+
+// BenchmarkSolveCached measures a repeated Solve at the same budget: the
+// first call prices the point, every later call is a cache hit.
+func BenchmarkSolveCached(b *testing.B) {
+	al := intra.New(md5Func(b))
+	bd := al.Bounds()
+	if _, err := al.Solve(bd.MinPR, bd.MinR-bd.MinPR); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := al.Solve(bd.MinPR, bd.MinR-bd.MinPR); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*al.CacheStats().HitRate(), "cache-hit-%")
+}
+
 func BenchmarkSimulator(b *testing.B) {
 	bb, err := bench.Get("md5")
 	if err != nil {

@@ -10,12 +10,14 @@
 //	npbench -figure 14           # Figure 14 (SRA register savings)
 //	npbench -ablations           # ablation studies
 //	npbench -list                # list the built-in benchmarks
+//	npbench -all -j 1            # serial run (output identical to -j N)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"npra/internal/bench"
 	"npra/internal/experiments"
@@ -30,8 +32,10 @@ func main() {
 		all       = flag.Bool("all", false, "run everything")
 		list      = flag.Bool("list", false, "list built-in benchmarks")
 		packets   = flag.Int("packets", experiments.DefaultPackets, "packets per thread")
+		jobs      = flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for experiment fan-out (1 = serial; results are identical for any value)")
 	)
 	flag.Parse()
+	experiments.SetWorkers(*jobs)
 	if err := run(*table, *figure, *ablations, *scaling, *all, *list, *packets); err != nil {
 		fmt.Fprintln(os.Stderr, "npbench:", err)
 		os.Exit(1)

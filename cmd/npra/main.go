@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	npra [-nreg 128] [-mode ara|sra] [-threads 4] [-dump] [-verify]
+//	npra [-nreg 128] [-mode ara|sra] [-threads 4] [-j N] [-dump] [-verify]
 //	     (-bench name[,name...] | file.asm [file2.asm ...])
 //
 // Examples:
@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"npra/internal/bench"
@@ -44,15 +45,16 @@ func main() {
 		optimize = flag.Bool("O", false, "run the optimization pipeline before allocation")
 		objDir   = flag.String("o", "", "write per-thread object files (.npo) into this directory")
 		schedchk = flag.Bool("check-schedules", false, "model-check the allocation: explore every thread schedule (small programs only)")
+		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for candidate pricing (1 = serial; the allocation is identical for any value)")
 	)
 	flag.Parse()
-	if err := run(*nreg, *mode, *threads, *benches, *packets, *dump, *verify, *optimize, *schedchk, *objDir, flag.Args()); err != nil {
+	if err := run(*nreg, *mode, *threads, *benches, *packets, *jobs, *dump, *verify, *optimize, *schedchk, *objDir, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "npra:", err)
 		os.Exit(1)
 	}
 }
 
-func run(nreg int, mode string, threads int, benches string, packets int, dump, verify, optimize, schedchk bool, objDir string, files []string) error {
+func run(nreg int, mode string, threads int, benches string, packets, jobs int, dump, verify, optimize, schedchk bool, objDir string, files []string) error {
 	funcs, err := loadFuncs(benches, packets, files)
 	if err != nil {
 		return err
@@ -73,12 +75,12 @@ func run(nreg int, mode string, threads int, benches string, packets int, dump, 
 	var alloc *core.Allocation
 	switch mode {
 	case "ara":
-		alloc, err = core.AllocateARA(funcs, core.Config{NReg: nreg})
+		alloc, err = core.AllocateARA(funcs, core.Config{NReg: nreg, Workers: jobs})
 	case "sra":
 		if len(funcs) != 1 {
 			return fmt.Errorf("-mode sra takes exactly one program, got %d", len(funcs))
 		}
-		alloc, err = core.AllocateSRA(funcs[0], threads, core.Config{NReg: nreg})
+		alloc, err = core.AllocateSRA(funcs[0], threads, core.Config{NReg: nreg, Workers: jobs})
 	default:
 		return fmt.Errorf("unknown -mode %q", mode)
 	}

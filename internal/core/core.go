@@ -25,6 +25,7 @@ import (
 	"npra/internal/estimate"
 	"npra/internal/intra"
 	"npra/internal/ir"
+	"npra/internal/parallel"
 )
 
 // Config parameterizes a processing unit.
@@ -37,6 +38,14 @@ type Config struct {
 	// from that thread. Nil means uniform weights. Length must match the
 	// thread count when non-nil.
 	Critical []float64
+
+	// Workers bounds the goroutines used to price reduction candidates
+	// (and to run the initial per-thread Solve fan-out and the SRA
+	// sweep). 0 means runtime.GOMAXPROCS(0); 1 runs serially. The result
+	// is bit-identical for every worker count: pricing is a pure fan-out
+	// over per-thread allocators and the winning reduction is selected
+	// serially with lowest-thread-index tie-breaking.
+	Workers int
 }
 
 // ThreadAlloc is the allocation decided for one thread.
@@ -61,6 +70,10 @@ type Allocation struct {
 	NReg    int
 	SGR     int // globally shared registers (max_i SR used)
 	Threads []*ThreadAlloc
+
+	// SolveCache aggregates the Solve-point cache counters of every
+	// intra-thread allocator this allocation consulted.
+	SolveCache intra.CacheStats
 }
 
 // TotalRegisters returns sum(PR) + SGR, the register-file footprint.
@@ -94,26 +107,58 @@ func AllocateARA(funcs []*ir.Func, cfg Config) (*Allocation, error) {
 		return cfg.Critical[i]
 	}
 
+	workers := parallel.Workers(cfg.Workers)
 	n := len(funcs)
+
+	// Threads running identical code (Table 3's md5 x2, any SRA-like
+	// mix) share one incremental allocator and thus one Solve cache:
+	// the program is analyzed once per distinct code body and duplicate
+	// probes become cache hits. groups lists, per distinct body, the
+	// member thread indices in ascending order; all fan-out below is
+	// per group, because an allocator is not safe for concurrent use.
+	var groups [][]int
+	byCode := make(map[string]int)
+	for i, f := range funcs {
+		key := f.Format()
+		g, ok := byCode[key]
+		if !ok {
+			g = len(groups)
+			byCode[key] = g
+			groups = append(groups, nil)
+		}
+		groups[g] = append(groups[g], i)
+	}
+
 	als := make([]*intra.Allocator, n)
+	bounds := make([]estimate.Bounds, n)
 	pr := make([]int, n)
 	sr := make([]int, n)
 	sols := make([]*intra.Solution, n)
-	for i, f := range funcs {
-		als[i] = intra.New(f)
-		b := als[i].Bounds()
-		// Start PR at the move-free demand and SR with enough slack that
-		// the monotone reduction loop can reach every frontier point: a
-		// thread at (MaxPR, MaxSR) could never drop PR below
-		// MaxR - SR without first *raising* SR, which the paper's loop
-		// has no move for. SR slack beyond what the thread uses is free
-		// (zero-cost SR reductions trim it immediately when it matters).
-		pr[i], sr[i] = b.MaxPR, b.MaxR-b.MinPR
-		sol, err := als[i].Solve(pr[i], sr[i])
-		if err != nil {
-			return nil, fmt.Errorf("core: thread %d (%s): %w", i, f.Name, err)
+	// Per-group analysis and the first Solves are independent across
+	// groups, so the setup fans out.
+	if _, err := parallel.MapErr(workers, len(groups), func(g int) (struct{}, error) {
+		al := intra.New(funcs[groups[g][0]])
+		b := al.Bounds()
+		for _, i := range groups[g] {
+			als[i] = al
+			bounds[i] = b
+			// Start PR at the move-free demand and SR with enough slack
+			// that the monotone reduction loop can reach every frontier
+			// point: a thread at (MaxPR, MaxSR) could never drop PR below
+			// MaxR - SR without first *raising* SR, which the paper's
+			// loop has no move for. SR slack beyond what the thread uses
+			// is free (zero-cost SR reductions trim it immediately when
+			// it matters).
+			pr[i], sr[i] = b.MaxPR, b.MaxR-b.MinPR
+			sol, err := al.Solve(pr[i], sr[i])
+			if err != nil {
+				return struct{}{}, fmt.Errorf("core: thread %d (%s): %w", i, funcs[i].Name, err)
+			}
+			sols[i] = sol
 		}
-		sols[i] = sol
+		return struct{}{}, nil
+	}); err != nil {
+		return nil, err
 	}
 
 	demand := func() int {
@@ -127,23 +172,100 @@ func AllocateARA(funcs []*ir.Func, cfg Config) (*Allocation, error) {
 		return total + maxSR
 	}
 
+	// candidates holds one thread's priced reduction options for one
+	// round. A nil Solution means the option is illegal or infeasible
+	// for that thread this round.
+	type candidates struct {
+		aSol *intra.Solution // Option A: (pr-1, sr)
+		bSol *intra.Solution // Option B membership: (pr, sr-1)
+		bIn  bool            // thread belongs to the maximal-SR set
+		cSol *intra.Solution // Option C trade: (pr-1, sr+1)
+	}
+
 	// Greedy reduction (paper Figure 8): while over budget, price every
-	// single-register reduction and take the cheapest.
+	// single-register reduction and take the cheapest. Pricing fans out
+	// per group — each group's candidate Solves run serially on its own
+	// allocator (allocators are not safe for concurrent use, but
+	// distinct groups' allocators never share mutable state) — and the
+	// winner is then selected serially: Option A in ascending thread
+	// order, then B, then C, with strict less-than comparisons, so the
+	// lowest thread index (and earliest option) wins equal costs and the
+	// allocation is identical for every worker count.
 	for demand() > cfg.NReg {
+		maxSR := 0
+		for i := 0; i < n; i++ {
+			if sr[i] > maxSR {
+				maxSR = sr[i]
+			}
+		}
+		curDemand := demand()
+
+		price := func(i int) candidates {
+			var cand candidates
+			b := bounds[i]
+			// Option A: reduce this thread's PR by 1.
+			if pr[i]-1 >= b.MinPR && pr[i]-1+sr[i] >= b.MinR {
+				if sol, err := als[i].Solve(pr[i]-1, sr[i]); err == nil {
+					cand.aSol = sol
+				}
+			}
+			// Option B: every maximal SR drops by 1 together (only that
+			// lowers the max term); this thread prices its own share.
+			if maxSR > 0 && sr[i] == maxSR {
+				cand.bIn = true
+				if pr[i]+sr[i]-1 >= b.MinR {
+					if sol, err := als[i].Solve(pr[i], sr[i]-1); err == nil {
+						cand.bSol = sol
+					}
+				}
+			}
+			// Option C (beyond the paper's Figure 8): a trade. A thread
+			// can wedge at its R = MinR floor with PR still above MinPR —
+			// then neither a plain PR nor SR reduction is legal, but
+			// converting a private register into a shared one (PR-1,
+			// SR+1) shrinks the global demand when that thread's SR is
+			// below the maximum, and even a demand-neutral trade is
+			// useful as a stepping stone (it raises the shared pool
+			// another thread's trade can then hide under). Termination:
+			// every step either shrinks the demand or shrinks some PR,
+			// and neither ever grows.
+			if pr[i]-1 >= b.MinPR && pr[i]-1+sr[i] < b.MinR {
+				tot, newMaxSR := 0, 0
+				for j := 0; j < n; j++ {
+					p, s := pr[j], sr[j]
+					if j == i {
+						p, s = p-1, s+1
+					}
+					tot += p
+					if s > newMaxSR {
+						newMaxSR = s
+					}
+				}
+				if tot+newMaxSR <= curDemand {
+					if sol, err := als[i].Solve(pr[i]-1, sr[i]+1); err == nil {
+						cand.cSol = sol
+					}
+				}
+			}
+			return cand
+		}
+		probes := make([]candidates, n)
+		parallel.ForEach(workers, len(groups), func(g int) {
+			for _, i := range groups[g] {
+				probes[i] = price(i)
+			}
+		})
+
 		type option struct {
 			deltaCost float64
 			apply     func()
 		}
 		var best *option
 
-		// Option A: reduce one thread's PR by 1.
+		// Option A, ascending thread order.
 		for i := 0; i < n; i++ {
-			b := als[i].Bounds()
-			if pr[i]-1 < b.MinPR || pr[i]-1+sr[i] < b.MinR {
-				continue
-			}
-			sol, err := als[i].Solve(pr[i]-1, sr[i])
-			if err != nil {
+			sol := probes[i].aSol
+			if sol == nil {
 				continue
 			}
 			d := weight(i) * float64(sol.Cost-sols[i].Cost)
@@ -156,35 +278,23 @@ func AllocateARA(funcs []*ir.Func, cfg Config) (*Allocation, error) {
 			}
 		}
 
-		// Option B: reduce every maximal SR by 1 (only that lowers the
-		// max term).
-		maxSR := 0
-		for i := 0; i < n; i++ {
-			if sr[i] > maxSR {
-				maxSR = sr[i]
-			}
-		}
+		// Option B: aggregate the maximal-SR members; infeasible if any
+		// member cannot give up a register.
 		if maxSR > 0 {
 			feasible := true
 			var newSols []*intra.Solution
 			var members []int
 			total := 0.0
 			for i := 0; i < n; i++ {
-				if sr[i] != maxSR {
+				if !probes[i].bIn {
 					continue
 				}
-				b := als[i].Bounds()
-				if pr[i]+sr[i]-1 < b.MinR {
+				if probes[i].bSol == nil {
 					feasible = false
 					break
 				}
-				sol, err := als[i].Solve(pr[i], sr[i]-1)
-				if err != nil {
-					feasible = false
-					break
-				}
-				total += weight(i) * float64(sol.Cost-sols[i].Cost)
-				newSols = append(newSols, sol)
+				total += weight(i) * float64(probes[i].bSol.Cost-sols[i].Cost)
+				newSols = append(newSols, probes[i].bSol)
 				members = append(members, i)
 			}
 			if feasible && (best == nil || total < best.deltaCost) {
@@ -197,41 +307,10 @@ func AllocateARA(funcs []*ir.Func, cfg Config) (*Allocation, error) {
 			}
 		}
 
-		// Option C (beyond the paper's Figure 8): a trade. A thread can
-		// wedge at its R = MinR floor with PR still above MinPR — then
-		// neither a plain PR nor SR reduction is legal, but converting a
-		// private register into a shared one (PR-1, SR+1) shrinks the
-		// global demand when that thread's SR is below the maximum, and
-		// even a demand-neutral trade is useful as a stepping stone (it
-		// raises the shared pool another thread's trade can then hide
-		// under). Termination: every step either shrinks the demand or
-		// shrinks some PR, and neither ever grows.
-		curDemand := demand()
+		// Option C, ascending thread order.
 		for i := 0; i < n; i++ {
-			b := als[i].Bounds()
-			if pr[i]-1 < b.MinPR || pr[i]-1+sr[i] >= b.MinR {
-				continue // plain reduction handles this thread
-			}
-			newTotal := -1
-			{
-				tot, maxSR := 0, 0
-				for j := 0; j < n; j++ {
-					p, s := pr[j], sr[j]
-					if j == i {
-						p, s = p-1, s+1
-					}
-					tot += p
-					if s > maxSR {
-						maxSR = s
-					}
-				}
-				newTotal = tot + maxSR
-			}
-			if newTotal > curDemand {
-				continue
-			}
-			sol, err := als[i].Solve(pr[i]-1, sr[i]+1)
-			if err != nil {
+			sol := probes[i].cSol
+			if sol == nil {
 				continue
 			}
 			d := weight(i) * float64(sol.Cost-sols[i].Cost)
@@ -248,7 +327,7 @@ func AllocateARA(funcs []*ir.Func, cfg Config) (*Allocation, error) {
 		if best == nil {
 			detail := ""
 			for i := 0; i < n; i++ {
-				b := als[i].Bounds()
+				b := bounds[i]
 				detail += fmt.Sprintf(" [%d: PR=%d SR=%d minPR=%d minR=%d]", i, pr[i], sr[i], b.MinPR, b.MinR)
 			}
 			return nil, fmt.Errorf(
@@ -258,7 +337,14 @@ func AllocateARA(funcs []*ir.Func, cfg Config) (*Allocation, error) {
 		best.apply()
 	}
 
-	return finalize(funcs, als, pr, sr, sols, cfg.NReg)
+	alloc, err := finalize(funcs, als, pr, sr, sols, cfg.NReg)
+	if err != nil {
+		return nil, err
+	}
+	for _, g := range groups {
+		alloc.SolveCache.Add(als[g[0]].CacheStats())
+	}
+	return alloc, nil
 }
 
 // finalize maps palette colors onto the physical register file and
@@ -318,16 +404,23 @@ func finalize(funcs []*ir.Func, als []*intra.Allocator, pr, sr []int, sols []*in
 // threads) exactly, as §8 of the paper suggests: traverse the 1-D space
 // nthd*PR + SR <= NReg and keep the cheapest (fewest moves) solution,
 // breaking ties toward the smallest register footprint.
+//
+// With cfg.Workers != 1 the sweep fans out: the candidate (PR, SR) list
+// is split into contiguous chunks, each priced by its own allocator over
+// the shared analysis, and the winner is selected by a serial scan in
+// ascending-PR order with strict comparisons — the same point the serial
+// sweep picks, since Solve is a pure function of the budget.
 func AllocateSRA(f *ir.Func, nthd int, cfg Config) (*Allocation, error) {
 	if nthd <= 0 {
 		return nil, fmt.Errorf("core: nthd = %d", nthd)
 	}
+	workers := parallel.Workers(cfg.Workers)
 	al := intra.New(f)
 	b := al.Bounds()
 
-	bestCost, bestFoot := -1, 0
-	var bestSol *intra.Solution
-	bestPR, bestSR := 0, 0
+	// The 1-D candidate frontier: for each PR, the largest useful SR.
+	type cand struct{ p, s int }
+	var cands []cand
 	for p := b.MinPR; p <= cfg.NReg/nthd; p++ {
 		srMax := cfg.NReg - nthd*p
 		if srMax < 0 {
@@ -340,17 +433,51 @@ func AllocateSRA(f *ir.Func, nthd int, cfg Config) (*Allocation, error) {
 			}
 			s = cap // more shared than MaxR-p is never used
 		}
-		sol, err := al.Solve(p, s)
-		if err != nil {
-			continue
-		}
-		foot := nthd*p + (sol.Ctx.Size - min(p, sol.Ctx.Size))
-		if bestCost < 0 || sol.Cost < bestCost || (sol.Cost == bestCost && foot < bestFoot) {
-			bestCost, bestFoot = sol.Cost, foot
-			bestSol, bestPR, bestSR = sol, p, s
-			if bestCost == 0 && p == b.MinPR {
+		cands = append(cands, cand{p, s})
+	}
+
+	sweepAls := []*intra.Allocator{al}
+	swept := make([]*intra.Solution, len(cands))
+	if workers <= 1 || len(cands) <= 1 {
+		for ci, c := range cands {
+			sol, err := al.Solve(c.p, c.s)
+			if err != nil {
+				continue
+			}
+			swept[ci] = sol
+			if sol.Cost == 0 && c.p == b.MinPR {
 				break // cannot do better than zero moves at minimal PR
 			}
+		}
+	} else {
+		chunks := parallel.Chunks(workers, len(cands))
+		chunkAls := make([]*intra.Allocator, len(chunks))
+		parallel.ForEach(workers, len(chunks), func(k int) {
+			// One allocator per chunk: the sweep points inside a chunk
+			// share its context-derivation memo, and the analysis behind
+			// all of them is shared read-only.
+			cal := intra.NewFromAnalysis(al.A)
+			chunkAls[k] = cal
+			for ci := chunks[k][0]; ci < chunks[k][1]; ci++ {
+				if sol, err := cal.Solve(cands[ci].p, cands[ci].s); err == nil {
+					swept[ci] = sol
+				}
+			}
+		})
+		sweepAls = append(sweepAls, chunkAls...)
+	}
+
+	bestCost, bestFoot := -1, 0
+	var bestSol *intra.Solution
+	bestPR, bestSR := 0, 0
+	for ci, sol := range swept {
+		if sol == nil {
+			continue
+		}
+		foot := nthd*cands[ci].p + (sol.Ctx.Size - min(cands[ci].p, sol.Ctx.Size))
+		if bestCost < 0 || sol.Cost < bestCost || (sol.Cost == bestCost && foot < bestFoot) {
+			bestCost, bestFoot = sol.Cost, foot
+			bestSol, bestPR, bestSR = sol, cands[ci].p, cands[ci].s
 		}
 	}
 	if bestSol == nil {
@@ -365,7 +492,14 @@ func AllocateSRA(f *ir.Func, nthd int, cfg Config) (*Allocation, error) {
 	for i := 0; i < nthd; i++ {
 		funcs[i], als[i], prs[i], srs[i], sols[i] = f, al, bestPR, bestSR, bestSol
 	}
-	return finalize(funcs, als, prs, srs, sols, cfg.NReg)
+	alloc, err := finalize(funcs, als, prs, srs, sols, cfg.NReg)
+	if err != nil {
+		return nil, err
+	}
+	for _, sal := range sweepAls {
+		alloc.SolveCache.Add(sal.CacheStats())
+	}
+	return alloc, nil
 }
 
 func min(a, b int) int {

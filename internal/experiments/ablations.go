@@ -13,6 +13,7 @@ import (
 	"npra/internal/ir"
 	"npra/internal/linscan"
 	"npra/internal/loops"
+	"npra/internal/parallel"
 	"npra/internal/sim"
 )
 
@@ -27,20 +28,20 @@ type AblationEstimationRow struct {
 	PrivateSaved4Threads int // 4*(JointPR - PRFirstPR)
 }
 
-// AblationEstimation runs both estimators on every benchmark.
+// AblationEstimation runs both estimators on every benchmark, one
+// benchmark per worker task.
 func AblationEstimation(npkts int) []AblationEstimationRow {
-	var rows []AblationEstimationRow
-	for _, b := range bench.All() {
+	rows, _ := mapBenches(func(b *bench.Benchmark) (AblationEstimationRow, error) {
 		a := ig.Analyze(b.Gen(npkts))
 		pf := estimate.Compute(a)
 		jt := estimate.ComputeJoint(a)
-		rows = append(rows, AblationEstimationRow{
+		return AblationEstimationRow{
 			Name:      b.Name,
 			PRFirstPR: pf.MaxPR, PRFirstR: pf.MaxR,
 			JointPR: jt.MaxPR, JointR: jt.MaxR,
 			PrivateSaved4Threads: NThreads * (jt.MaxPR - pf.MaxPR),
-		})
-	}
+		}, nil
+	})
 	return rows
 }
 
@@ -53,10 +54,10 @@ type AblationMoveElimRow struct {
 	EliminatedPercent float64
 }
 
-// AblationMoveElim measures the coalescing pass.
+// AblationMoveElim measures the coalescing pass, one benchmark per
+// worker task.
 func AblationMoveElim(npkts int) ([]AblationMoveElimRow, error) {
-	var rows []AblationMoveElimRow
-	for _, b := range bench.All() {
+	return mapBenches(func(b *bench.Benchmark) (AblationMoveElimRow, error) {
 		f := b.Gen(npkts)
 		moves := func(disable bool) (int, error) {
 			al := intra.New(f)
@@ -70,21 +71,20 @@ func AblationMoveElim(npkts int) ([]AblationMoveElimRow, error) {
 		}
 		with, err := moves(false)
 		if err != nil {
-			return nil, fmt.Errorf("ablation move-elim %s: %w", b.Name, err)
+			return AblationMoveElimRow{}, fmt.Errorf("ablation move-elim %s: %w", b.Name, err)
 		}
 		without, err := moves(true)
 		if err != nil {
-			return nil, fmt.Errorf("ablation move-elim %s (disabled): %w", b.Name, err)
+			return AblationMoveElimRow{}, fmt.Errorf("ablation move-elim %s (disabled): %w", b.Name, err)
 		}
 		pct := 0.0
 		if without > 0 {
 			pct = 100 * float64(without-with) / float64(without)
 		}
-		rows = append(rows, AblationMoveElimRow{
+		return AblationMoveElimRow{
 			Name: b.Name, MovesWith: with, MovesWithout: without, EliminatedPercent: pct,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // AblationSRARow compares the exact symmetric sweep (§8) against running
@@ -95,18 +95,18 @@ type AblationSRARow struct {
 	ARARegs, ARACost int
 }
 
-// AblationSRA runs both solvers on every benchmark replicated 4x.
+// AblationSRA runs both solvers on every benchmark replicated 4x, one
+// benchmark per worker task.
 func AblationSRA(npkts int) ([]AblationSRARow, error) {
-	var rows []AblationSRARow
-	for _, b := range bench.All() {
+	return mapBenches(func(b *bench.Benchmark) (AblationSRARow, error) {
 		f := b.Gen(npkts)
-		sra, err := core.AllocateSRA(f, NThreads, core.Config{NReg: NReg})
+		sra, err := core.AllocateSRA(f, NThreads, core.Config{NReg: NReg, Workers: workers})
 		if err != nil {
-			return nil, fmt.Errorf("ablation SRA %s: %w", b.Name, err)
+			return AblationSRARow{}, fmt.Errorf("ablation SRA %s: %w", b.Name, err)
 		}
-		ara, err := core.AllocateARA(genCopies(b, NThreads, npkts), core.Config{NReg: NReg})
+		ara, err := core.AllocateARA(genCopies(b, NThreads, npkts), core.Config{NReg: NReg, Workers: workers})
 		if err != nil {
-			return nil, fmt.Errorf("ablation SRA %s (ARA): %w", b.Name, err)
+			return AblationSRARow{}, fmt.Errorf("ablation SRA %s (ARA): %w", b.Name, err)
 		}
 		sraCost, araCost := 0, 0
 		for _, t := range sra.Threads {
@@ -115,13 +115,12 @@ func AblationSRA(npkts int) ([]AblationSRARow, error) {
 		for _, t := range ara.Threads {
 			araCost += t.Cost
 		}
-		rows = append(rows, AblationSRARow{
+		return AblationSRARow{
 			Name:    b.Name,
 			SRARegs: sra.TotalRegisters(), SRACost: sraCost,
 			ARARegs: ara.TotalRegisters(), ARACost: araCost,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // AblationSpillVsMoveRow: single-thread md5 at a shrinking register
@@ -160,8 +159,11 @@ func AblationSpillVsMove(benchName string, npkts int) ([]AblationSpillVsMoveRow,
 		ks = append(ks, k)
 	}
 
-	var rows []AblationSpillVsMoveRow
-	for _, k := range ks {
+	// One budget point per worker task. The splitting side Solves on a
+	// per-task allocator over the shared analysis (the shared `al` is
+	// not safe for concurrent use).
+	return parallel.MapErr(workers, len(ks), func(ki int) (AblationSpillVsMoveRow, error) {
+		k := ks[ki]
 		// Baseline: Chaitin at K registers.
 		phys := make([]ir.Reg, k)
 		for i := range phys {
@@ -171,11 +173,11 @@ func AblationSpillVsMove(benchName string, npkts int) ([]AblationSpillVsMoveRow,
 			Phys: phys, SpillBase: bench.SpillBase, SpillStride: bench.SpillStride,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("ablation spill %s K=%d: %w", benchName, k, err)
+			return AblationSpillVsMoveRow{}, fmt.Errorf("ablation spill %s K=%d: %w", benchName, k, err)
 		}
 		chRes, err := sim.Run([]*sim.Thread{{F: ch.F}}, sim.Config{NReg: NReg, MemWords: bench.MemWords})
 		if err != nil {
-			return nil, err
+			return AblationSpillVsMoveRow{}, err
 		}
 
 		// Splitting allocator: all K registers private (single thread).
@@ -186,14 +188,14 @@ func AblationSpillVsMove(benchName string, npkts int) ([]AblationSpillVsMoveRow,
 			SpillCycles: chRes.Threads[0].CyclesPerIter(),
 			Moves:       -1,
 		}
-		if sol, err := al.Solve(k, 0); err == nil {
+		if sol, err := intra.NewFromAnalysis(al.A).Solve(k, 0); err == nil {
 			mf, stats, err := intra.Rewrite(sol.Ctx, phys[:sol.Ctx.Size])
 			if err != nil {
-				return nil, err
+				return AblationSpillVsMoveRow{}, err
 			}
 			mvRes, err := sim.Run([]*sim.Thread{{F: mf}}, sim.Config{NReg: NReg, MemWords: bench.MemWords})
 			if err != nil {
-				return nil, err
+				return AblationSpillVsMoveRow{}, err
 			}
 			row.Moves = stats.Added()
 			row.MoveCycles = mvRes.Threads[0].CyclesPerIter()
@@ -201,9 +203,8 @@ func AblationSpillVsMove(benchName string, npkts int) ([]AblationSpillVsMoveRow,
 				row.MoveWinsByPc = 100 * (row.SpillCycles - row.MoveCycles) / row.SpillCycles
 			}
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // AblationLatencyRow: the critical-thread speedup of scenario S1 as a
@@ -215,10 +216,12 @@ type AblationLatencyRow struct {
 	OtherChange     float64 // fir2dim threads, averaged
 }
 
-// AblationLatency sweeps the memory latency on scenario S1.
+// AblationLatency sweeps the memory latency on scenario S1, one latency
+// point per worker task.
 func AblationLatency(npkts int) ([]AblationLatencyRow, error) {
-	var rows []AblationLatencyRow
-	for _, lat := range []int64{5, 10, 20, 40} {
+	lats := []int64{5, 10, 20, 40}
+	return parallel.MapErr(workers, len(lats), func(li int) (AblationLatencyRow, error) {
+		lat := lats[li]
 		mk := func() []*ir.Func {
 			md, _ := bench.Get("md5")
 			fir, _ := bench.Get("fir2dim")
@@ -228,19 +231,19 @@ func AblationLatency(npkts int) ([]AblationLatencyRow, error) {
 
 		baseThreads, _, err := baselineThreads(mk())
 		if err != nil {
-			return nil, err
+			return AblationLatencyRow{}, err
 		}
 		baseRes, err := sim.Run(baseThreads, cfg)
 		if err != nil {
-			return nil, err
+			return AblationLatencyRow{}, err
 		}
 		shareThreads, _, err := sharingThreads(mk())
 		if err != nil {
-			return nil, err
+			return AblationLatencyRow{}, err
 		}
 		shareRes, err := sim.Run(shareThreads, cfg)
 		if err != nil {
-			return nil, err
+			return AblationLatencyRow{}, err
 		}
 		speed := func(i int) float64 {
 			s := baseRes.Threads[i].CyclesPerIter()
@@ -250,13 +253,12 @@ func AblationLatency(npkts int) ([]AblationLatencyRow, error) {
 			}
 			return 100 * (s - h) / s
 		}
-		rows = append(rows, AblationLatencyRow{
+		return AblationLatencyRow{
 			MemLatency:      lat,
 			CriticalSpeedup: (speed(0) + speed(1)) / 2,
 			OtherChange:     (speed(2) + speed(3)) / 2,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // FormatAblations renders all four ablations.
@@ -450,10 +452,10 @@ type AblationWeightingRow struct {
 	WeightedDyn   int64 // weighted objective: loop-weighted cost
 }
 
-// AblationWeighting runs both objectives on every benchmark.
+// AblationWeighting runs both objectives on every benchmark, one
+// benchmark per worker task.
 func AblationWeighting(npkts int) ([]AblationWeightingRow, error) {
-	var rows []AblationWeightingRow
-	for _, b := range bench.All() {
+	return mapBenches(func(b *bench.Benchmark) (AblationWeightingRow, error) {
 		f := b.Gen(npkts)
 		li := loops.Compute(f)
 		w := make([]int64, f.NumPoints())
@@ -470,21 +472,20 @@ func AblationWeighting(npkts int) ([]AblationWeightingRow, error) {
 		}
 		s, err := solve(false)
 		if err != nil {
-			return nil, fmt.Errorf("ablation weighting %s: %w", b.Name, err)
+			return AblationWeightingRow{}, fmt.Errorf("ablation weighting %s: %w", b.Name, err)
 		}
 		wsol, err := solve(true)
 		if err != nil {
-			return nil, fmt.Errorf("ablation weighting %s (weighted): %w", b.Name, err)
+			return AblationWeightingRow{}, fmt.Errorf("ablation weighting %s (weighted): %w", b.Name, err)
 		}
-		rows = append(rows, AblationWeightingRow{
+		return AblationWeightingRow{
 			Name:          b.Name,
 			StaticMoves:   s.Ctx.MoveCount(),
 			StaticDyn:     s.Ctx.WeightedMoveCost(w),
 			WeightedMoves: wsol.Ctx.MoveCount(),
 			WeightedDyn:   wsol.Ctx.WeightedMoveCost(w),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // AblationSchedulingRow compares scheduler policies on scenario S1 with

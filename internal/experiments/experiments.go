@@ -19,6 +19,7 @@ import (
 	"npra/internal/chaitin"
 	"npra/internal/core"
 	"npra/internal/ir"
+	"npra/internal/parallel"
 	"npra/internal/sim"
 )
 
@@ -32,6 +33,22 @@ const (
 
 // DefaultPackets is the number of packets simulated per thread.
 const DefaultPackets = 64
+
+// workers bounds the experiment fan-out (one benchmark, scenario or
+// sweep point per task) and is threaded through to core.Config.Workers.
+// 0 means runtime.GOMAXPROCS(0). Results are identical for every value;
+// see the determinism tests.
+var workers = 0
+
+// SetWorkers sets the fan-out width for all experiments in this package
+// (n <= 0 restores the default, one worker per CPU). Not safe to call
+// concurrently with a running experiment.
+func SetWorkers(n int) {
+	if n <= 0 {
+		n = 0
+	}
+	workers = n
+}
 
 // baselineThreads allocates one function per hardware thread with the
 // baseline Chaitin allocator in its fixed 32-register partition and
@@ -67,7 +84,7 @@ func baselineThreads(funcs []*ir.Func) ([]*sim.Thread, []*chaitin.Result, error)
 // allocator and returns simulator threads with private-range protection
 // armed, plus the allocation.
 func sharingThreads(funcs []*ir.Func) ([]*sim.Thread, *core.Allocation, error) {
-	alloc, err := core.AllocateARA(funcs, core.Config{NReg: NReg})
+	alloc, err := core.AllocateARA(funcs, core.Config{NReg: NReg, Workers: workers})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -89,6 +106,17 @@ func runSim(threads []*sim.Thread) (*sim.Result, error) {
 	return sim.Run(threads, sim.Config{
 		NReg:     NReg,
 		MemWords: bench.MemWords,
+	})
+}
+
+// mapBenches runs fn once per built-in benchmark on the experiment
+// worker pool and returns the results in bench.All() order (the order
+// the tables print). Each call gets its own benchmark; fn must not
+// touch shared mutable state.
+func mapBenches[T any](fn func(b *bench.Benchmark) (T, error)) ([]T, error) {
+	all := bench.All()
+	return parallel.MapErr(workers, len(all), func(i int) (T, error) {
+		return fn(all[i])
 	})
 }
 

@@ -23,10 +23,10 @@ type Figure14Row struct {
 	SavingPct  float64
 }
 
-// Figure14 computes the SRA register-saving figure.
+// Figure14 computes the SRA register-saving figure, one benchmark per
+// worker task.
 func Figure14(npkts int) ([]Figure14Row, error) {
-	var rows []Figure14Row
-	for _, b := range bench.All() {
+	return mapBenches(func(b *bench.Benchmark) (Figure14Row, error) {
 		f := b.Gen(npkts)
 
 		// Standalone: Chaitin with an ample partition; RegsUsed is the
@@ -37,24 +37,23 @@ func Figure14(npkts int) ([]Figure14Row, error) {
 		}
 		single, err := chaitin.Allocate(f, chaitin.Options{Phys: phys})
 		if err != nil {
-			return nil, fmt.Errorf("figure14 %s: single: %w", b.Name, err)
+			return Figure14Row{}, fmt.Errorf("figure14 %s: single: %w", b.Name, err)
 		}
 
 		pr, sr, err := zeroMoveSRA(f)
 		if err != nil {
-			return nil, fmt.Errorf("figure14 %s: %w", b.Name, err)
+			return Figure14Row{}, fmt.Errorf("figure14 %s: %w", b.Name, err)
 		}
 		total := NThreads*pr + sr
-		rows = append(rows, Figure14Row{
+		return Figure14Row{
 			Name:       b.Name,
 			SingleRegs: single.RegsUsed,
 			PR:         pr,
 			SR:         sr,
 			Total:      total,
 			SavingPct:  100 * (1 - float64(total)/float64(NThreads*single.RegsUsed)),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // zeroMoveSRA finds the smallest register footprint 4*PR+SR reachable

@@ -28,10 +28,10 @@ type Table1Row struct {
 	AvgNSRSize float64
 }
 
-// Table1 computes the benchmark property table.
+// Table1 computes the benchmark property table, one benchmark per
+// worker task.
 func Table1(npkts int) ([]Table1Row, error) {
-	var rows []Table1Row
-	for _, b := range bench.All() {
+	return mapBenches(func(b *bench.Benchmark) (Table1Row, error) {
 		f := b.Gen(npkts)
 		st := f.Stats()
 		a := ig.Analyze(f)
@@ -39,11 +39,11 @@ func Table1(npkts int) ([]Table1Row, error) {
 
 		threads, _, err := baselineThreads(genCopies(b, NThreads, npkts))
 		if err != nil {
-			return nil, fmt.Errorf("table1 %s: %w", b.Name, err)
+			return Table1Row{}, fmt.Errorf("table1 %s: %w", b.Name, err)
 		}
 		res, err := runSim(threads)
 		if err != nil {
-			return nil, fmt.Errorf("table1 %s: sim: %w", b.Name, err)
+			return Table1Row{}, fmt.Errorf("table1 %s: sim: %w", b.Name, err)
 		}
 		cyc := 0.0
 		for _, ts := range res.Threads {
@@ -51,7 +51,7 @@ func Table1(npkts int) ([]Table1Row, error) {
 		}
 		cyc /= float64(len(res.Threads))
 
-		rows = append(rows, Table1Row{
+		return Table1Row{
 			Name:       b.Name,
 			Instrs:     st.Instructions,
 			CyclesIter: cyc,
@@ -64,9 +64,8 @@ func Table1(npkts int) ([]Table1Row, error) {
 			MaxPR:      est.MaxPR,
 			NSRs:       a.NSR.NumRegions,
 			AvgNSRSize: a.NSR.AvgSize(),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // FormatTable1 renders the rows like the paper's Table 1.

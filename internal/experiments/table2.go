@@ -22,16 +22,16 @@ type Table2Row struct {
 	MovePct float64 // Moves / Instrs
 }
 
-// Table2 computes the extreme-case move-overhead table.
+// Table2 computes the extreme-case move-overhead table, one benchmark
+// per worker task.
 func Table2(npkts int) ([]Table2Row, error) {
-	var rows []Table2Row
-	for _, b := range bench.All() {
+	return mapBenches(func(b *bench.Benchmark) (Table2Row, error) {
 		f := b.Gen(npkts)
 		al := intra.New(f)
 		bd := al.Bounds()
 		sol, err := al.Solve(bd.MinPR, bd.MinR-bd.MinPR)
 		if err != nil {
-			return nil, fmt.Errorf("table2 %s: %w", b.Name, err)
+			return Table2Row{}, fmt.Errorf("table2 %s: %w", b.Name, err)
 		}
 		phys := make([]ir.Reg, sol.Ctx.Size)
 		for i := range phys {
@@ -39,19 +39,18 @@ func Table2(npkts int) ([]Table2Row, error) {
 		}
 		_, stats, err := intra.Rewrite(sol.Ctx, phys)
 		if err != nil {
-			return nil, fmt.Errorf("table2 %s: rewrite: %w", b.Name, err)
+			return Table2Row{}, fmt.Errorf("table2 %s: rewrite: %w", b.Name, err)
 		}
 		n := f.Stats().Instructions
-		rows = append(rows, Table2Row{
+		return Table2Row{
 			Name:    b.Name,
 			MinPR:   bd.MinPR,
 			MinR:    bd.MinR,
 			Moves:   stats.Added(),
 			Instrs:  n,
 			MovePct: 100 * float64(stats.Added()) / float64(n),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // FormatTable2 renders the rows like the paper's Table 2.

@@ -5,7 +5,9 @@ import (
 	"strings"
 
 	"npra/internal/bench"
+	"npra/internal/intra"
 	"npra/internal/ir"
+	"npra/internal/parallel"
 )
 
 // Table3Thread is one thread row of a Table 3 scenario: the per-thread
@@ -35,6 +37,10 @@ type Table3Scenario struct {
 	Threads     []Table3Thread
 	SGR         int
 	TotalRegs   int
+
+	// SolveCache is the sharing allocator's Solve-point cache activity
+	// for this scenario (duplicate-thread dedup plus greedy re-probes).
+	SolveCache intra.CacheStats
 }
 
 // scenarios are the paper's three Table 3 workloads.
@@ -60,16 +66,20 @@ var scenarios = []struct {
 	},
 }
 
-// Table3 runs the three ARA scenarios: baseline per-thread Chaitin with
-// spilling versus the cross-thread balancing allocator, both simulated.
+// Table3 runs the three ARA scenarios — baseline per-thread Chaitin with
+// spilling versus the cross-thread balancing allocator, both simulated —
+// one scenario per worker task.
 func Table3(npkts int) ([]Table3Scenario, error) {
-	var out []Table3Scenario
-	for _, sc := range scenarios {
-		row, err := runScenario(sc.name, sc.desc, sc.benches, sc.critical, npkts)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, *row)
+	rows, err := parallel.MapErr(workers, len(scenarios), func(i int) (*Table3Scenario, error) {
+		sc := scenarios[i]
+		return runScenario(sc.name, sc.desc, sc.benches, sc.critical, npkts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Table3Scenario, len(rows))
+	for i, r := range rows {
+		out[i] = *r
 	}
 	return out, nil
 }
@@ -114,6 +124,7 @@ func runScenario(name, desc string, benches []string, critical []bool, npkts int
 		Name: name, Description: desc,
 		Benchmarks: benches, Critical: critical,
 		SGR: alloc.SGR, TotalRegs: alloc.TotalRegisters(),
+		SolveCache: alloc.SolveCache,
 	}
 	for i := range benches {
 		spillCyc := baseRes.Threads[i].CyclesPerIter()

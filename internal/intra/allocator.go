@@ -10,9 +10,11 @@ import (
 )
 
 // Allocator solves intra-thread allocations for one function at any
-// requested (PR, SR) budget, memoizing the chain of color-elimination
-// contexts so the inter-thread allocator's repeated cost probes are cheap
-// (the paper's "incremental" intra allocator that records its contexts).
+// requested (PR, SR) budget, memoizing both the chain of color-elimination
+// contexts (the paper's "incremental" intra allocator that records its
+// contexts) and whole Solve results per (pr, sr) point, so the
+// inter-thread allocator's repeated cost probes are cheap; CacheStats
+// exposes the Solve-point hit/miss counters.
 //
 // Contexts placed in the memo are never mutated again; derivations always
 // clone. The allocator is not safe for concurrent use.
@@ -30,7 +32,40 @@ type Allocator struct {
 
 	memo    map[[2]int]*Context // (cap, size) -> context
 	memoErr map[[2]int]error
+
+	// Solve-point cache: the inter-thread greedy loop re-probes the same
+	// (pr, sr) budgets round after round (Option A re-prices pr[i]-1
+	// every iteration until it is taken; Option B re-prices sr[i]-1), so
+	// Solve memoizes whole Solutions — and their infeasibility errors —
+	// keyed by the *requested* budget, before any clamping.
+	sols    map[[2]int]*Solution
+	solErrs map[[2]int]error
+	stats   CacheStats
 }
+
+// CacheStats counts Solve-point cache hits and misses. A hit means the
+// exact (pr, sr) budget was priced before and the cached Solution (or
+// infeasibility) was returned without touching the context chain.
+type CacheStats struct {
+	Hits, Misses int
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 before the first Solve.
+func (s CacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Add accumulates other into s (for summing per-thread allocators).
+func (s *CacheStats) Add(other CacheStats) {
+	s.Hits += other.Hits
+	s.Misses += other.Misses
+}
+
+// CacheStats returns the allocator's Solve-point cache counters.
+func (al *Allocator) CacheStats() CacheStats { return al.stats }
 
 // Solution is a successful intra-thread allocation for a (PR, SR) budget.
 type Solution struct {
@@ -50,6 +85,8 @@ func NewFromAnalysis(a *ig.Analysis) *Allocator {
 		F: a.F, A: a, Est: estimate.Compute(a),
 		memo:    make(map[[2]int]*Context),
 		memoErr: make(map[[2]int]error),
+		sols:    make(map[[2]int]*Solution),
+		solErrs: make(map[[2]int]error),
 	}
 }
 
@@ -60,7 +97,7 @@ func (al *Allocator) Bounds() estimate.Bounds { return al.Est.Bounds }
 // paper's static count to a loop-depth-weighted estimate of the dynamic
 // count (10x per nesting level). Must be called before the first Solve.
 func (al *Allocator) UseLoopWeights() {
-	if len(al.memo) > 0 {
+	if len(al.memo) > 0 || len(al.sols) > 0 {
 		panic("intra: UseLoopWeights after solving")
 	}
 	li := loops.Compute(al.F)
@@ -74,8 +111,30 @@ func (al *Allocator) UseLoopWeights() {
 // Solve returns an allocation in which values crossing context switches
 // use at most pr colors and all values use at most pr+sr colors. It fails
 // with an infeasible error when the budget is below the achievable
-// minimum (MinPR/MinR in the common case).
+// minimum (MinPR/MinR in the common case). Results are memoized per
+// (pr, sr): repeated probes of the same budget return the same *Solution,
+// which callers must treat as read-only.
 func (al *Allocator) Solve(pr, sr int) (*Solution, error) {
+	key := [2]int{pr, sr}
+	if sol, ok := al.sols[key]; ok {
+		al.stats.Hits++
+		return sol, nil
+	}
+	if err, ok := al.solErrs[key]; ok {
+		al.stats.Hits++
+		return nil, err
+	}
+	al.stats.Misses++
+	sol, err := al.solve(pr, sr)
+	if err != nil {
+		al.solErrs[key] = err
+		return nil, err
+	}
+	al.sols[key] = sol
+	return sol, nil
+}
+
+func (al *Allocator) solve(pr, sr int) (*Solution, error) {
 	if pr < 0 || sr < 0 {
 		return nil, errInfeasible{fmt.Sprintf("negative budget PR=%d SR=%d", pr, sr)}
 	}

@@ -1,0 +1,87 @@
+package intra
+
+import (
+	"testing"
+
+	"npra/internal/ir"
+)
+
+const cacheTestSrc = `
+func t
+entry:
+	set v0, 1
+	set v1, 2
+	ctx
+	add v2, v0, v1
+	set v3, 3
+	add v2, v2, v3
+	store [64], v2
+	halt
+`
+
+func TestSolveCacheHitsAndMisses(t *testing.T) {
+	al := New(ir.MustParse(cacheTestSrc))
+	b := al.Bounds()
+
+	s1, err := al.Solve(b.MinPR, b.MinR-b.MinPR)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if got := al.CacheStats(); got.Hits != 0 || got.Misses != 1 {
+		t.Errorf("after first Solve: %+v, want 0 hits / 1 miss", got)
+	}
+
+	s2, err := al.Solve(b.MinPR, b.MinR-b.MinPR)
+	if err != nil {
+		t.Fatalf("Solve (repeat): %v", err)
+	}
+	if s1 != s2 {
+		t.Errorf("repeated Solve returned a different *Solution")
+	}
+	if got := al.CacheStats(); got.Hits != 1 || got.Misses != 1 {
+		t.Errorf("after repeat Solve: %+v, want 1 hit / 1 miss", got)
+	}
+
+	// A different budget is a miss even when it clamps to the same
+	// context chain point.
+	if _, err := al.Solve(b.MaxPR+5, b.MaxR); err != nil {
+		t.Fatalf("Solve (clamped): %v", err)
+	}
+	if got := al.CacheStats(); got.Hits != 1 || got.Misses != 2 {
+		t.Errorf("after clamped Solve: %+v, want 1 hit / 2 misses", got)
+	}
+}
+
+func TestSolveCachesInfeasibility(t *testing.T) {
+	al := New(ir.MustParse(cacheTestSrc))
+
+	_, err1 := al.Solve(-1, 0)
+	if err1 == nil {
+		t.Fatal("negative budget succeeded")
+	}
+	_, err2 := al.Solve(-1, 0)
+	if err2 == nil {
+		t.Fatal("negative budget succeeded on repeat")
+	}
+	if err1.Error() != err2.Error() {
+		t.Errorf("cached error differs: %v vs %v", err1, err2)
+	}
+	if got := al.CacheStats(); got.Hits != 1 || got.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss", got)
+	}
+}
+
+func TestCacheStatsHelpers(t *testing.T) {
+	var s CacheStats
+	if s.HitRate() != 0 {
+		t.Errorf("empty HitRate = %v", s.HitRate())
+	}
+	s.Add(CacheStats{Hits: 3, Misses: 1})
+	s.Add(CacheStats{Hits: 1, Misses: 3})
+	if s.Hits != 4 || s.Misses != 4 {
+		t.Errorf("Add: %+v", s)
+	}
+	if got := s.HitRate(); got != 0.5 {
+		t.Errorf("HitRate = %v, want 0.5", got)
+	}
+}

@@ -1,0 +1,111 @@
+// Package parallel provides the small bounded worker-pool helpers the
+// allocator stack uses to fan independent work out across CPUs while
+// keeping results deterministically ordered.
+//
+// The contract every helper honors: results come back in input order, a
+// worker count of 1 degenerates to a plain serial loop (same goroutine,
+// ascending index order), and fn is only ever called concurrently for
+// *different* indices — so callers may write into per-index slots of a
+// shared slice without synchronization.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a requested worker count: n <= 0 means "one worker
+// per available CPU" (runtime.GOMAXPROCS(0)).
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Map runs fn(i) for every i in [0, n) on at most workers goroutines
+// (normalized by Workers) and returns the n results in input order.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(workers, n, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// MapErr runs fn(i) for every i in [0, n) on at most workers goroutines
+// and returns the results in input order. All indices are attempted even
+// when some fail (the work items are independent; there is nothing to
+// cancel); if any failed, the error for the lowest failing index is
+// returned so the caller sees the same error a serial ascending loop
+// would have surfaced first.
+func MapErr[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	ForEach(workers, n, func(i int) { out[i], errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers goroutines
+// (normalized by Workers). With one worker it runs fn serially in
+// ascending index order on the calling goroutine; otherwise indices are
+// handed out atomically, so the assignment of index to goroutine — but
+// never the set of calls made — depends on scheduling.
+func ForEach(workers, n int, fn func(i int)) {
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Chunks splits [0, n) into at most workers contiguous half-open ranges
+// of near-equal size, for callers that want one long-lived worker state
+// (an allocator, a scratch buffer) per chunk rather than per item. The
+// split depends only on (workers, n), never on scheduling.
+func Chunks(workers, n int) [][2]int {
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		return nil
+	}
+	out := make([][2]int, 0, workers)
+	size, rem := n/workers, n%workers
+	lo := 0
+	for w := 0; w < workers; w++ {
+		hi := lo + size
+		if w < rem {
+			hi++
+		}
+		out = append(out, [2]int{lo, hi})
+		lo = hi
+	}
+	return out
+}

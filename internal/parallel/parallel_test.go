@@ -1,0 +1,139 @@
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d", got)
+	}
+	if got := Workers(7); got != 7 {
+		t.Errorf("Workers(7) = %d", got)
+	}
+}
+
+func TestMapOrdered(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		got := Map(workers, 50, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	if got := Map(4, 0, func(i int) int { t.Fatal("fn called"); return 0 }); len(got) != 0 {
+		t.Errorf("len = %d", len(got))
+	}
+}
+
+// One worker must mean a plain serial ascending loop on the calling
+// goroutine — the property core relies on for -j 1 reproducing the
+// sequential allocator exactly.
+func TestSingleWorkerSerialAscending(t *testing.T) {
+	var order []int
+	ForEach(1, 10, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const workers, n = 3, 64
+	var cur, peak atomic.Int64
+	ForEach(workers, n, func(i int) {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		cur.Add(-1)
+	})
+	if p := peak.Load(); p > workers {
+		t.Errorf("observed %d concurrent calls, cap %d", p, workers)
+	}
+}
+
+func TestForEachCoversAllIndicesOnce(t *testing.T) {
+	const n = 1000
+	counts := make([]atomic.Int32, n)
+	ForEach(8, n, func(i int) { counts[i].Add(1) })
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("index %d called %d times", i, c)
+		}
+	}
+}
+
+func TestMapErrLowestIndexWins(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		_, err := MapErr(workers, 20, func(i int) (int, error) {
+			if i%2 == 1 {
+				return 0, fmt.Errorf("fail %d", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "fail 1" {
+			t.Errorf("workers=%d: err = %v, want fail 1", workers, err)
+		}
+	}
+	got, err := MapErr(4, 5, func(i int) (int, error) { return i + 1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i+1 {
+			t.Errorf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestChunks(t *testing.T) {
+	cases := []struct {
+		workers, n int
+		want       [][2]int
+	}{
+		{1, 5, [][2]int{{0, 5}}},
+		{2, 5, [][2]int{{0, 3}, {3, 5}}},
+		{3, 10, [][2]int{{0, 4}, {4, 7}, {7, 10}}},
+		{8, 3, [][2]int{{0, 1}, {1, 2}, {2, 3}}},
+		{4, 0, nil},
+	}
+	for _, c := range cases {
+		got := Chunks(c.workers, c.n)
+		if len(got) != len(c.want) {
+			t.Errorf("Chunks(%d,%d) = %v, want %v", c.workers, c.n, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("Chunks(%d,%d)[%d] = %v, want %v", c.workers, c.n, i, got[i], c.want[i])
+			}
+		}
+	}
+	// Every index covered exactly once, in order.
+	chunks := Chunks(7, 23)
+	next := 0
+	for _, ch := range chunks {
+		if ch[0] != next {
+			t.Fatalf("gap at %d: %v", next, chunks)
+		}
+		next = ch[1]
+	}
+	if next != 23 {
+		t.Fatalf("coverage ends at %d", next)
+	}
+}
