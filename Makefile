@@ -1,0 +1,33 @@
+GO ?= go
+
+# The tier-1 gate: everything a PR must keep green.
+.PHONY: check
+check: vet build test race fuzz-smoke
+
+.PHONY: vet
+vet:
+	$(GO) vet ./...
+
+.PHONY: build
+build:
+	$(GO) build ./...
+
+.PHONY: test
+test:
+	$(GO) test ./...
+
+# The packages with real concurrency: the worker pool and the allocator
+# fan-outs (setup, pricing, SRA sweep) that write per-index slots.
+.PHONY: race
+race:
+	$(GO) test -race ./internal/core/... ./internal/parallel/...
+
+# A short native-fuzzer run over the allocation API with fault injection
+# armed from the input; catches panics and verification/semantics breaks.
+.PHONY: fuzz-smoke
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzAllocateARA -fuzztime 10s ./internal/core/
+
+.PHONY: bench
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkAllocateARA|BenchmarkSolveCached' -benchtime 10x .

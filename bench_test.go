@@ -101,7 +101,10 @@ func BenchmarkTable3(b *testing.B) {
 // BenchmarkAblationEstimation compares PR-first vs joint bound estimation.
 func BenchmarkAblationEstimation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows := experiments.AblationEstimation(benchPackets)
+		rows, err := experiments.AblationEstimation(benchPackets)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if i == 0 {
 			saved := 0
 			for _, r := range rows {
@@ -203,7 +206,7 @@ func BenchmarkIntraSolveMin(b *testing.B) {
 	f := md5Func(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		al := intra.New(f)
+		al := intra.MustNew(f)
 		bd := al.Bounds()
 		if _, err := al.Solve(bd.MinPR, bd.MinR-bd.MinPR); err != nil {
 			b.Fatal(err)
@@ -285,7 +288,7 @@ func BenchmarkAllocateARA(b *testing.B) {
 // BenchmarkSolveCached measures a repeated Solve at the same budget: the
 // first call prices the point, every later call is a cache hit.
 func BenchmarkSolveCached(b *testing.B) {
-	al := intra.New(md5Func(b))
+	al := intra.MustNew(md5Func(b))
 	bd := al.Bounds()
 	if _, err := al.Solve(bd.MinPR, bd.MinR-bd.MinPR); err != nil {
 		b.Fatal(err)

@@ -33,9 +33,11 @@ func main() {
 		list      = flag.Bool("list", false, "list built-in benchmarks")
 		packets   = flag.Int("packets", experiments.DefaultPackets, "packets per thread")
 		jobs      = flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for experiment fan-out (1 = serial; results are identical for any value)")
+		timeout   = flag.Duration("timeout", 0, "per-allocation deadline (0 = none); expired allocations abort the experiment rather than report fallback numbers")
 	)
 	flag.Parse()
 	experiments.SetWorkers(*jobs)
+	experiments.SetTimeout(*timeout)
 	if err := run(*table, *figure, *ablations, *scaling, *all, *list, *packets); err != nil {
 		fmt.Fprintln(os.Stderr, "npbench:", err)
 		os.Exit(1)

@@ -6,8 +6,8 @@
 //
 // Usage:
 //
-//	npra [-nreg 128] [-mode ara|sra] [-threads 4] [-j N] [-dump] [-verify]
-//	     (-bench name[,name...] | file.asm [file2.asm ...])
+//	npra [-nreg 128] [-mode ara|sra] [-threads 4] [-j N] [-timeout D]
+//	     [-dump] [-verify] (-bench name[,name...] | file.asm [file2.asm ...])
 //
 // Examples:
 //
@@ -17,12 +17,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
 	"strings"
+	"time"
 
 	"npra/internal/bench"
 	"npra/internal/core"
@@ -46,15 +48,16 @@ func main() {
 		objDir   = flag.String("o", "", "write per-thread object files (.npo) into this directory")
 		schedchk = flag.Bool("check-schedules", false, "model-check the allocation: explore every thread schedule (small programs only)")
 		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for candidate pricing (1 = serial; the allocation is identical for any value)")
+		timeout  = flag.Duration("timeout", 0, "allocation deadline (0 = none); on expiry the allocator falls back to the even static partition")
 	)
 	flag.Parse()
-	if err := run(*nreg, *mode, *threads, *benches, *packets, *jobs, *dump, *verify, *optimize, *schedchk, *objDir, flag.Args()); err != nil {
+	if err := run(*nreg, *mode, *threads, *benches, *packets, *jobs, *timeout, *dump, *verify, *optimize, *schedchk, *objDir, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "npra:", err)
 		os.Exit(1)
 	}
 }
 
-func run(nreg int, mode string, threads int, benches string, packets, jobs int, dump, verify, optimize, schedchk bool, objDir string, files []string) error {
+func run(nreg int, mode string, threads int, benches string, packets, jobs int, timeout time.Duration, dump, verify, optimize, schedchk bool, objDir string, files []string) error {
 	funcs, err := loadFuncs(benches, packets, files)
 	if err != nil {
 		return err
@@ -72,20 +75,29 @@ func run(nreg int, mode string, threads int, benches string, packets, jobs int, 
 			funcs[i] = opt
 		}
 	}
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
 	var alloc *core.Allocation
 	switch mode {
 	case "ara":
-		alloc, err = core.AllocateARA(funcs, core.Config{NReg: nreg, Workers: jobs})
+		alloc, err = core.AllocateARACtx(ctx, funcs, core.Config{NReg: nreg, Workers: jobs})
 	case "sra":
 		if len(funcs) != 1 {
 			return fmt.Errorf("-mode sra takes exactly one program, got %d", len(funcs))
 		}
-		alloc, err = core.AllocateSRA(funcs[0], threads, core.Config{NReg: nreg, Workers: jobs})
+		alloc, err = core.AllocateSRACtx(ctx, funcs[0], threads, core.Config{NReg: nreg, Workers: jobs})
 	default:
 		return fmt.Errorf("unknown -mode %q", mode)
 	}
 	if err != nil {
 		return err
+	}
+	if alloc.Degraded {
+		fmt.Printf("DEGRADED: fell back to the even static partition (%v)\n", alloc.Cause)
 	}
 	if verify {
 		if err := alloc.Verify(); err != nil {

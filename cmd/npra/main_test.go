@@ -18,16 +18,16 @@ entry:
 `
 
 func TestRunWithBenchmarks(t *testing.T) {
-	if err := run(128, "ara", 4, "frag,crc32", 8, 0, false, true, false, false, "", nil); err != nil {
+	if err := run(128, "ara", 4, "frag,crc32", 8, 0, 0, false, true, false, false, "", nil); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
 func TestRunSRA(t *testing.T) {
-	if err := run(128, "sra", 4, "md5", 8, 0, false, true, false, false, "", nil); err != nil {
+	if err := run(128, "sra", 4, "md5", 8, 0, 0, false, true, false, false, "", nil); err != nil {
 		t.Fatalf("run sra: %v", err)
 	}
-	if err := run(128, "sra", 4, "md5,frag", 8, 0, false, true, false, false, "", nil); err == nil {
+	if err := run(128, "sra", 4, "md5,frag", 8, 0, 0, false, true, false, false, "", nil); err == nil {
 		t.Errorf("sra with two programs succeeded")
 	}
 }
@@ -39,7 +39,7 @@ func TestRunWithFilesAndObjects(t *testing.T) {
 		t.Fatal(err)
 	}
 	objDir := filepath.Join(dir, "objs")
-	if err := run(16, "ara", 4, "", 0, 2, true, true, true, true, objDir, []string{asm, asm}); err != nil {
+	if err := run(16, "ara", 4, "", 0, 2, 0, true, true, true, true, objDir, []string{asm, asm}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	ents, err := os.ReadDir(objDir)
@@ -67,19 +67,19 @@ func TestRunWithFilesAndObjects(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(128, "ara", 4, "", 8, 0, false, true, false, false, "", nil); err == nil {
+	if err := run(128, "ara", 4, "", 8, 0, 0, false, true, false, false, "", nil); err == nil {
 		t.Errorf("no input accepted")
 	}
-	if err := run(128, "nope", 4, "frag", 8, 0, false, true, false, false, "", nil); err == nil {
+	if err := run(128, "nope", 4, "frag", 8, 0, 0, false, true, false, false, "", nil); err == nil {
 		t.Errorf("bad mode accepted")
 	}
-	if err := run(128, "ara", 4, "frag", 8, 0, false, true, false, false, "", []string{"x.asm"}); err == nil {
+	if err := run(128, "ara", 4, "frag", 8, 0, 0, false, true, false, false, "", []string{"x.asm"}); err == nil {
 		t.Errorf("bench and files together accepted")
 	}
-	if err := run(128, "ara", 4, "nosuch", 8, 0, false, true, false, false, "", nil); err == nil {
+	if err := run(128, "ara", 4, "nosuch", 8, 0, 0, false, true, false, false, "", nil); err == nil {
 		t.Errorf("unknown benchmark accepted")
 	}
-	if err := run(1, "ara", 4, "md5,md5", 8, 0, false, true, false, false, "", nil); err == nil {
+	if err := run(1, "ara", 4, "md5,md5", 8, 0, 0, false, true, false, false, "", nil); err == nil {
 		t.Errorf("impossible budget accepted")
 	}
 }

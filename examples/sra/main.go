@@ -26,7 +26,10 @@ func main() {
 		log.Fatal(err)
 	}
 	f := b.Gen(packets)
-	est := estimate.Compute(ig.Analyze(f))
+	est, err := estimate.Compute(ig.Analyze(f))
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("md5 demands: MinPR=%d MinR=%d MaxPR=%d MaxR=%d\n",
 		est.MinPR, est.MinR, est.MaxPR, est.MaxR)
 	fmt.Printf("naive 4-thread partitioning would need 4 x %d = %d registers\n\n",

@@ -265,7 +265,10 @@ func ScratchesDeadAcrossSwitches(f *ir.Func, scratchA, scratchB ir.Reg) error {
 		if !f.Instr(p).IsCSB() {
 			continue
 		}
-		across := li.LiveAcross(p)
+		across, err := li.LiveAcross(p)
+		if err != nil {
+			continue // unreachable: guarded by IsCSB above
+		}
 		for _, s := range []ir.Reg{scratchA, scratchB} {
 			if int(s) < f.NumRegs && across.Has(int(s)) {
 				return fmt.Errorf("banks: scratch r%d live across the switch at point %d", s, p)

@@ -86,7 +86,10 @@ func TestPressureBands(t *testing.T) {
 		b := b
 		t.Run(b.Name, func(t *testing.T) {
 			a := ig.Analyze(b.Gen(4))
-			est := estimate.Compute(a)
+			est, err := estimate.Compute(a)
+			if err != nil {
+				t.Fatal(err)
+			}
 			t.Logf("%s: MinPR=%d MinR=%d MaxPR=%d MaxR=%d liveRanges=%d",
 				b.Name, est.MinPR, est.MinR, est.MaxPR, est.MaxR, a.LiveRanges())
 			if heavy[b.Name] {

@@ -17,12 +17,27 @@
 // instructions (Figure 8 of the paper), with the intra-thread allocator
 // (package intra) pricing and realizing each reduction by live-range
 // splitting.
+//
+// # Failure model
+//
+// The allocation entry points never panic the caller: panics anywhere in
+// the pipeline (including inside parallel workers) are recovered at the
+// API boundary and surfaced as errors wrapping ErrInternal. Every error
+// wraps exactly one taxonomy sentinel (ErrInvalid, ErrInfeasible,
+// ErrTimeout, ErrInternal; see errors.go), and on timeout or internal
+// failure the allocator degrades to the hardware's even static partition
+// (PR = NReg/Nthd, SR = 0) instead of failing, returning a verified
+// Allocation with Degraded set — the paper's own baseline is always a
+// correct fallback. Deadlines and cancellation arrive through the
+// context accepted by AllocateARACtx / AllocateSRACtx.
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"npra/internal/estimate"
+	"npra/internal/faultinject"
 	"npra/internal/intra"
 	"npra/internal/ir"
 	"npra/internal/parallel"
@@ -71,6 +86,15 @@ type Allocation struct {
 	SGR     int // globally shared registers (max_i SR used)
 	Threads []*ThreadAlloc
 
+	// Degraded marks an allocation produced by the static-partition
+	// fallback (PR = NReg/Nthd, SR = 0) after the balancing allocator
+	// timed out or failed internally. A degraded allocation is still
+	// verified and semantics-preserving — it just forgoes the paper's
+	// register-sharing win. Cause carries the failure that triggered the
+	// fallback; it wraps ErrTimeout or ErrInternal.
+	Degraded bool
+	Cause    error
+
 	// SolveCache aggregates the Solve-point cache counters of every
 	// intra-thread allocator this allocation consulted.
 	SolveCache intra.CacheStats
@@ -89,17 +113,54 @@ func (al *Allocation) TotalRegisters() int {
 func (al *Allocation) SharedBase() int { return al.NReg - al.SGR }
 
 // AllocateARA runs the asymmetric inter-thread allocation (different code
-// on each thread) for the given thread functions.
+// on each thread) for the given thread functions, with no deadline.
 func AllocateARA(funcs []*ir.Func, cfg Config) (*Allocation, error) {
+	return AllocateARACtx(context.Background(), funcs, cfg)
+}
+
+// AllocateARACtx is AllocateARA under a context: the allocator checks
+// ctx between setup solves, pricing probes and greedy rounds, and on
+// expiry (or cancellation) degrades to the static partition rather than
+// running on. It never panics: internal panics come back as errors
+// wrapping ErrInternal (after the same degradation attempt). The only
+// error classes that escape without a fallback attempt are ErrInvalid
+// and ErrInfeasible — for those the static partition cannot help.
+func AllocateARACtx(ctx context.Context, funcs []*ir.Func, cfg Config) (*Allocation, error) {
 	if len(funcs) == 0 {
-		return nil, fmt.Errorf("core: no threads")
+		return nil, invalidf("no threads")
 	}
 	if cfg.NReg <= 0 {
-		return nil, fmt.Errorf("core: NReg = %d", cfg.NReg)
+		return nil, invalidf("NReg = %d", cfg.NReg)
 	}
 	if cfg.Critical != nil && len(cfg.Critical) != len(funcs) {
-		return nil, fmt.Errorf("core: %d critical weights for %d threads", len(cfg.Critical), len(funcs))
+		return nil, invalidf("%d critical weights for %d threads", len(cfg.Critical), len(funcs))
 	}
+	alloc, err := runProtected(func() (*Allocation, error) { return allocateARA(ctx, funcs, cfg) })
+	if err == nil {
+		return alloc, nil
+	}
+	err = classify(err)
+	if !degradable(err) {
+		return nil, err
+	}
+	return degrade(funcs, cfg, err)
+}
+
+// runProtected invokes fn with a panic barrier: a panic on the calling
+// goroutine — including one transported out of a parallel worker —
+// becomes a *PanicError (which wraps ErrInternal).
+func runProtected(fn func() (*Allocation, error)) (alloc *Allocation, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			alloc, err = nil, recovered(r)
+		}
+	}()
+	return fn()
+}
+
+// allocateARA is the balancing allocator proper (paper Figure 8). Errors
+// come back unclassified; AllocateARACtx maps them onto the taxonomy.
+func allocateARA(ctx context.Context, funcs []*ir.Func, cfg Config) (*Allocation, error) {
 	weight := func(i int) float64 {
 		if cfg.Critical == nil {
 			return 1
@@ -136,10 +197,20 @@ func AllocateARA(funcs []*ir.Func, cfg Config) (*Allocation, error) {
 	sols := make([]*intra.Solution, n)
 	// Per-group analysis and the first Solves are independent across
 	// groups, so the setup fans out.
-	if _, err := parallel.MapErr(workers, len(groups), func(g int) (struct{}, error) {
-		al := intra.New(funcs[groups[g][0]])
+	if _, err := parallel.MapErr(ctx, workers, len(groups), func(g int) (struct{}, error) {
+		f0 := funcs[groups[g][0]]
+		al, err := intra.New(f0)
+		if err != nil {
+			return struct{}{}, fmt.Errorf("core: thread %d (%s): %w", groups[g][0], f0.Name, err)
+		}
 		b := al.Bounds()
 		for _, i := range groups[g] {
+			if err := parallel.CtxErr(ctx); err != nil {
+				return struct{}{}, err
+			}
+			if err := faultinject.Fire(ctx, faultinject.SiteSolve); err != nil {
+				return struct{}{}, err
+			}
 			als[i] = al
 			bounds[i] = b
 			// Start PR at the move-free demand and SR with enough slack
@@ -192,6 +263,9 @@ func AllocateARA(funcs []*ir.Func, cfg Config) (*Allocation, error) {
 	// lowest thread index (and earliest option) wins equal costs and the
 	// allocation is identical for every worker count.
 	for demand() > cfg.NReg {
+		if err := parallel.CtxErr(ctx); err != nil {
+			return nil, err
+		}
 		maxSR := 0
 		for i := 0; i < n; i++ {
 			if sr[i] > maxSR {
@@ -250,11 +324,20 @@ func AllocateARA(funcs []*ir.Func, cfg Config) (*Allocation, error) {
 			return cand
 		}
 		probes := make([]candidates, n)
-		parallel.ForEach(workers, len(groups), func(g int) {
+		if _, err := parallel.MapErr(ctx, workers, len(groups), func(g int) (struct{}, error) {
 			for _, i := range groups[g] {
+				if err := parallel.CtxErr(ctx); err != nil {
+					return struct{}{}, err
+				}
+				if err := faultinject.Fire(ctx, faultinject.SitePricing); err != nil {
+					return struct{}{}, err
+				}
 				probes[i] = price(i)
 			}
-		})
+			return struct{}{}, nil
+		}); err != nil {
+			return nil, err
+		}
 
 		type option struct {
 			deltaCost float64
@@ -330,14 +413,17 @@ func AllocateARA(funcs []*ir.Func, cfg Config) (*Allocation, error) {
 				b := bounds[i]
 				detail += fmt.Sprintf(" [%d: PR=%d SR=%d minPR=%d minR=%d]", i, pr[i], sr[i], b.MinPR, b.MinR)
 			}
-			return nil, fmt.Errorf(
-				"core: cannot fit %d threads into %d registers (demand %d at the splitting lower bounds;%s)",
+			return nil, infeasiblef(
+				"cannot fit %d threads into %d registers (demand %d at the splitting lower bounds;%s)",
 				n, cfg.NReg, demand(), detail)
 		}
 		best.apply()
 	}
 
-	alloc, err := finalize(funcs, als, pr, sr, sols, cfg.NReg)
+	if err := faultinject.Fire(ctx, faultinject.SiteFinalize); err != nil {
+		return nil, err
+	}
+	alloc, err := finalize(ctx, funcs, als, pr, sr, sols, cfg.NReg)
 	if err != nil {
 		return nil, err
 	}
@@ -348,8 +434,11 @@ func AllocateARA(funcs []*ir.Func, cfg Config) (*Allocation, error) {
 }
 
 // finalize maps palette colors onto the physical register file and
-// rewrites every thread.
-func finalize(funcs []*ir.Func, als []*intra.Allocator, pr, sr []int, sols []*intra.Solution, nreg int) (*Allocation, error) {
+// rewrites every thread, checking ctx between threads (rewrites are the
+// tail of the pipeline's work; a deadline must be able to land here too).
+// The degrade path passes context.Background(): the fallback is the
+// bounded last resort and must not itself be cancelable.
+func finalize(ctx context.Context, funcs []*ir.Func, als []*intra.Allocator, pr, sr []int, sols []*intra.Solution, nreg int) (*Allocation, error) {
 	n := len(funcs)
 	alloc := &Allocation{NReg: nreg}
 
@@ -366,12 +455,15 @@ func finalize(funcs []*ir.Func, als []*intra.Allocator, pr, sr []int, sols []*in
 
 	base := 0
 	for i := 0; i < n; i++ {
-		ctx := sols[i].Ctx
-		if base+pr[i] > sharedBase {
-			return nil, fmt.Errorf("core: private registers overflow into shared bank")
+		if err := parallel.CtxErr(ctx); err != nil {
+			return nil, err
 		}
-		phys := make([]ir.Reg, ctx.Size)
-		for c := 0; c < ctx.Size; c++ {
+		sctx := sols[i].Ctx
+		if base+pr[i] > sharedBase {
+			return nil, internalf("private registers overflow into shared bank")
+		}
+		phys := make([]ir.Reg, sctx.Size)
+		for c := 0; c < sctx.Size; c++ {
 			switch {
 			case c < pr[i]:
 				phys[c] = ir.Reg(base + c)
@@ -379,9 +471,9 @@ func finalize(funcs []*ir.Func, als []*intra.Allocator, pr, sr []int, sols []*in
 				phys[c] = ir.Reg(sharedBase + (c - pr[i]))
 			}
 		}
-		nf, stats, err := intra.Rewrite(ctx, phys)
+		nf, stats, err := intra.Rewrite(sctx, phys)
 		if err != nil {
-			return nil, fmt.Errorf("core: thread %d (%s): rewrite: %w", i, funcs[i].Name, err)
+			return nil, internalf("thread %d (%s): rewrite: %v", i, funcs[i].Name, err)
 		}
 		alloc.Threads = append(alloc.Threads, &ThreadAlloc{
 			Name:       funcs[i].Name,
@@ -389,7 +481,7 @@ func finalize(funcs []*ir.Func, als []*intra.Allocator, pr, sr []int, sols []*in
 			SR:         sr[i],
 			Cost:       sols[i].Cost,
 			Bounds:     als[i].Bounds(),
-			LiveRanges: len(ctx.Pieces),
+			LiveRanges: len(sctx.Pieces),
 			PrivBase:   base,
 			F:          nf,
 			Stats:      stats,
@@ -411,11 +503,43 @@ func finalize(funcs []*ir.Func, als []*intra.Allocator, pr, sr []int, sols []*in
 // ascending-PR order with strict comparisons — the same point the serial
 // sweep picks, since Solve is a pure function of the budget.
 func AllocateSRA(f *ir.Func, nthd int, cfg Config) (*Allocation, error) {
-	if nthd <= 0 {
-		return nil, fmt.Errorf("core: nthd = %d", nthd)
+	return AllocateSRACtx(context.Background(), f, nthd, cfg)
+}
+
+// AllocateSRACtx is AllocateSRA under a context, with the same failure
+// model as AllocateARACtx: typed errors, panic recovery at the boundary,
+// and static-partition degradation on timeout or internal failure.
+func AllocateSRACtx(ctx context.Context, f *ir.Func, nthd int, cfg Config) (*Allocation, error) {
+	if f == nil {
+		return nil, invalidf("nil function")
 	}
+	if nthd <= 0 {
+		return nil, invalidf("nthd = %d", nthd)
+	}
+	if cfg.NReg <= 0 {
+		return nil, invalidf("NReg = %d", cfg.NReg)
+	}
+	alloc, err := runProtected(func() (*Allocation, error) { return allocateSRA(ctx, f, nthd, cfg) })
+	if err == nil {
+		return alloc, nil
+	}
+	err = classify(err)
+	if !degradable(err) {
+		return nil, err
+	}
+	funcs := make([]*ir.Func, nthd)
+	for i := range funcs {
+		funcs[i] = f
+	}
+	return degrade(funcs, cfg, err)
+}
+
+func allocateSRA(ctx context.Context, f *ir.Func, nthd int, cfg Config) (*Allocation, error) {
 	workers := parallel.Workers(cfg.Workers)
-	al := intra.New(f)
+	al, err := intra.New(f)
+	if err != nil {
+		return nil, err
+	}
 	b := al.Bounds()
 
 	// The 1-D candidate frontier: for each PR, the largest useful SR.
@@ -440,6 +564,12 @@ func AllocateSRA(f *ir.Func, nthd int, cfg Config) (*Allocation, error) {
 	swept := make([]*intra.Solution, len(cands))
 	if workers <= 1 || len(cands) <= 1 {
 		for ci, c := range cands {
+			if err := parallel.CtxErr(ctx); err != nil {
+				return nil, err
+			}
+			if err := faultinject.Fire(ctx, faultinject.SiteSolve); err != nil {
+				return nil, err
+			}
 			sol, err := al.Solve(c.p, c.s)
 			if err != nil {
 				continue
@@ -452,18 +582,30 @@ func AllocateSRA(f *ir.Func, nthd int, cfg Config) (*Allocation, error) {
 	} else {
 		chunks := parallel.Chunks(workers, len(cands))
 		chunkAls := make([]*intra.Allocator, len(chunks))
-		parallel.ForEach(workers, len(chunks), func(k int) {
+		if _, err := parallel.MapErr(ctx, workers, len(chunks), func(k int) (struct{}, error) {
 			// One allocator per chunk: the sweep points inside a chunk
 			// share its context-derivation memo, and the analysis behind
 			// all of them is shared read-only.
-			cal := intra.NewFromAnalysis(al.A)
+			cal, err := intra.NewFromAnalysis(al.A)
+			if err != nil {
+				return struct{}{}, err
+			}
 			chunkAls[k] = cal
 			for ci := chunks[k][0]; ci < chunks[k][1]; ci++ {
+				if err := parallel.CtxErr(ctx); err != nil {
+					return struct{}{}, err
+				}
+				if err := faultinject.Fire(ctx, faultinject.SiteSolve); err != nil {
+					return struct{}{}, err
+				}
 				if sol, err := cal.Solve(cands[ci].p, cands[ci].s); err == nil {
 					swept[ci] = sol
 				}
 			}
-		})
+			return struct{}{}, nil
+		}); err != nil {
+			return nil, err
+		}
 		sweepAls = append(sweepAls, chunkAls...)
 	}
 
@@ -481,9 +623,12 @@ func AllocateSRA(f *ir.Func, nthd int, cfg Config) (*Allocation, error) {
 		}
 	}
 	if bestSol == nil {
-		return nil, fmt.Errorf("core: SRA: no feasible (PR, SR) for %d threads in %d registers", nthd, cfg.NReg)
+		return nil, infeasiblef("SRA: no feasible (PR, SR) for %d threads in %d registers", nthd, cfg.NReg)
 	}
 
+	if err := faultinject.Fire(ctx, faultinject.SiteFinalize); err != nil {
+		return nil, err
+	}
 	funcs := make([]*ir.Func, nthd)
 	als := make([]*intra.Allocator, nthd)
 	prs := make([]int, nthd)
@@ -492,7 +637,7 @@ func AllocateSRA(f *ir.Func, nthd int, cfg Config) (*Allocation, error) {
 	for i := 0; i < nthd; i++ {
 		funcs[i], als[i], prs[i], srs[i], sols[i] = f, al, bestPR, bestSR, bestSol
 	}
-	alloc, err := finalize(funcs, als, prs, srs, sols, cfg.NReg)
+	alloc, err := finalize(ctx, funcs, als, prs, srs, sols, cfg.NReg)
 	if err != nil {
 		return nil, err
 	}

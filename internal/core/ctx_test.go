@@ -1,0 +1,166 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"npra/internal/bench"
+	"npra/internal/ir"
+)
+
+// table3Workload is scenario S1 of the paper's Table 3 — the heaviest
+// realistic input the allocator faces (md5 alone needs > 32 registers).
+func table3Workload(t testing.TB, npkts int) []*ir.Func {
+	t.Helper()
+	var funcs []*ir.Func
+	for _, name := range []string{"md5", "md5", "fir2dim", "fir2dim"} {
+		b, err := bench.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		funcs = append(funcs, b.Gen(npkts))
+	}
+	return funcs
+}
+
+// A 1ms deadline on a Table 3-sized workload cannot finish the balancing
+// allocation (a single md5 Solve takes far longer) — the contract is a
+// prompt, verified, Degraded allocation whose cause wraps ErrTimeout.
+// NReg is sized so the even static partition (NReg/4 registers each) can
+// hold md5 without spilling; at the IXP's 128 the fallback would be
+// infeasible and the timeout would surface as an error instead.
+func TestDeadlineDegradesToStaticPartition(t *testing.T) {
+	funcs := table3Workload(t, 32)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	alloc, err := AllocateARACtx(ctx, funcs, Config{NReg: 256})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("AllocateARACtx: %v", err)
+	}
+	if !alloc.Degraded {
+		t.Fatal("allocation not degraded under a 1ms deadline")
+	}
+	if !errors.Is(alloc.Cause, ErrTimeout) {
+		t.Errorf("cause = %v, want ErrTimeout in the chain", alloc.Cause)
+	}
+	if err := alloc.Verify(); err != nil {
+		t.Errorf("degraded allocation failed verification: %v", err)
+	}
+	// Even static partition: every thread gets NReg/Nthd private, SR 0.
+	for i, th := range alloc.Threads {
+		if th.PR != 256/len(funcs) || th.SR != 0 {
+			t.Errorf("thread %d: PR=%d SR=%d, want PR=%d SR=0", i, th.PR, th.SR, 256/len(funcs))
+		}
+	}
+	if alloc.SGR != 0 {
+		t.Errorf("SGR = %d, want 0 in the static partition", alloc.SGR)
+	}
+	// "Prompt" = bounded by one Solve per distinct body plus rewrites,
+	// nowhere near a hang.
+	if elapsed > 2*time.Minute {
+		t.Errorf("degradation took %v", elapsed)
+	}
+}
+
+// An infeasible fallback (md5 needs more than 128/4 = 32 registers
+// without spilling) turns the same timeout into a typed error — never a
+// silent hang or an unverified result.
+func TestDeadlineWithInfeasibleFallback(t *testing.T) {
+	funcs := table3Workload(t, 32)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	alloc, err := AllocateARACtx(ctx, funcs, Config{NReg: 128})
+	if err == nil {
+		if !alloc.Degraded {
+			t.Skip("allocation finished inside 1ms — machine too fast for this test")
+		}
+		t.Fatalf("degraded allocation %+v, want error (md5 cannot fit 32 registers)", alloc)
+	}
+	if !errors.Is(err, ErrTimeout) {
+		t.Errorf("err = %v, want ErrTimeout in the chain", err)
+	}
+}
+
+// A canceled context (not a deadline) routes the same way.
+func TestCancelDegrades(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	alloc, err := AllocateARACtx(ctx, table3Workload(t, 8), Config{NReg: 256})
+	if err != nil {
+		t.Fatalf("AllocateARACtx: %v", err)
+	}
+	if !alloc.Degraded || !errors.Is(alloc.Cause, ErrTimeout) {
+		t.Errorf("Degraded=%v Cause=%v, want degraded with ErrTimeout", alloc.Degraded, alloc.Cause)
+	}
+}
+
+// SRA under an expired context degrades identically.
+func TestDeadlineDegradesSRA(t *testing.T) {
+	b, err := bench.Get("md5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	alloc, err := AllocateSRACtx(ctx, b.Gen(32), 4, Config{NReg: 256})
+	if err != nil {
+		t.Fatalf("AllocateSRACtx: %v", err)
+	}
+	if !alloc.Degraded || !errors.Is(alloc.Cause, ErrTimeout) {
+		t.Errorf("Degraded=%v Cause=%v, want degraded with ErrTimeout", alloc.Degraded, alloc.Cause)
+	}
+	if err := alloc.Verify(); err != nil {
+		t.Errorf("degraded SRA allocation failed verification: %v", err)
+	}
+}
+
+// Context plumbing must not perturb determinism: the allocation under a
+// generous deadline is bit-identical serial vs parallel, and identical
+// to the no-context entry points.
+func TestCtxDeterminismAcrossWorkers(t *testing.T) {
+	mk := func() []*ir.Func { return table3Workload(t, 8) }
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	ref, err := AllocateARACtx(ctx, mk(), Config{NReg: 56, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Degraded {
+		t.Fatal("reference allocation degraded under a 10-minute deadline")
+	}
+	noCtx, err := AllocateARA(mk(), Config{NReg: 56, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alt := range []*Allocation{noCtx} {
+		compareAllocs(t, ref, alt)
+	}
+	for _, workers := range []int{2, 8} {
+		alt, err := AllocateARACtx(ctx, mk(), Config{NReg: 56, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		compareAllocs(t, ref, alt)
+	}
+}
+
+func compareAllocs(t *testing.T, a, b *Allocation) {
+	t.Helper()
+	if a.SGR != b.SGR || len(a.Threads) != len(b.Threads) {
+		t.Fatalf("shape differs: SGR %d/%d threads %d/%d", a.SGR, b.SGR, len(a.Threads), len(b.Threads))
+	}
+	for i := range a.Threads {
+		x, y := a.Threads[i], b.Threads[i]
+		if x.PR != y.PR || x.SR != y.SR || x.Cost != y.Cost || x.PrivBase != y.PrivBase {
+			t.Errorf("thread %d: (PR,SR,Cost,Base) = (%d,%d,%d,%d) vs (%d,%d,%d,%d)",
+				i, x.PR, x.SR, x.Cost, x.PrivBase, y.PR, y.SR, y.Cost, y.PrivBase)
+		}
+		if x.F.Format() != y.F.Format() {
+			t.Errorf("thread %d: rewritten code differs", i)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+
+	"npra/internal/intra"
+	"npra/internal/parallel"
+)
+
+// The allocation pipeline's typed error taxonomy. Every error returned
+// by AllocateARACtx / AllocateSRACtx wraps exactly one of these
+// sentinels, so callers can route on errors.Is:
+//
+//   - ErrInvalid: the arguments themselves are malformed (no threads,
+//     non-positive NReg, mismatched Critical weights). Not recoverable
+//     by degradation — the fallback would be just as malformed.
+//   - ErrInfeasible: the input is well-formed but genuinely does not fit
+//     the register budget (demand exceeds NReg even at the splitting
+//     lower bounds). Degradation cannot help: the static partition is a
+//     feasible point of the same space, so an infeasible instance is
+//     infeasible for it too.
+//   - ErrTimeout: the context deadline expired or the context was
+//     canceled mid-allocation. The allocator falls back to the static
+//     partition; ErrTimeout only escapes when the fallback also fails.
+//   - ErrInternal: an internal invariant broke — a recovered panic
+//     (carried as a *PanicError in the chain), a bound inversion, a
+//     rewrite failure. Like timeouts, internal failures degrade to the
+//     static partition before being surfaced.
+var (
+	ErrInvalid    = errors.New("core: invalid argument")
+	ErrInfeasible = errors.New("core: infeasible")
+	ErrTimeout    = errors.New("core: timeout")
+	ErrInternal   = errors.New("core: internal error")
+)
+
+// PanicError carries a panic recovered at the allocation API boundary
+// (or transported out of a parallel worker). It unwraps to ErrInternal.
+type PanicError struct {
+	Value any    // the original panic value
+	Stack []byte // stack at recovery time
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("core: recovered panic: %v", e.Value)
+}
+
+func (e *PanicError) Unwrap() error { return ErrInternal }
+
+func invalidf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrInvalid, fmt.Sprintf(format, args...))
+}
+
+func infeasiblef(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrInfeasible, fmt.Sprintf(format, args...))
+}
+
+func internalf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrInternal, fmt.Sprintf(format, args...))
+}
+
+// classify maps an error bubbling out of the pipeline's internals onto
+// the taxonomy. Errors already carrying a sentinel pass through; context
+// errors become ErrTimeout; intra's infeasibility marker becomes
+// ErrInfeasible; everything else is an internal failure.
+func classify(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, ErrInvalid), errors.Is(err, ErrInfeasible),
+		errors.Is(err, ErrTimeout), errors.Is(err, ErrInternal):
+		return err
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return fmt.Errorf("%w: %w", ErrTimeout, err)
+	case intra.IsInfeasible(err):
+		return fmt.Errorf("%w: %w", ErrInfeasible, err)
+	default:
+		return fmt.Errorf("%w: %w", ErrInternal, err)
+	}
+}
+
+// recovered converts a recovered panic value into a *PanicError,
+// unwrapping the transport wrapper parallel workers use so the original
+// value and the worker's stack survive.
+func recovered(r any) *PanicError {
+	if p, ok := r.(*parallel.Panic); ok {
+		return &PanicError{Value: p.Value, Stack: p.Stack}
+	}
+	return &PanicError{Value: r, Stack: debug.Stack()}
+}

@@ -1,0 +1,292 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"npra/internal/estimate"
+	"npra/internal/faultinject"
+	"npra/internal/ig"
+	"npra/internal/interp"
+	"npra/internal/ir"
+	"npra/internal/progen"
+)
+
+// mustBounds computes a function's splitting bounds for budget sizing.
+func mustBounds(t *testing.T, f *ir.Func) estimate.Bounds {
+	t.Helper()
+	est, err := estimate.Compute(ig.Analyze(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return est.Bounds
+}
+
+// faultGen is the program shape the fault matrix sweeps: small enough
+// that 200 seeds x every (site, mode) pair stays fast, CSB-dense enough
+// that private registers matter.
+var faultGen = progen.Config{MaxBlocks: 4, MaxInstrs: 6, MaxVars: 6, CSBDensity: 0.3, StoreWindow: 64}
+
+// typedError reports whether err wraps exactly the taxonomy: every error
+// escaping the core API must satisfy errors.Is for one of the four
+// sentinels.
+func typedError(err error) bool {
+	return errors.Is(err, ErrInvalid) || errors.Is(err, ErrInfeasible) ||
+		errors.Is(err, ErrTimeout) || errors.Is(err, ErrInternal)
+}
+
+// assertDifferential runs every thread's original and rewritten code
+// single-threaded and demands observational equivalence — the check that
+// a degraded (or faulted-but-recovered) allocation still computes the
+// same thing. Threads that do not halt within the step budget are
+// skipped (allocation cannot fix divergence).
+func assertDifferential(t *testing.T, funcs []*ir.Func, alloc *Allocation) {
+	t.Helper()
+	const memWords = 64
+	for i, th := range alloc.Threads {
+		r1, err := interp.Run(funcs[i], make([]uint32, memWords), interp.Options{MaxSteps: 20000})
+		if err != nil || !r1.Halted {
+			continue
+		}
+		r2, err := interp.Run(th.F, make([]uint32, memWords), interp.Options{MaxSteps: 200000})
+		if err != nil {
+			t.Errorf("thread %d: rewritten code faulted: %v", i, err)
+			continue
+		}
+		if err := interp.Equivalent(r1, r2); err != nil {
+			t.Errorf("thread %d: allocation changed semantics: %v\noriginal:\n%s\nrewritten:\n%s",
+				i, err, funcs[i].Format(), th.F.Format())
+		}
+	}
+}
+
+// checkOutcome is the fault matrix's single invariant: an AllocateARACtx
+// call under injected faults either returns a verified Allocation
+// (possibly degraded, in which case it must also be semantics-preserving
+// and carry a degradable typed cause) or a typed error. Panics reaching
+// the caller fail the surrounding test via the harness itself.
+func checkOutcome(t *testing.T, funcs []*ir.Func, alloc *Allocation, err error, label string) {
+	t.Helper()
+	if err != nil {
+		if !typedError(err) {
+			t.Errorf("%s: untyped error: %v", label, err)
+		}
+		return
+	}
+	if alloc == nil {
+		t.Errorf("%s: nil allocation with nil error", label)
+		return
+	}
+	if verr := alloc.Verify(); verr != nil {
+		t.Errorf("%s: allocation failed verification: %v", label, verr)
+	}
+	if alloc.Degraded {
+		if alloc.Cause == nil {
+			t.Errorf("%s: degraded without a cause", label)
+		} else if !errors.Is(alloc.Cause, ErrTimeout) && !errors.Is(alloc.Cause, ErrInternal) {
+			t.Errorf("%s: degraded with non-degradable cause: %v", label, alloc.Cause)
+		}
+		assertDifferential(t, funcs, alloc)
+	}
+}
+
+// TestFaultMatrixARA is the differential fuzz harness the failure model
+// is judged by: >= 200 progen seeds, and for each seed every injection
+// site armed in every mode (plus a fault-free baseline). Each run must
+// come back as a verified Allocation or a typed error — never a panic,
+// never an unverified or semantics-changing result.
+func TestFaultMatrixARA(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	const seeds = 200
+	for seed := int64(0); seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		funcs := []*ir.Func{progen.Generate(rng, faultGen), progen.Generate(rng, faultGen)}
+
+		// Budget: the tightest feasible demand, so the greedy loop runs
+		// (arming SitePricing needs reduction rounds) yet the instance
+		// stays allocatable. The static fallback may still be infeasible
+		// at this budget — that exercises the fallback-fails path, which
+		// must surface as a typed error.
+		faultinject.Reset()
+		base, err := AllocateARA(funcs, Config{NReg: tightNReg(t, funcs)})
+		if err != nil {
+			if !typedError(err) {
+				t.Fatalf("seed %d: untyped baseline error: %v", seed, err)
+			}
+			continue // infeasible instance: nothing to compare against
+		}
+		if err := base.Verify(); err != nil {
+			t.Fatalf("seed %d: baseline failed verification: %v", seed, err)
+		}
+		nreg := tightNReg(t, funcs)
+
+		for _, site := range faultinject.Sites() {
+			for _, mode := range faultinject.Modes() {
+				faultinject.Reset()
+				faultinject.Arm(site, faultinject.Plan{Mode: mode, Count: 1, Delay: time.Millisecond})
+				ctx := context.Background()
+				var cancel context.CancelFunc = func() {}
+				if mode == faultinject.Delay {
+					// Pair delays with a deadline so the run either rides
+					// out the sleep or times out into degradation.
+					ctx, cancel = context.WithTimeout(ctx, 5*time.Millisecond)
+				}
+				alloc, err := AllocateARACtx(ctx, funcs, Config{NReg: nreg})
+				cancel()
+				checkOutcome(t, funcs, alloc, err,
+					"seed "+itoa(seed)+" site "+string(site)+" mode "+mode.String())
+			}
+		}
+	}
+	faultinject.Reset()
+}
+
+// TestFaultCombinedDegradeFails arms a primary-path fault together with
+// a fault in the degradation self-check: the fallback itself failing
+// must come back as a typed error carrying the original cause — and in
+// panic mode must not panic the caller.
+func TestFaultCombinedDegradeFails(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	funcs := []*ir.Func{ir.MustParse(fig3t1), ir.MustParse(fig3t2)}
+	for _, verifyMode := range []faultinject.Mode{faultinject.Error, faultinject.Panic} {
+		faultinject.Reset()
+		faultinject.Arm(faultinject.SiteFinalize, faultinject.Plan{Mode: faultinject.Error})
+		faultinject.Arm(faultinject.SiteVerify, faultinject.Plan{Mode: verifyMode})
+		alloc, err := AllocateARA(funcs, Config{NReg: 16})
+		if err == nil {
+			t.Fatalf("verify mode %v: got allocation %+v, want error", verifyMode, alloc)
+		}
+		if !errors.Is(err, ErrInternal) {
+			t.Errorf("verify mode %v: err = %v, want the original ErrInternal cause", verifyMode, err)
+		}
+		if !errors.Is(err, faultinject.ErrInjected) && verifyMode == faultinject.Error {
+			t.Errorf("verify mode %v: err = %v, want injected sentinel in the chain", verifyMode, err)
+		}
+	}
+}
+
+// TestFaultPanicTransportedFromWorker pins the worker-panic path: a
+// panic inside the parallel setup fan-out must surface as a *PanicError
+// in the (degraded) allocation's cause, stack attached, not as a crash.
+func TestFaultPanicTransportedFromWorker(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	funcs := []*ir.Func{ir.MustParse(fig3t1), ir.MustParse(fig3t2)}
+	faultinject.Arm(faultinject.SiteSolve, faultinject.Plan{Mode: faultinject.Panic})
+	alloc, err := AllocateARA(funcs, Config{NReg: 16, Workers: 4})
+	if err != nil {
+		t.Fatalf("expected degradation, got error: %v", err)
+	}
+	if !alloc.Degraded {
+		t.Fatal("allocation not degraded after an injected worker panic")
+	}
+	var pe *PanicError
+	if !errors.As(alloc.Cause, &pe) {
+		t.Fatalf("cause = %v, want a *PanicError in the chain", alloc.Cause)
+	}
+	if _, ok := pe.Value.(*faultinject.InjectedPanic); !ok {
+		t.Errorf("panic value = %v (%T), want *InjectedPanic", pe.Value, pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("no worker stack captured")
+	}
+	if err := alloc.Verify(); err != nil {
+		t.Errorf("degraded allocation failed verification: %v", err)
+	}
+	assertDifferential(t, funcs, alloc)
+}
+
+// TestFaultMatrixSRA sweeps the symmetric allocator the same way (fewer
+// seeds: the SRA sweep exercises one code body).
+func TestFaultMatrixSRA(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		f := progen.Generate(rng, faultGen)
+		funcs := []*ir.Func{f, f}
+		for _, site := range faultinject.Sites() {
+			for _, mode := range faultinject.Modes() {
+				faultinject.Reset()
+				faultinject.Arm(site, faultinject.Plan{Mode: mode, Count: 1, Delay: time.Millisecond})
+				alloc, err := AllocateSRA(f, 2, Config{NReg: 16})
+				checkOutcome(t, funcs, alloc, err,
+					"seed "+itoa(seed)+" site "+string(site)+" mode "+mode.String())
+			}
+		}
+	}
+	faultinject.Reset()
+}
+
+// tightNReg returns the smallest register budget the balancing allocator
+// can in principle reach for funcs: sum of the splitting PR floors plus
+// the largest per-thread remainder. Forces greedy rounds without making
+// the instance infeasible.
+func tightNReg(t *testing.T, funcs []*ir.Func) int {
+	t.Helper()
+	sumMinPR, maxRem := 0, 0
+	for _, f := range funcs {
+		b := mustBounds(t, f)
+		sumMinPR += b.MinPR
+		if rem := b.MinR - b.MinPR; rem > maxRem {
+			maxRem = rem
+		}
+	}
+	if n := sumMinPR + maxRem; n > 0 {
+		return n
+	}
+	return 1
+}
+
+func itoa(n int64) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// FuzzAllocateARA is the native fuzz target: arbitrary seeds and budgets
+// (and a fault plan derived from the seed) must never panic the caller
+// and must keep the verified-or-typed-error contract.
+func FuzzAllocateARA(f *testing.F) {
+	f.Add(int64(1), 32, uint8(0))
+	f.Add(int64(2), 8, uint8(1))
+	f.Add(int64(3), 4, uint8(2))
+	f.Add(int64(42), 16, uint8(3))
+	f.Add(int64(7), 1, uint8(0))
+	f.Add(int64(99), 64, uint8(2))
+	f.Fuzz(func(t *testing.T, seed int64, nreg int, fault uint8) {
+		t.Cleanup(faultinject.Reset)
+		if nreg < 0 || nreg > 512 {
+			nreg %= 512
+		}
+		rng := rand.New(rand.NewSource(seed))
+		funcs := []*ir.Func{progen.Generate(rng, faultGen), progen.Generate(rng, faultGen)}
+
+		// Low two bits pick a site (or none), next two the mode.
+		sites := faultinject.Sites()
+		if s := int(fault & 3); s < len(sites) && fault&0b1100 != 0 {
+			mode := faultinject.Modes()[int(fault>>2&3)%len(faultinject.Modes())]
+			faultinject.Arm(sites[s], faultinject.Plan{Mode: mode, Count: 1, Delay: time.Microsecond})
+		}
+		alloc, err := AllocateARA(funcs, Config{NReg: nreg})
+		if err != nil {
+			if !typedError(err) {
+				t.Fatalf("untyped error: %v", err)
+			}
+			return
+		}
+		if verr := alloc.Verify(); verr != nil {
+			t.Fatalf("unverified allocation: %v", verr)
+		}
+		assertDifferential(t, funcs, alloc)
+	})
+}

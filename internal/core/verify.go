@@ -76,8 +76,12 @@ func (al *Allocation) Verify() error {
 			if !t.F.Instr(p).IsCSB() {
 				continue
 			}
+			across, err := li.LiveAcross(p)
+			if err != nil {
+				return fmt.Errorf("core: thread %d (%s): %w", ti, t.Name, err)
+			}
 			bad := -1
-			li.LiveAcross(p).ForEach(func(r int) {
+			across.ForEach(func(r int) {
 				if bad < 0 && !inPriv(r) {
 					bad = r
 				}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"npra/internal/ir"
+)
+
+// mkVerifyAlloc builds a small, genuinely valid two-thread allocation to
+// mutate; every failure branch below starts from a copy of it.
+func mkVerifyAlloc(t *testing.T) *Allocation {
+	t.Helper()
+	alloc, err := AllocateARA([]*ir.Func{ir.MustParse(fig3t1), ir.MustParse(fig3t2)}, Config{NReg: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alloc.Verify(); err != nil {
+		t.Fatalf("baseline allocation invalid: %v", err)
+	}
+	return alloc
+}
+
+func TestVerifySGROutOfRange(t *testing.T) {
+	alloc := mkVerifyAlloc(t)
+	alloc.SGR = alloc.NReg + 1
+	if err := alloc.Verify(); err == nil || !strings.Contains(err.Error(), "SGR") {
+		t.Errorf("err = %v, want SGR out of range", err)
+	}
+	alloc.SGR = -1
+	if err := alloc.Verify(); err == nil || !strings.Contains(err.Error(), "SGR") {
+		t.Errorf("negative SGR: err = %v", err)
+	}
+}
+
+func TestVerifyOverlappingPrivateBanks(t *testing.T) {
+	alloc := mkVerifyAlloc(t)
+	if len(alloc.Threads) < 2 || alloc.Threads[0].PR == 0 {
+		t.Skip("need two threads with private registers")
+	}
+	// Slide thread 1's bank onto thread 0's.
+	alloc.Threads[1].PrivBase = alloc.Threads[0].PrivBase
+	alloc.Threads[1].PR = alloc.Threads[0].PR
+	err := alloc.Verify()
+	if err == nil || !strings.Contains(err.Error(), "owned by threads") {
+		t.Errorf("err = %v, want overlapping ownership", err)
+	}
+}
+
+func TestVerifyPrivateRangeOutsideFile(t *testing.T) {
+	alloc := mkVerifyAlloc(t)
+	alloc.Threads[0].PrivBase = alloc.NReg // entirely past the file
+	alloc.Threads[0].PR = 2
+	err := alloc.Verify()
+	if err == nil || !strings.Contains(err.Error(), "outside file") {
+		t.Errorf("err = %v, want range outside file", err)
+	}
+}
+
+func TestVerifyPrivateInsideSharedBank(t *testing.T) {
+	alloc := mkVerifyAlloc(t)
+	if alloc.SGR == 0 {
+		t.Skip("no shared bank in baseline allocation")
+	}
+	// Park thread 0's private range on top of the shared bank.
+	alloc.Threads[0].PrivBase = alloc.SharedBase()
+	alloc.Threads[0].PR = 1
+	err := alloc.Verify()
+	if err == nil || !strings.Contains(err.Error(), "shared bank") {
+		t.Errorf("err = %v, want private register inside shared bank", err)
+	}
+}
+
+func TestVerifyUseOutsidePartition(t *testing.T) {
+	alloc := mkVerifyAlloc(t)
+	// Shrink thread 0's recorded bank without touching its code: the
+	// registers the rewritten code actually uses now fall outside what
+	// the allocation claims the thread owns.
+	th := alloc.Threads[0]
+	if th.PR == 0 {
+		t.Skip("thread 0 has no private registers")
+	}
+	th.PR = 0
+	err := alloc.Verify()
+	if err == nil || !(strings.Contains(err.Error(), "outside its partition") ||
+		strings.Contains(err.Error(), "not private")) {
+		t.Errorf("err = %v, want use outside partition", err)
+	}
+}
+
+func TestVerifyNilThreadCode(t *testing.T) {
+	alloc := mkVerifyAlloc(t)
+	alloc.Threads[1].F = nil
+	err := alloc.Verify()
+	if err == nil || !strings.Contains(err.Error(), "no rewritten code") {
+		t.Errorf("err = %v, want missing code", err)
+	}
+}
+
+func TestVerifyLiveAcrossCSBNotPrivate(t *testing.T) {
+	// Hand-build a thread whose rewritten code keeps r5 live across the
+	// ctx, but whose recorded private bank is [0,1): branch 3 of Verify.
+	f := ir.MustParse(`
+func bad
+entry:
+	set r5, 1
+	ctx
+	store [64], r5
+	halt`)
+	f.Physical = true
+	alloc := &Allocation{
+		NReg: 8,
+		SGR:  3, // shared bank [5,8) — r5 is shared, yet live across the ctx
+		Threads: []*ThreadAlloc{{
+			Name: "bad", PR: 1, PrivBase: 0, F: f,
+		}},
+	}
+	err := alloc.Verify()
+	if err == nil || !strings.Contains(err.Error(), "live across") {
+		t.Errorf("err = %v, want live-across violation", err)
+	}
+}

@@ -14,11 +14,23 @@
 package estimate
 
 import (
+	"errors"
 	"fmt"
 
 	"npra/internal/bitset"
 	"npra/internal/ig"
 )
+
+// ErrBoundsInverted reports that the move-free coloring produced bounds
+// below the pressure lower bounds — an internal invariant violation
+// (something upstream mis-analyzed the input), surfaced as a returned
+// error rather than a panic so that library callers can degrade
+// gracefully instead of crashing. Contrast with the programmer-error
+// panics this codebase keeps (e.g. liveness.Compute on an unbuilt
+// function): those fire on API misuse a caller can always avoid, while
+// bound inversion depends on the *input program* and must therefore be
+// reportable.
+var ErrBoundsInverted = errors.New("estimate: bounds inverted")
 
 // Bounds are the register-count bounds for one thread.
 type Bounds struct {
@@ -44,7 +56,7 @@ type Estimate struct {
 // preferring to keep MaxPR minimal because private registers contribute
 // directly to the global register budget while shared registers only
 // matter through the per-PU maximum.
-func Compute(a *ig.Analysis) *Estimate {
+func Compute(a *ig.Analysis) (*Estimate, error) {
 	nv := a.NumVars
 	colors := make([]int, nv)
 	for i := range colors {
@@ -82,13 +94,15 @@ func Compute(a *ig.Analysis) *Estimate {
 		},
 		Colors: colors,
 	}
-	est.reconcile()
-	return est
+	if err := est.reconcile(); err != nil {
+		return nil, err
+	}
+	return est, nil
 }
 
 // ComputeJoint is the ablation variant the paper contrasts with: color the
 // whole GIG at once minimizing MaxR, letting MaxPR land where it may.
-func ComputeJoint(a *ig.Analysis) *Estimate {
+func ComputeJoint(a *ig.Analysis) (*Estimate, error) {
 	nv := a.NumVars
 	colors := make([]int, nv)
 	for i := range colors {
@@ -112,14 +126,18 @@ func ComputeJoint(a *ig.Analysis) *Estimate {
 		},
 		Colors: colors,
 	}
-	est.reconcile()
-	return est
+	if err := est.reconcile(); err != nil {
+		return nil, err
+	}
+	return est, nil
 }
 
 // reconcile enforces the arithmetic relations between the bounds that
 // hold by construction but can be perturbed by degenerate inputs (e.g. a
-// function with no CSBs has MinPR = 0 yet MaxPR = 0 already).
-func (e *Estimate) reconcile() {
+// function with no CSBs has MinPR = 0 yet MaxPR = 0 already). A bound
+// inversion the arithmetic cannot repair is an internal invariant
+// violation and comes back as an error wrapping ErrBoundsInverted.
+func (e *Estimate) reconcile() error {
 	if e.MaxR < e.MaxPR {
 		e.MaxR = e.MaxPR
 	}
@@ -129,11 +147,12 @@ func (e *Estimate) reconcile() {
 	if e.MaxPR < e.MinPR {
 		// The move-free coloring can never beat the CSB pressure bound;
 		// if greedy numbers say otherwise something is wrong upstream.
-		panic(fmt.Sprintf("estimate: MaxPR %d < MinPR %d", e.MaxPR, e.MinPR))
+		return fmt.Errorf("%w: MaxPR %d < MinPR %d", ErrBoundsInverted, e.MaxPR, e.MinPR)
 	}
 	if e.MaxR < e.MinR {
-		panic(fmt.Sprintf("estimate: MaxR %d < MinR %d", e.MaxR, e.MinR))
+		return fmt.Errorf("%w: MaxR %d < MinR %d", ErrBoundsInverted, e.MaxR, e.MinR)
 	}
+	return nil
 }
 
 // repairConflicts fixes same-color GIG edges after the independent BIG and

@@ -1,6 +1,7 @@
 package estimate
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -35,9 +36,27 @@ L2:
 	halt
 `
 
+func mustCompute(t testing.TB, a *ig.Analysis) *Estimate {
+	t.Helper()
+	est, err := Compute(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return est
+}
+
+func mustComputeJoint(t testing.TB, a *ig.Analysis) *Estimate {
+	t.Helper()
+	est, err := ComputeJoint(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return est
+}
+
 func TestFigure3Bounds(t *testing.T) {
 	a := ig.Analyze(ir.MustParse(figure3Thread1))
-	est := Compute(a)
+	est := mustCompute(t, a)
 	if est.MinPR != 1 {
 		t.Errorf("MinPR = %d, want 1 (only a crosses the ctx)", est.MinPR)
 	}
@@ -58,7 +77,7 @@ func TestFigure3Bounds(t *testing.T) {
 
 func TestFigure3Joint(t *testing.T) {
 	a := ig.Analyze(ir.MustParse(figure3Thread1))
-	est := ComputeJoint(a)
+	est := mustComputeJoint(t, a)
 	if est.MaxR != 3 {
 		t.Errorf("joint MaxR = %d, want 3", est.MaxR)
 	}
@@ -106,7 +125,7 @@ a:
 	xor v0, v2, v1
 	halt`)
 	a := ig.Analyze(f)
-	est := Compute(a)
+	est := mustCompute(t, a)
 	if est.MinPR != 0 || est.MaxPR != 0 {
 		t.Errorf("PR bounds = %d/%d, want 0/0 for CSB-free code", est.MinPR, est.MaxPR)
 	}
@@ -119,7 +138,7 @@ a:
 func TestDegenerateTinyFunction(t *testing.T) {
 	f := ir.MustParse("a:\n halt")
 	a := ig.Analyze(f)
-	est := Compute(a)
+	est := mustCompute(t, a)
 	if est.MaxR != 0 || est.MinR != 0 {
 		t.Errorf("empty function bounds: %+v", est.Bounds)
 	}
@@ -132,7 +151,15 @@ func TestQuickEstimationInvariants(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		f := progen.Generate(rng, progen.Default)
 		a := ig.Analyze(f)
-		for _, est := range []*Estimate{Compute(a), ComputeJoint(a)} {
+		pf, err := Compute(a)
+		if err != nil {
+			return false
+		}
+		jt, err := ComputeJoint(a)
+		if err != nil {
+			return false
+		}
+		for _, est := range []*Estimate{pf, jt} {
 			if u, _ := a.GIG.VerifyColoring(est.Colors); u >= 0 {
 				return false
 			}
@@ -163,7 +190,10 @@ func TestQuickMaxPRBounded(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		f := progen.Generate(rng, progen.Default)
 		a := ig.Analyze(f)
-		est := Compute(a)
+		est, err := Compute(a)
+		if err != nil {
+			return false
+		}
 		nb := a.BoundaryNodes().Count()
 		return est.MaxPR <= nb && est.MinPR <= nb
 	}
@@ -181,7 +211,10 @@ func TestQuickBoundsSandwichChromatic(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		f := progen.Generate(rng, small)
 		a := ig.Analyze(f)
-		est := Compute(a)
+		est, err := Compute(a)
+		if err != nil {
+			return false
+		}
 
 		live := a.BoundaryNodes()
 		for v := 0; v < a.NumVars; v++ {
@@ -215,5 +248,27 @@ func TestQuickBoundsSandwichChromatic(t *testing.T) {
 	}
 	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
 		t.Error(err)
+	}
+}
+
+// reconcile repairs the repairable orderings (MaxR >= MaxPR, MinR >=
+// MinPR) and types the two it cannot: a coloring that claims to beat the
+// pressure lower bounds wraps ErrBoundsInverted.
+func TestReconcileBoundsInverted(t *testing.T) {
+	repaired := &Estimate{Bounds: Bounds{MinPR: 2, MinR: 1, MaxPR: 5, MaxR: 3}}
+	if err := repaired.reconcile(); err != nil {
+		t.Fatalf("repairable bounds rejected: %v", err)
+	}
+	if repaired.MaxR != 5 || repaired.MinR != 2 {
+		t.Errorf("bounds not repaired: %+v", repaired.Bounds)
+	}
+	for _, bad := range []Bounds{
+		{MinPR: 6, MinR: 6, MaxPR: 5, MaxR: 8}, // MaxPR < MinPR
+		{MinPR: 2, MinR: 9, MaxPR: 5, MaxR: 8}, // MaxR < MinR
+	} {
+		e := &Estimate{Bounds: bad}
+		if err := e.reconcile(); !errors.Is(err, ErrBoundsInverted) {
+			t.Errorf("bounds %+v: err = %v, want ErrBoundsInverted", bad, err)
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -30,11 +31,17 @@ type AblationEstimationRow struct {
 
 // AblationEstimation runs both estimators on every benchmark, one
 // benchmark per worker task.
-func AblationEstimation(npkts int) []AblationEstimationRow {
-	rows, _ := mapBenches(func(b *bench.Benchmark) (AblationEstimationRow, error) {
+func AblationEstimation(npkts int) ([]AblationEstimationRow, error) {
+	return mapBenches(func(b *bench.Benchmark) (AblationEstimationRow, error) {
 		a := ig.Analyze(b.Gen(npkts))
-		pf := estimate.Compute(a)
-		jt := estimate.ComputeJoint(a)
+		pf, err := estimate.Compute(a)
+		if err != nil {
+			return AblationEstimationRow{}, fmt.Errorf("ablation estimation %s: %w", b.Name, err)
+		}
+		jt, err := estimate.ComputeJoint(a)
+		if err != nil {
+			return AblationEstimationRow{}, fmt.Errorf("ablation estimation %s (joint): %w", b.Name, err)
+		}
 		return AblationEstimationRow{
 			Name:      b.Name,
 			PRFirstPR: pf.MaxPR, PRFirstR: pf.MaxR,
@@ -42,7 +49,6 @@ func AblationEstimation(npkts int) []AblationEstimationRow {
 			PrivateSaved4Threads: NThreads * (jt.MaxPR - pf.MaxPR),
 		}, nil
 	})
-	return rows
 }
 
 // AblationMoveElimRow compares move counts at the minimal register budget
@@ -60,7 +66,10 @@ func AblationMoveElim(npkts int) ([]AblationMoveElimRow, error) {
 	return mapBenches(func(b *bench.Benchmark) (AblationMoveElimRow, error) {
 		f := b.Gen(npkts)
 		moves := func(disable bool) (int, error) {
-			al := intra.New(f)
+			al, err := intra.New(f)
+			if err != nil {
+				return 0, err
+			}
 			al.DisableCoalesce = disable
 			bd := al.Bounds()
 			sol, err := al.Solve(bd.MinPR, bd.MinR-bd.MinPR)
@@ -100,13 +109,18 @@ type AblationSRARow struct {
 func AblationSRA(npkts int) ([]AblationSRARow, error) {
 	return mapBenches(func(b *bench.Benchmark) (AblationSRARow, error) {
 		f := b.Gen(npkts)
-		sra, err := core.AllocateSRA(f, NThreads, core.Config{NReg: NReg, Workers: workers})
+		ctx, cancel := allocCtx()
+		defer cancel()
+		sra, err := core.AllocateSRACtx(ctx, f, NThreads, core.Config{NReg: NReg, Workers: workers})
 		if err != nil {
 			return AblationSRARow{}, fmt.Errorf("ablation SRA %s: %w", b.Name, err)
 		}
-		ara, err := core.AllocateARA(genCopies(b, NThreads, npkts), core.Config{NReg: NReg, Workers: workers})
+		ara, err := core.AllocateARACtx(ctx, genCopies(b, NThreads, npkts), core.Config{NReg: NReg, Workers: workers})
 		if err != nil {
 			return AblationSRARow{}, fmt.Errorf("ablation SRA %s (ARA): %w", b.Name, err)
+		}
+		if sra.Degraded || ara.Degraded {
+			return AblationSRARow{}, fmt.Errorf("ablation SRA %s: allocation degraded; raise -timeout", b.Name)
 		}
 		sraCost, araCost := 0, 0
 		for _, t := range sra.Threads {
@@ -148,7 +162,10 @@ func AblationSpillVsMove(benchName string, npkts int) ([]AblationSpillVsMoveRow,
 		return nil, err
 	}
 	f := b.Gen(npkts)
-	al := intra.New(f)
+	al, err := intra.New(f)
+	if err != nil {
+		return nil, err
+	}
 	bd := al.Bounds()
 
 	var ks []int
@@ -162,7 +179,7 @@ func AblationSpillVsMove(benchName string, npkts int) ([]AblationSpillVsMoveRow,
 	// One budget point per worker task. The splitting side Solves on a
 	// per-task allocator over the shared analysis (the shared `al` is
 	// not safe for concurrent use).
-	return parallel.MapErr(workers, len(ks), func(ki int) (AblationSpillVsMoveRow, error) {
+	return parallel.MapErr(context.Background(), workers, len(ks), func(ki int) (AblationSpillVsMoveRow, error) {
 		k := ks[ki]
 		// Baseline: Chaitin at K registers.
 		phys := make([]ir.Reg, k)
@@ -188,7 +205,11 @@ func AblationSpillVsMove(benchName string, npkts int) ([]AblationSpillVsMoveRow,
 			SpillCycles: chRes.Threads[0].CyclesPerIter(),
 			Moves:       -1,
 		}
-		if sol, err := intra.NewFromAnalysis(al.A).Solve(k, 0); err == nil {
+		kal, err := intra.NewFromAnalysis(al.A)
+		if err != nil {
+			return AblationSpillVsMoveRow{}, err
+		}
+		if sol, err := kal.Solve(k, 0); err == nil {
 			mf, stats, err := intra.Rewrite(sol.Ctx, phys[:sol.Ctx.Size])
 			if err != nil {
 				return AblationSpillVsMoveRow{}, err
@@ -220,7 +241,7 @@ type AblationLatencyRow struct {
 // point per worker task.
 func AblationLatency(npkts int) ([]AblationLatencyRow, error) {
 	lats := []int64{5, 10, 20, 40}
-	return parallel.MapErr(workers, len(lats), func(li int) (AblationLatencyRow, error) {
+	return parallel.MapErr(context.Background(), workers, len(lats), func(li int) (AblationLatencyRow, error) {
 		lat := lats[li]
 		mk := func() []*ir.Func {
 			md, _ := bench.Get("md5")
@@ -265,9 +286,13 @@ func AblationLatency(npkts int) ([]AblationLatencyRow, error) {
 func FormatAblations(npkts int) (string, error) {
 	var sb strings.Builder
 
+	est, err := AblationEstimation(npkts)
+	if err != nil {
+		return "", err
+	}
 	sb.WriteString("Ablation A: bound estimation — minimize MaxPR first (paper Fig.7) vs plain GIG coloring\n")
 	fmt.Fprintf(&sb, "%-14s %12s %12s %14s\n", "benchmark", "PR-first", "joint", "priv saved x4")
-	for _, r := range AblationEstimation(npkts) {
+	for _, r := range est {
 		fmt.Fprintf(&sb, "%-14s %5d/%-5d %6d/%-5d %10d\n",
 			r.Name, r.PRFirstPR, r.PRFirstR, r.JointPR, r.JointR, r.PrivateSaved4Threads)
 	}
@@ -463,7 +488,10 @@ func AblationWeighting(npkts int) ([]AblationWeightingRow, error) {
 			w[p] = li.PointWeight(p)
 		}
 		solve := func(weighted bool) (*intra.Solution, error) {
-			al := intra.New(f)
+			al, err := intra.New(f)
+			if err != nil {
+				return nil, err
+			}
 			if weighted {
 				al.UseLoopWeights()
 			}
@@ -554,9 +582,14 @@ func AblationThreads(npkts int) ([]AblationThreadsRow, error) {
 	}
 	var rows []AblationThreadsRow
 	for _, nthd := range []int{2, 4, 8} {
-		alloc, err := core.AllocateSRA(md.Gen(npkts), nthd, core.Config{NReg: NReg})
+		ctx, cancel := allocCtx()
+		alloc, err := core.AllocateSRACtx(ctx, md.Gen(npkts), nthd, core.Config{NReg: NReg})
+		cancel()
 		if err != nil {
 			return nil, fmt.Errorf("ablation threads %d: %w", nthd, err)
+		}
+		if alloc.Degraded {
+			return nil, fmt.Errorf("ablation threads %d: allocation degraded (%v); raise -timeout", nthd, alloc.Cause)
 		}
 		if err := alloc.Verify(); err != nil {
 			return nil, err

@@ -3,7 +3,10 @@ package experiments
 import "testing"
 
 func TestAblationEstimation(t *testing.T) {
-	rows := AblationEstimation(testPackets)
+	rows, err := AblationEstimation(testPackets)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 11 {
 		t.Fatalf("rows = %d", len(rows))
 	}

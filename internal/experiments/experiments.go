@@ -13,7 +13,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"npra/internal/bench"
 	"npra/internal/chaitin"
@@ -50,6 +52,30 @@ func SetWorkers(n int) {
 	workers = n
 }
 
+// timeout is the per-allocation deadline applied to every core
+// allocator invocation in this package; 0 means none.
+var timeout time.Duration
+
+// SetTimeout sets a per-allocation deadline for the experiments
+// (d <= 0 disables it). When a deadline expires the core allocator
+// degrades to the static partition; the experiments treat that as an
+// error rather than silently reporting fallback numbers as the paper's.
+// Not safe to call concurrently with a running experiment.
+func SetTimeout(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	timeout = d
+}
+
+// allocCtx returns the context every core allocation runs under.
+func allocCtx() (context.Context, context.CancelFunc) {
+	if timeout <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), timeout)
+}
+
 // baselineThreads allocates one function per hardware thread with the
 // baseline Chaitin allocator in its fixed 32-register partition and
 // returns simulator threads (no register protection needed — partitions
@@ -84,9 +110,15 @@ func baselineThreads(funcs []*ir.Func) ([]*sim.Thread, []*chaitin.Result, error)
 // allocator and returns simulator threads with private-range protection
 // armed, plus the allocation.
 func sharingThreads(funcs []*ir.Func) ([]*sim.Thread, *core.Allocation, error) {
-	alloc, err := core.AllocateARA(funcs, core.Config{NReg: NReg, Workers: workers})
+	ctx, cancel := allocCtx()
+	defer cancel()
+	alloc, err := core.AllocateARACtx(ctx, funcs, core.Config{NReg: NReg, Workers: workers})
 	if err != nil {
 		return nil, nil, err
+	}
+	if alloc.Degraded {
+		return nil, nil, fmt.Errorf(
+			"allocation degraded to the static partition (%v); raise -timeout to measure true sharing", alloc.Cause)
 	}
 	if err := alloc.Verify(); err != nil {
 		return nil, nil, fmt.Errorf("allocation failed verification: %w", err)
@@ -115,7 +147,7 @@ func runSim(threads []*sim.Thread) (*sim.Result, error) {
 // touch shared mutable state.
 func mapBenches[T any](fn func(b *bench.Benchmark) (T, error)) ([]T, error) {
 	all := bench.All()
-	return parallel.MapErr(workers, len(all), func(i int) (T, error) {
+	return parallel.MapErr(context.Background(), workers, len(all), func(i int) (T, error) {
 		return fn(all[i])
 	})
 }

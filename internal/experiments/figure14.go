@@ -59,7 +59,10 @@ func Figure14(npkts int) ([]Figure14Row, error) {
 // zeroMoveSRA finds the smallest register footprint 4*PR+SR reachable
 // without inserting any move instruction.
 func zeroMoveSRA(f *ir.Func) (pr, sr int, err error) {
-	al := intra.New(f)
+	al, err := intra.New(f)
+	if err != nil {
+		return 0, 0, err
+	}
 	b := al.Bounds()
 	bestTotal := -1
 	for p := b.MinPR; p <= b.MaxPR; p++ {

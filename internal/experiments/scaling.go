@@ -53,9 +53,14 @@ func ClusterScaling(npkts int, occupancy int64) ([]ScalingRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	alloc, err := core.AllocateSRA(prog, NThreads, core.Config{NReg: NReg})
+	ctx, cancel := allocCtx()
+	alloc, err := core.AllocateSRACtx(ctx, prog, NThreads, core.Config{NReg: NReg})
+	cancel()
 	if err != nil {
 		return nil, err
+	}
+	if alloc.Degraded {
+		return nil, fmt.Errorf("scaling: allocation degraded (%v); raise -timeout", alloc.Cause)
 	}
 	if err := alloc.Verify(); err != nil {
 		return nil, err

@@ -35,7 +35,10 @@ func Table1(npkts int) ([]Table1Row, error) {
 		f := b.Gen(npkts)
 		st := f.Stats()
 		a := ig.Analyze(f)
-		est := estimate.Compute(a)
+		est, err := estimate.Compute(a)
+		if err != nil {
+			return Table1Row{}, fmt.Errorf("table1 %s: %w", b.Name, err)
+		}
 
 		threads, _, err := baselineThreads(genCopies(b, NThreads, npkts))
 		if err != nil {

@@ -27,7 +27,10 @@ type Table2Row struct {
 func Table2(npkts int) ([]Table2Row, error) {
 	return mapBenches(func(b *bench.Benchmark) (Table2Row, error) {
 		f := b.Gen(npkts)
-		al := intra.New(f)
+		al, err := intra.New(f)
+		if err != nil {
+			return Table2Row{}, fmt.Errorf("table2 %s: %w", b.Name, err)
+		}
 		bd := al.Bounds()
 		sol, err := al.Solve(bd.MinPR, bd.MinR-bd.MinPR)
 		if err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -70,7 +71,7 @@ var scenarios = []struct {
 // spilling versus the cross-thread balancing allocator, both simulated —
 // one scenario per worker task.
 func Table3(npkts int) ([]Table3Scenario, error) {
-	rows, err := parallel.MapErr(workers, len(scenarios), func(i int) (*Table3Scenario, error) {
+	rows, err := parallel.MapErr(context.Background(), workers, len(scenarios), func(i int) (*Table3Scenario, error) {
 		sc := scenarios[i]
 		return runScenario(sc.name, sc.desc, sc.benches, sc.critical, npkts)
 	})

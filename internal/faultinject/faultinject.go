@@ -1,0 +1,198 @@
+// Package faultinject provides deterministic, named fault-injection
+// sites for the allocation pipeline. Production code registers a site at
+// each hot-path seam with a single Fire call; tests arm a site in one of
+// three modes (error, panic, delay) and assert that the pipeline's
+// failure handling — typed errors, panic recovery, deadline checks,
+// graceful degradation — holds under the injected fault.
+//
+// The disarmed fast path is one atomic load, so the seams are safe to
+// keep in release builds. Arming is process-global and guarded by a
+// mutex; injection order is deterministic for serial callers (a site
+// fires on its hit counter, not on wall-clock), and for parallel callers
+// the *set* of fired hits is deterministic once Count hits are consumed.
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mode selects what an armed site does when hit.
+type Mode uint8
+
+const (
+	// Off disables the site (same as never arming it).
+	Off Mode = iota
+	// Error makes Fire return an error wrapping ErrInjected.
+	Error
+	// Panic makes Fire panic with an *InjectedPanic.
+	Panic
+	// Delay makes Fire sleep for the plan's Delay (or until ctx is
+	// done, in which case it returns ctx.Err()).
+	Delay
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Off:
+		return "off"
+	case Error:
+		return "error"
+	case Panic:
+		return "panic"
+	case Delay:
+		return "delay"
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// Modes lists the active (non-Off) modes, for harnesses that sweep them.
+func Modes() []Mode { return []Mode{Error, Panic, Delay} }
+
+// Site names one injection seam. The allocation pipeline registers the
+// four seams below; other packages may declare their own.
+type Site string
+
+const (
+	// SiteSolve fires before each initial per-thread Solve (ARA setup
+	// fan-out) and before each sweep-point Solve (SRA) — inside a
+	// parallel worker, so panic mode exercises worker recovery.
+	SiteSolve Site = "core.solve"
+	// SitePricing fires before each thread's candidate pricing in every
+	// greedy reduction round.
+	SitePricing Site = "core.pricing"
+	// SiteFinalize fires before the physical mapping / rewrite stage of
+	// the primary allocation path (the degraded fallback path does not
+	// pass through it).
+	SiteFinalize Site = "core.finalize"
+	// SiteVerify fires inside the degraded-fallback self-check, modeling
+	// a failure of the degradation path itself.
+	SiteVerify Site = "core.verify"
+)
+
+// Sites lists the pipeline's registered seams, for harnesses.
+func Sites() []Site { return []Site{SiteSolve, SitePricing, SiteFinalize, SiteVerify} }
+
+// ErrInjected is the sentinel wrapped by every Error-mode injection.
+var ErrInjected = errors.New("faultinject: injected failure")
+
+// InjectedPanic is the value Panic-mode injections panic with.
+type InjectedPanic struct{ Site Site }
+
+func (p *InjectedPanic) String() string {
+	return fmt.Sprintf("faultinject: injected panic at %s", p.Site)
+}
+
+// Plan configures one armed site.
+type Plan struct {
+	Mode Mode
+	// After skips the first After hits; the site fires on every hit
+	// beyond that. 0 means fire on the first hit.
+	After int
+	// Count, when > 0, bounds how many times the site fires; later hits
+	// pass through. 0 means fire on every hit past After.
+	Count int
+	// Delay is the sleep duration for Delay mode.
+	Delay time.Duration
+}
+
+type armedSite struct {
+	plan  Plan
+	hits  int
+	fired int
+}
+
+var (
+	armedCount atomic.Int32
+	mu         sync.Mutex
+	sites      = make(map[Site]*armedSite)
+)
+
+// Arm installs plan at site, replacing any previous plan. Arming with
+// Mode Off disarms the site.
+func Arm(site Site, plan Plan) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := sites[site]; ok {
+		delete(sites, site)
+		armedCount.Add(-1)
+	}
+	if plan.Mode == Off {
+		return
+	}
+	sites[site] = &armedSite{plan: plan}
+	armedCount.Add(1)
+}
+
+// Reset disarms every site and clears all counters.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	armedCount.Add(-int32(len(sites)))
+	sites = make(map[Site]*armedSite)
+}
+
+// Enabled reports whether any site is armed (one atomic load).
+func Enabled() bool { return armedCount.Load() > 0 }
+
+// Hits returns how many times site has been hit and how many times it
+// actually fired since it was armed.
+func Hits(site Site) (hits, fired int) {
+	mu.Lock()
+	defer mu.Unlock()
+	if s, ok := sites[site]; ok {
+		return s.hits, s.fired
+	}
+	return 0, 0
+}
+
+// Fire is the seam call. Disarmed (the common case) it is a single
+// atomic load returning nil. Armed, it consults the site's plan:
+// Error mode returns an error wrapping ErrInjected, Panic mode panics
+// with an *InjectedPanic, Delay mode sleeps for the planned duration or
+// until ctx is done (returning ctx.Err() in that case). ctx may be nil,
+// which Delay mode treats as no cancellation.
+func Fire(ctx context.Context, site Site) error {
+	if armedCount.Load() == 0 {
+		return nil
+	}
+	mu.Lock()
+	s, ok := sites[site]
+	if !ok {
+		mu.Unlock()
+		return nil
+	}
+	s.hits++
+	if s.hits <= s.plan.After || (s.plan.Count > 0 && s.fired >= s.plan.Count) {
+		mu.Unlock()
+		return nil
+	}
+	s.fired++
+	plan := s.plan
+	mu.Unlock()
+
+	switch plan.Mode {
+	case Error:
+		return fmt.Errorf("%w: site %s", ErrInjected, site)
+	case Panic:
+		panic(&InjectedPanic{Site: site})
+	case Delay:
+		if ctx == nil {
+			time.Sleep(plan.Delay)
+			return nil
+		}
+		t := time.NewTimer(plan.Delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisarmedFireIsNil(t *testing.T) {
+	Reset()
+	if Enabled() {
+		t.Fatal("Enabled after Reset")
+	}
+	if err := Fire(context.Background(), SiteSolve); err != nil {
+		t.Fatalf("disarmed Fire = %v", err)
+	}
+}
+
+func TestErrorMode(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm(SiteSolve, Plan{Mode: Error})
+	if !Enabled() {
+		t.Fatal("not Enabled after Arm")
+	}
+	err := Fire(context.Background(), SiteSolve)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	// Other sites stay quiet.
+	if err := Fire(context.Background(), SitePricing); err != nil {
+		t.Errorf("unarmed site fired: %v", err)
+	}
+	h, f := Hits(SiteSolve)
+	if h != 1 || f != 1 {
+		t.Errorf("hits/fired = %d/%d, want 1/1", h, f)
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm(SitePricing, Plan{Mode: Panic})
+	defer func() {
+		r := recover()
+		p, ok := r.(*InjectedPanic)
+		if !ok {
+			t.Fatalf("recovered %T, want *InjectedPanic", r)
+		}
+		if p.Site != SitePricing {
+			t.Errorf("panic site = %s", p.Site)
+		}
+	}()
+	Fire(context.Background(), SitePricing)
+	t.Fatal("Fire returned")
+}
+
+func TestAfterAndCount(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm(SiteFinalize, Plan{Mode: Error, After: 2, Count: 1})
+	var errs int
+	for i := 0; i < 5; i++ {
+		if Fire(context.Background(), SiteFinalize) != nil {
+			errs++
+			if i != 2 {
+				t.Errorf("fired on hit %d, want hit 2 only", i)
+			}
+		}
+	}
+	if errs != 1 {
+		t.Errorf("fired %d times, want 1", errs)
+	}
+	h, f := Hits(SiteFinalize)
+	if h != 5 || f != 1 {
+		t.Errorf("hits/fired = %d/%d, want 5/1", h, f)
+	}
+}
+
+func TestDelayModeHonorsContext(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm(SiteSolve, Plan{Mode: Delay, Delay: time.Hour})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := Fire(ctx, SiteSolve)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Errorf("Fire blocked %v past the deadline", el)
+	}
+}
+
+func TestDelayModeNilContext(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm(SiteSolve, Plan{Mode: Delay, Delay: time.Millisecond})
+	if err := Fire(nil, SiteSolve); err != nil {
+		t.Fatalf("nil-ctx delay Fire = %v", err)
+	}
+}
+
+func TestRearmAndDisarm(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm(SiteVerify, Plan{Mode: Error})
+	Arm(SiteVerify, Plan{Mode: Off}) // disarm via Off
+	if Enabled() {
+		t.Fatal("Enabled after disarming the only site")
+	}
+	if err := Fire(context.Background(), SiteVerify); err != nil {
+		t.Fatalf("disarmed Fire = %v", err)
+	}
+}

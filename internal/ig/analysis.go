@@ -76,7 +76,10 @@ func analyzeWith(f *ir.Func, live *liveness.Info, regions *nsr.Info) *Analysis {
 		at.ForEach(func(v int) { a.Regions[v].Add(r) })
 	}
 	for _, p := range regions.CSBs {
-		across := live.LiveAcross(p)
+		across, err := live.LiveAcross(p)
+		if err != nil {
+			continue // unreachable: regions.CSBs holds only CSB points
+		}
 		a.BIG.AddClique(across)
 		across.ForEach(func(v int) {
 			a.Boundary[v] = true

@@ -74,20 +74,36 @@ type Solution struct {
 	Cost   int // moves the rewriter will insert
 }
 
-// New analyzes f and returns an allocator for it.
-func New(f *ir.Func) *Allocator {
+// New analyzes f and returns an allocator for it. The error path is the
+// bound-estimation invariant check (estimate.ErrBoundsInverted); inputs
+// that analyze cleanly never fail.
+func New(f *ir.Func) (*Allocator, error) {
 	return NewFromAnalysis(ig.Analyze(f))
 }
 
+// MustNew is New for known-good inputs (tests, examples, benchmarks);
+// it panics on estimation failure.
+func MustNew(f *ir.Func) *Allocator {
+	al, err := New(f)
+	if err != nil {
+		panic("intra: MustNew: " + err.Error())
+	}
+	return al
+}
+
 // NewFromAnalysis returns an allocator over an existing analysis.
-func NewFromAnalysis(a *ig.Analysis) *Allocator {
+func NewFromAnalysis(a *ig.Analysis) (*Allocator, error) {
+	est, err := estimate.Compute(a)
+	if err != nil {
+		return nil, err
+	}
 	return &Allocator{
-		F: a.F, A: a, Est: estimate.Compute(a),
+		F: a.F, A: a, Est: est,
 		memo:    make(map[[2]int]*Context),
 		memoErr: make(map[[2]int]error),
 		sols:    make(map[[2]int]*Solution),
 		solErrs: make(map[[2]int]error),
-	}
+	}, nil
 }
 
 // Bounds returns the thread's register requirement bounds.

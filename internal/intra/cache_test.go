@@ -20,7 +20,7 @@ entry:
 `
 
 func TestSolveCacheHitsAndMisses(t *testing.T) {
-	al := New(ir.MustParse(cacheTestSrc))
+	al := MustNew(ir.MustParse(cacheTestSrc))
 	b := al.Bounds()
 
 	s1, err := al.Solve(b.MinPR, b.MinR-b.MinPR)
@@ -53,7 +53,7 @@ func TestSolveCacheHitsAndMisses(t *testing.T) {
 }
 
 func TestSolveCachesInfeasibility(t *testing.T) {
-	al := New(ir.MustParse(cacheTestSrc))
+	al := MustNew(ir.MustParse(cacheTestSrc))
 
 	_, err1 := al.Solve(-1, 0)
 	if err1 == nil {

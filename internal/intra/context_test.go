@@ -12,7 +12,10 @@ import (
 func mkCtx(t *testing.T, src string) (*ig.Analysis, *Context) {
 	t.Helper()
 	a := ig.Analyze(ir.MustParse(src))
-	est := estimate.Compute(a)
+	est, err := estimate.Compute(a)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ctx := newContext(a, est.Colors, est.MaxPR, est.MaxR, nil)
 	if err := ctx.Validate(); err != nil {
 		t.Fatalf("fresh context invalid: %v", err)

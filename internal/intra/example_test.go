@@ -21,7 +21,7 @@ entry:
 	store [0], v2
 	halt`)
 
-	al := intra.New(f)
+	al := intra.MustNew(f)
 	b := al.Bounds()
 	fmt.Printf("bounds: MinPR=%d MinR=%d MaxPR=%d MaxR=%d\n",
 		b.MinPR, b.MinR, b.MaxPR, b.MaxR)

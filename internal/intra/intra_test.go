@@ -43,7 +43,7 @@ func physIdentity(n int) []ir.Reg {
 }
 
 func TestFigure3MoveFree(t *testing.T) {
-	al := New(ir.MustParse(figure3Thread1))
+	al := MustNew(ir.MustParse(figure3Thread1))
 	b := al.Bounds()
 	if b.MinPR != 1 || b.MinR != 2 || b.MaxPR != 1 || b.MaxR != 3 {
 		t.Fatalf("bounds = %+v", b)
@@ -61,7 +61,7 @@ func TestFigure3MoveFree(t *testing.T) {
 }
 
 func TestFigure3SplitToTwoRegisters(t *testing.T) {
-	al := New(ir.MustParse(figure3Thread1))
+	al := MustNew(ir.MustParse(figure3Thread1))
 	// The paper's headline for this example: down to 2 total registers
 	// via live-range splitting (Figure 3.c uses a single inserted move).
 	sol, err := al.Solve(1, 1)
@@ -104,7 +104,7 @@ func TestFigure3SplitToTwoRegisters(t *testing.T) {
 }
 
 func TestInfeasibleBudget(t *testing.T) {
-	al := New(ir.MustParse(figure3Thread1))
+	al := MustNew(ir.MustParse(figure3Thread1))
 	if _, err := al.Solve(1, 0); err == nil {
 		t.Errorf("Solve(1,0) succeeded below MinR")
 	} else if !IsInfeasible(err) {
@@ -116,7 +116,7 @@ func TestInfeasibleBudget(t *testing.T) {
 }
 
 func TestGenerousBudgetIsFree(t *testing.T) {
-	al := New(ir.MustParse(figure3Thread1))
+	al := MustNew(ir.MustParse(figure3Thread1))
 	sol, err := al.Solve(20, 20)
 	if err != nil {
 		t.Fatalf("Solve(20,20): %v", err)
@@ -127,7 +127,7 @@ func TestGenerousBudgetIsFree(t *testing.T) {
 }
 
 func TestSolveOrderIndependence(t *testing.T) {
-	mk := func() *Allocator { return New(ir.MustParse(figure3Thread1)) }
+	mk := func() *Allocator { return MustNew(ir.MustParse(figure3Thread1)) }
 	a1 := mk()
 	s1a, err := a1.Solve(1, 1)
 	if err != nil {
@@ -248,7 +248,7 @@ func TestQuickSolveRewriteEquivalence(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		fun := progen.Generate(rng, progen.Default)
-		al := New(fun)
+		al := MustNew(fun)
 		b := al.Bounds()
 
 		// Random budget between the minima and a bit above the maxima.
@@ -302,7 +302,7 @@ func TestQuickLowerBoundReachable(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		fun := progen.Generate(rng, progen.Default)
-		al := New(fun)
+		al := MustNew(fun)
 		b := al.Bounds()
 		sol, err := al.Solve(b.MinPR, b.MinR-b.MinPR)
 		if err != nil {
@@ -322,7 +322,7 @@ func TestQuickStructuredEquivalence(t *testing.T) {
 	check := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		fun := progen.GenerateStructured(rng, progen.DefaultStructured)
-		al := New(fun)
+		al := MustNew(fun)
 		b := al.Bounds()
 		pr := b.MinPR + rng.Intn(b.MaxPR-b.MinPR+2)
 		minSR := b.MinR - pr
@@ -372,7 +372,7 @@ func TestQuickWeightedObjective(t *testing.T) {
 	check := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		fun := progen.GenerateStructured(rng, progen.DefaultStructured)
-		al := New(fun)
+		al := MustNew(fun)
 		al.UseLoopWeights()
 		b := al.Bounds()
 		sol, err := al.Solve(b.MinPR, b.MinR-b.MinPR)
@@ -434,7 +434,7 @@ entry:
 			if err != nil || !r1.Halted {
 				t.Fatal("reference run failed")
 			}
-			al := New(ir.MustParse(src))
+			al := MustNew(ir.MustParse(src))
 			b := al.Bounds()
 			for pr := b.MinPR; pr <= b.MaxPR+1; pr++ {
 				for sr := 0; sr <= b.MaxR-b.MinPR+1; sr++ {

@@ -6,9 +6,19 @@
 package liveness
 
 import (
+	"errors"
+	"fmt"
+
 	"npra/internal/bitset"
 	"npra/internal/ir"
 )
+
+// ErrNotCSB reports a LiveAcross query at a program point that is not a
+// context-switch boundary. It is returned (not panicked) because callers
+// legitimately iterate over points whose CSB-ness is data-dependent; the
+// remaining panic in this package (Compute on an unbuilt function) is
+// pure API misuse and stays a panic by design.
+var ErrNotCSB = errors.New("liveness: LiveAcross at non-CSB point")
 
 // Info holds liveness facts for one function. Sets are indexed by global
 // program point (instruction index); set elements are register numbers.
@@ -109,19 +119,20 @@ func Compute(f *ir.Func) *Info {
 // switch at CSB point p: everything live-out of p except the register
 // defined by p itself. (A load's destination is delivered through the
 // transfer registers and written at resume time, so it is not live across
-// the switch — paper §3.2.) The result aliases internal storage; callers
-// must not modify it.
-func (li *Info) LiveAcross(p int) bitset.Set {
+// the switch — paper §3.2.) Querying a non-CSB point returns an error
+// wrapping ErrNotCSB. The result aliases internal storage; callers must
+// not modify it.
+func (li *Info) LiveAcross(p int) (bitset.Set, error) {
 	inst := li.F.Instr(p)
 	if !inst.IsCSB() {
-		panic("liveness: LiveAcross at non-CSB point")
+		return nil, fmt.Errorf("%w: point %d", ErrNotCSB, p)
 	}
 	if inst.Def == ir.NoReg || !li.Out[p].Has(int(inst.Def)) {
-		return li.Out[p]
+		return li.Out[p], nil
 	}
 	s := li.Out[p].Clone()
 	s.Remove(int(inst.Def))
-	return s
+	return s, nil
 }
 
 // PressureMax returns RegPmax: the maximum number of co-live variables at
@@ -149,7 +160,11 @@ func (li *Info) CSBPressureMax() int {
 		if !li.F.Instr(p).IsCSB() {
 			continue
 		}
-		if c := li.LiveAcross(p).Count(); c > max {
+		across, err := li.LiveAcross(p)
+		if err != nil {
+			continue // unreachable: guarded by IsCSB above
+		}
+		if c := across.Count(); c > max {
 			max = c
 		}
 	}

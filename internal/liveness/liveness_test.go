@@ -1,6 +1,7 @@
 package liveness
 
 import (
+	"errors"
 	"testing"
 
 	"npra/internal/ir"
@@ -44,7 +45,10 @@ func TestPaperExample(t *testing.T) {
 	if ctxP < 0 {
 		t.Fatal("no ctx instruction")
 	}
-	across := li.LiveAcross(ctxP)
+	across, err := li.LiveAcross(ctxP)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !across.Has(0) {
 		t.Errorf("a (v0) not live across ctx")
 	}
@@ -78,7 +82,10 @@ a:
 	if f.Instr(loadP).Op != ir.OpLoad {
 		t.Fatal("layout changed")
 	}
-	across := li.LiveAcross(loadP)
+	across, err := li.LiveAcross(loadP)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if across.Has(1) {
 		t.Errorf("load destination v1 counted as live across its own CSB")
 	}
@@ -164,5 +171,20 @@ func TestPointsPartition(t *testing.T) {
 	}
 	if total != sum {
 		t.Errorf("points total %d != At total %d", total, sum)
+	}
+}
+
+// LiveAcross is only defined at context-switch boundaries; asking about
+// any other point is a caller bug surfaced as a typed error, not a panic.
+func TestLiveAcrossNonCSB(t *testing.T) {
+	f := ir.MustParse(paperThread1)
+	li := Compute(f)
+	for p := 0; p < f.NumPoints(); p++ {
+		if f.Instr(p).IsCSB() {
+			continue
+		}
+		if _, err := li.LiveAcross(p); !errors.Is(err, ErrNotCSB) {
+			t.Fatalf("point %d (%v): err = %v, want ErrNotCSB", p, f.Instr(p).Op, err)
+		}
 	}
 }

@@ -17,12 +17,16 @@ import (
 // Text renders the statistics block for one function.
 func Text(f *ir.Func) string {
 	a := ig.Analyze(f)
-	est := estimate.Compute(a)
 	li := loops.Compute(f)
 	st := f.Stats()
 
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "function %s\n", f.Name)
+	est, estErr := estimate.Compute(a)
+	if estErr != nil {
+		fmt.Fprintf(&sb, "  estimation failed: %v\n", estErr)
+		est = &estimate.Estimate{}
+	}
 	fmt.Fprintf(&sb, "  instructions     %d (%d blocks, %d branches)\n", st.Instructions, st.Blocks, st.Branches)
 	fmt.Fprintf(&sb, "  context switches %d (%.1f%% of instructions)\n",
 		st.CSBs, 100*float64(st.CSBs)/float64(st.Instructions))

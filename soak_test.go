@@ -52,7 +52,7 @@ func TestSoakFullPipeline(t *testing.T) {
 		// reduction loop and live-range splitting genuinely fire.
 		sumMinPR, maxMinSR := 0, 0
 		for _, f := range funcs {
-			bd := intra.New(f).Bounds()
+			bd := intra.MustNew(f).Bounds()
 			sumMinPR += bd.MinPR
 			if sr := bd.MinR - bd.MinPR; sr > maxMinSR {
 				maxMinSR = sr
