@@ -28,6 +28,17 @@ race:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzAllocateARA -fuzztime 10s ./internal/core/
 
+# The guarded allocator benchmarks and their invocation. `make bench`
+# runs them 5x with allocation stats and emits a candidate baseline;
+# `make benchcmp` runs them once and fails if any guarded ns/op regressed
+# more than 10% against the committed BENCH_alloc.json.
+BENCH_PATTERN = BenchmarkAllocateARA|BenchmarkSolveCached|BenchmarkColdSolve
+BENCH_ARGS    = -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 10x -benchmem .
+
 .PHONY: bench
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkAllocateARA|BenchmarkSolveCached' -benchtime 10x .
+	$(GO) test $(BENCH_ARGS) -count 5 | $(GO) run ./internal/tools/benchcmp -emit BENCH_alloc.candidate.json
+
+.PHONY: benchcmp
+benchcmp:
+	$(GO) test $(BENCH_ARGS) -count 3 | $(GO) run ./internal/tools/benchcmp -baseline BENCH_alloc.json

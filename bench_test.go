@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"npra/internal/bench"
+	"npra/internal/bitset"
 	"npra/internal/chaitin"
 	"npra/internal/core"
 	"npra/internal/estimate"
@@ -210,6 +211,44 @@ func BenchmarkIntraSolveMin(b *testing.B) {
 		bd := al.Bounds()
 		if _, err := al.Solve(bd.MinPR, bd.MinR-bd.MinPR); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkColdSolve measures the cold path the warm-start machinery
+// optimizes: estimation plus the full chain derivation down to the
+// minimum budget, with nothing memoized (a fresh allocator per
+// iteration over a shared analysis, so analysis cost is excluded).
+func BenchmarkColdSolve(b *testing.B) {
+	a := ig.Analyze(md5Func(b))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		al, err := intra.NewFromAnalysis(a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bd := al.Bounds()
+		if _, err := al.Solve(bd.MinPR, bd.MinR-bd.MinPR); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSmallestLast measures the smallest-last ordering kernel on
+// the md5 global interference graph (the dominant cost inside bound
+// estimation).
+func BenchmarkSmallestLast(b *testing.B) {
+	a := ig.Analyze(md5Func(b))
+	members := bitset.New(a.NumVars)
+	for v := 0; v < a.NumVars; v++ {
+		if a.Alive[v] {
+			members.Add(v)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ord := a.GIG.SmallestLastOrder(members); len(ord) == 0 {
+			b.Fatal("empty order")
 		}
 	}
 }

@@ -11,6 +11,8 @@
 //	npbench -ablations           # ablation studies
 //	npbench -list                # list the built-in benchmarks
 //	npbench -all -j 1            # serial run (output identical to -j N)
+//	npbench -phases              # per-phase allocation timing breakdown
+//	npbench -all -cpuprofile cpu.pb.gz   # profile any run with pprof
 package main
 
 import (
@@ -18,39 +20,99 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	rtrace "runtime/trace"
+	"time"
 
 	"npra/internal/bench"
+	"npra/internal/core"
 	"npra/internal/experiments"
+	"npra/internal/ir"
 )
 
 func main() {
 	var (
-		table     = flag.Int("table", 0, "regenerate table 1, 2 or 3")
-		figure    = flag.Int("figure", 0, "regenerate figure 14")
-		ablations = flag.Bool("ablations", false, "run the ablation studies")
-		scaling   = flag.Bool("scaling", false, "run the chip-scaling study (multi-PU, shared memory)")
-		all       = flag.Bool("all", false, "run everything")
-		list      = flag.Bool("list", false, "list built-in benchmarks")
-		packets   = flag.Int("packets", experiments.DefaultPackets, "packets per thread")
-		jobs      = flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for experiment fan-out (1 = serial; results are identical for any value)")
-		timeout   = flag.Duration("timeout", 0, "per-allocation deadline (0 = none); expired allocations abort the experiment rather than report fallback numbers")
+		table      = flag.Int("table", 0, "regenerate table 1, 2 or 3")
+		figure     = flag.Int("figure", 0, "regenerate figure 14")
+		ablations  = flag.Bool("ablations", false, "run the ablation studies")
+		scaling    = flag.Bool("scaling", false, "run the chip-scaling study (multi-PU, shared memory)")
+		all        = flag.Bool("all", false, "run everything")
+		list       = flag.Bool("list", false, "list built-in benchmarks")
+		phases     = flag.Bool("phases", false, "run a pressured ARA allocation and print the per-phase timing breakdown")
+		packets    = flag.Int("packets", experiments.DefaultPackets, "packets per thread")
+		jobs       = flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for experiment fan-out (1 = serial; results are identical for any value)")
+		timeout    = flag.Duration("timeout", 0, "per-allocation deadline (0 = none); expired allocations abort the experiment rather than report fallback numbers")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		traceFile  = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
 	experiments.SetWorkers(*jobs)
 	experiments.SetTimeout(*timeout)
-	if err := run(*table, *figure, *ablations, *scaling, *all, *list, *packets); err != nil {
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "npbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "npbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "npbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := rtrace.Start(f); err != nil {
+			fmt.Fprintln(os.Stderr, "npbench:", err)
+			os.Exit(1)
+		}
+		defer rtrace.Stop()
+	}
+
+	err := run(*table, *figure, *ablations, *scaling, *all, *list, *phases, *packets)
+
+	if *memprofile != "" {
+		f, ferr := os.Create(*memprofile)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "npbench:", ferr)
+		} else {
+			runtime.GC()
+			if werr := pprof.WriteHeapProfile(f); werr != nil {
+				fmt.Fprintln(os.Stderr, "npbench:", werr)
+			}
+			f.Close()
+		}
+	}
+	if err != nil {
+		if *cpuprofile != "" {
+			pprof.StopCPUProfile()
+		}
+		if *traceFile != "" {
+			rtrace.Stop()
+		}
 		fmt.Fprintln(os.Stderr, "npbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table, figure int, ablations, scaling, all, list bool, packets int) error {
+func run(table, figure int, ablations, scaling, all, list, phases bool, packets int) error {
 	if list {
 		fmt.Println("built-in benchmarks:")
 		for _, b := range bench.All() {
 			fmt.Printf("  %-14s [%-9s] %s\n", b.Name, b.Suite, b.Description)
 		}
 		return nil
+	}
+	if phases {
+		return runPhases(packets)
 	}
 	ran := false
 	if all || table == 1 {
@@ -106,7 +168,43 @@ func run(table, figure int, ablations, scaling, all, list bool, packets int) err
 		ran = true
 	}
 	if !ran {
-		return fmt.Errorf("nothing to do: pass -all, -table N, -figure 14, -ablations, -scaling or -list")
+		return fmt.Errorf("nothing to do: pass -all, -table N, -figure 14, -ablations, -scaling, -phases or -list")
 	}
+	return nil
+}
+
+// runPhases performs one pressured ARA allocation (the BenchmarkAllocateARA
+// workload: two md5 threads plus two fir2dim threads squeezed into 56
+// registers) and prints where the wall-clock time went, phase by phase.
+func runPhases(packets int) error {
+	var funcs []*ir.Func
+	for _, n := range []string{"md5", "md5", "fir2dim", "fir2dim"} {
+		b, err := bench.Get(n)
+		if err != nil {
+			return err
+		}
+		funcs = append(funcs, b.Gen(packets))
+	}
+	const pressureNReg = 56 // forces greedy reduction rounds
+	start := time.Now()
+	alloc, err := core.AllocateARA(funcs, core.Config{NReg: pressureNReg})
+	total := time.Since(start)
+	if err != nil {
+		return err
+	}
+	ph := alloc.Phases
+	fmt.Printf("phase breakdown: 2x md5 + 2x fir2dim, %d packets, NReg=%d\n\n", packets, pressureNReg)
+	row := func(name string, ns int64) {
+		fmt.Printf("  %-22s %12s  %5.1f%%\n", name, time.Duration(ns), 100*float64(ns)/float64(total.Nanoseconds()))
+	}
+	row("analysis (build)", ph.BuildNS)
+	row("estimate: merge", ph.MergeNS)
+	row("estimate: repair", ph.RepairNS)
+	row("chain coloring", ph.ColorNS)
+	row("rewrite", ph.RewriteNS)
+	row("other (greedy loop &c)", total.Nanoseconds()-ph.TotalNS())
+	fmt.Printf("  %-22s %12s\n\n", "total", total)
+	fmt.Printf("  chain steps: %d   candidate trials: %d   solve-cache hit rate: %.1f%%\n",
+		ph.ChainSteps, ph.Trials, 100*alloc.SolveCache.HitRate())
 	return nil
 }

@@ -123,6 +123,52 @@ func (s Set) ForEach(fn func(i int)) {
 	}
 }
 
+// NextSet returns the smallest element >= i, or -1 if there is none. It
+// is the closure-free iteration primitive for hot loops:
+//
+//	for v := s.NextSet(0); v >= 0; v = s.NextSet(v + 1) { ... }
+//
+// visits the same elements as ForEach but allows early exit and keeps
+// the loop body inlinable.
+func (s Set) NextSet(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	wi := i >> 6
+	if wi >= len(s) {
+		return -1
+	}
+	w := s[wi] &^ (1<<(uint(i)&63) - 1)
+	for {
+		if w != 0 {
+			return wi<<6 + bits.TrailingZeros64(w)
+		}
+		wi++
+		if wi >= len(s) {
+			return -1
+		}
+		w = s[wi]
+	}
+}
+
+// OrCount returns |s ∪ t| without materializing the union.
+func (s Set) OrCount(t Set) int {
+	n := 0
+	for i, w := range s {
+		n += bits.OnesCount64(w | t[i])
+	}
+	return n
+}
+
+// AndNotCount returns |s \ t| without materializing the difference.
+func (s Set) AndNotCount(t Set) int {
+	n := 0
+	for i, w := range s {
+		n += bits.OnesCount64(w &^ t[i])
+	}
+	return n
+}
+
 // Elems appends the elements in ascending order to buf and returns it.
 func (s Set) Elems(buf []int) []int {
 	s.ForEach(func(i int) { buf = append(buf, i) })

@@ -136,3 +136,137 @@ func TestQuickCounts(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Property: NextSet iteration visits exactly the elements ForEach visits,
+// in the same ascending order, for random sets and the edge shapes the
+// hot loops rely on (empty, full, single bits straddling word borders).
+func TestQuickNextSetMatchesForEach(t *testing.T) {
+	check := func(t *testing.T, s Set) {
+		t.Helper()
+		var want []int
+		s.ForEach(func(i int) { want = append(want, i) })
+		var got []int
+		for v := s.NextSet(0); v >= 0; v = s.NextSet(v + 1) {
+			got = append(got, v)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("NextSet visited %d elems, ForEach %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("elem %d: NextSet %d, ForEach %d", i, got[i], want[i])
+			}
+		}
+		elems := s.Elems(nil)
+		if len(elems) != len(want) {
+			t.Fatalf("Elems returned %d elems, ForEach %d", len(elems), len(want))
+		}
+		for i := range elems {
+			if elems[i] != want[i] {
+				t.Fatalf("elem %d: Elems %d, ForEach %d", i, elems[i], want[i])
+			}
+		}
+		// Probing from every offset must return the next element >= offset.
+		n := len(s) * 64
+		wi := 0
+		for off := 0; off <= n; off++ {
+			for wi < len(want) && want[wi] < off {
+				wi++
+			}
+			want1 := -1
+			if wi < len(want) {
+				want1 = want[wi]
+			}
+			if got1 := s.NextSet(off); got1 != want1 {
+				t.Fatalf("NextSet(%d) = %d, want %d", off, got1, want1)
+			}
+		}
+	}
+
+	for _, n := range []int{1, 63, 64, 65, 130, 200} {
+		s := New(n)
+		t.Run("empty", func(t *testing.T) { check(t, s) })
+		full := New(n)
+		for i := 0; i < n; i++ {
+			full.Add(i)
+		}
+		t.Run("full", func(t *testing.T) { check(t, full) })
+		for _, bit := range []int{0, 62, 63, 64, 65, n - 1} {
+			if bit < 0 || bit >= n {
+				continue
+			}
+			one := New(n)
+			one.Add(bit)
+			check(t, one)
+		}
+	}
+
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		s := New(n)
+		for i := 0; i < rng.Intn(2*n); i++ {
+			s.Add(rng.Intn(n))
+		}
+		var want []int
+		s.ForEach(func(i int) { want = append(want, i) })
+		j := 0
+		for v := s.NextSet(0); v >= 0; v = s.NextSet(v + 1) {
+			if j >= len(want) || want[j] != v {
+				return false
+			}
+			j++
+		}
+		return j == len(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the fused counting kernels agree with materializing the set
+// operation and counting.
+func TestQuickFusedCounts(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		a, b := New(n), New(n)
+		for i := 0; i < rng.Intn(2*n); i++ {
+			a.Add(rng.Intn(n))
+		}
+		for i := 0; i < rng.Intn(2*n); i++ {
+			b.Add(rng.Intn(n))
+		}
+		u := a.Clone()
+		u.Or(b)
+		if a.OrCount(b) != u.Count() {
+			return false
+		}
+		d := a.Clone()
+		d.AndNot(b)
+		return a.AndNotCount(b) == d.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+
+	// Edge shapes: empty vs empty, full vs full, full vs empty.
+	for _, n := range []int{1, 64, 65, 192} {
+		empty, full := New(n), New(n)
+		for i := 0; i < n; i++ {
+			full.Add(i)
+		}
+		if empty.OrCount(empty) != 0 || empty.AndNotCount(empty) != 0 {
+			t.Fatalf("n=%d: empty/empty counts wrong", n)
+		}
+		if full.OrCount(full) != n || full.AndNotCount(full) != 0 {
+			t.Fatalf("n=%d: full/full counts wrong", n)
+		}
+		if full.OrCount(empty) != n || full.AndNotCount(empty) != n {
+			t.Fatalf("n=%d: full/empty counts wrong", n)
+		}
+		if empty.OrCount(full) != n || empty.AndNotCount(full) != 0 {
+			t.Fatalf("n=%d: empty/full counts wrong", n)
+		}
+	}
+}

@@ -35,6 +35,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"npra/internal/estimate"
 	"npra/internal/faultinject"
@@ -98,6 +99,11 @@ type Allocation struct {
 	// SolveCache aggregates the Solve-point cache counters of every
 	// intra-thread allocator this allocation consulted.
 	SolveCache intra.CacheStats
+
+	// Phases aggregates the per-phase wall-clock breakdown (analysis,
+	// estimation, chain coloring, rewriting) across the same allocators,
+	// plus the rewrite time spent in finalize.
+	Phases intra.PhaseStats
 }
 
 // TotalRegisters returns sum(PR) + SGR, the register-file footprint.
@@ -429,6 +435,7 @@ func allocateARA(ctx context.Context, funcs []*ir.Func, cfg Config) (*Allocation
 	}
 	for _, g := range groups {
 		alloc.SolveCache.Add(als[g[0]].CacheStats())
+		alloc.Phases.Add(als[g[0]].PhaseStats())
 	}
 	return alloc, nil
 }
@@ -471,7 +478,9 @@ func finalize(ctx context.Context, funcs []*ir.Func, als []*intra.Allocator, pr,
 				phys[c] = ir.Reg(sharedBase + (c - pr[i]))
 			}
 		}
+		rwStart := time.Now()
 		nf, stats, err := intra.Rewrite(sctx, phys)
+		alloc.Phases.RewriteNS += time.Since(rwStart).Nanoseconds()
 		if err != nil {
 			return nil, internalf("thread %d (%s): rewrite: %v", i, funcs[i].Name, err)
 		}
@@ -643,6 +652,7 @@ func allocateSRA(ctx context.Context, f *ir.Func, nthd int, cfg Config) (*Alloca
 	}
 	for _, sal := range sweepAls {
 		alloc.SolveCache.Add(sal.CacheStats())
+		alloc.Phases.Add(sal.PhaseStats())
 	}
 	return alloc, nil
 }

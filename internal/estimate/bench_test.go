@@ -1,0 +1,66 @@
+package estimate
+
+import (
+	"math/rand"
+	"testing"
+
+	"npra/internal/ig"
+	"npra/internal/passes"
+	"npra/internal/progen"
+)
+
+// BenchmarkConflictRepair isolates step 3 of the Figure 7 estimator: the
+// conflict-edge repair that runs after the independent BIG and IIG
+// colorings are merged. The workload replays steps 1-2 once per function
+// and re-runs the repair from the saved merged coloring each iteration.
+func BenchmarkConflictRepair(b *testing.B) {
+	cfg := progen.StructuredConfig{
+		MaxDepth: 3, MaxBodyLen: 14, MaxTripCnt: 4, MaxVars: 16,
+		CSBDensity: 0.25, StoreWindow: 128,
+	}
+	rng := rand.New(rand.NewSource(7))
+	type work struct {
+		a      *ig.Analysis
+		merged []int
+	}
+	var workload []work
+	for i := 0; i < 8; i++ {
+		c := cfg
+		c.StoreBase = int64(i * 256)
+		f := progen.GenerateStructured(rng, c)
+		opt, _, err := passes.Optimize(f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a := ig.Analyze(opt)
+
+		// Steps 1-2: independent BIG + per-IIG colorings, pre-repair.
+		colors := make([]int, a.NumVars)
+		for v := range colors {
+			colors[v] = -1
+		}
+		bnodes := a.BoundaryNodes()
+		bOrder := a.BIG.SmallestLastOrder(bnodes)
+		colors, _ = a.BIG.GreedyColorMasked(bOrder, colors, bnodes)
+		for _, members := range a.IIGMembers() {
+			if members.Empty() {
+				continue
+			}
+			order := a.GIG.SmallestLastOrder(members)
+			colors, _ = a.GIG.GreedyColorMasked(order, colors, members)
+		}
+		workload = append(workload, work{a: a, merged: colors})
+	}
+
+	scratch := make([]int, 0, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, w := range workload {
+			scratch = append(scratch[:0], w.merged...)
+			repairConflicts(w.a, scratch)
+			if u, _ := w.a.GIG.VerifyColoring(scratch); u >= 0 {
+				b.Fatal("repair left a conflict")
+			}
+		}
+	}
+}

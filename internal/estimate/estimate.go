@@ -16,6 +16,7 @@ package estimate
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"npra/internal/bitset"
 	"npra/internal/ig"
@@ -51,18 +52,34 @@ type Estimate struct {
 	Colors []int
 }
 
+// Stats reports where one bound estimation spent its time, split along
+// the two phases of the paper's Figure 7: the independent BIG + IIG
+// greedy colorings ("merge") and the conflict-edge repair that follows.
+type Stats struct {
+	MergeNS  int64 // BIG coloring + per-NSR IIG colorings
+	RepairNS int64 // conflict-edge repair after the merge
+}
+
 // Compute runs the paper's Figure 7 algorithm: color the BIG minimally,
 // color each IIG independently, merge, and repair conflict edges —
 // preferring to keep MaxPR minimal because private registers contribute
 // directly to the global register budget while shared registers only
 // matter through the per-PU maximum.
 func Compute(a *ig.Analysis) (*Estimate, error) {
+	est, _, err := ComputeWithStats(a)
+	return est, err
+}
+
+// ComputeWithStats is Compute plus per-phase wall-clock attribution.
+func ComputeWithStats(a *ig.Analysis) (*Estimate, Stats, error) {
+	var stats Stats
 	nv := a.NumVars
 	colors := make([]int, nv)
 	for i := range colors {
 		colors[i] = -1
 	}
 
+	start := time.Now()
 	// Step 1: color the BIG (boundary-interference edges only).
 	bnodes := a.BoundaryNodes()
 	bOrder := a.BIG.SmallestLastOrder(bnodes)
@@ -77,12 +94,15 @@ func Compute(a *ig.Analysis) (*Estimate, error) {
 		order := a.GIG.SmallestLastOrder(members)
 		colors, _ = a.GIG.GreedyColorMasked(order, colors, members)
 	}
+	stats.MergeNS = time.Since(start).Nanoseconds()
 
+	start = time.Now()
 	// Step 3: merge — repair every GIG edge whose endpoints collide.
 	// Repairs pick colors free among *all* currently-colored GIG
 	// neighbors, so they never create new conflicts and the loop
 	// terminates.
 	repairConflicts(a, colors)
+	stats.RepairNS = time.Since(start).Nanoseconds()
 
 	maxPR, maxR := normalize(a, colors)
 	est := &Estimate{
@@ -95,9 +115,9 @@ func Compute(a *ig.Analysis) (*Estimate, error) {
 		Colors: colors,
 	}
 	if err := est.reconcile(); err != nil {
-		return nil, err
+		return nil, stats, err
 	}
-	return est, nil
+	return est, stats, nil
 }
 
 // ComputeJoint is the ablation variant the paper contrasts with: color the
@@ -162,7 +182,15 @@ func (e *Estimate) reconcile() error {
 // neighbor, and as a last resort give the internal endpoint a fresh color
 // (growing MaxR) or — for boundary/boundary conflicts — the boundary
 // endpoint a fresh color (growing MaxPR).
+//
+// The loop resumes the conflict scan at the node where the last conflict
+// was found instead of restarting at node 0: every repair except the
+// boundary/boundary last resort picks a color free among *all* colored GIG
+// neighbors (or a globally fresh color), so the already-verified prefix
+// can never become dirty. Only the `colors[t] = bp` last resort may reuse
+// a color held by an internal node elsewhere, forcing a full rescan.
 func repairConflicts(a *ig.Analysis, colors []int) {
+	st := newRepairState(a, colors)
 	boundaryPalette := func() int {
 		// Current number of colors in use by boundary nodes, as palette
 		// ceiling for boundary recoloring.
@@ -174,11 +202,13 @@ func repairConflicts(a *ig.Analysis, colors []int) {
 		}
 		return max + 1
 	}
+	from := 0
 	for {
-		u, v := a.GIG.VerifyColoring(colors)
+		u, v := a.GIG.VerifyColoringFrom(colors, from)
 		if u < 0 {
 			return
 		}
+		from = u // prefix [0,u) proven clean; safe repairs preserve it
 		// Make u the preferred node to recolor: internal beats boundary.
 		s, t := u, v // s boundary-ish, t internal-ish
 		if a.Boundary[u] && !a.Boundary[v] {
@@ -189,33 +219,34 @@ func repairConflicts(a *ig.Analysis, colors []int) {
 		switch {
 		case a.Boundary[s] && !a.Boundary[t]:
 			bp := boundaryPalette()
-			if tryRecolor(a, colors, s, bp) {
+			if st.tryRecolor(s, bp) {
 				continue
 			}
-			if tryRecolor(a, colors, t, maxColor(colors)+1) {
+			if st.tryRecolor(t, maxColor(colors)+1) {
 				continue
 			}
-			if tryNeighborRecolor(a, colors, t) {
+			if st.tryNeighborRecolor(t) {
 				continue
 			}
 			colors[t] = maxColor(colors) + 1 // fresh color: MaxR grows
 		case !a.Boundary[s] && !a.Boundary[t]:
-			if tryRecolor(a, colors, t, maxColor(colors)+1) {
+			if st.tryRecolor(t, maxColor(colors)+1) {
 				continue
 			}
-			if tryNeighborRecolor(a, colors, t) {
+			if st.tryNeighborRecolor(t) {
 				continue
 			}
 			colors[t] = maxColor(colors) + 1
 		default: // both boundary
 			bp := boundaryPalette()
-			if tryRecolor(a, colors, s, bp) {
+			if st.tryRecolor(s, bp) {
 				continue
 			}
-			if tryRecolor(a, colors, t, bp) {
+			if st.tryRecolor(t, bp) {
 				continue
 			}
 			colors[t] = bp // fresh boundary color: MaxPR grows
+			from = 0       // bp may collide with an internal node anywhere
 		}
 	}
 }
@@ -230,39 +261,93 @@ func maxColor(colors []int) int {
 	return max
 }
 
+// repairState carries the scratch buffers one repairConflicts run reuses
+// across every recolor probe: a color-usage bitmap and a per-color blocker
+// table, both sized by the color-space bound (at most one color per node).
+// The maps they replace were the dominant allocation source of the repair
+// phase.
+type repairState struct {
+	a      *ig.Analysis
+	colors []int
+	used   []bool  // color -> used by a neighbor (cleared after each probe)
+	cnt    []int32 // color -> number of blocking neighbors
+	blk    []int32 // color -> one blocking neighbor (valid when cnt == 1)
+}
+
+func newRepairState(a *ig.Analysis, colors []int) *repairState {
+	n := a.NumVars
+	return &repairState{
+		a:      a,
+		colors: colors,
+		used:   make([]bool, n+2),
+		cnt:    make([]int32, n+2),
+		blk:    make([]int32, n+2),
+	}
+}
+
 // tryRecolor gives node n a color in [0, limit) unused by any colored GIG
 // neighbor, reporting success.
-func tryRecolor(a *ig.Analysis, colors []int, n, limit int) bool {
-	used := neighborColors(a, colors, n)
-	for c := 0; c < limit; c++ {
-		if c != colors[n] && !used[c] {
-			colors[n] = c
-			return true
+func (st *repairState) tryRecolor(n, limit int) bool {
+	c := st.freeColorFor(n, limit, -1)
+	if c < 0 {
+		return false
+	}
+	st.colors[n] = c
+	return true
+}
+
+// freeColorFor returns the lowest color in [0, limit) that differs from
+// w's current color and from exclude and is unused by any colored GIG
+// neighbor of w, or -1. The st.used scratch is cleared before returning.
+func (st *repairState) freeColorFor(w, limit, exclude int) int {
+	used, colors := st.used, st.colors
+	adj := st.a.GIG.Neighbors(w)
+	for x := adj.NextSet(0); x >= 0; x = adj.NextSet(x + 1) {
+		if c := colors[x]; c >= 0 {
+			used[c] = true
 		}
 	}
-	return false
+	res := -1
+	for c := 0; c < limit; c++ {
+		if c != exclude && c != colors[w] && !used[c] {
+			res = c
+			break
+		}
+	}
+	for x := adj.NextSet(0); x >= 0; x = adj.NextSet(x + 1) {
+		if c := colors[x]; c >= 0 {
+			used[c] = false
+		}
+	}
+	return res
 }
 
 // tryNeighborRecolor attempts the paper's heuristic: find a color c' such
 // that exactly one neighbor w of n blocks c', and w itself can move to a
 // different color; then shift w and take c'.
-func tryNeighborRecolor(a *ig.Analysis, colors []int, n int) bool {
+func (st *repairState) tryNeighborRecolor(n int) bool {
+	a, colors := st.a, st.colors
 	limit := maxColor(colors) + 1
-	blockers := make(map[int][]int) // color -> blocking neighbors
-	a.GIG.Neighbors(n).ForEach(func(w int) {
-		if colors[w] >= 0 {
-			blockers[colors[w]] = append(blockers[colors[w]], w)
+	cnt, blk := st.cnt, st.blk
+	adj := a.GIG.Neighbors(n)
+	for w := adj.NextSet(0); w >= 0; w = adj.NextSet(w + 1) {
+		if c := colors[w]; c >= 0 {
+			cnt[c]++
+			blk[c] = int32(w)
 		}
-	})
+	}
+	clear := func() {
+		for w := adj.NextSet(0); w >= 0; w = adj.NextSet(w + 1) {
+			if c := colors[w]; c >= 0 {
+				cnt[c] = 0
+			}
+		}
+	}
 	for c := 0; c < limit; c++ {
-		if c == colors[n] {
+		if c == colors[n] || cnt[c] != 1 {
 			continue
 		}
-		bl := blockers[c]
-		if len(bl) != 1 {
-			continue
-		}
-		w := bl[0]
+		w := int(blk[c])
 		wLimit := limit
 		if a.Boundary[w] {
 			// Boundary neighbors may only move within the boundary
@@ -275,26 +360,15 @@ func tryNeighborRecolor(a *ig.Analysis, colors []int, n int) bool {
 				}
 			}
 		}
-		wUsed := neighborColors(a, colors, w)
-		for cw := 0; cw < wLimit; cw++ {
-			if cw != c && cw != colors[w] && !wUsed[cw] {
-				colors[w] = cw
-				colors[n] = c
-				return true
-			}
+		if cw := st.freeColorFor(w, wLimit, c); cw >= 0 {
+			clear() // keys off colors[w]: must run before the mutation
+			colors[w] = cw
+			colors[n] = c
+			return true
 		}
 	}
+	clear()
 	return false
-}
-
-func neighborColors(a *ig.Analysis, colors []int, n int) map[int]bool {
-	used := make(map[int]bool)
-	a.GIG.Neighbors(n).ForEach(func(w int) {
-		if colors[w] >= 0 {
-			used[colors[w]] = true
-		}
-	})
-	return used
 }
 
 // normalize relabels colors so that the colors used by boundary nodes form

@@ -40,6 +40,14 @@ type Analysis struct {
 
 	// BIG has an edge {u,v} iff u and v are both live across the same CSB.
 	BIG *Graph
+
+	// VarEdges[v] lists the CFG edges v's value flows along, flattened
+	// as (p, q) point pairs: q is a successor of p with v live-out of p
+	// and live-in to q. The intra-thread allocator prices the move cost
+	// of a piece partition per variable from this list; computing it
+	// once here lets cost evaluation after a split touch only the
+	// variables the split changed instead of re-walking every edge.
+	VarEdges [][]int32
 }
 
 // Analyze runs liveness, NSR construction and interference-graph building
@@ -73,7 +81,24 @@ func analyzeWith(f *ir.Func, live *liveness.Info, regions *nsr.Info) *Analysis {
 		at := live.At[p]
 		a.GIG.AddClique(at)
 		r := regions.Region[p]
-		at.ForEach(func(v int) { a.Regions[v].Add(r) })
+		for v := at.NextSet(0); v >= 0; v = at.NextSet(v + 1) {
+			a.Regions[v].Add(r)
+		}
+	}
+	// Per-variable flow edges (see the VarEdges field comment).
+	a.VarEdges = make([][]int32, nv)
+	var succs []int
+	for p := 0; p < np; p++ {
+		succs = f.PointSuccs(p, succs[:0])
+		out := live.Out[p]
+		for _, q := range succs {
+			in := live.In[q]
+			for v := out.NextSet(0); v >= 0; v = out.NextSet(v + 1) {
+				if in.Has(v) {
+					a.VarEdges[v] = append(a.VarEdges[v], int32(p), int32(q))
+				}
+			}
+		}
 	}
 	for _, p := range regions.CSBs {
 		across, err := live.LiveAcross(p)

@@ -26,20 +26,27 @@ func (g *Graph) ExactChromatic(members bitset.Set, maxNodes int) int {
 		return -1
 	}
 
-	// Index compaction + adjacency matrix for speed.
-	idx := make(map[int]int, len(nodes))
+	// Index compaction + adjacency matrix for speed. The node-id ->
+	// compact-index map is a dense slice keyed by node id (-1 for
+	// non-members): node ids are small integers, and the map version
+	// churned on every adjacency probe.
+	idx := make([]int32, g.N)
+	for i := range idx {
+		idx[i] = -1
+	}
 	for i, v := range nodes {
-		idx[v] = i
+		idx[v] = int32(i)
 	}
 	n := len(nodes)
 	adj := make([][]bool, n)
 	for i, v := range nodes {
 		adj[i] = make([]bool, n)
-		g.adj[v].ForEach(func(w int) {
-			if j, ok := idx[w]; ok {
+		row := g.adj[v]
+		for w := row.NextSet(0); w >= 0; w = row.NextSet(w + 1) {
+			if j := idx[w]; j >= 0 {
 				adj[i][j] = true
 			}
-		})
+		}
 	}
 
 	// Order nodes by degree descending: fail fast.

@@ -6,6 +6,7 @@
 package ig
 
 import (
+	"math/bits"
 	"sort"
 
 	"npra/internal/bitset"
@@ -44,24 +45,43 @@ func (g *Graph) Neighbors(u int) bitset.Set { return g.adj[u] }
 // Degree returns the number of neighbors of u.
 func (g *Graph) Degree(u int) int { return g.adj[u].Count() }
 
-// AddClique inserts all pairwise edges among the members of s.
+// AddClique inserts all pairwise edges among the members of s. The
+// insertion is word-level: every member's adjacency row ORs in the whole
+// member set at once (minus the self-loop bit) instead of pairwise
+// AddEdge calls.
 func (g *Graph) AddClique(s bitset.Set) {
-	var members []int
-	members = s.Elems(members)
-	for i, u := range members {
-		for _, v := range members[i+1:] {
-			g.AddEdge(u, v)
+	for u := s.NextSet(0); u >= 0; u = s.NextSet(u + 1) {
+		adj := g.adj[u]
+		n := len(s)
+		if n > len(adj) {
+			n = len(adj)
 		}
+		for i := 0; i < n; i++ {
+			adj[i] |= s[i]
+		}
+		adj.Remove(u)
 	}
 }
 
-// Edges returns the number of edges.
+// Edges returns the number of edges, counted in a single word-level
+// popcount pass over the adjacency storage.
 func (g *Graph) Edges() int {
 	total := 0
 	for _, a := range g.adj {
-		total += a.Count()
+		for _, w := range a {
+			total += bits.OnesCount64(w)
+		}
 	}
 	return total / 2
+}
+
+// Reset empties every adjacency row in place so the graph's storage can
+// be reused for a fresh build (repeated Analyze-style construction
+// without reallocating N row sets).
+func (g *Graph) Reset() {
+	for _, a := range g.adj {
+		a.Clear()
+	}
 }
 
 // SmallestLastOrder returns the nodes of the induced subgraph on `members`
@@ -70,28 +90,24 @@ func (g *Graph) Edges() int {
 // interval and chordal graphs, and ≤ degeneracy+1 colors in general).
 // If members is nil, all nodes participate.
 func (g *Graph) SmallestLastOrder(members bitset.Set) []int {
+	memberSet := members
+	if memberSet == nil {
+		memberSet = bitset.New(g.N)
+		for i := 0; i < g.N; i++ {
+			memberSet.Add(i)
+		}
+	}
 	in := make([]bool, g.N)
 	var nodes []int
-	if members == nil {
-		for i := 0; i < g.N; i++ {
-			in[i] = true
-			nodes = append(nodes, i)
-		}
-	} else {
-		members.ForEach(func(i int) {
-			in[i] = true
-			nodes = append(nodes, i)
-		})
+	for i := memberSet.NextSet(0); i >= 0; i = memberSet.NextSet(i + 1) {
+		in[i] = true
+		nodes = append(nodes, i)
 	}
+	// Subgraph degrees via word-level intersection counts, not a
+	// per-neighbor membership scan.
 	deg := make([]int, g.N)
 	for _, u := range nodes {
-		d := 0
-		g.adj[u].ForEach(func(v int) {
-			if in[v] {
-				d++
-			}
-		})
-		deg[u] = d
+		deg[u] = g.adj[u].IntersectCount(memberSet)
 	}
 	removed := make([]bool, g.N)
 	order := make([]int, 0, len(nodes))
@@ -104,11 +120,12 @@ func (g *Graph) SmallestLastOrder(members bitset.Set) []int {
 		}
 		removed[best] = true
 		order = append(order, best)
-		g.adj[best].ForEach(func(v int) {
+		adj := g.adj[best]
+		for v := adj.NextSet(0); v >= 0; v = adj.NextSet(v + 1) {
 			if in[v] && !removed[v] {
 				deg[v]--
 			}
-		})
+		}
 	}
 	// Reverse: color highest-degeneracy nodes first.
 	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
@@ -142,11 +159,12 @@ func (g *Graph) GreedyColor(order []int, colors []int) ([]int, int) {
 		for i := range used {
 			used[i] = false
 		}
-		g.adj[u].ForEach(func(v int) {
+		adj := g.adj[u]
+		for v := adj.NextSet(0); v >= 0; v = adj.NextSet(v + 1) {
 			if c := colors[v]; c >= 0 && c < len(used) {
 				used[c] = true
 			}
-		})
+		}
 		c := 0
 		for used[c] {
 			c++
@@ -179,14 +197,15 @@ func (g *Graph) GreedyColorMasked(order []int, colors []int, mask bitset.Set) ([
 		for i := range used {
 			used[i] = false
 		}
-		g.adj[u].ForEach(func(v int) {
+		adj := g.adj[u]
+		for v := adj.NextSet(0); v >= 0; v = adj.NextSet(v + 1) {
 			if !mask.Has(v) {
-				return
+				continue
 			}
 			if c := colors[v]; c >= 0 && c < len(used) {
 				used[c] = true
 			}
-		})
+		}
 		c := 0
 		for used[c] {
 			c++
@@ -203,18 +222,25 @@ func (g *Graph) GreedyColorMasked(order []int, colors []int, mask bitset.Set) ([
 // share a color, or (-1, -1) if the coloring is proper. Nodes colored -1
 // are ignored.
 func (g *Graph) VerifyColoring(colors []int) (int, int) {
-	for u := 0; u < g.N; u++ {
+	return g.VerifyColoringFrom(colors, 0)
+}
+
+// VerifyColoringFrom is VerifyColoring restricted to conflicts whose
+// lower endpoint is >= from. Repair loops that prove the prefix clean
+// use it to resume scanning instead of restarting at node 0.
+func (g *Graph) VerifyColoringFrom(colors []int, from int) (int, int) {
+	if from < 0 {
+		from = 0
+	}
+	for u := from; u < g.N; u++ {
 		if colors[u] < 0 {
 			continue
 		}
-		conflict := -1
-		g.adj[u].ForEach(func(v int) {
-			if conflict < 0 && v > u && colors[v] == colors[u] {
-				conflict = v
+		adj := g.adj[u]
+		for v := adj.NextSet(u + 1); v >= 0; v = adj.NextSet(v + 1) {
+			if colors[v] == colors[u] {
+				return u, v
 			}
-		})
-		if conflict >= 0 {
-			return u, conflict
 		}
 	}
 	return -1, -1

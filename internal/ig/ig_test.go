@@ -209,3 +209,58 @@ func TestBIGSubsetOfGIG(t *testing.T) {
 		}
 	}
 }
+
+// TestEdgesAndReset checks the popcount edge counter against a naive
+// pairwise count, and that Reset returns the storage to an empty graph
+// that can be rebuilt to an identical shape.
+func TestEdgesAndReset(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n = 90
+	g := NewGraph(n)
+	naive := 0
+	type edge struct{ u, v int }
+	var edges []edge
+	for i := 0; i < 400; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		if !g.HasEdge(u, v) {
+			naive++
+		}
+		g.AddEdge(u, v)
+		edges = append(edges, edge{u, v})
+	}
+	if got := g.Edges(); got != naive {
+		t.Fatalf("Edges() = %d, naive count %d", got, naive)
+	}
+
+	g.Reset()
+	if got := g.Edges(); got != 0 {
+		t.Fatalf("Edges() after Reset = %d, want 0", got)
+	}
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if g.HasEdge(u, v) {
+				t.Fatalf("edge (%d,%d) survived Reset", u, v)
+			}
+		}
+	}
+
+	// Rebuild on the reused storage: same edge set as a fresh graph.
+	fresh := NewGraph(n)
+	for _, e := range edges {
+		g.AddEdge(e.u, e.v)
+		fresh.AddEdge(e.u, e.v)
+	}
+	if g.Edges() != fresh.Edges() {
+		t.Fatalf("rebuilt Edges() = %d, fresh %d", g.Edges(), fresh.Edges())
+	}
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if g.HasEdge(u, v) != fresh.HasEdge(u, v) {
+				t.Fatalf("rebuilt/fresh disagree on edge (%d,%d)", u, v)
+			}
+		}
+	}
+}

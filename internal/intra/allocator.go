@@ -2,6 +2,7 @@ package intra
 
 import (
 	"fmt"
+	"time"
 
 	"npra/internal/estimate"
 	"npra/internal/ig"
@@ -14,10 +15,14 @@ import (
 // contexts (the paper's "incremental" intra allocator that records its
 // contexts) and whole Solve results per (pr, sr) point, so the
 // inter-thread allocator's repeated cost probes are cheap; CacheStats
-// exposes the Solve-point hit/miss counters.
+// exposes the Solve-point hit/miss counters and PhaseStats the per-phase
+// wall-clock breakdown.
 //
-// Contexts placed in the memo are never mutated again; derivations always
-// clone. The allocator is not safe for concurrent use.
+// Contexts placed in the memo are never mutated again. Candidate
+// eliminations run on contexts drawn from a per-allocator scratch pool
+// (copied from the cached neighbor, storage reused across candidates);
+// the winning candidate leaves the pool for the memo. The allocator is
+// not safe for concurrent use.
 type Allocator struct {
 	F   *ir.Func
 	A   *ig.Analysis
@@ -27,6 +32,13 @@ type Allocator struct {
 	// after each color elimination (for ablation studies). Set before the
 	// first Solve call.
 	DisableCoalesce bool
+
+	// DisableIncremental forces every MoveCost evaluation through the
+	// from-scratch edge walk instead of the incremental per-variable
+	// re-pricing. The two must agree bit-for-bit; the warm-start
+	// differential tests run one allocator in each mode and compare. Set
+	// before the first Solve call.
+	DisableIncremental bool
 
 	weights []int64 // nil = static move counting
 
@@ -41,6 +53,9 @@ type Allocator struct {
 	sols    map[[2]int]*Solution
 	solErrs map[[2]int]error
 	stats   CacheStats
+
+	pool   []*Context // scratch contexts recycled across bestStep trials
+	phases PhaseStats
 }
 
 // CacheStats counts Solve-point cache hits and misses. A hit means the
@@ -67,6 +82,42 @@ func (s *CacheStats) Add(other CacheStats) {
 // CacheStats returns the allocator's Solve-point cache counters.
 func (al *Allocator) CacheStats() CacheStats { return al.stats }
 
+// PhaseStats attributes an allocator's wall-clock time to the pipeline
+// phases of one intra-thread allocation: analysis construction, the two
+// halves of bound estimation, and the chain derivation that answers
+// Solve queries. RewriteNS stays zero here; callers that rewrite code
+// (e.g. the inter-thread allocator's finalize step) fill it when
+// aggregating.
+type PhaseStats struct {
+	BuildNS   int64 // liveness + NSR + interference analysis (New only)
+	MergeNS   int64 // estimation: BIG + per-NSR IIG colorings
+	RepairNS  int64 // estimation: conflict-edge repair
+	ColorNS   int64 // chain derivation: demote/vacate trials + coalesce
+	RewriteNS int64 // code rewriting (filled by rewriting callers)
+
+	ChainSteps int // contexts derived and memoized
+	Trials     int // candidate color eliminations attempted
+}
+
+// Add accumulates other into s (for summing per-thread allocators).
+func (s *PhaseStats) Add(other PhaseStats) {
+	s.BuildNS += other.BuildNS
+	s.MergeNS += other.MergeNS
+	s.RepairNS += other.RepairNS
+	s.ColorNS += other.ColorNS
+	s.RewriteNS += other.RewriteNS
+	s.ChainSteps += other.ChainSteps
+	s.Trials += other.Trials
+}
+
+// TotalNS returns the sum over all timed phases.
+func (s PhaseStats) TotalNS() int64 {
+	return s.BuildNS + s.MergeNS + s.RepairNS + s.ColorNS + s.RewriteNS
+}
+
+// PhaseStats returns the allocator's per-phase timing counters.
+func (al *Allocator) PhaseStats() PhaseStats { return al.phases }
+
 // Solution is a successful intra-thread allocation for a (PR, SR) budget.
 type Solution struct {
 	Ctx    *Context
@@ -78,7 +129,15 @@ type Solution struct {
 // bound-estimation invariant check (estimate.ErrBoundsInverted); inputs
 // that analyze cleanly never fail.
 func New(f *ir.Func) (*Allocator, error) {
-	return NewFromAnalysis(ig.Analyze(f))
+	start := time.Now()
+	a := ig.Analyze(f)
+	buildNS := time.Since(start).Nanoseconds()
+	al, err := NewFromAnalysis(a)
+	if err != nil {
+		return nil, err
+	}
+	al.phases.BuildNS = buildNS
+	return al, nil
 }
 
 // MustNew is New for known-good inputs (tests, examples, benchmarks);
@@ -93,17 +152,20 @@ func MustNew(f *ir.Func) *Allocator {
 
 // NewFromAnalysis returns an allocator over an existing analysis.
 func NewFromAnalysis(a *ig.Analysis) (*Allocator, error) {
-	est, err := estimate.Compute(a)
+	est, estStats, err := estimate.ComputeWithStats(a)
 	if err != nil {
 		return nil, err
 	}
-	return &Allocator{
+	al := &Allocator{
 		F: a.F, A: a, Est: est,
 		memo:    make(map[[2]int]*Context),
 		memoErr: make(map[[2]int]error),
 		sols:    make(map[[2]int]*Solution),
 		solErrs: make(map[[2]int]error),
-	}, nil
+	}
+	al.phases.MergeNS = estStats.MergeNS
+	al.phases.RepairNS = estStats.RepairNS
+	return al, nil
 }
 
 // Bounds returns the thread's register requirement bounds.
@@ -190,6 +252,7 @@ func (al *Allocator) context(cap, size int) (*Context, error) {
 		return nil, err
 	}
 	al.memo[key] = ctx
+	al.phases.ChainSteps++
 	return ctx, nil
 }
 
@@ -197,7 +260,10 @@ func (al *Allocator) buildContext(cap, size int) (*Context, error) {
 	maxPR, maxR := al.Est.MaxPR, al.Est.MaxR
 	switch {
 	case cap == maxPR && size == maxR:
-		return newContext(al.A, al.Est.Colors, cap, size, al.weights), nil
+		ctx := newContext(al.A, al.Est.Colors, cap, size, al.weights)
+		ctx.noIncr = al.DisableIncremental
+		ctx.MoveCost() // prime the incremental snapshot for derivations
+		return ctx, nil
 	case cap < 0 || size < cap || size > maxR || cap > maxPR:
 		return nil, errInfeasible{fmt.Sprintf("palette cap=%d size=%d outside [%d,%d]", cap, size, maxPR, maxR)}
 	case size == maxR: // cap < maxPR: demote one private-capable color
@@ -219,29 +285,56 @@ func (al *Allocator) buildContext(cap, size int) (*Context, error) {
 	}
 }
 
+// takeScratch returns a context holding a copy of prev, drawn from the
+// scratch pool (or freshly allocated when the pool is empty).
+func (al *Allocator) takeScratch(prev *Context) *Context {
+	var c *Context
+	if n := len(al.pool); n > 0 {
+		c = al.pool[n-1]
+		al.pool = al.pool[:n-1]
+	} else {
+		c = &Context{}
+	}
+	c.copyFrom(prev)
+	return c
+}
+
+func (al *Allocator) putScratch(c *Context) { al.pool = append(al.pool, c) }
+
 // bestStep tries the given elimination on every candidate color in
-// [lo, hi) of a clone of prev and keeps the cheapest successful result,
-// mirroring the paper's greedy "try each color, keep the minimum cost"
-// loops in Reduce_PR/Reduce_SR.
+// [lo, hi) of a scratch copy of prev and keeps the cheapest successful
+// result, mirroring the paper's greedy "try each color, keep the minimum
+// cost" loops in Reduce_PR/Reduce_SR. Losing (and failed) trials return
+// their storage to the scratch pool; the winner leaves the pool for good,
+// since the caller memoizes it and memoized contexts are never mutated.
 func (al *Allocator) bestStep(prev *Context, lo, hi int, step func(*Context, int) error) (*Context, error) {
+	start := time.Now()
 	var best *Context
 	bestCost := int(^uint(0) >> 1)
 	var firstErr error
 	for c := lo; c < hi; c++ {
-		trial := prev.Clone()
+		al.phases.Trials++
+		trial := al.takeScratch(prev)
 		if err := step(trial, c); err != nil {
 			if firstErr == nil {
 				firstErr = err
 			}
+			al.putScratch(trial)
 			continue
 		}
 		if !al.DisableCoalesce {
 			trial.coalesce()
 		}
 		if cost := trial.MoveCost(); cost < bestCost {
+			if best != nil {
+				al.putScratch(best)
+			}
 			best, bestCost = trial, cost
+		} else {
+			al.putScratch(trial)
 		}
 	}
+	al.phases.ColorNS += time.Since(start).Nanoseconds()
 	if best == nil {
 		if firstErr == nil {
 			firstErr = errInfeasible{"no candidate colors"}

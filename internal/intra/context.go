@@ -33,6 +33,15 @@ type Piece struct {
 // range plus the palette it is colored with. Colors [0, Cap) may be used
 // by pieces that cross context-switch boundaries ("private-capable");
 // colors [0, Size) by anything.
+//
+// Alongside the piece list the context maintains two derived structures
+// that make the hot recoloring queries word-level instead of
+// closure-per-point: occ, a per-point color-occupancy bitmap (bit c of
+// point p's row is set iff a piece covering p holds color c — well
+// defined because a proper coloring admits at most one such piece), and
+// byColor, the piece indices holding each color. Both are kept
+// incrementally by every mutation; rebuildPieceIndex restores them from
+// the piece list after wholesale restructuring.
 type Context struct {
 	A    *ig.Analysis
 	Cap  int // boundary palette size (≥ colors used by crossing pieces)
@@ -41,9 +50,34 @@ type Context struct {
 	Pieces []*Piece
 
 	np      int
-	pieceOf []int32 // [var*np+point] -> piece index, -1 when not live
+	occW    int      // words per occupancy row (fixed at chain root)
+	pieceOf []int32  // [var*np+point] -> piece index, -1 when not live
+	occ     []uint64 // np rows of occW words: color-occupancy per point
+	byColor [][]int32
 	cost    int     // cached MoveCost; -1 when dirty
 	weights []int64 // optional per-point loop weights (nil = static count)
+
+	// Incremental move-cost state. MoveCost is additive per variable
+	// (each CFG edge contribution involves exactly one variable), so a
+	// mutation needs only the touched variables re-priced against a
+	// snapshot: cost = baseCost - oldSum + Σ varCost(dirty). touchVar
+	// must run BEFORE the first mutation of a variable's coloring so
+	// that oldSum captures the snapshot-time contribution.
+	baseCost int        // total cost at snapshot time; -1 = no snapshot
+	dirty    []int32    // variables touched since the snapshot
+	dirtyIn  bitset.Set // membership set for dirty
+	oldSum   int        // Σ snapshot-time varCost over dirty
+	noIncr   bool       // force full-walk costing (differential oracle)
+
+	// Reusable scratch for the recoloring kernels (single-threaded use).
+	ptsScratch  []int // recolorPiece: point list of the piece
+	asgScratch  []int // recolorPiece: per-point color assignment
+	victScratch []int // victimsOf: piece indices holding a color
+	freeScratch []uint64
+	accScratch  []uint64
+	freqScratch []int
+	idxScratch  []int32
+	offScratch  []int32
 }
 
 // newContext builds the unsplit context from an estimation coloring:
@@ -51,11 +85,21 @@ type Context struct {
 // loop-depth-weighted estimate of the *dynamic* move count.
 func newContext(a *ig.Analysis, colors []int, cap, size int, weights []int64) *Context {
 	np := a.F.NumPoints()
-	ctx := &Context{A: a, Cap: cap, Size: size, np: np, cost: -1, weights: weights}
+	occW := (size + 63) / 64
+	if occW == 0 {
+		occW = 1
+	}
+	ctx := &Context{
+		A: a, Cap: cap, Size: size, np: np, occW: occW,
+		cost: -1, baseCost: -1, weights: weights,
+	}
 	ctx.pieceOf = make([]int32, a.NumVars*np)
 	for i := range ctx.pieceOf {
 		ctx.pieceOf[i] = -1
 	}
+	ctx.occ = make([]uint64, np*occW)
+	ctx.byColor = make([][]int32, size)
+	ctx.dirtyIn = bitset.New(a.NumVars)
 	for v := 0; v < a.NumVars; v++ {
 		if !a.Alive[v] {
 			continue
@@ -69,9 +113,81 @@ func (ctx *Context) addPiece(p *Piece) int {
 	idx := len(ctx.Pieces)
 	ctx.Pieces = append(ctx.Pieces, p)
 	base := p.Var * ctx.np
-	p.Points.ForEach(func(pt int) { ctx.pieceOf[base+pt] = int32(idx) })
+	for pt := p.Points.NextSet(0); pt >= 0; pt = p.Points.NextSet(pt + 1) {
+		ctx.pieceOf[base+pt] = int32(idx)
+		ctx.occSet(pt, p.Color)
+	}
+	ctx.byColor[p.Color] = append(ctx.byColor[p.Color], int32(idx))
 	ctx.cost = -1
 	return idx
+}
+
+// occRow returns point p's color-occupancy row.
+func (ctx *Context) occRow(p int) []uint64 { return ctx.occ[p*ctx.occW : (p+1)*ctx.occW] }
+
+func (ctx *Context) occSet(p, c int)   { ctx.occ[p*ctx.occW+(c>>6)] |= 1 << (uint(c) & 63) }
+func (ctx *Context) occClear(p, c int) { ctx.occ[p*ctx.occW+(c>>6)] &^= 1 << (uint(c) & 63) }
+
+// wordMask returns the mask of colors [0, limit) that fall into word j of
+// an occupancy row.
+func wordMask(j, limit int) uint64 {
+	base := j * 64
+	switch {
+	case limit >= base+64:
+		return ^uint64(0)
+	case limit <= base:
+		return 0
+	default:
+		return 1<<uint(limit-base) - 1
+	}
+}
+
+// attach records piece i (with its current color) in occ and byColor.
+func (ctx *Context) attach(i int) {
+	x := ctx.Pieces[i]
+	for p := x.Points.NextSet(0); p >= 0; p = x.Points.NextSet(p + 1) {
+		ctx.occSet(p, x.Color)
+	}
+	ctx.byColor[x.Color] = append(ctx.byColor[x.Color], int32(i))
+}
+
+// detach removes piece i from occ and byColor (pieceOf stays: the piece
+// still owns its points, it is just invisible to occupancy queries while
+// being recolored).
+func (ctx *Context) detach(i int) {
+	x := ctx.Pieces[i]
+	for p := x.Points.NextSet(0); p >= 0; p = x.Points.NextSet(p + 1) {
+		ctx.occClear(p, x.Color)
+	}
+	ctx.byColorRemove(x.Color, int32(i))
+}
+
+func (ctx *Context) byColorRemove(c int, i int32) {
+	lst := ctx.byColor[c]
+	for k, v := range lst {
+		if v == i {
+			lst[k] = lst[len(lst)-1]
+			ctx.byColor[c] = lst[:len(lst)-1]
+			return
+		}
+	}
+	panic("intra: piece missing from byColor")
+}
+
+// recolorWhole moves attached piece i to newCol, maintaining occ/byColor.
+func (ctx *Context) recolorWhole(i, newCol int) {
+	x := ctx.Pieces[i]
+	old := x.Color
+	if old == newCol {
+		return
+	}
+	for p := x.Points.NextSet(0); p >= 0; p = x.Points.NextSet(p + 1) {
+		ctx.occClear(p, old)
+		ctx.occSet(p, newCol)
+	}
+	ctx.byColorRemove(old, int32(i))
+	ctx.byColor[newCol] = append(ctx.byColor[newCol], int32(i))
+	x.Color = newCol
 }
 
 // PieceAt returns the index of v's piece covering point p, or -1.
@@ -88,14 +204,70 @@ func (ctx *Context) ColorAt(v, p int) int {
 
 // Clone deep-copies the context (weights are shared; they are immutable).
 func (ctx *Context) Clone() *Context {
-	c := &Context{A: ctx.A, Cap: ctx.Cap, Size: ctx.Size, np: ctx.np, cost: ctx.cost, weights: ctx.weights}
-	c.Pieces = make([]*Piece, len(ctx.Pieces))
-	for i, p := range ctx.Pieces {
-		c.Pieces[i] = &Piece{Var: p.Var, Color: p.Color, Points: p.Points.Clone()}
-	}
-	c.pieceOf = make([]int32, len(ctx.pieceOf))
-	copy(c.pieceOf, ctx.pieceOf)
+	c := &Context{}
+	c.copyFrom(ctx)
 	return c
+}
+
+// copyFrom overwrites dst with a deep copy of src, reusing dst's existing
+// storage (piece structs, point sets, index arrays, occupancy rows) where
+// capacities allow. The allocator's bestStep cycles trial contexts
+// through a scratch pool with copyFrom instead of allocating a fresh
+// Clone per candidate color.
+func (dst *Context) copyFrom(src *Context) {
+	dst.A, dst.Cap, dst.Size = src.A, src.Cap, src.Size
+	dst.np, dst.occW = src.np, src.occW
+	dst.cost, dst.weights, dst.noIncr = src.cost, src.weights, src.noIncr
+	dst.baseCost, dst.oldSum = src.baseCost, src.oldSum
+
+	n := len(src.Pieces)
+	full := dst.Pieces[:cap(dst.Pieces)]
+	if len(full) < n {
+		nf := make([]*Piece, n)
+		copy(nf, full)
+		full = nf
+	}
+	for i := 0; i < n; i++ {
+		sp := src.Pieces[i]
+		dp := full[i]
+		if dp == nil || len(dp.Points) != len(sp.Points) {
+			dp = &Piece{Points: sp.Points.Clone()}
+			full[i] = dp
+		} else {
+			dp.Points.Copy(sp.Points)
+		}
+		dp.Var, dp.Color = sp.Var, sp.Color
+	}
+	dst.Pieces = full[:n]
+
+	if cap(dst.pieceOf) < len(src.pieceOf) {
+		dst.pieceOf = make([]int32, len(src.pieceOf))
+	}
+	dst.pieceOf = dst.pieceOf[:len(src.pieceOf)]
+	copy(dst.pieceOf, src.pieceOf)
+
+	if cap(dst.occ) < len(src.occ) {
+		dst.occ = make([]uint64, len(src.occ))
+	}
+	dst.occ = dst.occ[:len(src.occ)]
+	copy(dst.occ, src.occ)
+
+	fullB := dst.byColor[:cap(dst.byColor)]
+	if len(fullB) < len(src.byColor) {
+		nb := make([][]int32, len(src.byColor))
+		copy(nb, fullB)
+		fullB = nb
+	}
+	dst.byColor = fullB[:len(src.byColor)]
+	for c := range dst.byColor {
+		dst.byColor[c] = append(dst.byColor[c][:0], src.byColor[c]...)
+	}
+
+	dst.dirty = append(dst.dirty[:0], src.dirty...)
+	if len(dst.dirtyIn) != len(src.dirtyIn) {
+		dst.dirtyIn = make(bitset.Set, len(src.dirtyIn))
+	}
+	copy(dst.dirtyIn, src.dirtyIn)
 }
 
 // crossingPoints returns the CSB points piece x is live across.
@@ -111,8 +283,52 @@ func (ctx *Context) crossingPoints(x *Piece) bitset.Set {
 
 // crosses reports whether piece x is live across any CSB.
 func (ctx *Context) crosses(x *Piece) bool {
-	s := ctx.crossingPoints(x)
-	return s != nil && !s.Empty()
+	cr := ctx.A.Crossings[x.Var]
+	return cr != nil && cr.Intersects(x.Points)
+}
+
+// touchVar marks variable v's coloring as about to change. It must run
+// BEFORE the mutation: the snapshot contribution oldSum is priced from
+// the current (pre-mutation) assignment. Color-preserving restructurings
+// (piece merges within one color, palette relabelings) need no touch.
+func (ctx *Context) touchVar(v int) {
+	ctx.cost = -1
+	if ctx.noIncr || ctx.baseCost < 0 {
+		return
+	}
+	if ctx.dirtyIn.Has(v) {
+		return
+	}
+	ctx.dirtyIn.Add(v)
+	ctx.dirty = append(ctx.dirty, int32(v))
+	ctx.oldSum += ctx.varCost(v)
+}
+
+// varCost prices variable v's contribution to MoveCost: its flow edges
+// (ig.Analysis.VarEdges) whose endpoints sit in differently-colored
+// pieces. Both endpoints always have pieces: v is live-out of p and
+// live-in to q, hence covered at both points.
+func (ctx *Context) varCost(v int) int {
+	edges := ctx.A.VarEdges[v]
+	base := v * ctx.np
+	total := 0
+	if ctx.weights == nil {
+		for k := 0; k < len(edges); k += 2 {
+			xs, xd := ctx.pieceOf[base+int(edges[k])], ctx.pieceOf[base+int(edges[k+1])]
+			if xs != xd && ctx.Pieces[xs].Color != ctx.Pieces[xd].Color {
+				total++
+			}
+		}
+		return total
+	}
+	for k := 0; k < len(edges); k += 2 {
+		p, q := int(edges[k]), int(edges[k+1])
+		xs, xd := ctx.pieceOf[base+p], ctx.pieceOf[base+q]
+		if xs != xd && ctx.Pieces[xs].Color != ctx.Pieces[xd].Color {
+			total += ctx.edgeWeight(p, q)
+		}
+	}
+	return total
 }
 
 // MoveCost counts the moves the rewriter will emit: CFG edges (p -> q)
@@ -120,10 +336,45 @@ func (ctx *Context) crosses(x *Piece) bool {
 // two ends. This is the paper's objective function. With weights set, each
 // edge contributes min(w(p), w(q)) instead of 1, approximating the
 // dynamic execution count by loop depth.
+//
+// The value is maintained incrementally: against the last computed
+// snapshot only the variables touched since then are re-priced. A context
+// without a snapshot (or with incremental costing disabled) pays a full
+// per-variable walk.
 func (ctx *Context) MoveCost() int {
 	if ctx.cost >= 0 {
 		return ctx.cost
 	}
+	var total int
+	switch {
+	case ctx.noIncr:
+		total = ctx.moveCostFull()
+	case ctx.baseCost >= 0:
+		total = ctx.baseCost - ctx.oldSum
+		for _, v := range ctx.dirty {
+			total += ctx.varCost(int(v))
+		}
+	default:
+		for v := 0; v < ctx.A.NumVars; v++ {
+			if ctx.A.Alive[v] {
+				total += ctx.varCost(v)
+			}
+		}
+	}
+	ctx.cost = total
+	ctx.baseCost = total
+	for _, v := range ctx.dirty {
+		ctx.dirtyIn.Remove(int(v))
+	}
+	ctx.dirty = ctx.dirty[:0]
+	ctx.oldSum = 0
+	return total
+}
+
+// moveCostFull is the from-scratch edge walk, kept as an independent
+// implementation of the objective: the incremental path never feeds it,
+// so differential tests can pit one against the other.
+func (ctx *Context) moveCostFull() int {
 	a := ctx.A
 	total := 0
 	var succs []int
@@ -141,7 +392,6 @@ func (ctx *Context) MoveCost() int {
 			})
 		}
 	}
-	ctx.cost = total
 	return total
 }
 
@@ -207,7 +457,10 @@ func (ctx *Context) WeightedMoveCost(weights []int64) int64 {
 }
 
 // Validate checks every structural invariant of the context; tests and
-// the inter-thread allocator use it as a safety net.
+// the inter-thread allocator use it as a safety net. It deliberately
+// reads only the ground-truth representation (Pieces + pieceOf), never
+// the derived occ/byColor structures, so it stays meaningful on contexts
+// whose pieces were mutated directly.
 func (ctx *Context) Validate() error {
 	a := ctx.A
 	// Partition: each live point of each var covered by exactly one piece.
@@ -261,7 +514,8 @@ func (ctx *Context) Validate() error {
 }
 
 // colorsFreeAt fills free with true for palette colors not used by any
-// co-live piece at point p, excluding variable self.
+// co-live piece at point p, excluding variable self. It reads the
+// ground-truth representation only (the hot paths use occ rows instead).
 func (ctx *Context) colorsFreeAt(p int, self int, free []bool) {
 	for i := 0; i < ctx.Size; i++ {
 		free[i] = true
@@ -276,14 +530,25 @@ func (ctx *Context) colorsFreeAt(p int, self int, free []bool) {
 	})
 }
 
-// rebuildPieceIndex regenerates pieceOf after pieces were removed/merged.
+// rebuildPieceIndex regenerates pieceOf, occ and byColor after pieces
+// were removed/merged. Re-indexing changes no colors, so the cached cost
+// and incremental snapshot stay valid.
 func (ctx *Context) rebuildPieceIndex() {
 	for i := range ctx.pieceOf {
 		ctx.pieceOf[i] = -1
 	}
+	for i := range ctx.occ {
+		ctx.occ[i] = 0
+	}
+	for c := range ctx.byColor {
+		ctx.byColor[c] = ctx.byColor[c][:0]
+	}
 	for i, x := range ctx.Pieces {
 		base := x.Var * ctx.np
-		x.Points.ForEach(func(pt int) { ctx.pieceOf[base+pt] = int32(i) })
+		for pt := x.Points.NextSet(0); pt >= 0; pt = x.Points.NextSet(pt + 1) {
+			ctx.pieceOf[base+pt] = int32(i)
+			ctx.occSet(pt, x.Color)
+		}
+		ctx.byColor[x.Color] = append(ctx.byColor[x.Color], int32(i))
 	}
-	ctx.cost = -1
 }

@@ -55,7 +55,8 @@ func Rewrite(ctx *Context, phys []ir.Reg) (*ir.Func, RewriteStats, error) {
 
 	nf := &ir.Func{Name: f.Name, Physical: true}
 	trampolines := 0
-	var tail []*ir.Block // taken-edge trampolines, appended at the end
+	var tail []*ir.Block    // taken-edge trampolines, appended at the end
+	var pairsBuf []copyPair // reused across edges; consumed by appendParallelCopy
 	var rerr error
 	fail := func(err error) {
 		if rerr == nil {
@@ -94,8 +95,8 @@ func Rewrite(ctx *Context, phys []ir.Reg) (*ir.Func, RewriteStats, error) {
 			if !last {
 				// Straight-line edge p -> p+1: moves go right after p.
 				nb.Instrs = append(nb.Instrs, in)
-				pairs := ctx.edgeCopies(p, p+1, phys)
-				nb.Instrs = appendParallelCopy(nb.Instrs, pairs, &stats)
+				pairsBuf = ctx.edgeCopies(p, p+1, phys, pairsBuf[:0])
+				nb.Instrs = appendParallelCopy(nb.Instrs, pairsBuf, &stats)
 				continue
 			}
 
@@ -104,7 +105,8 @@ func Rewrite(ctx *Context, phys []ir.Reg) (*ir.Func, RewriteStats, error) {
 			// trampoline placed directly after this block.
 			if in.IsBranch() {
 				target := f.Blocks[f.BlockByLabel(in.Target)]
-				pairs := ctx.edgeCopies(p, target.Start(), phys)
+				pairs := ctx.edgeCopies(p, target.Start(), phys, pairsBuf[:0])
+				pairsBuf = pairs
 				if len(pairs) > 0 {
 					trampolines++
 					lbl := fmt.Sprintf(".mvt%d", trampolines)
@@ -123,7 +125,8 @@ func Rewrite(ctx *Context, phys []ir.Reg) (*ir.Func, RewriteStats, error) {
 
 			if !in.IsUncond() && bi+1 < len(f.Blocks) {
 				next := f.Blocks[bi+1]
-				pairs := ctx.edgeCopies(p, next.Start(), phys)
+				pairs := ctx.edgeCopies(p, next.Start(), phys, pairsBuf[:0])
+				pairsBuf = pairs
 				if len(pairs) > 0 {
 					trampolines++
 					fb := &ir.Block{Label: fmt.Sprintf(".mvf%d", trampolines)}
@@ -148,22 +151,23 @@ func Rewrite(ctx *Context, phys []ir.Reg) (*ir.Func, RewriteStats, error) {
 // copyPair is one register transfer on an edge: dst receives src's value.
 type copyPair struct{ dst, src ir.Reg }
 
-// edgeCopies returns the register transfers needed on the CFG edge
-// p -> q: variables live along the edge whose pieces at the two ends have
-// different colors.
-func (ctx *Context) edgeCopies(p, q int, phys []ir.Reg) []copyPair {
-	var pairs []copyPair
+// edgeCopies appends to pairs the register transfers needed on the CFG
+// edge p -> q: variables live along the edge whose pieces at the two
+// ends have different colors. Callers pass a reused buffer ([:0]) so the
+// per-edge scan allocates nothing.
+func (ctx *Context) edgeCopies(p, q int, phys []ir.Reg, pairs []copyPair) []copyPair {
 	live := ctx.A.Live
-	live.Out[p].ForEach(func(v int) {
-		if !live.In[q].Has(v) {
-			return
+	out, in := live.Out[p], live.In[q]
+	for v := out.NextSet(0); v >= 0; v = out.NextSet(v + 1) {
+		if !in.Has(v) {
+			continue
 		}
 		cs, cd := ctx.ColorAt(v, p), ctx.ColorAt(v, q)
 		if cs < 0 || cd < 0 || cs == cd {
-			return
+			continue
 		}
 		pairs = append(pairs, copyPair{dst: phys[cd], src: phys[cs]})
-	})
+	}
 	return pairs
 }
 
@@ -173,8 +177,9 @@ func (ctx *Context) edgeCopies(p, q int, phys []ir.Reg) []copyPair {
 // remaining transfers form disjoint cycles, which are rotated in place
 // with xor-swaps so no scratch register is needed (the register file may
 // be fully occupied at a switch boundary).
+// It consumes pairs as scratch (reordering and truncating in place).
 func appendParallelCopy(out []ir.Instr, pairs []copyPair, stats *RewriteStats) []ir.Instr {
-	pending := make([]copyPair, 0, len(pairs))
+	pending := pairs[:0]
 	for _, pr := range pairs {
 		if pr.dst != pr.src {
 			pending = append(pending, pr)
@@ -230,14 +235,18 @@ func appendParallelCopy(out []ir.Instr, pairs []copyPair, stats *RewriteStats) [
 			)
 			stats.Xors += 3
 		}
-		// Remove the cycle's pairs from pending.
-		inCycle := make(map[ir.Reg]bool, len(cycle))
-		for _, r := range cycle {
-			inCycle[r] = true
-		}
-		var rest []copyPair
+		// Remove the cycle's pairs from pending (cycles are short; a
+		// linear membership scan beats a map here).
+		rest := pending[:0]
 		for _, pr := range pending {
-			if !inCycle[pr.dst] {
+			hit := false
+			for _, r := range cycle {
+				if pr.dst == r {
+					hit = true
+					break
+				}
+			}
+			if !hit {
 				rest = append(rest, pr)
 			}
 		}

@@ -1,0 +1,104 @@
+package intra
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"npra/internal/ir"
+	"npra/internal/passes"
+	"npra/internal/progen"
+)
+
+// checkSync verifies the derived occupancy index (occ) and per-color
+// piece lists (byColor) against the ground-truth piece list. Every
+// mutation path — vacate relabeling, demote swaps, displacement,
+// splitting, squatter eviction, coalescing, and scratch-pool copyFrom —
+// must leave these exactly consistent; the incremental kernels trust
+// them without re-deriving.
+func (ctx *Context) checkSync() error {
+	seen := make(map[int32]int)
+	for c, lst := range ctx.byColor {
+		for _, idx := range lst {
+			x := ctx.Pieces[idx]
+			if x == nil {
+				return fmt.Errorf("byColor[%d] references nil piece %d", c, idx)
+			}
+			if x.Color != c {
+				return fmt.Errorf("byColor[%d] references piece %d with color %d", c, idx, x.Color)
+			}
+			seen[idx]++
+		}
+	}
+	for i, x := range ctx.Pieces {
+		if x == nil {
+			continue
+		}
+		if seen[int32(i)] != 1 {
+			return fmt.Errorf("piece %d (v%d color %d) listed %d times in byColor", i, x.Var, x.Color, seen[int32(i)])
+		}
+	}
+	for p := 0; p < ctx.np; p++ {
+		want := make([]uint64, ctx.occW)
+		for _, x := range ctx.Pieces {
+			if x != nil && x.Points.Has(p) {
+				want[x.Color>>6] |= 1 << (uint(x.Color) & 63)
+			}
+		}
+		row := ctx.occRow(p)
+		for j := 0; j < ctx.occW; j++ {
+			if row[j] != want[j] {
+				return fmt.Errorf("occ desync at point %d word %d: have %x want %x", p, j, row[j], want[j])
+			}
+		}
+	}
+	return nil
+}
+
+// TestContextIndexConsistency sweeps the whole (cap, size) derivation
+// lattice for generated programs and checks occ/byColor integrity plus
+// Validate on every memoized context. The seed list includes 109, which
+// once exposed stale *Piece aliasing: coalesce compacted Pieces in
+// place without clearing the tail, so a later copyFrom growing back
+// into the backing array reused one struct for two slots.
+func TestContextIndexConsistency(t *testing.T) {
+	cfg := progen.StructuredConfig{
+		MaxDepth: 3, MaxBodyLen: 14, MaxTripCnt: 4, MaxVars: 16,
+		CSBDensity: 0.25, StoreWindow: 128,
+	}
+	for _, seed := range []int64{1, 7, 42, 109, 211} {
+		rng := rand.New(rand.NewSource(seed))
+		var funcs []*ir.Func
+		for i := 0; i < 4; i++ {
+			c := cfg
+			c.StoreBase = int64(i * 256)
+			f := progen.GenerateStructured(rng, c)
+			opt, _, err := passes.Optimize(f)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			funcs = append(funcs, opt)
+		}
+		for fi, f := range funcs {
+			al := MustNew(f)
+			bd := al.Bounds()
+			for cap := bd.MaxPR; cap >= bd.MinPR; cap-- {
+				for size := bd.MaxR; size >= bd.MinR; size-- {
+					if size < cap {
+						continue
+					}
+					ctx, err := al.context(cap, size)
+					if err != nil {
+						continue
+					}
+					if serr := ctx.checkSync(); serr != nil {
+						t.Fatalf("seed %d func %d palette (%d,%d): %v", seed, fi, cap, size, serr)
+					}
+					if verr := ctx.Validate(); verr != nil {
+						t.Fatalf("seed %d func %d palette (%d,%d): validate: %v", seed, fi, cap, size, verr)
+					}
+				}
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package intra
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"npra/internal/bitset"
@@ -25,17 +26,7 @@ func IsInfeasible(err error) bool {
 // shrinks by one. This is the engine behind the paper's Reduce-SR
 // invocation (and behind Reduce-PR when the whole register disappears).
 func (ctx *Context) vacateColor(c int) error {
-	var victims []int
-	for i, x := range ctx.Pieces {
-		if x.Color == c {
-			victims = append(victims, i)
-		}
-	}
-	// Recolor small pieces first: they are most likely to slot into an
-	// existing color without splitting.
-	sort.Slice(victims, func(i, j int) bool {
-		return ctx.Pieces[victims[i]].Points.Count() < ctx.Pieces[victims[j]].Points.Count()
-	})
+	victims := ctx.victimsOf(c, false)
 	for _, i := range victims {
 		if err := ctx.recolorPiece(i, c, false); err != nil {
 			return err
@@ -48,12 +39,40 @@ func (ctx *Context) vacateColor(c int) error {
 			panic("intra: vacated color still in use")
 		}
 	}
+	// occ: drop bit c from every row, shifting higher colors down in
+	// step with the piece relabeling above.
+	for p := 0; p < ctx.np; p++ {
+		rowRemoveBit(ctx.occRow(p), c)
+	}
+	// byColor: splice out slot c (empty by now), reusing its storage for
+	// the vacated top slot.
+	empty := ctx.byColor[c][:0]
+	copy(ctx.byColor[c:ctx.Size-1], ctx.byColor[c+1:ctx.Size])
+	ctx.byColor[ctx.Size-1] = empty
 	if c < ctx.Cap {
 		ctx.Cap--
 	}
 	ctx.Size--
-	ctx.cost = -1
+	// The downshift maps used colors injectively, so whether two pieces
+	// share a color is unchanged: the cached cost stays valid.
 	return nil
+}
+
+// rowRemoveBit deletes bit position c from the row, shifting all higher
+// bits down by one (with carries across word boundaries).
+func rowRemoveBit(row []uint64, c int) {
+	wi := c >> 6
+	low := uint64(1)<<(uint(c)&63) - 1 // bits below c within word wi
+	for j := wi; j < len(row); j++ {
+		w := row[j] >> 1
+		if j+1 < len(row) {
+			w |= row[j+1] << 63
+		}
+		if j == wi {
+			w = w&^low | row[j]&low
+		}
+		row[j] = w
+	}
 }
 
 // demoteColor makes private-capable color c shared-only without shrinking
@@ -66,15 +85,7 @@ func (ctx *Context) demoteColor(c int) error {
 	if c < 0 || c >= ctx.Cap {
 		return fmt.Errorf("intra: demote color %d outside cap %d", c, ctx.Cap)
 	}
-	var victims []int
-	for i, x := range ctx.Pieces {
-		if x.Color == c && ctx.crosses(x) {
-			victims = append(victims, i)
-		}
-	}
-	sort.Slice(victims, func(i, j int) bool {
-		return ctx.Pieces[victims[i]].Points.Count() < ctx.Pieces[victims[j]].Points.Count()
-	})
+	victims := ctx.victimsOf(c, true)
 	for _, i := range victims {
 		if err := ctx.recolorPiece(i, c, true); err != nil {
 			return err
@@ -91,10 +102,42 @@ func (ctx *Context) demoteColor(c int) error {
 				x.Color = c
 			}
 		}
+		wc, bc := c>>6, uint64(1)<<(uint(c)&63)
+		wl, bl := last>>6, uint64(1)<<(uint(last)&63)
+		for p := 0; p < ctx.np; p++ {
+			row := ctx.occRow(p)
+			if (row[wc]&bc != 0) != (row[wl]&bl != 0) {
+				row[wc] ^= bc
+				row[wl] ^= bl
+			}
+		}
+		ctx.byColor[c], ctx.byColor[last] = ctx.byColor[last], ctx.byColor[c]
 	}
 	ctx.Cap--
-	ctx.cost = -1
+	// A label swap is a color bijection: the cached cost stays valid.
 	return nil
+}
+
+// victimsOf lists the pieces holding color c (restricted to CSB-crossing
+// pieces when crossingOnly), smallest first — small pieces are most
+// likely to slot into an existing color without splitting. Candidates are
+// drawn from byColor but ordered by ascending piece index before the
+// size sort, so the result does not depend on byColor's maintenance
+// order. The returned slice is ctx scratch, valid until the next call.
+func (ctx *Context) victimsOf(c int, crossingOnly bool) []int {
+	victims := ctx.victScratch[:0]
+	for _, idx := range ctx.byColor[c] {
+		if crossingOnly && !ctx.crosses(ctx.Pieces[idx]) {
+			continue
+		}
+		victims = append(victims, int(idx))
+	}
+	sort.Ints(victims)
+	sort.SliceStable(victims, func(i, j int) bool {
+		return ctx.Pieces[victims[i]].Points.Count() < ctx.Pieces[victims[j]].Points.Count()
+	})
+	ctx.victScratch = victims
+	return victims
 }
 
 // recolorPiece moves piece i off color c. In vacate mode (crossingOnly
@@ -105,40 +148,75 @@ func (ctx *Context) demoteColor(c int) error {
 // extending single-color runs to keep the number of color changes — i.e.
 // inserted moves — small. Points live across a CSB are restricted to the
 // private-capable prefix [0, Cap).
+//
+// The piece is detached from the occupancy index for the duration, so
+// the per-point free sets are plain complements of the occ rows.
 func (ctx *Context) recolorPiece(i, c int, crossingOnly bool) error {
 	x := ctx.Pieces[i]
-	var pts []int
-	pts = x.Points.Elems(pts)
-	crossing := ctx.crossingPoints(x)
+	ctx.touchVar(x.Var)
+	pts := x.Points.Elems(ctx.ptsScratch[:0])
+	ctx.ptsScratch = pts
+	cr := ctx.A.Crossings[x.Var]
+	ctx.detach(i)
 
-	// freeAt[k][col]: col is usable at pts[k].
-	freeAt := make([][]bool, len(pts))
-	freq := make([]int, ctx.Size) // how many points each color is free at
+	occW := ctx.occW
+	if need := len(pts) * occW; cap(ctx.freeScratch) < need {
+		ctx.freeScratch = make([]uint64, need)
+	}
+	freeAt := ctx.freeScratch[:len(pts)*occW]
+	if cap(ctx.freqScratch) < ctx.Size {
+		ctx.freqScratch = make([]int, ctx.Size)
+	}
+	freq := ctx.freqScratch[:ctx.Size]
+	for k := range freq {
+		freq[k] = 0
+	}
+	banWord, banBit := c>>6, uint64(1)<<(uint(c)&63)
+
+	// freeAt row k: colors usable at pts[k], as a word mask.
 	for k, p := range pts {
-		free := make([]bool, ctx.Size)
-		ctx.colorsFreeAt(p, x.Var, free)
-		isCross := crossing != nil && crossing.Has(p)
+		row := ctx.occRow(p)
+		fr := freeAt[k*occW : (k+1)*occW]
+		isCross := cr != nil && cr.Has(p)
+		limit := ctx.Size
 		if isCross {
-			for col := ctx.Cap; col < ctx.Size; col++ {
-				free[col] = false
-			}
+			limit = ctx.Cap
+		}
+		for j := 0; j < occW; j++ {
+			fr[j] = ^row[j] & wordMask(j, limit)
 		}
 		if !crossingOnly || isCross {
-			free[c] = false
+			fr[banWord] &^= banBit
 		}
-		freeAt[k] = free
-		for col, ok := range free {
-			if ok {
-				freq[col]++
+		for j := 0; j < occW; j++ {
+			w := fr[j]
+			for w != 0 {
+				freq[j<<6+bits.TrailingZeros64(w)]++
+				w &= w - 1
 			}
 		}
 	}
 
-	// Wholesale recolor: a color (other than c) free everywhere.
-	for col := 0; col < ctx.Size; col++ {
-		if col != c && freq[col] == len(pts) {
-			x.Color = col
-			ctx.cost = -1
+	// Wholesale recolor: a color (other than c) free everywhere —
+	// the AND over all per-point free rows.
+	if cap(ctx.accScratch) < occW {
+		ctx.accScratch = make([]uint64, occW)
+	}
+	acc := ctx.accScratch[:occW]
+	for j := range acc {
+		acc[j] = ^uint64(0)
+	}
+	for k := range pts {
+		fr := freeAt[k*occW : (k+1)*occW]
+		for j := 0; j < occW; j++ {
+			acc[j] &= fr[j]
+		}
+	}
+	acc[banWord] &^= banBit
+	for j := 0; j < occW; j++ {
+		if acc[j] != 0 {
+			x.Color = j<<6 + bits.TrailingZeros64(acc[j])
+			ctx.attach(i)
 			return nil
 		}
 	}
@@ -147,23 +225,32 @@ func (ctx *Context) recolorPiece(i, c int, crossingOnly bool) error {
 	// color is blocked by exactly one piece, and that blocker can itself
 	// move to a different color for free, displace it and take the color —
 	// still zero inserted moves.
-	if ctx.tryDisplace(x, c, crossing) {
+	if ctx.tryDisplace(i, c, cr != nil && cr.Intersects(x.Points)) {
 		return nil
 	}
 
 	// Split: assign a color per point, extending the current run while
 	// possible and preferring globally-often-free colors at run starts.
-	assign := make([]int, len(pts))
+	if cap(ctx.asgScratch) < len(pts) {
+		ctx.asgScratch = make([]int, len(pts))
+	}
+	assign := ctx.asgScratch[:len(pts)]
 	cur := -1
 	for k := range pts {
-		if cur >= 0 && freeAt[k][cur] {
+		fr := freeAt[k*occW : (k+1)*occW]
+		if cur >= 0 && fr[cur>>6]&(1<<(uint(cur)&63)) != 0 {
 			assign[k] = cur
 			continue
 		}
 		best, bestFreq := -1, -1
-		for col := 0; col < ctx.Size; col++ {
-			if freeAt[k][col] && freq[col] > bestFreq {
-				best, bestFreq = col, freq[col]
+		for j := 0; j < occW; j++ {
+			w := fr[j]
+			for w != 0 {
+				col := j<<6 + bits.TrailingZeros64(w)
+				if freq[col] > bestFreq {
+					best, bestFreq = col, freq[col]
+				}
+				w &= w - 1
 			}
 		}
 		if best < 0 {
@@ -187,34 +274,43 @@ func (ctx *Context) recolorPiece(i, c int, crossingOnly bool) error {
 		assign[k] = cur
 	}
 
-	// Rebuild: one piece per color used.
-	byColor := make(map[int]bitset.Set)
+	// Rebuild: one piece per color used, ascending color order; the
+	// lowest color reuses piece x in place.
+	cols := ctx.idxScratch[:0]
+	for k := range pts {
+		col := int32(assign[k])
+		found := false
+		for _, seen := range cols {
+			if seen == col {
+				found = true
+				break
+			}
+		}
+		if !found {
+			cols = append(cols, col)
+		}
+	}
+	ctx.idxScratch = cols
+	sort.Slice(cols, func(a, b int) bool { return cols[a] < cols[b] })
+	first := int(cols[0])
+	x.Color = first
+	x.Points.Clear()
 	for k, p := range pts {
-		s, ok := byColor[assign[k]]
-		if !ok {
-			s = bitset.New(ctx.np)
-			byColor[assign[k]] = s
+		if assign[k] == first {
+			x.Points.Add(p)
 		}
-		s.Add(p)
 	}
-	var cols []int
-	for col := range byColor {
-		cols = append(cols, col)
-	}
-	sort.Ints(cols)
-	first := true
-	for _, col := range cols {
-		if first {
-			x.Color = col
-			x.Points = byColor[col]
-			base := x.Var * ctx.np
-			x.Points.ForEach(func(pt int) { ctx.pieceOf[base+pt] = int32(i) })
-			first = false
-			continue
+	ctx.attach(i) // also restores pieceOf entries already pointing at i
+	for _, colv := range cols[1:] {
+		col := int(colv)
+		s := bitset.New(ctx.np)
+		for k, p := range pts {
+			if assign[k] == col {
+				s.Add(p)
+			}
 		}
-		ctx.addPiece(&Piece{Var: x.Var, Color: col, Points: byColor[col]})
+		ctx.addPiece(&Piece{Var: x.Var, Color: col, Points: s})
 	}
-	ctx.cost = -1
 	return nil
 }
 
@@ -224,72 +320,76 @@ func (ctx *Context) recolorPiece(i, c int, crossingOnly bool) error {
 // splits y's point p off into a fresh piece colored h. Returns the freed
 // color g, or -1 if no eviction is possible. The extra moves this costs
 // are picked up by MoveCost (and usually removed again by coalesce when a
-// cheaper candidate color wins).
+// cheaper candidate color wins). x must be detached.
 func (ctx *Context) evictSquatter(x *Piece, p, banned int) int {
-	crossing := ctx.crossingPoints(x)
-	if crossing == nil || !crossing.Has(p) {
+	cr := ctx.A.Crossings[x.Var]
+	if cr == nil || !cr.Has(p) {
 		return -1
 	}
-	// Spare color h: unused at p by anyone (x has no assignment at p yet).
-	rawFree := make([]bool, ctx.Size)
-	ctx.colorsFreeAt(p, x.Var, rawFree)
+	// Spare color h: unused at p by anyone (x is detached, so the occ row
+	// holds exactly the other pieces' colors).
+	row := ctx.occRow(p)
 	h := -1
-	for col := 0; col < ctx.Size; col++ {
-		if col != banned && rawFree[col] {
-			h = col
-			break
+	for j := 0; j < ctx.occW && h < 0; j++ {
+		w := ^row[j] & wordMask(j, ctx.Size)
+		if banned >= 0 && j == banned>>6 {
+			w &^= 1 << (uint(banned) & 63)
+		}
+		if w != 0 {
+			h = j<<6 + bits.TrailingZeros64(w)
 		}
 	}
 	if h < 0 {
 		return -1
 	}
-	// Squatter y: co-live at p, not crossing p, on a private color != banned.
-	g := -1
-	var victim *Piece
-	var victimIdx int
-	ctx.A.Live.At[p].ForEach(func(v int) {
-		if g >= 0 || v == x.Var {
-			return
+	// Squatter y: co-live at p, not crossing p, on a private color !=
+	// banned — first match in ascending variable order.
+	g, victimIdx := -1, -1
+	at := ctx.A.Live.At[p]
+	for v := at.NextSet(0); v >= 0; v = at.NextSet(v + 1) {
+		if v == x.Var {
+			continue
 		}
-		i := ctx.PieceAt(v, p)
-		if i < 0 {
-			return
+		iy := ctx.PieceAt(v, p)
+		if iy < 0 {
+			continue
 		}
-		y := ctx.Pieces[i]
+		y := ctx.Pieces[iy]
 		if y.Color >= ctx.Cap || y.Color == banned {
-			return
+			continue
 		}
-		if cr := ctx.A.Crossings[v]; cr != nil && cr.Has(p) {
-			return // y legitimately needs a private color here
+		if cry := ctx.A.Crossings[v]; cry != nil && cry.Has(p) {
+			continue // y legitimately needs a private color here
 		}
-		g, victim, victimIdx = y.Color, y, i
-	})
+		g, victimIdx = y.Color, iy
+		break
+	}
 	if g < 0 {
 		return -1
 	}
+	victim := ctx.Pieces[victimIdx]
+	ctx.touchVar(victim.Var)
 	// Split point p off victim onto color h.
 	victim.Points.Remove(p)
 	if victim.Points.Empty() {
 		// Single-point piece: just recolor it in place.
 		victim.Points.Add(p)
-		victim.Color = h
-		ctx.cost = -1
+		ctx.recolorWhole(victimIdx, h)
 		return g
 	}
-	np := &Piece{Var: victim.Var, Color: h, Points: bitsetWith(ctx.np, p)}
-	_ = victimIdx
-	ctx.addPiece(np)
-	ctx.cost = -1
+	ctx.occClear(p, g)
+	ctx.addPiece(&Piece{Var: victim.Var, Color: h, Points: bitsetWith(ctx.np, p)})
 	return g
 }
 
-// tryDisplace attempts the paper's neighbor-recolor heuristic for piece x
-// (leaving banned color c): find a candidate color c' whose only blocker
-// among x's co-live pieces is a single piece q, where q can wholesale-move
-// to yet another color; displace q, give x color c'. Both recolorings are
-// whole-piece, so the move cost stays zero. Returns success.
-func (ctx *Context) tryDisplace(x *Piece, c int, crossing bitset.Set) bool {
-	isCrossing := crossing != nil && !crossing.Empty()
+// tryDisplace attempts the paper's neighbor-recolor heuristic for piece
+// i = x (leaving banned color c): find a candidate color c' whose only
+// blocker among x's co-live pieces is a single piece q, where q can
+// wholesale-move to yet another color; displace q, give x color c'. Both
+// recolorings are whole-piece, so the move cost stays zero. x must be
+// detached; on success it is reattached with its new color.
+func (ctx *Context) tryDisplace(i, c int, isCrossing bool) bool {
+	x := ctx.Pieces[i]
 	limit := ctx.Size
 	if isCrossing {
 		limit = ctx.Cap
@@ -298,31 +398,24 @@ func (ctx *Context) tryDisplace(x *Piece, c int, crossing bitset.Set) bool {
 		if cand == c || cand == x.Color {
 			continue
 		}
-		// Find the blockers of cand over x's points.
-		blockers := make(map[int]bool)
-		tooMany := false
-		x.Points.ForEach(func(p int) {
-			if tooMany {
-				return
+		// Find the blockers of cand over x's points: pieces holding cand
+		// that intersect x.
+		qi, count := -1, 0
+		for _, idx := range ctx.byColor[cand] {
+			y := ctx.Pieces[idx]
+			if y.Var == x.Var {
+				continue
 			}
-			ctx.A.Live.At[p].ForEach(func(v int) {
-				if v == x.Var {
-					return
+			if y.Points.Intersects(x.Points) {
+				count++
+				if count > 1 {
+					break
 				}
-				if i := ctx.PieceAt(v, p); i >= 0 && ctx.Pieces[i].Color == cand {
-					blockers[i] = true
-					if len(blockers) > 1 {
-						tooMany = true
-					}
-				}
-			})
-		})
-		if tooMany || len(blockers) != 1 {
-			continue
+				qi = int(idx)
+			}
 		}
-		var qi int
-		for i := range blockers {
-			qi = i
+		if count != 1 {
+			continue
 		}
 		q := ctx.Pieces[qi]
 		if q.Color == c {
@@ -342,9 +435,10 @@ func (ctx *Context) tryDisplace(x *Piece, c int, crossing bitset.Set) bool {
 				continue
 			}
 			if ctx.canTake(q, qc) {
-				q.Color = qc
+				ctx.touchVar(q.Var)
+				ctx.recolorWhole(qi, qc)
 				x.Color = cand
-				ctx.cost = -1
+				ctx.attach(i)
 				return true
 			}
 		}
@@ -362,25 +456,65 @@ func bitsetWith(n, p int) bitset.Set {
 // merge a split piece into a sibling piece of the same variable whenever
 // the sibling's color is legal across the whole piece. Merging never
 // increases the move count and strictly reduces the piece count, so the
-// loop terminates.
+// loop terminates. Variables are visited in ascending order (the map
+// iteration this replaces left the merge order to chance).
 func (ctx *Context) coalesce() {
-	byVar := make(map[int][]int)
-	for i, x := range ctx.Pieces {
-		byVar[x.Var] = append(byVar[x.Var], i)
+	nv := ctx.A.NumVars
+	if cap(ctx.offScratch) < nv+1 {
+		ctx.offScratch = make([]int32, nv+1)
 	}
+	off := ctx.offScratch[:nv+1]
+	for k := range off {
+		off[k] = 0
+	}
+	for _, x := range ctx.Pieces {
+		off[x.Var+1]++
+	}
+	multi := false
+	for v := 0; v < nv; v++ {
+		if off[v+1] > 1 {
+			multi = true
+		}
+		off[v+1] += off[v]
+	}
+	if !multi {
+		return // every variable is in one piece: nothing to merge
+	}
+	if cap(ctx.idxScratch) < len(ctx.Pieces) {
+		ctx.idxScratch = make([]int32, len(ctx.Pieces))
+	}
+	flat := ctx.idxScratch[:len(ctx.Pieces)]
+	// Bucket piece indices by var; ascending index within each bucket.
+	cursors := ctx.freqScratch
+	if cap(cursors) < nv {
+		cursors = make([]int, nv)
+		ctx.freqScratch = cursors
+	}
+	cursors = cursors[:nv]
+	for v := 0; v < nv; v++ {
+		cursors[v] = int(off[v])
+	}
+	for i, x := range ctx.Pieces {
+		flat[cursors[x.Var]] = int32(i)
+		cursors[x.Var]++
+	}
+
 	changedAny := false
-	for _, idxs := range byVar {
+	for v := 0; v < nv; v++ {
+		idxs := flat[off[v]:off[v+1]]
 		if len(idxs) < 2 {
 			continue
 		}
 		for again := true; again; {
 			again = false
-			for _, i := range idxs {
+			for _, i32 := range idxs {
+				i := int(i32)
 				x := ctx.Pieces[i]
 				if x == nil {
 					continue
 				}
-				for _, j := range idxs {
+				for _, j32 := range idxs {
+					j := int(j32)
 					y := ctx.Pieces[j]
 					if y == nil || i == j {
 						continue
@@ -389,9 +523,19 @@ func (ctx *Context) coalesce() {
 						continue
 					}
 					// Merge x into y.
+					if x.Color != y.Color {
+						ctx.touchVar(v)
+						for p := x.Points.NextSet(0); p >= 0; p = x.Points.NextSet(p + 1) {
+							ctx.occClear(p, x.Color)
+							ctx.occSet(p, y.Color)
+						}
+					}
+					ctx.byColorRemove(x.Color, int32(i))
 					y.Points.Or(x.Points)
-					base := x.Var * ctx.np
-					x.Points.ForEach(func(pt int) { ctx.pieceOf[base+pt] = int32(j) })
+					base := v * ctx.np
+					for pt := x.Points.NextSet(0); pt >= 0; pt = x.Points.NextSet(pt + 1) {
+						ctx.pieceOf[base+pt] = int32(j)
+					}
 					ctx.Pieces[i] = nil
 					changedAny, again = true, true
 					break
@@ -400,18 +544,26 @@ func (ctx *Context) coalesce() {
 		}
 	}
 	if changedAny {
-		var kept []*Piece
+		kept := ctx.Pieces[:0]
 		for _, x := range ctx.Pieces {
 			if x != nil {
 				kept = append(kept, x)
 			}
+		}
+		// Clear the compacted-over tail: copyFrom reuses the backing array's
+		// spare slots as scratch Piece structs, and a stale pointer here
+		// would alias a live slot shifted down during compaction.
+		tail := ctx.Pieces[len(kept):]
+		for i := range tail {
+			tail[i] = nil
 		}
 		ctx.Pieces = kept
 		ctx.rebuildPieceIndex()
 	}
 }
 
-// canTake reports whether piece x could legally adopt color col.
+// canTake reports whether piece x could legally adopt color col: no piece
+// of another variable holding col overlaps x.
 func (ctx *Context) canTake(x *Piece, col int) bool {
 	if col < 0 || col >= ctx.Size {
 		return false
@@ -419,16 +571,11 @@ func (ctx *Context) canTake(x *Piece, col int) bool {
 	if col >= ctx.Cap && ctx.crosses(x) {
 		return false
 	}
-	ok := true
-	x.Points.ForEach(func(p int) {
-		if !ok {
-			return
+	for _, idx := range ctx.byColor[col] {
+		y := ctx.Pieces[idx]
+		if y.Var != x.Var && y.Points.Intersects(x.Points) {
+			return false
 		}
-		ctx.A.Live.At[p].ForEach(func(v int) {
-			if v != x.Var && ctx.ColorAt(v, p) == col {
-				ok = false
-			}
-		})
-	})
-	return ok
+	}
+	return true
 }

@@ -49,9 +49,17 @@ func Compute(f *ir.Func) *Info {
 	li.In = make([]bitset.Set, n)
 	li.Out = make([]bitset.Set, n)
 	li.At = make([]bitset.Set, n)
+	// All per-point sets come out of three contiguous backing arrays:
+	// one allocation each instead of one per point, and better locality
+	// for the backward sweeps below.
+	w := (nv + 63) / 64
+	inBack := make([]uint64, n*w)
+	outBack := make([]uint64, n*w)
+	atBack := make([]uint64, n*w)
 	for p := 0; p < n; p++ {
-		li.In[p] = bitset.New(nv)
-		li.Out[p] = bitset.New(nv)
+		li.In[p] = bitset.Set(inBack[p*w : (p+1)*w])
+		li.Out[p] = bitset.Set(outBack[p*w : (p+1)*w])
+		li.At[p] = bitset.Set(atBack[p*w : (p+1)*w])
 	}
 
 	// Worklist over blocks, backward. Within a block, propagate
@@ -63,6 +71,7 @@ func Compute(f *ir.Func) *Info {
 		inWork[i] = true
 	}
 	var uses []ir.Reg
+	scratch := bitset.New(nv) // reused new-In candidate, no per-instruction alloc
 	for len(work) > 0 {
 		bi := work[len(work)-1]
 		work = work[:len(work)-1]
@@ -81,7 +90,8 @@ func Compute(f *ir.Func) *Info {
 				li.Out[p].Copy(li.In[p+1])
 			}
 			in := li.In[p]
-			newIn := li.Out[p].Clone()
+			newIn := scratch
+			newIn.Copy(li.Out[p])
 			inst := f.Instr(p)
 			if inst.Def != ir.NoReg {
 				newIn.Remove(int(inst.Def))
@@ -106,11 +116,11 @@ func Compute(f *ir.Func) *Info {
 	}
 
 	for p := 0; p < n; p++ {
-		at := li.In[p].Clone()
+		at := li.At[p]
+		at.Copy(li.In[p])
 		if d := f.Instr(p).Def; d != ir.NoReg {
 			at.Add(int(d))
 		}
-		li.At[p] = at
 	}
 	return li
 }
@@ -198,11 +208,16 @@ func (li *Info) LiveVars() bitset.Set {
 func (li *Info) Points() []bitset.Set {
 	n := li.F.NumPoints()
 	pts := make([]bitset.Set, li.NumVars)
+	w := (n + 63) / 64
+	backing := make([]uint64, li.NumVars*w)
 	for v := range pts {
-		pts[v] = bitset.New(n)
+		pts[v] = bitset.Set(backing[v*w : (v+1)*w])
 	}
 	for p := 0; p < n; p++ {
-		li.At[p].ForEach(func(v int) { pts[v].Add(p) })
+		at := li.At[p]
+		for v := at.NextSet(0); v >= 0; v = at.NextSet(v + 1) {
+			pts[v].Add(p)
+		}
 	}
 	return pts
 }

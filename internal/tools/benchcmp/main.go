@@ -1,0 +1,203 @@
+// Command benchcmp guards the committed allocator benchmark numbers.
+//
+// It reads `go test -bench` output on stdin, keeps the best (minimum)
+// ns/op per benchmark across -count repeats, and then either:
+//
+//   - compares against a committed baseline JSON (-baseline), exiting
+//     nonzero when any shared benchmark regressed by more than the
+//     allowed fraction (-tolerance, default 10%), and/or
+//   - emits a candidate baseline JSON (-emit) whose numbers can replace
+//     the committed file after review.
+//
+// Usage (wired to `make bench` and `make benchcmp`):
+//
+//	go test -run '^$' -bench ... -count 5 . | go run ./internal/tools/benchcmp -emit BENCH_alloc.candidate.json
+//	go test -run '^$' -bench ... . | go run ./internal/tools/benchcmp -baseline BENCH_alloc.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// result is the per-benchmark summary extracted from the bench output.
+type result struct {
+	NsPerOp     float64  `json:"ns_per_op"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	CacheHitPct *float64 `json:"cache_hit_pct,omitempty"`
+	Runs        int      `json:"runs"`
+}
+
+// baseline mirrors the committed BENCH_alloc.json: only the benchmarks
+// map is interpreted; everything else is free-form commentary.
+type baseline struct {
+	Benchmarks map[string]struct {
+		NsPerOp float64 `json:"ns_per_op"`
+	} `json:"benchmarks"`
+}
+
+// candidate is the schema -emit writes.
+type candidate struct {
+	Date       string             `json:"date"`
+	Command    string             `json:"command"`
+	Host       map[string]any     `json:"host"`
+	Benchmarks map[string]*result `json:"benchmarks"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(.*)$`)
+var metric = regexp.MustCompile(`([0-9.]+) ([A-Za-z%][^\s]*)`)
+
+func main() {
+	baselinePath := flag.String("baseline", "", "committed baseline JSON to compare against")
+	emitPath := flag.String("emit", "", "write a candidate baseline JSON here")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed ns/op regression fraction before failing")
+	floor := flag.Float64("floor", 1000, "baselines below this many ns/op are reported but not gated (sub-microsecond timings are run-to-run noise on shared hosts)")
+	flag.Parse()
+	if *baselinePath == "" && *emitPath == "" {
+		fmt.Fprintln(os.Stderr, "benchcmp: nothing to do: pass -baseline and/or -emit")
+		os.Exit(2)
+	}
+
+	results := make(map[string]*result)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the output through for the log
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		r := results[name]
+		if r == nil {
+			r = &result{NsPerOp: ns}
+			results[name] = r
+		}
+		r.Runs++
+		if ns < r.NsPerOp {
+			r.NsPerOp = ns
+		}
+		for _, mm := range metric.FindAllStringSubmatch(m[4], -1) {
+			val, err := strconv.ParseFloat(mm[1], 64)
+			if err != nil {
+				continue
+			}
+			switch mm[2] {
+			case "allocs/op":
+				if r.AllocsPerOp == nil || val < *r.AllocsPerOp {
+					r.AllocsPerOp = &val
+				}
+			case "B/op":
+				if r.BytesPerOp == nil || val < *r.BytesPerOp {
+					r.BytesPerOp = &val
+				}
+			case "cache-hit-%":
+				r.CacheHitPct = &val
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchcmp: no benchmark lines found on stdin")
+		os.Exit(2)
+	}
+
+	if *emitPath != "" {
+		cand := candidate{
+			Date:    time.Now().Format("2006-01-02"),
+			Command: "make bench",
+			Host: map[string]any{
+				"goos": runtime.GOOS, "goarch": runtime.GOARCH, "cores": runtime.NumCPU(),
+			},
+			Benchmarks: results,
+		}
+		data, err := json.MarshalIndent(cand, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcmp:", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*emitPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchcmp:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "benchcmp: wrote %s (%d benchmarks, best of %d runs each)\n",
+			*emitPath, len(results), maxRuns(results))
+	}
+
+	if *baselinePath != "" {
+		data, err := os.ReadFile(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcmp:", err)
+			os.Exit(2)
+		}
+		var base baseline
+		if err := json.Unmarshal(data, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcmp: %s: %v\n", *baselinePath, err)
+			os.Exit(2)
+		}
+		names := make([]string, 0, len(base.Benchmarks))
+		for name := range base.Benchmarks {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		failed := false
+		compared := 0
+		for _, name := range names {
+			b := base.Benchmarks[name]
+			r, ok := results[name]
+			if !ok || b.NsPerOp <= 0 {
+				continue
+			}
+			compared++
+			delta := r.NsPerOp/b.NsPerOp - 1
+			status := "ok"
+			switch {
+			case b.NsPerOp < *floor:
+				status = "noise-exempt"
+			case delta > *tolerance:
+				status = "REGRESSED"
+				failed = true
+			}
+			fmt.Fprintf(os.Stderr, "benchcmp: %-32s base %14.1f ns/op  now %14.1f ns/op  %+6.1f%%  %s\n",
+				name, b.NsPerOp, r.NsPerOp, 100*delta, status)
+		}
+		if compared == 0 {
+			fmt.Fprintln(os.Stderr, "benchcmp: no overlapping benchmarks between stdin and baseline")
+			os.Exit(2)
+		}
+		if failed {
+			fmt.Fprintf(os.Stderr, "benchcmp: FAIL: ns/op regressed more than %.0f%% vs %s\n",
+				100**tolerance, *baselinePath)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchcmp: PASS: %d benchmarks within %.0f%% of %s\n",
+			compared, 100**tolerance, *baselinePath)
+	}
+}
+
+func maxRuns(results map[string]*result) int {
+	max := 0
+	for _, r := range results {
+		if r.Runs > max {
+			max = r.Runs
+		}
+	}
+	return max
+}
