@@ -1,12 +1,24 @@
 GO ?= go
 
 # The tier-1 gate: everything a PR must keep green.
+.PHONY: all
+all: check
+
 .PHONY: check
-check: vet build test race fuzz-smoke
+check: vet lint build test race fuzz-smoke
 
 .PHONY: vet
 vet:
 	$(GO) vet ./...
+
+# The npravet invariant suite (internal/analyzers): determinism
+# (detlint), error taxonomy (errtaxonomy), panic-freedom (panicfree),
+# context plumbing (ctxplumb) and scratch-pool aliasing (poolalias),
+# plus verification of the //lint: directives themselves. See
+# docs/INTERNALS.md "Static invariants & linting".
+.PHONY: lint
+lint:
+	$(GO) run ./cmd/npravet ./...
 
 .PHONY: build
 build:

@@ -1,0 +1,110 @@
+// Command npravet is the multichecker driver for the repository's
+// invariant analyzers (internal/analyzers): detlint, errtaxonomy,
+// panicfree, ctxplumb, poolalias, plus verification of the
+// //lint:ignore / //lint:invariant directives themselves.
+//
+// Usage:
+//
+//	npravet [-list] [packages]
+//
+// Packages default to ./... relative to the enclosing module. npravet
+// analyzes non-test sources (test files are exempt from every invariant
+// by design). Exit status is 1 when any diagnostic survives
+// suppression, 2 on operational failure.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"npra/internal/analyzers"
+	"npra/internal/analyzers/anz"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: npravet [-list] [packages]\n\nEnforces the allocator's invariants statically; see docs/INTERNALS.md.\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	suite := analyzers.Suite()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	modDir, modPath, err := findModule()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "npravet:", err)
+		os.Exit(2)
+	}
+	pats := flag.Args()
+	if len(pats) == 0 {
+		pats = []string{"./..."}
+	}
+	cfg := &anz.LoadConfig{ModulePath: modPath, ModuleDir: modDir}
+	pkgs, err := cfg.Load(pats...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "npravet:", err)
+		os.Exit(2)
+	}
+	diags, err := anz.Run(pkgs, suite)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "npravet:", err)
+		os.Exit(2)
+	}
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		pos := d.Pos
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				pos.Filename = rel
+			}
+		}
+		fmt.Printf("%s: [%s] %s\n", pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "npravet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// findModule walks up from the working directory to the enclosing
+// go.mod and returns its directory and module path.
+func findModule() (dir, path string, err error) {
+	dir, err = os.Getwd()
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		gomod := filepath.Join(dir, "go.mod")
+		if _, statErr := os.Stat(gomod); statErr == nil {
+			f, err := os.Open(gomod)
+			if err != nil {
+				return "", "", err
+			}
+			defer f.Close()
+			sc := bufio.NewScanner(f)
+			for sc.Scan() {
+				line := strings.TrimSpace(sc.Text())
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("no module line in %s", gomod)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod above working directory")
+		}
+		dir = parent
+	}
+}

@@ -1,3 +1,8 @@
+// Deliberately dependency-free: the build container has no module-proxy
+// access, so the static-analysis suite (cmd/npravet) runs on the
+// stdlib-only internal/analyzers/anz framework instead of a pinned
+// golang.org/x/tools — see docs/INTERNALS.md "Static invariants &
+// linting".
 module npra
 
 go 1.22

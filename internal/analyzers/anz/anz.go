@@ -1,0 +1,85 @@
+// Package anz is a small, dependency-free static-analysis framework
+// modeled on golang.org/x/tools/go/analysis. The container this repo is
+// built in has no module proxy access, so instead of depending on
+// x/tools the analyzer suite (see internal/analyzers) runs on this
+// stdlib-only re-implementation: the Analyzer/Pass/Diagnostic shapes
+// match the x/tools API closely enough that the passes could be ported
+// to a real multichecker by swapping the import.
+//
+// The framework deliberately mirrors the paper's stance: invariants are
+// proven over the *program text* (here, the allocator's own source)
+// rather than checked at runtime. Each analyzer encodes one invariant
+// established by earlier PRs — determinism, the error taxonomy,
+// panic-freedom, context plumbing, scratch-pool aliasing — and make
+// lint / CI fail the build when a change violates it.
+package anz
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one analysis pass: a named invariant and the
+// function that checks a single package against it.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:ignore directives. Lower-case, no spaces.
+	Name string
+
+	// Doc is the one-paragraph description shown by npravet -list.
+	Doc string
+
+	// Run checks one package and reports findings via pass.Reportf.
+	// The returned error aborts the whole run (reserved for analyzer
+	// bugs, not findings).
+	Run func(*Pass) error
+}
+
+// A Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+
+	// Path is the package's import path (e.g. "npra/internal/intra").
+	Path string
+
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	dirs *directiveSet
+	sink *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos. Suppression via //lint:ignore
+// directives is applied by the runner, not here.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.sink = append(*p.sink, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Invariant looks for a //lint:invariant directive attached to the line
+// at pos (trailing on the same line, or alone on the line above) and
+// marks it consumed. It returns the justification text and whether a
+// directive was found. Analyzers that accept documented invariant sites
+// (panicfree, ctxplumb) call this; a directive no analyzer consumes is
+// itself reported by the runner.
+func (p *Pass) Invariant(pos token.Pos) (string, bool) {
+	return p.dirs.invariantAt(p.Fset.Position(pos))
+}
+
+// A Diagnostic is one finding, already resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}

@@ -1,0 +1,184 @@
+package anz
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The suite understands two source directives, both verified rather
+// than trusted:
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <justification>
+//	//lint:invariant <justification>
+//
+// An ignore directive suppresses matching diagnostics reported on the
+// same line or the line directly below it ("*" matches any analyzer).
+// An invariant directive documents a deliberate panic or a
+// potentially-unbounded loop; panicfree and ctxplumb consume it via
+// Pass.Invariant. Both forms require a non-empty justification, and the
+// runner reports directives that are malformed, that suppress nothing,
+// or that no analyzer consumed.
+
+// minJustification is the shortest acceptable justification: long
+// enough that "ok" or "yes" cannot stand in for a reason.
+const minJustification = 10
+
+// DirectiveAnalyzer is the name under which directive-verification
+// findings are reported.
+const DirectiveAnalyzer = "lintdir"
+
+type directiveKind int
+
+const (
+	dirIgnore directiveKind = iota
+	dirInvariant
+)
+
+type directive struct {
+	kind      directiveKind
+	analyzers []string // dirIgnore only; may be ["*"]
+	reason    string
+	pos       token.Position // position of the comment itself
+	used      bool
+}
+
+// directiveSet holds the parsed directives of one package plus any
+// malformed-directive diagnostics found while parsing.
+type directiveSet struct {
+	byFile    map[string][]*directive
+	malformed []Diagnostic
+}
+
+func parseDirectives(fset *token.FileSet, files []*ast.File) *directiveSet {
+	ds := &directiveSet{byFile: make(map[string][]*directive)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				ds.add(pos, text)
+			}
+		}
+	}
+	return ds
+}
+
+func (ds *directiveSet) add(pos token.Position, text string) {
+	verb, rest, _ := strings.Cut(strings.TrimSpace(text), " ")
+	rest = strings.TrimSpace(rest)
+	switch verb {
+	case "ignore":
+		names, reason, _ := strings.Cut(rest, " ")
+		reason = strings.TrimSpace(reason)
+		if names == "" || len(reason) < minJustification {
+			ds.malformed = append(ds.malformed, Diagnostic{
+				Pos:      pos,
+				Analyzer: DirectiveAnalyzer,
+				Message:  "malformed directive: want //lint:ignore <analyzer>[,<analyzer>...] <justification> (justification of at least " + itoa(minJustification) + " characters)",
+			})
+			return
+		}
+		ds.byFile[pos.Filename] = append(ds.byFile[pos.Filename], &directive{
+			kind: dirIgnore, analyzers: strings.Split(names, ","), reason: reason, pos: pos,
+		})
+	case "invariant":
+		if len(rest) < minJustification {
+			ds.malformed = append(ds.malformed, Diagnostic{
+				Pos:      pos,
+				Analyzer: DirectiveAnalyzer,
+				Message:  "malformed directive: //lint:invariant needs a justification of at least " + itoa(minJustification) + " characters",
+			})
+			return
+		}
+		ds.byFile[pos.Filename] = append(ds.byFile[pos.Filename], &directive{
+			kind: dirInvariant, reason: rest, pos: pos,
+		})
+	default:
+		ds.malformed = append(ds.malformed, Diagnostic{
+			Pos:      pos,
+			Analyzer: DirectiveAnalyzer,
+			Message:  "unknown directive //lint:" + verb + " (known: ignore, invariant)",
+		})
+	}
+}
+
+// attaches reports whether a directive on line dl governs code on line
+// cl: trailing on the same line, or alone on the line directly above.
+func attaches(dl, cl int) bool { return dl == cl || dl == cl-1 }
+
+// invariantAt finds and consumes an invariant directive attached to the
+// given source line.
+func (ds *directiveSet) invariantAt(pos token.Position) (string, bool) {
+	for _, d := range ds.byFile[pos.Filename] {
+		if d.kind == dirInvariant && attaches(d.pos.Line, pos.Line) {
+			d.used = true
+			return d.reason, true
+		}
+	}
+	return "", false
+}
+
+// suppressed reports whether an ignore directive covers the diagnostic,
+// marking the directive used.
+func (ds *directiveSet) suppressed(d Diagnostic) bool {
+	if d.Analyzer == DirectiveAnalyzer {
+		return false
+	}
+	for _, dir := range ds.byFile[d.Pos.Filename] {
+		if dir.kind != dirIgnore || !attaches(dir.pos.Line, d.Pos.Line) {
+			continue
+		}
+		for _, name := range dir.analyzers {
+			if name == "*" || name == d.Analyzer {
+				dir.used = true
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// verify returns diagnostics for malformed directives and — when the
+// analyzer set ran is broad enough to judge (checkUnused) — for
+// directives that suppressed nothing or were never consumed.
+func (ds *directiveSet) verify(checkUnused bool) []Diagnostic {
+	out := append([]Diagnostic(nil), ds.malformed...)
+	if !checkUnused {
+		return out
+	}
+	files := make([]string, 0, len(ds.byFile))
+	for f := range ds.byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		for _, d := range ds.byFile[f] {
+			if d.used {
+				continue
+			}
+			switch d.kind {
+			case dirIgnore:
+				out = append(out, Diagnostic{
+					Pos:      d.pos,
+					Analyzer: DirectiveAnalyzer,
+					Message:  "unused //lint:ignore directive: no " + strings.Join(d.analyzers, ",") + " diagnostic on this or the next line",
+				})
+			case dirInvariant:
+				out = append(out, Diagnostic{
+					Pos:      d.pos,
+					Analyzer: DirectiveAnalyzer,
+					Message:  "stray //lint:invariant directive: does not annotate a panic site or a loop any analyzer accepts justifications for",
+				})
+			}
+		}
+	}
+	return out
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }

@@ -1,0 +1,120 @@
+package anz
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseFixture(t *testing.T, src string) *directiveSet {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+	return parseDirectives(fset, []*ast.File{f})
+}
+
+// Malformed directives are reported even when unused-checking is off:
+// a too-short ignore justification, a too-short invariant
+// justification, and an ignore with no analyzer list.
+func TestMalformedDirectives(t *testing.T) {
+	ds := parseFixture(t, `package p
+
+//lint:ignore detlint short
+//lint:invariant tiny
+//lint:ignore
+func F() {}
+`)
+	diags := ds.verify(false)
+	if len(diags) != 3 {
+		t.Fatalf("got %d diagnostics, want 3: %v", len(diags), diags)
+	}
+	for i, wantSub := range []string{
+		"justification of at least 10 characters",
+		"justification of at least 10 characters",
+		"justification of at least 10 characters",
+	} {
+		if !strings.Contains(diags[i].Message, wantSub) {
+			t.Errorf("diagnostic %d = %q, want substring %q", i, diags[i].Message, wantSub)
+		}
+	}
+}
+
+func TestUnknownDirectiveVerb(t *testing.T) {
+	ds := parseFixture(t, `package p
+
+//lint:checksum deadbeef
+func F() {}
+`)
+	diags := ds.verify(false)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "unknown directive //lint:checksum") {
+		t.Fatalf("got %v, want one unknown-directive diagnostic", diags)
+	}
+}
+
+// An invariant attaches to its own line and the line directly below,
+// and is consumed at most once.
+func TestInvariantAttachment(t *testing.T) {
+	ds := parseFixture(t, `package p
+
+func F() {
+	//lint:invariant the worklist strictly shrinks
+	for {
+	}
+}
+`)
+	at := func(line int) bool {
+		_, ok := ds.invariantAt(token.Position{Filename: "fix.go", Line: line})
+		return ok
+	}
+	if at(6) {
+		t.Error("invariant attached two lines below the directive")
+	}
+	if !at(5) {
+		t.Error("invariant did not attach to the line directly below")
+	}
+	if stray := ds.verify(true); len(stray) != 0 {
+		t.Errorf("consumed invariant still reported: %v", stray)
+	}
+}
+
+// Suppression covers only the named analyzers on the attached lines,
+// and an ignore that never fires is reported when unused-checking is
+// on.
+func TestIgnoreSuppression(t *testing.T) {
+	ds := parseFixture(t, `package p
+
+func F() {
+	//lint:ignore detlint,panicfree deterministic by construction
+	_ = 1
+	//lint:ignore poolalias justified but never triggered
+	_ = 2
+}
+`)
+	diag := func(analyzer string, line int) Diagnostic {
+		return Diagnostic{
+			Pos:      token.Position{Filename: "fix.go", Line: line},
+			Analyzer: analyzer,
+		}
+	}
+	if !ds.suppressed(diag("detlint", 5)) {
+		t.Error("detlint diagnostic on the next line was not suppressed")
+	}
+	if !ds.suppressed(diag("panicfree", 4)) {
+		t.Error("panicfree diagnostic on the directive line was not suppressed")
+	}
+	if ds.suppressed(diag("errtaxonomy", 5)) {
+		t.Error("unlisted analyzer was suppressed")
+	}
+	if ds.suppressed(diag("detlint", 7)) {
+		t.Error("suppression leaked past its attachment range")
+	}
+	unused := ds.verify(true)
+	if len(unused) != 1 || !strings.Contains(unused[0].Message, "unused //lint:ignore") {
+		t.Errorf("got %v, want exactly the poolalias ignore reported unused", unused)
+	}
+}

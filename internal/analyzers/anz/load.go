@@ -1,0 +1,266 @@
+package anz
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"npra/internal/core/errs"
+)
+
+// A Package is one parsed, type-checked package ready for analysis.
+type Package struct {
+	Path  string // import path
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// LoadConfig locates and type-checks packages without the go/packages
+// machinery. Two layouts are supported:
+//
+//   - module mode: ModulePath/ModuleDir name the enclosing module;
+//     import paths under ModulePath resolve to directories inside it.
+//   - fixture mode: FixtureDir is a GOPATH-style root; import path p
+//     resolves to FixtureDir/src/p. Used by anztest so analyzer
+//     fixtures can stub internal packages (npra/internal/core/errs,
+//     npra/internal/intra, ...) without touching the real ones.
+//
+// Standard-library imports are type-checked from GOROOT source via
+// go/importer's "source" compiler, which needs no network and no
+// pre-built export data.
+type LoadConfig struct {
+	ModulePath string
+	ModuleDir  string
+	FixtureDir string
+
+	fset   *token.FileSet
+	std    types.ImporterFrom
+	loaded map[string]*Package
+	stack  []string
+}
+
+// Load type-checks the packages named by patterns. A pattern is either
+// an import path or a "dir/..." wildcard that walks for directories
+// containing non-test Go files (testdata, vendor and dot-directories
+// are skipped). Results are sorted by import path.
+func (c *LoadConfig) Load(patterns ...string) ([]*Package, error) {
+	c.fset = token.NewFileSet()
+	c.loaded = make(map[string]*Package)
+	std := importer.ForCompiler(c.fset, "source", nil)
+	from, ok := std.(types.ImporterFrom)
+	if !ok {
+		return nil, errs.Internalf("analyzers: source importer is not an ImporterFrom")
+	}
+	c.std = from
+
+	var paths []string
+	seen := make(map[string]bool)
+	for _, pat := range patterns {
+		expanded, err := c.expand(pat)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range expanded {
+			if !seen[p] {
+				seen[p] = true
+				paths = append(paths, p)
+			}
+		}
+	}
+	sort.Strings(paths)
+
+	var pkgs []*Package
+	for _, p := range paths {
+		pkg, err := c.load(p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// expand resolves one pattern to concrete import paths.
+func (c *LoadConfig) expand(pat string) ([]string, error) {
+	root, prefix := c.ModuleDir, c.ModulePath
+	if c.FixtureDir != "" {
+		root, prefix = filepath.Join(c.FixtureDir, "src"), ""
+	}
+	rel, wild := strings.CutSuffix(pat, "...")
+	if !wild {
+		// A non-wildcard "./dir" pattern names one package relative to
+		// the module root.
+		if c.ModulePath != "" {
+			if p := strings.TrimSuffix(strings.TrimPrefix(pat, "./"), "/"); p != pat {
+				if p == "" || p == "." {
+					return []string{c.ModulePath}, nil
+				}
+				return []string{c.ModulePath + "/" + filepath.ToSlash(p)}, nil
+			}
+		}
+		return []string{pat}, nil
+	}
+	rel = strings.TrimSuffix(strings.TrimPrefix(rel, "./"), "/")
+	base := root
+	if rel != "" && rel != "." {
+		base = filepath.Join(root, rel)
+	}
+	var out []string
+	err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != base && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if !hasGoFiles(path) {
+			return nil
+		}
+		relDir, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		ip := filepath.ToSlash(relDir)
+		if prefix != "" {
+			if ip == "." {
+				ip = prefix
+			} else {
+				ip = prefix + "/" + ip
+			}
+		}
+		out = append(out, ip)
+		return nil
+	})
+	if err != nil {
+		return nil, errs.Invalidf("analyzers: expanding pattern %q: %v", pat, err)
+	}
+	return out, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		n := e.Name()
+		if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// dirFor maps an import path to a source directory, or "" for paths
+// that should be resolved as standard library.
+func (c *LoadConfig) dirFor(path string) string {
+	if c.FixtureDir != "" {
+		dir := filepath.Join(c.FixtureDir, "src", filepath.FromSlash(path))
+		if hasGoFiles(dir) {
+			return dir
+		}
+	}
+	if c.ModulePath != "" {
+		if path == c.ModulePath {
+			return c.ModuleDir
+		}
+		if rest, ok := strings.CutPrefix(path, c.ModulePath+"/"); ok {
+			return filepath.Join(c.ModuleDir, filepath.FromSlash(rest))
+		}
+	}
+	return ""
+}
+
+// load parses and type-checks one non-stdlib package, memoized.
+func (c *LoadConfig) load(path string) (*Package, error) {
+	if pkg, ok := c.loaded[path]; ok {
+		if pkg == nil {
+			return nil, errs.Invalidf("analyzers: import cycle through %q (chain %s)", path, strings.Join(c.stack, " -> "))
+		}
+		return pkg, nil
+	}
+	dir := c.dirFor(path)
+	if dir == "" {
+		return nil, errs.Invalidf("analyzers: cannot resolve import path %q to a directory", path)
+	}
+	c.loaded[path] = nil // cycle marker
+	c.stack = append(c.stack, path)
+	defer func() { c.stack = c.stack[:len(c.stack)-1] }()
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, errs.Invalidf("analyzers: reading %s: %v", dir, err)
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, errs.Invalidf("analyzers: no Go files in %s", dir)
+	}
+
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(c.fset, filepath.Join(dir, n), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, errs.Invalidf("analyzers: parsing %s: %v", n, err)
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: (*loaderImporter)(c)}
+	tpkg, err := conf.Check(path, c.fset, files, info)
+	if err != nil {
+		return nil, errs.Invalidf("analyzers: type-checking %s: %v", path, err)
+	}
+
+	pkg := &Package{Path: path, Dir: dir, Fset: c.fset, Files: files, Types: tpkg, Info: info}
+	c.loaded[path] = pkg
+	return pkg, nil
+}
+
+// loaderImporter adapts the loader to types.Importer: project and
+// fixture paths recurse into load; everything else is standard library.
+type loaderImporter LoadConfig
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	c := (*LoadConfig)(li)
+	if c.dirFor(path) != "" {
+		pkg, err := c.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	tpkg, err := c.std.Import(path)
+	if err != nil {
+		return nil, fmt.Errorf("importing %s: %w", path, err)
+	}
+	return tpkg, nil
+}

@@ -1,0 +1,68 @@
+package anz
+
+import (
+	"sort"
+
+	"npra/internal/core/errs"
+)
+
+// Run executes every analyzer over every package, applies //lint:ignore
+// suppression, verifies directives, and returns the surviving
+// diagnostics sorted by position.
+//
+// Unused-directive verification only makes sense when the consuming
+// analyzers actually ran, so it is enabled when the set includes
+// panicfree (the primary consumer of //lint:invariant); single-analyzer
+// runs — anztest fixtures — otherwise still verify well-formedness.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	checkUnused := false
+	for _, a := range analyzers {
+		if a.Name == "panicfree" {
+			checkUnused = true
+		}
+	}
+
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		dirs := parseDirectives(pkg.Fset, pkg.Files)
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Path:     pkg.Path,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				dirs:     dirs,
+				sink:     &raw,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, errs.Internalf("analyzers: %s on %s: %v", a.Name, pkg.Path, err)
+			}
+		}
+		for _, d := range raw {
+			if !dirs.suppressed(d) {
+				out = append(out, d)
+			}
+		}
+		out = append(out, dirs.verify(checkUnused)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return out, nil
+}

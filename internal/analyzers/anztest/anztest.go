@@ -1,0 +1,110 @@
+// Package anztest is a minimal stand-in for
+// golang.org/x/tools/go/analysis/analysistest: it loads fixture
+// packages from a GOPATH-style testdata tree (fixtureDir/src/<path>),
+// runs one analyzer over them, and checks the diagnostics against
+// expectations written in the fixture sources as trailing comments:
+//
+//	for k := range m { // want `map iteration order feeds order-dependent code`
+//
+// Each // want comment holds one or more regexps (backquoted or
+// double-quoted) that must match a diagnostic reported on that line.
+// Diagnostics with no matching expectation, and expectations no
+// diagnostic matched, both fail the test — so fixtures demonstrate
+// suppression (a //lint:ignore'd line carries no want) as mechanically
+// as they demonstrate detection.
+package anztest
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"npra/internal/analyzers/anz"
+)
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantArg extracts the backquoted or double-quoted regexps after a
+// "// want" marker.
+var wantArg = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// Run loads the fixture packages named by paths from
+// fixtureDir/src/<path> and verifies analyzer a's diagnostics against
+// the fixtures' // want expectations.
+func Run(t *testing.T, fixtureDir string, a *anz.Analyzer, paths ...string) {
+	t.Helper()
+	cfg := &anz.LoadConfig{FixtureDir: fixtureDir}
+	pkgs, err := cfg.Load(paths...)
+	if err != nil {
+		t.Fatalf("loading fixtures from %s: %v", fixtureDir, err)
+	}
+	wants := collectWants(t, pkgs)
+	diags, err := anz.Run(pkgs, []*anz.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: want diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// collectWants parses every // want comment in the fixture sources. The
+// marker may sit anywhere in the comment text, so an expectation can
+// share a line with a //lint: directive under test.
+func collectWants(t *testing.T, pkgs []*anz.Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					_, rest, ok := strings.Cut(c.Text, "// want ")
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					matches := wantArg.FindAllStringSubmatch(rest, -1)
+					if len(matches) == 0 {
+						t.Fatalf("%s:%d: malformed // want comment: no quoted regexp", pos.Filename, pos.Line)
+					}
+					for _, m := range matches {
+						pat := m[1]
+						if pat == "" {
+							pat = m[2]
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s:%d: bad // want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+						}
+						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// claim marks the first unmatched expectation on the diagnostic's line
+// whose regexp matches, reporting whether one was found.
+func claim(wants []*expectation, d anz.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

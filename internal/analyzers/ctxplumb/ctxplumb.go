@@ -1,0 +1,179 @@
+// Package ctxplumb enforces the PR-2 cancellation contract in two
+// mechanical parts:
+//
+//  1. Delegation: when a package exports both F and FCtx (the ctx-aware
+//     variant introduced so old call sites keep compiling), F must
+//     delegate to FCtx — a drifted non-ctx twin silently loses timeout
+//     and cancellation coverage.
+//
+//  2. Cancellation polling: in the solver packages (internal/intra,
+//     internal/estimate) any potentially unbounded loop — a for
+//     statement that is not a classic init;cond;post counted loop and
+//     not a range — must poll cancellation via parallel.CtxErr or
+//     ctx.Err, or carry a //lint:invariant justification proving
+//     termination (worklist strictly shrinks, bit-clear loop, ...).
+//     parallel.CtxErr is preferred over ctx.Err because it also polls
+//     the deadline clock (a saturated GOMAXPROCS=1 box can starve the
+//     deadline timer, see internal/parallel).
+package ctxplumb
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"npra/internal/analyzers/anz"
+)
+
+// Analyzer is the ctxplumb pass.
+var Analyzer = &anz.Analyzer{
+	Name: "ctxplumb",
+	Doc: "non-ctx variants must delegate to their Ctx twin; unbounded loops in " +
+		"intra/estimate must poll parallel.CtxErr/ctx.Err or justify termination",
+	Run: run,
+}
+
+// loopPackages are the solver packages whose inner loops dominate
+// Solve latency and therefore must stay cancellable (or provably
+// bounded).
+var loopPackages = map[string]bool{
+	"npra/internal/intra":    true,
+	"npra/internal/estimate": true,
+}
+
+func run(pass *anz.Pass) error {
+	checkDelegation(pass)
+	if loopPackages[pass.Path] {
+		checkLoops(pass)
+	}
+	return nil
+}
+
+// checkDelegation pairs exported F with FCtx per receiver type and
+// verifies F's body references FCtx.
+func checkDelegation(pass *anz.Pass) {
+	decls := make(map[string]*ast.FuncDecl)
+	var keys []string
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				key := recvKey(fd) + "." + fd.Name.Name
+				decls[key] = fd
+				keys = append(keys, key)
+			}
+		}
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		fd := decls[key]
+		name := fd.Name.Name
+		if !ast.IsExported(name) || strings.HasSuffix(name, "Ctx") {
+			continue
+		}
+		ctxName := name + "Ctx"
+		if _, ok := decls[recvKey(fd)+"."+ctxName]; !ok {
+			continue
+		}
+		if !references(fd.Body, ctxName) {
+			pass.Reportf(fd.Pos(), "%s has a %s variant but does not delegate to it; the two code paths will drift and the non-ctx path loses cancellation", key, ctxName)
+		}
+	}
+}
+
+func recvKey(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return "?"
+}
+
+func references(body *ast.BlockStmt, name string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// checkLoops flags potentially unbounded for statements without a
+// cancellation poll or termination justification.
+func checkLoops(pass *anz.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fs, ok := n.(*ast.ForStmt)
+			if !ok {
+				return true
+			}
+			if fs.Init != nil && fs.Cond != nil && fs.Post != nil {
+				return true // classic counted loop: statically bounded
+			}
+			if pollsCancellation(pass, fs.Body) {
+				return true
+			}
+			if _, ok := pass.Invariant(fs.Pos()); ok {
+				return true
+			}
+			pass.Reportf(fs.Pos(), "potentially unbounded loop without a parallel.CtxErr/ctx.Err cancellation poll; add one or document termination with //lint:invariant")
+			return true
+		})
+	}
+}
+
+// pollsCancellation looks for parallel.CtxErr(...) or a .Err()/.Done()
+// call on a context.Context value anywhere in the loop body (nested
+// function literals excluded — their execution is not guaranteed).
+func pollsCancellation(pass *anz.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := pass.Info.Uses[id].(*types.PkgName); ok {
+				if strings.HasSuffix(pn.Imported().Path(), "internal/parallel") && sel.Sel.Name == "CtxErr" {
+					found = true
+				}
+				return true
+			}
+		}
+		if sel.Sel.Name != "Err" && sel.Sel.Name != "Done" {
+			return true
+		}
+		if tv, ok := pass.Info.Types[sel.X]; ok && isContext(tv.Type) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

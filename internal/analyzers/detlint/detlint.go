@@ -1,0 +1,275 @@
+// Package detlint enforces the determinism invariant behind the
+// allocator's -j1 ≡ -jN guarantee (PR 1): identical inputs must produce
+// bit-identical allocations at every worker count, which outlaws the
+// two classic sources of run-to-run variation in Go:
+//
+//  1. iteration over a map whose visit order feeds order-dependent code
+//     (appends that are never sorted, I/O, selection of a "first"
+//     element, returns), and
+//  2. wall-clock or PRNG input to library code: time.Now and math/rand
+//     outside internal/bench, internal/experiments, internal/tools and
+//     test files.
+//
+// Map iteration that is provably order-insensitive is allowed: bodies
+// that only write through the iteration key (m2[k] = ...), delete from
+// a map, or accumulate with commutative operators (+=, |=, &=, ^=, *=,
+// ++/--), and loops that collect keys into a slice which is passed to a
+// sort call later in the same block. Everything else needs a sorted
+// iteration or a justified //lint:ignore detlint directive.
+package detlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"npra/internal/analyzers/anz"
+)
+
+// Analyzer is the detlint pass.
+var Analyzer = &anz.Analyzer{
+	Name: "detlint",
+	Doc: "flags map iteration feeding order-dependent code, and time.Now/math/rand " +
+		"use outside bench/experiments/tools, to keep -j1 and -jN bit-identical",
+	Run: run,
+}
+
+// clockExempt lists package-path prefixes where wall-clock and PRNG use
+// is expected: benchmarking, experiment drivers and offline dev tools.
+var clockExempt = []string{
+	"npra/internal/bench",
+	"npra/internal/experiments",
+	"npra/internal/tools",
+	"npra/cmd/npbench", // the benchmark driver's whole job is timing
+}
+
+func run(pass *anz.Pass) error {
+	exemptClock := false
+	for _, p := range clockExempt {
+		if pass.Path == p || strings.HasPrefix(pass.Path, p+"/") {
+			exemptClock = true
+		}
+	}
+	for _, f := range pass.Files {
+		if !exemptClock {
+			checkClockAndRand(pass, f)
+		}
+		checkMapRanges(pass, f)
+	}
+	return nil
+}
+
+// checkClockAndRand reports math/rand imports and time.Now call sites.
+func checkClockAndRand(pass *anz.Pass, f *ast.File) {
+	for _, imp := range f.Imports {
+		switch strings.Trim(imp.Path.Value, `"`) {
+		case "math/rand", "math/rand/v2":
+			pass.Reportf(imp.Pos(), "import of %s in library code: PRNG input breaks the -j1 ≡ -jN determinism invariant", imp.Path.Value)
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Now" {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if pn, ok := pass.Info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "time" {
+			pass.Reportf(sel.Pos(), "time.Now in library code: wall-clock input breaks the -j1 ≡ -jN determinism invariant")
+		}
+		return true
+	})
+}
+
+// checkMapRanges walks every statement list so that a flagged range
+// loop can also see its following siblings (for the collect-then-sort
+// idiom).
+func checkMapRanges(pass *anz.Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		var list []ast.Stmt
+		switch s := n.(type) {
+		case *ast.BlockStmt:
+			list = s.List
+		case *ast.CaseClause:
+			list = s.Body
+		case *ast.CommClause:
+			list = s.Body
+		default:
+			return true
+		}
+		for i, st := range list {
+			rs, ok := st.(*ast.RangeStmt)
+			if !ok || !isMapType(pass, rs.X) {
+				continue
+			}
+			checkOneMapRange(pass, rs, list[i+1:])
+		}
+		return true
+	})
+}
+
+func isMapType(pass *anz.Pass, x ast.Expr) bool {
+	tv, ok := pass.Info.Types[x]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// checkOneMapRange reports the loop unless every statement in its body
+// is order-insensitive. Appends are tolerated when the target slice is
+// handed to a sort call later among the following sibling statements.
+func checkOneMapRange(pass *anz.Pass, rs *ast.RangeStmt, following []ast.Stmt) {
+	var appendTargets []types.Object
+	if ok := orderInsensitive(pass, rs.Body.List, &appendTargets); !ok {
+		pass.Reportf(rs.Pos(), "map iteration order feeds order-dependent code; iterate sorted keys, restructure the body, or justify with //lint:ignore detlint")
+		return
+	}
+	for _, target := range appendTargets {
+		if !sortedLater(pass, target, following) {
+			pass.Reportf(rs.Pos(), "map iteration appends to %s which is never sorted afterwards; sort it or iterate sorted keys", target.Name())
+			return
+		}
+	}
+}
+
+// orderInsensitive reports whether every statement in list commutes
+// with reordering of loop iterations. Append targets are collected for
+// the caller to verify a later sort.
+func orderInsensitive(pass *anz.Pass, list []ast.Stmt, appends *[]types.Object) bool {
+	for _, st := range list {
+		switch s := st.(type) {
+		case *ast.AssignStmt:
+			if !assignOK(pass, s, appends) {
+				return false
+			}
+		case *ast.IncDecStmt:
+			// counters commute
+		case *ast.ExprStmt:
+			if !isDelete(pass, s.X) {
+				return false
+			}
+		case *ast.IfStmt:
+			if s.Init != nil {
+				if as, ok := s.Init.(*ast.AssignStmt); !ok || !assignOK(pass, as, appends) {
+					return false
+				}
+			}
+			if !orderInsensitive(pass, s.Body.List, appends) {
+				return false
+			}
+			switch e := s.Else.(type) {
+			case nil:
+			case *ast.BlockStmt:
+				if !orderInsensitive(pass, e.List, appends) {
+					return false
+				}
+			case *ast.IfStmt:
+				if !orderInsensitive(pass, []ast.Stmt{e}, appends) {
+					return false
+				}
+			default:
+				return false
+			}
+		case *ast.BlockStmt:
+			if !orderInsensitive(pass, s.List, appends) {
+				return false
+			}
+		case *ast.BranchStmt:
+			if s.Tok != token.CONTINUE {
+				return false // break/goto make the visited subset order-dependent
+			}
+		case *ast.EmptyStmt, *ast.DeclStmt:
+			// harmless
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// assignOK accepts map-index writes, commutative compound assignments,
+// and x = append(x, ...) (recorded for the sorted-later check).
+func assignOK(pass *anz.Pass, s *ast.AssignStmt, appends *[]types.Object) bool {
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN, token.MUL_ASSIGN:
+		return true
+	case token.ASSIGN, token.DEFINE:
+		if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+			if id, ok := s.Lhs[0].(*ast.Ident); ok {
+				if call, ok := s.Rhs[0].(*ast.CallExpr); ok && isBuiltin(pass, call.Fun, "append") {
+					if len(call.Args) > 0 {
+						if base, ok := call.Args[0].(*ast.Ident); ok && base.Name == id.Name {
+							if obj := pass.Info.ObjectOf(id); obj != nil {
+								*appends = append(*appends, obj)
+								return true
+							}
+						}
+					}
+					return false
+				}
+			}
+		}
+		for _, l := range s.Lhs {
+			ix, ok := l.(*ast.IndexExpr)
+			if !ok || !isMapType(pass, ix.X) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func isDelete(pass *anz.Pass, x ast.Expr) bool {
+	call, ok := x.(*ast.CallExpr)
+	return ok && isBuiltin(pass, call.Fun, "delete")
+}
+
+func isBuiltin(pass *anz.Pass, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isB := pass.Info.Uses[id].(*types.Builtin)
+	return isB
+}
+
+// sortedLater reports whether one of the following sibling statements
+// passes target to a sort call (sort.Strings, sort.Slice, ...).
+func sortedLater(pass *anz.Pass, target types.Object, following []ast.Stmt) bool {
+	for _, st := range following {
+		found := false
+		ast.Inspect(st, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pn, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if p, ok := pass.Info.Uses[pn].(*types.PkgName); !ok || (p.Imported().Path() != "sort" && p.Imported().Path() != "slices") {
+				return true
+			}
+			for _, arg := range call.Args {
+				if id, ok := arg.(*ast.Ident); ok && pass.Info.ObjectOf(id) == target {
+					found = true
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

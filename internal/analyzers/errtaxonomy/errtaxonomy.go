@@ -1,0 +1,139 @@
+// Package errtaxonomy enforces the PR-2 error contract: every error
+// crossing an internal package boundary wraps exactly one of the core
+// taxonomy sentinels (ErrInvalid, ErrInfeasible, ErrTimeout,
+// ErrInternal — see internal/core/errs), so callers can route on
+// errors.Is without string matching.
+//
+// The mechanical form of the invariant: an exported function or method
+// of an internal package must not return a freshly constructed untyped
+// error — errors.New(...), or fmt.Errorf without a %w verb. Wrapped
+// construction (fmt.Errorf("...: %w", ...), the core/errs helper
+// constructors) and pass-through of an error received from a callee are
+// accepted, because the callee is held to the same rule.
+//
+// Allowlist (from the issue): the ir package (its parse errors are
+// deliberately plain, classified by core.Wrap at the boundary) and
+// Must* helpers (which panic rather than return).
+package errtaxonomy
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"npra/internal/analyzers/anz"
+)
+
+// Analyzer is the errtaxonomy pass.
+var Analyzer = &anz.Analyzer{
+	Name: "errtaxonomy",
+	Doc: "exported functions of internal packages must not return unwrapped " +
+		"errors.New/fmt.Errorf errors; wrap a core taxonomy sentinel via %w",
+	Run: run,
+}
+
+// exemptPaths lists internal packages whose exported errors are outside
+// the taxonomy by design.
+var exemptPaths = map[string]bool{
+	"npra/internal/ir": true, // parse errors are plain; core.Wrap classifies them
+}
+
+func run(pass *anz.Pass) error {
+	if !strings.Contains(pass.Path, "internal/") || exemptPaths[pass.Path] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isBoundary(fd) {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// isBoundary reports whether fd is callable from outside the package:
+// an exported function, or an exported method on an exported type.
+// Must* helpers are exempt — they panic instead of returning errors.
+func isBoundary(fd *ast.FuncDecl) bool {
+	name := fd.Name.Name
+	if !ast.IsExported(name) || strings.HasPrefix(name, "Must") {
+		return false
+	}
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return true
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if ix, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = ix.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && ast.IsExported(id.Name)
+}
+
+// checkFunc scans fd's own return statements (not those of nested
+// function literals) for naked error constructions.
+func checkFunc(pass *anz.Pass, fd *ast.FuncDecl) {
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			for _, res := range s.Results {
+				checkResult(pass, fd, res)
+			}
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+}
+
+func checkResult(pass *anz.Pass, fd *ast.FuncDecl, res ast.Expr) {
+	call, ok := res.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	pkg, name := calleePkgFunc(pass, call)
+	switch {
+	case pkg == "errors" && name == "New":
+		pass.Reportf(res.Pos(), "%s returns an errors.New error across an internal package boundary; wrap a core taxonomy sentinel (errs.Invalidf, errs.Internalf, or fmt.Errorf with %%w)", fd.Name.Name)
+	case pkg == "fmt" && name == "Errorf":
+		if len(call.Args) > 0 && !wrapsSomething(call.Args[0]) {
+			pass.Reportf(res.Pos(), "%s returns a fmt.Errorf error with no %%w verb across an internal package boundary; wrap a core taxonomy sentinel", fd.Name.Name)
+		}
+	}
+}
+
+// calleePkgFunc resolves a call to (package path, function name) when
+// the callee is a selector on an imported package.
+func calleePkgFunc(pass *anz.Pass, call *ast.CallExpr) (string, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	pn, ok := pass.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", ""
+	}
+	return pn.Imported().Path(), sel.Sel.Name
+}
+
+// wrapsSomething reports whether a fmt.Errorf format literal contains a
+// %w verb. Non-literal formats are given the benefit of the doubt.
+func wrapsSomething(format ast.Expr) bool {
+	lit, ok := format.(*ast.BasicLit)
+	if !ok {
+		return true
+	}
+	return strings.Contains(lit.Value, "%w")
+}

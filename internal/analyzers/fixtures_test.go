@@ -1,0 +1,43 @@
+package analyzers
+
+import (
+	"path/filepath"
+	"testing"
+
+	"npra/internal/analyzers/anztest"
+	"npra/internal/analyzers/ctxplumb"
+	"npra/internal/analyzers/detlint"
+	"npra/internal/analyzers/errtaxonomy"
+	"npra/internal/analyzers/panicfree"
+	"npra/internal/analyzers/poolalias"
+)
+
+// fixtureDir resolves the GOPATH-style fixture tree testdata/src/<path>.
+func fixtureDir(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatalf("resolving testdata: %v", err)
+	}
+	return dir
+}
+
+func TestDetlintFixtures(t *testing.T) {
+	anztest.Run(t, fixtureDir(t), detlint.Analyzer, "detlint", "npra/internal/bench")
+}
+
+func TestErrtaxonomyFixtures(t *testing.T) {
+	anztest.Run(t, fixtureDir(t), errtaxonomy.Analyzer, "npra/internal/taxo", "npra/internal/ir")
+}
+
+func TestPanicfreeFixtures(t *testing.T) {
+	anztest.Run(t, fixtureDir(t), panicfree.Analyzer, "panicfix")
+}
+
+func TestCtxplumbFixtures(t *testing.T) {
+	anztest.Run(t, fixtureDir(t), ctxplumb.Analyzer, "npra/internal/estimate")
+}
+
+func TestPoolaliasFixtures(t *testing.T) {
+	anztest.Run(t, fixtureDir(t), poolalias.Analyzer, "poolfix/intra")
+}

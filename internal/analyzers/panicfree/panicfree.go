@@ -1,0 +1,66 @@
+// Package panicfree enforces the PR-2 panic-freedom contract for
+// library code: the allocation pipeline recovers panics at its API
+// boundary and degrades, but a panic in a library package is still a
+// lost result, so every panic site must be one of:
+//
+//   - inside a Must* helper, whose documented contract is to panic;
+//   - inside internal/faultinject, whose job is to inject panics;
+//   - a documented internal-corruption invariant carrying a
+//     //lint:invariant justification (verified: non-trivial text,
+//     attached to the panic line, consumed by this analyzer).
+//
+// Everything else must return a typed error wrapping the core taxonomy
+// (see the errtaxonomy analyzer).
+package panicfree
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"npra/internal/analyzers/anz"
+)
+
+// Analyzer is the panicfree pass.
+var Analyzer = &anz.Analyzer{
+	Name: "panicfree",
+	Doc: "library packages may panic only in Must* helpers, faultinject, or at " +
+		"//lint:invariant-documented corruption checks",
+	Run: run,
+}
+
+func run(pass *anz.Pass) error {
+	if strings.HasPrefix(pass.Path, "npra/cmd/") || pass.Path == "npra/internal/faultinject" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if strings.HasPrefix(fd.Name.Name, "Must") {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "panic" {
+					return true
+				}
+				if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); !isBuiltin {
+					return true
+				}
+				if _, ok := pass.Invariant(call.Pos()); ok {
+					return true
+				}
+				pass.Reportf(call.Pos(), "naked panic in library code (func %s): return a typed error wrapping the core taxonomy, move it behind a Must* helper, or document the corruption invariant with //lint:invariant", fd.Name.Name)
+				return true
+			})
+		}
+	}
+	return nil
+}

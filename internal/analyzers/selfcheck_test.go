@@ -1,0 +1,38 @@
+package analyzers
+
+import (
+	"path/filepath"
+	"testing"
+
+	"npra/internal/analyzers/anz"
+)
+
+// TestRepoSelfCheck is the meta-test behind the "clean npravet ./..."
+// acceptance bar: the full suite runs over this repository's own
+// sources and must report nothing. A failure here is a regression
+// against one of the PR-1..3 invariants (or a new site that needs a
+// justified directive).
+func TestRepoSelfCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping whole-repo analysis in -short mode")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("resolving module root: %v", err)
+	}
+	cfg := &anz.LoadConfig{ModulePath: "npra", ModuleDir: root}
+	pkgs, err := cfg.Load("./...")
+	if err != nil {
+		t.Fatalf("loading repository packages: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded zero packages from the repository")
+	}
+	diags, err := anz.Run(pkgs, Suite())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("npravet finding: %s", d)
+	}
+}

@@ -1,0 +1,29 @@
+// Package analyzers assembles the npravet suite: the five invariant
+// analyzers grown out of PRs 1–3, ready for the cmd/npravet
+// multichecker, make lint, CI and the in-repo selfcheck test.
+//
+// The suite is intentionally closed over this repository's invariants —
+// it is not a general-purpose linter. Each pass documents the PR that
+// established the invariant it enforces; docs/INTERNALS.md "Static
+// invariants & linting" is the user-facing index.
+package analyzers
+
+import (
+	"npra/internal/analyzers/anz"
+	"npra/internal/analyzers/ctxplumb"
+	"npra/internal/analyzers/detlint"
+	"npra/internal/analyzers/errtaxonomy"
+	"npra/internal/analyzers/panicfree"
+	"npra/internal/analyzers/poolalias"
+)
+
+// Suite returns the full analyzer suite in stable (alphabetical) order.
+func Suite() []*anz.Analyzer {
+	return []*anz.Analyzer{
+		ctxplumb.Analyzer,
+		detlint.Analyzer,
+		errtaxonomy.Analyzer,
+		panicfree.Analyzer,
+		poolalias.Analyzer,
+	}
+}

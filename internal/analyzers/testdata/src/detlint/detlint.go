@@ -1,0 +1,76 @@
+// Fixture for the detlint analyzer: map-iteration order feeding
+// order-dependent code, and wall-clock/PRNG use in library code.
+package detlint
+
+import (
+	"fmt"
+	"math/rand" // want `import of "math/rand" in library code: PRNG input breaks`
+	"sort"
+	"time"
+)
+
+func Seed() int64 { return rand.Int63() }
+
+// Stamp reads the wall clock in library code: flagged.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `time\.Now in library code: wall-clock input breaks`
+}
+
+// StampJustified carries a verified suppression: not flagged.
+func StampJustified() int64 {
+	return time.Now().UnixNano() //lint:ignore detlint phase-timing observability only, never an allocation input
+}
+
+// Keys appends in map order and never sorts: flagged.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration appends to out which is never sorted`
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys is the collect-then-sort idiom: allowed.
+func SortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Dump prints in map order: flagged.
+func Dump(m map[string]int) {
+	for k, v := range m { // want `map iteration order feeds order-dependent code`
+		fmt.Println(k, v)
+	}
+}
+
+// Sum accumulates commutatively: allowed.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		if v > 0 {
+			total += v
+		}
+	}
+	return total
+}
+
+// Invert writes only through map indexes: allowed.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// First selects a "first" element in map order: flagged.
+func First(m map[string]int) string {
+	for k := range m { // want `map iteration order feeds order-dependent code`
+		return k
+	}
+	return ""
+}

@@ -1,0 +1,112 @@
+// Fixture for the ctxplumb analyzer: non-ctx variants must delegate to
+// their Ctx twin, and potentially unbounded loops in the solver
+// packages (this fixture poses as npra/internal/estimate) must poll
+// cancellation or document termination.
+package estimate
+
+import (
+	"context"
+
+	"npra/internal/parallel"
+)
+
+// Solve has a SolveCtx twin but never calls it: the two code paths
+// will drift, so it is flagged.
+func Solve(n int) int { // want `\.Solve has a SolveCtx variant but does not delegate`
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+func SolveCtx(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		if parallel.CtxErr(ctx) != nil {
+			return total
+		}
+		total += i
+	}
+	return total
+}
+
+// Run delegates to RunCtx: allowed.
+func Run(n int) int { return RunCtx(context.Background(), n) }
+
+func RunCtx(ctx context.Context, n int) int {
+	_ = ctx
+	return n
+}
+
+// Repair spins with no cancellation poll: flagged.
+func Repair(conflicts []int) int {
+	fixed := 0
+	for { // want `potentially unbounded loop without a parallel\.CtxErr/ctx\.Err cancellation poll`
+		if len(conflicts) == 0 {
+			return fixed
+		}
+		conflicts = conflicts[1:]
+		fixed++
+	}
+}
+
+// PolledRepair polls parallel.CtxErr every iteration: allowed.
+func PolledRepair(ctx context.Context, conflicts []int) (int, error) {
+	fixed := 0
+	for {
+		if err := parallel.CtxErr(ctx); err != nil {
+			return fixed, err
+		}
+		if len(conflicts) == 0 {
+			return fixed, nil
+		}
+		conflicts = conflicts[1:]
+		fixed++
+	}
+}
+
+// Drain polls ctx.Err directly: allowed (CtxErr is merely preferred).
+func Drain(ctx context.Context, work []int) int {
+	done := 0
+	for len(work) > 0 {
+		if ctx.Err() != nil {
+			return done
+		}
+		work = work[1:]
+		done++
+	}
+	return done
+}
+
+// Counted is a classic init;cond;post loop: statically bounded.
+func Counted(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+// Shrink documents termination instead of polling: allowed.
+func Shrink(work []int) int {
+	done := 0
+	for len(work) > 0 { //lint:invariant the worklist strictly shrinks by one element per iteration
+		work = work[1:]
+		done++
+	}
+	return done
+}
+
+// DeferredPoll only polls inside a nested function literal, whose
+// execution is not guaranteed: still flagged.
+func DeferredPoll(ctx context.Context, work []int) int {
+	done := 0
+	for len(work) > 0 { // want `potentially unbounded loop without a parallel\.CtxErr/ctx\.Err cancellation poll`
+		check := func() error { return parallel.CtxErr(ctx) }
+		_ = check
+		work = work[1:]
+		done++
+	}
+	return done
+}

@@ -1,0 +1,13 @@
+// Fixture: npra/internal/ir is allowlisted — its parse errors are
+// deliberately plain and classified by core.Wrap at the boundary, so
+// nothing here is flagged.
+package ir
+
+import "errors"
+
+func Parse(src string) error {
+	if src == "" {
+		return errors.New("ir: empty source")
+	}
+	return nil
+}

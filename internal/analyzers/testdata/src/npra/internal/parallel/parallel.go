@@ -1,0 +1,8 @@
+// Fixture stub of npra/internal/parallel: just enough surface for the
+// ctxplumb fixture to demonstrate the parallel.CtxErr cancellation
+// poll.
+package parallel
+
+import "context"
+
+func CtxErr(ctx context.Context) error { return ctx.Err() }

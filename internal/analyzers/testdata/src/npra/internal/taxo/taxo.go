@@ -1,0 +1,59 @@
+// Fixture for the errtaxonomy analyzer: errors crossing an internal
+// package boundary must wrap a taxonomy sentinel via %w.
+package taxo
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInvalid stands in for the core taxonomy sentinel.
+var ErrInvalid = errors.New("taxo: invalid")
+
+// Solve is the seeded unwrapped-sentinel regression: both returns
+// construct naked errors at an exported boundary.
+func Solve(n int) error {
+	if n < 0 {
+		return errors.New("negative input") // want `Solve returns an errors.New error across an internal package boundary`
+	}
+	if n > 100 {
+		return fmt.Errorf("n too large: %d", n) // want `Solve returns a fmt.Errorf error with no %w verb`
+	}
+	return nil
+}
+
+// SolveWrapped wraps the sentinel: allowed.
+func SolveWrapped(n int) error {
+	if n < 0 {
+		return fmt.Errorf("%w: negative input", ErrInvalid)
+	}
+	return nil
+}
+
+// Passthrough returns a callee's error untouched: allowed (the callee
+// is held to the same rule).
+func Passthrough(n int) error {
+	return Solve(n)
+}
+
+// MustSolve panics instead of returning: Must* helpers are exempt.
+func MustSolve(n int) error {
+	return errors.New("must helpers are exempt")
+}
+
+// lowerSolve is unexported, so it is not a package boundary.
+func lowerSolve() error {
+	return errors.New("unexported is not a boundary")
+}
+
+// Legacy carries a verified suppression: not flagged.
+func Legacy(n int) error {
+	return errors.New("documented pre-taxonomy error") //lint:ignore errtaxonomy grandfathered error kept for wire compatibility
+}
+
+// Solver is an exported type; its exported methods are boundaries too.
+type Solver struct{}
+
+func (s *Solver) Run() error {
+	return errors.New("method boundary") // want `Run returns an errors.New error across an internal package boundary`
+}

@@ -1,0 +1,52 @@
+// Fixture for the panicfree analyzer and the directive verifier: naked
+// library panics are flagged unless inside a Must* helper or annotated
+// with a verified //lint:invariant justification. Running panicfree
+// also turns on unused-directive verification, so stray and unknown
+// directives are exercised here too (malformed-justification parsing
+// has its own unit tests in the anz package).
+package panicfix
+
+// Reset panics nakedly in library code: flagged.
+func Reset(n int) {
+	if n < 0 {
+		panic("bad n") // want `naked panic in library code \(func Reset\)`
+	}
+}
+
+// MustReset's documented contract is to panic: exempt.
+func MustReset(n int) {
+	if n < 0 {
+		panic("must helpers may panic")
+	}
+}
+
+// Check documents a corruption invariant: the directive is consumed.
+func Check(ok bool) {
+	if !ok {
+		panic("index corruption") //lint:invariant occupancy indexes disagree with piece state; unreachable unless the heap is corrupted
+	}
+}
+
+// Suppressed demonstrates //lint:ignore as the other escape hatch.
+func Suppressed() {
+	panic("transitional") //lint:ignore panicfree legacy call path removed in the next change
+}
+
+// Stray directive: annotates no panic or loop, so the verifier flags it.
+func Fine() int {
+	//lint:invariant this directive annotates nothing at all // want `stray //lint:invariant directive`
+	return 1
+}
+
+// Unknown verb and an ignore that suppresses nothing: both flagged.
+func AlsoFine() int {
+	//lint:checksum deadbeef is not a known directive verb // want `unknown directive //lint:checksum`
+	//lint:ignore panicfree there is no diagnostic here to suppress // want `unused //lint:ignore directive`
+	return 2
+}
+
+// A local function named panic is not the builtin: exempt.
+func shadowed() {
+	panic := func(string) {}
+	panic("not the builtin")
+}

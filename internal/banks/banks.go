@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"sort"
 
+	"npra/internal/core/errs"
 	"npra/internal/ir"
 	"npra/internal/liveness"
 )
@@ -79,7 +80,7 @@ func Assign(funcs []*ir.Func, cfg Config) (*Result, error) {
 	}
 	for i, f := range funcs {
 		if f == nil || !f.Built() || !f.Physical {
-			return nil, fmt.Errorf("banks: thread %d is not built physical code", i)
+			return nil, errs.Invalidf("banks: thread %d is not built physical code", i)
 		}
 	}
 
@@ -161,7 +162,7 @@ func Assign(funcs []*ir.Func, cfg Config) (*Result, error) {
 
 	// Capacity: each bank holds its registers plus one scratch.
 	if counts[0]+1 > cfg.BankSize || counts[1]+1 > cfg.BankSize {
-		return nil, fmt.Errorf("banks: assignment needs %d/%d registers per bank, capacity %d",
+		return nil, errs.Infeasiblef("banks: assignment needs %d/%d registers per bank, capacity %d",
 			counts[0]+1, counts[1]+1, cfg.BankSize)
 	}
 
@@ -245,10 +246,10 @@ func Check(f *ir.Func, bankSize int) error {
 				continue
 			}
 			if in.A == in.B {
-				return fmt.Errorf("banks: %s %q instr %d: reads r%d on both ports", f.Name, b.Label, k, in.A)
+				return errs.Internalf("banks: %s %q instr %d: reads r%d on both ports", f.Name, b.Label, k, in.A)
 			}
 			if bank(in.A) == bank(in.B) {
-				return fmt.Errorf("banks: %s %q instr %d: both sources in bank %d (r%d, r%d)",
+				return errs.Internalf("banks: %s %q instr %d: both sources in bank %d (r%d, r%d)",
 					f.Name, b.Label, k, bank(in.A), in.A, in.B)
 			}
 		}
@@ -271,7 +272,7 @@ func ScratchesDeadAcrossSwitches(f *ir.Func, scratchA, scratchB ir.Reg) error {
 		}
 		for _, s := range []ir.Reg{scratchA, scratchB} {
 			if int(s) < f.NumRegs && across.Has(int(s)) {
-				return fmt.Errorf("banks: scratch r%d live across the switch at point %d", s, p)
+				return errs.Internalf("banks: scratch r%d live across the switch at point %d", s, p)
 			}
 		}
 	}

@@ -20,9 +20,9 @@
 package bench
 
 import (
-	"fmt"
 	"sort"
 
+	"npra/internal/core/errs"
 	"npra/internal/ir"
 )
 
@@ -73,7 +73,7 @@ func Get(name string) (*Benchmark, error) {
 	for _, b := range All() {
 		names = append(names, b.Name)
 	}
-	return nil, fmt.Errorf("bench: unknown benchmark %q (have %v)", name, names)
+	return nil, errs.Invalidf("bench: unknown benchmark %q (have %v)", name, names)
 }
 
 // Names returns all benchmark names in stable order.

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 
+	"npra/internal/core/errs"
 	"npra/internal/ig"
 	"npra/internal/ir"
 	"npra/internal/spill"
@@ -48,7 +49,7 @@ type Result struct {
 // The input function is not modified.
 func Allocate(f *ir.Func, opts Options) (*Result, error) {
 	if len(opts.Phys) < 4 {
-		return nil, fmt.Errorf("chaitin: need at least 4 registers, got %d", len(opts.Phys))
+		return nil, errs.Invalidf("chaitin: need at least 4 registers, got %d", len(opts.Phys))
 	}
 	if opts.MaxRounds == 0 {
 		opts.MaxRounds = 16
@@ -59,7 +60,7 @@ func Allocate(f *ir.Func, opts Options) (*Result, error) {
 	seen := make(map[ir.Reg]bool)
 	for _, r := range opts.Phys {
 		if r < 0 || seen[r] {
-			return nil, fmt.Errorf("chaitin: bad physical register set")
+			return nil, errs.Invalidf("chaitin: bad physical register set")
 		}
 		seen[r] = true
 	}
@@ -112,7 +113,7 @@ func Allocate(f *ir.Func, opts Options) (*Result, error) {
 		res.Spilled += len(spilled)
 		res.SpillCode += added
 	}
-	return nil, fmt.Errorf("chaitin: did not converge in %d rounds", opts.MaxRounds)
+	return nil, errs.Infeasiblef("chaitin: did not converge in %d rounds", opts.MaxRounds)
 }
 
 // color runs simplify/select with optimistic (Briggs) spilling and returns

@@ -478,7 +478,7 @@ func finalize(ctx context.Context, funcs []*ir.Func, als []*intra.Allocator, pr,
 				phys[c] = ir.Reg(sharedBase + (c - pr[i]))
 			}
 		}
-		rwStart := time.Now()
+		rwStart := time.Now() //lint:ignore detlint phase-timing observability only; duration never feeds an allocation decision
 		nf, stats, err := intra.Rewrite(sctx, phys)
 		alloc.Phases.RewriteNS += time.Since(rwStart).Nanoseconds()
 		if err != nil {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 
 	"npra/internal/faultinject"
 	"npra/internal/intra"
@@ -100,8 +101,13 @@ func staticPartition(funcs []*ir.Func, cfg Config) (alloc *Allocation, err error
 	if err != nil {
 		return nil, err
 	}
-	for _, al := range byCode {
-		alloc.SolveCache.Add(al.CacheStats())
+	keys := make([]string, 0, len(byCode))
+	for key := range byCode {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		alloc.SolveCache.Add(byCode[key].CacheStats())
 	}
 	return alloc, nil
 }

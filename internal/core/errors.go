@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime/debug"
 
+	"npra/internal/core/errs"
 	"npra/internal/intra"
 	"npra/internal/parallel"
 )
@@ -29,11 +30,16 @@ import (
 //     (carried as a *PanicError in the chain), a bound inversion, a
 //     rewrite failure. Like timeouts, internal failures degrade to the
 //     static partition before being surfaced.
+//
+// The sentinel values themselves live in the dependency-free leaf
+// package internal/core/errs so that packages below core in the import
+// graph can wrap them without a cycle; these are the same values, so
+// errors.Is routing is identical through either import path.
 var (
-	ErrInvalid    = errors.New("core: invalid argument")
-	ErrInfeasible = errors.New("core: infeasible")
-	ErrTimeout    = errors.New("core: timeout")
-	ErrInternal   = errors.New("core: internal error")
+	ErrInvalid    = errs.ErrInvalid
+	ErrInfeasible = errs.ErrInfeasible
+	ErrTimeout    = errs.ErrTimeout
+	ErrInternal   = errs.ErrInternal
 )
 
 // PanicError carries a panic recovered at the allocation API boundary

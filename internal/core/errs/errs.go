@@ -1,0 +1,46 @@
+// Package errs holds the allocation pipeline's error-taxonomy sentinels
+// in a dependency-free leaf package, so that the packages *below*
+// internal/core in the import graph (ir, loops, liveness, estimate,
+// intra, passes, parallel, ...) can wrap the same sentinels that
+// internal/core re-exports without creating an import cycle.
+//
+// core.ErrInvalid and errs.ErrInvalid are the same value (core aliases
+// them), so errors.Is routing works identically whichever package a
+// caller imports. See internal/core/errors.go for the taxonomy contract
+// and docs/INTERNALS.md "Failure model & degradation" for the design.
+package errs
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The four taxonomy sentinels. Every error crossing an internal package
+// boundary wraps exactly one of these (mechanically enforced by the
+// errtaxonomy analyzer in internal/analyzers).
+var (
+	ErrInvalid    = errors.New("core: invalid argument")
+	ErrInfeasible = errors.New("core: infeasible")
+	ErrTimeout    = errors.New("core: timeout")
+	ErrInternal   = errors.New("core: internal error")
+)
+
+// Invalidf returns an ErrInvalid-wrapped formatted error.
+func Invalidf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrInvalid, fmt.Sprintf(format, args...))
+}
+
+// Infeasiblef returns an ErrInfeasible-wrapped formatted error.
+func Infeasiblef(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrInfeasible, fmt.Sprintf(format, args...))
+}
+
+// Timeoutf returns an ErrTimeout-wrapped formatted error.
+func Timeoutf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrTimeout, fmt.Sprintf(format, args...))
+}
+
+// Internalf returns an ErrInternal-wrapped formatted error.
+func Internalf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrInternal, fmt.Sprintf(format, args...))
+}

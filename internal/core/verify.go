@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"npra/internal/core/errs"
 	"npra/internal/liveness"
 )
 
@@ -19,7 +20,7 @@ import (
 //     light-weight (PC-only) context switches safe.
 func (al *Allocation) Verify() error {
 	if al.SGR < 0 || al.SGR > al.NReg {
-		return fmt.Errorf("core: SGR %d out of range", al.SGR)
+		return errs.Internalf("core: SGR %d out of range", al.SGR)
 	}
 	sharedBase := al.SharedBase()
 
@@ -30,14 +31,14 @@ func (al *Allocation) Verify() error {
 	}
 	for ti, t := range al.Threads {
 		if t.PrivBase < 0 || t.PrivBase+t.PR > al.NReg {
-			return fmt.Errorf("core: thread %d private range [%d,%d) outside file", ti, t.PrivBase, t.PrivBase+t.PR)
+			return errs.Internalf("core: thread %d private range [%d,%d) outside file", ti, t.PrivBase, t.PrivBase+t.PR)
 		}
 		for r := t.PrivBase; r < t.PrivBase+t.PR; r++ {
 			if r >= sharedBase {
-				return fmt.Errorf("core: thread %d private register r%d inside shared bank", ti, r)
+				return errs.Internalf("core: thread %d private register r%d inside shared bank", ti, r)
 			}
 			if owner[r] >= 0 {
-				return fmt.Errorf("core: register r%d owned by threads %d and %d", r, owner[r], ti)
+				return errs.Internalf("core: register r%d owned by threads %d and %d", r, owner[r], ti)
 			}
 			owner[r] = ti
 		}
@@ -45,16 +46,16 @@ func (al *Allocation) Verify() error {
 
 	for ti, t := range al.Threads {
 		if t.F == nil {
-			return fmt.Errorf("core: thread %d has no rewritten code", ti)
+			return errs.Internalf("core: thread %d has no rewritten code", ti)
 		}
 		inPriv := func(r int) bool { return r >= t.PrivBase && r < t.PrivBase+t.PR }
 		// 2. Register usage confined to private + shared.
 		for _, r := range t.F.RegsUsed() {
 			if !inPriv(int(r)) && int(r) < sharedBase {
-				return fmt.Errorf("core: thread %d (%s) uses r%d outside its partition", ti, t.Name, r)
+				return errs.Internalf("core: thread %d (%s) uses r%d outside its partition", ti, t.Name, r)
 			}
 			if int(r) >= al.NReg {
-				return fmt.Errorf("core: thread %d uses r%d beyond the register file", ti, r)
+				return errs.Internalf("core: thread %d uses r%d beyond the register file", ti, r)
 			}
 		}
 		// 3. Values live across CSBs stay private; so do values live-in at
@@ -68,7 +69,7 @@ func (al *Allocation) Verify() error {
 			}
 		})
 		if badEntry >= 0 {
-			return fmt.Errorf(
+			return errs.Internalf(
 				"core: thread %d (%s): r%d read at entry before definition but not private",
 				ti, t.Name, badEntry)
 		}
@@ -87,7 +88,7 @@ func (al *Allocation) Verify() error {
 				}
 			})
 			if bad >= 0 {
-				return fmt.Errorf(
+				return errs.Internalf(
 					"core: thread %d (%s): r%d live across the context switch at point %d but not private",
 					ti, t.Name, bad, p)
 			}

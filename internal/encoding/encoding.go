@@ -17,6 +17,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"npra/internal/core/errs"
 	"npra/internal/ir"
 )
 
@@ -34,10 +35,10 @@ const (
 // Encode serializes a built function.
 func Encode(f *ir.Func) ([]byte, error) {
 	if !f.Built() {
-		return nil, fmt.Errorf("encoding: function %s not built", f.Name)
+		return nil, errs.Invalidf("encoding: function %s not built", f.Name)
 	}
 	if f.NumRegs > noReg16 {
-		return nil, fmt.Errorf("encoding: %d registers exceed the 16-bit field", f.NumRegs)
+		return nil, errs.Invalidf("encoding: %d registers exceed the 16-bit field", f.NumRegs)
 	}
 	var out []byte
 	out = append(out, magic[:]...)
@@ -115,14 +116,14 @@ func Decode(data []byte) (*ir.Func, error) {
 		return nil, err
 	}
 	if m != magic {
-		return nil, fmt.Errorf("encoding: bad magic %q", m[:])
+		return nil, errs.Invalidf("encoding: bad magic %q", m[:])
 	}
 	ver, err := r.u32()
 	if err != nil {
 		return nil, err
 	}
 	if ver != Version {
-		return nil, fmt.Errorf("encoding: unsupported version %d (have %d)", ver, Version)
+		return nil, errs.Invalidf("encoding: unsupported version %d (have %d)", ver, Version)
 	}
 	name, err := r.str()
 	if err != nil {
@@ -141,7 +142,7 @@ func Decode(data []byte) (*ir.Func, error) {
 		return nil, err
 	}
 	if nBlocks > 1<<20 || numRegs > noReg16 {
-		return nil, fmt.Errorf("encoding: implausible header (blocks=%d regs=%d)", nBlocks, numRegs)
+		return nil, errs.Invalidf("encoding: implausible header (blocks=%d regs=%d)", nBlocks, numRegs)
 	}
 
 	f := &ir.Func{Name: name, NumRegs: int(numRegs), Physical: flags&flagPhys != 0}
@@ -162,7 +163,7 @@ func Decode(data []byte) (*ir.Func, error) {
 			return nil, err
 		}
 		if n > 1<<22 {
-			return nil, fmt.Errorf("encoding: implausible instruction count %d", n)
+			return nil, errs.Invalidf("encoding: implausible instruction count %d", n)
 		}
 		b := &ir.Block{Label: label}
 		for k := 0; k < int(n); k++ {
@@ -182,11 +183,11 @@ func Decode(data []byte) (*ir.Func, error) {
 		f.Blocks = append(f.Blocks, b)
 	}
 	if r.rem() != 0 {
-		return nil, fmt.Errorf("encoding: %d trailing bytes", r.rem())
+		return nil, errs.Invalidf("encoding: %d trailing bytes", r.rem())
 	}
 	for _, p := range patches {
 		if int(p.target) >= len(labels) {
-			return nil, fmt.Errorf("encoding: branch to block %d of %d", p.target, len(labels))
+			return nil, errs.Invalidf("encoding: branch to block %d of %d", p.target, len(labels))
 		}
 		f.Blocks[p.block].Instrs[p.instr].Target = labels[p.target]
 	}

@@ -8,6 +8,7 @@ import (
 	"npra/internal/bench"
 	"npra/internal/chaitin"
 	"npra/internal/core"
+	"npra/internal/core/errs"
 	"npra/internal/estimate"
 	"npra/internal/ig"
 	"npra/internal/intra"
@@ -482,7 +483,10 @@ type AblationWeightingRow struct {
 func AblationWeighting(npkts int) ([]AblationWeightingRow, error) {
 	return mapBenches(func(b *bench.Benchmark) (AblationWeightingRow, error) {
 		f := b.Gen(npkts)
-		li := loops.Compute(f)
+		li, err := loops.Compute(f)
+		if err != nil {
+			return AblationWeightingRow{}, fmt.Errorf("ablation weighting %s: %w", b.Name, err)
+		}
 		w := make([]int64, f.NumPoints())
 		for p := range w {
 			w[p] = li.PointWeight(p)
@@ -493,7 +497,9 @@ func AblationWeighting(npkts int) ([]AblationWeightingRow, error) {
 				return nil, err
 			}
 			if weighted {
-				al.UseLoopWeights()
+				if err := al.UseLoopWeights(); err != nil {
+					return nil, err
+				}
 			}
 			bd := al.Bounds()
 			return al.Solve(bd.MinPR, bd.MinR-bd.MinPR)
@@ -589,7 +595,7 @@ func AblationThreads(npkts int) ([]AblationThreadsRow, error) {
 			return nil, fmt.Errorf("ablation threads %d: %w", nthd, err)
 		}
 		if alloc.Degraded {
-			return nil, fmt.Errorf("ablation threads %d: allocation degraded (%v); raise -timeout", nthd, alloc.Cause)
+			return nil, errs.Timeoutf("ablation threads %d: allocation degraded (%v); raise -timeout", nthd, alloc.Cause)
 		}
 		if err := alloc.Verify(); err != nil {
 			return nil, err

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"npra/internal/core"
+	"npra/internal/core/errs"
 	"npra/internal/ir"
 	"npra/internal/sim"
 )
@@ -60,7 +61,7 @@ func ClusterScaling(npkts int, occupancy int64) ([]ScalingRow, error) {
 		return nil, err
 	}
 	if alloc.Degraded {
-		return nil, fmt.Errorf("scaling: allocation degraded (%v); raise -timeout", alloc.Cause)
+		return nil, errs.Timeoutf("scaling: allocation degraded (%v); raise -timeout", alloc.Cause)
 	}
 	if err := alloc.Verify(); err != nil {
 		return nil, err

@@ -10,8 +10,7 @@
 package interp
 
 import (
-	"fmt"
-
+	"npra/internal/core/errs"
 	"npra/internal/ir"
 )
 
@@ -35,7 +34,7 @@ type Options struct {
 // invalid opcodes) are returned as errors.
 func Run(f *ir.Func, mem []uint32, opt Options) (*Result, error) {
 	if !f.Built() {
-		return nil, fmt.Errorf("interp: function %s not built", f.Name)
+		return nil, errs.Invalidf("interp: function %s not built", f.Name)
 	}
 	maxSteps := opt.MaxSteps
 	if maxSteps == 0 {
@@ -44,9 +43,11 @@ func Run(f *ir.Func, mem []uint32, opt Options) (*Result, error) {
 	res := &Result{Mem: mem, Regs: make([]uint32, f.NumRegs)}
 	regs := res.Regs
 	rd := func(r ir.Reg) uint32 { return regs[r] }
+	// word returns nil when the program touches memory but none was
+	// provided; the memory-op cases below turn that into ErrInvalid.
 	word := func(addr uint32) *uint32 {
 		if len(mem) == 0 {
-			panic("interp: empty memory")
+			return nil
 		}
 		return &mem[(addr/4)%uint32(len(mem))]
 	}
@@ -55,7 +56,7 @@ func Run(f *ir.Func, mem []uint32, opt Options) (*Result, error) {
 	n := f.NumPoints()
 	for res.Steps < maxSteps {
 		if pc < 0 || pc >= n {
-			return res, fmt.Errorf("interp: pc %d out of range", pc)
+			return res, errs.Invalidf("interp: pc %d out of range", pc)
 		}
 		in := f.Instr(pc)
 		res.Steps++
@@ -102,13 +103,29 @@ func Run(f *ir.Func, mem []uint32, opt Options) (*Result, error) {
 		case ir.OpNot:
 			regs[in.Def] = ^rd(in.A)
 		case ir.OpLoad:
-			regs[in.Def] = *word(rd(in.A) + uint32(in.Imm))
+			w := word(rd(in.A) + uint32(in.Imm))
+			if w == nil {
+				return res, errs.Invalidf("interp: %s with empty memory", in.Op)
+			}
+			regs[in.Def] = *w
 		case ir.OpLoadA:
-			regs[in.Def] = *word(uint32(in.Imm))
+			w := word(uint32(in.Imm))
+			if w == nil {
+				return res, errs.Invalidf("interp: %s with empty memory", in.Op)
+			}
+			regs[in.Def] = *w
 		case ir.OpStore:
-			*word(rd(in.A) + uint32(in.Imm)) = rd(in.B)
+			w := word(rd(in.A) + uint32(in.Imm))
+			if w == nil {
+				return res, errs.Invalidf("interp: %s with empty memory", in.Op)
+			}
+			*w = rd(in.B)
 		case ir.OpStoreA:
-			*word(uint32(in.Imm)) = rd(in.B)
+			w := word(uint32(in.Imm))
+			if w == nil {
+				return res, errs.Invalidf("interp: %s with empty memory", in.Op)
+			}
+			*w = rd(in.B)
 		case ir.OpCtx, ir.OpNop:
 			// No observable effect single-threaded.
 		case ir.OpIter:
@@ -143,7 +160,7 @@ func Run(f *ir.Func, mem []uint32, opt Options) (*Result, error) {
 			res.Halted = true
 			return res, nil
 		default:
-			return res, fmt.Errorf("interp: invalid opcode %v at point %d", in.Op, pc)
+			return res, errs.Invalidf("interp: invalid opcode %v at point %d", in.Op, pc)
 		}
 		pc = next
 	}
@@ -155,17 +172,17 @@ func Run(f *ir.Func, mem []uint32, opt Options) (*Result, error) {
 // are not compared — allocation renames them by design.
 func Equivalent(a, b *Result) error {
 	if a.Halted != b.Halted {
-		return fmt.Errorf("halted: %v vs %v", a.Halted, b.Halted)
+		return errs.Internalf("halted: %v vs %v", a.Halted, b.Halted)
 	}
 	if a.Iters != b.Iters {
-		return fmt.Errorf("iters: %d vs %d", a.Iters, b.Iters)
+		return errs.Internalf("iters: %d vs %d", a.Iters, b.Iters)
 	}
 	if len(a.Mem) != len(b.Mem) {
-		return fmt.Errorf("memory sizes differ: %d vs %d", len(a.Mem), len(b.Mem))
+		return errs.Internalf("memory sizes differ: %d vs %d", len(a.Mem), len(b.Mem))
 	}
 	for i := range a.Mem {
 		if a.Mem[i] != b.Mem[i] {
-			return fmt.Errorf("mem[%d]: %#x vs %#x", i*4, a.Mem[i], b.Mem[i])
+			return errs.Internalf("mem[%d]: %#x vs %#x", i*4, a.Mem[i], b.Mem[i])
 		}
 	}
 	return nil

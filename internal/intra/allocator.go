@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"npra/internal/core/errs"
 	"npra/internal/estimate"
 	"npra/internal/ig"
 	"npra/internal/ir"
@@ -129,7 +130,7 @@ type Solution struct {
 // bound-estimation invariant check (estimate.ErrBoundsInverted); inputs
 // that analyze cleanly never fail.
 func New(f *ir.Func) (*Allocator, error) {
-	start := time.Now()
+	start := time.Now() //lint:ignore detlint phase-timing observability only; duration never feeds an allocation decision
 	a := ig.Analyze(f)
 	buildNS := time.Since(start).Nanoseconds()
 	al, err := NewFromAnalysis(a)
@@ -173,17 +174,23 @@ func (al *Allocator) Bounds() estimate.Bounds { return al.Est.Bounds }
 
 // UseLoopWeights switches the move-minimization objective from the
 // paper's static count to a loop-depth-weighted estimate of the dynamic
-// count (10x per nesting level). Must be called before the first Solve.
-func (al *Allocator) UseLoopWeights() {
+// count (10x per nesting level). It fails with an ErrInvalid-wrapped
+// error when called after the first Solve: changing the objective would
+// silently disagree with the memoized context chain.
+func (al *Allocator) UseLoopWeights() error {
 	if len(al.memo) > 0 || len(al.sols) > 0 {
-		panic("intra: UseLoopWeights after solving")
+		return errs.Invalidf("intra: UseLoopWeights after solving")
 	}
-	li := loops.Compute(al.F)
+	li, err := loops.Compute(al.F)
+	if err != nil {
+		return err
+	}
 	w := make([]int64, al.F.NumPoints())
 	for p := range w {
 		w[p] = li.PointWeight(p)
 	}
 	al.weights = w
+	return nil
 }
 
 // Solve returns an allocation in which values crossing context switches
@@ -308,7 +315,7 @@ func (al *Allocator) putScratch(c *Context) { al.pool = append(al.pool, c) }
 // their storage to the scratch pool; the winner leaves the pool for good,
 // since the caller memoizes it and memoized contexts are never mutated.
 func (al *Allocator) bestStep(prev *Context, lo, hi int, step func(*Context, int) error) (*Context, error) {
-	start := time.Now()
+	start := time.Now() //lint:ignore detlint phase-timing observability only; duration never feeds an allocation decision
 	var best *Context
 	bestCost := int(^uint(0) >> 1)
 	var firstErr error

@@ -15,9 +15,8 @@
 package intra
 
 import (
-	"fmt"
-
 	"npra/internal/bitset"
+	"npra/internal/core/errs"
 	"npra/internal/ig"
 )
 
@@ -171,7 +170,7 @@ func (ctx *Context) byColorRemove(c int, i int32) {
 			return
 		}
 	}
-	panic("intra: piece missing from byColor")
+	panic("intra: piece missing from byColor") //lint:invariant byColor index corruption: every attached piece is registered under its color; reaching here means the occupancy indexes disagree with piece state
 }
 
 // recolorWhole moves attached piece i to newCol, maintaining occ/byColor.
@@ -467,28 +466,28 @@ func (ctx *Context) Validate() error {
 	covered := make([]bitset.Set, a.NumVars)
 	for i, x := range ctx.Pieces {
 		if x.Color < 0 || x.Color >= ctx.Size {
-			return fmt.Errorf("intra: piece %d (v%d) color %d outside palette [0,%d)", i, x.Var, x.Color, ctx.Size)
+			return errs.Internalf("intra: piece %d (v%d) color %d outside palette [0,%d)", i, x.Var, x.Color, ctx.Size)
 		}
 		if ctx.crosses(x) && x.Color >= ctx.Cap {
-			return fmt.Errorf("intra: crossing piece %d (v%d) colored %d >= cap %d", i, x.Var, x.Color, ctx.Cap)
+			return errs.Internalf("intra: crossing piece %d (v%d) colored %d >= cap %d", i, x.Var, x.Color, ctx.Cap)
 		}
 		if covered[x.Var] == nil {
 			covered[x.Var] = bitset.New(ctx.np)
 		}
 		if covered[x.Var].Intersects(x.Points) {
-			return fmt.Errorf("intra: pieces of v%d overlap", x.Var)
+			return errs.Internalf("intra: pieces of v%d overlap", x.Var)
 		}
 		covered[x.Var].Or(x.Points)
 	}
 	for v := 0; v < a.NumVars; v++ {
 		if !a.Alive[v] {
 			if covered[v] != nil && !covered[v].Empty() {
-				return fmt.Errorf("intra: dead v%d has pieces", v)
+				return errs.Internalf("intra: dead v%d has pieces", v)
 			}
 			continue
 		}
 		if covered[v] == nil || !covered[v].Equal(a.Points[v]) {
-			return fmt.Errorf("intra: pieces of v%d do not cover its live range", v)
+			return errs.Internalf("intra: pieces of v%d do not cover its live range", v)
 		}
 	}
 	// Proper coloring at every point.
@@ -506,7 +505,7 @@ func (ctx *Context) Validate() error {
 			seen[c] = p
 		})
 		if conflict >= 0 {
-			return fmt.Errorf("intra: color collision at point %d involving v%d", p, conflict)
+			return errs.Internalf("intra: color collision at point %d involving v%d", p, conflict)
 		}
 		// reset marker trick: seen[c]==p marks use at this point
 	}

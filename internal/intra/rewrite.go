@@ -3,6 +3,7 @@ package intra
 import (
 	"fmt"
 
+	"npra/internal/core/errs"
 	"npra/internal/ir"
 )
 
@@ -27,16 +28,16 @@ func (s RewriteStats) Added() int { return s.Moves + s.Xors }
 func Rewrite(ctx *Context, phys []ir.Reg) (*ir.Func, RewriteStats, error) {
 	var stats RewriteStats
 	if len(phys) < ctx.Size {
-		return nil, stats, fmt.Errorf("intra: need %d physical registers, got %d", ctx.Size, len(phys))
+		return nil, stats, errs.Invalidf("intra: need %d physical registers, got %d", ctx.Size, len(phys))
 	}
 	seen := make(map[ir.Reg]bool, len(phys))
 	maxPhys := ir.Reg(-1)
 	for _, r := range phys[:ctx.Size] {
 		if r < 0 {
-			return nil, stats, fmt.Errorf("intra: negative physical register %d", r)
+			return nil, stats, errs.Invalidf("intra: negative physical register %d", r)
 		}
 		if seen[r] {
-			return nil, stats, fmt.Errorf("intra: duplicate physical register %d", r)
+			return nil, stats, errs.Invalidf("intra: duplicate physical register %d", r)
 		}
 		seen[r] = true
 		if r > maxPhys {
@@ -185,9 +186,9 @@ func appendParallelCopy(out []ir.Instr, pairs []copyPair, stats *RewriteStats) [
 			pending = append(pending, pr)
 		}
 	}
-	for len(pending) > 0 {
+	for len(pending) > 0 { //lint:invariant each round either emits at least one unblocked copy (shrinking pending) or extracts a rotation cycle; pending strictly shrinks
 		progress := false
-		for i := 0; i < len(pending); {
+		for i := 0; i < len(pending); { //lint:invariant i advances on keep, and removal shrinks len(pending); the scan always terminates
 			blocked := false
 			for j := range pending {
 				if j != i && pending[j].src == pending[i].dst {
@@ -212,7 +213,7 @@ func appendParallelCopy(out []ir.Instr, pairs []copyPair, stats *RewriteStats) [
 		// d0 <- d1 <- d2 <- ... <- dk-1 <- d0. Rotate with k-1 swaps.
 		cycle := []ir.Reg{pending[0].dst}
 		cur := pending[0].src
-		for cur != cycle[0] {
+		for cur != cycle[0] { //lint:invariant walks a single permutation cycle of the finite pending set back to its start
 			cycle = append(cycle, cur)
 			found := false
 			for _, pr := range pending {
@@ -223,7 +224,7 @@ func appendParallelCopy(out []ir.Instr, pairs []copyPair, stats *RewriteStats) [
 				}
 			}
 			if !found {
-				panic("intra: broken copy cycle")
+				panic("intra: broken copy cycle") //lint:invariant parallel-copy semantics guarantee the source of every cycle element is another element; a missing link means the move graph is corrupt
 			}
 		}
 		for i := 0; i+1 < len(cycle); i++ {

@@ -36,7 +36,7 @@ func (ctx *Context) vacateColor(c int) error {
 		if x.Color > c {
 			x.Color--
 		} else if x.Color == c {
-			panic("intra: vacated color still in use")
+			panic("intra: vacated color still in use") //lint:invariant occupancy index corruption: vacateColor is only called for colors Verify'd empty; a surviving user means occ and piece state diverged
 		}
 	}
 	// occ: drop bit c from every row, shifting higher colors down in
@@ -190,7 +190,7 @@ func (ctx *Context) recolorPiece(i, c int, crossingOnly bool) error {
 		}
 		for j := 0; j < occW; j++ {
 			w := fr[j]
-			for w != 0 {
+			for w != 0 { //lint:invariant w &= w-1 clears one set bit per iteration of a finite word
 				freq[j<<6+bits.TrailingZeros64(w)]++
 				w &= w - 1
 			}
@@ -245,7 +245,7 @@ func (ctx *Context) recolorPiece(i, c int, crossingOnly bool) error {
 		best, bestFreq := -1, -1
 		for j := 0; j < occW; j++ {
 			w := fr[j]
-			for w != 0 {
+			for w != 0 { //lint:invariant w &= w-1 clears one set bit per iteration of a finite word
 				col := j<<6 + bits.TrailingZeros64(w)
 				if freq[col] > bestFreq {
 					best, bestFreq = col, freq[col]
@@ -505,7 +505,7 @@ func (ctx *Context) coalesce() {
 		if len(idxs) < 2 {
 			continue
 		}
-		for again := true; again; {
+		for again := true; again; { //lint:invariant fixpoint loop: again is only set when two pieces coalesce, and the piece count is finite and strictly decreasing
 			again = false
 			for _, i32 := range idxs {
 				i := int(i32)

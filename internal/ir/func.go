@@ -235,7 +235,7 @@ func (f *Func) Clone() *Func {
 	}
 	if f.built {
 		if err := nf.Build(); err != nil {
-			panic("ir: Clone of built func failed to rebuild: " + err.Error())
+			panic("ir: Clone of built func failed to rebuild: " + err.Error()) //lint:invariant Clone copies a func that already Built successfully; re-Build can only fail if the IR was mutated mid-clone
 		}
 	}
 	return nf

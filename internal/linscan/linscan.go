@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 
+	"npra/internal/core/errs"
 	"npra/internal/ir"
 	"npra/internal/liveness"
 	"npra/internal/spill"
@@ -52,7 +53,7 @@ type interval struct {
 // Allocate runs linear scan with iterative spilling.
 func Allocate(f *ir.Func, opts Options) (*Result, error) {
 	if len(opts.Phys) < 4 {
-		return nil, fmt.Errorf("linscan: need at least 4 registers, got %d", len(opts.Phys))
+		return nil, errs.Invalidf("linscan: need at least 4 registers, got %d", len(opts.Phys))
 	}
 	if opts.MaxRounds == 0 {
 		opts.MaxRounds = 16
@@ -106,7 +107,7 @@ func Allocate(f *ir.Func, opts Options) (*Result, error) {
 		res.Spilled += len(spilled)
 		res.SpillCode += added
 	}
-	return nil, fmt.Errorf("linscan: did not converge in %d rounds", opts.MaxRounds)
+	return nil, errs.Infeasiblef("linscan: did not converge in %d rounds", opts.MaxRounds)
 }
 
 // scan builds intervals and allocates k colors, returning the coloring

@@ -41,7 +41,7 @@ type Info struct {
 // with no dominating definition is simply live-in at function entry.
 func Compute(f *ir.Func) *Info {
 	if !f.Built() {
-		panic("liveness: function not built")
+		panic("liveness: function not built") //lint:invariant documented precondition: Compute requires f.Built(); callers construct via Build which cannot yield an unbuilt func
 	}
 	n := f.NumPoints()
 	nv := f.NumRegs

@@ -7,6 +7,7 @@
 package loops
 
 import (
+	"npra/internal/core/errs"
 	"npra/internal/ir"
 )
 
@@ -26,10 +27,11 @@ type Info struct {
 
 // Compute runs the Cooper/Harvey/Kennedy iterative dominator algorithm
 // and marks natural loops found via back edges (an edge b -> h where h
-// dominates b).
-func Compute(f *ir.Func) *Info {
+// dominates b). It fails with a typed ErrInvalid-wrapped error when f
+// has not been built.
+func Compute(f *ir.Func) (*Info, error) {
 	if !f.Built() {
-		panic("loops: function not built")
+		return nil, errs.Invalidf("loops: function not built")
 	}
 	n := len(f.Blocks)
 	info := &Info{F: f, IDom: make([]int, n), Depth: make([]int, n)}
@@ -106,7 +108,7 @@ func Compute(f *ir.Func) *Info {
 			}
 		}
 	}
-	return info
+	return info, nil
 }
 
 // dominates reports whether block a dominates block b.

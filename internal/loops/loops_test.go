@@ -16,7 +16,10 @@ a:
 	addi v0, v0, 1
 	store [0], v0
 	halt`)
-	info := Compute(f)
+	info, err := Compute(f)
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
 	for i, d := range info.Depth {
 		if d != 0 {
 			t.Errorf("block %d depth = %d, want 0", i, d)
@@ -36,7 +39,10 @@ loop:
 	bnz v0, loop
 	store [0], v0
 	halt`)
-	info := Compute(f)
+	info, err := Compute(f)
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
 	loopB := f.BlockByLabel("loop")
 	if info.Depth[loopB] != 1 {
 		t.Errorf("loop depth = %d, want 1", info.Depth[loopB])
@@ -70,7 +76,10 @@ inner:
 	bnz v0, outer
 	store [0], v0
 	halt`)
-	info := Compute(f)
+	info, err := Compute(f)
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
 	inner := f.BlockByLabel("inner")
 	outer := f.BlockByLabel("outer")
 	if info.Depth[inner] != 2 {
@@ -103,7 +112,10 @@ right:
 join:
 	store [0], v1
 	halt`)
-	info := Compute(f)
+	info, err := Compute(f)
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
 	join := f.BlockByLabel("join")
 	// The join's immediate dominator is the branch block, not a branch arm.
 	idom := info.IDom[join]
@@ -120,7 +132,10 @@ func TestQuickDominatorSoundness(t *testing.T) {
 	check := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		f := progen.Generate(rng, progen.Default)
-		info := Compute(f)
+		info, err := Compute(f)
+		if err != nil {
+			t.Fatalf("Compute: %v", err)
+		}
 		for b := 1; b < len(f.Blocks); b++ {
 			if len(f.Blocks[b].Preds) == 0 {
 				continue // unreachable

@@ -29,6 +29,7 @@ package masm
 import (
 	"fmt"
 	"io/fs"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -207,8 +208,15 @@ func (st *state) expandLine(raw string, depth int) ([]string, error) {
 		return nil, fmt.Errorf("masm: macro nesting deeper than %d (recursive macro?)", maxDepth)
 	}
 	line := raw
-	for name, val := range st.equs {
-		line = substituteWord(line, name, val)
+	// Substitute in sorted order: if one .equ value mentions another
+	// constant's name, the result must not depend on map iteration order.
+	names := make([]string, 0, len(st.equs))
+	for name := range st.equs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		line = substituteWord(line, name, st.equs[name])
 	}
 	code := stripComment(line)
 	trimmed := strings.TrimSpace(code)

@@ -37,7 +37,7 @@ type Info struct {
 // Compute builds the NSR partition for a built function.
 func Compute(f *ir.Func) *Info {
 	if !f.Built() {
-		panic("nsr: function not built")
+		panic("nsr: function not built") //lint:invariant documented precondition: Compute requires f.Built(); callers construct via Build which cannot yield an unbuilt func
 	}
 	n := f.NumPoints()
 	x := &Info{F: f, Region: make([]int, n)}

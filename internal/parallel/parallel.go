@@ -60,7 +60,7 @@ func CtxErr(ctx context.Context) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	if d, ok := ctx.Deadline(); ok && !time.Now().Before(d) {
+	if d, ok := ctx.Deadline(); ok && !time.Now().Before(d) { //lint:ignore detlint deadline polling against the wall clock is the documented cancellation mechanism; it never orders allocation work
 		return context.DeadlineExceeded
 	}
 	return nil
@@ -178,7 +178,7 @@ func run(workers, n int, stop *atomic.Bool, fn func(i int)) {
 	wg.Wait()
 	for _, p := range panics {
 		if p != nil {
-			panic(p)
+			panic(p) //lint:invariant re-raises a panic transported from a worker goroutine so the API-boundary barrier can classify it
 		}
 	}
 }

@@ -15,6 +15,7 @@ package passes
 import (
 	"fmt"
 
+	"npra/internal/core/errs"
 	"npra/internal/ir"
 	"npra/internal/liveness"
 )
@@ -55,7 +56,11 @@ func Optimize(f *ir.Func) (*ir.Func, Stats, error) {
 		var st Stats
 		if !cur.Physical {
 			st.add(CopyProp(cur))
-			st.add(ConstFold(cur))
+			cf, err := ConstFold(cur)
+			if err != nil {
+				return nil, total, err
+			}
+			st.add(cf)
 		}
 		st.add(Peephole(cur))
 		if err := cur.Build(); err != nil {
@@ -182,17 +187,21 @@ func CopyProp(f *ir.Func) Stats {
 // virtual code: "set" values are tracked and ALU results over known
 // constants collapse back into "set"; register-immediate forms whose
 // register operand is known also collapse.
-func ConstFold(f *ir.Func) Stats {
+func ConstFold(f *ir.Func) (Stats, error) {
 	var st Stats
 	if f.Physical {
-		return st
+		return st, nil
 	}
 	known := make(map[ir.Reg]uint32)
 	for _, b := range f.Blocks {
 		clearConstMap(known)
 		for i := range b.Instrs {
 			in := &b.Instrs[i]
-			if v, folded := foldInstr(in, known); folded {
+			v, folded, err := foldInstr(in, known)
+			if err != nil {
+				return st, err
+			}
+			if folded {
 				*in = ir.Instr{Op: ir.OpSet, Def: in.Def, A: ir.NoReg, B: ir.NoReg, Imm: int64(v)}
 				st.Folded++
 			}
@@ -205,11 +214,11 @@ func ConstFold(f *ir.Func) Stats {
 			}
 		}
 	}
-	return st
+	return st, nil
 }
 
 // foldInstr evaluates in if all register operands are known constants.
-func foldInstr(in *ir.Instr, known map[ir.Reg]uint32) (uint32, bool) {
+func foldInstr(in *ir.Instr, known map[ir.Reg]uint32) (uint32, bool, error) {
 	get := func(r ir.Reg) (uint32, bool) {
 		v, ok := known[r]
 		return v, ok
@@ -217,68 +226,70 @@ func foldInstr(in *ir.Instr, known map[ir.Reg]uint32) (uint32, bool) {
 	switch in.Op {
 	case ir.OpMov:
 		if a, ok := get(in.A); ok {
-			return a, true
+			return a, true, nil
 		}
 	case ir.OpNot:
 		if a, ok := get(in.A); ok {
-			return ^a, true
+			return ^a, true, nil
 		}
 	case ir.OpAdd, ir.OpSub, ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr, ir.OpMul:
 		a, okA := get(in.A)
 		bv, okB := get(in.B)
 		if okA && okB {
-			return evalALU(in.Op, a, bv), true
+			v, err := evalALU(in.Op, a, bv)
+			return v, err == nil, err
 		}
 	case ir.OpAddI, ir.OpSubI, ir.OpAndI, ir.OpOrI, ir.OpXorI, ir.OpShlI, ir.OpShrI, ir.OpMulI:
 		if a, ok := get(in.A); ok {
-			return evalALUI(in.Op, a, uint32(in.Imm)), true
+			v, err := evalALUI(in.Op, a, uint32(in.Imm))
+			return v, err == nil, err
 		}
 	}
-	return 0, false
+	return 0, false, nil
 }
 
-func evalALU(op ir.Op, a, b uint32) uint32 {
+func evalALU(op ir.Op, a, b uint32) (uint32, error) {
 	switch op {
 	case ir.OpAdd:
-		return a + b
+		return a + b, nil
 	case ir.OpSub:
-		return a - b
+		return a - b, nil
 	case ir.OpAnd:
-		return a & b
+		return a & b, nil
 	case ir.OpOr:
-		return a | b
+		return a | b, nil
 	case ir.OpXor:
-		return a ^ b
+		return a ^ b, nil
 	case ir.OpShl:
-		return a << (b & 31)
+		return a << (b & 31), nil
 	case ir.OpShr:
-		return a >> (b & 31)
+		return a >> (b & 31), nil
 	case ir.OpMul:
-		return a * b
+		return a * b, nil
 	}
-	panic("passes: not an ALU op")
+	return 0, errs.Internalf("passes: %v is not an ALU op", op)
 }
 
-func evalALUI(op ir.Op, a, imm uint32) uint32 {
+func evalALUI(op ir.Op, a, imm uint32) (uint32, error) {
 	switch op {
 	case ir.OpAddI:
-		return a + imm
+		return a + imm, nil
 	case ir.OpSubI:
-		return a - imm
+		return a - imm, nil
 	case ir.OpAndI:
-		return a & imm
+		return a & imm, nil
 	case ir.OpOrI:
-		return a | imm
+		return a | imm, nil
 	case ir.OpXorI:
-		return a ^ imm
+		return a ^ imm, nil
 	case ir.OpShlI:
-		return a << (imm & 31)
+		return a << (imm & 31), nil
 	case ir.OpShrI:
-		return a >> (imm & 31)
+		return a >> (imm & 31), nil
 	case ir.OpMulI:
-		return a * imm
+		return a * imm, nil
 	}
-	panic("passes: not an ALU-immediate op")
+	return 0, errs.Internalf("passes: %v is not an ALU-immediate op", op)
 }
 
 // Peephole applies single-instruction simplifications that are safe on

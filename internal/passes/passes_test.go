@@ -87,8 +87,8 @@ func TestCopyPropSkipsPhysical(t *testing.T) {
 	if st := CopyProp(f); st.CopiesReplaced != 0 {
 		t.Errorf("copy propagation ran on physical code")
 	}
-	if st := ConstFold(f); st.Folded != 0 {
-		t.Errorf("constant folding ran on physical code")
+	if st, err := ConstFold(f); err != nil || st.Folded != 0 {
+		t.Errorf("constant folding ran on physical code (err=%v)", err)
 	}
 }
 
@@ -102,7 +102,10 @@ a:
 	shli v4, v3, 2   ; -> set v4, 200
 	store [0], v4
 	halt`)
-	st := ConstFold(f)
+	st, err := ConstFold(f)
+	if err != nil {
+		t.Fatalf("ConstFold: %v", err)
+	}
 	if st.Folded != 3 {
 		t.Errorf("Folded = %d, want 3\n%s", st.Folded, f.Format())
 	}
@@ -244,7 +247,12 @@ func TestQuickIndividualPasses(t *testing.T) {
 	passes := []pass{
 		{"DeadCode", func(f *ir.Func) error { _, err := DeadCode(f); return err }},
 		{"CopyProp", func(f *ir.Func) error { CopyProp(f); return f.Build() }},
-		{"ConstFold", func(f *ir.Func) error { ConstFold(f); return f.Build() }},
+		{"ConstFold", func(f *ir.Func) error {
+			if _, err := ConstFold(f); err != nil {
+				return err
+			}
+			return f.Build()
+		}},
 		{"Peephole", func(f *ir.Func) error { Peephole(f); return f.Build() }},
 		{"SimplifyCFG", func(f *ir.Func) error { SimplifyCFG(f); return f.Build() }},
 	}

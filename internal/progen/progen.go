@@ -6,7 +6,7 @@ package progen
 
 import (
 	"fmt"
-	"math/rand"
+	"math/rand" //lint:ignore detlint seeded deterministic generator: rand.New(rand.NewSource(seed)) only, never the global PRNG
 
 	"npra/internal/ir"
 )
@@ -64,7 +64,7 @@ func Generate(rng *rand.Rand, cfg Config) *ir.Func {
 		f.Blocks = append(f.Blocks, b)
 	}
 	if err := f.Build(); err != nil {
-		panic("progen: generated invalid function: " + err.Error())
+		panic("progen: generated invalid function: " + err.Error()) //lint:invariant generator self-check: progen constructs structurally valid CFGs by construction; Build failure means the generator itself is broken
 	}
 	return f
 }
@@ -133,7 +133,7 @@ func GenerateStructured(rng *rand.Rand, cfg StructuredConfig) *ir.Func {
 	g.bu.Halt()
 	f, err := g.bu.Finish()
 	if err != nil {
-		panic("progen: structured generator produced invalid code: " + err.Error())
+		panic("progen: structured generator produced invalid code: " + err.Error()) //lint:invariant generator self-check: the structured builder emits balanced control flow by construction; Finish failure means the generator itself is broken
 	}
 	return f
 }

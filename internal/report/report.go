@@ -17,7 +17,7 @@ import (
 // Text renders the statistics block for one function.
 func Text(f *ir.Func) string {
 	a := ig.Analyze(f)
-	li := loops.Compute(f)
+	li, liErr := loops.Compute(f)
 	st := f.Stats()
 
 	var sb strings.Builder
@@ -35,6 +35,10 @@ func Text(f *ir.Func) string {
 	fmt.Fprintf(&sb, "  NSRs             %d (avg %.1f instructions)\n", a.NSR.NumRegions, a.NSR.AvgSize())
 	fmt.Fprintf(&sb, "  pressure         RegPmax=%d RegPCSBmax=%d\n", est.MinR, est.MinPR)
 	fmt.Fprintf(&sb, "  move-free demand MaxR=%d MaxPR=%d (SR=%d)\n", est.MaxR, est.MaxPR, est.MaxSR())
+	if liErr != nil {
+		fmt.Fprintf(&sb, "  loop analysis failed: %v\n", liErr)
+		return sb.String()
+	}
 	maxDepth := 0
 	for _, d := range li.Depth {
 		if d > maxDepth {
@@ -48,7 +52,12 @@ func Text(f *ir.Func) string {
 // DotCFG renders the block-level control-flow graph, annotated with loop
 // depth and the context-switch instructions each block contains.
 func DotCFG(f *ir.Func) string {
-	li := loops.Compute(f)
+	li, liErr := loops.Compute(f)
+	if liErr != nil {
+		// Render the CFG without loop annotations rather than failing:
+		// a zero Info reports depth 0 for every block.
+		li = &loops.Info{F: f, IDom: make([]int, len(f.Blocks)), Depth: make([]int, len(f.Blocks))}
+	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "digraph %q {\n  node [shape=box, fontname=monospace];\n", f.Name+"_cfg")
 	for i, b := range f.Blocks {

@@ -18,6 +18,7 @@ package schedcheck
 import (
 	"fmt"
 
+	"npra/internal/core/errs"
 	"npra/internal/ir"
 )
 
@@ -95,7 +96,7 @@ func Check(funcs []*ir.Func, opt Options) (*Result, error) {
 	nregs := 0
 	for i, f := range funcs {
 		if f == nil || !f.Built() {
-			return nil, fmt.Errorf("schedcheck: thread %d not built", i)
+			return nil, errs.Invalidf("schedcheck: thread %d not built", i)
 		}
 		if f.NumRegs > nregs {
 			nregs = f.NumRegs

@@ -1,6 +1,6 @@
 package sim
 
-import "fmt"
+import "npra/internal/core/errs"
 
 // PU is one processing unit (micro-engine) of a multi-PU cluster: its
 // hardware threads plus the base value its threads report from the tid
@@ -44,7 +44,7 @@ func (p PUStats) Utilization(total int64) float64 {
 func RunCluster(pus []PU, cfg Config) (*ClusterResult, error) {
 	cfg.setDefaults()
 	if len(pus) == 0 {
-		return nil, fmt.Errorf("sim: no processing units")
+		return nil, errs.Invalidf("sim: no processing units")
 	}
 	mem := make([]uint32, cfg.MemWords)
 	memFree := new(int64) // one memory channel shared by the whole chip
@@ -52,7 +52,7 @@ func RunCluster(pus []PU, cfg Config) (*ClusterResult, error) {
 	var scheds []*puSched
 	for pi, pu := range pus {
 		if len(pu.Threads) == 0 {
-			return nil, fmt.Errorf("sim: PU %d has no threads", pi)
+			return nil, errs.Invalidf("sim: PU %d has no threads", pi)
 		}
 		m := &machine{
 			cfg:     cfg,
@@ -63,13 +63,13 @@ func RunCluster(pus []PU, cfg Config) (*ClusterResult, error) {
 		}
 		for ti, th := range pu.Threads {
 			if th.F == nil || !th.F.Built() {
-				return nil, fmt.Errorf("sim: PU %d thread %d has no built function", pi, ti)
+				return nil, errs.Invalidf("sim: PU %d thread %d has no built function", pi, ti)
 			}
 			if th.F.NumRegs > cfg.NReg {
-				return nil, fmt.Errorf("sim: PU %d thread %d uses %d registers, file has %d", pi, ti, th.F.NumRegs, cfg.NReg)
+				return nil, errs.Invalidf("sim: PU %d thread %d uses %d registers, file has %d", pi, ti, th.F.NumRegs, cfg.NReg)
 			}
 			if th.ProtectLo < 0 || th.ProtectHi > cfg.NReg || th.ProtectLo > th.ProtectHi {
-				return nil, fmt.Errorf("sim: PU %d thread %d bad protected range", pi, ti)
+				return nil, errs.Invalidf("sim: PU %d thread %d bad protected range", pi, ti)
 			}
 			m.threads = append(m.threads, &hwThread{prog: th, pc: 0, state: tReady})
 		}

@@ -19,6 +19,7 @@ package sim
 import (
 	"fmt"
 
+	"npra/internal/core/errs"
 	"npra/internal/ir"
 )
 
@@ -166,7 +167,7 @@ type machine struct {
 func Run(threads []*Thread, cfg Config) (*Result, error) {
 	cfg.setDefaults()
 	if len(threads) == 0 {
-		return nil, fmt.Errorf("sim: no threads")
+		return nil, errs.Invalidf("sim: no threads")
 	}
 	m := &machine{
 		cfg:     cfg,
@@ -176,13 +177,13 @@ func Run(threads []*Thread, cfg Config) (*Result, error) {
 	}
 	for ti, th := range threads {
 		if th.F == nil || !th.F.Built() {
-			return nil, fmt.Errorf("sim: thread %d has no built function", ti)
+			return nil, errs.Invalidf("sim: thread %d has no built function", ti)
 		}
 		if th.F.NumRegs > cfg.NReg {
-			return nil, fmt.Errorf("sim: thread %d uses %d registers, file has %d", ti, th.F.NumRegs, cfg.NReg)
+			return nil, errs.Invalidf("sim: thread %d uses %d registers, file has %d", ti, th.F.NumRegs, cfg.NReg)
 		}
 		if th.ProtectLo < 0 || th.ProtectHi > cfg.NReg || th.ProtectLo > th.ProtectHi {
-			return nil, fmt.Errorf("sim: thread %d bad protected range [%d,%d)", ti, th.ProtectLo, th.ProtectHi)
+			return nil, errs.Invalidf("sim: thread %d bad protected range [%d,%d)", ti, th.ProtectLo, th.ProtectHi)
 		}
 		m.threads = append(m.threads, &hwThread{prog: th, pc: 0, state: tReady})
 	}
@@ -201,7 +202,7 @@ func Run(threads []*Thread, cfg Config) (*Result, error) {
 			// Everyone blocked on memory: idle to the next completion.
 			next := m.nextReadyAt()
 			if next < 0 {
-				return nil, fmt.Errorf("sim: deadlock: no thread will ever be ready")
+				return nil, errs.Invalidf("sim: deadlock: no thread will ever be ready")
 			}
 			m.idle += next - m.cycle
 			m.cycle = next

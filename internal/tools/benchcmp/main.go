@@ -194,7 +194,7 @@ func main() {
 
 func maxRuns(results map[string]*result) int {
 	max := 0
-	for _, r := range results {
+	for _, r := range results { //lint:ignore detlint max over an unordered map is order-independent
 		if r.Runs > max {
 			max = r.Runs
 		}
