@@ -28,11 +28,12 @@ build:
 test:
 	$(GO) test ./...
 
-# The packages with real concurrency: the worker pool and the allocator
-# fan-outs (setup, pricing, SRA sweep) that write per-index slots.
+# The packages with real concurrency: the worker pool, the allocator
+# fan-outs (setup, pricing, SRA sweep) that write per-index slots, and
+# the serving layer (singleflight, batching, drain).
 .PHONY: race
 race:
-	$(GO) test -race ./internal/core/... ./internal/parallel/...
+	$(GO) test -race ./internal/core/... ./internal/parallel/... ./internal/serve/...
 
 # A short native-fuzzer run over the allocation API with fault injection
 # armed from the input; catches panics and verification/semantics breaks.
@@ -54,3 +55,13 @@ bench:
 .PHONY: benchcmp
 benchcmp:
 	$(GO) test $(BENCH_ARGS) -count 3 | $(GO) run ./internal/tools/benchcmp -baseline BENCH_alloc.json
+
+# The serving-layer benchmark: nploadgen drives an in-process npserve at
+# duplicate-ratio 0.5 for 10s and writes the latency/dedup report to
+# BENCH_serve.json. Gated on the ISSUE-5 acceptance criteria: no 5xx,
+# singleflight hit rate > 0.4, and p99 under 5x the cold-Solve time from
+# BENCH_alloc.json (7.14ms -> 36ms ceiling).
+.PHONY: serve-bench
+serve-bench:
+	$(GO) run ./cmd/nploadgen -inprocess -c 8 -duration 10s -dup 0.5 \
+		-max-5xx 0 -min-dedup 0.4 -max-p99-ms 36 -report BENCH_serve.json

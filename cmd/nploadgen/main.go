@@ -1,0 +1,109 @@
+// Command nploadgen drives npserve with a closed-loop request stream
+// and reports latency percentiles, status-code counts and the server's
+// own singleflight/batching counters. It doubles as the serve-e2e
+// acceptance gate: -max-5xx and -min-dedup turn the report into a
+// pass/fail exit code.
+//
+// Usage:
+//
+//	nploadgen -url http://127.0.0.1:8080 -c 8 -duration 10s -dup 0.5
+//	nploadgen -inprocess -requests 500 -dup 0.5 -report BENCH_serve.json
+//
+// With -inprocess, nploadgen starts an npserve instance inside the
+// process (no network listener flakiness) and drives that.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"time"
+
+	"npra/internal/serve"
+	"npra/internal/tools/loadgen"
+)
+
+func main() {
+	var (
+		url       = flag.String("url", "", "target npserve base URL (omit with -inprocess)")
+		inprocess = flag.Bool("inprocess", false, "start an in-process npserve and drive it")
+		conc      = flag.Int("c", 8, "closed-loop worker count")
+		duration  = flag.Duration("duration", 0, "wall-clock budget (0 = unlimited; set -requests then)")
+		requests  = flag.Int64("requests", 0, "total request budget (0 = unlimited; set -duration then)")
+		dup       = flag.Float64("dup", 0, "duplicate-request ratio, 0..1")
+		pool      = flag.Int("pool", 16, "distinct specs the duplicate draws come from")
+		threads   = flag.Int("threads", 3, "max threads per generated request")
+		nreg      = flag.Int("nreg", 64, "register budget per request")
+		timeoutMS = flag.Int64("timeout-ms", 0, "per-request timeout forwarded to the server")
+		seed      = flag.Int64("seed", 1, "request-stream seed")
+		reportTo  = flag.String("report", "", "write the JSON report to this file")
+		max5xx    = flag.Int64("max-5xx", -1, "fail if more than this many 5xx responses (-1 disables)")
+		minDedup  = flag.Float64("min-dedup", -1, "fail if the singleflight hit rate is below this (-1 disables)")
+		maxP99    = flag.Float64("max-p99-ms", 0, "fail if the p99 latency exceeds this many milliseconds (0 disables)")
+		jobs      = flag.Int("j", runtime.GOMAXPROCS(0), "engine workers for -inprocess")
+	)
+	flag.Parse()
+	if err := run(*url, *inprocess, *conc, *duration, *requests, *dup, *pool, *threads,
+		*nreg, *timeoutMS, *seed, *reportTo, *max5xx, *minDedup, *maxP99, *jobs); err != nil {
+		fmt.Fprintln(os.Stderr, "nploadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(url string, inprocess bool, conc int, duration time.Duration, requests int64,
+	dup float64, pool, threads, nreg int, timeoutMS, seed int64,
+	reportTo string, max5xx int64, minDedup, maxP99 float64, jobs int) error {
+	if inprocess {
+		s := serve.New(serve.Config{Workers: jobs})
+		ts := httptest.NewServer(s.Handler())
+		defer func() {
+			ts.Close()
+			s.Close()
+		}()
+		url = ts.URL
+	}
+
+	rep, err := loadgen.Run(context.Background(), loadgen.Options{
+		URL:         url,
+		Concurrency: conc,
+		Duration:    duration,
+		MaxRequests: requests,
+		DupRatio:    dup,
+		PoolSize:    pool,
+		Threads:     threads,
+		NReg:        nreg,
+		TimeoutMS:   timeoutMS,
+		Seed:        seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(blob))
+	if reportTo != "" {
+		if err := os.WriteFile(reportTo, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+
+	if max5xx >= 0 || minDedup >= 0 || maxP99 > 0 {
+		effMax := max5xx
+		if effMax < 0 {
+			effMax = rep.Requests // 5xx gate disabled
+		}
+		if err := rep.Check(effMax, minDedup, maxP99); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "nploadgen: checks passed (5xx %d <= %d, dedup %.4f >= %.4f, p99 %.2fms)\n",
+			rep.FiveXX, effMax, rep.SingleflightHitRate, minDedup, rep.P99MS)
+	}
+	return nil
+}

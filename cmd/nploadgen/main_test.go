@@ -1,0 +1,63 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunInProcess(t *testing.T) {
+	report := filepath.Join(t.TempDir(), "report.json")
+	err := run("", true, 4, 0, 60, 0.5, 8, 2, 48, 0, 3, report, 0, 0.05, 0, 2)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	blob, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Requests int64            `json:"requests"`
+		ByCode   map[string]int64 `json:"by_code"`
+		P99MS    float64          `json:"p99_ms"`
+		HitRate  float64          `json:"singleflight_hit_rate"`
+	}
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatalf("report is not JSON: %v\n%s", err, blob)
+	}
+	if rep.Requests != 60 {
+		t.Errorf("requests = %d, want 60", rep.Requests)
+	}
+	if rep.ByCode["200"] != 60 {
+		t.Errorf("by_code = %v, want 60 clean 200s", rep.ByCode)
+	}
+	if rep.P99MS <= 0 {
+		t.Errorf("p99 = %v, want > 0", rep.P99MS)
+	}
+	if rep.HitRate <= 0 {
+		t.Errorf("hit rate = %v at dup 0.5, want > 0", rep.HitRate)
+	}
+}
+
+func TestRunFailsDedupGate(t *testing.T) {
+	// dup 0 with a cold cache cannot reach a 0.99 hit rate.
+	err := run("", true, 2, 0, 10, 0, 8, 2, 48, 0, 5, "", -1, 0.99, 0, 1)
+	if err == nil {
+		t.Fatal("run passed an unreachable dedup gate")
+	}
+}
+
+func TestRunFailsP99Gate(t *testing.T) {
+	// No real request completes in a microsecond.
+	err := run("", true, 2, 0, 10, 0, 8, 2, 48, 0, 6, "", -1, -1, 0.001, 1)
+	if err == nil {
+		t.Fatal("run passed an unreachable p99 gate")
+	}
+}
+
+func TestRunNeedsTarget(t *testing.T) {
+	if err := run("", false, 1, 0, 1, 0, 8, 2, 48, 0, 1, "", -1, -1, 0, 1); err == nil {
+		t.Fatal("run accepted no URL without -inprocess")
+	}
+}

@@ -1,0 +1,110 @@
+// Command npserve runs the batched, deduplicating allocation service
+// over HTTP/JSON.
+//
+// Endpoints:
+//
+//	POST /allocate  — one allocation request (see core.WireRequest);
+//	                  identical requests share one engine invocation,
+//	                  queued requests run batched over the worker pool
+//	GET  /metrics   — request/latency histograms, singleflight and
+//	                  batch counters, engine phase timings
+//	GET  /healthz   — 200 while serving, 503 while draining
+//
+// On SIGTERM/SIGINT the server drains: in-flight requests finish, new
+// ones are refused with 503, then the process exits.
+//
+// Usage:
+//
+//	npserve [-addr :8080] [-nreg 128] [-j N] [-queue 64] [-batch 4]
+//	        [-cache 256] [-timeout 10s] [-max-timeout 60s]
+//	        [-drain-timeout 30s]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"npra/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		nreg         = flag.Int("nreg", 128, "default register budget for requests that omit nreg")
+		jobs         = flag.Int("j", runtime.GOMAXPROCS(0), "engine worker goroutines (the allocation is identical for any value)")
+		queue        = flag.Int("queue", 64, "admission queue bound; beyond it requests get 429")
+		batch        = flag.Int("batch", 4, "max queued requests per engine invocation (1 disables batching)")
+		cache        = flag.Int("cache", 256, "completed-result cache entries (negative disables)")
+		timeout      = flag.Duration("timeout", 10*time.Second, "default per-request deadline")
+		maxTimeout   = flag.Duration("max-timeout", 60*time.Second, "cap on the per-request deadline")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+	)
+	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	cfg := serve.Config{
+		NReg:           *nreg,
+		Workers:        *jobs,
+		MaxQueue:       *queue,
+		MaxBatch:       *batch,
+		CacheEntries:   *cache,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+	}
+	if err := run(ctx, *addr, cfg, *drainTimeout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "npserve:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the service on addr and blocks until ctx is cancelled and
+// the drain completes. If ready is non-nil, the bound listener address
+// is sent on it once the server is accepting (for tests).
+func run(ctx context.Context, addr string, cfg serve.Config, drainTimeout time.Duration, ready chan<- string) error {
+	s := serve.New(cfg)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "npserve: listening on %s (workers %d, queue %d, batch %d, cache %d)\n",
+		ln.Addr(), cfg.Workers, cfg.MaxQueue, cfg.MaxBatch, cfg.CacheEntries)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	select {
+	case err := <-errc:
+		s.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "npserve: draining (in-flight requests will finish)")
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	drainErr := s.Drain(dctx)
+	if err := hs.Shutdown(dctx); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	if drainErr != nil {
+		return fmt.Errorf("drain: %w", drainErr)
+	}
+	fmt.Fprintln(os.Stderr, "npserve: drained cleanly")
+	return nil
+}

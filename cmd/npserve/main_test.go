@@ -1,0 +1,79 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"npra/internal/serve"
+)
+
+// TestRunServeDrain boots the real binary path (run with a live TCP
+// listener), serves one request, then cancels the context and checks
+// the drain completes cleanly.
+func TestRunServeDrain(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, "127.0.0.1:0", serve.Config{}, 10*time.Second, ready)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-done:
+		t.Fatalf("run exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	resp, err := http.Post(base+"/allocate", "application/json",
+		strings.NewReader(`{"nreg":32,"threads":[{"progen":{"seed":1}}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d body %s", resp.StatusCode, blob)
+	}
+	var out serve.Response
+	if err := json.Unmarshal(blob, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Threads) != 1 {
+		t.Fatalf("got %d threads, want 1", len(out.Threads))
+	}
+
+	hresp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, hresp.Body)
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", hresp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after cancel, want nil (clean drain)", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not exit after cancel")
+	}
+}
+
+func TestRunBadAddr(t *testing.T) {
+	err := run(context.Background(), "256.256.256.256:99999", serve.Config{}, time.Second, nil)
+	if err == nil {
+		t.Fatal("run accepted an unusable listen address")
+	}
+}

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+
+	"npra/internal/ir"
+)
+
+const wireTestAsm = `
+func t0
+entry:
+	set v0, 1
+	set v1, 2
+	add v2, v0, v1
+	store [0], v2
+	halt
+`
+
+func wireProgenReq(seed int64, nreg int) *WireRequest {
+	return &WireRequest{
+		NReg:    nreg,
+		Threads: []WireThread{{Progen: &WireProgen{Seed: seed}}},
+	}
+}
+
+func TestWireRequestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		req  WireRequest
+		ok   bool
+	}{
+		{"progen ok", *wireProgenReq(1, 32), true},
+		{"asm ok", WireRequest{NReg: 32, Threads: []WireThread{{Asm: wireTestAsm}}}, true},
+		{"sra ok", WireRequest{Mode: "sra", NReg: 32, NThd: 4, Threads: []WireThread{{Asm: wireTestAsm}}}, true},
+		{"bad mode", WireRequest{Mode: "xyz", NReg: 32, Threads: []WireThread{{Asm: wireTestAsm}}}, false},
+		{"nreg zero", WireRequest{Threads: []WireThread{{Asm: wireTestAsm}}}, false},
+		{"nreg huge", WireRequest{NReg: WireMaxNReg + 1, Threads: []WireThread{{Asm: wireTestAsm}}}, false},
+		{"no threads", WireRequest{NReg: 32}, false},
+		{"too many threads", WireRequest{NReg: 32, Threads: make([]WireThread, WireMaxThreads+1)}, false},
+		{"sra no nthd", WireRequest{Mode: "sra", NReg: 32, Threads: []WireThread{{Asm: wireTestAsm}}}, false},
+		{"sra two bodies", WireRequest{Mode: "sra", NReg: 32, NThd: 2, Threads: []WireThread{{Asm: wireTestAsm}, {Asm: wireTestAsm}}}, false},
+		{"ara with nthd", WireRequest{NReg: 32, NThd: 2, Threads: []WireThread{{Asm: wireTestAsm}}}, false},
+		{"both asm and progen", WireRequest{NReg: 32, Threads: []WireThread{{Asm: wireTestAsm, Progen: &WireProgen{}}}}, false},
+		{"neither asm nor progen", WireRequest{NReg: 32, Threads: []WireThread{{}}}, false},
+		{"negative timeout", WireRequest{NReg: 32, TimeoutMS: -1, Threads: []WireThread{{Asm: wireTestAsm}}}, false},
+		{"negative workers", WireRequest{NReg: 32, Workers: -1, Threads: []WireThread{{Asm: wireTestAsm}}}, false},
+		{"progen depth out of range", WireRequest{NReg: 32, Threads: []WireThread{{Progen: &WireProgen{MaxDepth: WireMaxDepth + 1}}}}, true}, // shape checked by Funcs, not Validate
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.req.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			if !tc.ok {
+				if err == nil {
+					t.Fatal("Validate accepted an invalid request")
+				}
+				if !errors.Is(err, ErrInvalid) {
+					t.Fatalf("error %v does not wrap ErrInvalid", err)
+				}
+			}
+		})
+	}
+}
+
+func TestWireFuncsErrorsWrapInvalid(t *testing.T) {
+	bad := []WireRequest{
+		{NReg: 32, Threads: []WireThread{{Asm: "func x\nentry:\n\tbogus v0\n"}}},
+		{NReg: 32, Threads: []WireThread{{Progen: &WireProgen{MaxDepth: 99}}}},
+		{NReg: 32, Threads: []WireThread{{Progen: &WireProgen{MaxVars: 1}}}},
+		{NReg: 32, Threads: []WireThread{{Progen: &WireProgen{CSBDensity: 1.5}}}},
+		{NReg: 32, Threads: []WireThread{{Progen: &WireProgen{StoreWindow: 2}}}},
+		{NReg: 32, Threads: []WireThread{{Progen: &WireProgen{StoreBase: -1}}}},
+	}
+	for i, req := range bad {
+		if _, err := req.Funcs(); err == nil {
+			t.Errorf("case %d: Funcs accepted an invalid request", i)
+		} else if !errors.Is(err, ErrInvalid) {
+			t.Errorf("case %d: error %v does not wrap ErrInvalid", i, err)
+		}
+	}
+}
+
+func TestWireFuncsMaterializes(t *testing.T) {
+	req := &WireRequest{
+		NReg: 32,
+		Threads: []WireThread{
+			{Name: "rx", Asm: wireTestAsm},
+			{Progen: &WireProgen{Seed: 7}},
+		},
+	}
+	funcs, err := req.Funcs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(funcs) != 2 {
+		t.Fatalf("got %d funcs, want 2", len(funcs))
+	}
+	if funcs[0].Name != "rx" {
+		t.Errorf("thread 0 name = %q, want rx (request override)", funcs[0].Name)
+	}
+	if funcs[1].Name != "progen7" {
+		t.Errorf("thread 1 name = %q, want progen7 (seed default)", funcs[1].Name)
+	}
+}
+
+func TestWireCanonicalKey(t *testing.T) {
+	key := func(req *WireRequest) string {
+		t.Helper()
+		funcs, err := req.Funcs()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return req.CanonicalKey(funcs)
+	}
+
+	base := key(wireProgenReq(42, 64))
+
+	// Stable across materializations.
+	if again := key(wireProgenReq(42, 64)); again != base {
+		t.Errorf("key not stable: %s vs %s", base, again)
+	}
+
+	// Workers, timeout and dump are excluded from the key.
+	tuned := wireProgenReq(42, 64)
+	tuned.Workers = 7
+	tuned.TimeoutMS = 1234
+	tuned.Dump = true
+	if k := key(tuned); k != base {
+		t.Errorf("workers/timeout/dump changed the key: %s vs %s", base, k)
+	}
+
+	// Mode "" and "ara" canonicalize identically.
+	ara := wireProgenReq(42, 64)
+	ara.Mode = "ara"
+	if k := key(ara); k != base {
+		t.Errorf("mode \"\" and \"ara\" disagree: %s vs %s", base, k)
+	}
+
+	// Result-determining fields each change the key.
+	if k := key(wireProgenReq(43, 64)); k == base {
+		t.Error("different seed produced the same key")
+	}
+	if k := key(wireProgenReq(42, 32)); k == base {
+		t.Error("different nreg produced the same key")
+	}
+	sra := &WireRequest{Mode: "sra", NReg: 64, NThd: 4,
+		Threads: []WireThread{{Progen: &WireProgen{Seed: 42}}}}
+	sra8 := &WireRequest{Mode: "sra", NReg: 64, NThd: 8,
+		Threads: []WireThread{{Progen: &WireProgen{Seed: 42}}}}
+	if key(sra) == base {
+		t.Error("sra and ara share a key")
+	}
+	if key(sra) == key(sra8) {
+		t.Error("different nthd produced the same key")
+	}
+
+	// An asm request whose source assembles to the same function as a
+	// progen spec shares its key: canonicalization hashes materialized
+	// bodies, not the request spelling.
+	pg := wireProgenReq(42, 64)
+	pgFuncs, err := pg.Funcs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	asm := &WireRequest{NReg: 64, Threads: []WireThread{{Name: pgFuncs[0].Name, Asm: pgFuncs[0].Format()}}}
+	if k := key(asm); k != base {
+		t.Errorf("asm spelling of the same body hashed differently: %s vs %s", base, k)
+	}
+}
+
+func TestAllocationWireRoundTrip(t *testing.T) {
+	req := &WireRequest{
+		NReg: 48,
+		Threads: []WireThread{
+			{Progen: &WireProgen{Seed: 11}},
+			{Progen: &WireProgen{Seed: 12}},
+		},
+	}
+	funcs, err := req.Funcs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	al, err := AllocateARA(funcs, Config{NReg: req.NReg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := al.Wire(true)
+	if resp.NReg != al.NReg || resp.SGR != al.SGR || resp.TotalRegisters != al.TotalRegisters() {
+		t.Errorf("summary fields differ: wire (%d,%d,%d) vs alloc (%d,%d,%d)",
+			resp.NReg, resp.SGR, resp.TotalRegisters, al.NReg, al.SGR, al.TotalRegisters())
+	}
+	if len(resp.Threads) != len(al.Threads) {
+		t.Fatalf("got %d wire threads, want %d", len(resp.Threads), len(al.Threads))
+	}
+	for i, wt := range resp.Threads {
+		ta := al.Threads[i]
+		if wt.PR != ta.PR || wt.SR != ta.SR || wt.Cost != ta.Cost || wt.PrivBase != ta.PrivBase {
+			t.Errorf("thread %d: wire (%d,%d,%d,%d) vs alloc (%d,%d,%d,%d)",
+				i, wt.PR, wt.SR, wt.Cost, wt.PrivBase, ta.PR, ta.SR, ta.Cost, ta.PrivBase)
+		}
+		if wt.Asm == "" {
+			t.Errorf("thread %d: dump requested but asm empty", i)
+		}
+		parsed, err := ir.Parse(wt.Asm)
+		if err != nil {
+			t.Fatalf("thread %d: dumped asm does not re-parse: %v", i, err)
+		}
+		if !parsed.Physical {
+			t.Errorf("thread %d: dumped asm is not in physical (rN) form", i)
+		}
+	}
+
+	// The response must survive a JSON round trip unchanged.
+	blob, err := json.Marshal(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back WireResponse
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%+v", back) != fmt.Sprintf("%+v", *resp) {
+		t.Error("WireResponse did not survive a JSON round trip")
+	}
+
+	// Without dump, no assembly leaves the engine.
+	if lean := al.Wire(false); lean.Threads[0].Asm != "" {
+		t.Error("asm present without dump")
+	}
+}
+
+func TestErrorKind(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{invalidf("x"), "invalid"},
+		{infeasiblef("x"), "infeasible"},
+		{fmt.Errorf("wrapped: %w", ErrTimeout), "timeout"},
+		{internalf("x"), "internal"},
+		{errors.New("untyped"), "internal"},
+	}
+	for _, tc := range cases {
+		if got := ErrorKind(tc.err); got != tc.want {
+			t.Errorf("ErrorKind(%v) = %q, want %q", tc.err, got, tc.want)
+		}
+	}
+}

@@ -72,9 +72,22 @@ const (
 	// SiteVerify fires inside the degraded-fallback self-check, modeling
 	// a failure of the degradation path itself.
 	SiteVerify Site = "core.verify"
+
+	// SiteServe fires in npserve's request handler after a request has
+	// been decoded and validated, before it enters the singleflight and
+	// batching layers — per HTTP request, on the handler goroutine, so
+	// error mode models a serving-layer failure (HTTP 500), panic mode
+	// exercises the handler's recovery barrier, and delay mode models a
+	// slow admission path racing the request deadline (HTTP 504). It is
+	// deliberately not part of Sites(): the core fault matrix sweeps the
+	// allocation pipeline's seams, while internal/serve's own tests sweep
+	// this one.
+	SiteServe Site = "serve.handle"
 )
 
-// Sites lists the pipeline's registered seams, for harnesses.
+// Sites lists the allocation pipeline's registered seams, for harnesses.
+// The serving layer's SiteServe is swept by internal/serve's tests, not
+// by the core fault matrix.
 func Sites() []Site { return []Site{SiteSolve, SitePricing, SiteFinalize, SiteVerify} }
 
 // ErrInjected is the sentinel wrapped by every Error-mode injection.

@@ -138,6 +138,15 @@ func GenerateStructured(rng *rand.Rand, cfg StructuredConfig) *ir.Func {
 	return f
 }
 
+// FromSeed is GenerateStructured over a fresh rand.NewSource(seed)
+// PRNG: the same (seed, cfg) always yields the same function. It exists
+// so that callers outside the test harnesses (e.g. the serving layer's
+// wire format) can materialize progen specs without importing math/rand
+// themselves.
+func FromSeed(seed int64, cfg StructuredConfig) *ir.Func {
+	return GenerateStructured(rand.New(rand.NewSource(seed)), cfg)
+}
+
 type sgen struct {
 	rng    *rand.Rand
 	cfg    StructuredConfig

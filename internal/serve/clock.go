@@ -1,0 +1,13 @@
+package serve
+
+import "time"
+
+// now is the serving layer's single wall-clock access point. Wall time
+// here feeds request-latency observation, histogram bucketing and the
+// drain deadline — serving-side observability only. It never reaches
+// the allocation engine, so the PR-1 determinism contract (-j1 ≡ -jN,
+// identical requests → bit-identical allocations) is untouched.
+func now() time.Time { return time.Now() } //lint:ignore detlint serving-layer latency observability only; wall time never feeds an allocation decision
+
+// since returns the elapsed wall time from t.
+func since(t time.Time) time.Duration { return now().Sub(t) }

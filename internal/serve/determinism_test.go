@@ -1,0 +1,172 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"npra/internal/core"
+	"npra/internal/interp"
+	"npra/internal/ir"
+)
+
+// determinismCase derives one request from a seed: 1..3 progen threads,
+// a varying register budget, dump enabled so the response carries the
+// rewritten assembly.
+func determinismCase(seed int64) *core.WireRequest {
+	req := &core.WireRequest{
+		NReg: 32 + int(seed%3)*16,
+		Dump: true,
+	}
+	nthreads := 1 + int(seed%3)
+	for i := 0; i < nthreads; i++ {
+		req.Threads = append(req.Threads, core.WireThread{
+			Progen: &core.WireProgen{Seed: seed*10 + int64(i)},
+		})
+	}
+	return req
+}
+
+// checkServedAgainstDirect compares a served response against the
+// direct engine result for the same request: identical grants, and a
+// rewritten program that executes equivalently thread by thread.
+// Error-returning (not t.Fatal) so worker goroutines can call it.
+func checkServedAgainstDirect(out *Response, direct *core.Allocation) error {
+	if out.Degraded {
+		return fmt.Errorf("served result degraded (%s)", out.Cause)
+	}
+	if out.SGR != direct.SGR || out.TotalRegisters != direct.TotalRegisters() {
+		return fmt.Errorf("served (sgr %d, total %d) vs direct (sgr %d, total %d)",
+			out.SGR, out.TotalRegisters, direct.SGR, direct.TotalRegisters())
+	}
+	if len(out.Threads) != len(direct.Threads) {
+		return fmt.Errorf("served %d threads vs direct %d", len(out.Threads), len(direct.Threads))
+	}
+	for i, wt := range out.Threads {
+		dt := direct.Threads[i]
+		if wt.PR != dt.PR || wt.SR != dt.SR || wt.Cost != dt.Cost || wt.PrivBase != dt.PrivBase {
+			return fmt.Errorf("thread %d: served (pr %d, sr %d, cost %d, base %d) vs direct (pr %d, sr %d, cost %d, base %d)",
+				i, wt.PR, wt.SR, wt.Cost, wt.PrivBase, dt.PR, dt.SR, dt.Cost, dt.PrivBase)
+		}
+		served, err := ir.Parse(wt.Asm)
+		if err != nil {
+			return fmt.Errorf("thread %d: served asm does not parse: %v", i, err)
+		}
+		// Textual identity is the strongest check — the served rewrite is
+		// the direct rewrite, byte for byte.
+		if got, want := served.Format(), dt.F.Format(); got != want {
+			return fmt.Errorf("thread %d: served rewrite differs from direct:\n%s\nvs\n%s", i, got, want)
+		}
+		// And behavioral equivalence, through the interpreter.
+		memA := make([]uint32, 1<<12)
+		memB := make([]uint32, 1<<12)
+		opt := interp.Options{TID: uint32(i)}
+		ra, err := interp.Run(served, memA, opt)
+		if err != nil {
+			return fmt.Errorf("thread %d: running served program: %v", i, err)
+		}
+		rb, err := interp.Run(dt.F, memB, opt)
+		if err != nil {
+			return fmt.Errorf("thread %d: running direct program: %v", i, err)
+		}
+		if err := interp.Equivalent(ra, rb); err != nil {
+			return fmt.Errorf("thread %d: served and direct programs diverge: %v", i, err)
+		}
+	}
+	return nil
+}
+
+// TestServeDeterminismSequential posts 100 derived requests one at a
+// time (batching disabled) and checks each against the direct engine.
+func TestServeDeterminismSequential(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBatch: 1})
+	for seed := int64(0); seed < 100; seed++ {
+		req := determinismCase(seed)
+		funcs, err := req.Funcs()
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := core.AllocateARA(funcs, core.Config{NReg: req.NReg})
+		if err != nil {
+			t.Fatalf("seed %d: direct: %v", seed, err)
+		}
+		blob, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := mustOK(t, ts.URL, string(blob))
+		if out.Batched != 1 {
+			t.Fatalf("seed %d: batching disabled but batched = %d", seed, out.Batched)
+		}
+		if err := checkServedAgainstDirect(out, direct); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestServeDeterminismConcurrent posts the same 100 requests from a
+// worker pool against a batching server with engine parallelism on:
+// jobs land in whatever batches the collector forms, and every response
+// must still match the direct engine bit for bit.
+func TestServeDeterminismConcurrent(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBatch: 4, MaxQueue: 128, Workers: 4})
+
+	direct := make(map[int64]*core.Allocation, 100)
+	for seed := int64(0); seed < 100; seed++ {
+		req := determinismCase(seed)
+		funcs, err := req.Funcs()
+		if err != nil {
+			t.Fatal(err)
+		}
+		al, err := core.AllocateARA(funcs, core.Config{NReg: req.NReg, Workers: 2})
+		if err != nil {
+			t.Fatalf("seed %d: direct: %v", seed, err)
+		}
+		direct[seed] = al
+	}
+
+	const workers = 8
+	seeds := make(chan int64)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for seed := range seeds {
+				blob, err := json.Marshal(determinismCase(seed))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp, err := http.Post(ts.URL+"/allocate", "application/json", strings.NewReader(string(blob)))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("seed %d: status %d body %s", seed, resp.StatusCode, body)
+					continue
+				}
+				var out Response
+				if err := json.Unmarshal(body, &out); err != nil {
+					t.Errorf("seed %d: %v", seed, err)
+					continue
+				}
+				if err := checkServedAgainstDirect(&out, direct[seed]); err != nil {
+					t.Errorf("seed %d: %v", seed, err)
+				}
+			}
+		}()
+	}
+	for seed := int64(0); seed < 100; seed++ {
+		seeds <- seed
+	}
+	close(seeds)
+	wg.Wait()
+}

@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// FuzzServeRequest throws arbitrary bytes at the request path and
+// checks the panicfree contract at the HTTP boundary: the decoder and
+// validators never panic, every response is JSON, every non-2xx body is
+// a typed WireError, and only the documented status codes appear.
+func FuzzServeRequest(f *testing.F) {
+	seeds := []string{
+		``,
+		`{}`,
+		`null`,
+		`[1,2,3]`,
+		`{"nreg":32,"threads":[{"progen":{"seed":1}}]}`,
+		`{"nreg":32,"threads":[{"asm":"func t\nentry:\n\thalt\n"}]}`,
+		`{"mode":"sra","nreg":64,"nthd":4,"threads":[{"progen":{"seed":2}}]}`,
+		`{"nreg":32,"threads":[{"progen":{"seed":-9223372036854775808,"max_depth":4,"max_body_len":32,"max_trip_cnt":8,"max_vars":32,"csb_density":1,"store_window":4096,"store_base":1048576}}]}`,
+		`{"nreg":1024,"threads":[{"progen":{"seed":3}}],"workers":99,"timeout_ms":600000,"dump":true}`,
+		`{"nreg":32,"threads":[{"progen":{"seed":0.5}}]}`,
+		`{"nreg":32,"threads":[{"asm":"\x00\xff"}]}`,
+		`{"nreg":-1,"threads":[{"progen":{"seed":1}}]}`,
+		`{"nreg":32,"threads":[{"progen":null}]}`,
+		`{"nreg":32,"threads":[{}]} trailing`,
+		"{\"nreg\":32,\"threads\":[{\"asm\":\"" + strings.Repeat("A", 4096) + "\"}]}",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	// One server for the whole fuzz run; a tight deadline keeps engine
+	// work from dominating the fuzz loop.
+	srv := New(Config{DefaultTimeout: 2 * time.Second, MaxTimeout: 2 * time.Second, MaxBodyBytes: 64 << 10})
+	handler := srv.Handler()
+	f.Cleanup(func() { srv.Close() })
+
+	allowed := map[int]bool{
+		http.StatusOK:                  true,
+		http.StatusBadRequest:          true,
+		http.StatusUnprocessableEntity: true,
+		http.StatusTooManyRequests:     true,
+		http.StatusInternalServerError: true,
+		http.StatusGatewayTimeout:      true,
+	}
+
+	f.Fuzz(func(t *testing.T, body string) {
+		req := httptest.NewRequest(http.MethodPost, "/allocate", strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req) // must not panic, whatever body holds
+
+		if !allowed[rec.Code] {
+			t.Fatalf("status %d for body %q", rec.Code, body)
+		}
+		blob := rec.Body.Bytes()
+		if rec.Code == http.StatusOK {
+			var out Response
+			if err := json.Unmarshal(blob, &out); err != nil {
+				t.Fatalf("200 body is not a Response: %v (%s)", err, blob)
+			}
+			return
+		}
+		var we struct {
+			Error string `json:"error"`
+			Kind  string `json:"kind"`
+		}
+		if err := json.Unmarshal(blob, &we); err != nil {
+			t.Fatalf("%d body is not a WireError: %v (%s)", rec.Code, err, blob)
+		}
+		if we.Error == "" || we.Kind == "" {
+			t.Fatalf("%d body missing error/kind: %s", rec.Code, blob)
+		}
+	})
+}

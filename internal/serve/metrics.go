@@ -1,0 +1,265 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"npra/internal/intra"
+)
+
+// latencyBucketsMS are the upper bounds (inclusive, in milliseconds) of
+// the request-latency histogram; a final implicit +Inf bucket catches
+// the tail. Log-spaced: the interesting territory spans sub-millisecond
+// cache hits to multi-second degraded engine runs.
+var latencyBucketsMS = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000}
+
+// Metrics aggregates the serving layer's counters. All methods are safe
+// for concurrent use. The zero value is not usable; Server owns the one
+// instance and exposes read access via Server.Metrics (snapshot) and the
+// /metrics endpoint (text rendering).
+type Metrics struct {
+	mu sync.Mutex
+
+	requests map[int]int64 // HTTP status -> count, over all endpoints' allocation requests
+	latency  []int64       // histogram counts, len(latencyBucketsMS)+1
+	latSumNS int64
+	latCount int64
+
+	sfInflightHits int64 // joined a flight still running
+	sfCachedHits   int64 // joined a completed flight held in the result cache
+	sfMisses       int64 // led a new flight (one engine invocation each, minus overload aborts)
+
+	batches       int64 // engine invocations (each runs one batch)
+	batchRequests int64 // leader jobs executed across all batches
+	maxBatch      int64 // largest batch executed
+
+	degraded  int64 // engine results with the static-partition fallback flag
+	overloads int64 // requests refused with 429
+	drains    int64 // requests refused with 503 (draining)
+
+	solveCache intra.CacheStats // engine Solve-point cache, summed over invocations
+	phases     intra.PhaseStats // engine per-phase timings, summed over invocations
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{
+		requests: make(map[int]int64),
+		latency:  make([]int64, len(latencyBucketsMS)+1),
+	}
+}
+
+// observe records one finished allocation request: its response status
+// and its handler-side latency.
+func (m *Metrics) observe(status int, d time.Duration) {
+	ms := float64(d.Nanoseconds()) / 1e6
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[status]++
+	m.latCount++
+	m.latSumNS += d.Nanoseconds()
+	for i, ub := range latencyBucketsMS {
+		if ms <= ub {
+			m.latency[i]++
+			return
+		}
+	}
+	m.latency[len(latencyBucketsMS)]++
+}
+
+func (m *Metrics) join(kind joinKind) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch kind {
+	case joinLeader:
+		m.sfMisses++
+	case joinInflight:
+		m.sfInflightHits++
+	case joinCached:
+		m.sfCachedHits++
+	}
+}
+
+func (m *Metrics) overload() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.overloads++
+}
+
+func (m *Metrics) drainRefusal() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.drains++
+}
+
+// batch records one engine invocation over n batched jobs.
+func (m *Metrics) batch(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.batches++
+	m.batchRequests += int64(n)
+	if int64(n) > m.maxBatch {
+		m.maxBatch = int64(n)
+	}
+}
+
+// engineResult folds one engine result's counters in (nil alloc on
+// engine error).
+func (m *Metrics) engineResult(cache intra.CacheStats, phases intra.PhaseStats, degraded bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.solveCache.Add(cache)
+	m.phases.Add(phases)
+	if degraded {
+		m.degraded++
+	}
+}
+
+// Snapshot is a point-in-time copy of the serving metrics, for tests
+// and programmatic scraping.
+type Snapshot struct {
+	Requests map[int]int64
+
+	LatencyCount int64
+	LatencySumNS int64
+
+	SingleflightInflightHits int64
+	SingleflightCachedHits   int64
+	SingleflightMisses       int64
+
+	Batches       int64
+	BatchRequests int64
+	MaxBatch      int64
+
+	Degraded  int64
+	Overloads int64
+	Drains    int64
+
+	QueueDepth int
+
+	SolveCache intra.CacheStats
+	Phases     intra.PhaseStats
+}
+
+// SingleflightHits returns in-flight joins plus cached joins: every
+// request answered without its own engine invocation.
+func (s *Snapshot) SingleflightHits() int64 {
+	return s.SingleflightInflightHits + s.SingleflightCachedHits
+}
+
+// SingleflightHitRate returns SingleflightHits / all singleflight
+// lookups, or 0 before the first request.
+func (s *Snapshot) SingleflightHitRate() float64 {
+	total := s.SingleflightHits() + s.SingleflightMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.SingleflightHits()) / float64(total)
+}
+
+func (m *Metrics) snapshot(queueDepth int) *Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := &Snapshot{
+		Requests:                 make(map[int]int64, len(m.requests)),
+		LatencyCount:             m.latCount,
+		LatencySumNS:             m.latSumNS,
+		SingleflightInflightHits: m.sfInflightHits,
+		SingleflightCachedHits:   m.sfCachedHits,
+		SingleflightMisses:       m.sfMisses,
+		Batches:                  m.batches,
+		BatchRequests:            m.batchRequests,
+		MaxBatch:                 m.maxBatch,
+		Degraded:                 m.degraded,
+		Overloads:                m.overloads,
+		Drains:                   m.drains,
+		QueueDepth:               queueDepth,
+		SolveCache:               m.solveCache,
+		Phases:                   m.phases,
+	}
+	for code, n := range m.requests {
+		s.Requests[code] = n
+	}
+	return s
+}
+
+// render writes the text exposition format: one "name value" line per
+// counter, Prometheus-style labels for the few multi-dimensional ones.
+// Output is fully deterministic (sorted codes, fixed bucket and phase
+// order).
+func (m *Metrics) render(queueDepth int) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	var b strings.Builder
+	var codes []int
+	for code := range m.requests {
+		codes = append(codes, code)
+	}
+	sort.Ints(codes)
+	for _, code := range codes {
+		fmt.Fprintf(&b, "npserve_requests_total{code=%q} %d\n", fmt.Sprint(code), m.requests[code])
+	}
+
+	cum := int64(0)
+	for i, ub := range latencyBucketsMS {
+		cum += m.latency[i]
+		fmt.Fprintf(&b, "npserve_latency_ms_bucket{le=%q} %d\n", trimFloat(ub), cum)
+	}
+	cum += m.latency[len(latencyBucketsMS)]
+	fmt.Fprintf(&b, "npserve_latency_ms_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(&b, "npserve_latency_ms_count %d\n", m.latCount)
+	fmt.Fprintf(&b, "npserve_latency_ms_sum %.3f\n", float64(m.latSumNS)/1e6)
+
+	hits := m.sfInflightHits + m.sfCachedHits
+	fmt.Fprintf(&b, "npserve_singleflight_hits %d\n", hits)
+	fmt.Fprintf(&b, "npserve_singleflight_inflight_hits %d\n", m.sfInflightHits)
+	fmt.Fprintf(&b, "npserve_singleflight_cached_hits %d\n", m.sfCachedHits)
+	fmt.Fprintf(&b, "npserve_singleflight_misses %d\n", m.sfMisses)
+	fmt.Fprintf(&b, "npserve_singleflight_hit_rate %.4f\n", rate(hits, m.sfMisses))
+
+	fmt.Fprintf(&b, "npserve_engine_invocations_total %d\n", m.batches)
+	fmt.Fprintf(&b, "npserve_batched_requests_total %d\n", m.batchRequests)
+	fmt.Fprintf(&b, "npserve_batch_max_size %d\n", m.maxBatch)
+
+	fmt.Fprintf(&b, "npserve_degraded_total %d\n", m.degraded)
+	fmt.Fprintf(&b, "npserve_overload_total %d\n", m.overloads)
+	fmt.Fprintf(&b, "npserve_drain_refusals_total %d\n", m.drains)
+	fmt.Fprintf(&b, "npserve_queue_depth %d\n", queueDepth)
+
+	fmt.Fprintf(&b, "npserve_solve_cache_hits %d\n", m.solveCache.Hits)
+	fmt.Fprintf(&b, "npserve_solve_cache_misses %d\n", m.solveCache.Misses)
+	fmt.Fprintf(&b, "npserve_solve_cache_hit_rate %.4f\n", m.solveCache.HitRate())
+
+	phases := []struct {
+		name string
+		ns   int64
+	}{
+		{"build", m.phases.BuildNS},
+		{"estimate_merge", m.phases.MergeNS},
+		{"estimate_repair", m.phases.RepairNS},
+		{"chain_coloring", m.phases.ColorNS},
+		{"rewrite", m.phases.RewriteNS},
+	}
+	for _, p := range phases {
+		fmt.Fprintf(&b, "npserve_engine_phase_ns{phase=%q} %d\n", p.name, p.ns)
+	}
+	fmt.Fprintf(&b, "npserve_engine_chain_steps %d\n", m.phases.ChainSteps)
+	fmt.Fprintf(&b, "npserve_engine_trials %d\n", m.phases.Trials)
+	return b.String()
+}
+
+func rate(hits, misses int64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}
+
+// trimFloat renders a bucket bound without a trailing ".000000".
+func trimFloat(f float64) string {
+	s := fmt.Sprintf("%g", f)
+	return s
+}

@@ -1,0 +1,470 @@
+// Package serve implements npserve: a batched, deduplicating HTTP/JSON
+// front end for the balanced register-allocation engine (stdlib only).
+//
+// The request path composes three layers in front of one engine:
+//
+//	admission  — a bounded queue; a full queue refuses immediately with
+//	             429 + Retry-After instead of building unbounded backlog.
+//	dedup      — requests are canonicalized and hashed (core.WireRequest.
+//	             CanonicalKey); identical requests share one engine
+//	             invocation, whether they overlap in flight
+//	             (singleflight) or repeat shortly after one another
+//	             (a bounded LRU of completed flights — the serving-layer
+//	             analog of the engine's PR-1 Solve memo cache).
+//	batching   — a collector goroutine drains the queue into batches of
+//	             up to MaxBatch leader jobs and runs each batch as one
+//	             engine invocation over the PR-1 worker pool: a lone job
+//	             keeps intra-request parallelism (Config.Workers inside
+//	             the engine), a full batch switches to inter-request
+//	             parallelism (one worker per job). The engine's
+//	             determinism contract (bit-identical results at every
+//	             worker count) makes the two schedules observably
+//	             equivalent, which the wire-level differential tests pin.
+//
+// The PR-2 failure model is carried end to end: request deadlines map
+// to ErrTimeout/HTTP 504, the error taxonomy maps onto HTTP statuses
+// (400 invalid, 422 infeasible, 429 overload, 500 internal, 503
+// draining, 504 timeout — every non-2xx body is a core.WireError),
+// degraded static-partition results are flagged in the response rather
+// than hidden, and SIGTERM drains gracefully: in-flight requests
+// finish, new ones are refused.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"npra/internal/core"
+	"npra/internal/core/errs"
+	"npra/internal/faultinject"
+	"npra/internal/ir"
+	"npra/internal/parallel"
+)
+
+// Config parameterizes a Server. Zero values take the noted defaults.
+type Config struct {
+	// NReg is the register budget applied to requests that omit nreg
+	// (default 128, the IXP1200 file).
+	NReg int
+
+	// Workers bounds the engine's worker pool per invocation (0 =
+	// GOMAXPROCS). The allocation result is identical for every value.
+	Workers int
+
+	// MaxQueue bounds the admission queue (default 64): leader jobs
+	// beyond it are refused with 429 + Retry-After.
+	MaxQueue int
+
+	// MaxBatch bounds how many queued jobs one engine invocation runs
+	// (default 4; 1 disables batching).
+	MaxBatch int
+
+	// DefaultTimeout is the per-request deadline when the request does
+	// not set timeout_ms (default 10s); MaxTimeout caps what a request
+	// may ask for (default 60s).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+
+	// CacheEntries bounds the completed-result LRU (default 256;
+	// negative disables result caching, leaving only in-flight dedup).
+	CacheEntries int
+
+	// RetryAfter is the client backoff hint attached to 429/503
+	// responses (default 1s, rounded up to whole seconds on the wire).
+	RetryAfter time.Duration
+
+	// MaxBodyBytes bounds a request body (default 1 MiB).
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.NReg == 0 {
+		c.NReg = 128
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 64
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 4
+	}
+	if c.MaxBatch < 1 {
+		c.MaxBatch = 1
+	}
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxTimeout == 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	if c.CacheEntries < 0 {
+		c.CacheEntries = 0
+	}
+	if c.RetryAfter == 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	return c
+}
+
+// Response is the transport envelope npserve returns on success: the
+// engine's wire response plus serving-layer fields.
+type Response struct {
+	core.WireResponse
+
+	// Shared marks a response answered by a flight this request did not
+	// lead (an in-flight join or a cache hit); Cached narrows that to
+	// the completed-result LRU.
+	Shared bool `json:"shared"`
+	Cached bool `json:"cached"`
+
+	// Batched is the size of the engine batch the result was computed
+	// in (1 = unbatched).
+	Batched int `json:"batched"`
+
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// job is one leader request queued for the engine.
+type job struct {
+	req    *core.WireRequest
+	funcs  []*ir.Func
+	ctx    context.Context // detached from the client connection; carries the request deadline
+	cancel context.CancelFunc
+	fl     *flight
+}
+
+// errOverload resolves flights abandoned at admission; it wraps nothing
+// from the taxonomy because it maps to its own wire kind ("overload").
+var errOverload = errors.New("serve: admission queue full")
+
+// Server is the allocation service. Create with New, expose via
+// Handler, stop with Drain (or Close).
+type Server struct {
+	cfg     Config
+	metrics *Metrics
+
+	flightMu sync.Mutex
+	fg       *flightGroup
+
+	queue chan *job
+
+	// admit gates request admission against drain: every in-flight
+	// allocation request holds a read lock; Drain sets draining and
+	// then takes the write lock, which waits for them to finish.
+	admit    sync.RWMutex
+	draining atomic.Bool
+
+	closeQueue  sync.Once
+	batcherDone chan struct{}
+
+	mux *http.ServeMux
+}
+
+// New returns a running Server (its batch collector is started
+// immediately). Stop it with Drain or Close.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:         cfg.withDefaults(),
+		metrics:     newMetrics(),
+		batcherDone: make(chan struct{}),
+	}
+	s.fg = newFlightGroup(s.cfg.CacheEntries)
+	s.queue = make(chan *job, s.cfg.MaxQueue)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/allocate", s.handleAllocate)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	go s.batcher()
+	return s
+}
+
+// Handler returns the service's HTTP handler: POST /allocate, GET
+// /metrics, GET /healthz.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns a snapshot of the serving counters.
+func (s *Server) Metrics() *Snapshot {
+	return s.metrics.snapshot(len(s.queue))
+}
+
+// Drain gracefully stops the server: new allocation requests are
+// refused with 503 immediately, in-flight requests (and their engine
+// work) run to completion, then the batch collector exits. Bounded by
+// ctx: on expiry the drain keeps finishing in the background but Drain
+// returns an ErrTimeout-wrapped error.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.admit.Lock() // waits for every admitted request to finish
+		defer s.admit.Unlock()
+		s.closeQueue.Do(func() { close(s.queue) })
+		<-s.batcherDone // the collector drains jobs already queued
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("%w: drain interrupted: %v", errs.ErrTimeout, ctx.Err())
+	}
+}
+
+// Close is Drain without a deadline.
+func (s *Server) Close() error { return s.Drain(context.Background()) }
+
+// Draining reports whether the server has begun (or finished) a drain.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"}, s.retryAfterSeconds())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"}, 0)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, s.metrics.render(len(s.queue)))
+}
+
+func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
+	start := now()
+	status, body := s.safeAllocate(r, start)
+	s.metrics.observe(status, since(start))
+	retry := 0
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		retry = s.retryAfterSeconds()
+	}
+	writeJSON(w, status, body, retry)
+}
+
+// safeAllocate is allocate behind a panic barrier: a panic anywhere in
+// the request path (including an injected one at SiteServe) becomes a
+// typed 500, never a dropped connection.
+func (s *Server) safeAllocate(r *http.Request, start time.Time) (status int, body any) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			status = http.StatusInternalServerError
+			body = &core.WireError{Error: fmt.Sprintf("serve: recovered panic: %v", rec), Kind: "internal"}
+		}
+	}()
+	return s.allocate(r, start)
+}
+
+func (s *Server) allocate(r *http.Request, start time.Time) (int, any) {
+	if r.Method != http.MethodPost {
+		return http.StatusMethodNotAllowed, &core.WireError{Error: "POST required", Kind: "invalid"}
+	}
+	if s.draining.Load() || !s.admit.TryRLock() {
+		s.metrics.drainRefusal()
+		return http.StatusServiceUnavailable, &core.WireError{Error: "server is draining", Kind: "draining"}
+	}
+	defer s.admit.RUnlock()
+	if s.draining.Load() { // drain began between the flag check and the lock
+		s.metrics.drainRefusal()
+		return http.StatusServiceUnavailable, &core.WireError{Error: "server is draining", Kind: "draining"}
+	}
+
+	dec := json.NewDecoder(io.LimitReader(r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	var req core.WireRequest
+	if err := dec.Decode(&req); err != nil {
+		return http.StatusBadRequest, &core.WireError{Error: "bad request body: " + err.Error(), Kind: "invalid"}
+	}
+	if dec.More() {
+		return http.StatusBadRequest, &core.WireError{Error: "trailing data after request object", Kind: "invalid"}
+	}
+	if req.NReg == 0 {
+		req.NReg = s.cfg.NReg
+	}
+	funcs, err := req.Funcs()
+	if err != nil {
+		return statusOf(err), &core.WireError{Error: err.Error(), Kind: core.ErrorKind(err)}
+	}
+
+	deadline := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		deadline = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if deadline > s.cfg.MaxTimeout {
+		deadline = s.cfg.MaxTimeout
+	}
+	hctx, hcancel := context.WithTimeout(r.Context(), deadline)
+	defer hcancel()
+
+	if err := faultinject.Fire(hctx, faultinject.SiteServe); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			return http.StatusGatewayTimeout, &core.WireError{Error: "request deadline expired: " + err.Error(), Kind: "timeout"}
+		}
+		return http.StatusInternalServerError, &core.WireError{Error: "serve: " + err.Error(), Kind: "internal"}
+	}
+
+	key := req.CanonicalKey(funcs)
+	fl, kind := s.joinOrEnqueue(key, &req, funcs, deadline)
+	s.metrics.join(kind)
+	if kind != joinCached {
+		select {
+		case <-fl.done:
+		case <-hctx.Done():
+			return http.StatusGatewayTimeout, &core.WireError{Error: "request deadline expired while allocating", Kind: "timeout"}
+		}
+	}
+	if fl.err != nil {
+		if errors.Is(fl.err, errOverload) {
+			s.metrics.overload()
+			return http.StatusTooManyRequests, &core.WireError{Error: fl.err.Error(), Kind: "overload"}
+		}
+		return statusOf(fl.err), &core.WireError{Error: fl.err.Error(), Kind: core.ErrorKind(fl.err)}
+	}
+	resp := &Response{
+		WireResponse: *fl.alloc.Wire(req.Dump),
+		Shared:       kind != joinLeader,
+		Cached:       kind == joinCached,
+		Batched:      fl.batched,
+		ElapsedMS:    float64(since(start).Nanoseconds()) / 1e6,
+	}
+	return http.StatusOK, resp
+}
+
+// joinOrEnqueue joins the flight for key and, when this request leads
+// it, enqueues the engine job — atomically with respect to other
+// joiners, so an admission refusal resolves the flight for everyone who
+// raced onto it.
+func (s *Server) joinOrEnqueue(key string, req *core.WireRequest, funcs []*ir.Func, deadline time.Duration) (*flight, joinKind) {
+	s.flightMu.Lock()
+	fl, kind := s.fg.join(key)
+	if kind != joinLeader {
+		s.flightMu.Unlock()
+		return fl, kind
+	}
+	// The job's context is detached from the client connection: waiters
+	// other than the leader may still need the result after the leader
+	// disconnects. The request deadline still applies.
+	jctx, jcancel := context.WithTimeout(context.Background(), deadline)
+	j := &job{req: req, funcs: funcs, ctx: jctx, cancel: jcancel, fl: fl}
+	select {
+	case s.queue <- j:
+		s.flightMu.Unlock()
+	default:
+		s.fg.abandon(fl)
+		fl.err = errOverload
+		s.flightMu.Unlock()
+		close(fl.done)
+		jcancel()
+	}
+	return fl, kind
+}
+
+// batcher is the collector goroutine: it pulls the next job, greedily
+// drains whatever else is immediately queued (up to MaxBatch), and runs
+// the batch as one engine invocation. It exits when the queue is closed
+// and fully drained (during Drain, after all admitted requests finish).
+func (s *Server) batcher() {
+	defer close(s.batcherDone)
+	for j := range s.queue {
+		batch := make([]*job, 1, s.cfg.MaxBatch)
+		batch[0] = j
+		batch = s.fill(batch)
+		s.runBatch(batch)
+	}
+}
+
+// fill greedily extends batch with jobs already sitting in the queue.
+func (s *Server) fill(batch []*job) []*job {
+	for len(batch) < s.cfg.MaxBatch {
+		select {
+		case j, ok := <-s.queue:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, j)
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
+// runBatch executes one engine invocation over the batch. A lone job
+// keeps the engine's internal parallelism; a real batch fans out across
+// the worker pool with one serial engine per job — bit-identical either
+// way, per the engine's determinism contract.
+func (s *Server) runBatch(batch []*job) {
+	s.metrics.batch(len(batch))
+	if len(batch) == 1 {
+		s.runJob(batch[0], s.cfg.Workers, 1)
+		return
+	}
+	parallel.ForEach(parallel.Workers(s.cfg.Workers), len(batch), func(i int) {
+		s.runJob(batch[i], 1, len(batch))
+	})
+}
+
+func (s *Server) runJob(j *job, workers, batched int) {
+	defer j.cancel()
+	cfg := core.Config{NReg: j.req.NReg, Workers: workers}
+	var alloc *core.Allocation
+	var err error
+	if j.req.Mode == "sra" {
+		alloc, err = core.AllocateSRACtx(j.ctx, j.funcs[0], j.req.NThd, cfg)
+	} else {
+		alloc, err = core.AllocateARACtx(j.ctx, j.funcs, cfg)
+	}
+	if alloc != nil {
+		s.metrics.engineResult(alloc.SolveCache, alloc.Phases, alloc.Degraded)
+	}
+	j.fl.batched = batched
+	s.flightMu.Lock()
+	s.fg.complete(j.fl, alloc, err)
+	s.flightMu.Unlock()
+	close(j.fl.done)
+}
+
+// statusOf maps a taxonomy error onto its HTTP status (the table in
+// docs/INTERNALS.md §10).
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, core.ErrInvalid):
+		return http.StatusBadRequest
+	case errors.Is(err, core.ErrInfeasible):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, core.ErrTimeout):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) retryAfterSeconds() int {
+	secs := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any, retryAfterSeconds int) {
+	w.Header().Set("Content-Type", "application/json")
+	if retryAfterSeconds > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	}
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(body)
+}

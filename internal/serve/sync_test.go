@@ -1,0 +1,172 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"npra/internal/faultinject"
+)
+
+// TestSingleflightConcurrent releases N identical requests at once and
+// checks the dedup contract under the race detector: exactly one engine
+// invocation, every other request a singleflight hit, all responses
+// identical. A short injected engine delay widens the in-flight window
+// so most joiners overlap the leader rather than hitting the cache.
+func TestSingleflightConcurrent(t *testing.T) {
+	faultinject.Arm(faultinject.SiteSolve, faultinject.Plan{Mode: faultinject.Delay, Delay: 100 * time.Millisecond, Count: 1})
+	t.Cleanup(faultinject.Reset)
+	s, ts := newTestServer(t, Config{})
+
+	const n = 16
+	body := progenBody(t, 48, 0, 201, 202)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	outs := make([]*Response, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			resp, err := http.Post(ts.URL+"/allocate", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			blob, _ := io.ReadAll(resp.Body)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("goroutine %d: status %d body %s", i, resp.StatusCode, blob)
+				return
+			}
+			var out Response
+			if err := json.Unmarshal(blob, &out); err != nil {
+				t.Errorf("goroutine %d: %v", i, err)
+				return
+			}
+			outs[i] = &out
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	snap := s.Metrics()
+	if snap.Batches != 1 {
+		t.Errorf("engine ran %d times for %d identical requests, want 1", snap.Batches, n)
+	}
+	if snap.SingleflightMisses != 1 {
+		t.Errorf("singleflight misses = %d, want 1", snap.SingleflightMisses)
+	}
+	if hits := snap.SingleflightHits(); hits != n-1 {
+		t.Errorf("singleflight hits = %d (inflight %d, cached %d), want %d",
+			hits, snap.SingleflightInflightHits, snap.SingleflightCachedHits, n-1)
+	}
+
+	var leader *Response
+	shared := 0
+	for i, out := range outs {
+		if out == nil {
+			t.Fatalf("goroutine %d produced no response", i)
+		}
+		if out.Shared {
+			shared++
+		} else {
+			leader = out
+		}
+	}
+	if shared != n-1 {
+		t.Errorf("%d responses marked shared, want %d", shared, n-1)
+	}
+	if leader == nil {
+		t.Fatal("no response marked as the leader's")
+	}
+	canon, err := json.Marshal(leader.WireResponse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, out := range outs {
+		blob, err := json.Marshal(out.WireResponse)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(blob) != string(canon) {
+			t.Errorf("goroutine %d: response differs from the leader's:\n%s\nvs\n%s", i, blob, canon)
+		}
+	}
+}
+
+// TestConcurrentMixedKeys hammers the server with a mix of duplicate
+// and distinct requests purely for the race detector's benefit: every
+// response must be a 200 and the engine must run at most once per
+// distinct key.
+func TestConcurrentMixedKeys(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxQueue: 128})
+	const workers = 8
+	const perWorker = 6
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				seed := int64(300 + (w+i)%4) // 4 distinct keys across the pool
+				resp, err := http.Post(ts.URL+"/allocate", "application/json",
+					strings.NewReader(progenBody(t, 40, 0, seed)))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				blob, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("worker %d: status %d body %s", w, resp.StatusCode, blob)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := s.Metrics()
+	if snap.SingleflightMisses > 4 {
+		t.Errorf("%d engine-bound misses for 4 distinct keys", snap.SingleflightMisses)
+	}
+	if total := snap.SingleflightHits() + snap.SingleflightMisses; total != workers*perWorker {
+		t.Errorf("join total = %d, want %d", total, workers*perWorker)
+	}
+}
+
+// TestDrainRace drains while requests are still arriving; every request
+// must resolve as either a 200 or a clean 503, never an error or hang.
+func TestDrainRace(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/allocate", "application/json",
+				strings.NewReader(progenBody(t, 40, 0, int64(400+i%3))))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+				t.Errorf("request %d: status %d", i, resp.StatusCode)
+			}
+		}(i)
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Errorf("Drain: %v", err)
+	}
+	wg.Wait()
+}

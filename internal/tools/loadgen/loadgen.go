@@ -1,0 +1,322 @@
+// Package loadgen is a closed-loop load generator for npserve: a pool
+// of workers posts allocation requests (a tunable fraction of which are
+// duplicates drawn from a fixed spec pool), measures client-side
+// latency, and folds in the server's own /metrics counters at the end.
+// It lives under internal/tools — wall-clock and PRNG use is its whole
+// job, which is exactly what the detlint clock exemption is for.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"npra/internal/core"
+	"npra/internal/core/errs"
+)
+
+// Options configures a load run. Zero values take the noted defaults.
+type Options struct {
+	// URL is the server's base URL (e.g. http://127.0.0.1:8080). Required.
+	URL string
+
+	// Concurrency is the number of closed-loop workers (default 4).
+	Concurrency int
+
+	// Duration bounds the run in wall time; MaxRequests bounds it in
+	// total requests. At least one must be set; whichever trips first
+	// ends the run.
+	Duration    time.Duration
+	MaxRequests int64
+
+	// DupRatio is the probability that a request repeats one of PoolSize
+	// fixed specs instead of a fresh unique one (default 0, range 0..1).
+	DupRatio float64
+
+	// PoolSize is the number of distinct specs duplicates draw from
+	// (default 16).
+	PoolSize int
+
+	// Threads caps the threads per generated request (default 3) and
+	// NReg sets the register budget (default 64).
+	Threads int
+	NReg    int
+
+	// TimeoutMS is forwarded in each request (0 = server default).
+	TimeoutMS int64
+
+	// Seed makes the generated request stream reproducible (default 1).
+	Seed int64
+
+	// Client overrides the HTTP client (default: 30s-timeout client).
+	Client *http.Client
+}
+
+func (o Options) withDefaults() Options {
+	if o.Concurrency <= 0 {
+		o.Concurrency = 4
+	}
+	if o.PoolSize <= 0 {
+		o.PoolSize = 16
+	}
+	if o.Threads <= 0 {
+		o.Threads = 3
+	}
+	if o.NReg <= 0 {
+		o.NReg = 64
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return o
+}
+
+// Report is the outcome of one load run.
+type Report struct {
+	Requests      int64            `json:"requests"`
+	ByCode        map[string]int64 `json:"by_code"`
+	FiveXX        int64            `json:"five_xx"`
+	TransportErrs int64            `json:"transport_errors"`
+
+	DurationS     float64 `json:"duration_s"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+
+	P50MS  float64 `json:"p50_ms"`
+	P90MS  float64 `json:"p90_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MeanMS float64 `json:"mean_ms"`
+	MaxMS  float64 `json:"max_ms"`
+
+	// SingleflightHitRate and Metrics come from the server's /metrics
+	// endpoint, scraped after the run.
+	SingleflightHitRate float64            `json:"singleflight_hit_rate"`
+	Metrics             map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Check validates a report against the serve-e2e acceptance gates:
+// no transport errors, at most maxFiveXX server errors, a singleflight
+// hit rate of at least minDedup (skipped when minDedup is negative),
+// and a p99 latency of at most maxP99MS milliseconds (skipped when
+// maxP99MS is not positive).
+func (r *Report) Check(maxFiveXX int64, minDedup, maxP99MS float64) error {
+	if r.Requests == 0 {
+		return errs.Internalf("loadgen: no requests completed")
+	}
+	if r.TransportErrs > 0 {
+		return errs.Internalf("loadgen: %d transport errors", r.TransportErrs)
+	}
+	if r.FiveXX > maxFiveXX {
+		return errs.Internalf("loadgen: %d responses were 5xx (allowed %d)", r.FiveXX, maxFiveXX)
+	}
+	if minDedup >= 0 && r.SingleflightHitRate < minDedup {
+		return errs.Internalf("loadgen: singleflight hit rate %.4f below the %.4f floor",
+			r.SingleflightHitRate, minDedup)
+	}
+	if maxP99MS > 0 && r.P99MS > maxP99MS {
+		return errs.Internalf("loadgen: p99 latency %.2fms above the %.2fms ceiling",
+			r.P99MS, maxP99MS)
+	}
+	return nil
+}
+
+// spec derives request i of a deterministic stream: thread count and
+// progen seeds are pure functions of (base seed, i).
+func (o *Options) spec(i int64) []byte {
+	req := core.WireRequest{NReg: o.NReg, TimeoutMS: o.TimeoutMS}
+	nthreads := 1 + int(i)%o.Threads
+	for th := 0; th < nthreads; th++ {
+		req.Threads = append(req.Threads, core.WireThread{
+			Progen: &core.WireProgen{Seed: o.Seed*1_000_000 + i*10 + int64(th)},
+		})
+	}
+	blob, err := json.Marshal(&req)
+	if err != nil {
+		// Marshaling a struct of ints cannot fail; keep the signature clean.
+		return []byte("{}")
+	}
+	return blob
+}
+
+// Run drives the load and returns the report. It stops when ctx is
+// done, Duration elapses, or MaxRequests have been issued — whichever
+// comes first.
+func Run(ctx context.Context, opt Options) (*Report, error) {
+	opt = opt.withDefaults()
+	if opt.URL == "" {
+		return nil, errs.Invalidf("loadgen: no target URL")
+	}
+	if opt.Duration <= 0 && opt.MaxRequests <= 0 {
+		return nil, errs.Invalidf("loadgen: need a duration or a request budget")
+	}
+	if opt.Duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.Duration)
+		defer cancel()
+	}
+
+	// The duplicate pool: PoolSize specs reused across all workers.
+	pool := make([][]byte, opt.PoolSize)
+	for i := range pool {
+		pool[i] = opt.spec(int64(i))
+	}
+
+	var issued atomic.Int64 // request tickets; also numbers unique specs
+	type workerStats struct {
+		latencies []float64 // milliseconds
+		byCode    map[int]int64
+		transport int64
+	}
+	stats := make([]workerStats, opt.Concurrency)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < opt.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(opt.Seed + int64(w)*7919))
+			st := &stats[w]
+			st.byCode = make(map[int]int64)
+			for ctx.Err() == nil {
+				ticket := issued.Add(1)
+				if opt.MaxRequests > 0 && ticket > opt.MaxRequests {
+					return
+				}
+				var body []byte
+				if rng.Float64() < opt.DupRatio {
+					body = pool[rng.Intn(len(pool))]
+				} else {
+					// Unique specs start past the pool's index range.
+					body = opt.spec(int64(opt.PoolSize) + ticket)
+				}
+				req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+					opt.URL+"/allocate", bytes.NewReader(body))
+				if err != nil {
+					st.transport++
+					continue
+				}
+				req.Header.Set("Content-Type", "application/json")
+				t0 := time.Now()
+				resp, err := opt.Client.Do(req)
+				if err != nil {
+					if ctx.Err() != nil {
+						return // run ended mid-request; don't count it
+					}
+					st.transport++
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				st.latencies = append(st.latencies, float64(time.Since(t0).Nanoseconds())/1e6)
+				st.byCode[resp.StatusCode]++
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &Report{
+		ByCode:    make(map[string]int64),
+		DurationS: elapsed.Seconds(),
+	}
+	var all []float64
+	for w := range stats {
+		st := &stats[w]
+		all = append(all, st.latencies...)
+		rep.TransportErrs += st.transport
+		for code, n := range st.byCode {
+			rep.Requests += n
+			rep.ByCode[strconv.Itoa(code)] += n
+			if code >= 500 {
+				rep.FiveXX += n
+			}
+		}
+	}
+	sort.Float64s(all)
+	if len(all) > 0 {
+		rep.P50MS = percentile(all, 0.50)
+		rep.P90MS = percentile(all, 0.90)
+		rep.P99MS = percentile(all, 0.99)
+		rep.MaxMS = all[len(all)-1]
+		sum := 0.0
+		for _, v := range all {
+			sum += v
+		}
+		rep.MeanMS = sum / float64(len(all))
+	}
+	if elapsed > 0 {
+		rep.ThroughputRPS = float64(rep.Requests) / elapsed.Seconds()
+	}
+
+	metrics, err := ScrapeMetrics(opt.Client, opt.URL)
+	if err != nil {
+		return rep, fmt.Errorf("loadgen: scraping metrics after the run: %w", err)
+	}
+	rep.Metrics = metrics
+	rep.SingleflightHitRate = metrics["npserve_singleflight_hit_rate"]
+	return rep, nil
+}
+
+// percentile returns the p-th percentile (0..1) of sorted values using
+// the nearest-rank method.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// ScrapeMetrics fetches url's /metrics endpoint and parses the flat
+// "name value" exposition into a map. Labeled series are keyed by their
+// full name-with-labels string.
+func ScrapeMetrics(client *http.Client, url string) (map[string]float64, error) {
+	resp, err := client.Get(url + "/metrics")
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, errs.Internalf("loadgen: /metrics returned %d", resp.StatusCode)
+	}
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: %w", err)
+	}
+	out := make(map[string]float64)
+	for _, line := range strings.Split(string(blob), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[line[:sp]] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,93 @@
+package loadgen
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"npra/internal/serve"
+)
+
+func startServer(t *testing.T) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	s := serve.New(serve.Config{})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		if err := s.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+	return s, ts
+}
+
+func TestRunAgainstInProcessServer(t *testing.T) {
+	_, ts := startServer(t)
+	rep, err := Run(context.Background(), Options{
+		URL:         ts.URL,
+		Concurrency: 4,
+		MaxRequests: 40,
+		DupRatio:    0.5,
+		Duration:    30 * time.Second, // budget trips first
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 40 {
+		t.Errorf("requests = %d, want 40", rep.Requests)
+	}
+	if rep.ByCode["200"] != 40 {
+		t.Errorf("by_code = %v, want all 200s", rep.ByCode)
+	}
+	if rep.FiveXX != 0 || rep.TransportErrs != 0 {
+		t.Errorf("fiveXX=%d transport=%d, want 0/0", rep.FiveXX, rep.TransportErrs)
+	}
+	if rep.P50MS <= 0 || rep.P99MS < rep.P50MS || rep.MaxMS < rep.P99MS {
+		t.Errorf("latency ordering broken: p50=%v p99=%v max=%v", rep.P50MS, rep.P99MS, rep.MaxMS)
+	}
+	if rep.SingleflightHitRate <= 0 {
+		t.Errorf("hit rate %v at dup 0.5, want > 0", rep.SingleflightHitRate)
+	}
+	if rep.Metrics["npserve_latency_ms_count"] != 40 {
+		t.Errorf("scraped latency count = %v, want 40", rep.Metrics["npserve_latency_ms_count"])
+	}
+	if err := rep.Check(0, 0.01, 0); err != nil {
+		t.Errorf("Check: %v", err)
+	}
+	if err := rep.Check(0, 0.9999, 0); err == nil {
+		t.Error("Check accepted an unreachable dedup floor")
+	}
+	if err := rep.Check(0, -1, rep.P99MS+1); err != nil {
+		t.Errorf("Check rejected a satisfied p99 ceiling: %v", err)
+	}
+	if err := rep.Check(0, -1, rep.P99MS/2); err == nil {
+		t.Error("Check accepted a p99 above the ceiling")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Options{URL: "http://x", MaxRequests: 0}); err == nil {
+		t.Error("Run accepted a run with no stop condition")
+	}
+	if _, err := Run(context.Background(), Options{MaxRequests: 1}); err == nil {
+		t.Error("Run accepted an empty URL")
+	}
+}
+
+func TestSpecDeterministic(t *testing.T) {
+	opt := Options{Seed: 3}.withDefaults()
+	if a, b := opt.spec(5), opt.spec(5); string(a) != string(b) {
+		t.Error("spec is not deterministic")
+	}
+	if a, b := opt.spec(5), opt.spec(6); string(a) == string(b) {
+		t.Error("distinct indices produced the same spec")
+	}
+}
+
+func TestCheckEmptyReport(t *testing.T) {
+	if err := (&Report{}).Check(0, -1, 0); err == nil {
+		t.Error("Check accepted an empty report")
+	}
+}

@@ -1,8 +1,11 @@
 package npra_test
 
 import (
+	"context"
 	"math/rand"
+	"net/http/httptest"
 	"testing"
+	"time"
 
 	"npra/internal/banks"
 	"npra/internal/core"
@@ -11,17 +14,27 @@ import (
 	"npra/internal/ir"
 	"npra/internal/passes"
 	"npra/internal/progen"
+	"npra/internal/serve"
 	"npra/internal/sim"
+	"npra/internal/tools/loadgen"
 )
+
+// soakGuard gates every soak test behind -short uniformly: one skip
+// policy, one message, so `go test -short ./...` reliably drops all of
+// them and nothing slips in with an ad-hoc (or missing) guard.
+func soakGuard(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+}
 
 // TestSoakFullPipeline drives the complete toolchain — optimizer,
 // cross-thread allocator, bank legalization, simulator — over larger
 // randomly generated (always-halting) workloads and checks every safety
 // and equivalence property on each. Skipped with -short.
 func TestSoakFullPipeline(t *testing.T) {
-	if testing.Short() {
-		t.Skip("soak test skipped in -short mode")
-	}
+	soakGuard(t)
 	big := progen.StructuredConfig{
 		MaxDepth: 3, MaxBodyLen: 14, MaxTripCnt: 4, MaxVars: 16,
 		CSBDensity: 0.25, StoreWindow: 128,
@@ -124,4 +137,39 @@ func TestSoakFullPipeline(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestSoakServe runs the allocation service under a sustained 30-second
+// mixed load (half duplicates, varied shapes) and holds it to the
+// serve-e2e gates: no transport errors, no 5xx, and a singleflight hit
+// rate consistent with the duplicate ratio. Skipped with -short.
+func TestSoakServe(t *testing.T) {
+	soakGuard(t)
+	s := serve.New(serve.Config{MaxQueue: 128})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		if err := s.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+
+	rep, err := loadgen.Run(context.Background(), loadgen.Options{
+		URL:         ts.URL,
+		Concurrency: 8,
+		Duration:    30 * time.Second,
+		DupRatio:    0.5,
+		Seed:        42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Check(0, 0.4, 0); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests < 100 {
+		t.Errorf("only %d requests in 30s; the service is unreasonably slow", rep.Requests)
+	}
+	t.Logf("soak: %d requests, %.1f rps, p50 %.2fms p99 %.2fms, dedup %.3f",
+		rep.Requests, rep.ThroughputRPS, rep.P50MS, rep.P99MS, rep.SingleflightHitRate)
 }
