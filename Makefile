@@ -13,8 +13,9 @@ vet:
 
 # The npravet invariant suite (internal/analyzers): determinism
 # (detlint), error taxonomy (errtaxonomy), panic-freedom (panicfree),
-# context plumbing (ctxplumb) and scratch-pool aliasing (poolalias),
-# plus verification of the //lint: directives themselves. See
+# context plumbing (ctxplumb), scratch-pool aliasing (poolalias) and
+# function-cache aliasing (cachealias), plus verification of the
+# //lint: directives themselves. See
 # docs/INTERNALS.md "Static invariants & linting".
 .PHONY: lint
 lint:
@@ -33,7 +34,7 @@ test:
 # the serving layer (singleflight, batching, drain).
 .PHONY: race
 race:
-	$(GO) test -race ./internal/core/... ./internal/parallel/... ./internal/serve/...
+	$(GO) test -race ./internal/core/... ./internal/funccache/... ./internal/parallel/... ./internal/serve/...
 
 # A short native-fuzzer run over the allocation API with fault injection
 # armed from the input; catches panics and verification/semantics breaks.
@@ -65,3 +66,14 @@ benchcmp:
 serve-bench:
 	$(GO) run ./cmd/nploadgen -inprocess -c 8 -duration 10s -dup 0.5 \
 		-max-5xx 0 -min-dedup 0.4 -max-p99-ms 36 -report BENCH_serve.json
+
+# The kernel-mix benchmark: the identical request stream (shared kernel
+# pool, varying thread multiplicities) driven at a cache-disabled
+# baseline server and a warm one. Gated on the ISSUE-6 acceptance
+# criteria: warm-phase function-cache hit rate >= 0.9 and warm p99 at
+# least 2x better than the cold baseline recorded in the same run.
+.PHONY: serve-bench-mix
+serve-bench-mix:
+	$(GO) run ./cmd/nploadgen -inprocess -kernel-mix -requests 200 -c 4 \
+		-max-5xx 0 -min-funccache-hit 0.9 -min-p99-speedup 2 \
+		-report BENCH_serve_mix.json

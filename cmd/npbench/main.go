@@ -12,6 +12,8 @@
 //	npbench -list                # list the built-in benchmarks
 //	npbench -all -j 1            # serial run (output identical to -j N)
 //	npbench -phases              # per-phase allocation timing breakdown
+//	npbench -phases -funccache   # same allocation cold then warm through
+//	                             # the function cache, with the warm speedup
 //	npbench -all -cpuprofile cpu.pb.gz   # profile any run with pprof
 package main
 
@@ -27,6 +29,7 @@ import (
 	"npra/internal/bench"
 	"npra/internal/core"
 	"npra/internal/experiments"
+	"npra/internal/funccache"
 	"npra/internal/ir"
 )
 
@@ -39,6 +42,7 @@ func main() {
 		all        = flag.Bool("all", false, "run everything")
 		list       = flag.Bool("list", false, "list built-in benchmarks")
 		phases     = flag.Bool("phases", false, "run a pressured ARA allocation and print the per-phase timing breakdown")
+		funccacheP = flag.Bool("funccache", false, "with -phases: run the allocation twice through a function cache (cold, then warm) and report the warm speedup")
 		packets    = flag.Int("packets", experiments.DefaultPackets, "packets per thread")
 		jobs       = flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for experiment fan-out (1 = serial; results are identical for any value)")
 		timeout    = flag.Duration("timeout", 0, "per-allocation deadline (0 = none); expired allocations abort the experiment rather than report fallback numbers")
@@ -77,7 +81,7 @@ func main() {
 		defer rtrace.Stop()
 	}
 
-	err := run(*table, *figure, *ablations, *scaling, *all, *list, *phases, *packets)
+	err := run(*table, *figure, *ablations, *scaling, *all, *list, *phases, *funccacheP, *packets)
 
 	if *memprofile != "" {
 		f, ferr := os.Create(*memprofile)
@@ -103,7 +107,7 @@ func main() {
 	}
 }
 
-func run(table, figure int, ablations, scaling, all, list, phases bool, packets int) error {
+func run(table, figure int, ablations, scaling, all, list, phases, funccacheP bool, packets int) error {
 	if list {
 		fmt.Println("built-in benchmarks:")
 		for _, b := range bench.All() {
@@ -112,7 +116,7 @@ func run(table, figure int, ablations, scaling, all, list, phases bool, packets 
 		return nil
 	}
 	if phases {
-		return runPhases(packets)
+		return runPhases(packets, funccacheP)
 	}
 	ran := false
 	if all || table == 1 {
@@ -176,7 +180,9 @@ func run(table, figure int, ablations, scaling, all, list, phases bool, packets 
 // runPhases performs one pressured ARA allocation (the BenchmarkAllocateARA
 // workload: two md5 threads plus two fir2dim threads squeezed into 56
 // registers) and prints where the wall-clock time went, phase by phase.
-func runPhases(packets int) error {
+// With warm set it runs the allocation twice through one function cache
+// — cold, then warm — printing both breakdowns and the warm speedup.
+func runPhases(packets int, warm bool) error {
 	var funcs []*ir.Func
 	for _, n := range []string{"md5", "md5", "fir2dim", "fir2dim"} {
 		b, err := bench.Get(n)
@@ -186,25 +192,62 @@ func runPhases(packets int) error {
 		funcs = append(funcs, b.Gen(packets))
 	}
 	const pressureNReg = 56 // forces greedy reduction rounds
-	start := time.Now()
-	alloc, err := core.AllocateARA(funcs, core.Config{NReg: pressureNReg})
-	total := time.Since(start)
+	cfg := core.Config{NReg: pressureNReg}
+	var cache *funccache.Cache
+	if warm {
+		cache = funccache.New(funccache.Config{})
+		cfg.FuncCache = cache
+	}
+	runOnce := func(label string) (*core.Allocation, time.Duration, error) {
+		start := time.Now()
+		alloc, err := core.AllocateARA(funcs, cfg)
+		total := time.Since(start)
+		if err != nil {
+			return nil, 0, err
+		}
+		ph := alloc.Phases
+		fmt.Printf("phase breakdown%s: 2x md5 + 2x fir2dim, %d packets, NReg=%d\n\n", label, packets, pressureNReg)
+		row := func(name string, ns int64) {
+			fmt.Printf("  %-22s %12s  %5.1f%%\n", name, time.Duration(ns), 100*float64(ns)/float64(total.Nanoseconds()))
+		}
+		row("analysis (build)", ph.BuildNS)
+		row("estimate: merge", ph.MergeNS)
+		row("estimate: repair", ph.RepairNS)
+		row("chain coloring", ph.ColorNS)
+		row("rewrite", ph.RewriteNS)
+		row("other (greedy loop &c)", total.Nanoseconds()-ph.TotalNS())
+		fmt.Printf("  %-22s %12s\n\n", "total", total)
+		fmt.Printf("  chain steps: %d   candidate trials: %d   solve-cache hit rate: %.1f%%\n",
+			ph.ChainSteps, ph.Trials, 100*alloc.SolveCache.HitRate())
+		return alloc, total, nil
+	}
+	cold, coldNS, err := runOnce(mapLabel(warm, " (cold)"))
 	if err != nil {
 		return err
 	}
-	ph := alloc.Phases
-	fmt.Printf("phase breakdown: 2x md5 + 2x fir2dim, %d packets, NReg=%d\n\n", packets, pressureNReg)
-	row := func(name string, ns int64) {
-		fmt.Printf("  %-22s %12s  %5.1f%%\n", name, time.Duration(ns), 100*float64(ns)/float64(total.Nanoseconds()))
+	if !warm {
+		return nil
 	}
-	row("analysis (build)", ph.BuildNS)
-	row("estimate: merge", ph.MergeNS)
-	row("estimate: repair", ph.RepairNS)
-	row("chain coloring", ph.ColorNS)
-	row("rewrite", ph.RewriteNS)
-	row("other (greedy loop &c)", total.Nanoseconds()-ph.TotalNS())
-	fmt.Printf("  %-22s %12s\n\n", "total", total)
-	fmt.Printf("  chain steps: %d   candidate trials: %d   solve-cache hit rate: %.1f%%\n",
-		ph.ChainSteps, ph.Trials, 100*alloc.SolveCache.HitRate())
+	fmt.Println()
+	hot, warmNS, err := runOnce(" (warm)")
+	if err != nil {
+		return err
+	}
+	for i, t := range hot.Threads {
+		if t.F.Format() != cold.Threads[i].F.Format() {
+			return fmt.Errorf("warm thread %d rewrite differs from cold", i)
+		}
+	}
+	st := cache.Stats()
+	fmt.Printf("\n  func cache: %d hits, %d misses, %d entries\n", st.Hits, st.Misses, st.Entries)
+	fmt.Printf("  warm speedup: %.1fx (%s -> %s), rewrites bit-identical\n",
+		float64(coldNS)/float64(warmNS), coldNS.Round(time.Microsecond), warmNS.Round(time.Microsecond))
 	return nil
+}
+
+func mapLabel(cond bool, s string) string {
+	if cond {
+		return s
+	}
+	return ""
 }

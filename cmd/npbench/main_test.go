@@ -3,31 +3,37 @@ package main
 import "testing"
 
 func TestList(t *testing.T) {
-	if err := run(0, 0, false, false, false, true, false, 8); err != nil {
+	if err := run(0, 0, false, false, false, true, false, false, 8); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestSingleTables(t *testing.T) {
-	if err := run(1, 0, false, false, false, false, false, 8); err != nil {
+	if err := run(1, 0, false, false, false, false, false, false, 8); err != nil {
 		t.Errorf("table 1: %v", err)
 	}
-	if err := run(2, 0, false, false, false, false, false, 8); err != nil {
+	if err := run(2, 0, false, false, false, false, false, false, 8); err != nil {
 		t.Errorf("table 2: %v", err)
 	}
-	if err := run(0, 14, false, false, false, false, false, 8); err != nil {
+	if err := run(0, 14, false, false, false, false, false, false, 8); err != nil {
 		t.Errorf("figure 14: %v", err)
 	}
 }
 
 func TestPhases(t *testing.T) {
-	if err := run(0, 0, false, false, false, false, true, 8); err != nil {
+	if err := run(0, 0, false, false, false, false, true, false, 8); err != nil {
 		t.Errorf("phases: %v", err)
 	}
 }
 
+func TestPhasesWarm(t *testing.T) {
+	if err := run(0, 0, false, false, false, false, true, true, 8); err != nil {
+		t.Errorf("phases -funccache: %v", err)
+	}
+}
+
 func TestNothingToDo(t *testing.T) {
-	if err := run(0, 0, false, false, false, false, false, 8); err == nil {
+	if err := run(0, 0, false, false, false, false, false, false, 8); err == nil {
 		t.Errorf("no-op invocation accepted")
 	}
 }

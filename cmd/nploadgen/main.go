@@ -8,9 +8,20 @@
 //
 //	nploadgen -url http://127.0.0.1:8080 -c 8 -duration 10s -dup 0.5
 //	nploadgen -inprocess -requests 500 -dup 0.5 -report BENCH_serve.json
+//	nploadgen -inprocess -kernel-mix -requests 200 \
+//	          -min-funccache-hit 0.9 -min-p99-speedup 2 -report BENCH_serve_mix.json
 //
 // With -inprocess, nploadgen starts an npserve instance inside the
 // process (no network listener flakiness) and drives that.
+//
+// With -kernel-mix, the stream is composed from a shared pool of
+// heavyweight kernels with varying thread multiplicities (the "millions
+// of users, same kernels" shape) and the report adds the function-cache
+// hit rate of the warm phase. Combined with -inprocess, a second
+// baseline server with function/body caching disabled is driven with
+// the identical stream first, so the report's p99_speedup isolates what
+// function-granular caching buys; -min-funccache-hit and
+// -min-p99-speedup turn both into pass/fail gates.
 package main
 
 import (
@@ -45,13 +56,92 @@ func main() {
 		minDedup  = flag.Float64("min-dedup", -1, "fail if the singleflight hit rate is below this (-1 disables)")
 		maxP99    = flag.Float64("max-p99-ms", 0, "fail if the p99 latency exceeds this many milliseconds (0 disables)")
 		jobs      = flag.Int("j", runtime.GOMAXPROCS(0), "engine workers for -inprocess")
+
+		kernelMix  = flag.Bool("kernel-mix", false, "drive the kernel-mix workload (shared kernel pool, varying thread multiplicities)")
+		kernels    = flag.Int("kernels", 8, "kernel pool size for -kernel-mix")
+		minFuncHit = flag.Float64("min-funccache-hit", -1, "fail if the warm-phase function-cache hit rate is below this (-1 disables; -kernel-mix only)")
+		minSpeedup = flag.Float64("min-p99-speedup", 0, "fail if warm p99 does not beat the cold baseline by this factor (0 disables; -kernel-mix -inprocess only)")
 	)
 	flag.Parse()
-	if err := run(*url, *inprocess, *conc, *duration, *requests, *dup, *pool, *threads,
-		*nreg, *timeoutMS, *seed, *reportTo, *max5xx, *minDedup, *maxP99, *jobs); err != nil {
+	var err error
+	if *kernelMix {
+		// The mix has its own NReg default (128: its kernels are heavier
+		// than plain loadgen's); only forward -nreg when the user set it.
+		mixNReg := 0
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "nreg" {
+				mixNReg = *nreg
+			}
+		})
+		err = runMix(*url, *inprocess, *conc, *requests, *kernels, *threads, mixNReg,
+			*timeoutMS, *seed, *reportTo, *max5xx, *minFuncHit, *minSpeedup, *jobs)
+	} else {
+		err = run(*url, *inprocess, *conc, *duration, *requests, *dup, *pool, *threads,
+			*nreg, *timeoutMS, *seed, *reportTo, *max5xx, *minDedup, *maxP99, *jobs)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "nploadgen:", err)
 		os.Exit(1)
 	}
+}
+
+// runMix drives the kernel-mix workload. With inprocess set it starts
+// two servers — a baseline with function/body caching disabled and the
+// measured one with defaults — and drives the identical stream at both.
+func runMix(url string, inprocess bool, conc int, requests int64, kernels, threads, nreg int,
+	timeoutMS, seed int64, reportTo string, max5xx int64, minFuncHit, minSpeedup float64, jobs int) error {
+	opt := loadgen.MixOptions{
+		URL:         url,
+		Concurrency: conc,
+		Requests:    requests,
+		Kernels:     kernels,
+		Threads:     threads,
+		NReg:        nreg,
+		TimeoutMS:   timeoutMS,
+		Seed:        seed,
+	}
+	if inprocess {
+		baseline := serve.New(serve.Config{Workers: jobs, FuncCacheEntries: -1, BodyCacheEntries: -1})
+		bts := httptest.NewServer(baseline.Handler())
+		warm := serve.New(serve.Config{Workers: jobs})
+		wts := httptest.NewServer(warm.Handler())
+		defer func() {
+			bts.Close()
+			wts.Close()
+			baseline.Close()
+			warm.Close()
+		}()
+		opt.URL = wts.URL
+		opt.BaselineURL = bts.URL
+	}
+
+	rep, err := loadgen.RunMix(context.Background(), opt)
+	if err != nil {
+		return err
+	}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(blob))
+	if reportTo != "" {
+		if err := os.WriteFile(reportTo, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+
+	if max5xx >= 0 || minFuncHit >= 0 || minSpeedup > 0 {
+		effMax := max5xx
+		if effMax < 0 {
+			effMax = requests
+		}
+		if err := rep.Check(effMax, minFuncHit, minSpeedup); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "nploadgen: mix checks passed (funccache hit rate %.4f >= %.4f, p99 speedup %.2fx >= %.2fx)\n",
+			rep.FuncCacheHitRate, minFuncHit, rep.P99Speedup, minSpeedup)
+	}
+	return nil
 }
 
 func run(url string, inprocess bool, conc int, duration time.Duration, requests int64,

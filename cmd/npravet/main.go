@@ -1,6 +1,6 @@
 // Command npravet is the multichecker driver for the repository's
 // invariant analyzers (internal/analyzers): detlint, errtaxonomy,
-// panicfree, ctxplumb, poolalias, plus verification of the
+// panicfree, ctxplumb, poolalias, cachealias, plus verification of the
 // //lint:ignore / //lint:invariant directives themselves.
 //
 // Usage:

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"npra/internal/analyzers/anztest"
+	"npra/internal/analyzers/cachealias"
 	"npra/internal/analyzers/ctxplumb"
 	"npra/internal/analyzers/detlint"
 	"npra/internal/analyzers/errtaxonomy"
@@ -40,4 +41,8 @@ func TestCtxplumbFixtures(t *testing.T) {
 
 func TestPoolaliasFixtures(t *testing.T) {
 	anztest.Run(t, fixtureDir(t), poolalias.Analyzer, "poolfix/intra")
+}
+
+func TestCachealiasFixtures(t *testing.T) {
+	anztest.Run(t, fixtureDir(t), cachealias.Analyzer, "cachefix/consumer")
 }

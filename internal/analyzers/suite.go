@@ -1,5 +1,5 @@
-// Package analyzers assembles the npravet suite: the five invariant
-// analyzers grown out of PRs 1–3, ready for the cmd/npravet
+// Package analyzers assembles the npravet suite: the six invariant
+// analyzers grown out of PRs 1–6, ready for the cmd/npravet
 // multichecker, make lint, CI and the in-repo selfcheck test.
 //
 // The suite is intentionally closed over this repository's invariants —
@@ -10,6 +10,7 @@ package analyzers
 
 import (
 	"npra/internal/analyzers/anz"
+	"npra/internal/analyzers/cachealias"
 	"npra/internal/analyzers/ctxplumb"
 	"npra/internal/analyzers/detlint"
 	"npra/internal/analyzers/errtaxonomy"
@@ -20,6 +21,7 @@ import (
 // Suite returns the full analyzer suite in stable (alphabetical) order.
 func Suite() []*anz.Analyzer {
 	return []*anz.Analyzer{
+		cachealias.Analyzer,
 		ctxplumb.Analyzer,
 		detlint.Analyzer,
 		errtaxonomy.Analyzer,

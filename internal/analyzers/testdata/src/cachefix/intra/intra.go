@@ -1,0 +1,30 @@
+// Fixture stub for the cachealias analyzer: a minimal intra package
+// (import path suffix /intra) with the cache-owned types and a
+// Checkout shaped like core.AllocatorSource's.
+package intra
+
+type Piece struct {
+	Color int
+}
+
+type Context struct {
+	Pieces []Piece
+}
+
+type Allocator struct {
+	ctx Context
+}
+
+func (al *Allocator) Piece(i int) *Piece     { return &al.ctx.Pieces[i] }
+func (al *Allocator) Context() *Context      { return &al.ctx }
+func (al *Allocator) Solve(pr, sr int) int   { return pr + sr }
+func (al *Allocator) Rewrite(pr, sr int) int { return pr * sr }
+
+// Source is the fixture's AllocatorSource: Checkout returns the
+// allocator and its single-use checkin.
+type Source struct{}
+
+func (s *Source) Checkout() (*Allocator, func(ok bool), error) {
+	al := &Allocator{ctx: Context{Pieces: make([]Piece, 8)}}
+	return al, func(bool) {}, nil
+}

@@ -62,6 +62,15 @@ type Config struct {
 	// over per-thread allocators and the winning reduction is selected
 	// serially with lowest-thread-index tie-breaking.
 	Workers int
+
+	// FuncCache, when non-nil, supplies per-function allocators whose
+	// analyses and memo tables survive across engine invocations
+	// (internal/funccache). Nil builds fresh allocators per invocation.
+	// The allocation result is bit-identical either way; only the work
+	// repeated per request changes. Allocators drawn from the source are
+	// returned on completion, and discarded instead when the run fails,
+	// degrades or panics — error results never warm the cache.
+	FuncCache AllocatorSource
 }
 
 // ThreadAlloc is the allocation decided for one thread.
@@ -201,14 +210,35 @@ func allocateARA(ctx context.Context, funcs []*ir.Func, cfg Config) (*Allocation
 	pr := make([]int, n)
 	sr := make([]int, n)
 	sols := make([]*intra.Solution, n)
+
+	// Checked-out allocators go back to the source exactly once, from
+	// this goroutine, after every fan-out below has fully drained
+	// (parallel.MapErr always waits for in-flight calls). ok is flipped
+	// only on the clean-return path, so an error or a panic unwinding
+	// through here discards the allocators instead of recycling them —
+	// this defer must NOT recover: the panic barrier lives in
+	// runProtected. Counters read from any acquired allocator cover the
+	// current run only (a warm source resets them when pooling), so the
+	// final stats aggregation needs no before/after bookkeeping.
+	checkins := make([]func(bool), len(groups))
+	ok := false
+	defer func() {
+		for _, checkin := range checkins {
+			if checkin != nil {
+				checkin(ok)
+			}
+		}
+	}()
+
 	// Per-group analysis and the first Solves are independent across
 	// groups, so the setup fans out.
 	if _, err := parallel.MapErr(ctx, workers, len(groups), func(g int) (struct{}, error) {
 		f0 := funcs[groups[g][0]]
-		al, err := intra.New(f0)
+		al, checkin, err := acquire(cfg, f0)
 		if err != nil {
 			return struct{}{}, fmt.Errorf("core: thread %d (%s): %w", groups[g][0], f0.Name, err)
 		}
+		checkins[g] = checkin
 		b := al.Bounds()
 		for _, i := range groups[g] {
 			if err := parallel.CtxErr(ctx); err != nil {
@@ -437,6 +467,7 @@ func allocateARA(ctx context.Context, funcs []*ir.Func, cfg Config) (*Allocation
 		alloc.SolveCache.Add(als[g[0]].CacheStats())
 		alloc.Phases.Add(als[g[0]].PhaseStats())
 	}
+	ok = true
 	return alloc, nil
 }
 
@@ -545,10 +576,14 @@ func AllocateSRACtx(ctx context.Context, f *ir.Func, nthd int, cfg Config) (*All
 
 func allocateSRA(ctx context.Context, f *ir.Func, nthd int, cfg Config) (*Allocation, error) {
 	workers := parallel.Workers(cfg.Workers)
-	al, err := intra.New(f)
+	al, checkin, err := acquire(cfg, f)
 	if err != nil {
 		return nil, err
 	}
+	// Same checkin discipline as allocateARA: return the allocator once,
+	// from this goroutine, discarding it unless the run finished cleanly.
+	ok := false
+	defer func() { checkin(ok) }()
 	b := al.Bounds()
 
 	// The 1-D candidate frontier: for each PR, the largest useful SR.
@@ -569,9 +604,20 @@ func allocateSRA(ctx context.Context, f *ir.Func, nthd int, cfg Config) (*Alloca
 		cands = append(cands, cand{p, s})
 	}
 
+	// A warm allocator may already hold most of the frontier from an
+	// earlier sweep of the same body; replaying those points serially is
+	// pure memo lookups and beats paying per-chunk allocator setup to
+	// recompute them. Solve is a pure function of the budget, so the
+	// serial and chunked sweeps pick the identical winner either way.
+	warm := 0
+	for _, c := range cands {
+		if al.HasSolved(c.p, c.s) {
+			warm++
+		}
+	}
 	sweepAls := []*intra.Allocator{al}
 	swept := make([]*intra.Solution, len(cands))
-	if workers <= 1 || len(cands) <= 1 {
+	if workers <= 1 || len(cands) <= 1 || warm*2 >= len(cands) {
 		for ci, c := range cands {
 			if err := parallel.CtxErr(ctx); err != nil {
 				return nil, err
@@ -616,6 +662,17 @@ func allocateSRA(ctx context.Context, f *ir.Func, nthd int, cfg Config) (*Alloca
 			return nil, err
 		}
 		sweepAls = append(sweepAls, chunkAls...)
+		// With a function cache behind al, fold the chunk allocators'
+		// memo entries back into it (ascending chunk order, so the merge
+		// is deterministic): the next checkout of this body then replays
+		// the whole frontier from memory instead of re-sweeping.
+		if cfg.FuncCache != nil {
+			for _, cal := range chunkAls {
+				if err := al.Absorb(cal); err != nil {
+					return nil, err
+				}
+			}
+		}
 	}
 
 	bestCost, bestFoot := -1, 0
@@ -654,6 +711,7 @@ func allocateSRA(ctx context.Context, f *ir.Func, nthd int, cfg Config) (*Alloca
 		alloc.SolveCache.Add(sal.CacheStats())
 		alloc.Phases.Add(sal.PhaseStats())
 	}
+	ok = true
 	return alloc, nil
 }
 

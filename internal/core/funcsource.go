@@ -1,0 +1,46 @@
+package core
+
+// The function-cache seam. The engine's per-function artifacts —
+// analysis (liveness/NSR/IG), bound estimation, the context-derivation
+// chain and the (pr,sr)→Solution memo — depend only on the function
+// body, never on which thread mix a request embeds it in. An
+// AllocatorSource lets a serving layer keep those artifacts alive
+// across engine invocations (internal/funccache is the process-wide
+// implementation); the engine itself stays cache-agnostic: with a nil
+// Config.FuncCache it builds fresh allocators exactly as before, and
+// the allocation result is bit-identical either way (Solve is a pure
+// function of the analysis and the budget).
+
+import (
+	"npra/internal/intra"
+	"npra/internal/ir"
+)
+
+// AllocatorSource supplies intra-thread allocators for function bodies.
+// Checkout returns an allocator that is exclusively the caller's until
+// checkin runs; a warm source returns allocators whose memo tables
+// survive from earlier checkouts of the same body.
+//
+// checkin(ok) must be called exactly once when the caller is done, with
+// ok reporting whether the allocation completed cleanly: an allocator
+// used by a failed, degraded or panicked run is discarded rather than
+// recycled, so error results never warm the cache. After checkin the
+// caller must not touch the allocator or any scratch state reachable
+// from it; memoized Solutions and their Contexts remain valid (they are
+// immutable once memoized).
+type AllocatorSource interface {
+	Checkout(f *ir.Func) (al *intra.Allocator, checkin func(ok bool), err error)
+}
+
+// acquire returns the allocator for f: from the configured source when
+// one is set, freshly built otherwise (with a no-op checkin).
+func acquire(cfg Config, f *ir.Func) (*intra.Allocator, func(bool), error) {
+	if cfg.FuncCache != nil {
+		return cfg.FuncCache.Checkout(f)
+	}
+	al, err := intra.New(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	return al, func(bool) {}, nil
+}

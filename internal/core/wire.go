@@ -187,18 +187,26 @@ func (r *WireRequest) Validate() error {
 	return nil
 }
 
-// Funcs validates the request and materializes every thread body into a
-// built ir.Func (assembling masm source, generating progen specs). All
-// errors wrap ErrInvalid: a body that does not assemble is the caller's
-// fault, not the engine's.
-func (r *WireRequest) Funcs() ([]*ir.Func, error) {
-	if err := r.Validate(); err != nil {
-		return nil, err
-	}
-	funcs := make([]*ir.Func, len(r.Threads))
-	for i, t := range r.Threads {
-		switch {
-		case t.Asm != "":
+// CompiledBodies caches the expensive half of Funcs: assembling masm
+// source or generating a progen spec into a built ir.Func. GetOrCompile
+// returns the function cached under key, calling build on a miss (build
+// errors are returned, never cached). A returned function is shared
+// across requests and goroutines, so callers must treat it as immutable
+// — which every engine path already does: ir.Func is read-only after
+// Build. internal/funccache provides the bounded implementation.
+type CompiledBodies interface {
+	GetOrCompile(key string, build func() (*ir.Func, error)) (*ir.Func, error)
+}
+
+// bodySpec returns the thread's compiled-body cache key and its compile
+// closure. The key covers everything build reads: the body kind, the
+// effective function name (cached funcs are immutable, so the name must
+// be baked in before caching, not patched after) and the full source or
+// spec. The closure produces the fully-named function in one step.
+func (t *WireThread) bodySpec(i int) (key string, build func() (*ir.Func, error)) {
+	if t.Asm != "" {
+		key = fmt.Sprintf("asm\x00%s\x00%s", t.Name, t.Asm)
+		return key, func() (*ir.Func, error) {
 			f, err := masm.Assemble(t.Asm)
 			if err != nil {
 				return nil, fmt.Errorf("%w: thread %d: %v", ErrInvalid, i, err)
@@ -206,31 +214,95 @@ func (r *WireRequest) Funcs() ([]*ir.Func, error) {
 			if t.Name != "" {
 				f.Name = t.Name
 			}
-			funcs[i] = f
-		default:
-			cfg, err := t.Progen.config()
-			if err != nil {
-				return nil, fmt.Errorf("thread %d: %w", i, err)
-			}
-			f := progen.FromSeed(t.Progen.Seed, cfg)
-			if t.Name != "" {
-				f.Name = t.Name
-			} else {
-				f.Name = fmt.Sprintf("progen%d", t.Progen.Seed)
-			}
-			funcs[i] = f
+			return f, nil
 		}
+	}
+	p := t.Progen
+	key = fmt.Sprintf("progen\x00%s\x00%d|%d|%d|%d|%d|%v|%d|%d",
+		t.Name, p.Seed, p.MaxDepth, p.MaxBodyLen, p.MaxTripCnt, p.MaxVars,
+		p.CSBDensity, p.StoreWindow, p.StoreBase)
+	return key, func() (*ir.Func, error) {
+		cfg, err := p.config()
+		if err != nil {
+			return nil, fmt.Errorf("thread %d: %w", i, err)
+		}
+		f := progen.FromSeed(p.Seed, cfg)
+		if t.Name != "" {
+			f.Name = t.Name
+		} else {
+			f.Name = fmt.Sprintf("progen%d", p.Seed)
+		}
+		return f, nil
+	}
+}
+
+// Funcs validates the request and materializes every thread body into a
+// built ir.Func (assembling masm source, generating progen specs). All
+// errors wrap ErrInvalid: a body that does not assemble is the caller's
+// fault, not the engine's.
+func (r *WireRequest) Funcs() ([]*ir.Func, error) {
+	return r.FuncsCached(nil)
+}
+
+// FuncsCached is Funcs through a compiled-body cache: thread bodies
+// already materialized for an earlier request come back without
+// re-parsing or re-generating. A nil cache compiles everything fresh.
+// Either way the returned functions are body-for-body identical — the
+// cache key covers the full source/spec and effective name.
+func (r *WireRequest) FuncsCached(bodies CompiledBodies) ([]*ir.Func, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	funcs := make([]*ir.Func, len(r.Threads))
+	for i := range r.Threads {
+		key, build := r.Threads[i].bodySpec(i)
+		var f *ir.Func
+		var err error
+		if bodies == nil {
+			f, err = build()
+		} else {
+			f, err = bodies.GetOrCompile(key, build)
+		}
+		if err != nil {
+			return nil, err
+		}
+		funcs[i] = f
 	}
 	return funcs, nil
 }
 
+// FuncKey is the per-function canonical hash: sha256 over the
+// materialized body text (ir.Func.Format covers the name, every
+// instruction and every register the function touches). Everything the
+// engine derives per function — analysis, bounds, the context chain,
+// each (pr,sr) Solve — is a pure function of this text and the
+// hardware-independent allocator mode, so FuncKey is the invalidation
+// key for function-granular caches (internal/funccache): equal keys
+// mean bit-identical per-function artifacts.
+func FuncKey(f *ir.Func) string {
+	h := sha256.Sum256([]byte(f.Format()))
+	return hex.EncodeToString(h[:])
+}
+
 // CanonicalKey hashes the result-determining content of the request:
-// mode, register budget, thread count and the materialized thread
-// bodies, in order. funcs must be the slice returned by Funcs for this
-// request. Requests with equal keys produce bit-identical allocations
-// (for any Workers value), so a serving layer may answer them from one
-// engine invocation.
+// mode, register budget, thread count and the per-function keys
+// (FuncKey) of the materialized thread bodies, in order. funcs must be
+// the slice returned by Funcs for this request. Requests with equal
+// keys produce bit-identical allocations (for any Workers value), so a
+// serving layer may answer them from one engine invocation. The
+// request key is composed from the same per-function hashes the
+// function cache is keyed by: the request level dedups whole identical
+// requests, the function level reuses bodies across different ones.
 func (r *WireRequest) CanonicalKey(funcs []*ir.Func) string {
+	return r.CanonicalKeyBy(funcs, FuncKey)
+}
+
+// CanonicalKeyBy is CanonicalKey with a caller-supplied per-function
+// key function. key must agree with FuncKey; passing a memoized
+// variant (e.g. funccache.Cache.FuncKey, which caches by pointer
+// identity) lets a serving layer skip re-Formatting bodies it already
+// hashed on a previous request.
+func (r *WireRequest) CanonicalKeyBy(funcs []*ir.Func, key func(*ir.Func) string) string {
 	h := sha256.New()
 	mode := r.Mode
 	if mode == "" {
@@ -238,7 +310,7 @@ func (r *WireRequest) CanonicalKey(funcs []*ir.Func) string {
 	}
 	fmt.Fprintf(h, "%s|%d|%d\n", mode, r.NReg, r.NThd)
 	for _, f := range funcs {
-		io.WriteString(h, f.Format())
+		io.WriteString(h, key(f))
 		h.Write([]byte{0})
 	}
 	return hex.EncodeToString(h.Sum(nil))

@@ -119,6 +119,104 @@ func (s PhaseStats) TotalNS() int64 {
 // PhaseStats returns the allocator's per-phase timing counters.
 func (al *Allocator) PhaseStats() PhaseStats { return al.phases }
 
+// ResetStats zeroes the cache and phase counters without touching the
+// memo tables. A warm cache (internal/funccache) calls it when pooling
+// an allocator so that counters read from a checked-out allocator
+// always cover the current run only: work done before the checkout was
+// already reported by the runs that did it, and a fresh allocator's
+// creation-time counters (BuildNS from New, MergeNS/RepairNS from
+// NewFromAnalysis) are the current run's work by the same rule.
+func (al *Allocator) ResetStats() {
+	al.stats = CacheStats{}
+	al.phases = PhaseStats{}
+}
+
+// MemoSize reports the allocator's memo population: contexts counts the
+// derivation chain entries (including memoized infeasibilities), sols
+// the Solve-point results (including memoized infeasibilities). The
+// function cache uses it to decide whether a checked-out allocator is
+// warm and to estimate entry footprints.
+func (al *Allocator) MemoSize() (contexts, sols int) {
+	return len(al.memo) + len(al.memoErr), len(al.sols) + len(al.solErrs)
+}
+
+// HasSolved reports whether the (pr, sr) budget is already in the
+// Solve-point memo (as a solution or a memoized infeasibility), without
+// touching the counters. The SRA sweep consults it to pick a serial
+// warm replay over a parallel cold sweep.
+func (al *Allocator) HasSolved(pr, sr int) bool {
+	key := [2]int{pr, sr}
+	if _, ok := al.sols[key]; ok {
+		return true
+	}
+	_, ok := al.solErrs[key]
+	return ok
+}
+
+// Footprint estimates the allocator's retained memory in bytes: the
+// memoized context chain dominates (pieceOf/occ index arrays plus piece
+// point sets per context). It is an accounting estimate for cache
+// bounds and metrics, not an exact measurement.
+func (al *Allocator) Footprint() int64 {
+	var total int64
+	for _, ctx := range al.memo { //lint:ignore detlint commutative byte-count sum; order never observable
+		total += int64(len(ctx.pieceOf))*4 + int64(len(ctx.occ))*8
+		for _, p := range ctx.Pieces {
+			total += int64(len(p.Points))*8 + 32
+		}
+	}
+	// Scratch pool contexts mirror the live chain tip's footprint.
+	if n := len(al.pool); n > 0 && len(al.memo) > 0 {
+		total += int64(n) * (total / int64(len(al.memo)))
+	}
+	total += int64(len(al.sols)+len(al.solErrs)) * 64
+	return total
+}
+
+// Absorb merges other's memo tables into al: contexts and Solve points
+// other computed that al has not. Both allocators must be built over
+// the same analysis (the merged contexts reference it) and the same
+// objective; Solve determinism makes entries for equal keys
+// interchangeable, so only missing keys are copied. Memoized contexts
+// are never mutated after insertion, which is what makes sharing them
+// across allocators sound. The absorbed allocator must not be used
+// concurrently with the call; its counters are not carried over.
+func (al *Allocator) Absorb(other *Allocator) error {
+	if other == nil || other == al {
+		return nil
+	}
+	if other.A != al.A {
+		return errs.Invalidf("intra: Absorb across distinct analyses")
+	}
+	if other.DisableCoalesce != al.DisableCoalesce || other.DisableIncremental != al.DisableIncremental {
+		return errs.Invalidf("intra: Absorb across distinct allocator modes")
+	}
+	if (other.weights == nil) != (al.weights == nil) {
+		return errs.Invalidf("intra: Absorb across distinct objectives")
+	}
+	for key, ctx := range other.memo { //lint:ignore detlint keyed merge of missing entries; insertion order never observable
+		if _, ok := al.memo[key]; !ok {
+			al.memo[key] = ctx
+		}
+	}
+	for key, err := range other.memoErr { //lint:ignore detlint keyed merge of missing entries; insertion order never observable
+		if _, ok := al.memoErr[key]; !ok {
+			al.memoErr[key] = err
+		}
+	}
+	for key, sol := range other.sols { //lint:ignore detlint keyed merge of missing entries; insertion order never observable
+		if _, ok := al.sols[key]; !ok {
+			al.sols[key] = sol
+		}
+	}
+	for key, err := range other.solErrs { //lint:ignore detlint keyed merge of missing entries; insertion order never observable
+		if _, ok := al.solErrs[key]; !ok {
+			al.solErrs[key] = err
+		}
+	}
+	return nil
+}
+
 // Solution is a successful intra-thread allocation for a (PR, SR) budget.
 type Solution struct {
 	Ctx    *Context

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"npra/internal/funccache"
 	"npra/internal/intra"
 )
 
@@ -141,6 +142,11 @@ type Snapshot struct {
 
 	SolveCache intra.CacheStats
 	Phases     intra.PhaseStats
+
+	// FuncCache and BodyCache are the function-granular cache counters,
+	// snapshotted from the Server's caches (zero when disabled).
+	FuncCache funccache.Stats
+	BodyCache funccache.BodyStats
 }
 
 // SingleflightHits returns in-flight joins plus cached joins: every
@@ -159,7 +165,7 @@ func (s *Snapshot) SingleflightHitRate() float64 {
 	return float64(s.SingleflightHits()) / float64(total)
 }
 
-func (m *Metrics) snapshot(queueDepth int) *Snapshot {
+func (m *Metrics) snapshot(queueDepth int, fc funccache.Stats, bc funccache.BodyStats) *Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := &Snapshot{
@@ -178,6 +184,8 @@ func (m *Metrics) snapshot(queueDepth int) *Snapshot {
 		QueueDepth:               queueDepth,
 		SolveCache:               m.solveCache,
 		Phases:                   m.phases,
+		FuncCache:                fc,
+		BodyCache:                bc,
 	}
 	for code, n := range m.requests {
 		s.Requests[code] = n
@@ -189,7 +197,7 @@ func (m *Metrics) snapshot(queueDepth int) *Snapshot {
 // counter, Prometheus-style labels for the few multi-dimensional ones.
 // Output is fully deterministic (sorted codes, fixed bucket and phase
 // order).
-func (m *Metrics) render(queueDepth int) string {
+func (m *Metrics) render(queueDepth int, fc funccache.Stats, bc funccache.BodyStats) string {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -232,6 +240,20 @@ func (m *Metrics) render(queueDepth int) string {
 	fmt.Fprintf(&b, "npserve_solve_cache_hits %d\n", m.solveCache.Hits)
 	fmt.Fprintf(&b, "npserve_solve_cache_misses %d\n", m.solveCache.Misses)
 	fmt.Fprintf(&b, "npserve_solve_cache_hit_rate %.4f\n", m.solveCache.HitRate())
+
+	fmt.Fprintf(&b, "npserve_func_cache_hits %d\n", fc.Hits)
+	fmt.Fprintf(&b, "npserve_func_cache_misses %d\n", fc.Misses)
+	fmt.Fprintf(&b, "npserve_func_cache_hit_rate %.4f\n", rate(fc.Hits, fc.Misses))
+	fmt.Fprintf(&b, "npserve_func_cache_evictions %d\n", fc.Evictions)
+	fmt.Fprintf(&b, "npserve_func_cache_discards %d\n", fc.Discards)
+	fmt.Fprintf(&b, "npserve_func_cache_entries %d\n", fc.Entries)
+	fmt.Fprintf(&b, "npserve_func_cache_idle %d\n", fc.Idle)
+	fmt.Fprintf(&b, "npserve_func_cache_bytes %d\n", fc.Bytes)
+
+	fmt.Fprintf(&b, "npserve_body_cache_hits %d\n", bc.Hits)
+	fmt.Fprintf(&b, "npserve_body_cache_misses %d\n", bc.Misses)
+	fmt.Fprintf(&b, "npserve_body_cache_evictions %d\n", bc.Evictions)
+	fmt.Fprintf(&b, "npserve_body_cache_entries %d\n", bc.Entries)
 
 	phases := []struct {
 		name string

@@ -45,6 +45,7 @@ import (
 	"npra/internal/core"
 	"npra/internal/core/errs"
 	"npra/internal/faultinject"
+	"npra/internal/funccache"
 	"npra/internal/ir"
 	"npra/internal/parallel"
 )
@@ -76,6 +77,18 @@ type Config struct {
 	// CacheEntries bounds the completed-result LRU (default 256;
 	// negative disables result caching, leaving only in-flight dedup).
 	CacheEntries int
+
+	// FuncCacheEntries bounds the function-level warm cache (default
+	// 256 distinct bodies; negative disables it). Unlike the result LRU
+	// above — which only answers byte-identical requests — the function
+	// cache reuses analyses and allocator memo tables across *different*
+	// requests that embed the same thread bodies.
+	FuncCacheEntries int
+
+	// BodyCacheEntries bounds the compiled-body cache (default 1024
+	// bodies; negative disables it), which skips re-assembling masm
+	// source / re-generating progen specs seen before.
+	BodyCacheEntries int
 
 	// RetryAfter is the client backoff hint attached to 429/503
 	// responses (default 1s, rounded up to whole seconds on the wire).
@@ -109,6 +122,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheEntries < 0 {
 		c.CacheEntries = 0
+	}
+	if c.FuncCacheEntries == 0 {
+		c.FuncCacheEntries = 256
+	}
+	if c.FuncCacheEntries < 0 {
+		c.FuncCacheEntries = 0
+	}
+	if c.BodyCacheEntries == 0 {
+		c.BodyCacheEntries = 1024
+	}
+	if c.BodyCacheEntries < 0 {
+		c.BodyCacheEntries = 0
 	}
 	if c.RetryAfter == 0 {
 		c.RetryAfter = time.Second
@@ -159,6 +184,11 @@ type Server struct {
 	flightMu sync.Mutex
 	fg       *flightGroup
 
+	// fcache and bodies are the function-granular layers under the
+	// request-granular dedup above: nil when disabled by config.
+	fcache *funccache.Cache
+	bodies *funccache.BodyCache
+
 	queue chan *job
 
 	// admit gates request admission against drain: every in-flight
@@ -182,6 +212,12 @@ func New(cfg Config) *Server {
 		batcherDone: make(chan struct{}),
 	}
 	s.fg = newFlightGroup(s.cfg.CacheEntries)
+	if s.cfg.FuncCacheEntries > 0 {
+		s.fcache = funccache.New(funccache.Config{Entries: s.cfg.FuncCacheEntries})
+	}
+	if s.cfg.BodyCacheEntries > 0 {
+		s.bodies = funccache.NewBodyCache(s.cfg.BodyCacheEntries)
+	}
 	s.queue = make(chan *job, s.cfg.MaxQueue)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/allocate", s.handleAllocate)
@@ -197,7 +233,22 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Metrics returns a snapshot of the serving counters.
 func (s *Server) Metrics() *Snapshot {
-	return s.metrics.snapshot(len(s.queue))
+	fc, bc := s.cacheStats()
+	return s.metrics.snapshot(len(s.queue), fc, bc)
+}
+
+// cacheStats snapshots the optional function/body caches (zero stats
+// when disabled).
+func (s *Server) cacheStats() (funccache.Stats, funccache.BodyStats) {
+	var fc funccache.Stats
+	var bc funccache.BodyStats
+	if s.fcache != nil {
+		fc = s.fcache.Stats()
+	}
+	if s.bodies != nil {
+		bc = s.bodies.Stats()
+	}
+	return fc, bc
 }
 
 // Drain gracefully stops the server: new allocation requests are
@@ -239,7 +290,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	io.WriteString(w, s.metrics.render(len(s.queue)))
+	fc, bc := s.cacheStats()
+	io.WriteString(w, s.metrics.render(len(s.queue), fc, bc))
 }
 
 func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
@@ -292,7 +344,7 @@ func (s *Server) allocate(r *http.Request, start time.Time) (int, any) {
 	if req.NReg == 0 {
 		req.NReg = s.cfg.NReg
 	}
-	funcs, err := req.Funcs()
+	funcs, err := req.FuncsCached(s.compiledBodies())
 	if err != nil {
 		return statusOf(err), &core.WireError{Error: err.Error(), Kind: core.ErrorKind(err)}
 	}
@@ -314,7 +366,16 @@ func (s *Server) allocate(r *http.Request, start time.Time) (int, any) {
 		return http.StatusInternalServerError, &core.WireError{Error: "serve: " + err.Error(), Kind: "internal"}
 	}
 
-	key := req.CanonicalKey(funcs)
+	// Key the request off memoized per-function hashes when the function
+	// cache is on: body-cache hits hand back stable *ir.Func pointers,
+	// so the cache's pointer-keyed memo skips re-Formatting multi-KB
+	// bodies on every request.
+	var key string
+	if s.fcache != nil {
+		key = req.CanonicalKeyBy(funcs, s.fcache.FuncKey)
+	} else {
+		key = req.CanonicalKey(funcs)
+	}
 	fl, kind := s.joinOrEnqueue(key, &req, funcs, deadline)
 	s.metrics.join(kind)
 	if kind != joinCached {
@@ -415,9 +476,21 @@ func (s *Server) runBatch(batch []*job) {
 	})
 }
 
+// compiledBodies adapts the optional body cache to the core interface;
+// the explicit nil check avoids handing core a typed-nil interface.
+func (s *Server) compiledBodies() core.CompiledBodies {
+	if s.bodies == nil {
+		return nil
+	}
+	return s.bodies
+}
+
 func (s *Server) runJob(j *job, workers, batched int) {
 	defer j.cancel()
 	cfg := core.Config{NReg: j.req.NReg, Workers: workers}
+	if s.fcache != nil {
+		cfg.FuncCache = s.fcache
+	}
 	var alloc *core.Allocation
 	var err error
 	if j.req.Mode == "sra" {

@@ -558,6 +558,17 @@ func TestMetricsEndpoint(t *testing.T) {
 		"npserve_latency_ms_count 3",
 		`npserve_latency_ms_bucket{le="+Inf"} 3`,
 		"npserve_queue_depth 0",
+		// One engine run over one body: a func-cache miss that installed
+		// one entry with one pooled allocator; the duplicate request was
+		// answered above the engine (no second checkout) but did re-parse
+		// through the body cache (one hit, one miss).
+		"npserve_func_cache_hits 0",
+		"npserve_func_cache_misses 1",
+		"npserve_func_cache_entries 1",
+		"npserve_func_cache_idle 1",
+		"npserve_body_cache_hits 1",
+		"npserve_body_cache_misses 1",
+		"npserve_body_cache_entries 1",
 	} {
 		if !strings.Contains(string(text), want+"\n") {
 			t.Errorf("/metrics missing %q\n%s", want, text)

@@ -60,6 +60,13 @@ type Options struct {
 
 	// Client overrides the HTTP client (default: 30s-timeout client).
 	Client *http.Client
+
+	// Spec overrides the generated request stream: Spec(i) returns the
+	// JSON body of request i. The kernel-mix workload (RunMix) uses this
+	// to compose requests from a shared kernel pool. When set, the
+	// default progen stream is not used (DupRatio/PoolSize still apply:
+	// duplicates draw from Spec(0..PoolSize-1)).
+	Spec func(i int64) []byte
 }
 
 func (o Options) withDefaults() Options {
@@ -167,10 +174,15 @@ func Run(ctx context.Context, opt Options) (*Report, error) {
 		defer cancel()
 	}
 
+	specFn := opt.spec
+	if opt.Spec != nil {
+		specFn = opt.Spec
+	}
+
 	// The duplicate pool: PoolSize specs reused across all workers.
 	pool := make([][]byte, opt.PoolSize)
 	for i := range pool {
-		pool[i] = opt.spec(int64(i))
+		pool[i] = specFn(int64(i))
 	}
 
 	var issued atomic.Int64 // request tickets; also numbers unique specs
@@ -200,7 +212,7 @@ func Run(ctx context.Context, opt Options) (*Report, error) {
 					body = pool[rng.Intn(len(pool))]
 				} else {
 					// Unique specs start past the pool's index range.
-					body = opt.spec(int64(opt.PoolSize) + ticket)
+					body = specFn(int64(opt.PoolSize) + ticket)
 				}
 				req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 					opt.URL+"/allocate", bytes.NewReader(body))

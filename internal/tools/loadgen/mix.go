@@ -1,0 +1,261 @@
+package loadgen
+
+// The kernel-mix workload: the "millions of users, same kernels" shape
+// the function cache exists for. Requests are composed from a small
+// shared pool of heavyweight progen kernels with varying thread
+// multiplicities — a request might be kernel3 x2 + kernel7 x1, the next
+// kernel7 x3 — so whole requests rarely repeat (request-level dedup
+// can't help much) while every thread body comes from the pool
+// (function-level reuse answers nearly everything after warmup).
+//
+// RunMix drives two phases with the *identical* request stream:
+//
+//	cold — against a baseline server whose function/body caches are
+//	       disabled (Options.BaselineURL; skipped when empty)
+//	warm — against the measured server, after a short warmup pass that
+//	       puts every kernel in its function cache
+//
+// and reports the warm phase's function-cache hit rate (from the
+// server's /metrics delta across the measured run) alongside the
+// cold/warm p99 ratio. Both servers see the same stream and both keep
+// request-level dedup, so the ratio isolates what function-granular
+// caching buys.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"npra/internal/core"
+	"npra/internal/core/errs"
+)
+
+// MixOptions configures a kernel-mix run. Zero values take the noted
+// defaults.
+type MixOptions struct {
+	// URL is the measured server's base URL. Required.
+	URL string
+
+	// BaselineURL, when set, is a server with function/body caching
+	// disabled; the identical stream is driven against it first to
+	// record the cold baseline. Empty skips the cold phase.
+	BaselineURL string
+
+	// Concurrency is the closed-loop worker count (default 4).
+	Concurrency int
+
+	// Requests is the measured request count per phase (default 200).
+	Requests int64
+
+	// Kernels is the shared kernel pool size (default 8); Threads caps
+	// the thread multiplicity per request (default 4).
+	Kernels int
+	Threads int
+
+	// NReg is the register budget per request (default 128 — higher
+	// than plain loadgen's 64 because the mix kernels are heavyweight
+	// and a 4-way mix of them is infeasible under 64 registers).
+	NReg int
+
+	// TimeoutMS is forwarded in each request (0 = server default).
+	TimeoutMS int64
+
+	// Seed makes the kernel pool and stream reproducible (default 1).
+	Seed int64
+
+	// Client overrides the HTTP client (default from Options).
+	Client *http.Client
+}
+
+func (o MixOptions) withDefaults() MixOptions {
+	if o.Concurrency <= 0 {
+		o.Concurrency = 4
+	}
+	if o.Requests <= 0 {
+		o.Requests = 200
+	}
+	if o.Kernels <= 0 {
+		o.Kernels = 8
+	}
+	if o.Threads <= 0 {
+		o.Threads = 4
+	}
+	if o.NReg <= 0 {
+		o.NReg = 128
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// kernel returns the k-th pool kernel's progen spec: deliberately
+// heavyweight (deep nesting, long bodies, many variables) so engine
+// time dominates transport time and the cold/warm contrast is about
+// allocation work, not HTTP overhead.
+func (o *MixOptions) kernel(k int) core.WireProgen {
+	return core.WireProgen{
+		Seed:       o.Seed*1_000_000 + int64(k),
+		MaxDepth:   4,
+		MaxBodyLen: 24,
+		MaxTripCnt: 8,
+		MaxVars:    24,
+		CSBDensity: 0.3,
+	}
+}
+
+// mixSpec composes request i of the mix stream: the thread count cycles
+// with i and the kernel choices are the mixed-radix digits of i/Threads
+// in base Kernels — deterministic, and distinct for every i until the
+// digit space wraps (Kernels^nthreads compositions per thread count).
+// Repeats past that point are the realistic part of the workload: they
+// exercise the request-level dedup layers identically on both servers.
+func (o *MixOptions) mixSpec(i int64) []byte {
+	req := core.WireRequest{NReg: o.NReg, TimeoutMS: o.TimeoutMS}
+	nthreads := 1 + int(i)%o.Threads
+	x := i / int64(o.Threads)
+	for t := 0; t < nthreads; t++ {
+		k := o.kernel(int(x % int64(o.Kernels)))
+		x /= int64(o.Kernels)
+		req.Threads = append(req.Threads, core.WireThread{Progen: &k})
+	}
+	blob, err := json.Marshal(&req)
+	if err != nil {
+		return []byte("{}")
+	}
+	return blob
+}
+
+// MixReport is the outcome of a kernel-mix run.
+type MixReport struct {
+	// Cold is the baseline phase (caches disabled); nil without a
+	// BaselineURL. Warm is the measured phase on the warm server.
+	Cold *Report `json:"cold,omitempty"`
+	Warm *Report `json:"warm"`
+
+	// FuncCacheHits/Misses/HitRate cover the measured warm phase only
+	// (deltas of the server's func-cache counters across the run, so a
+	// shared long-lived server doesn't dilute the rate).
+	FuncCacheHits    int64   `json:"funccache_hits"`
+	FuncCacheMisses  int64   `json:"funccache_misses"`
+	FuncCacheHitRate float64 `json:"funccache_hit_rate"`
+
+	BodyCacheHitRate float64 `json:"bodycache_hit_rate"`
+
+	// P99Speedup is cold p99 / warm p99 (0 without a cold phase).
+	P99Speedup float64 `json:"p99_speedup"`
+
+	Kernels  int   `json:"kernels"`
+	Requests int64 `json:"requests_per_phase"`
+}
+
+// Check validates the mix gates: transport/5xx cleanliness on both
+// phases, a warm-phase function-cache hit rate of at least minFuncHit
+// (skipped when negative) and a p99 speedup of at least minP99Speedup
+// (skipped when not positive or when no cold phase ran).
+func (r *MixReport) Check(maxFiveXX int64, minFuncHit, minP99Speedup float64) error {
+	if err := r.Warm.Check(maxFiveXX, -1, 0); err != nil {
+		return fmt.Errorf("warm phase: %w", err)
+	}
+	if r.Cold != nil {
+		if err := r.Cold.Check(maxFiveXX, -1, 0); err != nil {
+			return fmt.Errorf("cold phase: %w", err)
+		}
+	}
+	if minFuncHit >= 0 && r.FuncCacheHitRate < minFuncHit {
+		return errs.Internalf("loadgen: warm-phase func-cache hit rate %.4f below the %.4f floor",
+			r.FuncCacheHitRate, minFuncHit)
+	}
+	if minP99Speedup > 0 {
+		if r.Cold == nil {
+			return errs.Invalidf("loadgen: p99 speedup gate needs a baseline server (cold phase)")
+		}
+		if r.P99Speedup < minP99Speedup {
+			return errs.Internalf("loadgen: warm p99 speedup %.2fx below the %.2fx floor",
+				r.P99Speedup, minP99Speedup)
+		}
+	}
+	return nil
+}
+
+// RunMix drives the kernel-mix workload and returns the report.
+func RunMix(ctx context.Context, opt MixOptions) (*MixReport, error) {
+	opt = opt.withDefaults()
+	if opt.URL == "" {
+		return nil, errs.Invalidf("loadgen: no target URL")
+	}
+
+	phase := func(url string) (*Report, error) {
+		return Run(ctx, Options{
+			URL:         url,
+			Concurrency: opt.Concurrency,
+			MaxRequests: opt.Requests,
+			PoolSize:    1, // DupRatio 0: the pool is never drawn from
+			NReg:        opt.NReg,
+			TimeoutMS:   opt.TimeoutMS,
+			Seed:        opt.Seed,
+			Client:      opt.Client,
+			Spec:        opt.mixSpec,
+		})
+	}
+
+	rep := &MixReport{Kernels: opt.Kernels, Requests: opt.Requests}
+	if opt.BaselineURL != "" {
+		cold, err := phase(opt.BaselineURL)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: cold phase: %w", err)
+		}
+		rep.Cold = cold
+	}
+
+	// Warm up the measured server: one single-thread request per kernel
+	// puts every pool body into its function cache, so the measured
+	// phase starts warm.
+	client := opt.Client
+	if client == nil {
+		client = Options{}.withDefaults().Client
+	}
+	for k := 0; k < opt.Kernels; k++ {
+		kr := core.WireRequest{NReg: opt.NReg, TimeoutMS: opt.TimeoutMS,
+			Threads: []core.WireThread{{Progen: func() *core.WireProgen { p := opt.kernel(k); return &p }()}}}
+		blob, _ := json.Marshal(&kr)
+		resp, err := client.Post(opt.URL+"/allocate", "application/json", bytes.NewReader(blob))
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: warmup kernel %d: %w", k, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, errs.Internalf("loadgen: warmup kernel %d: status %d", k, resp.StatusCode)
+		}
+	}
+	pre, err := ScrapeMetrics(client, opt.URL)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: pre-phase metrics: %w", err)
+	}
+
+	warmRep, err := phase(opt.URL)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: warm phase: %w", err)
+	}
+	rep.Warm = warmRep
+
+	post := warmRep.Metrics
+	rep.FuncCacheHits = int64(post["npserve_func_cache_hits"] - pre["npserve_func_cache_hits"])
+	rep.FuncCacheMisses = int64(post["npserve_func_cache_misses"] - pre["npserve_func_cache_misses"])
+	if total := rep.FuncCacheHits + rep.FuncCacheMisses; total > 0 {
+		rep.FuncCacheHitRate = float64(rep.FuncCacheHits) / float64(total)
+	}
+	bh := post["npserve_body_cache_hits"] - pre["npserve_body_cache_hits"]
+	bm := post["npserve_body_cache_misses"] - pre["npserve_body_cache_misses"]
+	if bh+bm > 0 {
+		rep.BodyCacheHitRate = bh / (bh + bm)
+	}
+	if rep.Cold != nil && rep.Warm.P99MS > 0 {
+		rep.P99Speedup = rep.Cold.P99MS / rep.Warm.P99MS
+	}
+	return rep, nil
+}

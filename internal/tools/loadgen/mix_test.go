@@ -1,0 +1,98 @@
+package loadgen
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"npra/internal/serve"
+)
+
+// TestRunMixSmoke drives a small kernel-mix run against a baseline
+// (caches off) and a warm server and checks the report invariants: all
+// requests clean, a high warm-phase function-cache hit rate, and the
+// gate plumbing.
+func TestRunMixSmoke(t *testing.T) {
+	baseline := serve.New(serve.Config{FuncCacheEntries: -1, BodyCacheEntries: -1})
+	bts := httptest.NewServer(baseline.Handler())
+	warm := serve.New(serve.Config{})
+	wts := httptest.NewServer(warm.Handler())
+	t.Cleanup(func() {
+		bts.Close()
+		wts.Close()
+		baseline.Close()
+		warm.Close()
+	})
+
+	rep, err := RunMix(context.Background(), MixOptions{
+		URL:         wts.URL,
+		BaselineURL: bts.URL,
+		Concurrency: 2,
+		Requests:    24,
+		Kernels:     3,
+		Seed:        5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cold == nil || rep.Cold.Requests != 24 {
+		t.Fatalf("cold phase missing or short: %+v", rep.Cold)
+	}
+	if rep.Warm.Requests != 24 {
+		t.Fatalf("warm requests = %d, want 24", rep.Warm.Requests)
+	}
+	if rep.Warm.FiveXX != 0 || rep.Cold.FiveXX != 0 {
+		t.Errorf("5xx: cold %d warm %d, want none", rep.Cold.FiveXX, rep.Warm.FiveXX)
+	}
+	// Every kernel was warmed before the measured phase, so every
+	// engine-reaching thread checkout should hit.
+	if rep.FuncCacheHitRate < 0.9 {
+		t.Errorf("funccache hit rate = %v, want >= 0.9 after warmup", rep.FuncCacheHitRate)
+	}
+	if rep.FuncCacheHits == 0 {
+		t.Error("funccache hits = 0: the warm phase never reached the cache")
+	}
+	if rep.BodyCacheHitRate < 0.9 {
+		t.Errorf("bodycache hit rate = %v, want >= 0.9 after warmup", rep.BodyCacheHitRate)
+	}
+	if rep.P99Speedup <= 0 {
+		t.Errorf("p99 speedup = %v, want > 0 with a cold phase present", rep.P99Speedup)
+	}
+	if err := rep.Check(0, 0.9, 0); err != nil {
+		t.Errorf("Check: %v", err)
+	}
+	if err := rep.Check(0, 1.01, 0); err == nil {
+		t.Error("Check accepted an unreachable hit-rate floor")
+	}
+	if err := rep.Check(0, -1, 1e9); err == nil {
+		t.Error("Check accepted an unreachable speedup floor")
+	}
+}
+
+// TestRunMixNoBaseline covers the external-server shape: without a
+// BaselineURL there is no cold phase and the speedup gate must refuse
+// rather than silently pass.
+func TestRunMixNoBaseline(t *testing.T) {
+	warm := serve.New(serve.Config{})
+	wts := httptest.NewServer(warm.Handler())
+	t.Cleanup(func() {
+		wts.Close()
+		warm.Close()
+	})
+	rep, err := RunMix(context.Background(), MixOptions{
+		URL:         wts.URL,
+		Concurrency: 2,
+		Requests:    9,
+		Kernels:     2,
+		Seed:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cold != nil || rep.P99Speedup != 0 {
+		t.Errorf("cold = %+v speedup = %v, want no cold phase", rep.Cold, rep.P99Speedup)
+	}
+	if err := rep.Check(0, -1, 2); err == nil {
+		t.Error("speedup gate passed without a baseline")
+	}
+}
