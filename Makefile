@@ -77,3 +77,16 @@ serve-bench-mix:
 	$(GO) run ./cmd/nploadgen -inprocess -kernel-mix -requests 200 -c 4 \
 		-max-5xx 0 -min-funccache-hit 0.9 -min-p99-speedup 2 \
 		-report BENCH_serve_mix.json
+
+# The chaos soak: a fault-injecting proxy (TCP resets, latency,
+# truncated/garbled bodies, 5xx bursts) in front of an in-process
+# npserve, the resilient client in front of that, two tenants at 3:1
+# DRR weights with the engine deliberately made the bottleneck. Gated
+# on the ISSUE-7 acceptance criteria: eventual success >= 0.999, zero
+# retries of 400/422 (asserted inside the check), tenant completion
+# shares within 15% of the weight shares, and a bounded p99.
+.PHONY: serve-bench-chaos
+serve-bench-chaos:
+	$(GO) run ./cmd/nploadgen -chaos -inprocess -requests 600 \
+		-min-eventual 0.999 -fair-tol 0.15 -max-p99-ms 500 \
+		-report BENCH_serve_chaos.json

@@ -10,6 +10,8 @@
 //	nploadgen -inprocess -requests 500 -dup 0.5 -report BENCH_serve.json
 //	nploadgen -inprocess -kernel-mix -requests 200 \
 //	          -min-funccache-hit 0.9 -min-p99-speedup 2 -report BENCH_serve_mix.json
+//	nploadgen -chaos -inprocess -requests 600 \
+//	          -min-eventual 0.999 -fair-tol 0.15 -report BENCH_serve_chaos.json
 //
 // With -inprocess, nploadgen starts an npserve instance inside the
 // process (no network listener flakiness) and drives that.
@@ -22,6 +24,16 @@
 // the identical stream first, so the report's p99_speedup isolates what
 // function-granular caching buys; -min-funccache-hit and
 // -min-p99-speedup turn both into pass/fail gates.
+//
+// With -chaos, weighted tenants drive the server through a
+// deterministic fault-injecting proxy (TCP resets, latency, truncated
+// and garbled responses, 503 bursts) using the resilient client from
+// internal/resilience, and the report classifies every call's eventual
+// outcome (first-try OK / retried-then-OK / shed / hard-failed);
+// -min-eventual, -fair-tol and -max-p99-ms gate availability, DRR
+// fairness and tail latency under chaos. With -inprocess, a solve
+// delay (-chaos-solve-delay) and a serialized engine make the server
+// the bottleneck so fairness is actually exercised.
 package main
 
 import (
@@ -34,6 +46,8 @@ import (
 	"runtime"
 	"time"
 
+	"npra/internal/faultinject"
+	"npra/internal/resilience"
 	"npra/internal/serve"
 	"npra/internal/tools/loadgen"
 )
@@ -61,10 +75,39 @@ func main() {
 		kernels    = flag.Int("kernels", 8, "kernel pool size for -kernel-mix")
 		minFuncHit = flag.Float64("min-funccache-hit", -1, "fail if the warm-phase function-cache hit rate is below this (-1 disables; -kernel-mix only)")
 		minSpeedup = flag.Float64("min-p99-speedup", 0, "fail if warm p99 does not beat the cold baseline by this factor (0 disables; -kernel-mix -inprocess only)")
+
+		chaos         = flag.Bool("chaos", false, "drive the chaos soak: a fault-injecting proxy in front of the server, the resilient client in front of that")
+		chaosReset    = flag.Float64("chaos-reset", 0.03, "per-request TCP-reset probability")
+		chaosLatRate  = flag.Float64("chaos-latency-rate", 0.10, "per-request injected-latency probability")
+		chaosLatency  = flag.Duration("chaos-latency", 3*time.Millisecond, "injected latency")
+		chaosTruncate = flag.Float64("chaos-truncate", 0.03, "per-request truncated-response probability")
+		chaosGarble   = flag.Float64("chaos-garble", 0.03, "per-request garbled-response probability")
+		chaosBurstEv  = flag.Int("chaos-burst-every", 40, "5xx burst cadence in requests (0 disables bursts)")
+		chaosBurstLen = flag.Int("chaos-burst-len", 2, "consecutive 503s per burst")
+		chaosSolveDly = flag.Duration("chaos-solve-delay", 2*time.Millisecond, "per-Solve engine delay armed for -inprocess soaks, keeping the server backlogged so DRR fairness is observable (0 disables)")
+		tenants       = flag.String("tenants", "heavy=6,light=6", "closed-loop workers per tenant as tenant=workers,...")
+		tenantWeights = flag.String("tenant-weights", "heavy=3,light=1", "server-side DRR weights as tenant=weight,... (-inprocess configures the server; either way the fairness gate expects them)")
+		lowFrac       = flag.Float64("low-frac", 0, "fraction of chaos requests marked priority \"low\"")
+		minEventual   = flag.Float64("min-eventual", -1, "fail if the eventual success rate is below this (-1 disables)")
+		fairTol       = flag.Float64("fair-tol", 0, "fail if any tenant's completion share deviates more than this from its weight share (0 disables)")
 	)
 	flag.Parse()
 	var err error
-	if *kernelMix {
+	if *chaos {
+		err = runChaos(*url, *inprocess, *duration, *requests, *threads, *nreg,
+			*timeoutMS, *seed, *reportTo, *tenants, *tenantWeights, *lowFrac, *chaosSolveDly,
+			faultinject.ChaosConfig{
+				Seed:         uint64(*seed),
+				ResetRate:    *chaosReset,
+				LatencyRate:  *chaosLatRate,
+				Latency:      *chaosLatency,
+				TruncateRate: *chaosTruncate,
+				GarbleRate:   *chaosGarble,
+				BurstEvery:   *chaosBurstEv,
+				BurstLen:     *chaosBurstLen,
+			},
+			*minEventual, *maxP99, *fairTol)
+	} else if *kernelMix {
 		// The mix has its own NReg default (128: its kernels are heavier
 		// than plain loadgen's); only forward -nreg when the user set it.
 		mixNReg := 0
@@ -194,6 +237,113 @@ func run(url string, inprocess bool, conc int, duration time.Duration, requests 
 		}
 		fmt.Fprintf(os.Stderr, "nploadgen: checks passed (5xx %d <= %d, dedup %.4f >= %.4f, p99 %.2fms)\n",
 			rep.FiveXX, effMax, rep.SingleflightHitRate, minDedup, rep.P99MS)
+	}
+	return nil
+}
+
+// runChaos drives the chaos soak: a fault-injecting proxy in front of
+// the server (started in-process with -inprocess, or fronting -url),
+// the resilient client in front of the proxy, and multiple tenants in
+// closed loops. The report classifies every call as first-try OK,
+// retried-then-OK, or hard-failed, and the gates turn eventual
+// availability and weighted fairness into a pass/fail exit code.
+func runChaos(url string, inprocess bool, duration time.Duration, requests int64,
+	threads, nreg int, timeoutMS, seed int64, reportTo, tenantSpec, weightSpec string,
+	lowFrac float64, solveDelay time.Duration, chaosCfg faultinject.ChaosConfig,
+	minEventual, maxP99, fairTol float64) error {
+
+	workers, err := serve.ParseTenantWeights(tenantSpec)
+	if err != nil {
+		return fmt.Errorf("parsing -tenants: %w", err)
+	}
+	weights, err := serve.ParseTenantWeights(weightSpec)
+	if err != nil {
+		return fmt.Errorf("parsing -tenant-weights: %w", err)
+	}
+
+	if inprocess {
+		// The soak measures admission fairness, so the server must be the
+		// bottleneck: one engine worker, no batching, and an injected
+		// per-Solve delay (progen jobs finish in ~0.1ms otherwise — the
+		// queue would never backlog and DRR would have nothing to
+		// schedule). Every completion is then one DRR grant.
+		if solveDelay > 0 {
+			faultinject.Arm(faultinject.SiteSolve, faultinject.Plan{
+				Mode: faultinject.Delay, Delay: solveDelay})
+			defer faultinject.Reset()
+		}
+		s := serve.New(serve.Config{Workers: 1, MaxBatch: 1, TenantWeights: weights})
+		ts := httptest.NewServer(s.Handler())
+		defer func() {
+			ts.Close()
+			s.Close()
+		}()
+		url = ts.URL
+	}
+	if url == "" {
+		return fmt.Errorf("chaos soak: need -url or -inprocess")
+	}
+
+	proxy := faultinject.NewChaosProxy(url, chaosCfg)
+	front := httptest.NewServer(proxy)
+	defer front.Close()
+
+	rep, err := loadgen.RunChaos(context.Background(), loadgen.ChaosOptions{
+		URL:           front.URL,
+		DirectURL:     url, // metrics scrape bypasses the chaos path
+		TenantWorkers: workers,
+		TenantWeights: weights,
+		Duration:      duration,
+		MaxRequests:   requests,
+		Threads:       threads,
+		NReg:          nreg,
+		TimeoutMS:     timeoutMS,
+		Seed:          seed,
+		LowFrac:       lowFrac,
+		Resilience: resilience.Config{
+			MaxAttempts:   8,
+			BaseBackoff:   10 * time.Millisecond,
+			MaxBackoff:    200 * time.Millisecond,
+			RetryAfterCap: 250 * time.Millisecond,
+			HedgeAfter:    500 * time.Millisecond,
+			Breaker: resilience.BreakerConfig{
+				FailureThreshold: 10,
+				Cooldown:         100 * time.Millisecond,
+			},
+		},
+	})
+	if rep != nil {
+		st := proxy.Stats()
+		rep.ChaosFired = make(map[string]int64, len(st.Fired))
+		for site, n := range st.Fired {
+			rep.ChaosFired[string(site)] = n
+		}
+	}
+	if err != nil {
+		return err
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(blob))
+	if reportTo != "" {
+		if err := os.WriteFile(reportTo, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+
+	if minEventual >= 0 || maxP99 > 0 || fairTol > 0 {
+		effMin := minEventual
+		if effMin < 0 {
+			effMin = 0
+		}
+		if err := rep.Check(effMin, maxP99, fairTol); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "nploadgen: chaos checks passed (eventual %.5f >= %.5f, bad retries %d, fairness dev %.4f <= %.4f, p99 %.2fms)\n",
+			rep.EventualSuccessRate, effMin, rep.BadRetries, rep.FairnessDev, fairTol, rep.P99MS)
 	}
 	return nil
 }

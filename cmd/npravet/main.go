@@ -1,7 +1,8 @@
 // Command npravet is the multichecker driver for the repository's
 // invariant analyzers (internal/analyzers): detlint, errtaxonomy,
-// panicfree, ctxplumb, poolalias, cachealias, plus verification of the
-// //lint:ignore / //lint:invariant directives themselves.
+// panicfree, ctxplumb, poolalias, cachealias, sleeplint, plus
+// verification of the //lint:ignore / //lint:invariant directives
+// themselves.
 //
 // Usage:
 //

@@ -18,6 +18,15 @@
 //	npserve [-addr :8080] [-nreg 128] [-j N] [-queue 64] [-batch 4]
 //	        [-cache 256] [-funccache-entries 256] [-bodycache-entries 1024]
 //	        [-timeout 10s] [-max-timeout 60s] [-drain-timeout 30s]
+//	        [-tenant-queue 16] [-tenant-weights heavy=3,light=1]
+//	        [-shed-low 0.5] [-shed-normal 0.85]
+//
+// Admission is per-tenant fair (weighted deficit round robin over the
+// X-Tenant header) with priority-aware shedding: past -shed-low of the
+// backlog, requests with "priority":"low" are refused with 429; past
+// -shed-normal, normal-priority requests follow; high priority is only
+// refused at the hard -queue bound. 429/503 responses carry a
+// Retry-After derived from the live backlog and observed service rate.
 package main
 
 import (
@@ -49,8 +58,18 @@ func main() {
 		timeout      = flag.Duration("timeout", 10*time.Second, "default per-request deadline")
 		maxTimeout   = flag.Duration("max-timeout", 60*time.Second, "cap on the per-request deadline")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+
+		tenantQueue   = flag.Int("tenant-queue", 0, "per-tenant admission bound (0 = the whole queue; set near queue/N to isolate N rivals)")
+		tenantWeights = flag.String("tenant-weights", "", "DRR tenant weights as tenant=weight,... (absent tenants weigh 1)")
+		shedLow       = flag.Float64("shed-low", 0.5, "backlog fraction past which low-priority requests are shed (negative disables)")
+		shedNormal    = flag.Float64("shed-normal", 0.85, "backlog fraction past which normal-priority requests are shed (negative disables)")
 	)
 	flag.Parse()
+	weights, err := serve.ParseTenantWeights(*tenantWeights)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "npserve:", err)
+		os.Exit(2)
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
 	cfg := serve.Config{
@@ -64,6 +83,11 @@ func main() {
 
 		FuncCacheEntries: *funcCache,
 		BodyCacheEntries: *bodyCache,
+
+		MaxTenantQueue: *tenantQueue,
+		TenantWeights:  weights,
+		ShedLowFrac:    *shedLow,
+		ShedNormalFrac: *shedNormal,
 	}
 	if err := run(ctx, *addr, cfg, *drainTimeout, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "npserve:", err)

@@ -11,6 +11,7 @@ import (
 	"npra/internal/analyzers/errtaxonomy"
 	"npra/internal/analyzers/panicfree"
 	"npra/internal/analyzers/poolalias"
+	"npra/internal/analyzers/sleeplint"
 )
 
 // fixtureDir resolves the GOPATH-style fixture tree testdata/src/<path>.
@@ -45,4 +46,8 @@ func TestPoolaliasFixtures(t *testing.T) {
 
 func TestCachealiasFixtures(t *testing.T) {
 	anztest.Run(t, fixtureDir(t), cachealias.Analyzer, "cachefix/consumer")
+}
+
+func TestSleeplintFixtures(t *testing.T) {
+	anztest.Run(t, fixtureDir(t), sleeplint.Analyzer, "sleepfix")
 }

@@ -1,0 +1,116 @@
+// Package sleeplint enforces the cancellation invariant the resilience
+// work established (PR 7): a wait inside a retry or poll loop must be
+// interruptible. A bare time.Sleep (or a bare <-time.After receive)
+// inside a for loop holds its goroutine hostage for the full duration —
+// the enclosing context can expire, the server can start draining, and
+// the loop only notices after the nap. Every loop wait must instead go
+// through a time.Timer in a select that also watches ctx.Done() (the
+// sleepCtx pattern in internal/resilience and the chaos proxy).
+//
+// The invariant is scoped to loops: a one-shot time.Sleep in straight-
+// line code (e.g. a Delay-mode fault injection with a nil ctx) is not a
+// poll loop and is left to judgment. Waits inside function literals are
+// attributed to the literal, not the loop launching it — a goroutine
+// spawned per iteration is not itself the retry loop. Justified
+// exceptions use //lint:ignore sleeplint as usual.
+package sleeplint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"npra/internal/analyzers/anz"
+)
+
+// Analyzer is the sleeplint pass.
+var Analyzer = &anz.Analyzer{
+	Name: "sleeplint",
+	Doc: "flags bare time.Sleep / <-time.After waits inside for loops; loop waits must " +
+		"select on ctx.Done() (timer+select) so retries and polls stay cancellable",
+	Run: run,
+}
+
+func run(pass *anz.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			walk(pass, fd.Body, false)
+		}
+	}
+	return nil
+}
+
+// walk traverses a statement tree tracking whether the current node is
+// inside a for/range loop of the *same function*. Function literals
+// reset the flag: their bodies run on their own goroutine/call and are
+// judged by their own loops.
+func walk(pass *anz.Pass, n ast.Node, inLoop bool) {
+	switch s := n.(type) {
+	case nil:
+		return
+	case *ast.ForStmt:
+		walkChildren(pass, s.Body, true)
+		return
+	case *ast.RangeStmt:
+		walkChildren(pass, s.Body, true)
+		return
+	case *ast.FuncLit:
+		walkChildren(pass, s.Body, false)
+		return
+	case *ast.SelectStmt:
+		// Waits inside a select are exactly the fix this analyzer asks
+		// for; whether ctx.Done() is among the cases is visible enough in
+		// review once the wait is select-shaped. Don't descend into the
+		// channel expressions, but do check each case body.
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				for _, st := range cc.Body {
+					walk(pass, st, inLoop)
+				}
+			}
+		}
+		return
+	case *ast.CallExpr:
+		if inLoop && isTimePkgCall(pass, s, "Sleep") {
+			pass.Reportf(s.Pos(), "time.Sleep inside a loop cannot be cancelled: select on a time.Timer and ctx.Done() instead (see internal/resilience sleepCtx)")
+		}
+	case *ast.UnaryExpr:
+		// <-time.After(d) as a bare wait: same hostage problem plus a
+		// leaked timer per iteration.
+		if inLoop {
+			if call, ok := s.X.(*ast.CallExpr); ok && isTimePkgCall(pass, call, "After") {
+				pass.Reportf(s.Pos(), "bare <-time.After inside a loop cannot be cancelled (and leaks a timer per iteration): select on a time.Timer and ctx.Done() instead")
+			}
+		}
+	}
+	walkChildren(pass, n, inLoop)
+}
+
+// walkChildren applies walk to n's immediate children with the given
+// loop flag.
+func walkChildren(pass *anz.Pass, n ast.Node, inLoop bool) {
+	ast.Inspect(n, func(child ast.Node) bool {
+		if child == nil || child == n {
+			return child == n
+		}
+		walk(pass, child, inLoop)
+		return false
+	})
+}
+
+// isTimePkgCall reports whether call is time.<name>(...).
+func isTimePkgCall(pass *anz.Pass, call *ast.CallExpr, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.Info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "time"
+}

@@ -1,5 +1,5 @@
-// Package analyzers assembles the npravet suite: the six invariant
-// analyzers grown out of PRs 1–6, ready for the cmd/npravet
+// Package analyzers assembles the npravet suite: the seven invariant
+// analyzers grown out of PRs 1–7, ready for the cmd/npravet
 // multichecker, make lint, CI and the in-repo selfcheck test.
 //
 // The suite is intentionally closed over this repository's invariants —
@@ -16,6 +16,7 @@ import (
 	"npra/internal/analyzers/errtaxonomy"
 	"npra/internal/analyzers/panicfree"
 	"npra/internal/analyzers/poolalias"
+	"npra/internal/analyzers/sleeplint"
 )
 
 // Suite returns the full analyzer suite in stable (alphabetical) order.
@@ -27,5 +28,6 @@ func Suite() []*anz.Analyzer {
 		errtaxonomy.Analyzer,
 		panicfree.Analyzer,
 		poolalias.Analyzer,
+		sleeplint.Analyzer,
 	}
 }

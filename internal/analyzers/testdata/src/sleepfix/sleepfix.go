@@ -1,0 +1,91 @@
+// Fixture for the sleeplint analyzer: bare waits inside loops are
+// flagged; select-shaped waits, one-shot sleeps and per-iteration
+// goroutine bodies are not.
+package sleepfix
+
+import (
+	"context"
+	"time"
+)
+
+// PollBare naps uncancellably between polls: flagged.
+func PollBare(ready func() bool) {
+	for !ready() {
+		time.Sleep(50 * time.Millisecond) // want `time\.Sleep inside a loop cannot be cancelled`
+	}
+}
+
+// RetryAfterChan parks on a throwaway timer each round: flagged.
+func RetryAfterChan(try func() error) {
+	for try() != nil {
+		<-time.After(time.Second) // want `bare <-time\.After inside a loop cannot be cancelled`
+	}
+}
+
+// RangeBare sleeps per element: flagged (range loops count too).
+func RangeBare(xs []int) {
+	for range xs {
+		time.Sleep(time.Millisecond) // want `time\.Sleep inside a loop cannot be cancelled`
+	}
+}
+
+// NestedBare reaches the loop through an if: still flagged.
+func NestedBare(ready func() bool, slow bool) {
+	for !ready() {
+		if slow {
+			time.Sleep(time.Second) // want `time\.Sleep inside a loop cannot be cancelled`
+		}
+	}
+}
+
+// PollCtx is the required shape — a timer select that watches
+// ctx.Done(): not flagged.
+func PollCtx(ctx context.Context, ready func() bool) error {
+	for !ready() {
+		t := time.NewTimer(50 * time.Millisecond)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		}
+		t.Stop()
+	}
+	return nil
+}
+
+// OneShot is straight-line code, not a poll loop: not flagged.
+func OneShot() {
+	time.Sleep(time.Millisecond)
+}
+
+// PerIterationGoroutine launches workers from a loop; the nap belongs
+// to the worker body, which has no loop of its own: not flagged.
+func PerIterationGoroutine(n int) {
+	for i := 0; i < n; i++ {
+		go func() {
+			time.Sleep(time.Millisecond)
+		}()
+	}
+}
+
+// WorkerLoopInLiteral is a loop *inside* the literal: flagged.
+func WorkerLoopInLiteral(done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			time.Sleep(time.Millisecond) // want `time\.Sleep inside a loop cannot be cancelled`
+		}
+	}()
+}
+
+// Justified carries a verified suppression: not flagged.
+func Justified(ready func() bool) {
+	for !ready() {
+		time.Sleep(time.Millisecond) //lint:ignore sleeplint startup-only spin with a bounded caller; no ctx exists at this layer
+	}
+}

@@ -10,11 +10,11 @@ package core
 //
 // Canonicalization: CanonicalKey hashes the *materialized* thread
 // bodies (ir.Func.Format()) together with the fields that change the
-// allocation result (mode, nreg, nthd). Workers, timeout and the dump
-// flag are deliberately excluded: the engine's PR-1 determinism
-// contract makes the allocation bit-identical for every worker count,
-// so two requests differing only in those fields may safely share one
-// engine invocation.
+// allocation result (mode, nreg, nthd). Workers, timeout, priority and
+// the dump flag are deliberately excluded: the engine's PR-1
+// determinism contract makes the allocation bit-identical for every
+// worker count, so two requests differing only in those fields may
+// safely share one engine invocation.
 
 import (
 	"crypto/sha256"
@@ -141,6 +141,14 @@ type WireRequest struct {
 	// Dump asks for the rewritten physical-register assembly of every
 	// thread in the response (response-shaping only; not canonical).
 	Dump bool `json:"dump,omitempty"`
+
+	// Priority is the admission class the serving layer's load shedder
+	// routes on: "low", "normal" (the default when empty) or "high".
+	// Under queue pressure low-priority work is refused first, normal
+	// next; high is only refused at the hard capacity bound. Excluded
+	// from the canonical key — priority shapes admission, never the
+	// allocation result.
+	Priority string `json:"priority,omitempty"`
 }
 
 // Validate checks the request's scalar fields against the wire limits.
@@ -172,6 +180,11 @@ func (r *WireRequest) Validate() error {
 	}
 	if r.TimeoutMS < 0 || r.TimeoutMS > WireMaxTimeoutMS {
 		return invalidf("timeout_ms = %d out of range [0, %d]", r.TimeoutMS, WireMaxTimeoutMS)
+	}
+	switch r.Priority {
+	case "", "low", "normal", "high":
+	default:
+		return invalidf("priority %q (want \"low\", \"normal\" or \"high\")", r.Priority)
 	}
 	if r.Workers < 0 {
 		return invalidf("workers = %d negative", r.Workers)

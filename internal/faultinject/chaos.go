@@ -1,0 +1,309 @@
+package faultinject
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Network-level chaos sites. Where the Fire seams above inject faults
+// *inside* the allocation pipeline, these name the failure modes a
+// ChaosProxy injects *between* a client and npserve — the network
+// pathologies a resilient client must absorb. They share the Site
+// namespace so harnesses report pipeline and network faults uniformly.
+const (
+	// SiteNetReset kills the client connection mid-request (TCP RST via
+	// SO_LINGER=0), modeling a dropped peer or an LB failing over.
+	SiteNetReset Site = "net.reset"
+	// SiteNetLatency delays the proxied request, modeling congestion.
+	SiteNetLatency Site = "net.latency"
+	// SiteNetTruncate declares the full Content-Length but writes only
+	// part of the body, modeling a connection cut mid-response (the
+	// client sees an unexpected EOF).
+	SiteNetTruncate Site = "net.truncate"
+	// SiteNetGarble corrupts response-body bytes while keeping the
+	// declared length, modeling payload corruption that only body
+	// validation can catch.
+	SiteNetGarble Site = "net.garble"
+	// SiteNetBurst replaces a run of consecutive responses with 503s,
+	// modeling a backend brown-out.
+	SiteNetBurst Site = "net.5xx_burst"
+)
+
+// NetSites lists the network chaos sites, for harnesses and reports.
+func NetSites() []Site {
+	return []Site{SiteNetReset, SiteNetLatency, SiteNetTruncate, SiteNetGarble, SiteNetBurst}
+}
+
+// ChaosConfig parameterizes a ChaosProxy. Rates are per-request
+// probabilities in [0,1], drawn from a seeded deterministic PRNG: the
+// same seed and request order produce the same fault sequence.
+type ChaosConfig struct {
+	// Seed drives the fault PRNG (default 1).
+	Seed uint64
+
+	// ResetRate is the probability of a TCP reset (SiteNetReset).
+	ResetRate float64
+
+	// LatencyRate and Latency inject a delay before proxying
+	// (SiteNetLatency). The delay still forwards the request.
+	LatencyRate float64
+	Latency     time.Duration
+
+	// TruncateRate cuts the response body short (SiteNetTruncate).
+	TruncateRate float64
+
+	// GarbleRate corrupts response-body bytes (SiteNetGarble).
+	GarbleRate float64
+
+	// BurstEvery and BurstLen schedule 5xx brown-outs (SiteNetBurst):
+	// of every BurstEvery consecutive requests, the first BurstLen are
+	// answered 503 without reaching the backend. 0 disables bursts.
+	BurstEvery int
+	BurstLen   int
+
+	// Client issues the proxied requests (default: 30s-timeout client).
+	Client *http.Client
+}
+
+func (c ChaosConfig) withDefaults() ChaosConfig {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Latency <= 0 {
+		c.Latency = 5 * time.Millisecond
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return c
+}
+
+// ChaosProxy is an http.Handler that forwards requests to a backend
+// while deterministically injecting network faults. Put it behind an
+// httptest.Server (or any listener) and point a client at it; scrape
+// endpoints that must bypass chaos (e.g. /metrics) hit the backend
+// directly.
+type ChaosProxy struct {
+	cfg    ChaosConfig
+	target string
+
+	seq atomic.Uint64 // request sequence number, drives determinism
+
+	mu    sync.Mutex
+	fired map[Site]int64
+	total int64
+}
+
+// NewChaosProxy returns a proxy forwarding to target (a base URL like
+// http://127.0.0.1:8080).
+func NewChaosProxy(target string, cfg ChaosConfig) *ChaosProxy {
+	return &ChaosProxy{
+		cfg:    cfg.withDefaults(),
+		target: target,
+		fired:  make(map[Site]int64),
+	}
+}
+
+// ChaosStats counts requests seen and faults fired per site.
+type ChaosStats struct {
+	Requests int64
+	Fired    map[Site]int64
+}
+
+// Stats snapshots the proxy's fault counters.
+func (p *ChaosProxy) Stats() ChaosStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := ChaosStats{Requests: p.total, Fired: make(map[Site]int64, len(p.fired))}
+	for k, v := range p.fired {
+		out.Fired[k] = v
+	}
+	return out
+}
+
+func (p *ChaosProxy) count(site Site) {
+	p.mu.Lock()
+	p.fired[site]++
+	p.mu.Unlock()
+}
+
+// splitmix64 is the proxy's stateless PRNG step: a well-mixed function
+// of the seed and the request sequence number, so fault decisions are
+// reproducible and independent across draws.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// draw returns a uniform float64 in [0,1) for (seq, lane): each lane is
+// an independent coin for one fault kind.
+func (p *ChaosProxy) draw(seq uint64, lane uint64) float64 {
+	return float64(splitmix64(p.cfg.Seed^(seq*0x100+lane))>>11) / float64(1<<53)
+}
+
+// ServeHTTP decides this request's fault and applies it. At most one
+// fault fires per request (latency excepted — it composes with a clean
+// forward); precedence: burst, reset, truncate/garble (applied after a
+// successful forward), latency.
+func (p *ChaosProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	seq := p.seq.Add(1)
+	p.mu.Lock()
+	p.total++
+	p.mu.Unlock()
+
+	if p.cfg.BurstEvery > 0 && p.cfg.BurstLen > 0 &&
+		int(seq%uint64(p.cfg.BurstEvery)) < p.cfg.BurstLen {
+		p.count(SiteNetBurst)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, `{"error":"chaos: injected 5xx burst (request %d)","kind":"internal"}`, seq)
+		return
+	}
+	if p.draw(seq, 1) < p.cfg.ResetRate {
+		p.count(SiteNetReset)
+		p.reset(w)
+		return
+	}
+	if p.draw(seq, 2) < p.cfg.LatencyRate {
+		p.count(SiteNetLatency)
+		if err := chaosSleep(r.Context(), p.cfg.Latency); err != nil {
+			return // client gave up mid-delay; nothing to answer
+		}
+	}
+
+	status, header, body, err := p.forward(r)
+	if err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadGateway)
+		fmt.Fprintf(w, `{"error":"chaos proxy: backend unreachable: %v","kind":"internal"}`, err)
+		return
+	}
+
+	truncate := p.draw(seq, 3) < p.cfg.TruncateRate
+	garble := !truncate && p.draw(seq, 4) < p.cfg.GarbleRate
+	if garble && len(body) > 0 {
+		p.count(SiteNetGarble)
+		body = garbleBody(body, splitmix64(p.cfg.Seed^seq^0xC0FFEE))
+	}
+
+	for k, vs := range header { //lint:ignore detlint HTTP header write order is not observable to clients
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	// Declare the full length even when about to truncate: the client
+	// must see a mid-body cut, not a clean short response.
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(status)
+	if truncate && len(body) > 1 {
+		p.count(SiteNetTruncate)
+		w.Write(body[:len(body)/2])
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		// Returning with the declared length unmet makes the server cut
+		// the connection; the client reads an unexpected EOF.
+		return
+	}
+	w.Write(body)
+}
+
+// reset tears the client connection down with SO_LINGER=0 so the peer
+// sees a TCP RST (or, failing hijack support, a bare close — still a
+// transport error client-side).
+func (p *ChaosProxy) reset(w http.ResponseWriter) {
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		panic("chaos proxy: ResponseWriter does not support hijacking")
+	}
+	conn, _, err := hj.Hijack()
+	if err != nil {
+		return // connection already gone; the client sees EOF anyway
+	}
+	if tcp, ok := conn.(*net.TCPConn); ok {
+		tcp.SetLinger(0)
+	}
+	conn.Close()
+}
+
+// forward proxies r to the backend and returns the full response.
+func (p *ChaosProxy) forward(r *http.Request) (int, http.Header, []byte, error) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		return 0, nil, nil, fmt.Errorf("reading request body: %w", err)
+	}
+	url := p.target + r.URL.Path
+	if r.URL.RawQuery != "" {
+		url += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	for k, vs := range r.Header { //lint:ignore detlint HTTP header write order is not observable to the backend
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	resp, err := p.cfg.Client.Do(req)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	header := make(http.Header, len(resp.Header))
+	for k, vs := range resp.Header { //lint:ignore detlint HTTP header write order is not observable to clients
+		if k == "Content-Length" {
+			continue // re-derived from the (possibly garbled) body
+		}
+		for _, v := range vs {
+			header.Add(k, v)
+		}
+	}
+	return resp.StatusCode, header, blob, nil
+}
+
+// garbleBody flips a run of bytes in the middle of body, preserving
+// length. The corruption is value-visible (XOR 0xA5) so JSON decoding
+// or checksum validation catches it.
+func garbleBody(body []byte, rnd uint64) []byte {
+	out := make([]byte, len(body))
+	copy(out, body)
+	n := 4 + int(rnd%8)
+	if n > len(out) {
+		n = len(out)
+	}
+	start := int(splitmix64(rnd) % uint64(len(out)-n+1))
+	for i := start; i < start+n; i++ {
+		out[i] ^= 0xA5
+	}
+	return out
+}
+
+// chaosSleep waits d or until ctx is done.
+func chaosSleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

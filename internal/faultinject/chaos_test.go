@@ -1,0 +1,180 @@
+package faultinject
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+const chaosBackendBody = `{"ok":true,"payload":"0123456789abcdef0123456789abcdef"}`
+
+func chaosBackend() *httptest.Server {
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, chaosBackendBody)
+	}))
+}
+
+func chaosFront(t *testing.T, cfg ChaosConfig) (*ChaosProxy, *httptest.Server) {
+	t.Helper()
+	backend := chaosBackend()
+	t.Cleanup(backend.Close)
+	proxy := NewChaosProxy(backend.URL, cfg)
+	front := httptest.NewServer(proxy)
+	t.Cleanup(front.Close)
+	return proxy, front
+}
+
+func TestChaosProxyCleanForward(t *testing.T) {
+	proxy, front := chaosFront(t, ChaosConfig{})
+	resp, err := http.Post(front.URL+"/allocate", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatalf("clean forward: %v", err)
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob) != chaosBackendBody {
+		t.Fatalf("body = %q, want backend body verbatim", blob)
+	}
+	if st := proxy.Stats(); st.Requests != 1 || len(st.Fired) != 0 {
+		t.Fatalf("stats = %+v, want 1 request and no faults", st)
+	}
+}
+
+func TestChaosProxyReset(t *testing.T) {
+	proxy, front := chaosFront(t, ChaosConfig{ResetRate: 1})
+	_, err := http.Post(front.URL+"/allocate", "application/json", strings.NewReader("{}"))
+	if err == nil {
+		t.Fatal("reset fault produced a clean response, want a transport error")
+	}
+	if got := proxy.Stats().Fired[SiteNetReset]; got != 1 {
+		t.Fatalf("reset fired = %d, want 1", got)
+	}
+}
+
+func TestChaosProxyTruncate(t *testing.T) {
+	proxy, front := chaosFront(t, ChaosConfig{TruncateRate: 1})
+	resp, err := http.Post(front.URL+"/allocate", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatalf("headers should arrive before the cut: %v", err)
+	}
+	defer resp.Body.Close()
+	_, err = io.ReadAll(resp.Body)
+	if err == nil {
+		t.Fatal("truncated body read succeeded, want unexpected EOF")
+	}
+	if got := proxy.Stats().Fired[SiteNetTruncate]; got != 1 {
+		t.Fatalf("truncate fired = %d, want 1", got)
+	}
+}
+
+func TestChaosProxyGarble(t *testing.T) {
+	proxy, front := chaosFront(t, ChaosConfig{GarbleRate: 1})
+	resp, err := http.Post(front.URL+"/allocate", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("garbled body must still read cleanly (length preserved): %v", err)
+	}
+	if len(blob) != len(chaosBackendBody) {
+		t.Fatalf("garbled length = %d, want %d (corruption, not truncation)", len(blob), len(chaosBackendBody))
+	}
+	if string(blob) == chaosBackendBody {
+		t.Fatal("garble fault left the body intact")
+	}
+	if got := proxy.Stats().Fired[SiteNetGarble]; got != 1 {
+		t.Fatalf("garble fired = %d, want 1", got)
+	}
+}
+
+func TestChaosProxyBurst(t *testing.T) {
+	// Of every 5 requests, the first 2 (seq%5 in {0,1}) are 503s.
+	proxy, front := chaosFront(t, ChaosConfig{BurstEvery: 5, BurstLen: 2})
+	var codes []int
+	for i := 0; i < 10; i++ {
+		resp, err := http.Post(front.URL+"/allocate", "application/json", strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		codes = append(codes, resp.StatusCode)
+	}
+	fives := 0
+	for _, c := range codes {
+		if c == http.StatusServiceUnavailable {
+			fives++
+		}
+	}
+	if fives != 4 {
+		t.Fatalf("codes = %v: %d bursts over 10 requests, want 4 (2 per 5)", codes, fives)
+	}
+	if got := proxy.Stats().Fired[SiteNetBurst]; got != 4 {
+		t.Fatalf("burst fired = %d, want 4", got)
+	}
+}
+
+func TestChaosProxyLatency(t *testing.T) {
+	proxy, front := chaosFront(t, ChaosConfig{LatencyRate: 1, Latency: 60 * time.Millisecond})
+	start := time.Now()
+	resp, err := http.Post(front.URL+"/allocate", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed < 55*time.Millisecond {
+		t.Fatalf("elapsed = %v, want >= ~60ms of injected latency", elapsed)
+	}
+	if got := proxy.Stats().Fired[SiteNetLatency]; got != 1 {
+		t.Fatalf("latency fired = %d, want 1", got)
+	}
+}
+
+// TestChaosProxyDeterministic runs the same mixed-fault schedule twice
+// with one seed and once with another: same seed → identical fired
+// counts, different seed → a different sequence somewhere.
+func TestChaosProxyDeterministic(t *testing.T) {
+	run := func(seed uint64) map[Site]int64 {
+		backend := chaosBackend()
+		defer backend.Close()
+		proxy := NewChaosProxy(backend.URL, ChaosConfig{
+			Seed: seed, ResetRate: 0.2, TruncateRate: 0.2, GarbleRate: 0.2,
+		})
+		front := httptest.NewServer(proxy)
+		defer front.Close()
+		for i := 0; i < 50; i++ {
+			resp, err := http.Post(front.URL+"/allocate", "application/json", strings.NewReader("{}"))
+			if err != nil {
+				continue // reset faults surface here
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		return proxy.Stats().Fired
+	}
+	a, b, c := run(7), run(7), run(8)
+	for _, site := range NetSites() {
+		if a[site] != b[site] {
+			t.Fatalf("site %s: same seed fired %d vs %d", site, a[site], b[site])
+		}
+	}
+	same := true
+	for _, site := range NetSites() {
+		if a[site] != c[site] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 produced identical fault counts across all sites")
+	}
+}

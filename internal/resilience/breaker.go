@@ -1,0 +1,202 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrBreakerOpen is returned by Breaker.Allow (and wrapped by
+// Client.Post) when the breaker is refusing traffic: the backend has
+// failed enough consecutive attempts that sending more work would only
+// add load to a struggling peer and latency to the caller.
+var ErrBreakerOpen = errors.New("resilience: circuit breaker open")
+
+// BreakerState is the classic three-state circuit-breaker automaton.
+type BreakerState int32
+
+const (
+	// BreakerClosed passes all traffic, counting consecutive failures.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen fails fast; after Cooldown it becomes half-open.
+	BreakerOpen
+	// BreakerHalfOpen admits a bounded budget of probe requests; probe
+	// success closes the breaker, probe failure re-opens it.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("state(%d)", int32(s))
+}
+
+// BreakerConfig parameterizes a Breaker. Zero values take the noted
+// defaults.
+type BreakerConfig struct {
+	// FailureThreshold is the consecutive-failure count that trips
+	// Closed→Open (default 8).
+	FailureThreshold int
+	// Cooldown is how long the breaker stays Open before admitting
+	// probes (default 1s).
+	Cooldown time.Duration
+	// HalfOpenProbes bounds concurrently in-flight probes while
+	// half-open (default 1); further Allow calls are refused.
+	HalfOpenProbes int
+	// ProbeSuccesses is how many probe successes close the breaker
+	// (default 1).
+	ProbeSuccesses int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 8
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 1
+	}
+	if c.ProbeSuccesses <= 0 {
+		c.ProbeSuccesses = 1
+	}
+	return c
+}
+
+// BreakerStats is an observable snapshot of a breaker.
+type BreakerStats struct {
+	State               BreakerState
+	ConsecutiveFailures int
+	ProbesInFlight      int
+	Opens               int64 // Closed/HalfOpen → Open transitions
+	Closes              int64 // HalfOpen → Closed transitions
+	Rejections          int64 // Allow refusals (fail-fast)
+}
+
+// Breaker is a per-backend circuit breaker: Allow gates each attempt,
+// Report feeds its outcome back. Safe for concurrent use.
+type Breaker struct {
+	mu  sync.Mutex
+	cfg BreakerConfig
+
+	state    BreakerState
+	fails    int // consecutive failures while closed
+	openedAt time.Time
+	probes   int // in-flight probes while half-open
+	probeOK  int // probe successes so far this half-open episode
+
+	opens, closes, rejections int64
+
+	now func() time.Time // injectable for tests
+}
+
+// NewBreaker returns a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults(), now: clockNow}
+}
+
+// Allow reports whether an attempt may proceed. A nil return from a
+// half-open breaker takes one probe slot, which the caller MUST release
+// with exactly one Report. Non-nil means fail fast (ErrBreakerOpen).
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return nil
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cfg.Cooldown {
+			b.rejections++
+			return fmt.Errorf("%w: cooling down", ErrBreakerOpen)
+		}
+		// Cooldown elapsed: this caller becomes the first probe.
+		b.state = BreakerHalfOpen
+		b.probes = 1
+		b.probeOK = 0
+		return nil
+	default: // BreakerHalfOpen
+		if b.probes >= b.cfg.HalfOpenProbes {
+			b.rejections++
+			return fmt.Errorf("%w: probe budget in flight", ErrBreakerOpen)
+		}
+		b.probes++
+		return nil
+	}
+}
+
+// Report feeds one attempt's outcome back. While closed it maintains
+// the consecutive-failure count (tripping open at the threshold); while
+// half-open it resolves the probe: success counts toward closing,
+// failure re-opens immediately.
+func (b *Breaker) Report(success bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		if success {
+			b.fails = 0
+			return
+		}
+		b.fails++
+		if b.fails >= b.cfg.FailureThreshold {
+			b.trip()
+		}
+	case BreakerOpen:
+		// A stale report from before the trip; nothing to resolve.
+	default: // BreakerHalfOpen
+		if b.probes > 0 {
+			b.probes--
+		}
+		if !success {
+			b.trip()
+			return
+		}
+		b.probeOK++
+		if b.probeOK >= b.cfg.ProbeSuccesses {
+			b.state = BreakerClosed
+			b.fails = 0
+			b.probes = 0
+			b.probeOK = 0
+			b.closes++
+		}
+	}
+}
+
+// trip moves to Open. Caller holds b.mu.
+func (b *Breaker) trip() {
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.fails = 0
+	b.probes = 0
+	b.probeOK = 0
+	b.opens++
+}
+
+// State returns the current automaton state.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Stats snapshots the breaker's observable counters.
+func (b *Breaker) Stats() BreakerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerStats{
+		State:               b.state,
+		ConsecutiveFailures: b.fails,
+		ProbesInFlight:      b.probes,
+		Opens:               b.opens,
+		Closes:              b.closes,
+		Rejections:          b.rejections,
+	}
+}

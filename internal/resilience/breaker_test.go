@@ -1,0 +1,214 @@
+package resilience
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock gives tests control over the breaker's wall clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestBreaker(cfg BreakerConfig) (*Breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1_000_000, 0)}
+	b := NewBreaker(cfg)
+	b.now = clk.now
+	return b, clk
+}
+
+func TestBreakerTripsAtThreshold(t *testing.T) {
+	b, _ := newTestBreaker(BreakerConfig{FailureThreshold: 3, Cooldown: time.Second})
+
+	for i := 0; i < 2; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("Allow() while closed: %v", err)
+		}
+		b.Report(false)
+		if got := b.State(); got != BreakerClosed {
+			t.Fatalf("after %d failures state = %v, want closed", i+1, got)
+		}
+	}
+
+	// A success resets the consecutive count.
+	if err := b.Allow(); err != nil {
+		t.Fatalf("Allow(): %v", err)
+	}
+	b.Report(true)
+	if got := b.Stats().ConsecutiveFailures; got != 0 {
+		t.Fatalf("consecutive failures after success = %d, want 0", got)
+	}
+
+	// Threshold consecutive failures trip it.
+	for i := 0; i < 3; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("Allow(): %v", err)
+		}
+		b.Report(false)
+	}
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("after threshold failures state = %v, want open", got)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("Allow() while open = %v, want ErrBreakerOpen", err)
+	}
+	if got := b.Stats().Opens; got != 1 {
+		t.Fatalf("opens = %d, want 1", got)
+	}
+}
+
+func TestBreakerHalfOpenProbeSuccessCloses(t *testing.T) {
+	b, clk := newTestBreaker(BreakerConfig{FailureThreshold: 1, Cooldown: time.Second})
+
+	if err := b.Allow(); err != nil {
+		t.Fatalf("Allow(): %v", err)
+	}
+	b.Report(false) // trips immediately
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state = %v, want open", got)
+	}
+
+	// Before the cooldown elapses: still failing fast.
+	clk.advance(500 * time.Millisecond)
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("Allow() mid-cooldown = %v, want ErrBreakerOpen", err)
+	}
+
+	// After the cooldown: one probe is admitted and its success closes.
+	clk.advance(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("Allow() after cooldown = %v, want probe admission", err)
+	}
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", got)
+	}
+	b.Report(true)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after probe success = %v, want closed", got)
+	}
+	if got := b.Stats().Closes; got != 1 {
+		t.Fatalf("closes = %d, want 1", got)
+	}
+}
+
+func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
+	b, clk := newTestBreaker(BreakerConfig{FailureThreshold: 1, Cooldown: time.Second})
+
+	_ = b.Allow()
+	b.Report(false)
+	clk.advance(2 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("Allow() after cooldown: %v", err)
+	}
+	b.Report(false)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after probe failure = %v, want open", got)
+	}
+	// The fresh open episode starts its own cooldown.
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("Allow() after re-open = %v, want ErrBreakerOpen", err)
+	}
+	if got := b.Stats().Opens; got != 2 {
+		t.Fatalf("opens = %d, want 2", got)
+	}
+}
+
+func TestBreakerHalfOpenProbeBudget(t *testing.T) {
+	b, clk := newTestBreaker(BreakerConfig{
+		FailureThreshold: 1,
+		Cooldown:         time.Second,
+		HalfOpenProbes:   2,
+		ProbeSuccesses:   2,
+	})
+
+	_ = b.Allow()
+	b.Report(false)
+	clk.advance(2 * time.Second)
+
+	// Two probe slots, then refusal.
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe 1: %v", err)
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe 2: %v", err)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("probe 3 = %v, want ErrBreakerOpen (budget in flight)", err)
+	}
+
+	// One success is not enough to close at ProbeSuccesses=2...
+	b.Report(true)
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("state after 1/2 probe successes = %v, want half-open", got)
+	}
+	// ...and resolving a probe frees its slot.
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe after slot freed: %v", err)
+	}
+	b.Report(true)
+	b.Report(true)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after 2 probe successes = %v, want closed", got)
+	}
+}
+
+// TestBreakerConcurrentProbes hammers a half-open breaker from many
+// goroutines under -race: the probe budget must never be exceeded and
+// the automaton must end in a legal state.
+func TestBreakerConcurrentProbes(t *testing.T) {
+	b, clk := newTestBreaker(BreakerConfig{
+		FailureThreshold: 1,
+		Cooldown:         time.Millisecond,
+		HalfOpenProbes:   3,
+		ProbeSuccesses:   3,
+	})
+	_ = b.Allow()
+	b.Report(false)
+	clk.advance(time.Second)
+
+	var admitted int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := b.Allow(); err == nil {
+				mu.Lock()
+				admitted++
+				mu.Unlock()
+				b.Report(true)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if admitted == 0 {
+		t.Fatal("no probe admitted after cooldown")
+	}
+	// In-flight probes were bounded by the budget at all times; the
+	// final state must be half-open (still collecting successes) or
+	// closed (enough successes landed).
+	st := b.Stats()
+	if st.ProbesInFlight != 0 {
+		t.Fatalf("probes in flight after all reports = %d, want 0", st.ProbesInFlight)
+	}
+	if st.State != BreakerClosed && st.State != BreakerHalfOpen {
+		t.Fatalf("final state = %v, want closed or half-open", st.State)
+	}
+}

@@ -1,0 +1,10 @@
+package resilience
+
+import "time"
+
+// clockNow is the package's single wall-clock access point. Wall time
+// here drives client-side retry/breaker timing only — it never reaches
+// the allocation engine, so the PR-1 determinism contract (identical
+// requests → bit-identical allocations) is untouched; the jitter PRNG
+// is a seeded splitmix64 (see Client.nextRand), not wall-clock seeded.
+func clockNow() time.Time { return time.Now() } //lint:ignore detlint client-side breaker cooldown and deadline-budget timing; wall time never feeds an allocation decision

@@ -1,0 +1,483 @@
+// Package resilience is the client-side half of the overload story:
+// where internal/serve sheds, hints and fails fast, this package's
+// Client turns those signals (and plain network failure) into eventual
+// success without amplifying the overload.
+//
+//   - Retries with capped exponential backoff and deterministic seeded
+//     jitter. Only transient outcomes are retried — transport errors,
+//     429/5xx, and caller-rejected bodies; 400/422 are the caller's
+//     bug and are never retried (the chaos soak gates on exactly that).
+//   - A 429/503 Retry-After hint is respected: the wait is the larger
+//     of the backoff and the server's hint (capped by RetryAfterCap
+//     and always by ctx), so npserve's backlog-derived hint actually
+//     spaces the herd out.
+//   - Hedging: when an attempt is slower than HedgeAfter, a second
+//     identical request races it; the first result wins and cancels
+//     the loser. Safe here because the service is idempotent by
+//     construction (deterministic allocation + request dedup).
+//   - A per-backend circuit breaker (closed → open → half-open with a
+//     bounded probe budget) fails fast while a backend is down; the
+//     breaker wait is itself retryable, so a call outlives a short
+//     outage. State is observable via BreakerFor/Stats — the
+//     multi-backend router this package is built for routes on it.
+//   - Deadline propagation: each attempt carries the ctx's remaining
+//     budget in X-Deadline-Ms, which internal/serve uses to clamp its
+//     own per-request deadline — one budget across hops.
+//
+// Everything is stdlib; wall time stays on the client side of the
+// engine boundary (see clock.go).
+package resilience
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// ErrExhausted is wrapped by Client.Post when the attempt budget ran
+// out without a terminal answer; the last transient failure rides in
+// the message.
+var ErrExhausted = errors.New("resilience: retry budget exhausted")
+
+// Config parameterizes a Client. Zero values take the noted defaults.
+type Config struct {
+	// Client is the underlying HTTP client (default: plain &http.Client,
+	// per-attempt bounds come from ctx and the server's deadline).
+	Client *http.Client
+
+	// MaxAttempts bounds retry rounds, the first attempt included
+	// (default 4; hedges do not consume rounds).
+	MaxAttempts int
+
+	// BaseBackoff and MaxBackoff shape the capped exponential backoff
+	// between rounds (defaults 50ms and 2s).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+
+	// RetryAfterCap bounds how long a server Retry-After hint is
+	// honored (default 5s) so a pathological hint cannot park the
+	// client; ctx still bounds everything.
+	RetryAfterCap time.Duration
+
+	// Seed drives the deterministic jitter PRNG (default 1). Two
+	// clients with the same seed and call sequence back off
+	// identically — reproducible load tests.
+	Seed uint64
+
+	// HedgeAfter launches a second identical attempt when the first is
+	// still unanswered after this long; first result wins, loser is
+	// cancelled (0 disables hedging).
+	HedgeAfter time.Duration
+
+	// MaxHedges bounds extra hedge attempts per round (default 1).
+	MaxHedges int
+
+	// Breaker parameterizes the per-backend circuit breakers.
+	Breaker BreakerConfig
+
+	// CheckBody, when set, validates a 2xx response body; a non-nil
+	// error marks the attempt failed and retryable (the chaos proxy's
+	// garbled-body site is caught here).
+	CheckBody func(status int, body []byte) error
+
+	// DisableDeadlineHeader turns off X-Deadline-Ms propagation.
+	DisableDeadlineHeader bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 4
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 50 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 2 * time.Second
+	}
+	if c.RetryAfterCap <= 0 {
+		c.RetryAfterCap = 5 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.MaxHedges <= 0 {
+		c.MaxHedges = 1
+	}
+	return c
+}
+
+// Stats aggregates a Client's behavior across calls, for reports and
+// gates. RetriesByTrigger keys: the decimal status code that triggered
+// the retry, "transport", "body" (CheckBody rejection) or "breaker".
+type Stats struct {
+	Calls            int64
+	Attempts         int64 // HTTP requests actually issued (hedges included)
+	Hedges           int64
+	RetriedCalls     int64 // calls that needed at least one retry round
+	Exhausted        int64 // calls that ran out of attempts
+	BreakerRejects   int64 // rounds refused by an open breaker
+	RetriesByTrigger map[string]int64
+}
+
+// Result is one call's terminal outcome.
+type Result struct {
+	Status int
+	Body   []byte
+	Header http.Header
+
+	Attempts int  // HTTP requests issued for this call (hedges included)
+	Retries  int  // retry rounds taken after the first
+	Hedged   bool // at least one hedge was launched
+}
+
+// Client is a resilient HTTP client for idempotent JSON POSTs. Safe
+// for concurrent use.
+type Client struct {
+	cfg Config
+
+	mu       sync.Mutex
+	rng      uint64
+	breakers map[string]*Breaker
+	stats    Stats
+}
+
+// New returns a Client over cfg.
+func New(cfg Config) *Client {
+	cfg = cfg.withDefaults()
+	return &Client{
+		cfg:      cfg,
+		rng:      cfg.Seed,
+		breakers: make(map[string]*Breaker),
+	}
+}
+
+// Stats snapshots the client's aggregate counters.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.RetriesByTrigger = make(map[string]int64, len(c.stats.RetriesByTrigger))
+	for k, v := range c.stats.RetriesByTrigger {
+		s.RetriesByTrigger[k] = v
+	}
+	return s
+}
+
+// BreakerFor returns the circuit breaker guarding rawURL's backend
+// (scheme://host), creating a closed one if none exists yet.
+func (c *Client) BreakerFor(rawURL string) *Breaker {
+	return c.breaker(backendKey(rawURL))
+}
+
+func backendKey(rawURL string) string {
+	u, err := url.Parse(rawURL)
+	if err != nil || u.Host == "" {
+		return rawURL
+	}
+	return u.Scheme + "://" + u.Host
+}
+
+func (c *Client) breaker(key string) *Breaker {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b := c.breakers[key]
+	if b == nil {
+		b = NewBreaker(c.cfg.Breaker)
+		c.breakers[key] = b
+	}
+	return b
+}
+
+// nextRand steps the client's splitmix64 state: deterministic for a
+// given seed and call sequence, no math/rand.
+func (c *Client) nextRand() uint64 {
+	c.mu.Lock()
+	c.rng += 0x9E3779B97F4A7C15
+	z := c.rng
+	c.mu.Unlock()
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+// backoff returns the jittered wait before retry round n (1-based):
+// equal-jitter over a capped exponential — half fixed, half random, so
+// waits neither synchronize into herds nor collapse to zero.
+func (c *Client) backoff(n int) time.Duration {
+	d := c.cfg.BaseBackoff << uint(n-1)
+	if d > c.cfg.MaxBackoff || d <= 0 {
+		d = c.cfg.MaxBackoff
+	}
+	half := d / 2
+	frac := float64(c.nextRand()>>11) / float64(1<<53)
+	return half + time.Duration(frac*float64(half))
+}
+
+// sleepCtx waits d or until ctx is done, whichever is first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// attemptOutcome is one HTTP attempt's result, pre-classification.
+type attemptOutcome struct {
+	status     int
+	body       []byte
+	header     http.Header
+	err        error // transport-level failure
+	retryAfter time.Duration
+}
+
+// retryable reports whether the outcome should be retried and the
+// stats key naming the trigger. 400/422 (and every other non-429 4xx)
+// are terminal by design: retrying a request the server called invalid
+// only doubles the invalid load.
+func (c *Client) retryable(out attemptOutcome) (bool, string) {
+	switch {
+	case out.err != nil:
+		return true, "transport"
+	case out.status == http.StatusTooManyRequests:
+		return true, strconv.Itoa(out.status)
+	case out.status >= 500:
+		return true, strconv.Itoa(out.status)
+	case out.status >= 200 && out.status < 300 && c.cfg.CheckBody != nil:
+		if err := c.cfg.CheckBody(out.status, out.body); err != nil {
+			return true, "body"
+		}
+		return false, ""
+	default:
+		return false, ""
+	}
+}
+
+// Post issues an idempotent POST with retries, hedging, breaker
+// gating and deadline propagation, returning the terminal Result. A
+// non-nil error means no terminal answer: the ctx expired, or the
+// attempt budget ran out (ErrExhausted) — the last Result (if any)
+// is returned alongside for diagnostics.
+func (c *Client) Post(ctx context.Context, rawURL, contentType string, body []byte, hdr http.Header) (*Result, error) {
+	c.mu.Lock()
+	c.stats.Calls++
+	c.mu.Unlock()
+
+	br := c.breaker(backendKey(rawURL))
+	res := &Result{}
+	var last attemptOutcome
+	haveLast := false
+
+	for round := 1; round <= c.cfg.MaxAttempts; round++ {
+		if round > 1 {
+			res.Retries++
+			if res.Retries == 1 {
+				c.mu.Lock()
+				c.stats.RetriedCalls++
+				c.mu.Unlock()
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return c.finish(res, haveLast, last, fmt.Errorf("resilience: ctx done before round %d: %w", round, err))
+		}
+
+		if err := br.Allow(); err != nil {
+			// Breaker open: the round is consumed, but waiting out the
+			// backoff may reach the cooldown and earn a probe slot.
+			c.countRetry("breaker")
+			c.mu.Lock()
+			c.stats.BreakerRejects++
+			c.mu.Unlock()
+			last = attemptOutcome{err: err}
+			haveLast = true
+			if round == c.cfg.MaxAttempts {
+				break
+			}
+			if serr := sleepCtx(ctx, c.backoff(round)); serr != nil {
+				return c.finish(res, haveLast, last, fmt.Errorf("resilience: ctx done while backing off: %w", serr))
+			}
+			continue
+		}
+
+		out := c.attemptHedged(ctx, rawURL, contentType, body, hdr, res)
+		br.Report(c.succeeded(out))
+		last, haveLast = out, true
+
+		retry, trigger := c.retryable(out)
+		if !retry {
+			res.Status = out.status
+			res.Body = out.body
+			res.Header = out.header
+			return res, nil
+		}
+		c.countRetry(trigger)
+		if round == c.cfg.MaxAttempts {
+			break
+		}
+		wait := c.backoff(round)
+		if out.retryAfter > 0 {
+			hint := out.retryAfter
+			if hint > c.cfg.RetryAfterCap {
+				hint = c.cfg.RetryAfterCap
+			}
+			if hint > wait {
+				wait = hint
+			}
+		}
+		if err := sleepCtx(ctx, wait); err != nil {
+			return c.finish(res, haveLast, last, fmt.Errorf("resilience: ctx done while backing off: %w", err))
+		}
+	}
+
+	c.mu.Lock()
+	c.stats.Exhausted++
+	c.mu.Unlock()
+	return c.finish(res, haveLast, last, c.exhaustedErr(last))
+}
+
+// succeeded is the breaker's view of an outcome: a terminal answer
+// (2xx, or a non-retryable client error) means the backend is healthy;
+// transport failures and 5xx/429 mean it is not.
+func (c *Client) succeeded(out attemptOutcome) bool {
+	if out.err != nil {
+		return false
+	}
+	return out.status < 500 && out.status != http.StatusTooManyRequests
+}
+
+func (c *Client) exhaustedErr(last attemptOutcome) error {
+	if last.err != nil {
+		return fmt.Errorf("%w: last attempt: %v", ErrExhausted, last.err)
+	}
+	return fmt.Errorf("%w: last status %d", ErrExhausted, last.status)
+}
+
+// finish packages a no-terminal-answer return: the last observed
+// status/body ride in the Result for diagnostics.
+func (c *Client) finish(res *Result, haveLast bool, last attemptOutcome, err error) (*Result, error) {
+	if haveLast && last.err == nil {
+		res.Status = last.status
+		res.Body = last.body
+		res.Header = last.header
+	}
+	return res, err
+}
+
+func (c *Client) countRetry(trigger string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stats.RetriesByTrigger == nil {
+		c.stats.RetriesByTrigger = make(map[string]int64)
+	}
+	c.stats.RetriesByTrigger[trigger]++
+}
+
+// attemptHedged runs one retry round: the primary attempt, plus — when
+// it is still unanswered after HedgeAfter — up to MaxHedges identical
+// hedge attempts racing it. The first finisher wins and cancels the
+// rest.
+func (c *Client) attemptHedged(ctx context.Context, rawURL, contentType string, body []byte, hdr http.Header, res *Result) attemptOutcome {
+	if c.cfg.HedgeAfter <= 0 {
+		res.Attempts++
+		c.mu.Lock()
+		c.stats.Attempts++
+		c.mu.Unlock()
+		return c.do(ctx, rawURL, contentType, body, hdr)
+	}
+
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	outc := make(chan attemptOutcome, 1+c.cfg.MaxHedges)
+	launch := func() {
+		res.Attempts++
+		c.mu.Lock()
+		c.stats.Attempts++
+		c.mu.Unlock()
+		go func() { outc <- c.do(actx, rawURL, contentType, body, hdr) }()
+	}
+	launch()
+	hedges := 0
+	timer := time.NewTimer(c.cfg.HedgeAfter)
+	defer timer.Stop()
+	for {
+		select {
+		case out := <-outc:
+			// First finisher wins — even a failure: hedging cuts tail
+			// latency; turning failures into successes is retry's job.
+			return out
+		case <-timer.C:
+			if hedges >= c.cfg.MaxHedges {
+				// Budget spent: wait for whichever attempt answers first.
+				out := <-outc
+				return out
+			}
+			hedges++
+			res.Hedged = true
+			c.mu.Lock()
+			c.stats.Hedges++
+			c.mu.Unlock()
+			launch()
+			timer.Reset(c.cfg.HedgeAfter)
+		case <-ctx.Done():
+			return attemptOutcome{err: fmt.Errorf("resilience: %w", ctx.Err())}
+		}
+	}
+}
+
+// do issues one HTTP attempt and reads it fully. Transport errors —
+// including a response body cut short of its declared length — land in
+// attemptOutcome.err.
+func (c *Client) do(ctx context.Context, rawURL, contentType string, body []byte, hdr http.Header) attemptOutcome {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rawURL, bytes.NewReader(body))
+	if err != nil {
+		return attemptOutcome{err: err}
+	}
+	req.Header.Set("Content-Type", contentType)
+	for k, vs := range hdr { //lint:ignore detlint HTTP header write order is not observable to the server
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	if !c.cfg.DisableDeadlineHeader {
+		if deadline, ok := ctx.Deadline(); ok {
+			if remaining := time.Until(deadline); remaining > 0 {
+				req.Header.Set("X-Deadline-Ms", strconv.FormatInt(remaining.Milliseconds()+1, 10))
+			}
+		}
+	}
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return attemptOutcome{err: err}
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return attemptOutcome{err: fmt.Errorf("resilience: reading response body: %w", err)}
+	}
+	out := attemptOutcome{status: resp.StatusCode, body: blob, header: resp.Header}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, perr := strconv.Atoi(ra); perr == nil && secs > 0 {
+			out.retryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return out
+}

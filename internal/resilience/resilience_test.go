@@ -1,0 +1,323 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func fastConfig() Config {
+	return Config{
+		MaxAttempts: 4,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  5 * time.Millisecond,
+		Seed:        42,
+	}
+}
+
+func TestPostRetriesTransientStatuses(t *testing.T) {
+	for _, status := range []int{http.StatusTooManyRequests, http.StatusInternalServerError, http.StatusServiceUnavailable, http.StatusGatewayTimeout} {
+		t.Run(strconv.Itoa(status), func(t *testing.T) {
+			var calls int64
+			srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if atomic.AddInt64(&calls, 1) < 3 {
+					w.WriteHeader(status)
+					return
+				}
+				fmt.Fprint(w, "ok")
+			}))
+			defer srv.Close()
+
+			c := New(fastConfig())
+			res, err := c.Post(context.Background(), srv.URL, "text/plain", []byte("x"), nil)
+			if err != nil {
+				t.Fatalf("Post: %v", err)
+			}
+			if res.Status != http.StatusOK || string(res.Body) != "ok" {
+				t.Fatalf("got status %d body %q, want 200 ok", res.Status, res.Body)
+			}
+			if res.Retries != 2 {
+				t.Fatalf("retries = %d, want 2", res.Retries)
+			}
+			st := c.Stats()
+			if st.RetriesByTrigger[strconv.Itoa(status)] != 2 {
+				t.Fatalf("RetriesByTrigger = %v, want 2 under %d", st.RetriesByTrigger, status)
+			}
+		})
+	}
+}
+
+func TestPostNeverRetriesClientErrors(t *testing.T) {
+	for _, status := range []int{http.StatusBadRequest, http.StatusUnprocessableEntity} {
+		t.Run(strconv.Itoa(status), func(t *testing.T) {
+			var calls int64
+			srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				atomic.AddInt64(&calls, 1)
+				w.WriteHeader(status)
+				fmt.Fprint(w, "nope")
+			}))
+			defer srv.Close()
+
+			c := New(fastConfig())
+			res, err := c.Post(context.Background(), srv.URL, "text/plain", []byte("x"), nil)
+			if err != nil {
+				t.Fatalf("Post: %v", err)
+			}
+			if res.Status != status {
+				t.Fatalf("status = %d, want %d", res.Status, status)
+			}
+			if got := atomic.LoadInt64(&calls); got != 1 {
+				t.Fatalf("server saw %d calls, want exactly 1 — %d must never be retried", got, status)
+			}
+			if res.Retries != 0 {
+				t.Fatalf("retries = %d, want 0", res.Retries)
+			}
+		})
+	}
+}
+
+func TestPostRetriesTransportErrors(t *testing.T) {
+	// A server that closes immediately yields connection-refused
+	// transport errors on every attempt.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	srv.Close()
+
+	cfg := fastConfig()
+	cfg.MaxAttempts = 3
+	c := New(cfg)
+	_, err := c.Post(context.Background(), srv.URL, "text/plain", []byte("x"), nil)
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("err = %v, want ErrExhausted", err)
+	}
+	st := c.Stats()
+	if st.RetriesByTrigger["transport"] != 3 {
+		t.Fatalf("transport retries = %d, want 3 (every attempt failed)", st.RetriesByTrigger["transport"])
+	}
+	if st.Exhausted != 1 {
+		t.Fatalf("exhausted = %d, want 1", st.Exhausted)
+	}
+}
+
+func TestPostHonorsRetryAfter(t *testing.T) {
+	var calls int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if atomic.AddInt64(&calls, 1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		fmt.Fprint(w, "ok")
+	}))
+	defer srv.Close()
+
+	cfg := fastConfig()
+	cfg.RetryAfterCap = 80 * time.Millisecond // hint of 1s is capped here
+	c := New(cfg)
+	start := time.Now()
+	res, err := c.Post(context.Background(), srv.URL, "text/plain", []byte("x"), nil)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("Post: %v", err)
+	}
+	if res.Status != http.StatusOK {
+		t.Fatalf("status = %d, want 200", res.Status)
+	}
+	// The wait must reflect the (capped) hint, not the ~1ms backoff…
+	if elapsed < 70*time.Millisecond {
+		t.Fatalf("elapsed = %v, want >= 70ms (capped Retry-After honored)", elapsed)
+	}
+	// …and the cap must have kept it well under the raw 1s hint.
+	if elapsed > 700*time.Millisecond {
+		t.Fatalf("elapsed = %v, want << 1s (RetryAfterCap applied)", elapsed)
+	}
+}
+
+func TestPostChecksBody(t *testing.T) {
+	var calls int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if atomic.AddInt64(&calls, 1) == 1 {
+			fmt.Fprint(w, "garbled")
+			return
+		}
+		fmt.Fprint(w, "good")
+	}))
+	defer srv.Close()
+
+	cfg := fastConfig()
+	cfg.CheckBody = func(status int, body []byte) error {
+		if string(body) != "good" {
+			return fmt.Errorf("bad body %q", body)
+		}
+		return nil
+	}
+	c := New(cfg)
+	res, err := c.Post(context.Background(), srv.URL, "text/plain", []byte("x"), nil)
+	if err != nil {
+		t.Fatalf("Post: %v", err)
+	}
+	if string(res.Body) != "good" {
+		t.Fatalf("body = %q, want \"good\"", res.Body)
+	}
+	if c.Stats().RetriesByTrigger["body"] != 1 {
+		t.Fatalf("body retries = %v, want 1", c.Stats().RetriesByTrigger)
+	}
+}
+
+func TestPostSetsDeadlineHeader(t *testing.T) {
+	var gotHeader atomic.Value
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotHeader.Store(r.Header.Get("X-Deadline-Ms"))
+		fmt.Fprint(w, "ok")
+	}))
+	defer srv.Close()
+
+	c := New(fastConfig())
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := c.Post(ctx, srv.URL, "text/plain", []byte("x"), nil); err != nil {
+		t.Fatalf("Post: %v", err)
+	}
+	raw, _ := gotHeader.Load().(string)
+	ms, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		t.Fatalf("X-Deadline-Ms = %q, want an integer: %v", raw, err)
+	}
+	if ms <= 0 || ms > 30_000 {
+		t.Fatalf("X-Deadline-Ms = %d, want in (0, 30000]", ms)
+	}
+}
+
+func TestPostBreakerFailsFastThenRecovers(t *testing.T) {
+	var healthy atomic.Bool
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !healthy.Load() {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprint(w, "ok")
+	}))
+	defer srv.Close()
+
+	cfg := fastConfig()
+	cfg.MaxAttempts = 2
+	cfg.Breaker = BreakerConfig{FailureThreshold: 2, Cooldown: 10 * time.Millisecond}
+	c := New(cfg)
+
+	// Two failing attempts in one call trip the per-backend breaker.
+	if _, err := c.Post(context.Background(), srv.URL, "text/plain", []byte("x"), nil); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("err = %v, want ErrExhausted", err)
+	}
+	if got := c.BreakerFor(srv.URL).State(); got != BreakerOpen {
+		t.Fatalf("breaker state = %v, want open", got)
+	}
+
+	// Backend recovers; after the cooldown a probe succeeds and the
+	// breaker closes.
+	healthy.Store(true)
+	time.Sleep(3 * cfg.Breaker.Cooldown)
+	cfg2ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	res, err := c.Post(cfg2ctx, srv.URL, "text/plain", []byte("x"), nil)
+	if err != nil {
+		t.Fatalf("Post after recovery: %v", err)
+	}
+	if res.Status != http.StatusOK {
+		t.Fatalf("status = %d, want 200", res.Status)
+	}
+	if got := c.BreakerFor(srv.URL).State(); got != BreakerClosed {
+		t.Fatalf("breaker state after success = %v, want closed", got)
+	}
+}
+
+func TestPostHedgesSlowAttempts(t *testing.T) {
+	var calls int64
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if atomic.AddInt64(&calls, 1) == 1 {
+			// First attempt hangs until the test ends.
+			select {
+			case <-release:
+			case <-r.Context().Done():
+			}
+			return
+		}
+		fmt.Fprint(w, "hedged")
+	}))
+	defer srv.Close()
+	defer close(release)
+
+	cfg := fastConfig()
+	cfg.HedgeAfter = 10 * time.Millisecond
+	c := New(cfg)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	res, err := c.Post(ctx, srv.URL, "text/plain", []byte("x"), nil)
+	if err != nil {
+		t.Fatalf("Post: %v", err)
+	}
+	if string(res.Body) != "hedged" {
+		t.Fatalf("body = %q, want \"hedged\"", res.Body)
+	}
+	if !res.Hedged || res.Attempts < 2 {
+		t.Fatalf("Hedged=%v Attempts=%d, want hedged with >= 2 attempts", res.Hedged, res.Attempts)
+	}
+	if c.Stats().Hedges != 1 {
+		t.Fatalf("stats hedges = %d, want 1", c.Stats().Hedges)
+	}
+}
+
+func TestBackoffDeterministicAndBounded(t *testing.T) {
+	a := New(Config{Seed: 7, BaseBackoff: 10 * time.Millisecond, MaxBackoff: 100 * time.Millisecond})
+	b := New(Config{Seed: 7, BaseBackoff: 10 * time.Millisecond, MaxBackoff: 100 * time.Millisecond})
+	for n := 1; n <= 8; n++ {
+		da, db := a.backoff(n), b.backoff(n)
+		if da != db {
+			t.Fatalf("round %d: same seed gave %v vs %v", n, da, db)
+		}
+		if da <= 0 || da > 100*time.Millisecond {
+			t.Fatalf("round %d: backoff %v out of (0, MaxBackoff]", n, da)
+		}
+	}
+	// A different seed must diverge somewhere in the sequence.
+	cdiff := New(Config{Seed: 8, BaseBackoff: 10 * time.Millisecond, MaxBackoff: 100 * time.Millisecond})
+	same := true
+	for n := 1; n <= 8; n++ {
+		if a.backoff(n) != cdiff.backoff(n) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 produced identical 8-round backoff sequences")
+	}
+}
+
+func TestPostCtxCancelledMidBackoff(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	cfg := fastConfig()
+	cfg.RetryAfterCap = time.Minute
+	c := New(cfg)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Post(ctx, srv.URL, "text/plain", []byte("x"), nil)
+	if err == nil {
+		t.Fatal("Post succeeded, want ctx-done error")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want to wrap context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("ctx cancellation took %v, want prompt exit from backoff sleep", elapsed)
+	}
+}

@@ -1,0 +1,241 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"npra/internal/core/errs"
+)
+
+// The admission layer. PR 5's single FIFO channel admitted whoever
+// arrived first, which lets one greedy tenant starve everyone behind a
+// full queue. fairQueue replaces it with per-tenant weighted
+// deficit-round-robin (DRR) scheduling plus priority-aware shedding:
+//
+//   - Every tenant (the X-Tenant request header; "default" otherwise)
+//     gets its own FIFO backlog, bounded by a per-tenant cap so a
+//     single tenant cannot consume the whole admission budget.
+//   - The batch collector pops jobs in DRR order: each backlogged
+//     tenant is visited round-robin and served quantum×weight jobs per
+//     visit (unit job cost), so completed work converges to the
+//     configured weight ratio while every contender stays backlogged —
+//     the serving-layer analog of the paper's stance that contenders
+//     are isolated by construction, not by luck.
+//   - Admission sheds by priority before it refuses outright: past
+//     ShedLowFrac of capacity "low" work is refused, past
+//     ShedNormalFrac "normal" follows, and "high" is only refused at
+//     the hard bound. Every refusal is a 429 whose Retry-After is
+//     derived from the live backlog (see retryAfterHint), not a
+//     constant.
+//
+// All refusals wrap errOverload so the flight plumbing above keeps
+// treating them uniformly; the admission reason rides along for
+// metrics.
+type fairQueue struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	capacity   int // global bound on queued jobs
+	tenantCap  int // per-tenant bound
+	shedLow    int // depth at which "low" is refused
+	shedNormal int // depth at which "normal" is refused
+	quantum    int // DRR quantum per visit (unit job cost)
+
+	weights map[string]int // configured tenant weight; absent = 1
+
+	tenants map[string]*tenantQ // tenants with a live backlog
+	ring    []*tenantQ          // round-robin order over backlogged tenants
+	cur     int                 // ring index of the tenant in service
+	size    int
+	closed  bool
+}
+
+// tenantQ is one tenant's FIFO backlog plus its DRR deficit counter.
+type tenantQ struct {
+	name    string
+	weight  int
+	jobs    []*job
+	deficit int
+}
+
+// admission reasons, for metrics and error text.
+const (
+	admitQueueFull  = "queue_full"
+	admitTenantFull = "tenant_full"
+	admitShedLow    = "shed_low"
+	admitShedNormal = "shed_normal"
+	admitClosed     = "closed"
+)
+
+// overloadError is an admission refusal: it wraps errOverload (so every
+// layer above routes it onto HTTP 429 "overload") and carries the
+// refusal reason for the shed/overload metrics.
+type overloadError struct {
+	reason string
+	msg    string
+}
+
+func (e *overloadError) Error() string { return fmt.Sprintf("%s (%s)", e.msg, e.reason) }
+func (e *overloadError) Unwrap() error { return errOverload }
+
+func newFairQueue(capacity, tenantCap, shedLow, shedNormal int, weights map[string]int) *fairQueue {
+	q := &fairQueue{
+		capacity:   capacity,
+		tenantCap:  tenantCap,
+		shedLow:    shedLow,
+		shedNormal: shedNormal,
+		quantum:    1,
+		weights:    weights,
+		tenants:    make(map[string]*tenantQ),
+	}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// weightOf returns the configured weight for tenant (default 1).
+func (q *fairQueue) weightOf(tenant string) int {
+	if w, ok := q.weights[tenant]; ok && w > 0 {
+		return w
+	}
+	return 1
+}
+
+// push admits j under the shedding policy, or returns an
+// *overloadError explaining the refusal. Safe for concurrent use.
+func (q *fairQueue) push(j *job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return &overloadError{reason: admitClosed, msg: "serve: admission queue closed"}
+	}
+	if q.size >= q.capacity {
+		return &overloadError{reason: admitQueueFull, msg: "serve: admission queue full"}
+	}
+	switch j.priority {
+	case "low":
+		if q.size >= q.shedLow {
+			return &overloadError{reason: admitShedLow,
+				msg: fmt.Sprintf("serve: shedding low-priority work at backlog %d", q.size)}
+		}
+	case "high":
+		// High priority rides to the hard capacity bound checked above.
+	default: // "", "normal"
+		if q.size >= q.shedNormal {
+			return &overloadError{reason: admitShedNormal,
+				msg: fmt.Sprintf("serve: shedding normal-priority work at backlog %d", q.size)}
+		}
+	}
+	t := q.tenants[j.tenant]
+	if t == nil {
+		t = &tenantQ{name: j.tenant, weight: q.weightOf(j.tenant)}
+		q.tenants[j.tenant] = t
+	}
+	if len(t.jobs) >= q.tenantCap {
+		return &overloadError{reason: admitTenantFull,
+			msg: fmt.Sprintf("serve: tenant %q backlog full (%d)", j.tenant, len(t.jobs))}
+	}
+	if len(t.jobs) == 0 {
+		q.ring = append(q.ring, t) // joins at the tail of the current round
+	}
+	t.jobs = append(t.jobs, j)
+	q.size++
+	q.cond.Signal()
+	return nil
+}
+
+// pop returns the next job in DRR order. With wait set it blocks until
+// a job arrives or the queue is closed and fully drained; without it,
+// an empty queue returns ok=false immediately (the batch collector's
+// greedy fill). Single consumer (the collector goroutine).
+func (q *fairQueue) pop(wait bool) (*job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.size == 0 {
+		if q.closed || !wait {
+			return nil, false
+		}
+		q.cond.Wait()
+	}
+	t := q.ring[q.cur]
+	if t.deficit < 1 {
+		// New service round for this tenant: replenish by quantum×weight.
+		t.deficit += q.quantum * t.weight
+	}
+	j := t.jobs[0]
+	t.jobs[0] = nil // release the reference for GC
+	t.jobs = t.jobs[1:]
+	t.deficit--
+	q.size--
+	if len(t.jobs) == 0 {
+		// A tenant that empties forfeits its remaining deficit (standard
+		// DRR: no credit hoarding across idle periods) and leaves the
+		// ring until its next push.
+		delete(q.tenants, t.name)
+		q.ring = append(q.ring[:q.cur], q.ring[q.cur+1:]...)
+		if q.cur >= len(q.ring) {
+			q.cur = 0
+		}
+	} else if t.deficit < 1 {
+		q.cur = (q.cur + 1) % len(q.ring)
+	}
+	return j, true
+}
+
+// close stops admission; jobs already queued still drain through pop.
+func (q *fairQueue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}
+
+// depth returns the total backlog.
+func (q *fairQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size
+}
+
+// tenantDepths snapshots the per-tenant backlog, sorted by tenant name
+// for deterministic rendering.
+func (q *fairQueue) tenantDepths() []tenantDepth {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]tenantDepth, 0, len(q.tenants))
+	for name, t := range q.tenants {
+		out = append(out, tenantDepth{Tenant: name, Depth: len(t.jobs)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}
+
+// tenantDepth is one tenant's live backlog, for metrics snapshots.
+type tenantDepth struct {
+	Tenant string
+	Depth  int
+}
+
+// ParseTenantWeights parses a "tenant=weight,tenant=weight" flag value
+// into a Config.TenantWeights map. Empty input yields a nil map (all
+// tenants weigh 1).
+func ParseTenantWeights(s string) (map[string]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	out := make(map[string]int)
+	for _, pair := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || name == "" {
+			return nil, errs.Invalidf("serve: tenant weight %q (want tenant=weight)", pair)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 1 {
+			return nil, errs.Invalidf("serve: tenant %q weight %q (want a positive integer)", name, val)
+		}
+		out[name] = w
+	}
+	return out, nil
+}

@@ -41,14 +41,26 @@ type Metrics struct {
 	overloads int64 // requests refused with 429
 	drains    int64 // requests refused with 503 (draining)
 
+	sheds           map[string]int64 // admission-refusal reason -> count (shed_low, shed_normal, queue_full, tenant_full)
+	tenantAdmit     map[string]int64 // tenant -> requests entering the pipeline (leader or in-flight join)
+	tenantComplete  map[string]int64 // tenant -> requests answered 200
+	tenantOverloads map[string]int64 // tenant -> requests refused 429
+
+	svcEWMANS float64 // exponentially weighted moving average of per-job engine service time
+	jobsDone  int64   // engine jobs measured into the EWMA
+
 	solveCache intra.CacheStats // engine Solve-point cache, summed over invocations
 	phases     intra.PhaseStats // engine per-phase timings, summed over invocations
 }
 
 func newMetrics() *Metrics {
 	return &Metrics{
-		requests: make(map[int]int64),
-		latency:  make([]int64, len(latencyBucketsMS)+1),
+		requests:        make(map[int]int64),
+		latency:         make([]int64, len(latencyBucketsMS)+1),
+		sheds:           make(map[string]int64),
+		tenantAdmit:     make(map[string]int64),
+		tenantComplete:  make(map[string]int64),
+		tenantOverloads: make(map[string]int64),
 	}
 }
 
@@ -83,10 +95,52 @@ func (m *Metrics) join(kind joinKind) {
 	}
 }
 
-func (m *Metrics) overload() {
+// overloadReason records one 429 refusal with its admission reason
+// (queue_full, tenant_full, shed_low, shed_normal, closed) and tenant.
+func (m *Metrics) overloadReason(tenant, reason string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.overloads++
+	m.sheds[reason]++
+	m.tenantOverloads[tenant]++
+}
+
+// tenantAdmitted records one request entering the allocation pipeline
+// for tenant (leading a flight or joining one in flight).
+func (m *Metrics) tenantAdmitted(tenant string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tenantAdmit[tenant]++
+}
+
+// tenantCompleted records one 200 answered for tenant.
+func (m *Metrics) tenantCompleted(tenant string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tenantComplete[tenant]++
+}
+
+// jobDone folds one engine job's wall duration into the service-time
+// EWMA that the adaptive Retry-After derivation reads (α = 0.2: a few
+// dozen jobs dominate, old history decays).
+func (m *Metrics) jobDone(d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobsDone++
+	ns := float64(d.Nanoseconds())
+	if m.jobsDone == 1 {
+		m.svcEWMANS = ns
+		return
+	}
+	m.svcEWMANS = 0.8*m.svcEWMANS + 0.2*ns
+}
+
+// serviceEWMA returns the smoothed per-job engine service time (0
+// before the first job completes).
+func (m *Metrics) serviceEWMA() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return time.Duration(m.svcEWMANS)
 }
 
 func (m *Metrics) drainRefusal() {
@@ -138,6 +192,22 @@ type Snapshot struct {
 	Overloads int64
 	Drains    int64
 
+	// Sheds maps each admission-refusal reason (shed_low, shed_normal,
+	// queue_full, tenant_full) to its 429 count; the per-tenant maps
+	// break admissions, completions, refusals and live backlog out by
+	// X-Tenant.
+	Sheds            map[string]int64
+	TenantAdmitted   map[string]int64
+	TenantCompleted  map[string]int64
+	TenantOverloads  map[string]int64
+	TenantQueueDepth map[string]int
+
+	// ServiceEWMA is the smoothed per-job engine service time feeding
+	// the adaptive Retry-After hint; RetryAfterS is that hint as of the
+	// snapshot.
+	ServiceEWMA time.Duration
+	RetryAfterS int
+
 	QueueDepth int
 
 	SolveCache intra.CacheStats
@@ -165,11 +235,17 @@ func (s *Snapshot) SingleflightHitRate() float64 {
 	return float64(s.SingleflightHits()) / float64(total)
 }
 
-func (m *Metrics) snapshot(queueDepth int, fc funccache.Stats, bc funccache.BodyStats) *Snapshot {
+func (m *Metrics) snapshot(queueDepth int, tenants []tenantDepth, fc funccache.Stats, bc funccache.BodyStats) *Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := &Snapshot{
 		Requests:                 make(map[int]int64, len(m.requests)),
+		Sheds:                    copyCounts(m.sheds),
+		TenantAdmitted:           copyCounts(m.tenantAdmit),
+		TenantCompleted:          copyCounts(m.tenantComplete),
+		TenantOverloads:          copyCounts(m.tenantOverloads),
+		TenantQueueDepth:         make(map[string]int, len(tenants)),
+		ServiceEWMA:              time.Duration(m.svcEWMANS),
 		LatencyCount:             m.latCount,
 		LatencySumNS:             m.latSumNS,
 		SingleflightInflightHits: m.sfInflightHits,
@@ -190,14 +266,26 @@ func (m *Metrics) snapshot(queueDepth int, fc funccache.Stats, bc funccache.Body
 	for code, n := range m.requests {
 		s.Requests[code] = n
 	}
+	for _, td := range tenants {
+		s.TenantQueueDepth[td.Tenant] = td.Depth
+	}
 	return s
+}
+
+// copyCounts clones a counter map for a snapshot.
+func copyCounts(src map[string]int64) map[string]int64 {
+	dst := make(map[string]int64, len(src))
+	for k, v := range src {
+		dst[k] = v
+	}
+	return dst
 }
 
 // render writes the text exposition format: one "name value" line per
 // counter, Prometheus-style labels for the few multi-dimensional ones.
 // Output is fully deterministic (sorted codes, fixed bucket and phase
 // order).
-func (m *Metrics) render(queueDepth int, fc funccache.Stats, bc funccache.BodyStats) string {
+func (m *Metrics) render(queueDepth int, tenants []tenantDepth, fc funccache.Stats, bc funccache.BodyStats) string {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -237,6 +325,23 @@ func (m *Metrics) render(queueDepth int, fc funccache.Stats, bc funccache.BodySt
 	fmt.Fprintf(&b, "npserve_drain_refusals_total %d\n", m.drains)
 	fmt.Fprintf(&b, "npserve_queue_depth %d\n", queueDepth)
 
+	for _, reason := range sortedKeys(m.sheds) {
+		fmt.Fprintf(&b, "npserve_shed_total{reason=%q} %d\n", reason, m.sheds[reason])
+	}
+	for _, tn := range sortedKeys(m.tenantAdmit) {
+		fmt.Fprintf(&b, "npserve_tenant_admitted_total{tenant=%q} %d\n", tn, m.tenantAdmit[tn])
+	}
+	for _, tn := range sortedKeys(m.tenantComplete) {
+		fmt.Fprintf(&b, "npserve_tenant_completed_total{tenant=%q} %d\n", tn, m.tenantComplete[tn])
+	}
+	for _, tn := range sortedKeys(m.tenantOverloads) {
+		fmt.Fprintf(&b, "npserve_tenant_overload_total{tenant=%q} %d\n", tn, m.tenantOverloads[tn])
+	}
+	for _, td := range tenants {
+		fmt.Fprintf(&b, "npserve_tenant_queue_depth{tenant=%q} %d\n", td.Tenant, td.Depth)
+	}
+	fmt.Fprintf(&b, "npserve_service_time_ewma_ms %.3f\n", m.svcEWMANS/1e6)
+
 	fmt.Fprintf(&b, "npserve_solve_cache_hits %d\n", m.solveCache.Hits)
 	fmt.Fprintf(&b, "npserve_solve_cache_misses %d\n", m.solveCache.Misses)
 	fmt.Fprintf(&b, "npserve_solve_cache_hit_rate %.4f\n", m.solveCache.HitRate())
@@ -271,6 +376,17 @@ func (m *Metrics) render(queueDepth int, fc funccache.Stats, bc funccache.BodySt
 	fmt.Fprintf(&b, "npserve_engine_chain_steps %d\n", m.phases.ChainSteps)
 	fmt.Fprintf(&b, "npserve_engine_trials %d\n", m.phases.Trials)
 	return b.String()
+}
+
+// sortedKeys returns the map's keys in ascending order, for
+// deterministic rendering.
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 func rate(hits, misses int64) float64 {

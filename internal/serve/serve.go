@@ -3,8 +3,14 @@
 //
 // The request path composes three layers in front of one engine:
 //
-//	admission  — a bounded queue; a full queue refuses immediately with
-//	             429 + Retry-After instead of building unbounded backlog.
+//	admission  — a bounded, per-tenant fair queue (weighted deficit
+//	             round robin over the X-Tenant header) with priority-
+//	             aware shedding: under pressure low-priority work is
+//	             refused first, then normal, and only at the hard bound
+//	             high — each refusal a 429 whose Retry-After is derived
+//	             from the live backlog and observed service rate. An
+//	             upstream deadline budget (X-Deadline-Ms) clamps the
+//	             per-request context so it survives the hop.
 //	dedup      — requests are canonicalized and hashed (core.WireRequest.
 //	             CanonicalKey); identical requests share one engine
 //	             invocation, whether they overlap in flight
@@ -90,12 +96,33 @@ type Config struct {
 	// source / re-generating progen specs seen before.
 	BodyCacheEntries int
 
-	// RetryAfter is the client backoff hint attached to 429/503
-	// responses (default 1s, rounded up to whole seconds on the wire).
+	// RetryAfter is the *floor* of the client backoff hint attached to
+	// 429/503 responses (default 1s, rounded up to whole seconds on the
+	// wire). The actual hint is derived from the live backlog and the
+	// observed per-job service time — see retryAfterHint.
 	RetryAfter time.Duration
 
 	// MaxBodyBytes bounds a request body (default 1 MiB).
 	MaxBodyBytes int64
+
+	// MaxTenantQueue bounds one tenant's share of the admission queue
+	// (default MaxQueue — no isolation until set lower). With N rival
+	// tenants, setting this near MaxQueue/N keeps any single tenant
+	// from consuming the whole admission budget.
+	MaxTenantQueue int
+
+	// TenantWeights assigns DRR weights to tenants (the X-Tenant
+	// request header; "default" otherwise). Absent tenants weigh 1.
+	// While two tenants both stay backlogged, their completed work
+	// converges to the weight ratio.
+	TenantWeights map[string]int
+
+	// ShedLowFrac and ShedNormalFrac are the backlog fractions (of
+	// MaxQueue) past which low- and normal-priority requests are shed
+	// with 429 (defaults 0.5 and 0.85; high priority is refused only at
+	// the hard MaxQueue bound). Negative disables that shed tier.
+	ShedLowFrac    float64
+	ShedNormalFrac float64
 }
 
 func (c Config) withDefaults() Config {
@@ -141,7 +168,29 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes == 0 {
 		c.MaxBodyBytes = 1 << 20
 	}
+	if c.MaxTenantQueue <= 0 || c.MaxTenantQueue > c.MaxQueue {
+		c.MaxTenantQueue = c.MaxQueue
+	}
+	if c.ShedLowFrac == 0 {
+		c.ShedLowFrac = 0.5
+	}
+	if c.ShedNormalFrac == 0 {
+		c.ShedNormalFrac = 0.85
+	}
 	return c
+}
+
+// shedDepth converts a shed fraction into an absolute backlog depth:
+// negative fractions disable the tier (refusal only at capacity).
+func shedDepth(frac float64, capacity int) int {
+	if frac < 0 || frac >= 1 {
+		return capacity
+	}
+	d := int(frac * float64(capacity))
+	if d < 1 {
+		d = 1
+	}
+	return d
 }
 
 // Response is the transport envelope npserve returns on success: the
@@ -164,12 +213,32 @@ type Response struct {
 
 // job is one leader request queued for the engine.
 type job struct {
-	req    *core.WireRequest
-	funcs  []*ir.Func
-	ctx    context.Context // detached from the client connection; carries the request deadline
-	cancel context.CancelFunc
-	fl     *flight
+	req      *core.WireRequest
+	funcs    []*ir.Func
+	tenant   string // admission tenant (X-Tenant header; "default" otherwise)
+	priority string // admission class ("", "low", "normal", "high")
+	ctx      context.Context // detached from the client connection; carries the request deadline
+	cancel   context.CancelFunc
+	fl       *flight
 }
+
+// Request headers the admission layer reads.
+const (
+	// TenantHeader names the admission tenant for fair queuing.
+	TenantHeader = "X-Tenant"
+	// DeadlineHeader carries an upstream caller's remaining deadline
+	// budget in milliseconds; it clamps the per-request context so the
+	// budget survives the hop (a hop-by-hop deadline, not a timestamp —
+	// immune to clock skew between hops).
+	DeadlineHeader = "X-Deadline-Ms"
+
+	// defaultTenant is the admission tenant of requests without an
+	// X-Tenant header.
+	defaultTenant = "default"
+	// maxTenantLen bounds the tenant header (metric-label cardinality
+	// and memory are keyed by it).
+	maxTenantLen = 64
+)
 
 // errOverload resolves flights abandoned at admission; it wraps nothing
 // from the taxonomy because it maps to its own wire kind ("overload").
@@ -189,7 +258,7 @@ type Server struct {
 	fcache *funccache.Cache
 	bodies *funccache.BodyCache
 
-	queue chan *job
+	queue *fairQueue
 
 	// admit gates request admission against drain: every in-flight
 	// allocation request holds a read lock; Drain sets draining and
@@ -218,7 +287,13 @@ func New(cfg Config) *Server {
 	if s.cfg.BodyCacheEntries > 0 {
 		s.bodies = funccache.NewBodyCache(s.cfg.BodyCacheEntries)
 	}
-	s.queue = make(chan *job, s.cfg.MaxQueue)
+	s.queue = newFairQueue(
+		s.cfg.MaxQueue,
+		s.cfg.MaxTenantQueue,
+		shedDepth(s.cfg.ShedLowFrac, s.cfg.MaxQueue),
+		shedDepth(s.cfg.ShedNormalFrac, s.cfg.MaxQueue),
+		s.cfg.TenantWeights,
+	)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/allocate", s.handleAllocate)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -234,7 +309,9 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Metrics returns a snapshot of the serving counters.
 func (s *Server) Metrics() *Snapshot {
 	fc, bc := s.cacheStats()
-	return s.metrics.snapshot(len(s.queue), fc, bc)
+	snap := s.metrics.snapshot(s.queue.depth(), s.queue.tenantDepths(), fc, bc)
+	snap.RetryAfterS = retryAfterHint(snap.QueueDepth, snap.ServiceEWMA, s.cfg.RetryAfter)
+	return snap
 }
 
 // cacheStats snapshots the optional function/body caches (zero stats
@@ -262,7 +339,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	go func() {
 		s.admit.Lock() // waits for every admitted request to finish
 		defer s.admit.Unlock()
-		s.closeQueue.Do(func() { close(s.queue) })
+		s.closeQueue.Do(s.queue.close)
 		<-s.batcherDone // the collector drains jobs already queued
 		close(done)
 	}()
@@ -291,7 +368,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fc, bc := s.cacheStats()
-	io.WriteString(w, s.metrics.render(len(s.queue), fc, bc))
+	io.WriteString(w, s.metrics.render(s.queue.depth(), s.queue.tenantDepths(), fc, bc))
 }
 
 func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
@@ -344,6 +421,14 @@ func (s *Server) allocate(r *http.Request, start time.Time) (int, any) {
 	if req.NReg == 0 {
 		req.NReg = s.cfg.NReg
 	}
+	tenant := r.Header.Get(TenantHeader)
+	if tenant == "" {
+		tenant = defaultTenant
+	}
+	if len(tenant) > maxTenantLen {
+		return http.StatusBadRequest, &core.WireError{
+			Error: fmt.Sprintf("%s header exceeds %d bytes", TenantHeader, maxTenantLen), Kind: "invalid"}
+	}
 	funcs, err := req.FuncsCached(s.compiledBodies())
 	if err != nil {
 		return statusOf(err), &core.WireError{Error: err.Error(), Kind: core.ErrorKind(err)}
@@ -355,6 +440,23 @@ func (s *Server) allocate(r *http.Request, start time.Time) (int, any) {
 	}
 	if deadline > s.cfg.MaxTimeout {
 		deadline = s.cfg.MaxTimeout
+	}
+	// Deadline propagation: an upstream caller's remaining budget
+	// (X-Deadline-Ms) clamps the per-request deadline, so a chain of
+	// hops shares one budget instead of each hop restarting the clock.
+	if h := r.Header.Get(DeadlineHeader); h != "" {
+		ms, perr := strconv.ParseInt(h, 10, 64)
+		if perr != nil {
+			return http.StatusBadRequest, &core.WireError{
+				Error: fmt.Sprintf("bad %s header %q: %v", DeadlineHeader, h, perr), Kind: "invalid"}
+		}
+		if ms <= 0 {
+			return http.StatusGatewayTimeout, &core.WireError{
+				Error: "upstream deadline budget already exhausted", Kind: "timeout"}
+		}
+		if d := time.Duration(ms) * time.Millisecond; d < deadline {
+			deadline = d
+		}
 	}
 	hctx, hcancel := context.WithTimeout(r.Context(), deadline)
 	defer hcancel()
@@ -376,8 +478,11 @@ func (s *Server) allocate(r *http.Request, start time.Time) (int, any) {
 	} else {
 		key = req.CanonicalKey(funcs)
 	}
-	fl, kind := s.joinOrEnqueue(key, &req, funcs, deadline)
+	fl, kind := s.joinOrEnqueue(key, &req, funcs, tenant, deadline)
 	s.metrics.join(kind)
+	if kind == joinLeader || kind == joinInflight {
+		s.metrics.tenantAdmitted(tenant)
+	}
 	if kind != joinCached {
 		select {
 		case <-fl.done:
@@ -386,12 +491,18 @@ func (s *Server) allocate(r *http.Request, start time.Time) (int, any) {
 		}
 	}
 	if fl.err != nil {
+		var oe *overloadError
+		if errors.As(fl.err, &oe) {
+			s.metrics.overloadReason(tenant, oe.reason)
+			return http.StatusTooManyRequests, &core.WireError{Error: fl.err.Error(), Kind: "overload"}
+		}
 		if errors.Is(fl.err, errOverload) {
-			s.metrics.overload()
+			s.metrics.overloadReason(tenant, admitQueueFull)
 			return http.StatusTooManyRequests, &core.WireError{Error: fl.err.Error(), Kind: "overload"}
 		}
 		return statusOf(fl.err), &core.WireError{Error: fl.err.Error(), Kind: core.ErrorKind(fl.err)}
 	}
+	s.metrics.tenantCompleted(tenant)
 	resp := &Response{
 		WireResponse: *fl.alloc.Wire(req.Dump),
 		Shared:       kind != joinLeader,
@@ -405,8 +516,9 @@ func (s *Server) allocate(r *http.Request, start time.Time) (int, any) {
 // joinOrEnqueue joins the flight for key and, when this request leads
 // it, enqueues the engine job — atomically with respect to other
 // joiners, so an admission refusal resolves the flight for everyone who
-// raced onto it.
-func (s *Server) joinOrEnqueue(key string, req *core.WireRequest, funcs []*ir.Func, deadline time.Duration) (*flight, joinKind) {
+// raced onto it. Admission applies the fair queue's shedding policy:
+// per-tenant depth caps and priority-tiered backlog thresholds.
+func (s *Server) joinOrEnqueue(key string, req *core.WireRequest, funcs []*ir.Func, tenant string, deadline time.Duration) (*flight, joinKind) {
 	s.flightMu.Lock()
 	fl, kind := s.fg.join(key)
 	if kind != joinLeader {
@@ -417,48 +529,44 @@ func (s *Server) joinOrEnqueue(key string, req *core.WireRequest, funcs []*ir.Fu
 	// other than the leader may still need the result after the leader
 	// disconnects. The request deadline still applies.
 	jctx, jcancel := context.WithTimeout(context.Background(), deadline)
-	j := &job{req: req, funcs: funcs, ctx: jctx, cancel: jcancel, fl: fl}
-	select {
-	case s.queue <- j:
-		s.flightMu.Unlock()
-	default:
+	j := &job{req: req, funcs: funcs, tenant: tenant, priority: req.Priority,
+		ctx: jctx, cancel: jcancel, fl: fl}
+	if err := s.queue.push(j); err != nil {
 		s.fg.abandon(fl)
-		fl.err = errOverload
+		fl.err = err
 		s.flightMu.Unlock()
 		close(fl.done)
 		jcancel()
+	} else {
+		s.flightMu.Unlock()
 	}
 	return fl, kind
 }
 
-// batcher is the collector goroutine: it pulls the next job, greedily
-// drains whatever else is immediately queued (up to MaxBatch), and runs
-// the batch as one engine invocation. It exits when the queue is closed
-// and fully drained (during Drain, after all admitted requests finish).
+// batcher is the collector goroutine: it pulls the next job in DRR
+// order, greedily drains whatever else is immediately queued (up to
+// MaxBatch, still in DRR order — so a batch interleaves tenants the
+// same way serial draining would), and runs the batch as one engine
+// invocation. It exits when the queue is closed and fully drained
+// (during Drain, after all admitted requests finish).
 func (s *Server) batcher() {
 	defer close(s.batcherDone)
-	for j := range s.queue {
+	for {
+		j, ok := s.queue.pop(true)
+		if !ok {
+			return
+		}
 		batch := make([]*job, 1, s.cfg.MaxBatch)
 		batch[0] = j
-		batch = s.fill(batch)
-		s.runBatch(batch)
-	}
-}
-
-// fill greedily extends batch with jobs already sitting in the queue.
-func (s *Server) fill(batch []*job) []*job {
-	for len(batch) < s.cfg.MaxBatch {
-		select {
-		case j, ok := <-s.queue:
+		for len(batch) < s.cfg.MaxBatch {
+			j, ok := s.queue.pop(false)
 			if !ok {
-				return batch
+				break
 			}
 			batch = append(batch, j)
-		default:
-			return batch
 		}
+		s.runBatch(batch)
 	}
-	return batch
 }
 
 // runBatch executes one engine invocation over the batch. A lone job
@@ -487,6 +595,7 @@ func (s *Server) compiledBodies() core.CompiledBodies {
 
 func (s *Server) runJob(j *job, workers, batched int) {
 	defer j.cancel()
+	jobStart := now()
 	cfg := core.Config{NReg: j.req.NReg, Workers: workers}
 	if s.fcache != nil {
 		cfg.FuncCache = s.fcache
@@ -498,6 +607,7 @@ func (s *Server) runJob(j *job, workers, batched int) {
 	} else {
 		alloc, err = core.AllocateARACtx(j.ctx, j.funcs, cfg)
 	}
+	s.metrics.jobDone(since(jobStart))
 	if alloc != nil {
 		s.metrics.engineResult(alloc.SolveCache, alloc.Phases, alloc.Degraded)
 	}
@@ -523,8 +633,25 @@ func statusOf(err error) int {
 	}
 }
 
+// retryAfterSeconds derives the Retry-After hint from the live backlog:
+// the estimated time to drain the current queue at the observed per-job
+// service rate, floored by cfg.RetryAfter. A deeper queue tells clients
+// to stay away longer — the PR-5 constant told every client to hammer
+// back after exactly one second regardless of pressure.
 func (s *Server) retryAfterSeconds() int {
-	secs := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+	return retryAfterHint(s.queue.depth(), s.metrics.serviceEWMA(), s.cfg.RetryAfter)
+}
+
+// retryAfterHint is the pure form of the Retry-After derivation:
+// ceil(max(floor, (depth+1) × perJob)) in whole seconds, never below
+// 1s (the wire unit). It is monotonically non-decreasing in depth and
+// in perJob — the property TestRetryAfterMonotone pins.
+func retryAfterHint(depth int, perJob, floor time.Duration) int {
+	est := time.Duration(depth+1) * perJob
+	if est < floor {
+		est = floor
+	}
+	secs := int((est + time.Second - 1) / time.Second)
 	if secs < 1 {
 		secs = 1
 	}
