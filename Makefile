@@ -13,10 +13,10 @@ vet:
 
 # The npravet invariant suite (internal/analyzers): determinism
 # (detlint), error taxonomy (errtaxonomy), panic-freedom (panicfree),
-# context plumbing (ctxplumb), scratch-pool aliasing (poolalias) and
-# function-cache aliasing (cachealias), plus verification of the
-# //lint: directives themselves. See
-# docs/INTERNALS.md "Static invariants & linting".
+# context plumbing (ctxplumb), scratch-pool aliasing (poolalias),
+# function-cache aliasing (cachealias) and frozen rewrite-body
+# mutation (frozenfunc), plus verification of the //lint: directives
+# themselves. See docs/INTERNALS.md "Static invariants & linting".
 .PHONY: lint
 lint:
 	$(GO) run ./cmd/npravet ./...
@@ -56,6 +56,7 @@ bench:
 .PHONY: benchcmp
 benchcmp:
 	$(GO) test $(BENCH_ARGS) -count 3 | $(GO) run ./internal/tools/benchcmp -baseline BENCH_alloc.json
+	$(GO) run ./cmd/npbench -phases -funccache -packets 16 -max-warm-rewrite-share 0.4
 
 # The serving-layer benchmark: nploadgen drives an in-process npserve at
 # duplicate-ratio 0.5 for 10s and writes the latency/dedup report to
@@ -72,11 +73,14 @@ serve-bench:
 # baseline server and a warm one. Gated on the ISSUE-6 acceptance
 # criteria: warm-phase function-cache hit rate >= 0.9 and warm p99 at
 # least 2x better than the cold baseline recorded in the same run.
+# ISSUE-8 adds the rewrite-tier gate: the uncached rewrite phase may
+# take at most 40% of warm-phase engine time (it was ~91% before the
+# rewrite-result cache).
 .PHONY: serve-bench-mix
 serve-bench-mix:
 	$(GO) run ./cmd/nploadgen -inprocess -kernel-mix -requests 200 -c 4 \
 		-max-5xx 0 -min-funccache-hit 0.9 -min-p99-speedup 2 \
-		-report BENCH_serve_mix.json
+		-max-rewrite-share 0.4 -report BENCH_serve_mix.json
 
 # The chaos soak: a fault-injecting proxy (TCP resets, latency,
 # truncated/garbled bodies, 5xx bursts) in front of an in-process

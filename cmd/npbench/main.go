@@ -43,6 +43,8 @@ func main() {
 		list       = flag.Bool("list", false, "list built-in benchmarks")
 		phases     = flag.Bool("phases", false, "run a pressured ARA allocation and print the per-phase timing breakdown")
 		funccacheP = flag.Bool("funccache", false, "with -phases: run the allocation twice through a function cache (cold, then warm) and report the warm speedup")
+		rewEntries = flag.Int("rewritecache-entries", 1024, "with -phases -funccache: rewrite-result cache entries (negative disables the rewrite tier)")
+		maxRWShare = flag.Float64("max-warm-rewrite-share", 0, "with -phases -funccache: fail unless the warm run's rewrite+rewrite_cached share of wall-clock stays at or below this fraction (0 disables the gate)")
 		packets    = flag.Int("packets", experiments.DefaultPackets, "packets per thread")
 		jobs       = flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for experiment fan-out (1 = serial; results are identical for any value)")
 		timeout    = flag.Duration("timeout", 0, "per-allocation deadline (0 = none); expired allocations abort the experiment rather than report fallback numbers")
@@ -81,7 +83,7 @@ func main() {
 		defer rtrace.Stop()
 	}
 
-	err := run(*table, *figure, *ablations, *scaling, *all, *list, *phases, *funccacheP, *packets)
+	err := run(*table, *figure, *ablations, *scaling, *all, *list, *phases, *funccacheP, *packets, *rewEntries, *maxRWShare)
 
 	if *memprofile != "" {
 		f, ferr := os.Create(*memprofile)
@@ -107,7 +109,7 @@ func main() {
 	}
 }
 
-func run(table, figure int, ablations, scaling, all, list, phases, funccacheP bool, packets int) error {
+func run(table, figure int, ablations, scaling, all, list, phases, funccacheP bool, packets, rewEntries int, maxRWShare float64) error {
 	if list {
 		fmt.Println("built-in benchmarks:")
 		for _, b := range bench.All() {
@@ -116,7 +118,7 @@ func run(table, figure int, ablations, scaling, all, list, phases, funccacheP bo
 		return nil
 	}
 	if phases {
-		return runPhases(packets, funccacheP)
+		return runPhases(packets, funccacheP, rewEntries, maxRWShare)
 	}
 	ran := false
 	if all || table == 1 {
@@ -181,8 +183,11 @@ func run(table, figure int, ablations, scaling, all, list, phases, funccacheP bo
 // workload: two md5 threads plus two fir2dim threads squeezed into 56
 // registers) and prints where the wall-clock time went, phase by phase.
 // With warm set it runs the allocation twice through one function cache
-// — cold, then warm — printing both breakdowns and the warm speedup.
-func runPhases(packets int, warm bool) error {
+// and one rewrite-result cache — cold, then warm — printing both
+// breakdowns and the warm speedup. A non-zero maxRWShare gates the warm
+// run: its rewrite+rewrite_cached share of wall-clock must stay at or
+// below that fraction.
+func runPhases(packets int, warm bool, rewEntries int, maxRWShare float64) error {
 	var funcs []*ir.Func
 	for _, n := range []string{"md5", "md5", "fir2dim", "fir2dim"} {
 		b, err := bench.Get(n)
@@ -194,9 +199,14 @@ func runPhases(packets int, warm bool) error {
 	const pressureNReg = 56 // forces greedy reduction rounds
 	cfg := core.Config{NReg: pressureNReg}
 	var cache *funccache.Cache
+	var rewrites *funccache.RewriteCache
 	if warm {
 		cache = funccache.New(funccache.Config{})
 		cfg.FuncCache = cache
+		if rewEntries >= 0 {
+			rewrites = funccache.NewRewriteCache(funccache.RewriteConfig{Entries: rewEntries, KeyFn: cache.FuncKey})
+			cfg.RewriteCache = rewrites
+		}
 	}
 	runOnce := func(label string) (*core.Allocation, time.Duration, error) {
 		start := time.Now()
@@ -215,6 +225,7 @@ func runPhases(packets int, warm bool) error {
 		row("estimate: repair", ph.RepairNS)
 		row("chain coloring", ph.ColorNS)
 		row("rewrite", ph.RewriteNS)
+		row("rewrite (cached)", ph.RewriteCachedNS)
 		row("other (greedy loop &c)", total.Nanoseconds()-ph.TotalNS())
 		fmt.Printf("  %-22s %12s\n\n", "total", total)
 		fmt.Printf("  chain steps: %d   candidate trials: %d   solve-cache hit rate: %.1f%%\n",
@@ -240,8 +251,21 @@ func runPhases(packets int, warm bool) error {
 	}
 	st := cache.Stats()
 	fmt.Printf("\n  func cache: %d hits, %d misses, %d entries\n", st.Hits, st.Misses, st.Entries)
+	if rewrites != nil {
+		rst := rewrites.Stats()
+		fmt.Printf("  rewrite cache: %d hits, %d reloc hits, %d misses, %d entries\n",
+			rst.Hits, rst.RelocHits, rst.Misses, rst.Entries)
+	}
 	fmt.Printf("  warm speedup: %.1fx (%s -> %s), rewrites bit-identical\n",
 		float64(coldNS)/float64(warmNS), coldNS.Round(time.Microsecond), warmNS.Round(time.Microsecond))
+	if maxRWShare > 0 {
+		share := float64(hot.Phases.RewriteNS+hot.Phases.RewriteCachedNS) / float64(warmNS.Nanoseconds())
+		if share > maxRWShare {
+			return fmt.Errorf("warm rewrite share %.1f%% exceeds -max-warm-rewrite-share %.1f%%",
+				100*share, 100*maxRWShare)
+		}
+		fmt.Printf("  warm rewrite share: %.1f%% (gate: <= %.1f%%)\n", 100*share, 100*maxRWShare)
+	}
 	return nil
 }
 

@@ -75,6 +75,7 @@ func main() {
 		kernels    = flag.Int("kernels", 8, "kernel pool size for -kernel-mix")
 		minFuncHit = flag.Float64("min-funccache-hit", -1, "fail if the warm-phase function-cache hit rate is below this (-1 disables; -kernel-mix only)")
 		minSpeedup = flag.Float64("min-p99-speedup", 0, "fail if warm p99 does not beat the cold baseline by this factor (0 disables; -kernel-mix -inprocess only)")
+		maxRWShare = flag.Float64("max-rewrite-share", 0, "fail if the warm phase's rewrite+rewrite_cached share of engine time exceeds this (0 disables; -kernel-mix only)")
 
 		chaos         = flag.Bool("chaos", false, "drive the chaos soak: a fault-injecting proxy in front of the server, the resilient client in front of that")
 		chaosReset    = flag.Float64("chaos-reset", 0.03, "per-request TCP-reset probability")
@@ -117,7 +118,7 @@ func main() {
 			}
 		})
 		err = runMix(*url, *inprocess, *conc, *requests, *kernels, *threads, mixNReg,
-			*timeoutMS, *seed, *reportTo, *max5xx, *minFuncHit, *minSpeedup, *jobs)
+			*timeoutMS, *seed, *reportTo, *max5xx, *minFuncHit, *minSpeedup, *maxRWShare, *jobs)
 	} else {
 		err = run(*url, *inprocess, *conc, *duration, *requests, *dup, *pool, *threads,
 			*nreg, *timeoutMS, *seed, *reportTo, *max5xx, *minDedup, *maxP99, *jobs)
@@ -132,7 +133,7 @@ func main() {
 // two servers — a baseline with function/body caching disabled and the
 // measured one with defaults — and drives the identical stream at both.
 func runMix(url string, inprocess bool, conc int, requests int64, kernels, threads, nreg int,
-	timeoutMS, seed int64, reportTo string, max5xx int64, minFuncHit, minSpeedup float64, jobs int) error {
+	timeoutMS, seed int64, reportTo string, max5xx int64, minFuncHit, minSpeedup, maxRWShare float64, jobs int) error {
 	opt := loadgen.MixOptions{
 		URL:         url,
 		Concurrency: conc,
@@ -173,16 +174,16 @@ func runMix(url string, inprocess bool, conc int, requests int64, kernels, threa
 		}
 	}
 
-	if max5xx >= 0 || minFuncHit >= 0 || minSpeedup > 0 {
+	if max5xx >= 0 || minFuncHit >= 0 || minSpeedup > 0 || maxRWShare > 0 {
 		effMax := max5xx
 		if effMax < 0 {
 			effMax = requests
 		}
-		if err := rep.Check(effMax, minFuncHit, minSpeedup); err != nil {
+		if err := rep.Check(effMax, minFuncHit, minSpeedup, maxRWShare); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "nploadgen: mix checks passed (funccache hit rate %.4f >= %.4f, p99 speedup %.2fx >= %.2fx)\n",
-			rep.FuncCacheHitRate, minFuncHit, rep.P99Speedup, minSpeedup)
+		fmt.Fprintf(os.Stderr, "nploadgen: mix checks passed (funccache hit rate %.4f >= %.4f, p99 speedup %.2fx >= %.2fx, rewrite share %.4f <= %.4f)\n",
+			rep.FuncCacheHitRate, minFuncHit, rep.P99Speedup, minSpeedup, rep.WarmRewriteShare, maxRWShare)
 	}
 	return nil
 }

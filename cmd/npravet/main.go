@@ -1,7 +1,7 @@
 // Command npravet is the multichecker driver for the repository's
 // invariant analyzers (internal/analyzers): detlint, errtaxonomy,
-// panicfree, ctxplumb, poolalias, cachealias, sleeplint, plus
-// verification of the //lint:ignore / //lint:invariant directives
+// panicfree, ctxplumb, poolalias, cachealias, sleeplint, frozenfunc,
+// plus verification of the //lint:ignore / //lint:invariant directives
 // themselves.
 //
 // Usage:

@@ -17,6 +17,7 @@
 //
 //	npserve [-addr :8080] [-nreg 128] [-j N] [-queue 64] [-batch 4]
 //	        [-cache 256] [-funccache-entries 256] [-bodycache-entries 1024]
+//	        [-rewritecache-entries 1024] [-rawcache-entries 512]
 //	        [-timeout 10s] [-max-timeout 60s] [-drain-timeout 30s]
 //	        [-tenant-queue 16] [-tenant-weights heavy=3,light=1]
 //	        [-shed-low 0.5] [-shed-normal 0.85]
@@ -55,6 +56,8 @@ func main() {
 		cache        = flag.Int("cache", 256, "completed-result cache entries (negative disables)")
 		funcCache    = flag.Int("funccache-entries", 256, "function-level warm cache entries: distinct bodies whose analyses and Solve memos survive across requests (negative disables)")
 		bodyCache    = flag.Int("bodycache-entries", 1024, "compiled-body cache entries: parsed/generated thread bodies reused across requests (negative disables)")
+		rewCache     = flag.Int("rewritecache-entries", 1024, "rewrite-result cache entries: rewritten bodies keyed by (func, PR, SR, palette), shared frozen across requests (negative disables)")
+		rawCache     = flag.Int("rawcache-entries", 512, "raw-request cache entries: byte-identical request bodies skip JSON decoding and hashing (negative disables)")
 		timeout      = flag.Duration("timeout", 10*time.Second, "default per-request deadline")
 		maxTimeout   = flag.Duration("max-timeout", 60*time.Second, "cap on the per-request deadline")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
@@ -81,8 +84,10 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 
-		FuncCacheEntries: *funcCache,
-		BodyCacheEntries: *bodyCache,
+		FuncCacheEntries:    *funcCache,
+		BodyCacheEntries:    *bodyCache,
+		RewriteCacheEntries: *rewCache,
+		RawCacheEntries:     *rawCache,
 
 		MaxTenantQueue: *tenantQueue,
 		TenantWeights:  weights,
@@ -111,8 +116,8 @@ func run(ctx context.Context, addr string, cfg serve.Config, drainTimeout time.D
 			errc <- err
 		}
 	}()
-	fmt.Fprintf(os.Stderr, "npserve: listening on %s (workers %d, queue %d, batch %d, cache %d, funccache %d, bodycache %d)\n",
-		ln.Addr(), cfg.Workers, cfg.MaxQueue, cfg.MaxBatch, cfg.CacheEntries, cfg.FuncCacheEntries, cfg.BodyCacheEntries)
+	fmt.Fprintf(os.Stderr, "npserve: listening on %s (workers %d, queue %d, batch %d, cache %d, funccache %d, bodycache %d, rewritecache %d, rawcache %d)\n",
+		ln.Addr(), cfg.Workers, cfg.MaxQueue, cfg.MaxBatch, cfg.CacheEntries, cfg.FuncCacheEntries, cfg.BodyCacheEntries, cfg.RewriteCacheEntries, cfg.RawCacheEntries)
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}

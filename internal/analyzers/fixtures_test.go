@@ -9,6 +9,7 @@ import (
 	"npra/internal/analyzers/ctxplumb"
 	"npra/internal/analyzers/detlint"
 	"npra/internal/analyzers/errtaxonomy"
+	"npra/internal/analyzers/frozenfunc"
 	"npra/internal/analyzers/panicfree"
 	"npra/internal/analyzers/poolalias"
 	"npra/internal/analyzers/sleeplint"
@@ -46,6 +47,10 @@ func TestPoolaliasFixtures(t *testing.T) {
 
 func TestCachealiasFixtures(t *testing.T) {
 	anztest.Run(t, fixtureDir(t), cachealias.Analyzer, "cachefix/consumer")
+}
+
+func TestFrozenfuncFixtures(t *testing.T) {
+	anztest.Run(t, fixtureDir(t), frozenfunc.Analyzer, "frozenfix/consumer")
 }
 
 func TestSleeplintFixtures(t *testing.T) {

@@ -1,5 +1,5 @@
-// Package analyzers assembles the npravet suite: the seven invariant
-// analyzers grown out of PRs 1–7, ready for the cmd/npravet
+// Package analyzers assembles the npravet suite: the eight invariant
+// analyzers grown out of PRs 1–8, ready for the cmd/npravet
 // multichecker, make lint, CI and the in-repo selfcheck test.
 //
 // The suite is intentionally closed over this repository's invariants —
@@ -14,6 +14,7 @@ import (
 	"npra/internal/analyzers/ctxplumb"
 	"npra/internal/analyzers/detlint"
 	"npra/internal/analyzers/errtaxonomy"
+	"npra/internal/analyzers/frozenfunc"
 	"npra/internal/analyzers/panicfree"
 	"npra/internal/analyzers/poolalias"
 	"npra/internal/analyzers/sleeplint"
@@ -26,6 +27,7 @@ func Suite() []*anz.Analyzer {
 		ctxplumb.Analyzer,
 		detlint.Analyzer,
 		errtaxonomy.Analyzer,
+		frozenfunc.Analyzer,
 		panicfree.Analyzer,
 		poolalias.Analyzer,
 		sleeplint.Analyzer,

@@ -1,0 +1,26 @@
+// Fixture stub for the frozenfunc analyzer: a minimal ir package
+// (import path suffix /ir) with the Func shape and its mutating and
+// caller-owned methods.
+package ir
+
+type Reg int32
+
+type Instr struct {
+	Def Reg
+}
+
+type Block struct {
+	Label  string
+	Instrs []Instr
+}
+
+type Func struct {
+	Name    string
+	NumRegs int
+	Blocks  []*Block
+}
+
+func (f *Func) Build() error   { return nil }
+func (f *Func) RenumberRegs()  {}
+func (f *Func) Format() string { return f.Name }
+func (f *Func) Clone() *Func   { return &Func{Name: f.Name} }

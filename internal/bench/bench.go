@@ -46,6 +46,11 @@ type Benchmark struct {
 	Suite       string // commbench, netbench, intel, wraps
 	Description string
 
+	// Extra marks service kernels beyond the paper's 11 (they feed the
+	// serve benchmarks' kernel-mix pool); Paper() excludes them so the
+	// §9 tables keep the paper's shape.
+	Extra bool
+
 	// Gen builds the program processing npkts packets.
 	Gen func(npkts int) *ir.Func
 }
@@ -59,6 +64,18 @@ func All() []*Benchmark {
 	out := make([]*Benchmark, len(registry))
 	copy(out, registry)
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Paper returns the paper's 11 evaluation kernels in stable order,
+// excluding the extra service kernels.
+func Paper() []*Benchmark {
+	var out []*Benchmark
+	for _, b := range All() {
+		if !b.Extra {
+			out = append(out, b)
+		}
+	}
 	return out
 }
 

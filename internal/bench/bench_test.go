@@ -10,8 +10,15 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	names := Names()
-	if len(names) != 11 {
-		t.Fatalf("benchmarks = %d, want 11 (the paper evaluates 11): %v", len(names), names)
+	if len(names) != 14 {
+		t.Fatalf("benchmarks = %d, want 14 (the paper's 11 plus 3 service kernels): %v", len(names), names)
+	}
+	if paper := Paper(); len(paper) != 11 {
+		var pn []string
+		for _, b := range paper {
+			pn = append(pn, b.Name)
+		}
+		t.Fatalf("paper benchmarks = %d, want 11 (the paper evaluates 11): %v", len(paper), pn)
 	}
 	for _, n := range names {
 		b, err := Get(n)

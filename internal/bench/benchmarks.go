@@ -67,6 +67,24 @@ func init() {
 		Description: "Multi-level table IP route lookup (pointer-chasing loads)",
 		Gen:         genRoute,
 	})
+	// Service kernels beyond the paper's 11: they diversify the serve
+	// benchmarks' kernel-mix pool (pressure-testing the rewrite cache
+	// across scenario shapes) but stay out of the §9 tables.
+	register(&Benchmark{
+		Name: "ipv6_fwd", Suite: "intel", Extra: true,
+		Description: "IPv6 forwarding: hop-limit update, prefix-hash next-hop lookup over the destination address",
+		Gen:         genIPv6Fwd,
+	})
+	register(&Benchmark{
+		Name: "aes_round", Suite: "netbench", Extra: true,
+		Description: "AES-style cipher round: sub/shift/mix bursts over four state words plus round key",
+		Gen:         genAESRound,
+	})
+	register(&Benchmark{
+		Name: "dpi_scan", Suite: "netbench", Extra: true,
+		Description: "DPI-style signature scan: byte-shifted windows over payload words against masked patterns",
+		Gen:         genDPIScan,
+	})
 }
 
 // genFrag: CommBench frag — the paper's running example (Figure 4 is its
@@ -419,4 +437,145 @@ func genRoute(npkts int) *ir.Func {
 	bu.Store(out, 0, hop)
 	bu.Store(out, 4, ip)
 	return k.epilogue()
+}
+
+// genIPv6Fwd: IPv6 forwarding: hop-limit check and decrement, then a
+// prefix-hash next-hop lookup — the four destination-address words stay
+// co-live through the hash, so pressure is moderate and branchy like the
+// l2l3fwd pair but with a wider address fan.
+func genIPv6Fwd(npkts int) *ir.Func {
+	k := prologue("ipv6_fwd", npkts, 128)
+	bu := k.bu
+	p := k.pktOff(40, 64)
+	vtc := bu.Load(p, 0) // version/traffic class/flow label
+	pln := bu.Load(p, 4) // payload len | next header | hop limit
+	hop := bu.OpI(ir.OpAndI, pln, 0xFF)
+	bu.BZ(hop, "expired")
+	// Destination address: four words, all co-live through the hash.
+	var dst [4]ir.Reg
+	for i := range dst {
+		dst[i] = bu.Load(p, int64(24+i*4))
+	}
+	// /64-prefix hash: fold the top two words, avalanche, index the table.
+	h := bu.Op3(ir.OpXor, dst[0], dst[1])
+	t := bu.OpI(ir.OpShrI, h, 13)
+	bu.Op3To(ir.OpXor, h, h, t)
+	bu.OpITo(ir.OpMulI, h, h, 0x85EBCA6B-(1<<32)) // sign-safe immediate
+	t2 := bu.OpI(ir.OpShrI, h, 16)
+	bu.Op3To(ir.OpXor, h, h, t2)
+	idx := bu.OpI(ir.OpAndI, h, 63)
+	ib := bu.OpI(ir.OpShlI, idx, 2)
+	tbl := bu.Op3(ir.OpAdd, k.base, bu.Set(inOff)) // reuse filled area as the table
+	ta := bu.Op3(ir.OpAdd, tbl, ib)
+	nh := bu.Load(ta, 0)
+	// Low 64 bits disambiguate equal prefixes.
+	lo := bu.Op3(ir.OpXor, dst[2], dst[3])
+	bu.Op3To(ir.OpXor, nh, nh, lo)
+	// Decrement the hop limit and reassemble the header word.
+	nhop := bu.OpI(ir.OpSubI, hop, 1)
+	hdr := bu.Op3(ir.OpAnd, pln, bu.Set(-0x100)) // clear hop-limit byte
+	bu.Op3To(ir.OpOr, hdr, hdr, nhop)
+	out := bu.Op3(ir.OpAdd, k.base, bu.Set(outOff+576))
+	bu.Store(out, 0, hdr)
+	bu.Store(out, 4, nh)
+	bu.Store(out, 8, vtc)
+	bu.Br("fwd")
+	bu.Label("expired")
+	dc := bu.Op3(ir.OpAdd, k.base, bu.Set(stateOff+1792))
+	old := bu.Load(dc, 0)
+	bu.OpITo(ir.OpAddI, old, old, 1)
+	bu.Store(dc, 0, old)
+	bu.Label("fwd")
+	return k.epilogue()
+}
+
+// genAESRound: one AES-style round over four state words: a nonlinear
+// per-word substitution, row rotations, a column mix where every output
+// combines all four rotated words, and a round-key add. The eight
+// state/key words are co-live through the mix burst.
+func genAESRound(npkts int) *ir.Func {
+	k := prologue("aes_round", npkts, 128)
+	bu := k.bu
+	p := k.pktOff(16, 64)
+	var st, rk [4]ir.Reg
+	for i := range st {
+		st[i] = bu.Load(p, int64(i*4))
+	}
+	ks := bu.Op3(ir.OpAdd, k.base, bu.Set(stateOff+2048))
+	for i := range rk {
+		rk[i] = bu.Load(ks, int64(i*4))
+	}
+	bu.Ctx() // yield between the load burst and the arithmetic burst
+	// SubBytes approximation: per-word nonlinear byte smear.
+	var sub [4]ir.Reg
+	for i, s := range st {
+		sq := bu.OpI(ir.OpMulI, s, 0x01010101)
+		sh := bu.OpI(ir.OpShrI, s, 4)
+		sub[i] = bu.Op3(ir.OpXor, sq, sh)
+	}
+	// ShiftRows: rotate word i left by 8*i bits.
+	var rot [4]ir.Reg
+	rot[0] = sub[0]
+	for i := 1; i < 4; i++ {
+		l := bu.OpI(ir.OpShlI, sub[i], int64(8*i))
+		r := bu.OpI(ir.OpShrI, sub[i], int64(32-8*i))
+		rot[i] = bu.Op3(ir.OpOr, l, r)
+	}
+	// MixColumns-ish: each output word mixes all four rotated words,
+	// then AddRoundKey folds in the key word.
+	var mixed [4]ir.Reg
+	for i := range mixed {
+		m := bu.Op3(ir.OpXor, rot[i], rot[(i+1)%4])
+		d := bu.OpI(ir.OpMulI, rot[(i+2)%4], 2)
+		bu.Op3To(ir.OpXor, m, m, d)
+		bu.Op3To(ir.OpXor, m, m, rot[(i+3)%4])
+		mixed[i] = bu.Op3(ir.OpXor, m, rk[i])
+	}
+	out := bu.Op3(ir.OpAdd, k.base, bu.Set(outOff+640))
+	for i, m := range mixed {
+		bu.Store(out, int64(i*4), m)
+	}
+	return k.epilogue()
+}
+
+// genDPIScan: deep-packet-inspection scan: slide byte-shifted windows
+// across adjacent payload words and compare each against two masked
+// signatures, accumulating a match bitmap — url's comparison fan plus
+// cross-word window assembly, with a flow-state update at the end.
+func genDPIScan(npkts int) *ir.Func {
+	k := prologue("dpi_scan", npkts, 128)
+	bu := k.bu
+	p := k.pktOff(20, 64)
+	sigs := []int64{0x6D616C77, 0x7368656C} // "malw", "shel"
+	hits := bu.Set(0)
+	prev := bu.Load(p, 0)
+	for w := 0; w < 4; w++ {
+		cur := bu.Load(p, int64((w+1)*4))
+		for s, sig := range sigs {
+			sr := bu.Set(sig)
+			// Two byte-shifted windows spanning prev..cur.
+			for sh := 0; sh < 2; sh++ {
+				hi := bu.OpI(ir.OpShlI, prev, int64(8+16*sh))
+				lo := bu.OpI(ir.OpShrI, cur, int64(24-16*sh))
+				win := bu.Op3(ir.OpOr, hi, lo)
+				d := bu.Op3(ir.OpXor, win, sr)
+				bu.BNZ(d, dpiLabel(w, s, sh))
+				bu.OpITo(ir.OpOrI, hits, hits, 1<<uint(s))
+				bu.Label(dpiLabel(w, s, sh))
+			}
+		}
+		prev = cur
+	}
+	// Per-flow hit accumulator.
+	fs := bu.Op3(ir.OpAdd, k.base, bu.Set(stateOff+2304))
+	fc := bu.Load(fs, 0)
+	bu.Op3To(ir.OpAdd, fc, fc, hits)
+	bu.Store(fs, 0, fc)
+	out := bu.Op3(ir.OpAdd, k.base, bu.Set(outOff+704))
+	bu.Store(out, 0, hits)
+	return k.epilogue()
+}
+
+func dpiLabel(w, s, sh int) string {
+	return "d" + string(rune('a'+w)) + string(rune('0'+s)) + string(rune('0'+sh))
 }

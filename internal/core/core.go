@@ -71,6 +71,15 @@ type Config struct {
 	// returned on completion, and discarded instead when the run fails,
 	// degrades or panics — error results never warm the cache.
 	FuncCache AllocatorSource
+
+	// RewriteCache, when non-nil, memoizes the rewrite phase: finalize
+	// consults it before emitting code and registers canonical-palette
+	// emissions with it on a miss (internal/funccache.RewriteCache is the
+	// process-wide implementation). Cached bodies are frozen and shared
+	// by pointer; the result is textually identical to a fresh rewrite.
+	// Nil rewrites every thread from scratch (into a per-call ir.Arena).
+	// The degrade path never consults the cache.
+	RewriteCache RewriteSource
 }
 
 // ThreadAlloc is the allocation decided for one thread.
@@ -459,7 +468,7 @@ func allocateARA(ctx context.Context, funcs []*ir.Func, cfg Config) (*Allocation
 	if err := faultinject.Fire(ctx, faultinject.SiteFinalize); err != nil {
 		return nil, err
 	}
-	alloc, err := finalize(ctx, funcs, als, pr, sr, sols, cfg.NReg)
+	alloc, err := finalize(ctx, funcs, als, pr, sr, sols, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -476,9 +485,23 @@ func allocateARA(ctx context.Context, funcs []*ir.Func, cfg Config) (*Allocation
 // tail of the pipeline's work; a deadline must be able to land here too).
 // The degrade path passes context.Background(): the fallback is the
 // bounded last resort and must not itself be cancelable.
-func finalize(ctx context.Context, funcs []*ir.Func, als []*intra.Allocator, pr, sr []int, sols []*intra.Solution, nreg int) (*Allocation, error) {
+//
+// With cfg.RewriteCache set, each thread's body is looked up by
+// (FuncKey, PR, SR, privBase, sharedBase) and — on a miss — emitted
+// once in canonical form (identity palette) and registered with the
+// cache, which relocates it onto the concrete palette. Cache time is
+// booked under RewriteCachedNS, fresh emission under RewriteNS. With no
+// cache the bodies are emitted directly into a per-call ir.Arena so the
+// cold path costs the collector a few slabs instead of one allocation
+// per block.
+func finalize(ctx context.Context, funcs []*ir.Func, als []*intra.Allocator, pr, sr []int, sols []*intra.Solution, cfg Config) (*Allocation, error) {
 	n := len(funcs)
+	nreg := cfg.NReg
 	alloc := &Allocation{NReg: nreg}
+	var arena *ir.Arena
+	if cfg.RewriteCache == nil {
+		arena = new(ir.Arena)
+	}
 
 	// SGR: shared registers actually needed is the max over threads of
 	// (palette size - private grant), never negative.
@@ -500,20 +523,46 @@ func finalize(ctx context.Context, funcs []*ir.Func, als []*intra.Allocator, pr,
 		if base+pr[i] > sharedBase {
 			return nil, internalf("private registers overflow into shared bank")
 		}
-		phys := make([]ir.Reg, sctx.Size)
-		for c := 0; c < sctx.Size; c++ {
-			switch {
-			case c < pr[i]:
-				phys[c] = ir.Reg(base + c)
-			default:
-				phys[c] = ir.Reg(sharedBase + (c - pr[i]))
-			}
-		}
 		rwStart := time.Now() //lint:ignore detlint phase-timing observability only; duration never feeds an allocation decision
-		nf, stats, err := intra.Rewrite(sctx, phys)
-		alloc.Phases.RewriteNS += time.Since(rwStart).Nanoseconds()
-		if err != nil {
-			return nil, internalf("thread %d (%s): rewrite: %v", i, funcs[i].Name, err)
+		var nf *ir.Func
+		var stats intra.RewriteStats
+		if rc := cfg.RewriteCache; rc != nil {
+			privBase, shBase := ir.Reg(base), ir.Reg(sharedBase)
+			if hit, hstats, ok := rc.LookupRewrite(funcs[i], pr[i], sr[i], privBase, shBase); ok {
+				nf, stats = hit, hstats
+				alloc.Phases.RewriteCachedNS += time.Since(rwStart).Nanoseconds()
+			} else {
+				// Emit once in canonical form — the identity palette maps
+				// color c to register c — and let the cache relocate it
+				// onto this palette (and any future one at the same grant).
+				identity := make([]ir.Reg, sctx.Size)
+				for c := range identity {
+					identity[c] = ir.Reg(c)
+				}
+				canon, cstats, err := intra.Rewrite(sctx, identity)
+				if err != nil {
+					return nil, internalf("thread %d (%s): rewrite: %v", i, funcs[i].Name, err)
+				}
+				nf = rc.StoreRewrite(funcs[i], pr[i], sr[i], privBase, shBase, canon, cstats)
+				stats = cstats
+				alloc.Phases.RewriteNS += time.Since(rwStart).Nanoseconds()
+			}
+		} else {
+			phys := make([]ir.Reg, sctx.Size)
+			for c := 0; c < sctx.Size; c++ {
+				switch {
+				case c < pr[i]:
+					phys[c] = ir.Reg(base + c)
+				default:
+					phys[c] = ir.Reg(sharedBase + (c - pr[i]))
+				}
+			}
+			var err error
+			nf, stats, err = intra.RewriteInto(sctx, phys, arena)
+			alloc.Phases.RewriteNS += time.Since(rwStart).Nanoseconds()
+			if err != nil {
+				return nil, internalf("thread %d (%s): rewrite: %v", i, funcs[i].Name, err)
+			}
 		}
 		alloc.Threads = append(alloc.Threads, &ThreadAlloc{
 			Name:       funcs[i].Name,
@@ -703,7 +752,7 @@ func allocateSRA(ctx context.Context, f *ir.Func, nthd int, cfg Config) (*Alloca
 	for i := 0; i < nthd; i++ {
 		funcs[i], als[i], prs[i], srs[i], sols[i] = f, al, bestPR, bestSR, bestSol
 	}
-	alloc, err := finalize(ctx, funcs, als, prs, srs, sols, cfg.NReg)
+	alloc, err := finalize(ctx, funcs, als, prs, srs, sols, cfg)
 	if err != nil {
 		return nil, err
 	}

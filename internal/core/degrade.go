@@ -97,7 +97,12 @@ func staticPartition(funcs []*ir.Func, cfg Config) (alloc *Allocation, err error
 		}
 		als[i], sols[i], pr[i], sr[i] = al, sol, prEach, 0
 	}
-	alloc, err = finalize(context.Background(), funcs, als, pr, sr, sols, cfg.NReg)
+	// The fallback never touches the rewrite cache: degraded runs must
+	// not warm any tier (matching the AllocatorSource discard rule), and
+	// the last resort should not depend on shared state either.
+	dcfg := cfg
+	dcfg.RewriteCache = nil
+	alloc, err = finalize(context.Background(), funcs, als, pr, sr, sols, dcfg)
 	if err != nil {
 		return nil, err
 	}

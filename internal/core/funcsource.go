@@ -32,6 +32,24 @@ type AllocatorSource interface {
 	Checkout(f *ir.Func) (al *intra.Allocator, checkin func(ok bool), err error)
 }
 
+// RewriteSource supplies rewritten (physical-register) bodies for
+// (function, grant, palette) tuples. The rewritten body is a pure
+// function of (FuncKey(f), pr, sr, privBase, sharedBase) for the
+// default-mode allocators the engine builds — Solve is bit-identical
+// for a given analysis and budget, and the rewriter's decisions depend
+// only on color equality — so a source may serve one emission to any
+// number of callers.
+//
+// Contract: bodies returned by LookupRewrite, and the body returned by
+// StoreRewrite, are shared by pointer and frozen (ir.Func.Frozen); the
+// caller must treat them as immutable. StoreRewrite takes the canonical
+// identity-palette emission (phys[c] = c) and returns the body
+// relocated onto the requested palette.
+type RewriteSource interface {
+	LookupRewrite(f *ir.Func, pr, sr int, privBase, sharedBase ir.Reg) (body *ir.Func, stats intra.RewriteStats, ok bool)
+	StoreRewrite(f *ir.Func, pr, sr int, privBase, sharedBase ir.Reg, canonical *ir.Func, stats intra.RewriteStats) *ir.Func
+}
+
 // acquire returns the allocator for f: from the configured source when
 // one is set, freshly built otherwise (with a no-op checkin).
 func acquire(cfg Config, f *ir.Func) (*intra.Allocator, func(bool), error) {

@@ -343,13 +343,14 @@ type WireThreadAlloc struct {
 
 // WirePhases mirrors intra.PhaseStats for the wire.
 type WirePhases struct {
-	BuildNS    int64 `json:"build_ns"`
-	MergeNS    int64 `json:"merge_ns"`
-	RepairNS   int64 `json:"repair_ns"`
-	ColorNS    int64 `json:"color_ns"`
-	RewriteNS  int64 `json:"rewrite_ns"`
-	ChainSteps int   `json:"chain_steps"`
-	Trials     int   `json:"trials"`
+	BuildNS         int64 `json:"build_ns"`
+	MergeNS         int64 `json:"merge_ns"`
+	RepairNS        int64 `json:"repair_ns"`
+	ColorNS         int64 `json:"color_ns"`
+	RewriteNS       int64 `json:"rewrite_ns"`
+	RewriteCachedNS int64 `json:"rewrite_cached_ns"`
+	ChainSteps      int   `json:"chain_steps"`
+	Trials          int   `json:"trials"`
 }
 
 // WireResponse is the engine-side half of an allocation response (the
@@ -384,13 +385,14 @@ func (al *Allocation) Wire(dump bool) *WireResponse {
 		CacheHits:      al.SolveCache.Hits,
 		CacheMisses:    al.SolveCache.Misses,
 		Phases: WirePhases{
-			BuildNS:    al.Phases.BuildNS,
-			MergeNS:    al.Phases.MergeNS,
-			RepairNS:   al.Phases.RepairNS,
-			ColorNS:    al.Phases.ColorNS,
-			RewriteNS:  al.Phases.RewriteNS,
-			ChainSteps: al.Phases.ChainSteps,
-			Trials:     al.Phases.Trials,
+			BuildNS:         al.Phases.BuildNS,
+			MergeNS:         al.Phases.MergeNS,
+			RepairNS:        al.Phases.RepairNS,
+			ColorNS:         al.Phases.ColorNS,
+			RewriteNS:       al.Phases.RewriteNS,
+			RewriteCachedNS: al.Phases.RewriteCachedNS,
+			ChainSteps:      al.Phases.ChainSteps,
+			Trials:          al.Phases.Trials,
 		},
 	}
 	if al.Cause != nil {

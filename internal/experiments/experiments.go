@@ -141,12 +141,13 @@ func runSim(threads []*sim.Thread) (*sim.Result, error) {
 	})
 }
 
-// mapBenches runs fn once per built-in benchmark on the experiment
-// worker pool and returns the results in bench.All() order (the order
-// the tables print). Each call gets its own benchmark; fn must not
-// touch shared mutable state.
+// mapBenches runs fn once per paper benchmark on the experiment worker
+// pool and returns the results in bench.Paper() order (the order the
+// tables print); the extra service kernels stay out of the paper's
+// tables. Each call gets its own benchmark; fn must not touch shared
+// mutable state.
 func mapBenches[T any](fn func(b *bench.Benchmark) (T, error)) ([]T, error) {
-	all := bench.All()
+	all := bench.Paper()
 	return parallel.MapErr(context.Background(), workers, len(all), func(i int) (T, error) {
 		return fn(all[i])
 	})

@@ -90,11 +90,12 @@ func (al *Allocator) CacheStats() CacheStats { return al.stats }
 // (e.g. the inter-thread allocator's finalize step) fill it when
 // aggregating.
 type PhaseStats struct {
-	BuildNS   int64 // liveness + NSR + interference analysis (New only)
-	MergeNS   int64 // estimation: BIG + per-NSR IIG colorings
-	RepairNS  int64 // estimation: conflict-edge repair
-	ColorNS   int64 // chain derivation: demote/vacate trials + coalesce
-	RewriteNS int64 // code rewriting (filled by rewriting callers)
+	BuildNS         int64 // liveness + NSR + interference analysis (New only)
+	MergeNS         int64 // estimation: BIG + per-NSR IIG colorings
+	RepairNS        int64 // estimation: conflict-edge repair
+	ColorNS         int64 // chain derivation: demote/vacate trials + coalesce
+	RewriteNS       int64 // code rewriting emitted fresh (filled by rewriting callers)
+	RewriteCachedNS int64 // code rewriting served from a rewrite cache (lookup + relocation)
 
 	ChainSteps int // contexts derived and memoized
 	Trials     int // candidate color eliminations attempted
@@ -107,13 +108,14 @@ func (s *PhaseStats) Add(other PhaseStats) {
 	s.RepairNS += other.RepairNS
 	s.ColorNS += other.ColorNS
 	s.RewriteNS += other.RewriteNS
+	s.RewriteCachedNS += other.RewriteCachedNS
 	s.ChainSteps += other.ChainSteps
 	s.Trials += other.Trials
 }
 
 // TotalNS returns the sum over all timed phases.
 func (s PhaseStats) TotalNS() int64 {
-	return s.BuildNS + s.MergeNS + s.RepairNS + s.ColorNS + s.RewriteNS
+	return s.BuildNS + s.MergeNS + s.RepairNS + s.ColorNS + s.RewriteNS + s.RewriteCachedNS
 }
 
 // PhaseStats returns the allocator's per-phase timing counters.

@@ -26,6 +26,17 @@ func (s RewriteStats) Added() int { return s.Moves + s.Xors }
 // The result is a new, built function over physical registers that is
 // observationally equivalent to the original.
 func Rewrite(ctx *Context, phys []ir.Reg) (*ir.Func, RewriteStats, error) {
+	return RewriteInto(ctx, phys, nil)
+}
+
+// RewriteInto is Rewrite with the output's Blocks and Instrs carved out
+// of an arena (nil behaves exactly like Rewrite). The returned *ir.Func
+// header itself is heap-allocated; only its bulk — block headers and
+// instruction slices — lives in the arena, so the func is valid exactly
+// as long as the arena's chunks are reachable (which the func's own
+// pointers guarantee). Callers must not hand arena-backed funcs to a
+// cache: one retained entry would pin the whole request's slabs.
+func RewriteInto(ctx *Context, phys []ir.Reg, arena *ir.Arena) (*ir.Func, RewriteStats, error) {
 	var stats RewriteStats
 	if len(phys) < ctx.Size {
 		return nil, stats, errs.Invalidf("intra: need %d physical registers, got %d", ctx.Size, len(phys))
@@ -55,6 +66,15 @@ func Rewrite(ctx *Context, phys []ir.Reg) (*ir.Func, RewriteStats, error) {
 	}
 
 	nf := &ir.Func{Name: f.Name, Physical: true}
+	newBlock := func(label string, est int) *ir.Block {
+		if arena == nil {
+			return &ir.Block{Label: label}
+		}
+		nb := arena.Block()
+		nb.Label = label
+		nb.Instrs = arena.InstrSlice(est)
+		return nb
+	}
 	trampolines := 0
 	var tail []*ir.Block    // taken-edge trampolines, appended at the end
 	var pairsBuf []copyPair // reused across edges; consumed by appendParallelCopy
@@ -66,7 +86,9 @@ func Rewrite(ctx *Context, phys []ir.Reg) (*ir.Func, RewriteStats, error) {
 	}
 
 	for bi, b := range f.Blocks {
-		nb := &ir.Block{Label: b.Label}
+		// Capacity estimate: the source instructions plus a little room
+		// for inline parallel-copy moves; overflow spills to the heap.
+		nb := newBlock(b.Label, len(b.Instrs)+8)
 		for k := range b.Instrs {
 			p := b.Start() + k
 			in := b.Instrs[k] // copy
@@ -111,7 +133,7 @@ func Rewrite(ctx *Context, phys []ir.Reg) (*ir.Func, RewriteStats, error) {
 				if len(pairs) > 0 {
 					trampolines++
 					lbl := fmt.Sprintf(".mvt%d", trampolines)
-					tb := &ir.Block{Label: lbl}
+					tb := newBlock(lbl, 3*len(pairs)+1)
 					tb.Instrs = appendParallelCopy(tb.Instrs, pairs, &stats)
 					tb.Instrs = append(tb.Instrs, ir.Instr{
 						Op: ir.OpBr, Def: ir.NoReg, A: ir.NoReg, B: ir.NoReg, Target: in.Target,
@@ -130,7 +152,7 @@ func Rewrite(ctx *Context, phys []ir.Reg) (*ir.Func, RewriteStats, error) {
 				pairsBuf = pairs
 				if len(pairs) > 0 {
 					trampolines++
-					fb := &ir.Block{Label: fmt.Sprintf(".mvf%d", trampolines)}
+					fb := newBlock(fmt.Sprintf(".mvf%d", trampolines), 3*len(pairs))
 					fb.Instrs = appendParallelCopy(fb.Instrs, pairs, &stats)
 					nf.Blocks = append(nf.Blocks, fb)
 					stats.Trampolines++

@@ -30,10 +30,20 @@ type Func struct {
 	Physical bool
 
 	built   bool
+	frozen  bool
 	nPoints int
 	byLabel map[string]int
 	pointBk []int32 // point -> block index
 }
+
+// Freeze marks the function immutable: Build returns an error and
+// RenumberRegs panics. Caches that hand one *Func to many concurrent
+// readers freeze it first so an accidental structural mutation fails
+// loudly instead of corrupting every holder.
+func (f *Func) Freeze() { f.frozen = true }
+
+// Frozen reports whether Freeze has been called.
+func (f *Func) Frozen() bool { return f.frozen }
 
 // NumPoints returns the number of instructions (global program points).
 // Valid after Build.
@@ -55,6 +65,25 @@ func (f *Func) BlockByLabel(label string) int {
 // and inventing fall-through labels. This lets assembly sources (and the
 // Builder) write several conditional branches inside one labeled region.
 func (f *Func) splitAtBranches() {
+	// Fast path: most functions (notably rewriter output, which already
+	// ends every block at a branch) need no splitting. Skip the wholesale
+	// re-copy so arena-backed blocks survive Build intact.
+	needSplit := false
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if (in.IsBranch() || in.Op == OpHalt) && i != len(b.Instrs)-1 {
+				needSplit = true
+				break
+			}
+		}
+		if needSplit {
+			break
+		}
+	}
+	if !needSplit {
+		return
+	}
 	var out []*Block
 	synth := 0
 	for _, b := range f.Blocks {
@@ -78,6 +107,9 @@ func (f *Func) splitAtBranches() {
 // instruction numbering, and validates the function. It must be called
 // after any structural mutation and before analyses run.
 func (f *Func) Build() error {
+	if f.frozen {
+		return fmt.Errorf("ir: %s: Build on frozen func", f.Name)
+	}
 	f.built = false
 	f.splitAtBranches()
 	f.byLabel = make(map[string]int, len(f.Blocks))
@@ -241,6 +273,59 @@ func (f *Func) Clone() *Func {
 	return nf
 }
 
+// CloneRemapRegs returns a deep copy of the function with every register
+// operand r replaced by remap[r] and NumRegs set to numRegs. Unlike
+// Clone, a built original yields a built copy without re-running Build:
+// remapping registers changes no label, block boundary or branch target,
+// so the CFG metadata is carried over (Succs/Preds are copied — Build
+// truncates them in place — while byLabel and pointBk, which Build
+// replaces wholesale, are shared). remap must be injective over the
+// registers the function uses, with every remap[r] in [0, numRegs).
+//
+// The funccache rewrite tier uses this to relocate one cached
+// canonical-palette body onto many concrete register palettes.
+func (f *Func) CloneRemapRegs(remap []Reg, numRegs int) *Func {
+	nf := &Func{
+		Name:     f.Name,
+		NumRegs:  numRegs,
+		Physical: f.Physical,
+		built:    f.built,
+		nPoints:  f.nPoints,
+		byLabel:  f.byLabel,
+		pointBk:  f.pointBk,
+	}
+	nf.Blocks = make([]*Block, len(f.Blocks))
+	for i, b := range f.Blocks {
+		nb := &Block{
+			Label:  b.Label,
+			Instrs: make([]Instr, len(b.Instrs)),
+			Index:  b.Index,
+			start:  b.start,
+		}
+		if b.Succs != nil {
+			nb.Succs = append([]int(nil), b.Succs...)
+		}
+		if b.Preds != nil {
+			nb.Preds = append([]int(nil), b.Preds...)
+		}
+		for k := range b.Instrs {
+			in := b.Instrs[k]
+			if in.Def != NoReg {
+				in.Def = remap[in.Def]
+			}
+			if in.A != NoReg {
+				in.A = remap[in.A]
+			}
+			if in.B != NoReg {
+				in.B = remap[in.B]
+			}
+			nb.Instrs[k] = in
+		}
+		nf.Blocks[i] = nb
+	}
+	return nf
+}
+
 // Stats summarizes static properties of a function.
 type Stats struct {
 	Instructions int
@@ -295,6 +380,9 @@ func (f *Func) RegsUsed() []Reg {
 // RenumberRegs compacts register numbering to the dense range [0, n) and
 // returns n. The function must be rebuilt by the caller if it was built.
 func (f *Func) RenumberRegs() int {
+	if f.frozen {
+		panic("ir: RenumberRegs on frozen func " + f.Name) //lint:invariant frozen funcs are cache-shared read-only bodies; renumbering one in place would corrupt every concurrent holder
+	}
 	used := f.RegsUsed()
 	remap := make(map[Reg]Reg, len(used))
 	for i, r := range used {

@@ -213,10 +213,22 @@ type Snapshot struct {
 	SolveCache intra.CacheStats
 	Phases     intra.PhaseStats
 
-	// FuncCache and BodyCache are the function-granular cache counters,
-	// snapshotted from the Server's caches (zero when disabled).
-	FuncCache funccache.Stats
-	BodyCache funccache.BodyStats
+	// FuncCache, BodyCache and RewriteCache are the function-granular
+	// cache counters, snapshotted from the Server's caches (zero when
+	// disabled); RawCache covers the byte-identical request fast path.
+	FuncCache    funccache.Stats
+	BodyCache    funccache.BodyStats
+	RewriteCache funccache.RewriteCacheStats
+	RawCache     rawStats
+}
+
+// cacheSnapshots bundles the per-tier cache counters a snapshot or a
+// render pass needs.
+type cacheSnapshots struct {
+	Func    funccache.Stats
+	Body    funccache.BodyStats
+	Rewrite funccache.RewriteCacheStats
+	Raw     rawStats
 }
 
 // SingleflightHits returns in-flight joins plus cached joins: every
@@ -235,7 +247,7 @@ func (s *Snapshot) SingleflightHitRate() float64 {
 	return float64(s.SingleflightHits()) / float64(total)
 }
 
-func (m *Metrics) snapshot(queueDepth int, tenants []tenantDepth, fc funccache.Stats, bc funccache.BodyStats) *Snapshot {
+func (m *Metrics) snapshot(queueDepth int, tenants []tenantDepth, cs cacheSnapshots) *Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := &Snapshot{
@@ -260,8 +272,10 @@ func (m *Metrics) snapshot(queueDepth int, tenants []tenantDepth, fc funccache.S
 		QueueDepth:               queueDepth,
 		SolveCache:               m.solveCache,
 		Phases:                   m.phases,
-		FuncCache:                fc,
-		BodyCache:                bc,
+		FuncCache:                cs.Func,
+		BodyCache:                cs.Body,
+		RewriteCache:             cs.Rewrite,
+		RawCache:                 cs.Raw,
 	}
 	for code, n := range m.requests {
 		s.Requests[code] = n
@@ -285,7 +299,7 @@ func copyCounts(src map[string]int64) map[string]int64 {
 // counter, Prometheus-style labels for the few multi-dimensional ones.
 // Output is fully deterministic (sorted codes, fixed bucket and phase
 // order).
-func (m *Metrics) render(queueDepth int, tenants []tenantDepth, fc funccache.Stats, bc funccache.BodyStats) string {
+func (m *Metrics) render(queueDepth int, tenants []tenantDepth, cs cacheSnapshots) string {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -346,6 +360,7 @@ func (m *Metrics) render(queueDepth int, tenants []tenantDepth, fc funccache.Sta
 	fmt.Fprintf(&b, "npserve_solve_cache_misses %d\n", m.solveCache.Misses)
 	fmt.Fprintf(&b, "npserve_solve_cache_hit_rate %.4f\n", m.solveCache.HitRate())
 
+	fc, bc := cs.Func, cs.Body
 	fmt.Fprintf(&b, "npserve_func_cache_hits %d\n", fc.Hits)
 	fmt.Fprintf(&b, "npserve_func_cache_misses %d\n", fc.Misses)
 	fmt.Fprintf(&b, "npserve_func_cache_hit_rate %.4f\n", rate(fc.Hits, fc.Misses))
@@ -360,6 +375,19 @@ func (m *Metrics) render(queueDepth int, tenants []tenantDepth, fc funccache.Sta
 	fmt.Fprintf(&b, "npserve_body_cache_evictions %d\n", bc.Evictions)
 	fmt.Fprintf(&b, "npserve_body_cache_entries %d\n", bc.Entries)
 
+	rc := cs.Rewrite
+	fmt.Fprintf(&b, "npserve_rewrite_cache_hits %d\n", rc.Hits)
+	fmt.Fprintf(&b, "npserve_rewrite_cache_reloc_hits %d\n", rc.RelocHits)
+	fmt.Fprintf(&b, "npserve_rewrite_cache_misses %d\n", rc.Misses)
+	fmt.Fprintf(&b, "npserve_rewrite_cache_hit_rate %.4f\n", rate(rc.Hits+rc.RelocHits, rc.Misses))
+	fmt.Fprintf(&b, "npserve_rewrite_cache_evictions %d\n", rc.Evictions)
+	fmt.Fprintf(&b, "npserve_rewrite_cache_entries %d\n", rc.Entries)
+	fmt.Fprintf(&b, "npserve_rewrite_cache_bytes %d\n", rc.Bytes)
+
+	fmt.Fprintf(&b, "npserve_raw_cache_hits %d\n", cs.Raw.Hits)
+	fmt.Fprintf(&b, "npserve_raw_cache_misses %d\n", cs.Raw.Misses)
+	fmt.Fprintf(&b, "npserve_raw_cache_entries %d\n", cs.Raw.Entries)
+
 	phases := []struct {
 		name string
 		ns   int64
@@ -369,6 +397,7 @@ func (m *Metrics) render(queueDepth int, tenants []tenantDepth, fc funccache.Sta
 		{"estimate_repair", m.phases.RepairNS},
 		{"chain_coloring", m.phases.ColorNS},
 		{"rewrite", m.phases.RewriteNS},
+		{"rewrite_cached", m.phases.RewriteCachedNS},
 	}
 	for _, p := range phases {
 		fmt.Fprintf(&b, "npserve_engine_phase_ns{phase=%q} %d\n", p.name, p.ns)

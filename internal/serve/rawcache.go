@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+	"sync/atomic"
+
+	"npra/internal/core"
+	"npra/internal/ir"
+)
+
+// rawCache is the zero-copy front door of the request path: a bounded
+// LRU keyed by the sha256 of the *raw request bytes*, holding everything
+// the decode pipeline would derive from them — the normalized
+// WireRequest, its compiled thread bodies and its canonical engine key.
+// A byte-identical repeat (the common shape under load generators,
+// retries and fan-in proxies, which all re-serialize the same struct)
+// skips JSON decoding, body compilation and canonical hashing entirely:
+// one pass over the raw bytes replaces them all.
+//
+// Entries are only stored after the full pipeline succeeded, so error
+// responses are never cached, and the stored request is the normalized
+// form (NReg defaulted) — cached state is read-only from then on; the
+// handler must never write through it.
+type rawCache struct {
+	mu      sync.Mutex
+	entries map[string]*rawEntry
+	lru     *list.List // front = most recently used; values are *rawEntry
+	cap     int
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type rawEntry struct {
+	rawKey string
+	key    string            // canonical engine key (flight/dedup key)
+	req    *core.WireRequest // normalized; shared read-only
+	funcs  []*ir.Func
+	elem   *list.Element
+}
+
+// rawStats is a point-in-time snapshot of the raw-request cache.
+type rawStats struct {
+	Hits    int64
+	Misses  int64
+	Entries int64
+}
+
+func newRawCache(entries int) *rawCache {
+	return &rawCache{
+		entries: make(map[string]*rawEntry),
+		lru:     list.New(),
+		cap:     entries,
+	}
+}
+
+// rawRequestKey is the one-pass content key over the raw request bytes.
+func rawRequestKey(raw []byte) string {
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:])
+}
+
+func (c *rawCache) stats() rawStats {
+	st := rawStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+	c.mu.Lock()
+	st.Entries = int64(len(c.entries))
+	c.mu.Unlock()
+	return st
+}
+
+// lookup returns the cached pipeline products for the raw key, marking
+// the entry most recently used.
+func (c *rawCache) lookup(rawKey string) (*rawEntry, bool) {
+	c.mu.Lock()
+	e, ok := c.entries[rawKey]
+	if ok {
+		c.lru.MoveToFront(e.elem)
+	}
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return e, ok
+}
+
+// store inserts one successfully-decoded request under the LRU bound.
+// First insertion wins on a race; the loser's products are equivalent.
+func (c *rawCache) store(rawKey, key string, req *core.WireRequest, funcs []*ir.Func) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[rawKey]; ok {
+		c.lru.MoveToFront(e.elem)
+		return
+	}
+	e := &rawEntry{rawKey: rawKey, key: key, req: req, funcs: funcs}
+	e.elem = c.lru.PushFront(e)
+	c.entries[rawKey] = e
+	for c.lru.Len() > c.cap {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		victim := back.Value.(*rawEntry)
+		c.lru.Remove(back)
+		delete(c.entries, victim.rawKey)
+	}
+}

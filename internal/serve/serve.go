@@ -37,6 +37,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -95,6 +96,20 @@ type Config struct {
 	// bodies; negative disables it), which skips re-assembling masm
 	// source / re-generating progen specs seen before.
 	BodyCacheEntries int
+
+	// RewriteCacheEntries bounds the rewrite-result cache (default 1024
+	// bodies, canonical + relocated; negative disables it): the third
+	// cache tier, memoizing the engine's rewrite phase by
+	// (FuncKey, PR, SR, privBase, sharedBase) so a warm allocation's
+	// code emission is a lookup (or a flat register relocation) instead
+	// of a re-run of the rewriter.
+	RewriteCacheEntries int
+
+	// RawCacheEntries bounds the raw-request cache (default 512
+	// requests; negative disables it): byte-identical request bodies
+	// skip JSON decoding, body compilation and canonical hashing — the
+	// request is keyed by one sha256 pass over the raw bytes.
+	RawCacheEntries int
 
 	// RetryAfter is the *floor* of the client backoff hint attached to
 	// 429/503 responses (default 1s, rounded up to whole seconds on the
@@ -161,6 +176,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BodyCacheEntries < 0 {
 		c.BodyCacheEntries = 0
+	}
+	if c.RewriteCacheEntries == 0 {
+		c.RewriteCacheEntries = 1024
+	}
+	if c.RewriteCacheEntries < 0 {
+		c.RewriteCacheEntries = 0
+	}
+	if c.RawCacheEntries == 0 {
+		c.RawCacheEntries = 512
+	}
+	if c.RawCacheEntries < 0 {
+		c.RawCacheEntries = 0
 	}
 	if c.RetryAfter == 0 {
 		c.RetryAfter = time.Second
@@ -253,10 +280,17 @@ type Server struct {
 	flightMu sync.Mutex
 	fg       *flightGroup
 
-	// fcache and bodies are the function-granular layers under the
-	// request-granular dedup above: nil when disabled by config.
-	fcache *funccache.Cache
-	bodies *funccache.BodyCache
+	// fcache, bodies and rewrites are the function-granular layers under
+	// the request-granular dedup above: nil when disabled by config.
+	fcache   *funccache.Cache
+	bodies   *funccache.BodyCache
+	rewrites *funccache.RewriteCache
+
+	// raw short-circuits byte-identical request bodies past decoding and
+	// canonical hashing; bufPool recycles the request read buffers it
+	// (and the decode path) consume.
+	raw     *rawCache
+	bufPool sync.Pool
 
 	queue *fairQueue
 
@@ -287,6 +321,20 @@ func New(cfg Config) *Server {
 	if s.cfg.BodyCacheEntries > 0 {
 		s.bodies = funccache.NewBodyCache(s.cfg.BodyCacheEntries)
 	}
+	if s.cfg.RewriteCacheEntries > 0 {
+		rcfg := funccache.RewriteConfig{Entries: s.cfg.RewriteCacheEntries}
+		if s.fcache != nil {
+			rcfg.KeyFn = s.fcache.FuncKey // share the pointer-keyed Format memo
+		}
+		s.rewrites = funccache.NewRewriteCache(rcfg)
+	}
+	if s.cfg.RawCacheEntries > 0 {
+		s.raw = newRawCache(s.cfg.RawCacheEntries)
+	}
+	s.bufPool.New = func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	}
 	s.queue = newFairQueue(
 		s.cfg.MaxQueue,
 		s.cfg.MaxTenantQueue,
@@ -308,24 +356,28 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Metrics returns a snapshot of the serving counters.
 func (s *Server) Metrics() *Snapshot {
-	fc, bc := s.cacheStats()
-	snap := s.metrics.snapshot(s.queue.depth(), s.queue.tenantDepths(), fc, bc)
+	snap := s.metrics.snapshot(s.queue.depth(), s.queue.tenantDepths(), s.cacheStats())
 	snap.RetryAfterS = retryAfterHint(snap.QueueDepth, snap.ServiceEWMA, s.cfg.RetryAfter)
 	return snap
 }
 
-// cacheStats snapshots the optional function/body caches (zero stats
-// when disabled).
-func (s *Server) cacheStats() (funccache.Stats, funccache.BodyStats) {
-	var fc funccache.Stats
-	var bc funccache.BodyStats
+// cacheStats snapshots the optional cache tiers (zero stats when a tier
+// is disabled).
+func (s *Server) cacheStats() cacheSnapshots {
+	var cs cacheSnapshots
 	if s.fcache != nil {
-		fc = s.fcache.Stats()
+		cs.Func = s.fcache.Stats()
 	}
 	if s.bodies != nil {
-		bc = s.bodies.Stats()
+		cs.Body = s.bodies.Stats()
 	}
-	return fc, bc
+	if s.rewrites != nil {
+		cs.Rewrite = s.rewrites.Stats()
+	}
+	if s.raw != nil {
+		cs.Raw = s.raw.stats()
+	}
+	return cs
 }
 
 // Drain gracefully stops the server: new allocation requests are
@@ -367,8 +419,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fc, bc := s.cacheStats()
-	io.WriteString(w, s.metrics.render(s.queue.depth(), s.queue.tenantDepths(), fc, bc))
+	io.WriteString(w, s.metrics.render(s.queue.depth(), s.queue.tenantDepths(), s.cacheStats()))
 }
 
 func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
@@ -409,17 +460,43 @@ func (s *Server) allocate(r *http.Request, start time.Time) (int, any) {
 		return http.StatusServiceUnavailable, &core.WireError{Error: "server is draining", Kind: "draining"}
 	}
 
-	dec := json.NewDecoder(io.LimitReader(r.Body, s.cfg.MaxBodyBytes))
-	dec.DisallowUnknownFields()
-	var req core.WireRequest
-	if err := dec.Decode(&req); err != nil {
-		return http.StatusBadRequest, &core.WireError{Error: "bad request body: " + err.Error(), Kind: "invalid"}
+	// Read the body once into a pooled buffer: the same raw bytes key
+	// the raw-request cache (one sha256 pass) and, on a miss, feed the
+	// JSON decoder. A byte-identical repeat skips decoding, body
+	// compilation and canonical hashing entirely.
+	bufp := s.bufPool.Get().(*[]byte)
+	defer s.bufPool.Put(bufp)
+	raw, rerr := readAllInto((*bufp)[:0], io.LimitReader(r.Body, s.cfg.MaxBodyBytes))
+	*bufp = raw[:0] // keep the grown capacity for the next request
+	if rerr != nil {
+		return http.StatusBadRequest, &core.WireError{Error: "bad request body: " + rerr.Error(), Kind: "invalid"}
 	}
-	if dec.More() {
-		return http.StatusBadRequest, &core.WireError{Error: "trailing data after request object", Kind: "invalid"}
+
+	var req *core.WireRequest
+	var funcs []*ir.Func
+	var key, rawKey string
+	if s.raw != nil {
+		rawKey = rawRequestKey(raw)
+		if e, ok := s.raw.lookup(rawKey); ok {
+			// Cached state is shared read-only: the request is already
+			// normalized and must not be written through.
+			req, funcs, key = e.req, e.funcs, e.key
+		}
 	}
-	if req.NReg == 0 {
-		req.NReg = s.cfg.NReg
+	if req == nil {
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		decoded := new(core.WireRequest)
+		if err := dec.Decode(decoded); err != nil {
+			return http.StatusBadRequest, &core.WireError{Error: "bad request body: " + err.Error(), Kind: "invalid"}
+		}
+		if dec.More() {
+			return http.StatusBadRequest, &core.WireError{Error: "trailing data after request object", Kind: "invalid"}
+		}
+		if decoded.NReg == 0 {
+			decoded.NReg = s.cfg.NReg
+		}
+		req = decoded
 	}
 	tenant := r.Header.Get(TenantHeader)
 	if tenant == "" {
@@ -429,9 +506,12 @@ func (s *Server) allocate(r *http.Request, start time.Time) (int, any) {
 		return http.StatusBadRequest, &core.WireError{
 			Error: fmt.Sprintf("%s header exceeds %d bytes", TenantHeader, maxTenantLen), Kind: "invalid"}
 	}
-	funcs, err := req.FuncsCached(s.compiledBodies())
-	if err != nil {
-		return statusOf(err), &core.WireError{Error: err.Error(), Kind: core.ErrorKind(err)}
+	if funcs == nil {
+		var err error
+		funcs, err = req.FuncsCached(s.compiledBodies())
+		if err != nil {
+			return statusOf(err), &core.WireError{Error: err.Error(), Kind: core.ErrorKind(err)}
+		}
 	}
 
 	deadline := s.cfg.DefaultTimeout
@@ -471,14 +551,21 @@ func (s *Server) allocate(r *http.Request, start time.Time) (int, any) {
 	// Key the request off memoized per-function hashes when the function
 	// cache is on: body-cache hits hand back stable *ir.Func pointers,
 	// so the cache's pointer-keyed memo skips re-Formatting multi-KB
-	// bodies on every request.
-	var key string
-	if s.fcache != nil {
-		key = req.CanonicalKeyBy(funcs, s.fcache.FuncKey)
-	} else {
-		key = req.CanonicalKey(funcs)
+	// bodies on every request. A raw-cache hit arrives with the key
+	// already derived.
+	if key == "" {
+		if s.fcache != nil {
+			key = req.CanonicalKeyBy(funcs, s.fcache.FuncKey)
+		} else {
+			key = req.CanonicalKey(funcs)
+		}
+		if s.raw != nil {
+			// Only fully-validated requests are cached, so errors are
+			// never replayed from the raw tier.
+			s.raw.store(rawKey, key, req, funcs)
+		}
 	}
-	fl, kind := s.joinOrEnqueue(key, &req, funcs, tenant, deadline)
+	fl, kind := s.joinOrEnqueue(key, req, funcs, tenant, deadline)
 	s.metrics.join(kind)
 	if kind == joinLeader || kind == joinInflight {
 		s.metrics.tenantAdmitted(tenant)
@@ -600,6 +687,9 @@ func (s *Server) runJob(j *job, workers, batched int) {
 	if s.fcache != nil {
 		cfg.FuncCache = s.fcache
 	}
+	if s.rewrites != nil {
+		cfg.RewriteCache = s.rewrites
+	}
 	var alloc *core.Allocation
 	var err error
 	if j.req.Mode == "sra" {
@@ -656,6 +746,25 @@ func retryAfterHint(depth int, perJob, floor time.Duration) int {
 		secs = 1
 	}
 	return secs
+}
+
+// readAllInto reads r to EOF into buf (appending from its current
+// length), reusing buf's capacity across requests via the caller's
+// pool. It is io.ReadAll with a caller-owned buffer.
+func readAllInto(buf []byte, r io.Reader) ([]byte, error) {
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, body any, retryAfterSeconds int) {

@@ -28,7 +28,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 
+	"npra/internal/bench"
 	"npra/internal/core"
 	"npra/internal/core/errs"
 )
@@ -107,6 +109,45 @@ func (o *MixOptions) kernel(k int) core.WireProgen {
 	}
 }
 
+// serviceKernelNames are the extra bench kernels folded into the pool
+// as preassembled masm bodies: real structured network code (forwarding,
+// crypto, DPI) diversifies the progen shapes, so the server's rewrite
+// cache is exercised across scenario kinds, not one generator's idiom.
+var serviceKernelNames = []string{"ipv6_fwd", "aes_round", "dpi_scan"}
+
+var (
+	serviceAsmOnce sync.Once
+	serviceAsmSrc  []string
+)
+
+// serviceAsm returns the service kernels' assembly sources, generated
+// once (the generators are deterministic, so every run sees identical
+// bodies and the caches key consistently).
+func serviceAsm() []string {
+	serviceAsmOnce.Do(func() {
+		for _, n := range serviceKernelNames {
+			b, err := bench.Get(n)
+			if err != nil {
+				panic(err) //lint:invariant the names are compile-time constants naming built-in bench kernels; a miss is a programming error, not an input
+			}
+			serviceAsmSrc = append(serviceAsmSrc, b.Gen(8).Format())
+		}
+	})
+	return serviceAsmSrc
+}
+
+// thread returns pool slot k as a wire thread: when the pool has room
+// (at least four slots), the last three carry the service kernels as
+// asm bodies; every other slot is a progen spec.
+func (o *MixOptions) thread(k int) core.WireThread {
+	asm := serviceAsm()
+	if o.Kernels >= 4 && k >= o.Kernels-len(asm) {
+		return core.WireThread{Asm: asm[k-(o.Kernels-len(asm))]}
+	}
+	kp := o.kernel(k)
+	return core.WireThread{Progen: &kp}
+}
+
 // mixSpec composes request i of the mix stream: the thread count cycles
 // with i and the kernel choices are the mixed-radix digits of i/Threads
 // in base Kernels — deterministic, and distinct for every i until the
@@ -118,9 +159,8 @@ func (o *MixOptions) mixSpec(i int64) []byte {
 	nthreads := 1 + int(i)%o.Threads
 	x := i / int64(o.Threads)
 	for t := 0; t < nthreads; t++ {
-		k := o.kernel(int(x % int64(o.Kernels)))
+		req.Threads = append(req.Threads, o.thread(int(x%int64(o.Kernels))))
 		x /= int64(o.Kernels)
-		req.Threads = append(req.Threads, core.WireThread{Progen: &k})
 	}
 	blob, err := json.Marshal(&req)
 	if err != nil {
@@ -145,6 +185,18 @@ type MixReport struct {
 
 	BodyCacheHitRate float64 `json:"bodycache_hit_rate"`
 
+	// RewriteCacheHitRate covers the measured warm phase (delta of the
+	// rewrite-result cache counters; exact and relocation hits both
+	// count as hits).
+	RewriteCacheHitRate float64 `json:"rewritecache_hit_rate"`
+
+	// WarmRewriteShare is uncached rewrite engine time as a share of
+	// total engine phase time across the measured warm phase (deltas
+	// of npserve_engine_phase_ns) — the warm-path hotspot the rewrite
+	// tier exists to kill. The cached lookup (rewrite_cached) counts
+	// toward the denominator only: it is the fix, not the hotspot.
+	WarmRewriteShare float64 `json:"warm_rewrite_share"`
+
 	// P99Speedup is cold p99 / warm p99 (0 without a cold phase).
 	P99Speedup float64 `json:"p99_speedup"`
 
@@ -154,9 +206,11 @@ type MixReport struct {
 
 // Check validates the mix gates: transport/5xx cleanliness on both
 // phases, a warm-phase function-cache hit rate of at least minFuncHit
-// (skipped when negative) and a p99 speedup of at least minP99Speedup
-// (skipped when not positive or when no cold phase ran).
-func (r *MixReport) Check(maxFiveXX int64, minFuncHit, minP99Speedup float64) error {
+// (skipped when negative), a p99 speedup of at least minP99Speedup
+// (skipped when not positive or when no cold phase ran), and a warm
+// rewrite share of engine time at most maxRewriteShare (skipped when
+// not positive).
+func (r *MixReport) Check(maxFiveXX int64, minFuncHit, minP99Speedup, maxRewriteShare float64) error {
 	if err := r.Warm.Check(maxFiveXX, -1, 0); err != nil {
 		return fmt.Errorf("warm phase: %w", err)
 	}
@@ -177,6 +231,10 @@ func (r *MixReport) Check(maxFiveXX int64, minFuncHit, minP99Speedup float64) er
 			return errs.Internalf("loadgen: warm p99 speedup %.2fx below the %.2fx floor",
 				r.P99Speedup, minP99Speedup)
 		}
+	}
+	if maxRewriteShare > 0 && r.WarmRewriteShare > maxRewriteShare {
+		return errs.Internalf("loadgen: warm rewrite share %.4f of engine time above the %.4f ceiling",
+			r.WarmRewriteShare, maxRewriteShare)
 	}
 	return nil
 }
@@ -220,7 +278,7 @@ func RunMix(ctx context.Context, opt MixOptions) (*MixReport, error) {
 	}
 	for k := 0; k < opt.Kernels; k++ {
 		kr := core.WireRequest{NReg: opt.NReg, TimeoutMS: opt.TimeoutMS,
-			Threads: []core.WireThread{{Progen: func() *core.WireProgen { p := opt.kernel(k); return &p }()}}}
+			Threads: []core.WireThread{opt.thread(k)}}
 		blob, _ := json.Marshal(&kr)
 		resp, err := client.Post(opt.URL+"/allocate", "application/json", bytes.NewReader(blob))
 		if err != nil {
@@ -253,6 +311,23 @@ func RunMix(ctx context.Context, opt MixOptions) (*MixReport, error) {
 	bm := post["npserve_body_cache_misses"] - pre["npserve_body_cache_misses"]
 	if bh+bm > 0 {
 		rep.BodyCacheHitRate = bh / (bh + bm)
+	}
+	rh := post["npserve_rewrite_cache_hits"] - pre["npserve_rewrite_cache_hits"] +
+		post["npserve_rewrite_cache_reloc_hits"] - pre["npserve_rewrite_cache_reloc_hits"]
+	rm := post["npserve_rewrite_cache_misses"] - pre["npserve_rewrite_cache_misses"]
+	if rh+rm > 0 {
+		rep.RewriteCacheHitRate = rh / (rh + rm)
+	}
+	phaseDelta := func(name string) float64 {
+		k := fmt.Sprintf("npserve_engine_phase_ns{phase=%q}", name)
+		return post[k] - pre[k]
+	}
+	var engineNS float64
+	for _, name := range []string{"build", "estimate_merge", "estimate_repair", "chain_coloring", "rewrite", "rewrite_cached"} {
+		engineNS += phaseDelta(name)
+	}
+	if engineNS > 0 {
+		rep.WarmRewriteShare = phaseDelta("rewrite") / engineNS
 	}
 	if rep.Cold != nil && rep.Warm.P99MS > 0 {
 		rep.P99Speedup = rep.Cold.P99MS / rep.Warm.P99MS

@@ -58,14 +58,24 @@ func TestRunMixSmoke(t *testing.T) {
 	if rep.P99Speedup <= 0 {
 		t.Errorf("p99 speedup = %v, want > 0 with a cold phase present", rep.P99Speedup)
 	}
-	if err := rep.Check(0, 0.9, 0); err != nil {
+	if rep.RewriteCacheHitRate <= 0 {
+		t.Errorf("rewritecache hit rate = %v, want > 0 after warmup", rep.RewriteCacheHitRate)
+	}
+	if rep.WarmRewriteShare > 0.4 {
+		t.Errorf("warm rewrite share = %v, want <= 0.4 with the rewrite tier on", rep.WarmRewriteShare)
+	}
+	if err := rep.Check(0, 0.9, 0, 0.4); err != nil {
 		t.Errorf("Check: %v", err)
 	}
-	if err := rep.Check(0, 1.01, 0); err == nil {
+	if err := rep.Check(0, 1.01, 0, 0); err == nil {
 		t.Error("Check accepted an unreachable hit-rate floor")
 	}
-	if err := rep.Check(0, -1, 1e9); err == nil {
+	if err := rep.Check(0, -1, 1e9, 0); err == nil {
 		t.Error("Check accepted an unreachable speedup floor")
+	}
+	hot := &MixReport{Warm: rep.Warm, WarmRewriteShare: 0.91}
+	if err := hot.Check(0, -1, 0, 0.4); err == nil {
+		t.Error("rewrite-share gate passed a report with a hot rewrite phase")
 	}
 }
 
@@ -92,7 +102,7 @@ func TestRunMixNoBaseline(t *testing.T) {
 	if rep.Cold != nil || rep.P99Speedup != 0 {
 		t.Errorf("cold = %+v speedup = %v, want no cold phase", rep.Cold, rep.P99Speedup)
 	}
-	if err := rep.Check(0, -1, 2); err == nil {
+	if err := rep.Check(0, -1, 2, 0); err == nil {
 		t.Error("speedup gate passed without a baseline")
 	}
 }
