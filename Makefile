@@ -14,9 +14,13 @@ vet:
 # The npravet invariant suite (internal/analyzers): determinism
 # (detlint), error taxonomy (errtaxonomy), panic-freedom (panicfree),
 # context plumbing (ctxplumb), scratch-pool aliasing (poolalias),
-# function-cache aliasing (cachealias) and frozen rewrite-body
-# mutation (frozenfunc), plus verification of the //lint: directives
-# themselves. See docs/INTERNALS.md "Static invariants & linting".
+# function-cache aliasing (cachealias), frozen rewrite-body mutation
+# (frozenfunc), sleep hygiene (sleeplint), and the CFG/dataflow
+# concurrency trio (lockorder, goleak, atomicmix), plus verification
+# of the //lint: directives themselves. The tree is loaded and
+# type-checked once and the eleven analyzers run concurrently over the
+# shared packages, so the suite costs barely more wall-clock than its
+# slowest pass. See docs/INTERNALS.md "Static invariants & linting".
 .PHONY: lint
 lint:
 	$(GO) run ./cmd/npravet ./...

@@ -35,6 +35,21 @@ type Analyzer struct {
 	// The returned error aborts the whole run (reserved for analyzer
 	// bugs, not findings).
 	Run func(*Pass) error
+
+	// NewRunState, when set, is called once at the start of each
+	// anz.Run to create cross-package accumulation state. Every Pass
+	// of this analyzer in that run sees it via Pass.RunState, and
+	// Finish receives it after the last package. Analyzers run
+	// concurrently with each other but see their own packages
+	// sequentially, so the state needs no locking.
+	NewRunState func() any
+
+	// Finish, when set, runs once after every package's Run with the
+	// run state. Whole-program findings — lock-order cycles, fields
+	// atomic here but plain there — are reported through report, and
+	// are subject to //lint:ignore suppression at the reported
+	// position like any other diagnostic.
+	Finish func(state any, report func(pos token.Position, format string, args ...any)) error
 }
 
 // A Pass carries one type-checked package through one analyzer.
@@ -49,9 +64,15 @@ type Pass struct {
 	Pkg   *types.Package
 	Info  *types.Info
 
-	dirs *directiveSet
-	sink *[]Diagnostic
+	state any
+	dirs  *directiveSet
+	sink  *[]Diagnostic
 }
+
+// RunState returns the cross-package state created by the analyzer's
+// NewRunState for the current anz.Run, or nil when the analyzer does
+// not declare one.
+func (p *Pass) RunState() any { return p.state }
 
 // Reportf records a diagnostic at pos. Suppression via //lint:ignore
 // directives is applied by the runner, not here.

@@ -1,0 +1,213 @@
+package anz
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildFromSrc parses a single function body and builds its CFG.
+func buildFromSrc(t *testing.T, body string) (*CFG, *token.FileSet) {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	return BuildCFG(fd.Body), fset
+}
+
+// golden asserts the Dump of the body's CFG. The goldens pin the
+// successor sets of the corner constructs the concurrency analyzers
+// depend on; a builder change that alters an edge must update the
+// golden deliberately.
+func golden(t *testing.T, body, want string) {
+	t.Helper()
+	g, fset := buildFromSrc(t, body)
+	got := strings.TrimSpace(g.Dump(fset))
+	want = strings.TrimSpace(want)
+	if got != want {
+		t.Errorf("CFG mismatch for:\n%s\ngot:\n%s\nwant:\n%s", body, got, want)
+	}
+}
+
+func TestCFGDeferInLoop(t *testing.T) {
+	// A defer inside a loop body still registers in CFG.Defers (it runs
+	// at function exit, once per executed defer) and must not create an
+	// edge: the loop back edge goes to the head, and the only path to
+	// exit is the loop condition going false.
+	g, _ := buildFromSrc(t, `
+for i := 0; i < 3; i++ {
+	defer release(i)
+}
+done()`)
+	if len(g.Defers) != 1 {
+		t.Fatalf("defer in loop: got %d defers, want 1", len(g.Defers))
+	}
+	golden(t, `
+for i := 0; i < 3; i++ {
+	defer release(i)
+}
+done()`, `
+b0 entry {i :=} -> b2
+b1 exit -> .
+b2 for.head {i<3} -> b3 b4
+b3 for.body {defer release} -> b5
+b4 for.after {done()} -> b1
+b5 for.post {i++} -> b2`)
+}
+
+func TestCFGSelectWithDefault(t *testing.T) {
+	// With a default case, select cannot block: there is a path through
+	// the default straight to the after-block.
+	golden(t, `
+select {
+case v := <-ch:
+	use(v)
+case out <- 1:
+	sent()
+default:
+	busy()
+}
+after()`, `
+b0 entry -> b4 b5 b6
+b1 exit -> .
+b2 select.after {after()} -> b1
+b4 select.case {v :=} {use()} -> b2
+b5 select.case {out<-} {sent()} -> b2
+b6 select.default {busy()} -> b2`)
+}
+
+func TestCFGSelectWithoutDefault(t *testing.T) {
+	// No default: every path runs some case; there must be no edge that
+	// bypasses the communication.
+	golden(t, `
+select {
+case <-done:
+	return
+case v := <-ch:
+	use(v)
+}
+after()`, `
+b0 entry -> b4 b5
+b1 exit -> .
+b2 select.after {after()} -> b1
+b4 select.case {<-done} {return} -> b1
+b5 select.case {v :=} {use()} -> b2`)
+}
+
+func TestCFGLabeledBreakContinue(t *testing.T) {
+	// break outer leaves both loops; continue outer targets the outer
+	// post-block, skipping the inner loop entirely.
+	golden(t, `
+outer:
+for i := 0; i < n; i++ {
+	for j := 0; j < n; j++ {
+		if stop(i, j) {
+			break outer
+		}
+		if skip(i, j) {
+			continue outer
+		}
+		work(i, j)
+	}
+}
+end()`, `
+b0 entry {i :=} -> b2
+b1 exit -> .
+b2 for.head {i<n} -> b3 b4
+b3 for.body {j :=} -> b7
+b4 for.after {end()} -> b1
+b5 for.post {i++} -> b2
+b7 for.head {j<n} -> b8 b9
+b8 for.body {stop()} -> b12 b13
+b9 for.after -> b5
+b10 for.post {j++} -> b7
+b12 then {*ast.BranchStmt} -> b4
+b13 if.after {skip()} -> b16 b17
+b16 then {*ast.BranchStmt} -> b5
+b17 if.after {work()} -> b10`)
+}
+
+func TestCFGShortCircuitAnd(t *testing.T) {
+	// a && b: b is evaluated only when a is true, so the entry branches
+	// to the rhs block or straight to if.after; the then-branch is
+	// reachable only through the rhs.
+	golden(t, `
+if a() && b() {
+	both()
+}
+after()`, `
+b0 entry {a()} -> b3 b4
+b1 exit -> .
+b2 then {both()} -> b3
+b3 if.after {after()} -> b1
+b4 cond.rhs {b()} -> b2 b3`)
+}
+
+func TestCFGShortCircuitOr(t *testing.T) {
+	// a || b: a true goes straight to then; only a false evaluates the
+	// rhs, which branches to then or if.after.
+	golden(t, `
+if a() || b() {
+	either()
+}
+after()`, `
+b0 entry {a()} -> b2 b4
+b1 exit -> .
+b2 then {either()} -> b3
+b3 if.after {after()} -> b1
+b4 cond.rhs {b()} -> b2 b3`)
+}
+
+func TestCFGGuardThenLock(t *testing.T) {
+	// The solver-regression shape: an early-return guard whose
+	// entry-block transfer is a no-op must still propagate into the
+	// locked region (see TestSolveIdentityEntryPropagates).
+	golden(t, `
+if !ready {
+	return
+}
+mu.Lock()
+mu.Unlock()`, `
+b0 entry {ready} -> b2 b3
+b1 exit -> .
+b2 then {return} -> b1
+b3 if.after {mu.Lock()} {mu.Unlock()} -> b1`)
+}
+
+func TestCFGRangeLoopHasExitEdge(t *testing.T) {
+	// Range loops exit on exhaustion/close: the after-block must be a
+	// successor of the head even with no break in the body.
+	g, _ := buildFromSrc(t, `
+for v := range ch {
+	use(v)
+}`)
+	if !g.ExitReachable() {
+		t.Fatal("range loop: exit must be reachable via exhaustion")
+	}
+}
+
+func TestCFGBareLoopNoExit(t *testing.T) {
+	g, _ := buildFromSrc(t, `
+for {
+	spin()
+}`)
+	if g.ExitReachable() {
+		t.Fatal("for{}: exit must not be reachable")
+	}
+}
+
+func TestCFGPanicIsExit(t *testing.T) {
+	// panic terminates the function: code after it is unreachable, but
+	// the exit stays reachable through the panic edge.
+	g, _ := buildFromSrc(t, `
+panic("boom")`)
+	if !g.ExitReachable() {
+		t.Fatal("panic: exit must be reachable")
+	}
+}

@@ -1,0 +1,191 @@
+package anz
+
+import "sort"
+
+// The second layer of the flow framework: a worklist-driven forward
+// dataflow solver over the CFG in cfg.go. Analyses plug in a lattice —
+// a fact type with bottom, join, equality, and a per-block transfer
+// function — and get back the fixpoint fact at the entry and exit of
+// every block. The solver is deterministic (blocks are processed in
+// ascending index order within the worklist) so diagnostics derived
+// from facts are stable across runs, matching the repo's detlint
+// stance.
+//
+// Termination: the solver iterates until no block's output fact
+// changes. That is guaranteed for lattices of finite height with a
+// monotone Transfer and a Join that only moves up the lattice — the
+// property tests in dataflow_test.go check both on the lattices the
+// suite ships.
+
+// A Lattice defines one forward dataflow analysis over facts of type T.
+type Lattice[T any] interface {
+	// Bottom is the "no information yet" fact seeded at every block
+	// except Entry, and the identity of Join.
+	Bottom() T
+
+	// Entry is the fact holding at function entry.
+	Entry() T
+
+	// Join merges the facts flowing in from two predecessors. It must
+	// be commutative, associative, and idempotent.
+	Join(a, b T) T
+
+	// Transfer applies one block's effect to its input fact. It must
+	// not mutate in; facts are treated as values.
+	Transfer(b *Block, in T) T
+
+	// Equal reports whether two facts carry the same information; the
+	// solver stops when every block's fact is Equal to the previous
+	// round's.
+	Equal(a, b T) bool
+}
+
+// Facts is the result of a dataflow run: the fact holding immediately
+// before and after each block, indexed by Block.Index.
+type Facts[T any] struct {
+	In  []T
+	Out []T
+}
+
+// Solve runs the forward worklist algorithm to fixpoint.
+func Solve[T any](g *CFG, l Lattice[T]) Facts[T] {
+	n := len(g.Blocks)
+	f := Facts[T]{In: make([]T, n), Out: make([]T, n)}
+	preds := make([][]*Block, n)
+	for _, b := range g.Blocks {
+		f.In[b.Index] = l.Bottom()
+		f.Out[b.Index] = l.Bottom()
+		for _, s := range b.Succs {
+			preds[s.Index] = append(preds[s.Index], b)
+		}
+	}
+	f.In[g.Entry.Index] = l.Entry()
+
+	inWork := make([]bool, n)
+	visited := make([]bool, n)
+	work := []int{g.Entry.Index}
+	inWork[g.Entry.Index] = true
+	for len(work) > 0 {
+		// Deterministic order: always take the lowest-index block. The
+		// worklist is tiny (function-sized), so the sort is noise.
+		sort.Ints(work)
+		idx := work[0]
+		work = work[1:]
+		inWork[idx] = false
+		b := g.Blocks[idx]
+
+		in := f.In[idx]
+		if len(preds[idx]) > 0 {
+			in = l.Bottom()
+			if idx == g.Entry.Index {
+				in = l.Entry()
+			}
+			for _, p := range preds[idx] {
+				in = l.Join(in, f.Out[p.Index])
+			}
+		}
+		f.In[idx] = in
+		out := l.Transfer(b, in)
+		// Successors must be enqueued on a block's first visit even when
+		// the transfer is the identity (out still Equal to the seeded
+		// bottom) — otherwise a no-op entry block stops propagation cold
+		// and every downstream fact stays bottom.
+		if l.Equal(out, f.Out[idx]) && visited[idx] {
+			continue
+		}
+		visited[idx] = true
+		f.Out[idx] = out
+		for _, s := range b.Succs {
+			if !inWork[s.Index] {
+				inWork[s.Index] = true
+				work = append(work, s.Index)
+			}
+		}
+	}
+	return f
+}
+
+// StringSet is the workhorse fact for the concurrency analyzers: a
+// small sorted set of strings (lock paths, flag names) with value
+// semantics. The zero value is the empty set.
+type StringSet struct{ elems []string }
+
+// NewStringSet builds a set from elements.
+func NewStringSet(elems ...string) StringSet {
+	s := StringSet{}
+	for _, e := range elems {
+		s = s.Add(e)
+	}
+	return s
+}
+
+// Has reports membership.
+func (s StringSet) Has(e string) bool {
+	i := sort.SearchStrings(s.elems, e)
+	return i < len(s.elems) && s.elems[i] == e
+}
+
+// Add returns the set with e added; the receiver is unchanged.
+func (s StringSet) Add(e string) StringSet {
+	if s.Has(e) {
+		return s
+	}
+	out := make([]string, 0, len(s.elems)+1)
+	i := sort.SearchStrings(s.elems, e)
+	out = append(out, s.elems[:i]...)
+	out = append(out, e)
+	out = append(out, s.elems[i:]...)
+	return StringSet{elems: out}
+}
+
+// Remove returns the set without e; the receiver is unchanged.
+func (s StringSet) Remove(e string) StringSet {
+	i := sort.SearchStrings(s.elems, e)
+	if i >= len(s.elems) || s.elems[i] != e {
+		return s
+	}
+	out := make([]string, 0, len(s.elems)-1)
+	out = append(out, s.elems[:i]...)
+	out = append(out, s.elems[i+1:]...)
+	return StringSet{elems: out}
+}
+
+// Union returns the union of two sets.
+func (s StringSet) Union(t StringSet) StringSet {
+	out := s
+	for _, e := range t.elems {
+		out = out.Add(e)
+	}
+	return out
+}
+
+// Intersect returns the intersection of two sets.
+func (s StringSet) Intersect(t StringSet) StringSet {
+	out := StringSet{}
+	for _, e := range s.elems {
+		if t.Has(e) {
+			out = out.Add(e)
+		}
+	}
+	return out
+}
+
+// Equal reports set equality.
+func (s StringSet) Equal(t StringSet) bool {
+	if len(s.elems) != len(t.elems) {
+		return false
+	}
+	for i := range s.elems {
+		if s.elems[i] != t.elems[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Len returns the cardinality.
+func (s StringSet) Len() int { return len(s.elems) }
+
+// Elems returns the elements in sorted order. The slice is shared; do
+// not mutate.
+func (s StringSet) Elems() []string { return s.elems }

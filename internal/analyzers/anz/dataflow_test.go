@@ -1,0 +1,234 @@
+package anz
+
+import (
+	"go/ast"
+	"reflect"
+	"testing"
+)
+
+// gen is a test lattice over StringSet: each block's effect is looked
+// up in a table by block index ("+x" inserts x, "-x" removes it), and
+// entry seeds the set given. It exercises the solver without needing
+// type information.
+type gen struct {
+	entry   StringSet
+	effects map[int][]string // block index -> ops
+}
+
+func (l *gen) Bottom() StringSet             { return StringSet{} }
+func (l *gen) Entry() StringSet              { return l.entry }
+func (l *gen) Join(a, b StringSet) StringSet { return a.Union(b) }
+func (l *gen) Equal(a, b StringSet) bool     { return a.Equal(b) }
+func (l *gen) Transfer(b *Block, in StringSet) StringSet {
+	out := in
+	for _, op := range l.effects[b.Index] {
+		switch op[0] {
+		case '+':
+			out = out.Add(op[1:])
+		case '-':
+			out = out.Remove(op[1:])
+		}
+	}
+	return out
+}
+
+// chainCFG hand-builds a CFG (bypassing the builder) so the tests
+// control the exact shape: blocks[i] gets edges per edges[i].
+func chainCFG(n int, edges map[int][]int) *CFG {
+	g := &CFG{}
+	for i := 0; i < n; i++ {
+		g.Blocks = append(g.Blocks, &Block{Index: i})
+	}
+	for from, tos := range edges {
+		for _, to := range tos {
+			g.Blocks[from].Succs = append(g.Blocks[from].Succs, g.Blocks[to])
+		}
+	}
+	g.Entry = g.Blocks[0]
+	g.Exit = g.Blocks[n-1]
+	return g
+}
+
+// TestSolveIdentityEntryPropagates is the regression for the bug the
+// lockfix guardedUnlock fixture pins at the analyzer level: an entry
+// block whose transfer is the identity must still enqueue its
+// successors, or every downstream fact stays bottom.
+func TestSolveIdentityEntryPropagates(t *testing.T) {
+	// b0 (no effect) -> b1 (+mu) -> b2 -> b3(exit)
+	g := chainCFG(4, map[int][]int{0: {1}, 1: {2}, 2: {3}})
+	l := &gen{effects: map[int][]string{1: {"+mu"}}}
+	f := Solve[StringSet](g, l)
+	if !f.In[2].Has("mu") {
+		t.Fatalf("fact did not propagate past identity entry block: In[2]=%v", f.In[2].Elems())
+	}
+	if !f.In[3].Has("mu") {
+		t.Fatalf("fact did not reach exit: In[3]=%v", f.In[3].Elems())
+	}
+}
+
+// TestSolveJoinIsUnion: facts from two branches merge as may-analysis
+// union at the join point.
+func TestSolveJoinIsUnion(t *testing.T) {
+	//      /-> b1 (+a) -\
+	// b0 ->              -> b3 -> b4(exit)
+	//      \-> b2 (+b) -/
+	g := chainCFG(5, map[int][]int{0: {1, 2}, 1: {3}, 2: {3}, 3: {4}})
+	l := &gen{effects: map[int][]string{1: {"+a"}, 2: {"+b"}}}
+	f := Solve[StringSet](g, l)
+	if !f.In[3].Has("a") || !f.In[3].Has("b") {
+		t.Fatalf("join point must union both branches: In[3]=%v", f.In[3].Elems())
+	}
+}
+
+// TestSolveLoopFixpoint: a loop whose body adds a fact reaches a
+// fixpoint (the fact flows around the back edge into the head's In)
+// and terminates.
+func TestSolveLoopFixpoint(t *testing.T) {
+	// b0 -> b1(head) -> b2(body +x) -> b1 ; b1 -> b3(exit)
+	g := chainCFG(4, map[int][]int{0: {1}, 1: {2, 3}, 2: {1}})
+	l := &gen{effects: map[int][]string{2: {"+x"}}}
+	f := Solve[StringSet](g, l)
+	if !f.In[1].Has("x") {
+		t.Fatalf("back edge fact missing at head: In[1]=%v", f.In[1].Elems())
+	}
+	if !f.In[3].Has("x") {
+		t.Fatalf("loop-exit fact missing: In[3]=%v", f.In[3].Elems())
+	}
+}
+
+// TestSolveKillOnOnePath: a fact killed on one branch but not the
+// other survives the join (may-analysis), which is exactly what the
+// lockorder unlock-balance check needs.
+func TestSolveKillOnOnePath(t *testing.T) {
+	g := chainCFG(5, map[int][]int{0: {1, 2}, 1: {3}, 2: {3}, 3: {4}})
+	l := &gen{effects: map[int][]string{0: {"+mu"}, 1: {"-mu"}}}
+	f := Solve[StringSet](g, l)
+	if !f.In[3].Has("mu") {
+		t.Fatalf("may-held must survive a one-sided kill: In[3]=%v", f.In[3].Elems())
+	}
+}
+
+// TestSolveDeterministic: repeated runs produce identical fact arrays,
+// and so does solving a CFG built from source (exercising the builder
+// path end to end).
+func TestSolveDeterministic(t *testing.T) {
+	g := chainCFG(6, map[int][]int{0: {1, 2}, 1: {3}, 2: {3}, 3: {4, 5}, 4: {5}})
+	l := &gen{entry: NewStringSet("seed"), effects: map[int][]string{1: {"+a"}, 2: {"+b", "-seed"}, 4: {"+c"}}}
+	base := Solve[StringSet](g, l)
+	for i := 0; i < 20; i++ {
+		f := Solve[StringSet](g, l)
+		if !reflect.DeepEqual(factStrings(base), factStrings(f)) {
+			t.Fatalf("run %d diverged", i)
+		}
+	}
+}
+
+func factStrings(f Facts[StringSet]) [][]string {
+	var out [][]string
+	for i := range f.In {
+		out = append(out, append([]string(nil), f.In[i].Elems()...))
+		out = append(out, append([]string(nil), f.Out[i].Elems()...))
+	}
+	return out
+}
+
+// TestSolveUnreachableStaysBottom: facts of blocks no path reaches
+// stay bottom — lockorder's replay loop relies on this to skip dead
+// code.
+func TestSolveUnreachableStaysBottom(t *testing.T) {
+	// b2 is disconnected.
+	g := chainCFG(4, map[int][]int{0: {1}, 1: {3}})
+	l := &gen{entry: NewStringSet("e"), effects: map[int][]string{2: {"+ghost"}}}
+	f := Solve[StringSet](g, l)
+	if f.In[2].Len() != 0 || f.Out[2].Len() != 0 {
+		t.Fatalf("unreachable block must stay bottom: In=%v Out=%v", f.In[2].Elems(), f.Out[2].Elems())
+	}
+}
+
+// TestSolveOverBuiltCFG runs the solver over a builder-produced CFG
+// for the guard-then-lock shape and checks the facts the lockorder
+// pass depends on, tying the two layers together.
+func TestSolveOverBuiltCFG(t *testing.T) {
+	g, _ := buildFromSrc(t, `
+if !ready {
+	return
+}
+acquire()
+if cond {
+	release()
+	return
+}
+release()`)
+	l := &gen{}
+	l.effects = map[int][]string{}
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok {
+						switch id.Name {
+						case "acquire":
+							l.effects[b.Index] = append(l.effects[b.Index], "+r")
+						case "release":
+							l.effects[b.Index] = append(l.effects[b.Index], "-r")
+						}
+					}
+				}
+			}
+		}
+	}
+	f := Solve[StringSet](g, l)
+	if f.In[g.Exit.Index].Has("r") {
+		t.Fatalf("resource must be released on every path: exit In=%v", f.In[g.Exit.Index].Elems())
+	}
+	// Both release blocks must see the resource held on entry.
+	for _, b := range g.Blocks {
+		for _, op := range l.effects[b.Index] {
+			if op == "-r" && !f.In[b.Index].Has("r") {
+				t.Fatalf("release block b%d does not see the acquire: In=%v", b.Index, f.In[b.Index].Elems())
+			}
+		}
+	}
+}
+
+// TestStringSetValueSemantics: the set operations never mutate their
+// receiver — facts are shared across blocks, so aliasing bugs here
+// would corrupt the solver.
+func TestStringSetValueSemantics(t *testing.T) {
+	s := NewStringSet("a", "b")
+	_ = s.Add("c")
+	_ = s.Remove("a")
+	_ = s.Union(NewStringSet("z"))
+	_ = s.Intersect(NewStringSet("a"))
+	if got := s.Elems(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("receiver mutated: %v", got)
+	}
+	if s.Len() != 2 || !s.Has("a") || s.Has("c") {
+		t.Fatalf("receiver state wrong after ops")
+	}
+}
+
+func TestStringSetOrdered(t *testing.T) {
+	s := NewStringSet("c", "a", "b", "a")
+	got := s.Elems()
+	want := []string{"a", "b", "c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Elems not sorted/deduped: %v", got)
+	}
+	if !s.Equal(NewStringSet("b", "c", "a")) {
+		t.Fatal("Equal must be order-insensitive on construction")
+	}
+}
+
+// TestSolveEntrySeed: the entry fact reaches every block when nothing
+// kills it, with Entry() distinct from Bottom().
+func TestSolveEntrySeed(t *testing.T) {
+	g := chainCFG(3, map[int][]int{0: {1}, 1: {2}})
+	l := &gen{entry: NewStringSet("seed")}
+	f := Solve[StringSet](g, l)
+	for i := 0; i < 3; i++ {
+		if !f.In[i].Has("seed") {
+			t.Fatalf("entry seed missing at b%d: %v", i, f.In[i].Elems())
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // The suite understands two source directives, both verified rather
@@ -42,12 +43,17 @@ type directive struct {
 	analyzers []string // dirIgnore only; may be ["*"]
 	reason    string
 	pos       token.Position // position of the comment itself
+	endLine   int            // last code line governed (>= pos.Line+1)
 	used      bool
 }
 
 // directiveSet holds the parsed directives of one package plus any
-// malformed-directive diagnostics found while parsing.
+// malformed-directive diagnostics found while parsing. Analyzers run
+// concurrently and consume invariants through Pass.Invariant, so the
+// used-marking is guarded by mu; suppression and verification happen
+// serially after every analyzer finished.
 type directiveSet struct {
+	mu        sync.Mutex
 	byFile    map[string][]*directive
 	malformed []Diagnostic
 }
@@ -65,6 +71,32 @@ func parseDirectives(fset *token.FileSet, files []*ast.File) *directiveSet {
 				ds.add(pos, text)
 			}
 		}
+	}
+	// A directive governing an `if` whose header spans several lines —
+	// an init clause plus a short-circuit condition broken across lines
+	// — must cover findings anchored to *any* clause position, not just
+	// the first line. Extend each such directive's range to the header's
+	// opening brace.
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok {
+				return true
+			}
+			start := fset.Position(ifs.Pos())
+			lbrace := fset.Position(ifs.Body.Lbrace)
+			if lbrace.Line <= start.Line {
+				return true
+			}
+			for _, d := range ds.byFile[start.Filename] {
+				if d.pos.Line == start.Line || d.pos.Line == start.Line-1 {
+					if lbrace.Line > d.endLine {
+						d.endLine = lbrace.Line
+					}
+				}
+			}
+			return true
+		})
 	}
 	return ds
 }
@@ -112,9 +144,21 @@ func (ds *directiveSet) add(pos token.Position, text string) {
 // cl: trailing on the same line, or alone on the line directly above.
 func attaches(dl, cl int) bool { return dl == cl || dl == cl-1 }
 
+// governs reports whether directive d covers a finding on line cl:
+// the basic attachment rule, widened to the directive's endLine when it
+// sits above a multi-line if header.
+func (d *directive) governs(cl int) bool {
+	if attaches(d.pos.Line, cl) {
+		return true
+	}
+	return d.endLine > 0 && cl > d.pos.Line && cl <= d.endLine
+}
+
 // invariantAt finds and consumes an invariant directive attached to the
 // given source line.
 func (ds *directiveSet) invariantAt(pos token.Position) (string, bool) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
 	for _, d := range ds.byFile[pos.Filename] {
 		if d.kind == dirInvariant && attaches(d.pos.Line, pos.Line) {
 			d.used = true
@@ -131,7 +175,7 @@ func (ds *directiveSet) suppressed(d Diagnostic) bool {
 		return false
 	}
 	for _, dir := range ds.byFile[d.Pos.Filename] {
-		if dir.kind != dirIgnore || !attaches(dir.pos.Line, d.Pos.Line) {
+		if dir.kind != dirIgnore || !dir.governs(d.Pos.Line) {
 			continue
 		}
 		for _, name := range dir.analyzers {

@@ -118,3 +118,58 @@ func F() {
 		t.Errorf("got %v, want exactly the poolalias ignore reported unused", unused)
 	}
 }
+
+// A directive above an `if` whose header spans several lines — an init
+// clause plus a short-circuit condition broken across lines — governs
+// findings anchored to ANY clause position up to the opening brace,
+// not just the first line. (lockorder anchors to the condition's lock
+// call, which may sit two lines below the directive.)
+func TestIgnoreCoversMultiClauseIfHeader(t *testing.T) {
+	ds := parseFixture(t, `package p
+
+func F(m map[int]int) int {
+	//lint:ignore lockorder the guard reads an immutable snapshot taken at boot
+	if v, ok := m[1]; ok &&
+		v > 0 &&
+		v < 10 {
+		return v
+	}
+	return 0
+}
+`)
+	diag := func(line int) Diagnostic {
+		return Diagnostic{
+			Pos:      token.Position{Filename: "fix.go", Line: line},
+			Analyzer: "lockorder",
+		}
+	}
+	// Line 5 is the if header, 6 and 7 the continuation clauses up to
+	// the opening brace.
+	for _, line := range []int{5, 6, 7} {
+		if !ds.suppressed(diag(line)) {
+			t.Errorf("finding on header line %d not suppressed by the directive above the if", line)
+		}
+	}
+	if ds.suppressed(diag(8)) {
+		t.Error("suppression leaked into the if body")
+	}
+}
+
+// The widening only applies to multi-line if headers: a single-line if
+// keeps the strict same-or-next-line attachment.
+func TestIgnoreSingleLineIfNotWidened(t *testing.T) {
+	ds := parseFixture(t, `package p
+
+func F(n int) int {
+	//lint:ignore detlint bounded by the caller's invariant contract
+	if n > 0 {
+		return n
+	}
+	return 0
+}
+`)
+	d := Diagnostic{Pos: token.Position{Filename: "fix.go", Line: 6}, Analyzer: "detlint"}
+	if ds.suppressed(d) {
+		t.Error("single-line if must not widen the directive past the next line")
+	}
+}

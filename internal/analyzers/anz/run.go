@@ -1,7 +1,10 @@
 package anz
 
 import (
+	"fmt"
+	"go/token"
 	"sort"
+	"sync"
 
 	"npra/internal/core/errs"
 )
@@ -9,6 +12,15 @@ import (
 // Run executes every analyzer over every package, applies //lint:ignore
 // suppression, verifies directives, and returns the surviving
 // diagnostics sorted by position.
+//
+// The packages are loaded and type-checked exactly once (by the
+// caller's LoadConfig.Load) and shared by every analyzer: analyzers
+// run concurrently, each walking the package list sequentially so any
+// cross-package RunState needs no locking. Loaded ASTs, type info and
+// the FileSet are read-only during analysis; the one mutable shared
+// structure — the per-package directive sets, consumed by
+// Pass.Invariant — locks internally. Diagnostics are merged in suite
+// order and sorted, so the output is bit-identical to a serial run.
 //
 // Unused-directive verification only makes sense when the consuming
 // analyzers actually ran, so it is enabled when the set includes
@@ -22,31 +34,88 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 	}
 
+	// Parse directives once per package; shared by all analyzers.
+	dirsByPkg := make([]*directiveSet, len(pkgs))
+	dirsByFile := make(map[string]*directiveSet)
+	for i, pkg := range pkgs {
+		ds := parseDirectives(pkg.Fset, pkg.Files)
+		dirsByPkg[i] = ds
+		for f := range ds.byFile {
+			dirsByFile[f] = ds
+		}
+		// Register every file so cross-package Finish findings can be
+		// routed to the owning set even when it holds no directives.
+		for _, f := range pkg.Files {
+			name := pkg.Fset.Position(f.Pos()).Filename
+			if _, ok := dirsByFile[name]; !ok {
+				dirsByFile[name] = ds
+			}
+		}
+	}
+
+	// One goroutine per analyzer over the shared package set.
+	raw := make([][]Diagnostic, len(analyzers))
+	errors := make([]error, len(analyzers))
+	var wg sync.WaitGroup
+	for ai, a := range analyzers {
+		wg.Add(1)
+		go func(ai int, a *Analyzer) {
+			defer wg.Done()
+			var state any
+			if a.NewRunState != nil {
+				state = a.NewRunState()
+			}
+			var sink []Diagnostic
+			for i, pkg := range pkgs {
+				pass := &Pass{
+					Analyzer: a,
+					Path:     pkg.Path,
+					Fset:     pkg.Fset,
+					Files:    pkg.Files,
+					Pkg:      pkg.Types,
+					Info:     pkg.Info,
+					state:    state,
+					dirs:     dirsByPkg[i],
+					sink:     &sink,
+				}
+				if err := a.Run(pass); err != nil {
+					errors[ai] = errs.Internalf("analyzers: %s on %s: %v", a.Name, pkg.Path, err)
+					return
+				}
+			}
+			if a.Finish != nil {
+				report := func(pos token.Position, format string, args ...any) {
+					sink = append(sink, Diagnostic{Pos: pos, Analyzer: a.Name, Message: fmt.Sprintf(format, args...)})
+				}
+				if err := a.Finish(state, report); err != nil {
+					errors[ai] = errs.Internalf("analyzers: %s finish: %v", a.Name, err)
+					return
+				}
+			}
+			raw[ai] = sink
+		}(ai, a)
+	}
+	wg.Wait()
+	for _, err := range errors {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Merge in suite order, then apply suppression serially (directive
+	// used-marking is not concurrent-safe and must be deterministic).
 	var out []Diagnostic
-	for _, pkg := range pkgs {
-		dirs := parseDirectives(pkg.Fset, pkg.Files)
-		var raw []Diagnostic
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer: a,
-				Path:     pkg.Path,
-				Fset:     pkg.Fset,
-				Files:    pkg.Files,
-				Pkg:      pkg.Types,
-				Info:     pkg.Info,
-				dirs:     dirs,
-				sink:     &raw,
+	for _, sink := range raw {
+		for _, d := range sink {
+			ds := dirsByFile[d.Pos.Filename]
+			if ds != nil && ds.suppressed(d) {
+				continue
 			}
-			if err := a.Run(pass); err != nil {
-				return nil, errs.Internalf("analyzers: %s on %s: %v", a.Name, pkg.Path, err)
-			}
+			out = append(out, d)
 		}
-		for _, d := range raw {
-			if !dirs.suppressed(d) {
-				out = append(out, d)
-			}
-		}
-		out = append(out, dirs.verify(checkUnused)...)
+	}
+	for _, ds := range dirsByPkg {
+		out = append(out, ds.verify(checkUnused)...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]

@@ -1,0 +1,384 @@
+package anz
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The third layer of the flow framework: lightweight per-function
+// summaries for one-level call-site propagation. A dataflow analysis
+// inside one function sees `sh.mu.Lock()` directly, but a call to
+// `c.Stats()` hides the shard locks Stats takes; the summary records,
+// per function, which locks the body may acquire and release, whether
+// it spawns goroutines, and whether it observes a context's Done/Err —
+// enough for the concurrency analyzers to propagate one call level
+// deep without whole-program analysis (matching the paper's stance of
+// cheap per-unit summaries composed at the boundaries).
+
+// A LockClass distinguishes the four mutex operations.
+type LockClass int
+
+const (
+	LockAcquire LockClass = iota
+	LockRelease
+	RLockAcquire
+	RLockRelease
+)
+
+// IsAcquire reports whether the class takes the lock.
+func (c LockClass) IsAcquire() bool { return c == LockAcquire || c == RLockAcquire }
+
+// A LockOp is one mutex operation found in a body.
+//
+// Local is the syntactic receiver path inside the function ("sh.mu",
+// "c.keyMu"): distinct aliases of the same lock type stay distinct, so
+// the per-function held-set tracks exactly what the source says.
+// Global is the type-qualified identity ("npra/internal/funccache.shard.mu"):
+// every instance of a struct's lock field shares it, so the repo-wide
+// acquisition-order graph ranges over lock *classes*, as the paper's
+// conflict analysis ranges over register classes rather than instances.
+type LockOp struct {
+	Class  LockClass
+	Local  string
+	Global string
+	Pos    token.Pos
+}
+
+// lockMethods classifies the sync.Mutex/RWMutex method set.
+var lockMethods = map[string]LockClass{
+	"Lock":    LockAcquire,
+	"Unlock":  LockRelease,
+	"RLock":   RLockAcquire,
+	"RUnlock": RLockRelease,
+}
+
+// LockOpAt classifies call as a mutex operation. It recognizes direct
+// calls X.Lock/Unlock/RLock/RUnlock where X's type is sync.Mutex,
+// sync.RWMutex, a pointer to either, or a named type embedding one
+// (the method resolves into package sync).
+func LockOpAt(pass *Pass, call *ast.CallExpr) (LockOp, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return LockOp{}, false
+	}
+	class, ok := lockMethods[sel.Sel.Name]
+	if !ok {
+		return LockOp{}, false
+	}
+	// The selection must resolve to a method declared in package sync
+	// (covers direct fields, pointers, and embedded mutexes).
+	s, ok := pass.Info.Selections[sel]
+	if ok {
+		fn, okf := s.Obj().(*types.Func)
+		if !okf || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+			return LockOp{}, false
+		}
+	} else {
+		// No selection entry: X is a package name (sync.OnceFunc etc.) —
+		// not a lock op.
+		return LockOp{}, false
+	}
+	return LockOp{
+		Class:  class,
+		Local:  ExprPath(sel.X),
+		Global: GlobalLockID(pass, sel.X),
+		Pos:    call.Pos(),
+	}, true
+}
+
+// ExprPath renders a receiver expression as a stable syntactic path:
+// idents and field selections keep their names, everything else
+// degrades to a coarse bucket so distinct complex expressions do not
+// explode the fact space.
+func ExprPath(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return ExprPath(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return ExprPath(e.X)
+	case *ast.StarExpr:
+		return ExprPath(e.X)
+	case *ast.UnaryExpr:
+		return ExprPath(e.X)
+	case *ast.IndexExpr:
+		return ExprPath(e.X) + "[i]"
+	case *ast.CallExpr:
+		return ExprPath(e.Fun) + "()"
+	default:
+		return "<expr>"
+	}
+}
+
+// GlobalLockID qualifies a lock receiver by its owning declaration:
+// for a field selection the owning named struct type
+// ("pkg/path.Type.field", following nested fields to the innermost
+// one), for a package-level var "pkg/path.var", for a local variable
+// the enclosing position-less name "local:<name>". Unresolvable
+// receivers yield "<dynamic>".
+func GlobalLockID(pass *Pass, e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return GlobalLockID(pass, e.X)
+	case *ast.StarExpr:
+		return GlobalLockID(pass, e.X)
+	case *ast.UnaryExpr:
+		return GlobalLockID(pass, e.X)
+	case *ast.SelectorExpr:
+		if s, ok := pass.Info.Selections[e]; ok {
+			if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+				recv := s.Recv()
+				for {
+					if p, ok := recv.(*types.Pointer); ok {
+						recv = p.Elem()
+						continue
+					}
+					break
+				}
+				if named, ok := recv.(*types.Named); ok {
+					obj := named.Obj()
+					pkg := ""
+					if obj.Pkg() != nil {
+						pkg = obj.Pkg().Path() + "."
+					}
+					return pkg + obj.Name() + "." + v.Name()
+				}
+				return "<anon>." + v.Name()
+			}
+		}
+		// Qualified package-level var: pkg.Mu.
+		if id, ok := e.X.(*ast.Ident); ok {
+			if pn, ok := pass.Info.Uses[id].(*types.PkgName); ok {
+				return pn.Imported().Path() + "." + e.Sel.Name
+			}
+		}
+		return "<dynamic>"
+	case *ast.Ident:
+		obj := pass.Info.Uses[e]
+		if obj == nil {
+			obj = pass.Info.Defs[e]
+		}
+		if v, ok := obj.(*types.Var); ok {
+			if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return v.Pkg().Path() + "." + v.Name()
+			}
+			return "local:" + v.Name()
+		}
+		return "<dynamic>"
+	case *ast.IndexExpr:
+		return GlobalLockID(pass, e.X) + "[i]"
+	default:
+		return "<dynamic>"
+	}
+}
+
+// A Summary is the one-level propagation record of one function.
+type Summary struct {
+	Decl *ast.FuncDecl
+
+	// Acquires/Releases are the global IDs of locks the body itself
+	// may operate on, excluding deferred calls and function literals
+	// (a closure's ops belong to whoever runs it).
+	Acquires StringSet
+	Releases StringSet
+
+	// AcquireOps keeps the source-ordered acquire sites for diagnostics.
+	AcquireOps []LockOp
+
+	// Spawns counts `go` statements in the body (literals included).
+	Spawns int
+
+	// ObservesDone reports whether the body references ctx.Done(),
+	// ctx.Err(), or ctx.Deadline() on a context.Context — the signal
+	// goleak accepts as termination intent for one-level callees.
+	ObservesDone bool
+}
+
+// Summarize computes summaries for every function declaration in the
+// package, keyed by the function's types.Object so call sites resolve
+// to them via Info.Uses.
+func Summarize(pass *Pass) map[types.Object]*Summary {
+	out := make(map[types.Object]*Summary)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj := pass.Info.Defs[fd.Name]
+			if obj == nil {
+				continue
+			}
+			out[obj] = summarizeFunc(pass, fd)
+		}
+	}
+	return out
+}
+
+func summarizeFunc(pass *Pass, fd *ast.FuncDecl) *Summary {
+	s := &Summary{Decl: fd}
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Closure bodies still count for ObservesDone (the intent
+			// signal), but their lock ops are not the enclosing
+			// function's.
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				if c, ok := m.(*ast.CallExpr); ok && IsCtxSignalCall(pass, c) {
+					s.ObservesDone = true
+				}
+				return true
+			})
+			return false
+		case *ast.DeferStmt:
+			// Deferred releases run at exit; record releases so balance
+			// checks can credit them, but skip deferred acquires (rare
+			// and misleading in a may-acquire summary).
+			if op, ok := LockOpAt(pass, n.Call); ok && !op.Class.IsAcquire() {
+				s.Releases = s.Releases.Add(op.Global)
+			}
+			return false
+		case *ast.GoStmt:
+			s.Spawns++
+		case *ast.CallExpr:
+			if op, ok := LockOpAt(pass, n); ok {
+				if op.Class.IsAcquire() {
+					s.Acquires = s.Acquires.Add(op.Global)
+					s.AcquireOps = append(s.AcquireOps, op)
+				} else {
+					s.Releases = s.Releases.Add(op.Global)
+				}
+			}
+			if IsCtxSignalCall(pass, n) {
+				s.ObservesDone = true
+			}
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+	return s
+}
+
+// IsCtxSignalCall reports whether call is ctx.Done(), ctx.Err() or
+// ctx.Deadline() on a context.Context value.
+func IsCtxSignalCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Done", "Err", "Deadline":
+	default:
+		return false
+	}
+	tv, ok := pass.Info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return IsContextType(tv.Type)
+}
+
+// IsContextType reports whether t is context.Context (or an alias with
+// the same underlying interface from package context).
+func IsContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// CalleeObject resolves a call to the types.Object of its static
+// callee: a plain function, or a method with a concrete receiver.
+// Dynamic calls (function values, interface methods) return nil.
+func CalleeObject(pass *Pass, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if obj, ok := pass.Info.Uses[fun].(*types.Func); ok {
+			return obj
+		}
+		return nil
+	case *ast.SelectorExpr:
+		if s, ok := pass.Info.Selections[fun]; ok {
+			if fn, ok := s.Obj().(*types.Func); ok {
+				// Interface-dispatched methods are dynamic.
+				if types.IsInterface(s.Recv()) {
+					return nil
+				}
+				return fn
+			}
+			return nil
+		}
+		// Package-qualified call: pkg.F().
+		if obj, ok := pass.Info.Uses[fun.Sel].(*types.Func); ok {
+			return obj
+		}
+	}
+	return nil
+}
+
+// IsDynamicCall reports whether call dispatches through a function
+// value or interface method — a callee no summary can describe.
+// Builtins and type conversions are not calls for this purpose.
+func IsDynamicCall(pass *Pass, call *ast.CallExpr) bool {
+	fun := ast.Unparen(call.Fun)
+	// Conversions: the "callee" is a type.
+	if tv, ok := pass.Info.Types[fun]; ok && tv.IsType() {
+		return false
+	}
+	switch f := fun.(type) {
+	case *ast.Ident:
+		switch obj := pass.Info.Uses[f].(type) {
+		case *types.Func:
+			return false
+		case *types.Builtin:
+			return false
+		case *types.Var:
+			return true // function-typed variable
+		case nil:
+			return false
+		default:
+			_ = obj
+			return false
+		}
+	case *ast.SelectorExpr:
+		if s, ok := pass.Info.Selections[f]; ok {
+			if _, isFn := s.Obj().(*types.Func); isFn {
+				return types.IsInterface(s.Recv())
+			}
+			// Field selection of function type.
+			if v, ok := s.Obj().(*types.Var); ok {
+				_, isSig := v.Type().Underlying().(*types.Signature)
+				return isSig
+			}
+			return false
+		}
+		if _, ok := pass.Info.Uses[f.Sel].(*types.Func); ok {
+			return false
+		}
+		if tv, ok := pass.Info.Types[fun]; ok && tv.IsType() {
+			return false
+		}
+		return false
+	case *ast.FuncLit:
+		return false // immediately-invoked literal: body is right there
+	}
+	return true
+}
+
+// ShortPos renders a position as file:line relative to nothing — the
+// final path shortening happens in the driver; analyzers use it to
+// reference "the other site" inside a message.
+func ShortPos(pass *Pass, pos token.Pos) string {
+	p := pass.Fset.Position(pos)
+	name := p.Filename
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	return name + ":" + itoa(p.Line)
+}

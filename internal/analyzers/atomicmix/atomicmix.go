@@ -1,0 +1,267 @@
+// Package atomicmix catches the half-converted-counter race: a struct
+// field updated through sync/atomic in one function but read or
+// written directly in another. The atomic calls establish that the
+// field is shared across goroutines; every plain access to it is then
+// a data race the compiler and -race may never see on a lucky
+// interleaving — exactly the metrics/faultinject fast-path class where
+// a hot path does `atomic.AddInt64(&m.n, 1)` while a report path does
+// `m.n++`.
+//
+// The pass classifies, repo-wide (cross-package via the run state),
+// every access to a struct field:
+//
+//   - atomic: the field's address is passed to a sync/atomic function
+//     (AddInt64, LoadUint32, StorePointer, CompareAndSwap..., Swap...),
+//     or the field has one of the atomic.Int32/Int64/Uint32/Uint64/
+//     Bool/Pointer/Value types, whose method calls are atomic by
+//     construction.
+//   - plain: any other read or write of the field by selector.
+//
+// Fields with both kinds of access are reported at each plain site,
+// naming an atomic witness site. Initialization before sharing is the
+// idiomatic exception — constructors (functions returning the owning
+// type, conventionally New*) publish the struct only after the plain
+// writes — so plain accesses inside New*/new* functions and inside
+// composite literals are not counted. Deliberate unshared phases
+// (tests' setup, a single-threaded reset) carry //lint:ignore
+// atomicmix justifications.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"npra/internal/analyzers/anz"
+)
+
+// Analyzer is the atomicmix pass.
+var Analyzer = &anz.Analyzer{
+	Name: "atomicmix",
+	Doc: "flags struct fields accessed via sync/atomic in one function and by plain " +
+		"read/write in another — a data race the lucky interleavings of -race never show",
+	Run:         run,
+	NewRunState: func() any { return newState() },
+	Finish:      finish,
+}
+
+type access struct {
+	pos token.Position
+	fn  string
+}
+
+type fieldAccesses struct {
+	atomic []access
+	plain  []access
+}
+
+type state struct {
+	fields map[string]*fieldAccesses // field id -> accesses
+}
+
+func newState() *state { return &state{fields: make(map[string]*fieldAccesses)} }
+
+func (st *state) of(id string) *fieldAccesses {
+	fa := st.fields[id]
+	if fa == nil {
+		fa = &fieldAccesses{}
+		st.fields[id] = fa
+	}
+	return fa
+}
+
+// atomicFuncs is the sync/atomic free-function prefix set.
+var atomicPrefixes = []string{"Add", "Load", "Store", "Swap", "CompareAndSwap"}
+
+func isAtomicFunc(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	for _, p := range atomicPrefixes {
+		if strings.HasPrefix(fn.Name(), p) {
+			return true
+		}
+	}
+	return false
+}
+
+// isAtomicType reports whether t is one of sync/atomic's typed
+// wrappers, whose accesses are atomic by construction.
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// fieldID qualifies a field selection by its declaring struct:
+// "npra/internal/serve.metrics.queueDepth". Non-field selections
+// return "".
+func fieldID(pass *anz.Pass, sel *ast.SelectorExpr) string {
+	s, ok := pass.Info.Selections[sel]
+	if !ok {
+		return ""
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok || !v.IsField() {
+		return ""
+	}
+	recv := s.Recv()
+	for {
+		if p, ok := recv.(*types.Pointer); ok {
+			recv = p.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	pkg := ""
+	if obj.Pkg() != nil {
+		pkg = obj.Pkg().Path() + "."
+	}
+	return pkg + obj.Name() + "." + v.Name()
+}
+
+func run(pass *anz.Pass) error {
+	st := pass.RunState().(*state)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			collect(pass, st, fd)
+		}
+	}
+	return nil
+}
+
+// isConstructor exempts the publish-after-init idiom: plain writes in
+// New*/new* functions happen before the struct is shared.
+func isConstructor(name string) bool {
+	return strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new")
+}
+
+func collect(pass *anz.Pass, st *state, fd *ast.FuncDecl) {
+	fnName := fd.Name.Name
+	constructor := isConstructor(fnName)
+
+	// Selector expressions consumed by an atomic call (&x.f argument):
+	// recorded as atomic, and excluded from the plain walk.
+	atomicArgs := make(map[*ast.SelectorExpr]bool)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if obj := pass.Info.Uses[sel.Sel]; obj != nil && isAtomicFunc(obj) {
+				for _, arg := range call.Args {
+					un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					fsel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					if id := fieldID(pass, fsel); id != "" {
+						atomicArgs[fsel] = true
+						st.of(id).atomic = append(st.of(id).atomic, access{pos: pass.Fset.Position(fsel.Pos()), fn: fnName})
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || atomicArgs[sel] {
+			return true
+		}
+		id := fieldID(pass, sel)
+		if id == "" {
+			return true
+		}
+		if tv, ok := pass.Info.Types[sel]; ok && tv.Type != nil && isAtomicType(tv.Type) {
+			// Method calls on atomic.Int64 etc. are atomic accesses;
+			// recorded so a typed field mixed with... nothing: typed
+			// fields cannot be accessed plainly without the methods, so
+			// just record the atomic side.
+			st.of(id).atomic = append(st.of(id).atomic, access{pos: pass.Fset.Position(sel.Pos()), fn: fnName})
+			return true
+		}
+		if constructor {
+			return true
+		}
+		st.of(id).plain = append(st.of(id).plain, access{pos: pass.Fset.Position(sel.Pos()), fn: fnName})
+		return true
+	})
+}
+
+func finish(s any, report func(pos token.Position, format string, args ...any)) error {
+	st := s.(*state)
+	ids := make([]string, 0, len(st.fields))
+	for id := range st.fields {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		fa := st.fields[id]
+		if len(fa.atomic) == 0 || len(fa.plain) == 0 {
+			continue
+		}
+		// Only cross-function mixes: a single function mixing both is
+		// caught too, but same-function pairs where one is the &f arg
+		// are already excluded above.
+		witness := fa.atomic[0]
+		sort.Slice(fa.plain, func(i, j int) bool { return posLess(fa.plain[i].pos, fa.plain[j].pos) })
+		for _, p := range fa.plain {
+			if p.fn == witness.fn && samePos(p.pos, witness.pos) {
+				continue
+			}
+			report(p.pos, "plain access to %s, which %s accesses via sync/atomic (%s:%d): every access to a shared field must be atomic (or all guarded by one lock) — mixing the two is a data race", shortField(id), witness.fn, baseName(witness.pos.Filename), witness.pos.Line)
+		}
+	}
+	return nil
+}
+
+func posLess(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Column < b.Column
+}
+
+func samePos(a, b token.Position) bool {
+	return a.Filename == b.Filename && a.Line == b.Line && a.Column == b.Column
+}
+
+// shortField trims the import path for message readability.
+func shortField(id string) string {
+	if i := strings.LastIndexByte(id, '/'); i >= 0 {
+		return id[i+1:]
+	}
+	return id
+}
+
+func baseName(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -5,11 +5,14 @@ import (
 	"testing"
 
 	"npra/internal/analyzers/anztest"
+	"npra/internal/analyzers/atomicmix"
 	"npra/internal/analyzers/cachealias"
 	"npra/internal/analyzers/ctxplumb"
 	"npra/internal/analyzers/detlint"
 	"npra/internal/analyzers/errtaxonomy"
 	"npra/internal/analyzers/frozenfunc"
+	"npra/internal/analyzers/goleak"
+	"npra/internal/analyzers/lockorder"
 	"npra/internal/analyzers/panicfree"
 	"npra/internal/analyzers/poolalias"
 	"npra/internal/analyzers/sleeplint"
@@ -55,4 +58,16 @@ func TestFrozenfuncFixtures(t *testing.T) {
 
 func TestSleeplintFixtures(t *testing.T) {
 	anztest.Run(t, fixtureDir(t), sleeplint.Analyzer, "sleepfix")
+}
+
+func TestLockorderFixtures(t *testing.T) {
+	anztest.Run(t, fixtureDir(t), lockorder.Analyzer, "npra/internal/lockfix")
+}
+
+func TestGoleakFixtures(t *testing.T) {
+	anztest.Run(t, fixtureDir(t), goleak.Analyzer, "leakfix")
+}
+
+func TestAtomicmixFixtures(t *testing.T) {
+	anztest.Run(t, fixtureDir(t), atomicmix.Analyzer, "atomfix")
 }

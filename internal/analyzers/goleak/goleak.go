@@ -1,0 +1,319 @@
+// Package goleak hunts the goroutine-leak bug classes the serving tier
+// lives with (PRs 5–8: singleflight waiters, batch collectors, hedged
+// requests, chaos-proxy pumps). Two rules, both over the anz CFG:
+//
+//  1. Non-terminating goroutine bodies. For every `go func(){...}`
+//     the literal's CFG must be able to reach its exit: a `for {}`
+//     with no reachable return/break, or a loop whose only waits can
+//     never be satisfied, keeps the goroutine alive for the process
+//     lifetime — under churn that is an unbounded leak. Returns,
+//     breaks out of the loop, `for range ch` (terminates on channel
+//     close), and select cases that return all count as termination;
+//     a loop that cannot exit does not, even if it receives on
+//     ctx.Done() without acting on it. `go m()` spawns of named
+//     functions are checked against the one-level summary (its own
+//     CFG's exit reachability), cross-package via the run state.
+//
+//  2. Blocking sends no receiver is guaranteed to drain. The classic
+//     leak: a worker sends its result on an unbuffered channel while
+//     the parent receives in a select that can take another case
+//     (ctx.Done, a timeout) and return — the worker then blocks on
+//     the send forever. Reported when an unbuffered make(chan) local
+//     is sent to from inside a spawned goroutine (outside any select
+//     with an escape case) and every parent receive sits in a
+//     multi-case select. The fix is a 1-buffered channel, exactly the
+//     hedging discipline internal/resilience uses.
+//
+// Process-lifetime goroutines that are *meant* to run forever carry a
+// //lint:ignore goleak justification naming the lifetime owner.
+package goleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"npra/internal/analyzers/anz"
+)
+
+// Analyzer is the goleak pass.
+var Analyzer = &anz.Analyzer{
+	Name: "goleak",
+	Doc: "flags goroutines whose CFG cannot reach termination (no return/ctx-gated exit/" +
+		"channel-close path) and blocking sends on unbuffered channels whose receiver may abandon them",
+	Run:         run,
+	NewRunState: func() any { return newState() },
+	Finish:      finish,
+}
+
+type state struct {
+	// terminates records, for every function declaration seen, whether
+	// its CFG can reach the exit — the one-level summary for `go m()`
+	// spawns of named functions.
+	terminates map[types.Object]bool
+
+	// spawns of named functions, resolved in Finish once every
+	// package's declarations are in.
+	spawns []namedSpawn
+}
+
+type namedSpawn struct {
+	callee types.Object
+	name   string
+	pos    token.Position
+}
+
+func newState() *state {
+	return &state{terminates: make(map[types.Object]bool)}
+}
+
+func run(pass *anz.Pass) error {
+	st := pass.RunState().(*state)
+
+	// Record exit reachability for every declared function.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj := pass.Info.Defs[fd.Name]; obj != nil {
+				st.terminates[obj] = anz.BuildCFG(fd.Body).ExitReachable()
+			}
+		}
+	}
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, st, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *anz.Pass, st *state, fd *ast.FuncDecl) {
+	unbuffered := unbufferedChans(pass, fd)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		switch fun := gs.Call.Fun.(type) {
+		case *ast.FuncLit:
+			g := anz.BuildCFG(fun.Body)
+			if !g.ExitReachable() {
+				pass.Reportf(gs.Pos(), "goroutine cannot terminate: no path from its entry reaches a return, a break out of its loop, or loop exhaustion — it outlives every request (leak); gate the loop on ctx.Done() or a closable channel")
+			}
+			if len(unbuffered) > 0 {
+				checkBlockingSends(pass, fd, gs, fun, unbuffered)
+			}
+		case *ast.Ident, *ast.SelectorExpr:
+			if obj := anz.CalleeObject(pass, gs.Call); obj != nil {
+				st.spawns = append(st.spawns, namedSpawn{
+					callee: obj,
+					name:   obj.Name(),
+					pos:    pass.Fset.Position(gs.Pos()),
+				})
+			}
+		}
+		return true
+	})
+}
+
+// unbufferedChans finds local variables bound to make(chan T) with no
+// or zero capacity, keyed by object.
+func unbufferedChans(pass *anz.Pass, fd *ast.FuncDecl) map[types.Object]token.Pos {
+	out := make(map[types.Object]token.Pos)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || !isMakeUnbufferedChan(pass, call) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := pass.Info.ObjectOf(id); obj != nil {
+					out[obj] = id.Pos()
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isMakeUnbufferedChan(pass *anz.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "make" {
+		return false
+	}
+	if _, ok := pass.Info.Uses[id].(*types.Builtin); !ok {
+		return false
+	}
+	if len(call.Args) == 0 {
+		return false
+	}
+	if tv, ok := pass.Info.Types[call.Args[0]]; !ok || tv.Type == nil {
+		return false
+	} else if _, isChan := tv.Type.Underlying().(*types.Chan); !isChan {
+		return false
+	}
+	if len(call.Args) == 1 {
+		return true
+	}
+	// Explicit capacity: unbuffered only when it is the constant 0.
+	tv, ok := pass.Info.Types[call.Args[1]]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return tv.Value.String() == "0"
+}
+
+// checkBlockingSends flags sends inside the spawned literal on the
+// enclosing function's unbuffered channels when (a) the send has no
+// escape — it is not inside a select with a default or another case —
+// and (b) every receive from that channel in the parent body is inside
+// a select with an alternative, so the parent may return without
+// draining the send.
+func checkBlockingSends(pass *anz.Pass, fd *ast.FuncDecl, gs *ast.GoStmt, lit *ast.FuncLit, unbuffered map[types.Object]token.Pos) {
+	// Sends on tracked channels, with their select context.
+	type sendSite struct {
+		send *ast.SendStmt
+		obj  types.Object
+	}
+	var sends []sendSite
+	var visit func(n ast.Node, inEscapeSelect bool)
+	visit = func(n ast.Node, inEscapeSelect bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == nil || m == n {
+				return m == n
+			}
+			switch m := m.(type) {
+			case *ast.SelectStmt:
+				escape := len(m.Body.List) > 1 // any alternative case is an escape
+				for _, cl := range m.Body.List {
+					if cc, ok := cl.(*ast.CommClause); ok {
+						if cc.Comm != nil {
+							visit(cc.Comm, escape)
+						}
+						for _, st := range cc.Body {
+							visit(st, inEscapeSelect)
+						}
+					}
+				}
+				return false
+			case *ast.FuncLit:
+				return false
+			case *ast.SendStmt:
+				if inEscapeSelect {
+					return true
+				}
+				if id, ok := m.Chan.(*ast.Ident); ok {
+					if obj := pass.Info.Uses[id]; obj != nil {
+						if _, tracked := unbuffered[obj]; tracked {
+							sends = append(sends, sendSite{send: m, obj: obj})
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	visit(lit.Body, false)
+	if len(sends) == 0 {
+		return
+	}
+
+	// Receives in the parent, outside this goroutine literal.
+	// abandonable: every receive sits in a select with an alternative.
+	recvs := 0
+	abandonable := true
+	var scan func(n ast.Node, inEscapeSelect bool)
+	scan = func(n ast.Node, inEscapeSelect bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == nil || m == n {
+				return m == n
+			}
+			switch m := m.(type) {
+			case *ast.GoStmt:
+				if m == gs {
+					return false
+				}
+			case *ast.SelectStmt:
+				escape := len(m.Body.List) > 1
+				for _, cl := range m.Body.List {
+					if cc, ok := cl.(*ast.CommClause); ok {
+						if cc.Comm != nil {
+							scan(cc.Comm, escape)
+						}
+						for _, st := range cc.Body {
+							scan(st, inEscapeSelect)
+						}
+					}
+				}
+				return false
+			case *ast.UnaryExpr:
+				if m.Op == token.ARROW {
+					if id, ok := m.X.(*ast.Ident); ok {
+						if obj := pass.Info.Uses[id]; obj != nil {
+							for _, s := range sends {
+								if s.obj == obj {
+									recvs++
+									if !inEscapeSelect {
+										abandonable = false
+									}
+								}
+							}
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				// for range ch drains until close — a guaranteed receiver.
+				if id, ok := m.X.(*ast.Ident); ok {
+					if obj := pass.Info.Uses[id]; obj != nil {
+						for _, s := range sends {
+							if s.obj == obj {
+								recvs++
+								abandonable = false
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	scan(fd.Body, false)
+
+	if recvs == 0 || !abandonable {
+		return
+	}
+	for _, s := range sends {
+		pass.Reportf(s.send.Pos(), "blocking send on unbuffered %s: the only receives sit in a select that can take another case and return, leaving this goroutine blocked forever — make the channel 1-buffered so the send always completes", nameOf(s.send.Chan))
+	}
+}
+
+func nameOf(e ast.Expr) string {
+	if id, ok := e.(*ast.Ident); ok {
+		return id.Name
+	}
+	return "channel"
+}
+
+func finish(s any, report func(pos token.Position, format string, args ...any)) error {
+	st := s.(*state)
+	for _, sp := range st.spawns {
+		if term, known := st.terminates[sp.callee]; known && !term {
+			report(sp.pos, "goroutine %s cannot terminate: no path through its body reaches a return or loop exit — it outlives every request (leak); gate its loop on ctx.Done() or a closable channel", sp.name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,401 @@
+// Package lockorder is the first flow-powered npravet pass: it reasons
+// about mutexes the way the paper reasons about registers — statically,
+// across all paths, instead of trusting `go test -race` to observe the
+// bad interleaving. Three bug classes, over the anz CFG + dataflow
+// layer:
+//
+//  1. Lock-order cycles. Every acquisition of lock B while lock A is
+//     held contributes an edge A→B to a repo-wide acquisition-order
+//     graph (locks are identified by their declaring struct field —
+//     "npra/internal/funccache.shard.mu" — so every shard instance
+//     shares a node). A cycle in that graph is a potential deadlock:
+//     two goroutines taking the locks in opposite order need only
+//     interleave once. Edges through one level of direct calls are
+//     included via the anz function summaries, so `c.Stats()` taking
+//     shard locks while the caller holds another lock is seen.
+//
+//  2. Unknown callees under a lock. A call through a function value or
+//     interface method while holding a lock invokes code the order
+//     graph cannot see; if that code takes any lock, the graph is
+//     incomplete exactly where it matters. Reported for the caller to
+//     either hoist the call out of the critical section or justify it.
+//
+//  3. Unbalanced paths. A lock acquired on some CFG path but not
+//     released on every path to the function exit (deferred unlocks
+//     credited) leaks the critical section: the next Lock self-
+//     deadlocks. The dual — Unlock/RUnlock on a path where the lock
+//     cannot be held — is reported too, as is a direct re-acquisition
+//     while already held and the RLock→Lock upgrade, which deadlocks
+//     an RWMutex by itself.
+//
+// The pass is deliberately scoped to the repo's lock discipline:
+// critical sections are short, leaf-like, and never hold a lock across
+// an exported call. Sites that break the pattern deliberately carry a
+// //lint:ignore lockorder justification.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"npra/internal/analyzers/anz"
+)
+
+// Analyzer is the lockorder pass.
+var Analyzer = &anz.Analyzer{
+	Name: "lockorder",
+	Doc: "builds the repo-wide lock-acquisition order graph and reports cycles, dynamic " +
+		"calls made while holding a lock, and lock/unlock pairs unbalanced across CFG paths",
+	Run:         run,
+	NewRunState: func() any { return newState() },
+	Finish:      finish,
+}
+
+// state accumulates across packages: the acquisition-order graph, the
+// summaries seen so far, and call sites whose callee had no summary yet
+// when the caller was analyzed (package order is alphabetical, not
+// topological).
+type state struct {
+	// edges[from][to] = first witness site of an acquisition of `to`
+	// while `from` was held.
+	edges map[string]map[string]edgeSite
+
+	summaries map[types.Object]*anz.Summary
+
+	// pending calls under held locks, resolved against summaries in
+	// Finish.
+	pending []pendingCall
+}
+
+type edgeSite struct {
+	pos token.Position
+	fn  string
+}
+
+type pendingCall struct {
+	callee types.Object
+	held   []heldLock // locks held at the call, global ids
+	pos    token.Position
+	fn     string
+}
+
+type heldLock struct{ global string }
+
+func newState() *state {
+	return &state{
+		edges:     make(map[string]map[string]edgeSite),
+		summaries: make(map[types.Object]*anz.Summary),
+	}
+}
+
+func (st *state) addEdge(from, to string, pos token.Position, fn string) {
+	if from == to || from == "<dynamic>" || to == "<dynamic>" {
+		return
+	}
+	m := st.edges[from]
+	if m == nil {
+		m = make(map[string]edgeSite)
+		st.edges[from] = m
+	}
+	if _, ok := m[to]; !ok {
+		m[to] = edgeSite{pos: pos, fn: fn}
+	}
+}
+
+func run(pass *anz.Pass) error {
+	st := pass.RunState().(*state)
+	sums := anz.Summarize(pass)
+	for obj, s := range sums {
+		st.summaries[obj] = s
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, st, fd)
+		}
+	}
+	return nil
+}
+
+// heldLattice is the forward may-held analysis: the fact is the set of
+// lock keys possibly held at a program point. Keys are syntactic
+// receiver paths, with "[R]" marking read locks ("sh.mu", "sh.mu[R]"),
+// so aliasing stays exactly as written.
+type heldLattice struct {
+	pass *anz.Pass
+}
+
+func (l *heldLattice) Bottom() anz.StringSet                 { return anz.StringSet{} }
+func (l *heldLattice) Entry() anz.StringSet                  { return anz.StringSet{} }
+func (l *heldLattice) Join(a, b anz.StringSet) anz.StringSet { return a.Union(b) }
+func (l *heldLattice) Equal(a, b anz.StringSet) bool         { return a.Equal(b) }
+
+func (l *heldLattice) Transfer(b *anz.Block, in anz.StringSet) anz.StringSet {
+	held := in
+	for _, n := range b.Nodes {
+		forEachLockCall(l.pass, n, func(call *ast.CallExpr, op anz.LockOp, dynamic bool) {
+			if op == (anz.LockOp{}) {
+				return // not a lock op
+			}
+			key := lockKey(op)
+			if op.Class.IsAcquire() {
+				held = held.Add(key)
+			} else {
+				held = held.Remove(key)
+			}
+		})
+	}
+	return held
+}
+
+// lockKey is the per-function fact element of a lock operation.
+func lockKey(op anz.LockOp) string {
+	if op.Class == anz.RLockAcquire || op.Class == anz.RLockRelease {
+		return op.Local + "[R]"
+	}
+	return op.Local
+}
+
+// forEachLockCall walks one CFG node in source order and calls fn for
+// every call expression, classifying it as a lock op (dynamic=false,
+// valid op) or as a plain call (op zero; dynamic reports whether the
+// callee is a function value or interface method). Function literals
+// and defer statements are skipped: a closure's ops belong to whoever
+// runs it, and deferred calls run at exit, not here.
+func forEachLockCall(pass *anz.Pass, n ast.Node, fn func(call *ast.CallExpr, op anz.LockOp, dynamic bool)) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit, *ast.DeferStmt:
+			return false
+		case *ast.CallExpr:
+			if op, ok := anz.LockOpAt(pass, m); ok {
+				fn(m, op, false)
+				return true
+			}
+			fn(m, anz.LockOp{}, anz.IsDynamicCall(pass, m))
+		}
+		return true
+	})
+}
+
+func checkFunc(pass *anz.Pass, st *state, fd *ast.FuncDecl) {
+	g := anz.BuildCFG(fd.Body)
+	lat := &heldLattice{pass: pass}
+	facts := anz.Solve(g, lat)
+	fnName := fd.Name.Name
+
+	// Deferred releases credit the exit-balance check. defer
+	// mu.Unlock() covers "mu"; defer mu.RUnlock() covers "mu[R]".
+	deferred := anz.StringSet{}
+	for _, call := range g.Defers {
+		if op, ok := anz.LockOpAt(pass, call); ok && !op.Class.IsAcquire() {
+			deferred = deferred.Add(lockKey(op))
+		}
+	}
+
+	// localGlobal maps fact keys back to graph identities, and
+	// acquireSite remembers where each key was (first) taken for
+	// exit-balance messages.
+	localGlobal := make(map[string]string)
+	acquireSite := make(map[string]token.Pos)
+
+	for _, b := range g.Blocks {
+		if !g.Reachable(b) {
+			continue
+		}
+		held := facts.In[b.Index]
+		for _, n := range b.Nodes {
+			forEachLockCall(pass, n, func(call *ast.CallExpr, op anz.LockOp, dynamic bool) {
+				switch {
+				case op != (anz.LockOp{}) && op.Class.IsAcquire():
+					key := lockKey(op)
+					localGlobal[key] = op.Global
+					if _, seen := acquireSite[key]; !seen {
+						acquireSite[key] = call.Pos()
+					}
+					if held.Has(key) {
+						pass.Reportf(call.Pos(), "acquiring %s while already held on this path: a second %s self-deadlocks (missing unlock on a loop or branch path?)", op.Local, methodOf(op.Class))
+					}
+					if op.Class == anz.LockAcquire && held.Has(op.Local+"[R]") {
+						pass.Reportf(call.Pos(), "upgrading %s from RLock to Lock deadlocks: the writer waits for readers, including this goroutine's own RLock — release the read lock first", op.Local)
+					}
+					for _, h := range held.Elems() {
+						st.addEdge(baseGlobal(localGlobal, h), op.Global, pass.Fset.Position(call.Pos()), fnName)
+					}
+					held = held.Add(key)
+				case op != (anz.LockOp{}):
+					key := lockKey(op)
+					localGlobal[key] = op.Global
+					if !held.Has(key) {
+						pass.Reportf(call.Pos(), "%s of %s on a path where it cannot be held: unlock of an unlocked mutex panics at runtime", methodOf(op.Class), op.Local)
+					}
+					held = held.Remove(key)
+				case held.Len() > 0 && dynamic:
+					pass.Reportf(call.Pos(), "call through a function value or interface while holding %s: the callee is invisible to the lock-order graph and may itself acquire locks — hoist the call out of the critical section", strings.Join(baseNames(held), ", "))
+				case held.Len() > 0:
+					// Static callee: propagate its summary's acquisitions
+					// one level into the order graph.
+					if obj := anz.CalleeObject(pass, call); obj != nil && !isSyncOrBuiltin(obj) {
+						hl := make([]heldLock, 0, held.Len())
+						for _, h := range held.Elems() {
+							hl = append(hl, heldLock{global: baseGlobal(localGlobal, h)})
+						}
+						st.pending = append(st.pending, pendingCall{
+							callee: obj,
+							held:   hl,
+							pos:    pass.Fset.Position(call.Pos()),
+							fn:     fnName,
+						})
+					}
+				}
+			})
+		}
+	}
+
+	// Exit balance: a key held on some path into Exit without a
+	// deferred release never unlocks on that path.
+	exitHeld := facts.In[g.Exit.Index]
+	for _, key := range exitHeld.Elems() {
+		if deferred.Has(key) {
+			continue
+		}
+		pos := acquireSite[key]
+		if pos == token.NoPos {
+			pos = fd.Pos()
+		}
+		pass.Reportf(pos, "%s is not released on every path to the end of %s: a later acquisition self-deadlocks (add the missing unlock or defer it)", strings.TrimSuffix(key, "[R]"), fnName)
+	}
+}
+
+// baseGlobal maps a fact key to its graph identity, falling back to the
+// key itself (shouldn't happen: keys are recorded on first sight).
+func baseGlobal(localGlobal map[string]string, key string) string {
+	if g, ok := localGlobal[key]; ok {
+		return g
+	}
+	return strings.TrimSuffix(key, "[R]")
+}
+
+func baseNames(held anz.StringSet) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, h := range held.Elems() {
+		b := strings.TrimSuffix(h, "[R]")
+		if !seen[b] {
+			seen[b] = true
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func methodOf(c anz.LockClass) string {
+	switch c {
+	case anz.LockAcquire:
+		return "Lock"
+	case anz.LockRelease:
+		return "Unlock"
+	case anz.RLockAcquire:
+		return "RLock"
+	default:
+		return "RUnlock"
+	}
+}
+
+// isSyncOrBuiltin filters callees whose lock behavior is already
+// modeled (package sync) or irrelevant (the standard library below it:
+// container/list, sort, fmt, ... take no project locks).
+func isSyncOrBuiltin(obj types.Object) bool {
+	if obj.Pkg() == nil {
+		return true
+	}
+	path := obj.Pkg().Path()
+	return !strings.Contains(path, ".") && !strings.HasPrefix(path, "npra")
+}
+
+func finish(s any, report func(pos token.Position, format string, args ...any)) error {
+	st := s.(*state)
+
+	// Resolve the pending one-level call edges now that every package's
+	// summaries are in.
+	for _, pc := range st.pending {
+		sum, ok := st.summaries[pc.callee]
+		if !ok {
+			continue
+		}
+		for _, acq := range sum.Acquires.Elems() {
+			for _, h := range pc.held {
+				st.addEdge(h.global, acq, pc.pos, pc.fn)
+			}
+		}
+	}
+
+	// Cycle detection over the order graph, deterministic: DFS from
+	// each node in sorted order; the first back edge on each cycle
+	// reports it once.
+	nodes := make([]string, 0, len(st.edges))
+	for n := range st.edges {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int)
+	var stack []string
+	var visit func(n string)
+	visit = func(n string) {
+		color[n] = gray
+		stack = append(stack, n)
+		tos := make([]string, 0, len(st.edges[n]))
+		for to := range st.edges[n] {
+			tos = append(tos, to)
+		}
+		sort.Strings(tos)
+		for _, to := range tos {
+			switch color[to] {
+			case white:
+				visit(to)
+			case gray:
+				// Cycle: the slice of stack from `to` onward, closed by
+				// n→to.
+				i := 0
+				for j, v := range stack {
+					if v == to {
+						i = j
+						break
+					}
+				}
+				cyc := append(append([]string(nil), stack[i:]...), to)
+				site := st.edges[n][to]
+				report(site.pos, "lock-order cycle: %s (edge %s->%s created here in %s); another goroutine taking these locks in the opposite order deadlocks", strings.Join(cyc, " -> "), shortLock(n), shortLock(to), site.fn)
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[n] = black
+	}
+	for _, n := range nodes {
+		if color[n] == white {
+			visit(n)
+		}
+	}
+	return nil
+}
+
+// shortLock trims the import-path prefix for readability in messages:
+// "npra/internal/funccache.shard.mu" -> "funccache.shard.mu".
+func shortLock(id string) string {
+	if i := strings.LastIndexByte(id, '/'); i >= 0 {
+		return id[i+1:]
+	}
+	return id
+}

@@ -1,0 +1,103 @@
+package analyzers
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"npra/internal/analyzers/anz"
+)
+
+// loadShared loads a mixed set of fixture packages ONCE; both tests
+// below run the full suite over the same loaded set, which is exactly
+// how cmd/npravet drives it: one parse+type-check, eleven analyzers.
+func loadShared(t *testing.T) []*anz.Package {
+	t.Helper()
+	cfg := &anz.LoadConfig{FixtureDir: fixtureDir(t)}
+	pkgs, err := cfg.Load("npra/internal/lockfix", "leakfix", "atomfix", "detlint")
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	return pkgs
+}
+
+// TestRunParallelDeterministic: the analyzers run one-goroutine-each
+// over the shared package set; repeated runs must produce bit-identical
+// diagnostics (order included), or CI diffs would flap.
+func TestRunParallelDeterministic(t *testing.T) {
+	pkgs := loadShared(t)
+	suite := Suite()
+	base, err := anz.Run(pkgs, suite)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(base) == 0 {
+		t.Fatal("fixture set should produce diagnostics; the determinism check is vacuous")
+	}
+	for i := 0; i < 10; i++ {
+		again, err := anz.Run(pkgs, suite)
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(base, again) {
+			t.Fatalf("run %d diverged from first run:\nfirst: %v\nagain: %v", i, base, again)
+		}
+	}
+}
+
+// TestRunSharedLoadMatchesSerial: the concurrent merged output equals
+// the union of one-analyzer-at-a-time runs over the same loaded
+// packages — the parallelism is an execution detail, not a semantic
+// one. Directive-verification findings are excluded: whether an ignore
+// directive is "unused" legitimately depends on which analyzers ran.
+func TestRunSharedLoadMatchesSerial(t *testing.T) {
+	pkgs := loadShared(t)
+	full, err := anz.Run(pkgs, Suite())
+	if err != nil {
+		t.Fatalf("full run: %v", err)
+	}
+	var merged []anz.Diagnostic
+	for _, a := range Suite() {
+		one, err := anz.Run(pkgs, []*anz.Analyzer{a})
+		if err != nil {
+			t.Fatalf("solo %s: %v", a.Name, err)
+		}
+		merged = append(merged, dropDirectiveFindings(one)...)
+	}
+	sortDiags(merged)
+	got := dropDirectiveFindings(full)
+	if !reflect.DeepEqual(got, merged) {
+		t.Fatalf("parallel run diverges from serial union:\nparallel: %v\nserial:   %v", got, merged)
+	}
+}
+
+func dropDirectiveFindings(ds []anz.Diagnostic) []anz.Diagnostic {
+	out := make([]anz.Diagnostic, 0, len(ds))
+	for _, d := range ds {
+		if d.Analyzer == anz.DirectiveAnalyzer {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// sortDiags mirrors anz.Run's output ordering.
+func sortDiags(ds []anz.Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}

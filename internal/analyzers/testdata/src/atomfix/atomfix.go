@@ -1,0 +1,61 @@
+// Package atomfix is the atomicmix fixture suite: a field mixed
+// between sync/atomic and plain access (true positive), the
+// constructor publish-after-init exemption, an all-atomic field, an
+// all-plain field, and the sync/atomic typed-wrapper idiom (all
+// near-miss negatives).
+package atomfix
+
+import "sync/atomic"
+
+// Counter mixes an atomic increment with a plain read: the half-
+// converted-counter race the analyzer exists for.
+type Counter struct {
+	n int64
+}
+
+func (c *Counter) Inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *Counter) Snapshot() int64 {
+	return c.n // want `plain access to atomfix\.Counter\.n`
+}
+
+// NewCounter is the near miss: constructors publish after init, so the
+// plain write cannot race.
+func NewCounter(seed int64) *Counter {
+	c := &Counter{}
+	c.n = seed
+	return c
+}
+
+// Reset demonstrates suppression: a justified single-threaded phase.
+func (c *Counter) Reset() {
+	//lint:ignore atomicmix single-threaded test teardown; no concurrent writers exist at reset time
+	c.n = 0
+}
+
+// Gauge is all-atomic: no finding.
+type Gauge struct {
+	v int64
+}
+
+func (g *Gauge) Set(x int64) { atomic.StoreInt64(&g.v, x) }
+func (g *Gauge) Get() int64  { return atomic.LoadInt64(&g.v) }
+
+// Local is all-plain: never shared atomically, no finding.
+type Local struct {
+	m int
+}
+
+func (l *Local) Bump()    { l.m++ }
+func (l *Local) Val() int { return l.m }
+
+// Typed uses the sync/atomic wrapper type: every access goes through
+// its methods, atomic by construction — no plain access is possible.
+type Typed struct {
+	hits atomic.Int64
+}
+
+func (t *Typed) Touch()       { t.hits.Add(1) }
+func (t *Typed) Count() int64 { return t.hits.Load() }

@@ -1,0 +1,111 @@
+// Package leakfix is the goleak fixture suite: for each bug class — a
+// goroutine whose CFG cannot reach termination (literal and named
+// spawn) and a blocking send on an unbuffered channel whose receiver
+// may abandon it — one true positive and near-miss negatives the
+// analyzer must stay silent on.
+package leakfix
+
+import "context"
+
+// spinForever spawns a literal that loops with no reachable exit.
+func spinForever() {
+	go func() { // want `goroutine cannot terminate`
+		for {
+		}
+	}()
+}
+
+// politeLoop is the near miss: the loop has a reachable return.
+func politeLoop(stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// drains is a second near miss: for-range over a channel terminates
+// when the channel is closed.
+func drains(ch chan int) {
+	go func() {
+		for range ch {
+		}
+	}()
+}
+
+// spin cannot terminate; spawning it by name is caught through the
+// cross-package run state rather than the literal's CFG.
+func spin() {
+	for {
+	}
+}
+
+func spawnSpin() {
+	go spin() // want `goroutine spin cannot terminate`
+}
+
+// worker is the near miss for named spawns: it returns when jobs is
+// closed.
+func worker(jobs chan int) {
+	for range jobs {
+	}
+}
+
+func spawnWorker(jobs chan int) {
+	go worker(jobs)
+}
+
+// hedgedCall loses its worker: the parent may take ctx.Done and
+// return, leaving the unbuffered send blocked forever.
+func hedgedCall(ctx context.Context) int {
+	ch := make(chan int)
+	go func() {
+		ch <- slow() // want `blocking send on unbuffered ch`
+	}()
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return -1
+	}
+}
+
+// bufferedHedge is the near miss: the 1-buffered channel lets the send
+// complete even after the receiver abandons it.
+func bufferedHedge(ctx context.Context) int {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- slow()
+	}()
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return -1
+	}
+}
+
+// guaranteedDrain is a second near miss: the receive is unconditional,
+// so the send always completes.
+func guaranteedDrain() int {
+	ch := make(chan int)
+	go func() {
+		ch <- slow()
+	}()
+	return <-ch
+}
+
+func slow() int { return 42 }
+
+// metricsPump demonstrates suppression: a process-lifetime goroutine
+// with a justified directive reports nothing.
+func metricsPump() {
+	//lint:ignore goleak process-lifetime pump owned by main; it is meant to stop only at exit
+	go func() {
+		for {
+		}
+	}()
+}

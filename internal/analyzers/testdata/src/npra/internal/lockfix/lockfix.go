@@ -1,0 +1,207 @@
+// Package lockfix is the lockorder fixture suite: for every bug class
+// the analyzer knows — order cycles (direct and through one level of
+// calls), dynamic calls under a lock, unbalanced lock/unlock paths,
+// unlock-while-not-held, double acquisition, and the RLock→Lock
+// upgrade — one true positive and one near-miss negative that the
+// analyzer must stay silent on. The package lives under an npra/ path
+// so the one-level summary propagation (which ignores non-project
+// callees) applies to its internal calls.
+package lockfix
+
+import "sync"
+
+// A and B are the direct-cycle pair.
+type A struct {
+	mu sync.Mutex
+	n  int
+}
+
+type B struct {
+	mu sync.Mutex
+	n  int
+}
+
+// funcAB and funcBA take the two locks in opposite orders: the classic
+// deadlock, needing only one unlucky interleaving. The cycle is
+// reported at the edge that closes it — the B→A acquisition below.
+func funcAB(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.n++
+	b.n++
+}
+
+func funcBA(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock() // want `lock-order cycle: .*A\.mu -> .*B\.mu -> .*A\.mu`
+	defer a.mu.Unlock()
+	a.n++
+}
+
+// C and D are the near miss: two callers, same nesting, consistent
+// order — edges C→D only, no cycle.
+type C struct{ mu sync.Mutex }
+type D struct{ mu sync.Mutex }
+
+func consistent1(c *C, d *D) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+}
+
+func consistent2(c *C, d *D) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+}
+
+// E and F exercise the one-level summary propagation: callUnderE never
+// touches F's lock textually, but calling lockF while holding E's lock
+// contributes the E→F edge; closeEF's direct F→E edge then closes the
+// cycle.
+type E struct{ mu sync.Mutex }
+
+type F struct {
+	mu sync.Mutex
+	n  int
+}
+
+func lockF(f *F) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.n++
+}
+
+func callUnderE(e *E, f *F) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	lockF(f)
+}
+
+func closeEF(e *E, f *F) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	e.mu.Lock() // want `lock-order cycle: .*E\.mu -> .*F\.mu -> .*E\.mu`
+	defer e.mu.Unlock()
+}
+
+// leakOnBranch forgets the unlock on the early-return path; reported
+// at the acquisition.
+func leakOnBranch(a *A) {
+	a.mu.Lock() // want `a\.mu is not released on every path to the end of leakOnBranch`
+	if a.n > 0 {
+		return
+	}
+	a.mu.Unlock()
+}
+
+// balancedBranch is the near miss: every path unlocks.
+func balancedBranch(a *A) {
+	a.mu.Lock()
+	if a.n > 0 {
+		a.mu.Unlock()
+		return
+	}
+	a.mu.Unlock()
+}
+
+// unlockCold unlocks a mutex no path ever locked: a runtime panic.
+func unlockCold(a *A) {
+	a.mu.Unlock() // want `Unlock of a\.mu on a path where it cannot be held`
+}
+
+// guardedUnlock is the near miss — and the solver regression shape: a
+// no-op early-return guard precedes the Lock, then both branches
+// unlock. (A solver that stops propagating at identity-transfer entry
+// blocks leaves every downstream fact empty and flags both unlocks.)
+func guardedUnlock(a *A, ready bool) {
+	if !ready {
+		return
+	}
+	a.mu.Lock()
+	if a.n > 0 {
+		a.mu.Unlock()
+		return
+	}
+	a.n++
+	a.mu.Unlock()
+}
+
+// doubleLock reacquires a mutex already held on the same path.
+func doubleLock(a *A) {
+	a.mu.Lock()
+	a.mu.Lock() // want `acquiring a\.mu while already held on this path`
+	a.mu.Unlock()
+}
+
+// relockAfterUnlock is the near miss: sequential critical sections.
+func relockAfterUnlock(a *A) {
+	a.mu.Lock()
+	a.n++
+	a.mu.Unlock()
+	a.mu.Lock()
+	a.n--
+	a.mu.Unlock()
+}
+
+// RW exercises the RWMutex upgrade rule.
+type RW struct {
+	mu sync.RWMutex
+	n  int
+}
+
+func upgrade(r *RW) {
+	r.mu.RLock()
+	r.mu.Lock() // want `upgrading r\.mu from RLock to Lock deadlocks`
+	r.mu.Unlock()
+	r.mu.RUnlock()
+}
+
+// reacquireAsWriter is the near miss: the read lock is released before
+// the write lock is taken.
+func reacquireAsWriter(r *RW) {
+	n := 0
+	r.mu.RLock()
+	n = r.n
+	r.mu.RUnlock()
+	r.mu.Lock()
+	r.n = n + 1
+	r.mu.Unlock()
+}
+
+// Hooked exercises the unknown-callee rule: hook is a function value
+// the order graph cannot see through.
+type Hooked struct {
+	mu   sync.Mutex
+	hook func()
+	n    int
+}
+
+func callHookUnderLock(h *Hooked) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.hook() // want `call through a function value or interface while holding h\.mu`
+}
+
+// hoistedHook is the near miss: snapshot the hook under the lock, call
+// it outside the critical section.
+func hoistedHook(h *Hooked) {
+	h.mu.Lock()
+	hook := h.hook
+	h.mu.Unlock()
+	hook()
+}
+
+// justified demonstrates suppression: the directive carries the
+// reviewed reason, and no diagnostic survives.
+func justified(h *Hooked) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	//lint:ignore lockorder hook is documented lock-free and must observe state mid-critical-section
+	h.hook()
+}

@@ -113,6 +113,7 @@ func (b *Breaker) Allow() error {
 	case BreakerClosed:
 		return nil
 	case BreakerOpen:
+		//lint:ignore lockorder b.now is the injectable clock (time.Now or a test stub); it reads no Breaker state and takes no locks
 		if b.now().Sub(b.openedAt) < b.cfg.Cooldown {
 			b.rejections++
 			return fmt.Errorf("%w: cooling down", ErrBreakerOpen)
