@@ -98,3 +98,19 @@ serve-bench-chaos:
 	$(GO) run ./cmd/nploadgen -chaos -inprocess -requests 600 \
 		-min-eventual 0.999 -fair-tol 0.15 -max-p99-ms 500 \
 		-report BENCH_serve_chaos.json
+
+# The adversarial benchmark: cache-hostile progen shapes (trampoline /
+# boundary / palette / nearcollision) under heterogeneous hardware
+# profiles against an in-process server with deliberately tiny cache
+# tiers. Gated on the ISSUE-10 acceptance criteria: zero cross-profile
+# alias mismatches (always enforced), every shape served, no 5xx, a
+# relocation share of rewrite-tier lookups at most 0.9 (under palette
+# thrash nearly every hit is a relocation; 1.0 would mean the exact
+# tier never worked), at most 8 evictions per request summed across the
+# three tiers, profile fairness within 60% of equal shares (profiles do
+# unequal work, so shares drift with speed), and a bounded p99.
+.PHONY: serve-bench-adv
+serve-bench-adv:
+	$(GO) run ./cmd/nploadgen -adversarial -inprocess -requests 600 -c 2 \
+		-max-5xx 0 -max-reloc-share 0.9 -max-evict-per-req 8 \
+		-fair-tol 0.6 -max-p99-ms 250 -report BENCH_serve_adv.json

@@ -12,6 +12,8 @@
 //	          -min-funccache-hit 0.9 -min-p99-speedup 2 -report BENCH_serve_mix.json
 //	nploadgen -chaos -inprocess -requests 600 \
 //	          -min-eventual 0.999 -fair-tol 0.15 -report BENCH_serve_chaos.json
+//	nploadgen -adversarial -inprocess -requests 600 \
+//	          -max-reloc-share 0.9 -max-evict-per-req 8 -report BENCH_serve_adv.json
 //
 // With -inprocess, nploadgen starts an npserve instance inside the
 // process (no network listener flakiness) and drives that.
@@ -34,6 +36,18 @@
 // fairness and tail latency under chaos. With -inprocess, a solve
 // delay (-chaos-solve-delay) and a serialized engine make the server
 // the bottleneck so fairness is actually exercised.
+//
+// With -adversarial, workers pinned to heterogeneous hardware profiles
+// (-adv-profiles, each profile doubling as its X-Tenant) rotate the
+// cache-hostile progen shapes — trampoline, boundary, palette,
+// nearcollision — and the report classifies outcomes per shape and
+// watches the cache tiers' failure modes: relocation-storm share
+// (-max-reloc-share), cross-tier eviction thrash (-max-evict-per-req),
+// cross-profile raw-cache aliasing (always fatal), and DRR fairness
+// under profile skew (-fair-tol, with -adv-solve-delay to make the
+// server the bottleneck). With -inprocess the server runs with tiny
+// cache tiers (-funccache-entries/-rewritecache-entries/-rawcache-entries)
+// so those failure modes are actually reachable.
 package main
 
 import (
@@ -77,6 +91,16 @@ func main() {
 		minSpeedup = flag.Float64("min-p99-speedup", 0, "fail if warm p99 does not beat the cold baseline by this factor (0 disables; -kernel-mix -inprocess only)")
 		maxRWShare = flag.Float64("max-rewrite-share", 0, "fail if the warm phase's rewrite+rewrite_cached share of engine time exceeds this (0 disables; -kernel-mix only)")
 
+		adversarial  = flag.Bool("adversarial", false, "drive the adversarial workload: cache-hostile shapes under heterogeneous hardware profiles")
+		advProfiles  = flag.String("adv-profiles", "ara24=24,sra64=64x3,ara128=128", "hardware profiles as name=nreg[xnthd],... (each profile is also its workers' X-Tenant)")
+		advHotRatio  = flag.Float64("hot-ratio", 0.5, "fraction of adversarial requests drawn from the hot spec pool")
+		advSolveDly  = flag.Duration("adv-solve-delay", 0, "per-Solve engine delay armed for -inprocess adversarial runs; >0 also serializes the engine so DRR fairness across profiles is observable")
+		fcEntries    = flag.Int("funccache-entries", 8, "function-cache entry bound for the -inprocess adversarial server (negative disables the tier)")
+		rwEntries    = flag.Int("rewritecache-entries", 16, "rewrite-cache entry bound for the -inprocess adversarial server (negative disables the tier)")
+		rawEntries   = flag.Int("rawcache-entries", 32, "raw-request-cache entry bound for the -inprocess adversarial server (negative disables the tier)")
+		maxRelocShre = flag.Float64("max-reloc-share", 0, "fail if relocation hits exceed this share of rewrite-tier lookups (0 disables; -adversarial only)")
+		maxEvictReq  = flag.Float64("max-evict-per-req", 0, "fail if cross-tier evictions per request exceed this (0 disables; -adversarial only)")
+
 		chaos         = flag.Bool("chaos", false, "drive the chaos soak: a fault-injecting proxy in front of the server, the resilient client in front of that")
 		chaosReset    = flag.Float64("chaos-reset", 0.03, "per-request TCP-reset probability")
 		chaosLatRate  = flag.Float64("chaos-latency-rate", 0.10, "per-request injected-latency probability")
@@ -94,7 +118,12 @@ func main() {
 	)
 	flag.Parse()
 	var err error
-	if *chaos {
+	if *adversarial {
+		err = runAdversarial(*url, *inprocess, *conc, *duration, *requests, *advProfiles,
+			*advHotRatio, *timeoutMS, *seed, *reportTo, *advSolveDly,
+			*fcEntries, *rwEntries, *rawEntries, *jobs,
+			*max5xx, *maxRelocShre, *maxEvictReq, *maxP99, *fairTol)
+	} else if *chaos {
 		err = runChaos(*url, *inprocess, *duration, *requests, *threads, *nreg,
 			*timeoutMS, *seed, *reportTo, *tenants, *tenantWeights, *lowFrac, *chaosSolveDly,
 			faultinject.ChaosConfig{
@@ -238,6 +267,91 @@ func run(url string, inprocess bool, conc int, duration time.Duration, requests 
 		}
 		fmt.Fprintf(os.Stderr, "nploadgen: checks passed (5xx %d <= %d, dedup %.4f >= %.4f, p99 %.2fms)\n",
 			rep.FiveXX, effMax, rep.SingleflightHitRate, minDedup, rep.P99MS)
+	}
+	return nil
+}
+
+// runAdversarial drives the cache-hostile workload: workers pinned to
+// heterogeneous hardware profiles rotate the adversarial generator
+// families against one server. With -inprocess the server runs with
+// deliberately tiny cache tiers (the -funccache-entries /
+// -rewritecache-entries / -rawcache-entries bounds) so the
+// eviction-thrash and relocation-storm gates measure the failure modes
+// they exist for, and each profile gets an equal DRR weight so the
+// fairness gate watches admission under profile skew.
+func runAdversarial(url string, inprocess bool, conc int, duration time.Duration, requests int64,
+	profileSpec string, hotRatio float64, timeoutMS, seed int64, reportTo string,
+	solveDelay time.Duration, fcEntries, rwEntries, rawEntries, jobs int,
+	max5xx int64, maxRelocShare, maxEvictPerReq, maxP99, fairTol float64) error {
+
+	profiles, err := loadgen.ParseProfiles(profileSpec)
+	if err != nil {
+		return fmt.Errorf("parsing -adv-profiles: %w", err)
+	}
+
+	if inprocess {
+		weights := make(map[string]int, len(profiles))
+		for _, p := range profiles {
+			weights[p.Name] = 1
+		}
+		cfg := serve.Config{
+			Workers:             jobs,
+			FuncCacheEntries:    fcEntries,
+			RewriteCacheEntries: rwEntries,
+			RawCacheEntries:     rawEntries,
+			TenantWeights:       weights,
+		}
+		if solveDelay > 0 {
+			// Fairness is only observable with a backlog: serialize the
+			// engine and slow each Solve so DRR has something to schedule.
+			faultinject.Arm(faultinject.SiteSolve, faultinject.Plan{
+				Mode: faultinject.Delay, Delay: solveDelay})
+			defer faultinject.Reset()
+			cfg.Workers, cfg.MaxBatch = 1, 1
+		}
+		s := serve.New(cfg)
+		ts := httptest.NewServer(s.Handler())
+		defer func() {
+			ts.Close()
+			s.Close()
+		}()
+		url = ts.URL
+	}
+	if url == "" {
+		return fmt.Errorf("adversarial run: need -url or -inprocess")
+	}
+
+	rep, err := loadgen.RunAdversarial(context.Background(), loadgen.AdvOptions{
+		URL:               url,
+		WorkersPerProfile: conc,
+		Duration:          duration,
+		MaxRequests:       requests,
+		Profiles:          profiles,
+		HotRatio:          hotRatio,
+		TimeoutMS:         timeoutMS,
+		Seed:              seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(blob))
+	if reportTo != "" {
+		if err := os.WriteFile(reportTo, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+
+	if max5xx >= 0 || maxRelocShare > 0 || maxEvictPerReq > 0 || maxP99 > 0 || fairTol > 0 {
+		if err := rep.Check(max5xx, maxRelocShare, maxEvictPerReq, maxP99, fairTol); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "nploadgen: adversarial checks passed (alias mismatches 0, reloc share %.4f <= %.4f, evict/req %.2f <= %.2f, fairness dev %.4f, p99 %.2fms)\n",
+			rep.RelocShare, maxRelocShare, rep.EvictionsPerReq, maxEvictPerReq, rep.FairnessDev, rep.P99MS)
 	}
 	return nil
 }

@@ -253,23 +253,41 @@ func itoa(n int64) string {
 	return string(buf[i:])
 }
 
-// FuzzAllocateARA is the native fuzz target: arbitrary seeds and budgets
-// (and a fault plan derived from the seed) must never panic the caller
+// FuzzAllocateARA is the native fuzz target: arbitrary seeds, budgets
+// and program shapes (including the adversarial generator families,
+// with a fault plan derived from the seed) must never panic the caller
 // and must keep the verified-or-typed-error contract.
 func FuzzAllocateARA(f *testing.F) {
-	f.Add(int64(1), 32, uint8(0))
-	f.Add(int64(2), 8, uint8(1))
-	f.Add(int64(3), 4, uint8(2))
-	f.Add(int64(42), 16, uint8(3))
-	f.Add(int64(7), 1, uint8(0))
-	f.Add(int64(99), 64, uint8(2))
-	f.Fuzz(func(t *testing.T, seed int64, nreg int, fault uint8) {
+	f.Add(int64(1), 32, uint8(0), uint8(0))
+	f.Add(int64(2), 8, uint8(1), uint8(0))
+	f.Add(int64(3), 4, uint8(2), uint8(0))
+	f.Add(int64(42), 16, uint8(3), uint8(0))
+	f.Add(int64(7), 1, uint8(0), uint8(0))
+	f.Add(int64(99), 64, uint8(2), uint8(0))
+	for i := range progen.Shapes() {
+		f.Add(int64(11+i), 16, uint8(i), uint8(1+i))
+		f.Add(int64(1000+i), 6, uint8(5), uint8(1+i))
+	}
+	f.Fuzz(func(t *testing.T, seed int64, nreg int, fault, shape uint8) {
 		t.Cleanup(faultinject.Reset)
 		if nreg < 0 || nreg > 512 {
 			nreg %= 512
 		}
 		rng := rand.New(rand.NewSource(seed))
 		funcs := []*ir.Func{progen.Generate(rng, faultGen), progen.Generate(rng, faultGen)}
+		// A non-zero shape byte swaps the first body for an adversarial
+		// one, keeping its spec small enough for the 10s smoke budget.
+		if shapes := progen.Shapes(); shape != 0 {
+			cfg := progen.StructuredConfig{
+				MaxDepth: 2, MaxBodyLen: 4, MaxTripCnt: 3, MaxVars: 6,
+				CSBDensity: 0.3, StoreWindow: 64,
+			}
+			adv, err := progen.FromSeedShape(shapes[int(shape-1)%len(shapes)], seed, cfg)
+			if err != nil {
+				t.Fatalf("shape generator: %v", err)
+			}
+			funcs[0] = adv
+		}
 
 		// Low two bits pick a site (or none), next two the mode.
 		sites := faultinject.Sites()

@@ -50,7 +50,11 @@ const (
 // shape fields take the defaults noted on each; all programs drawn this
 // way are structurally halting (counted loops only).
 type WireProgen struct {
-	Seed       int64   `json:"seed"`
+	Seed int64 `json:"seed"`
+	// Shape selects an adversarial generator family ("trampoline",
+	// "boundary", "palette", "nearcollision"); empty means the default
+	// structured generator. All shapes stay structurally halting.
+	Shape      string  `json:"shape,omitempty"`
 	MaxDepth   int     `json:"max_depth,omitempty"`    // default 2, 1..4
 	MaxBodyLen int     `json:"max_body_len,omitempty"` // default 6, 1..32
 	MaxTripCnt int     `json:"max_trip_cnt,omitempty"` // default 4, 1..8
@@ -110,6 +114,9 @@ func (p *WireProgen) config() (progen.StructuredConfig, error) {
 		return cfg, invalidf("progen store_base = %d out of range [0, %d]", p.StoreBase, WireMaxStoreBase)
 	}
 	cfg.StoreBase = p.StoreBase
+	if !progen.ValidShape(progen.Shape(p.Shape)) {
+		return cfg, invalidf("progen shape %q (want one of %v or empty)", p.Shape, progen.Shapes())
+	}
 	return cfg, nil
 }
 
@@ -231,15 +238,18 @@ func (t *WireThread) bodySpec(i int) (key string, build func() (*ir.Func, error)
 		}
 	}
 	p := t.Progen
-	key = fmt.Sprintf("progen\x00%s\x00%d|%d|%d|%d|%d|%v|%d|%d",
-		t.Name, p.Seed, p.MaxDepth, p.MaxBodyLen, p.MaxTripCnt, p.MaxVars,
+	key = fmt.Sprintf("progen\x00%s\x00%s\x00%d|%d|%d|%d|%d|%v|%d|%d",
+		t.Name, p.Shape, p.Seed, p.MaxDepth, p.MaxBodyLen, p.MaxTripCnt, p.MaxVars,
 		p.CSBDensity, p.StoreWindow, p.StoreBase)
 	return key, func() (*ir.Func, error) {
 		cfg, err := p.config()
 		if err != nil {
 			return nil, fmt.Errorf("thread %d: %w", i, err)
 		}
-		f := progen.FromSeed(p.Seed, cfg)
+		f, err := progen.FromSeedShape(progen.Shape(p.Shape), p.Seed, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("thread %d: %w: %v", i, ErrInvalid, err)
+		}
 		if t.Name != "" {
 			f.Name = t.Name
 		} else {

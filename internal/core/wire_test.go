@@ -75,6 +75,7 @@ func TestWireFuncsErrorsWrapInvalid(t *testing.T) {
 		{NReg: 32, Threads: []WireThread{{Progen: &WireProgen{CSBDensity: 1.5}}}},
 		{NReg: 32, Threads: []WireThread{{Progen: &WireProgen{StoreWindow: 2}}}},
 		{NReg: 32, Threads: []WireThread{{Progen: &WireProgen{StoreBase: -1}}}},
+		{NReg: 32, Threads: []WireThread{{Progen: &WireProgen{Shape: "zigzag"}}}},
 	}
 	for i, req := range bad {
 		if _, err := req.Funcs(); err == nil {
@@ -105,6 +106,33 @@ func TestWireFuncsMaterializes(t *testing.T) {
 	}
 	if funcs[1].Name != "progen7" {
 		t.Errorf("thread 1 name = %q, want progen7 (seed default)", funcs[1].Name)
+	}
+}
+
+// Adversarial shape specs materialize through the wire, produce bodies
+// distinct from the default generator over the same seed, and keep the
+// shape in the compiled-body cache key so cached bodies cannot alias.
+func TestWireProgenShapes(t *testing.T) {
+	keys := make(map[string]string)
+	var plain string
+	for _, shape := range []string{"", "trampoline", "boundary", "palette", "nearcollision"} {
+		th := WireThread{Progen: &WireProgen{Seed: 7, Shape: shape}}
+		req := &WireRequest{NReg: 32, Threads: []WireThread{th}}
+		funcs, err := req.Funcs()
+		if err != nil {
+			t.Fatalf("shape %q: %v", shape, err)
+		}
+		body := funcs[0].Format()
+		if shape == "" {
+			plain = body
+		} else if body == plain {
+			t.Errorf("shape %q generated the same body as the default generator", shape)
+		}
+		key, _ := th.bodySpec(0)
+		if prev, dup := keys[key]; dup {
+			t.Errorf("shapes %q and %q share cache key %q", shape, prev, key)
+		}
+		keys[key] = shape
 	}
 }
 

@@ -1,0 +1,202 @@
+package progen
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"npra/internal/interp"
+	"npra/internal/ir"
+)
+
+// Property: every adversarial shape builds, validates and HALTS — the
+// shapes are hostile to the caches, not to the structured contract.
+func TestQuickAdversarialHalt(t *testing.T) {
+	for _, shape := range Shapes() {
+		shape := shape
+		t.Run(string(shape), func(t *testing.T) {
+			check := func(seed int64) bool {
+				f, err := FromSeedShape(shape, seed, DefaultStructured)
+				if err != nil {
+					t.Logf("seed %d: %v", seed, err)
+					return false
+				}
+				if !f.Built() {
+					return false
+				}
+				res, err := interp.Run(f, make([]uint32, 4096), interp.Options{MaxSteps: 1 << 20})
+				if err != nil {
+					t.Logf("seed %d: %v", seed, err)
+					return false
+				}
+				if !res.Halted {
+					t.Logf("seed %d: did not halt:\n%s", seed, f.Format())
+					return false
+				}
+				return true
+			}
+			if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// Every shape is deterministic from (shape, seed, cfg), and distinct
+// shapes over the same seed produce distinct bodies.
+func TestAdversarialDeterministicAndDistinct(t *testing.T) {
+	seen := make(map[string]Shape)
+	for _, shape := range Shapes() {
+		a, err := FromSeedShape(shape, 42, DefaultStructured)
+		if err != nil {
+			t.Fatalf("%s: %v", shape, err)
+		}
+		b, err := FromSeedShape(shape, 42, DefaultStructured)
+		if err != nil {
+			t.Fatalf("%s: %v", shape, err)
+		}
+		if a.Format() != b.Format() {
+			t.Errorf("%s: not deterministic", shape)
+		}
+		if prev, dup := seen[a.Format()]; dup {
+			t.Errorf("%s and %s generated identical bodies", shape, prev)
+		}
+		seen[a.Format()] = shape
+	}
+}
+
+// The empty shape is the structured generator, and unknown shapes are
+// rejected with an error rather than a panic.
+func TestFromSeedShapeDefaultAndUnknown(t *testing.T) {
+	def, err := FromSeedShape("", 9, DefaultStructured)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := FromSeed(9, DefaultStructured); def.Format() != want.Format() {
+		t.Error("empty shape does not match FromSeed")
+	}
+	if _, err := FromSeedShape("zigzag", 9, DefaultStructured); err == nil {
+		t.Error("unknown shape accepted")
+	}
+	if ValidShape("zigzag") || !ValidShape("") || !ValidShape(ShapePalette) {
+		t.Error("ValidShape misclassifies")
+	}
+}
+
+// countOps tallies instructions by opcode name across the function.
+func countOps(f *ir.Func) map[string]int {
+	n := make(map[string]int)
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			n[b.Instrs[i].Op.String()]++
+		}
+	}
+	return n
+}
+
+// Trampoline bodies are deep chains: at least 4×MaxDepth hop blocks,
+// each guarded by a CSB, with branches that jump around the shuffled
+// layout (at least one branch targets a non-adjacent block).
+func TestTrampolineShape(t *testing.T) {
+	cfg := DefaultStructured
+	f, err := FromSeedShape(ShapeTrampoline, 5, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(f.Blocks), 4*cfg.MaxDepth+2; got < want {
+		t.Errorf("%d blocks, want >= %d (entry + hops + tail)", got, want)
+	}
+	ops := countOps(f)
+	if ops["ctx"] < 4*cfg.MaxDepth {
+		t.Errorf("%d ctx boundaries, want >= %d (one per hop)", ops["ctx"], 4*cfg.MaxDepth)
+	}
+	// Shuffled layout: some branch must cross more than one position in
+	// emission order, otherwise the chain degenerated to a ladder.
+	pos := make(map[string]int, len(f.Blocks))
+	for i, b := range f.Blocks {
+		pos[b.Label] = i
+	}
+	bouncy := false
+	for i, b := range f.Blocks {
+		for k := range b.Instrs {
+			in := b.Instrs[k]
+			if in.Target == "" {
+				continue
+			}
+			if d := pos[in.Target] - i; d > 1 || d < -1 {
+				bouncy = true
+			}
+		}
+	}
+	if !bouncy {
+		t.Error("trampoline layout is a straight ladder; expected shuffled block order")
+	}
+}
+
+// Boundary-dense bodies put a CSB between every computation segment:
+// the ctx count scales with MaxBodyLen×(MaxDepth+1), far above the
+// density any realistic kernel reaches.
+func TestBoundaryDenseShape(t *testing.T) {
+	cfg := DefaultStructured
+	f, err := FromSeedShape(ShapeBoundary, 5, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := countOps(f)
+	if want := cfg.MaxBodyLen * (cfg.MaxDepth + 1); ops["ctx"] < want {
+		t.Errorf("%d ctx boundaries, want >= %d", ops["ctx"], want)
+	}
+}
+
+// Near-collision bodies differ from one another in exactly one line:
+// the seed-carrying immediate.
+func TestNearCollisionSingleLineDiff(t *testing.T) {
+	cfg := DefaultStructured
+	a, err := FromSeedShape(ShapeNearCollision, 1001, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FromSeedShape(ShapeNearCollision, 1002, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	la, lb := strings.Split(a.Format(), "\n"), strings.Split(b.Format(), "\n")
+	if len(la) != len(lb) {
+		t.Fatalf("family members differ in length: %d vs %d lines", len(la), len(lb))
+	}
+	diff := 0
+	for i := range la {
+		if la[i] != lb[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Errorf("%d differing lines between near-collision siblings, want exactly 1", diff)
+	}
+}
+
+// Adversarial shapes honor the store window, like the structured
+// generator: every absolute memory op lands in [base, base+window).
+func TestAdversarialRespectsStoreWindow(t *testing.T) {
+	cfg := DefaultStructured
+	cfg.StoreBase = 512
+	cfg.CSBDensity = 1 // force the optional memory ops in
+	for _, shape := range Shapes() {
+		for seed := int64(0); seed < 10; seed++ {
+			f, err := FromSeedShape(shape, seed, cfg)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", shape, seed, err)
+			}
+			for _, b := range f.Blocks {
+				for k := range b.Instrs {
+					in := b.Instrs[k]
+					if in.Op.String() == "load" || in.Op.String() == "store" {
+						if in.Imm < cfg.StoreBase || in.Imm >= cfg.StoreBase+cfg.StoreWindow {
+							t.Fatalf("%s seed %d: memory op outside window: %s", shape, seed, in.String())
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -30,6 +30,14 @@ func FuzzServeRequest(f *testing.F) {
 		`{"nreg":32,"threads":[{"progen":null}]}`,
 		`{"nreg":32,"threads":[{}]} trailing`,
 		"{\"nreg\":32,\"threads\":[{\"asm\":\"" + strings.Repeat("A", 4096) + "\"}]}",
+		// Adversarial generator families through the wire, including an
+		// unknown shape (must reject, not panic) and a heterogeneous
+		// profile pairing byte-identical to the corpus aliasing seeds.
+		`{"nreg":32,"threads":[{"progen":{"seed":4,"shape":"trampoline"}}]}`,
+		`{"nreg":16,"threads":[{"progen":{"seed":5,"shape":"boundary","max_body_len":4}}]}`,
+		`{"nreg":48,"threads":[{"progen":{"seed":6,"shape":"palette"}},{"progen":{"seed":6,"shape":"nearcollision"}}]}`,
+		`{"nreg":32,"threads":[{"progen":{"seed":7,"shape":"zigzag"}}]}`,
+		`{"threads":[{"progen":{"seed":8,"shape":"nearcollision"}}]}`,
 	}
 	for _, s := range seeds {
 		f.Add(s)

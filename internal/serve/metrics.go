@@ -386,6 +386,7 @@ func (m *Metrics) render(queueDepth int, tenants []tenantDepth, cs cacheSnapshot
 
 	fmt.Fprintf(&b, "npserve_raw_cache_hits %d\n", cs.Raw.Hits)
 	fmt.Fprintf(&b, "npserve_raw_cache_misses %d\n", cs.Raw.Misses)
+	fmt.Fprintf(&b, "npserve_raw_cache_evictions %d\n", cs.Raw.Evictions)
 	fmt.Fprintf(&b, "npserve_raw_cache_entries %d\n", cs.Raw.Entries)
 
 	phases := []struct {

@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// scrapeMetrics fetches /metrics and returns the raw exposition text.
+func scrapeMetrics(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(blob)
+}
+
+// TestRawCacheProfilesDoNotAlias is the NReg-normalization regression:
+// byte-identical thread bodies submitted under different hardware
+// profiles (explicit nreg 32, explicit nreg 48, and nreg omitted — the
+// server default) are distinct raw requests and must never serve each
+// other's cached result. Each profile is posted twice, so the second
+// round is answered from the raw-request LRU — the exact path a
+// normalization bug would corrupt.
+func TestRawCacheProfilesDoNotAlias(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	threads := `"threads":[{"progen":{"seed":9,"shape":"nearcollision"}}]`
+	profiles := []struct {
+		body string
+		nreg int
+	}{
+		{fmt.Sprintf(`{"nreg":32,%s}`, threads), 32},
+		{fmt.Sprintf(`{"nreg":48,%s}`, threads), 48},
+		{fmt.Sprintf(`{%s}`, threads), 128}, // omitted: server default
+	}
+	for round := 0; round < 2; round++ {
+		for i, p := range profiles {
+			out := mustOK(t, ts.URL, p.body)
+			if out.NReg != p.nreg {
+				t.Fatalf("round %d profile %d: nreg = %d, want %d (cross-profile aliasing)", round, i, out.NReg, p.nreg)
+			}
+			if out.SGR > p.nreg {
+				t.Fatalf("round %d profile %d: sgr %d exceeds the register file %d", round, i, out.SGR, p.nreg)
+			}
+		}
+	}
+	st := s.raw.stats()
+	if st.Misses != 3 || st.Hits != 3 || st.Entries != 3 {
+		t.Errorf("raw stats = %+v, want 3 misses then 3 hits over 3 distinct entries", st)
+	}
+
+	// The e2e metrics contract: all four raw-cache counters are on the
+	// exposition, and the entry count agrees with the profile count.
+	text := scrapeMetrics(t, ts.URL)
+	for _, line := range []string{
+		"npserve_raw_cache_hits 3",
+		"npserve_raw_cache_misses 3",
+		"npserve_raw_cache_evictions 0",
+		"npserve_raw_cache_entries 3",
+	} {
+		if !strings.Contains(text, line+"\n") {
+			t.Errorf("metrics missing %q", line)
+		}
+	}
+}
+
+// TestRawCacheEvictionMetric drives the raw LRU over a 2-entry bound
+// and checks the new eviction counter moves in lockstep in both the
+// stats snapshot and the exposition.
+func TestRawCacheEvictionMetric(t *testing.T) {
+	s, ts := newTestServer(t, Config{RawCacheEntries: 2})
+	for seed := 1; seed <= 4; seed++ {
+		mustOK(t, ts.URL, fmt.Sprintf(`{"nreg":32,"threads":[{"progen":{"seed":%d,"shape":"palette"}}]}`, seed))
+	}
+	st := s.raw.stats()
+	if st.Evictions != 2 || st.Entries != 2 {
+		t.Errorf("raw stats = %+v, want 2 evictions with 2 resident entries", st)
+	}
+	if text := scrapeMetrics(t, ts.URL); !strings.Contains(text, "npserve_raw_cache_evictions 2\n") {
+		t.Error("metrics missing npserve_raw_cache_evictions 2")
+	}
+}

@@ -30,8 +30,9 @@ type rawCache struct {
 	lru     *list.List // front = most recently used; values are *rawEntry
 	cap     int
 
-	hits   atomic.Int64
-	misses atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
 }
 
 type rawEntry struct {
@@ -44,9 +45,10 @@ type rawEntry struct {
 
 // rawStats is a point-in-time snapshot of the raw-request cache.
 type rawStats struct {
-	Hits    int64
-	Misses  int64
-	Entries int64
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Entries   int64
 }
 
 func newRawCache(entries int) *rawCache {
@@ -64,7 +66,7 @@ func rawRequestKey(raw []byte) string {
 }
 
 func (c *rawCache) stats() rawStats {
-	st := rawStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+	st := rawStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Evictions: c.evictions.Load()}
 	c.mu.Lock()
 	st.Entries = int64(len(c.entries))
 	c.mu.Unlock()
@@ -108,5 +110,6 @@ func (c *rawCache) store(rawKey, key string, req *core.WireRequest, funcs []*ir.
 		victim := back.Value.(*rawEntry)
 		c.lru.Remove(back)
 		delete(c.entries, victim.rawKey)
+		c.evictions.Add(1)
 	}
 }

@@ -173,3 +173,43 @@ func TestSoakServe(t *testing.T) {
 	t.Logf("soak: %d requests, %.1f rps, p50 %.2fms p99 %.2fms, dedup %.3f",
 		rep.Requests, rep.ThroughputRPS, rep.P50MS, rep.P99MS, rep.SingleflightHitRate)
 }
+
+// TestSoakAdversarial holds the adversarial workload — cache-hostile
+// shapes under heterogeneous hardware profiles — against a server with
+// tiny cache tiers for 20 seconds. The gates are the serve-bench-adv
+// set: zero cross-profile aliasing, every shape served, bounded
+// relocation share and eviction thrash. Skipped with -short.
+func TestSoakAdversarial(t *testing.T) {
+	soakGuard(t)
+	s := serve.New(serve.Config{
+		MaxQueue:            128,
+		FuncCacheEntries:    8,
+		RewriteCacheEntries: 16,
+		RawCacheEntries:     32,
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		if err := s.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+
+	rep, err := loadgen.RunAdversarial(context.Background(), loadgen.AdvOptions{
+		URL:               ts.URL,
+		WorkersPerProfile: 2,
+		Duration:          20 * time.Second,
+		Seed:              42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Check(0, 0.9, 8, 0, 0.6); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests < 100 {
+		t.Errorf("only %d requests in 20s; the service is unreasonably slow", rep.Requests)
+	}
+	t.Logf("adversarial soak: %d requests, %.1f rps, reloc share %.3f, evict/req %.2f, fairness dev %.3f, p99 %.2fms",
+		rep.Requests, rep.ThroughputRPS, rep.RelocShare, rep.EvictionsPerReq, rep.FairnessDev, rep.P99MS)
+}
